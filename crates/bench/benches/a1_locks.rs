@@ -1,0 +1,97 @@
+//! A1 — ablation: lock primitives under contention.
+//!
+//! DESIGN.md calls out the choice of hand-rolled kernel-style primitives
+//! (test-and-test-and-set spinlock, FIFO ticket lock, seqlock) over OS
+//! mutexes. This bench compares them against `std::sync::Mutex` and
+//! `parking_lot::Mutex` on the canonical contended-counter workload, plus
+//! seqlock reads against an uncontended mutex read.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use sysconc::spinlock::{SeqLock, SpinLock, TicketLock};
+
+const INCREMENTS: usize = 20_000;
+const THREADS: usize = 4;
+
+fn contended<F: Fn() + Sync>(f: F) {
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..INCREMENTS / THREADS {
+                    f();
+                }
+            });
+        }
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_contended_counter");
+    group.sample_size(20);
+
+    group.bench_function("spinlock", |b| {
+        b.iter(|| {
+            let lock = SpinLock::new(0u64);
+            contended(|| {
+                *lock.lock() += 1;
+            });
+            let v = *lock.lock();
+            v
+        });
+    });
+    group.bench_function("ticket_lock", |b| {
+        b.iter(|| {
+            let lock = TicketLock::new(0u64);
+            contended(|| {
+                *lock.lock() += 1;
+            });
+            let v = *lock.lock();
+            v
+        });
+    });
+    group.bench_function("std_mutex", |b| {
+        b.iter(|| {
+            let lock = Mutex::new(0u64);
+            contended(|| {
+                *lock.lock().unwrap() += 1;
+            });
+            let v = *lock.lock().unwrap();
+            v
+        });
+    });
+    group.bench_function("parking_lot_mutex", |b| {
+        b.iter(|| {
+            let lock = parking_lot::Mutex::new(0u64);
+            contended(|| {
+                *lock.lock() += 1;
+            });
+            let v = *lock.lock();
+            v
+        });
+    });
+    group.bench_function("atomic_fetch_add", |b| {
+        b.iter(|| {
+            let counter = AtomicU64::new(0);
+            contended(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            counter.load(Ordering::Relaxed)
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("a1_read_mostly");
+    let seq = Arc::new(SeqLock::new((7u64, 7u64)));
+    group.bench_function("seqlock_read", |b| {
+        b.iter(|| seq.read());
+    });
+    let mx = Arc::new(Mutex::new((7u64, 7u64)));
+    group.bench_function("mutex_read", |b| {
+        b.iter(|| *mx.lock().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

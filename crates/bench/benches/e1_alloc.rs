@@ -1,0 +1,77 @@
+//! E1 — allocator throughput, one Criterion group per manager.
+
+use bench_suite::sizes::E1_OPS;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sysmem::arena::RegionHeap;
+use sysmem::freelist::FreeListHeap;
+use sysmem::generational::GenerationalHeap;
+use sysmem::marksweep::MarkSweepHeap;
+use sysmem::rc::RcHeap;
+use sysmem::semispace::SemiSpaceHeap;
+use sysmem::workload::{run_region_workload, run_workload, Lifetime, ReclaimStrategy, WorkloadSpec};
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        ops: E1_OPS,
+        min_words: 2,
+        max_words: 32,
+        nrefs: 2,
+        link_prob: 0.2,
+        lifetime: Lifetime::Exponential { mean_ops: 64.0 },
+        seed: 7,
+    }
+}
+
+const HEAP_BYTES: usize = 1 << 22;
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_alloc");
+    let s = spec();
+
+    group.bench_function("region", |b| {
+        b.iter_batched(
+            || RegionHeap::new(HEAP_BYTES),
+            |mut h| run_region_workload(&mut h, &s, 256),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("freelist", |b| {
+        b.iter_batched(
+            || FreeListHeap::new(HEAP_BYTES),
+            |mut h| run_workload(&mut h, &s, ReclaimStrategy::ExplicitFree),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("refcount", |b| {
+        b.iter_batched(
+            || RcHeap::new(HEAP_BYTES),
+            |mut h| run_workload(&mut h, &s, ReclaimStrategy::RootRelease),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("mark-sweep", |b| {
+        b.iter_batched(
+            || MarkSweepHeap::new(HEAP_BYTES),
+            |mut h| run_workload(&mut h, &s, ReclaimStrategy::RootRelease),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("semispace", |b| {
+        b.iter_batched(
+            || SemiSpaceHeap::new(HEAP_BYTES * 2),
+            |mut h| run_workload(&mut h, &s, ReclaimStrategy::RootRelease),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("generational", |b| {
+        b.iter_batched(
+            || GenerationalHeap::new(HEAP_BYTES, 1 << 16),
+            |mut h| run_workload(&mut h, &s, ReclaimStrategy::RootRelease),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E2 — boxed vs unboxed representation on the three kernels.
+
+use bench_suite::sizes::E2_LOOP;
+use bitc_core::compile::compile_source;
+use bitc_core::ffi::NativeRegistry;
+use bitc_core::vm::{Boxed, Unboxed, Vm};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn kernels() -> Vec<(&'static str, String)> {
+    let n = E2_LOOP;
+    vec![
+        (
+            "sum-loop",
+            format!(
+                "(let ((i 0) (acc 0))
+                   (begin (while (< i {n}) (set! acc (+ acc i)) (set! i (+ i 1))) acc))"
+            ),
+        ),
+        (
+            "vector-walk",
+            format!(
+                "(let ((v (make-vector {m} 1)) (i 0) (acc 0))
+                   (begin
+                     (while (< i {m}) (vec-set! v i (* i 3)) (set! i (+ i 1)))
+                     (set! i 0)
+                     (while (< i {m}) (set! acc (+ acc (vec-ref v i))) (set! i (+ i 1)))
+                     acc))",
+                m = n / 4
+            ),
+        ),
+        (
+            "fib-calls",
+            "(define fib (lambda (x) (if (< x 2) x (+ (fib (- x 1)) (fib (- x 2)))))) (fib 16)"
+                .to_owned(),
+        ),
+    ]
+}
+
+fn bench_boxing(c: &mut Criterion) {
+    let reg = NativeRegistry::new();
+    for (name, src) in kernels() {
+        let bc = compile_source(&src).expect("kernel compiles");
+        let mut group = c.benchmark_group(format!("e2_{name}"));
+        group.bench_function("unboxed", |b| {
+            b.iter(|| Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap());
+        });
+        group.bench_function("boxed", |b| {
+            b.iter(|| Vm::<Boxed>::new(&bc, &reg).unwrap().run_int().unwrap());
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_boxing);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E3 — optimizer ablation: boxed VM at each opt level + the unboxed
+//! ceiling.
+
+use bench_suite::sizes::E2_LOOP;
+use bitc_core::ffi::NativeRegistry;
+use bitc_core::opt::{compile_optimized, OptLevel};
+use bitc_core::parser::parse_program;
+use bitc_core::vm::{Boxed, Unboxed, Vm};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn workload() -> String {
+    let n = E2_LOOP;
+    format!(
+        "(define scale (lambda (x) (* x (+ 2 2))))
+         (define offset (lambda (x) (+ x (- 10 3))))
+         (let ((i 0) (acc 0))
+           (begin
+             (while (< i {n}) (set! acc (+ acc (offset (scale i)))) (set! i (+ i 1)))
+             acc))"
+    )
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let program = parse_program(&workload()).expect("parses");
+    let reg = NativeRegistry::new();
+    let mut group = c.benchmark_group("e3_optimizer");
+    for level in OptLevel::ALL {
+        let bc = compile_optimized(&program, level).expect("compiles");
+        group.bench_function(format!("boxed_{level}"), |b| {
+            b.iter(|| Vm::<Boxed>::new(&bc, &reg).unwrap().run_int().unwrap());
+        });
+    }
+    let bc = compile_optimized(&program, OptLevel::None).expect("compiles");
+    group.bench_function("unboxed_no_optimizer", |b| {
+        b.iter(|| Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

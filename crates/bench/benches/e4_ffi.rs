@@ -1,0 +1,53 @@
+//! E4 — call cost across the FFI boundary vs in-language calls.
+
+use bench_suite::sizes::E4_CALLS;
+use bitc_core::compile::compile_program_with_natives;
+use bitc_core::ffi::NativeRegistry;
+use bitc_core::parser::parse_program;
+use bitc_core::vm::{Unboxed, Vm};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn call_loop(callee: &str) -> String {
+    format!(
+        "(define vm-add (lambda (a b) (+ a b)))
+         (let ((i 0) (acc 0))
+           (begin
+             (while (< i {n}) (set! acc ({callee} acc 1)) (set! i (+ i 1)))
+             acc))",
+        n = E4_CALLS
+    )
+}
+
+fn bench_ffi(c: &mut Criterion) {
+    let reg = NativeRegistry::with_defaults();
+    let sigs = reg.signatures();
+    let sigs_ref: Vec<(&str, usize)> = sigs.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+    let mut group = c.benchmark_group("e4_ffi");
+
+    group.bench_function("native_loop_no_boundary", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..E4_CALLS {
+                acc = std::hint::black_box(acc.wrapping_add(1));
+            }
+            acc
+        });
+    });
+    for (name, callee) in [("vm_to_vm", "vm-add"), ("vm_to_native_ffi", "host-add")] {
+        let p = parse_program(&call_loop(callee)).expect("parses");
+        let bc = compile_program_with_natives(&p, &sigs_ref).expect("compiles");
+        group.bench_function(name, |b| {
+            b.iter(|| Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap());
+        });
+    }
+    // Batched boundary crossing: one native call doing all the work.
+    let p = parse_program(&format!("(host-sum-to {E4_CALLS})")).expect("parses");
+    let bc = compile_program_with_natives(&p, &sigs_ref).expect("compiles");
+    group.bench_function("one_native_call_batched", |b| {
+        b.iter(|| Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ffi);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E5 — prover throughput on the kernel invariant suites.
+
+use bitc_verify::vcgen::verify_procedure;
+use criterion::{criterion_group, criterion_main, Criterion};
+use microkernel::invariants::{invariant_suite, seeded_bug_suite};
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_verify");
+    for proc in invariant_suite() {
+        group.bench_function(format!("prove_{}", proc.name), |b| {
+            b.iter(|| verify_procedure(&proc));
+        });
+    }
+    for proc in seeded_bug_suite() {
+        group.bench_function(format!("refute_{}", proc.name), |b| {
+            b.iter(|| verify_procedure(&proc));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E6 — IPC round trips under each kernel heap policy.
+
+use bench_suite::sizes::E6_ROUNDS;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use microkernel::kernel::Kernel;
+use microkernel::rights::Rights;
+use microkernel::{CapSlot, Pid};
+use sysmem::freelist::FreeListHeap;
+use sysmem::generational::GenerationalHeap;
+use sysmem::marksweep::MarkSweepHeap;
+use sysmem::semispace::SemiSpaceHeap;
+use sysmem::Manager;
+
+struct Setup {
+    kernel: Kernel,
+    client: Pid,
+    server: Pid,
+    req: (CapSlot, CapSlot),
+    rep: (CapSlot, CapSlot),
+}
+
+fn setup(heap: Box<dyn Manager>) -> Setup {
+    let mut kernel = Kernel::new(heap);
+    let server = kernel.spawn_process();
+    let client = kernel.spawn_process();
+    let req_s = kernel.create_endpoint(server).unwrap();
+    let req_c = kernel.grant_cap(server, req_s, client, Rights::SEND).unwrap();
+    let rep_s = kernel.create_endpoint(server).unwrap();
+    let rep_c = kernel.grant_cap(server, rep_s, client, Rights::RECV).unwrap();
+    Setup { kernel, client, server, req: (req_s, req_c), rep: (rep_s, rep_c) }
+}
+
+fn heap_for(policy: &str) -> Box<dyn Manager> {
+    const BYTES: usize = 1 << 20;
+    match policy {
+        "freelist" => Box::new(FreeListHeap::new(BYTES)),
+        "mark_sweep" => Box::new(MarkSweepHeap::new(BYTES)),
+        "semispace" => Box::new(SemiSpaceHeap::new(BYTES * 2)),
+        "generational" => Box::new(GenerationalHeap::new(BYTES, 1 << 14)),
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+fn bench_ipc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_ipc");
+    for policy in ["freelist", "mark_sweep", "semispace", "generational"] {
+        group.bench_function(policy, |b| {
+            b.iter_batched(
+                || setup(heap_for(policy)),
+                |mut s| {
+                    for _ in 0..E6_ROUNDS {
+                        s.kernel
+                            .ping_pong(s.client, s.server, s.req, s.rep, 16)
+                            .expect("round trip");
+                    }
+                    s.kernel.cycles.total()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipc);
+criterion_main!(benches);

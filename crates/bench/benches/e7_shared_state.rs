@@ -1,0 +1,41 @@
+//! E7 — bank-transfer throughput per concurrency model and thread count.
+
+use bench_suite::sizes::E7_OPS;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sysconc::bank::{
+    run_contention, ActorBank, Bank, BrokenComposedBank, CoarseLockBank, FineLockBank, StmBank,
+};
+
+const ACCOUNTS: usize = 64;
+const INITIAL: i64 = 1_000;
+
+fn make_bank(model: &str) -> Box<dyn Bank> {
+    match model {
+        "coarse_lock" => Box::new(CoarseLockBank::new(ACCOUNTS, INITIAL)),
+        "fine_lock" => Box::new(FineLockBank::new(ACCOUNTS, INITIAL)),
+        "broken_composed" => Box::new(BrokenComposedBank::new(ACCOUNTS, INITIAL)),
+        "stm" => Box::new(StmBank::new(ACCOUNTS, INITIAL)),
+        "actor" => Box::new(ActorBank::new(ACCOUNTS, INITIAL)),
+        other => unreachable!("unknown model {other}"),
+    }
+}
+
+fn bench_shared_state(c: &mut Criterion) {
+    for threads in [2usize, 4] {
+        let mut group = c.benchmark_group(format!("e7_threads_{threads}"));
+        group.sample_size(10);
+        for model in ["coarse_lock", "fine_lock", "stm", "actor"] {
+            group.bench_function(model, |b| {
+                b.iter_batched(
+                    || make_bank(model),
+                    |bank| run_contention(bank.as_ref(), threads, E7_OPS),
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_shared_state);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E8 — packet parsing throughput: zero-copy vs combinators vs boxed.
+
+use bench_suite::sizes::E8_PACKETS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use plos06::experiments::e8_repr::make_stream;
+use sysrepr::boxed::BoxedPacket;
+use sysrepr::langsec::{ipv4_header, Input};
+use sysrepr::packet::EthernetView;
+
+fn bench_repr(c: &mut Criterion) {
+    let stream = make_stream(E8_PACKETS);
+    let mut group = c.benchmark_group("e8_repr");
+    group.bench_function("zero_copy_views", |b| {
+        b.iter(|| {
+            let mut check = 0u64;
+            for bytes in &stream {
+                let ip = EthernetView::parse(bytes).unwrap().ipv4().unwrap();
+                let udp = ip.udp().unwrap();
+                check = check.wrapping_add(u64::from(udp.dst_port()));
+                check =
+                    check.wrapping_add(udp.payload().iter().map(|&b| u64::from(b)).sum::<u64>());
+            }
+            check
+        });
+    });
+    group.bench_function("langsec_combinators_hdr", |b| {
+        b.iter(|| {
+            let mut check = 0u64;
+            for bytes in &stream {
+                let (hdr, _) = ipv4_header(Input::new(&bytes[14..])).unwrap();
+                check = check.wrapping_add(u64::from(hdr.ttl));
+            }
+            check
+        });
+    });
+    group.bench_function("boxed_allocating", |b| {
+        b.iter(|| {
+            let mut check = 0u64;
+            for bytes in &stream {
+                let p = BoxedPacket::parse(bytes).unwrap();
+                check = check.wrapping_add(u64::from(p.dst_port().unwrap_or(0)));
+                check = check.wrapping_add(p.payload().iter().map(|&b| u64::from(b)).sum::<u64>());
+            }
+            check
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repr);
+criterion_main!(benches);

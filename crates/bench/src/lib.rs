@@ -1,0 +1,26 @@
+//! # bench-suite — Criterion benchmarks for experiments E1–E8
+//!
+//! One bench target per experiment table (see DESIGN.md's per-experiment
+//! index). The `plos06::experiments` module prints the same measurements as
+//! one-shot tables; these benches are the statistically careful versions.
+//!
+//! ```sh
+//! cargo bench -p bench-suite --bench e2_boxing
+//! ```
+
+/// Standard small sizes shared by the benches so cross-bench numbers are
+/// comparable.
+pub mod sizes {
+    /// Allocation operations per E1 iteration.
+    pub const E1_OPS: usize = 10_000;
+    /// Loop iterations per E2/E3 kernel.
+    pub const E2_LOOP: usize = 10_000;
+    /// Calls per E4 iteration.
+    pub const E4_CALLS: u64 = 10_000;
+    /// IPC round trips per E6 iteration.
+    pub const E6_ROUNDS: usize = 200;
+    /// Transfers per thread per E7 iteration.
+    pub const E7_OPS: usize = 2_000;
+    /// Packets per E8 iteration.
+    pub const E8_PACKETS: usize = 2_000;
+}

@@ -1,0 +1,236 @@
+//! A minimal message-passing actor runtime over [`crate::channel`].
+//!
+//! Each actor owns its state and processes its mailbox sequentially — there
+//! is no shared mutable state to lock, which is the message-passing answer to
+//! the paper's Challenge 4. Request/response is built by embedding a reply
+//! [`Sender`] in the message, exactly like the Rust example in the course
+//! notes that carried the paper.
+
+use crate::channel::{channel, Sender};
+use std::thread::{self, JoinHandle};
+
+/// What an actor wants after handling one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep processing the mailbox.
+    Continue,
+    /// Stop; the actor's final state is returned from [`ActorHandle::join`].
+    Stop,
+}
+
+/// A unit of isolated state plus a message handler.
+pub trait Actor: Send + 'static {
+    /// The mailbox message type.
+    type Msg: Send + 'static;
+
+    /// Handles one message. Runs on the actor's own thread; `self` is never
+    /// aliased, so no locking is needed.
+    fn handle(&mut self, msg: Self::Msg) -> Flow;
+}
+
+/// A cloneable handle for sending messages to an actor.
+#[derive(Debug)]
+pub struct Address<M> {
+    tx: Sender<M>,
+}
+
+impl<M> Clone for Address<M> {
+    fn clone(&self) -> Self {
+        Address { tx: self.tx.clone() }
+    }
+}
+
+impl<M: Send + 'static> Address<M> {
+    /// Sends a message; returns `false` if the actor has terminated.
+    pub fn send(&self, msg: M) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+}
+
+/// Join handle returning the actor's final state.
+#[derive(Debug)]
+pub struct ActorHandle<A: Actor> {
+    handle: JoinHandle<A>,
+}
+
+impl<A: Actor> ActorHandle<A> {
+    /// Waits for the actor to stop (mailbox closed or [`Flow::Stop`]) and
+    /// returns its final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor thread itself panicked.
+    pub fn join(self) -> A {
+        self.handle.join().expect("actor thread panicked")
+    }
+
+    /// True once the actor's thread has exited.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+/// Spawns `actor` on its own thread with an unbounded mailbox.
+///
+/// The actor runs until it returns [`Flow::Stop`] or every [`Address`] is
+/// dropped and the mailbox drains.
+pub fn spawn<A: Actor>(mut actor: A) -> (Address<A::Msg>, ActorHandle<A>) {
+    let (tx, rx) = channel();
+    let handle = thread::spawn(move || {
+        while let Ok(msg) = rx.recv() {
+            if actor.handle(msg) == Flow::Stop {
+                break;
+            }
+        }
+        actor
+    });
+    (Address { tx }, ActorHandle { handle })
+}
+
+/// Sends `msg` built from a fresh reply channel and waits for the response —
+/// the standard request/response ("ask") pattern.
+///
+/// Returns `None` if the actor is gone or drops the reply sender.
+pub fn ask<M, R, F>(addr: &Address<M>, make_msg: F) -> Option<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(Sender<R>) -> M,
+{
+    let (reply_tx, reply_rx) = channel();
+    if !addr.send(make_msg(reply_tx)) {
+        return None;
+    }
+    reply_rx.recv().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        count: i64,
+    }
+
+    enum CounterMsg {
+        Add(i64),
+        Get(Sender<i64>),
+        Stop,
+    }
+
+    impl Actor for Counter {
+        type Msg = CounterMsg;
+
+        fn handle(&mut self, msg: CounterMsg) -> Flow {
+            match msg {
+                CounterMsg::Add(n) => {
+                    self.count += n;
+                    Flow::Continue
+                }
+                CounterMsg::Get(reply) => {
+                    let _ = reply.send(self.count);
+                    Flow::Continue
+                }
+                CounterMsg::Stop => Flow::Stop,
+            }
+        }
+    }
+
+    #[test]
+    fn actor_processes_messages_in_order() {
+        let (addr, handle) = spawn(Counter { count: 0 });
+        for _ in 0..100 {
+            assert!(addr.send(CounterMsg::Add(1)));
+        }
+        let observed = ask(&addr, CounterMsg::Get).unwrap();
+        assert_eq!(observed, 100);
+        addr.send(CounterMsg::Stop);
+        assert_eq!(handle.join().count, 100);
+    }
+
+    #[test]
+    fn actor_stops_when_addresses_drop() {
+        let (addr, handle) = spawn(Counter { count: 7 });
+        addr.send(CounterMsg::Add(3));
+        drop(addr);
+        assert_eq!(handle.join().count, 10);
+    }
+
+    #[test]
+    fn concurrent_senders_do_not_lose_messages() {
+        let (addr, handle) = spawn(Counter { count: 0 });
+        let senders: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        addr.send(CounterMsg::Add(1));
+                    }
+                })
+            })
+            .collect();
+        for s in senders {
+            s.join().unwrap();
+        }
+        assert_eq!(ask(&addr, CounterMsg::Get), Some(20_000));
+        drop(addr);
+        assert_eq!(handle.join().count, 20_000);
+    }
+
+    #[test]
+    fn ask_returns_none_for_dead_actor() {
+        let (addr, handle) = spawn(Counter { count: 0 });
+        addr.send(CounterMsg::Stop);
+        handle.join();
+        // The mailbox still accepts until the receiver side is dropped, but
+        // the reply channel will never be answered; either way, no hang.
+        let r: Option<i64> = ask(&addr, CounterMsg::Get);
+        assert!(r.is_none());
+    }
+
+    struct PingPong {
+        hits: usize,
+        peer: Option<Address<PingMsg>>,
+    }
+
+    struct PingMsg {
+        remaining: usize,
+    }
+
+    impl Actor for PingPong {
+        type Msg = PingMsg;
+
+        fn handle(&mut self, msg: PingMsg) -> Flow {
+            self.hits += 1;
+            if msg.remaining == 0 {
+                return Flow::Stop;
+            }
+            if let Some(peer) = &self.peer {
+                peer.send(PingMsg { remaining: msg.remaining - 1 });
+            }
+            if msg.remaining == 1 {
+                Flow::Stop
+            } else {
+                Flow::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        // sink <- pinger <- main: the ball bounces pinger -> sink until the
+        // countdown hits 1 on each side, then both stop.
+        let (sink_addr, sink_handle) = spawn(PingPong { hits: 0, peer: None });
+        let (pinger_addr, pinger_handle) =
+            spawn(PingPong { hits: 0, peer: Some(sink_addr.clone()) });
+        assert!(pinger_addr.send(PingMsg { remaining: 1 }));
+        // remaining == 1: pinger forwards the ball once, then stops.
+        drop(pinger_addr);
+        let pinger = pinger_handle.join();
+        assert_eq!(pinger.hits, 1);
+        drop(sink_addr);
+        let sink = sink_handle.join();
+        assert_eq!(sink.hits, 1, "the ball reached the sink");
+    }
+}

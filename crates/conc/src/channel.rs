@@ -1,0 +1,368 @@
+//! Blocking MPMC channels built from a mutex and condition variables, with
+//! bounded capacity for backpressure.
+//!
+//! Message passing is one of the "alternative concurrency models" the paper's
+//! discussion points toward (and the model Erlang, Go, and Rust's `mpsc`
+//! adopted). This implementation is deliberately from scratch — the substrate
+//! rule — and is the transport under the [`crate::actor`] runtime.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "send on a channel with no receivers")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recv on an empty channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+#[derive(Debug)]
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Creates an unbounded channel.
+#[must_use]
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity_inner(None)
+}
+
+/// Creates a bounded channel: `send` blocks while `capacity` messages are
+/// queued, applying backpressure to producers.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (rendezvous channels are not supported).
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded channel capacity must be nonzero");
+    with_capacity_inner(Some(capacity))
+}
+
+fn with_capacity_inner<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// The sending half of a channel. Cloneable (multi-producer).
+#[derive(Debug)]
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if state.items.len() >= cap => {
+                    state = self.shared.not_full.wait(state).expect("channel poisoned");
+                }
+                _ => break,
+            }
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of queued messages (racy; for monitoring only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel poisoned").items.len()
+    }
+
+    /// True if no messages are queued (racy; for monitoring only).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel poisoned").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a channel. Cloneable (multi-consumer).
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and all senders are
+    /// gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] if nothing is queued,
+    /// [`TryRecvError::Disconnected`] if additionally all senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        if let Some(v) = state.items.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Drains and returns everything currently queued.
+    #[must_use]
+    pub fn drain(&self) -> Vec<T> {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        let out: Vec<T> = state.items.drain(..).collect();
+        drop(state);
+        self.shared.not_full.notify_all();
+        out
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel poisoned").receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Iterator for Receiver<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn messages_arrive_in_fifo_order() {
+        let (tx, rx) = channel();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = channel();
+        let h = thread::spawn(move || rx.recv().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        tx.send(7u8).unwrap();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn multi_producer_delivers_everything() {
+        let (tx, rx) = channel();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..1000 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<i32> = rx.collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got.len(), 4000);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[3999], 3999);
+    }
+
+    #[test]
+    fn bounded_send_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                tx.send(3).unwrap(); // blocks until a recv
+                3
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "send must block at capacity");
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(t.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = channel::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = channel::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn multi_consumer_partitions_messages() {
+        let (tx, rx) = channel();
+        let rx2 = rx.clone();
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h1 = thread::spawn(move || rx.count());
+        let h2 = thread::spawn(move || rx2.count());
+        assert_eq!(h1.join().unwrap() + h2.join().unwrap(), 1000);
+    }
+
+    #[test]
+    fn drain_empties_the_queue() {
+        let (tx, rx) = channel();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.drain(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_is_rejected() {
+        let _ = bounded::<u8>(0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Lock primitives built from atomics: test-and-set spinlocks, fair ticket
+//! locks, and sequence locks.
+//!
+//! These are the building blocks a kernel uses where blocking is impossible
+//! (interrupt paths, scheduler internals). They also serve as E7's "what the
+//! careful C programmer writes by hand" baseline.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A test-and-test-and-set spinlock.
+///
+/// ```
+/// use sysconc::spinlock::SpinLock;
+/// use std::sync::Arc;
+///
+/// let lock = Arc::new(SpinLock::new(0u64));
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let lock = Arc::clone(&lock);
+///         std::thread::spawn(move || {
+///             for _ in 0..1000 {
+///                 *lock.lock() += 1;
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert_eq!(*lock.lock(), 4000);
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    contended: AtomicU64,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides exclusive access to the data; T must be Send to
+// cross threads, and the lock itself can then be shared.
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+unsafe impl<T: Send> Send for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Wraps `value` in an unlocked spinlock.
+    pub const fn new(value: T) -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+            contended: AtomicU64::new(0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Spins until the lock is acquired.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spun = false;
+        loop {
+            // Test-and-test-and-set: spin on a read to avoid cache-line
+            // ping-pong, only attempting the RMW when the lock looks free.
+            while self.locked.load(Ordering::Relaxed) {
+                spun = true;
+                std::hint::spin_loop();
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                if spun {
+                    self.contended.fetch_add(1, Ordering::Relaxed);
+                }
+                return SpinGuard { lock: self };
+            }
+        }
+    }
+
+    /// Tries to acquire without spinning.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| SpinGuard { lock: self })
+    }
+
+    /// Number of acquisitions that had to spin (contention metric for E7).
+    pub fn contended_acquires(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard for [`SpinLock`].
+#[derive(Debug)]
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence implies exclusive ownership of the lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence implies exclusive ownership of the lock.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+/// A fair FIFO ticket lock: threads acquire in arrival order, eliminating
+/// the starvation a plain spinlock permits.
+#[derive(Debug, Default)]
+pub struct TicketLock<T> {
+    next_ticket: AtomicUsize,
+    now_serving: AtomicUsize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: same argument as SpinLock.
+unsafe impl<T: Send> Sync for TicketLock<T> {}
+unsafe impl<T: Send> Send for TicketLock<T> {}
+
+impl<T> TicketLock<T> {
+    /// Wraps `value` in an unlocked ticket lock.
+    pub const fn new(value: T) -> Self {
+        TicketLock {
+            next_ticket: AtomicUsize::new(0),
+            now_serving: AtomicUsize::new(0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Takes a ticket and spins until it is served.
+    pub fn lock(&self) -> TicketGuard<'_, T> {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        while self.now_serving.load(Ordering::Acquire) != ticket {
+            std::hint::spin_loop();
+        }
+        TicketGuard { lock: self }
+    }
+}
+
+/// RAII guard for [`TicketLock`].
+#[derive(Debug)]
+pub struct TicketGuard<'a, T> {
+    lock: &'a TicketLock<T>,
+}
+
+impl<T> Deref for TicketGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence implies exclusive ownership of the lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for TicketGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence implies exclusive ownership of the lock.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for TicketGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.now_serving.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// A sequence lock for small `Copy` data: writers increment a sequence
+/// counter around updates; readers retry if they observe a torn or odd
+/// sequence. Reads are wait-free when there is no concurrent writer.
+#[derive(Debug, Default)]
+pub struct SeqLock<T: Copy> {
+    seq: AtomicU64,
+    writer: SpinLock<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: readers copy out under sequence validation; writers are serialized
+// by the internal spinlock.
+unsafe impl<T: Copy + Send> Sync for SeqLock<T> {}
+unsafe impl<T: Copy + Send> Send for SeqLock<T> {}
+
+impl<T: Copy> SeqLock<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Self {
+        SeqLock {
+            seq: AtomicU64::new(0),
+            writer: SpinLock::new(()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Reads a consistent snapshot, retrying across concurrent writes.
+    pub fn read(&self) -> T {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            // SAFETY: value is Copy; a torn read is detected by the sequence
+            // check below and discarded.
+            let value = unsafe { std::ptr::read_volatile(self.data.get()) };
+            let s2 = self.seq.load(Ordering::Acquire);
+            if s1 == s2 {
+                return value;
+            }
+        }
+    }
+
+    /// Replaces the value.
+    pub fn write(&self, value: T) {
+        let _guard = self.writer.lock();
+        self.seq.fetch_add(1, Ordering::AcqRel); // now odd: readers back off
+        // SAFETY: writers are serialized by `writer`; readers validate seq.
+        unsafe { std::ptr::write_volatile(self.data.get(), value) };
+        self.seq.fetch_add(1, Ordering::AcqRel); // even again
+    }
+
+    /// Applies `f` to the current value and stores the result.
+    pub fn update<F: FnOnce(T) -> T>(&self, f: F) {
+        let _guard = self.writer.lock();
+        self.seq.fetch_add(1, Ordering::AcqRel);
+        // SAFETY: as in `write`.
+        unsafe {
+            let cur = std::ptr::read(self.data.get());
+            std::ptr::write_volatile(self.data.get(), f(cur));
+        }
+        self.seq.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn spinlock_provides_mutual_exclusion() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *lock.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 80_000);
+    }
+
+    #[test]
+    fn spinlock_try_lock_fails_when_held() {
+        let lock = SpinLock::new(5);
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn ticket_lock_provides_mutual_exclusion() {
+        let lock = Arc::new(TicketLock::new(Vec::new()));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for i in 0..1000 {
+                        lock.lock().push(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.lock().len(), 4000);
+    }
+
+    #[test]
+    fn ticket_lock_serves_in_fifo_order_single_thread() {
+        // Single-threaded check that tickets advance monotonically.
+        let lock = TicketLock::new(0);
+        for _ in 0..10 {
+            let mut g = lock.lock();
+            *g += 1;
+        }
+        assert_eq!(*lock.lock(), 10);
+    }
+
+    #[test]
+    fn seqlock_readers_never_see_torn_pairs() {
+        // The invariant: both halves of the pair are always equal.
+        let sl = Arc::new(SeqLock::new((0u64, 0u64)));
+        let writer = {
+            let sl = Arc::clone(&sl);
+            thread::spawn(move || {
+                for i in 1..=50_000u64 {
+                    sl.write((i, i));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let sl = Arc::clone(&sl);
+                thread::spawn(move || {
+                    for _ in 0..50_000 {
+                        let (a, b) = sl.read();
+                        assert_eq!(a, b, "torn read observed");
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn seqlock_update_applies_function() {
+        let sl = SeqLock::new(10u64);
+        sl.update(|v| v * 3);
+        assert_eq!(sl.read(), 30);
+    }
+
+    #[test]
+    fn contention_counter_reports_spinning() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        *lock.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // With 4 threads hammering, at least some acquisitions contended.
+        // (Not guaranteed on a 1-core machine, so only sanity-check the API.)
+        let _ = lock.contended_acquires();
+    }
+
+    #[test]
+    fn guards_release_on_drop() {
+        let lock = SpinLock::new(1);
+        {
+            let _g = lock.lock();
+        }
+        // Must not deadlock:
+        assert_eq!(*lock.lock(), 1);
+    }
+}

@@ -1,0 +1,470 @@
+//! Software transactional memory in the TL2 style: versioned optimistic
+//! reads, commit-time write locking, and a global version clock.
+//!
+//! The programming model follows Harris, Marlow, Peyton Jones & Herlihy,
+//! *Composable Memory Transactions*: [`atomically`] runs a closure against
+//! transactional variables ([`TVar`]); [`Tx::retry`] blocks the transaction
+//! until something it read changes; [`Tx::or_else`] composes alternatives.
+//! Unlike lock-based code, two correct transactions compose into a correct
+//! larger transaction — the property the paper's bank-account example shows
+//! locks lack.
+//!
+//! # Protocol
+//!
+//! Each `TVar` carries a version word (`clock_at_last_write << 1 | locked`).
+//! A transaction snapshots the global clock at start (`rv`), validates every
+//! read against `rv`, and at commit time locks its write set in address
+//! order, re-validates the read set, publishes values, and stamps them with a
+//! fresh clock value. Conflicts abort and transparently re-run the closure.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
+static COMMITS: AtomicU64 = AtomicU64::new(0);
+static ABORTS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of global STM counters (commits and aborts since process start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmStats {
+    /// Successfully committed transactions.
+    pub commits: u64,
+    /// Aborted-and-retried attempts (conflicts + explicit retries).
+    pub aborts: u64,
+}
+
+/// Reads the global STM counters.
+#[must_use]
+pub fn stm_stats() -> StmStats {
+    StmStats { commits: COMMITS.load(Ordering::Relaxed), aborts: ABORTS.load(Ordering::Relaxed) }
+}
+
+type Boxed = Arc<dyn Any + Send + Sync>;
+
+#[derive(Debug)]
+struct VarCore {
+    /// `version << 1 | locked`.
+    version: AtomicU64,
+    value: Mutex<Boxed>,
+}
+
+/// A transactional variable holding a `T`.
+///
+/// Cloning a `TVar` clones the *handle*; both handles name the same shared
+/// cell (like `Arc`).
+#[derive(Debug)]
+pub struct TVar<T> {
+    core: Arc<VarCore>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar { core: Arc::clone(&self.core), _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TVar<T> {
+    /// Creates a new transactional variable.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        TVar {
+            core: Arc::new(VarCore {
+                version: AtomicU64::new(0),
+                value: Mutex::new(Arc::new(value)),
+            }),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reads the value outside any transaction (a consistent single-variable
+    /// snapshot).
+    #[must_use]
+    pub fn read_atomic(&self) -> T {
+        loop {
+            let v1 = self.core.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let val = Arc::clone(&self.core.value.lock().expect("poisoned tvar"));
+            let v2 = self.core.version.load(Ordering::Acquire);
+            if v1 == v2 {
+                return val.downcast_ref::<T>().expect("tvar type invariant").clone();
+            }
+        }
+    }
+
+    fn id(&self) -> usize {
+        Arc::as_ptr(&self.core) as usize
+    }
+}
+
+/// Why a transaction attempt stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmAbort {
+    /// A read or commit-time validation conflicted with another commit.
+    Conflict,
+    /// The transaction called [`Tx::retry`]: block until an input changes.
+    Retry,
+}
+
+/// Result type threaded through transaction bodies (use `?`).
+pub type StmResult<T> = Result<T, StmAbort>;
+
+/// An in-flight transaction. Obtain one via [`atomically`].
+#[derive(Debug)]
+pub struct Tx {
+    rv: u64,
+    reads: Vec<(usize, Arc<VarCore>, u64)>,
+    writes: HashMap<usize, (Arc<VarCore>, Boxed)>,
+}
+
+impl Tx {
+    fn new() -> Self {
+        Tx { rv: GLOBAL_CLOCK.load(Ordering::Acquire), reads: Vec::new(), writes: HashMap::new() }
+    }
+
+    /// Reads a `TVar` inside the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmAbort::Conflict`] if the variable changed after this
+    /// transaction started (the closure will be re-run).
+    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> StmResult<T> {
+        if let Some((_, pending)) = self.writes.get(&var.id()) {
+            return Ok(pending.downcast_ref::<T>().expect("tvar type invariant").clone());
+        }
+        loop {
+            let v1 = var.core.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                // Locked by a committing transaction; brief wait then retry.
+                std::hint::spin_loop();
+                continue;
+            }
+            let val = Arc::clone(&var.core.value.lock().expect("poisoned tvar"));
+            let v2 = var.core.version.load(Ordering::Acquire);
+            if v1 == v2 {
+                if v1 >> 1 > self.rv {
+                    return Err(StmAbort::Conflict);
+                }
+                self.reads.push((var.id(), Arc::clone(&var.core), v1));
+                return Ok(val.downcast_ref::<T>().expect("tvar type invariant").clone());
+            }
+        }
+    }
+
+    /// Writes a `TVar` inside the transaction (visible to later reads in the
+    /// same transaction, published only at commit).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `StmResult` so bodies compose with `?`.
+    pub fn write<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+        value: T,
+    ) -> StmResult<()> {
+        self.writes.insert(var.id(), (Arc::clone(&var.core), Arc::new(value)));
+        Ok(())
+    }
+
+    /// Signals that the transaction cannot proceed yet; [`atomically`] will
+    /// block until one of the variables read so far changes, then re-run.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`StmAbort::Retry`] (use with `?` or `return`).
+    pub fn retry<T>(&self) -> StmResult<T> {
+        Err(StmAbort::Retry)
+    }
+
+    /// Runs `first`; if it calls [`Tx::retry`], rolls back its writes and
+    /// runs `second` instead — Harris et al.'s `orElse` composition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conflicts from either branch, and `Retry` if *both*
+    /// branches retry.
+    pub fn or_else<T>(
+        &mut self,
+        first: impl FnOnce(&mut Tx) -> StmResult<T>,
+        second: impl FnOnce(&mut Tx) -> StmResult<T>,
+    ) -> StmResult<T> {
+        let snapshot: HashMap<usize, (Arc<VarCore>, Boxed)> = self
+            .writes
+            .iter()
+            .map(|(k, (core, v))| (*k, (Arc::clone(core), Arc::clone(v))))
+            .collect();
+        match first(self) {
+            Err(StmAbort::Retry) => {
+                self.writes = snapshot;
+                second(self)
+            }
+            other => other,
+        }
+    }
+
+    /// Attempts to commit. Returns `true` on success.
+    fn commit(self) -> bool {
+        // Read-only transactions validated on the fly: nothing to publish.
+        if self.writes.is_empty() {
+            COMMITS.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        // Lock write set in address order (deadlock freedom).
+        let mut locked: Vec<(&Arc<VarCore>, u64)> = Vec::with_capacity(self.writes.len());
+        let mut entries: Vec<(&usize, &(Arc<VarCore>, Boxed))> = self.writes.iter().collect();
+        entries.sort_by_key(|(id, _)| **id);
+        for (_, (core, _)) in &entries {
+            let v = core.version.load(Ordering::Acquire);
+            if v & 1 == 1
+                || core
+                    .version
+                    .compare_exchange(v, v | 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+            {
+                for (c, orig) in locked {
+                    c.version.store(orig, Ordering::Release);
+                }
+                ABORTS.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            locked.push((core, v));
+        }
+        // Validate read set against rv, tolerating our own locks.
+        for (id, core, v1) in &self.reads {
+            let cur = core.version.load(Ordering::Acquire);
+            let ours = self.writes.contains_key(id);
+            let expected = if ours { *v1 | 1 } else { *v1 };
+            if cur != expected {
+                for (c, orig) in locked {
+                    c.version.store(orig, Ordering::Release);
+                }
+                ABORTS.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        let wv = GLOBAL_CLOCK.fetch_add(1, Ordering::AcqRel) + 1;
+        for (_, (core, value)) in &entries {
+            *core.value.lock().expect("poisoned tvar") = Arc::clone(value);
+            core.version.store(wv << 1, Ordering::Release);
+        }
+        COMMITS.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Spins until any variable in the read set changes version (used to
+    /// implement blocking `retry`).
+    fn wait_for_change(&self) {
+        if self.reads.is_empty() {
+            std::thread::yield_now();
+            return;
+        }
+        loop {
+            for (_, core, v1) in &self.reads {
+                if core.version.load(Ordering::Acquire) != *v1 {
+                    return;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs `body` as a transaction, retrying on conflict, until it commits.
+///
+/// The closure may run multiple times; it must be free of side effects other
+/// than `TVar` access (the same contract as STM-Haskell, enforced there by
+/// the type system and here by discipline — which is itself one of the
+/// paper's points about what a language should check for you).
+pub fn atomically<T>(mut body: impl FnMut(&mut Tx) -> StmResult<T>) -> T {
+    loop {
+        let mut tx = Tx::new();
+        match body(&mut tx) {
+            Ok(result) => {
+                if tx.commit() {
+                    return result;
+                }
+            }
+            Err(StmAbort::Conflict) => {
+                ABORTS.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(StmAbort::Retry) => {
+                ABORTS.fetch_add(1, Ordering::Relaxed);
+                tx.wait_for_change();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use std::thread;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let v = TVar::new(5i64);
+        atomically(|tx| {
+            let x = tx.read(&v)?;
+            tx.write(&v, x + 1)
+        });
+        assert_eq!(v.read_atomic(), 6);
+    }
+
+    #[test]
+    fn reads_see_own_writes() {
+        let v = TVar::new(1i64);
+        let observed = atomically(|tx| {
+            tx.write(&v, 42)?;
+            tx.read(&v)
+        });
+        assert_eq!(observed, 42);
+    }
+
+    #[test]
+    fn counter_increments_are_not_lost() {
+        let v = StdArc::new(TVar::new(0i64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let v = StdArc::clone(&v);
+                thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        atomically(|tx| {
+                            let x = tx.read(&v)?;
+                            tx.write(&v, x + 1)
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.read_atomic(), 16_000, "STM must prevent lost updates");
+    }
+
+    #[test]
+    fn transfers_conserve_total() {
+        let a = StdArc::new(TVar::new(10_000i64));
+        let b = StdArc::new(TVar::new(10_000i64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let a = StdArc::clone(&a);
+                let b = StdArc::clone(&b);
+                thread::spawn(move || {
+                    for i in 0..2_000i64 {
+                        let amt = (i + t) % 7;
+                        atomically(|tx| {
+                            let va = tx.read(&a)?;
+                            let vb = tx.read(&b)?;
+                            tx.write(&a, va - amt)?;
+                            tx.write(&b, vb + amt)
+                        });
+                    }
+                })
+            })
+            .collect();
+        // Concurrent audits must always see the conserved total.
+        let auditor = {
+            let a = StdArc::clone(&a);
+            let b = StdArc::clone(&b);
+            thread::spawn(move || {
+                for _ in 0..5_000 {
+                    let total = atomically(|tx| {
+                        let va = tx.read(&a)?;
+                        let vb = tx.read(&b)?;
+                        Ok(va + vb)
+                    });
+                    assert_eq!(total, 20_000, "audit saw intermediate state");
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        auditor.join().unwrap();
+        assert_eq!(a.read_atomic() + b.read_atomic(), 20_000);
+    }
+
+    #[test]
+    fn retry_blocks_until_input_changes() {
+        let flag = StdArc::new(TVar::new(false));
+        let waiter = {
+            let flag = StdArc::clone(&flag);
+            thread::spawn(move || {
+                atomically(|tx| {
+                    if tx.read(&flag)? {
+                        Ok(())
+                    } else {
+                        tx.retry()
+                    }
+                });
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "waiter must block while flag is false");
+        atomically(|tx| tx.write(&flag, true));
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn or_else_takes_second_branch_on_retry() {
+        let empty = TVar::new(Option::<i64>::None);
+        let fallback = TVar::new(Some(9i64));
+        let got = atomically(|tx| {
+            let e = empty.clone();
+            let f = fallback.clone();
+            tx.or_else(
+                move |tx| match tx.read(&e)? {
+                    Some(v) => Ok(v),
+                    None => tx.retry(),
+                },
+                move |tx| match tx.read(&f)? {
+                    Some(v) => Ok(v),
+                    None => tx.retry(),
+                },
+            )
+        });
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn or_else_rolls_back_first_branch_writes() {
+        let v = TVar::new(0i64);
+        let witness = TVar::new(0i64);
+        atomically(|tx| {
+            let v2 = v.clone();
+            let w = witness.clone();
+            tx.or_else(
+                move |tx| {
+                    tx.write(&v2, 111)?; // must be rolled back
+                    tx.retry()
+                },
+                move |tx| tx.write(&w, 1),
+            )
+        });
+        assert_eq!(v.read_atomic(), 0, "first branch's write leaked");
+        assert_eq!(witness.read_atomic(), 1);
+    }
+
+    #[test]
+    fn tvar_clone_shares_the_cell() {
+        let a = TVar::new(1u8);
+        let b = a.clone();
+        atomically(|tx| tx.write(&a, 7));
+        assert_eq!(b.read_atomic(), 7);
+    }
+
+    #[test]
+    fn stats_count_commits() {
+        let before = stm_stats().commits;
+        let v = TVar::new(0u8);
+        atomically(|tx| tx.write(&v, 1));
+        assert!(stm_stats().commits > before);
+    }
+}

@@ -1,0 +1,178 @@
+//! Stress and semantics tests for the STM and channels beyond the unit
+//! suites: snapshot isolation for readers, invariant preservation under
+//! heavy contention, composed alternatives, and bounded-channel pipelines.
+
+use sysconc::channel::bounded;
+use sysconc::stm::{atomically, StmResult, TVar, Tx};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn readers_always_see_consistent_snapshots() {
+    // Writers keep `a + b == 0` true transactionally; readers must never
+    // observe a violation, no matter how the commits interleave.
+    let a = Arc::new(TVar::new(0i64));
+    let b = Arc::new(TVar::new(0i64));
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                for i in 0..3_000i64 {
+                    let delta = (i % 17) - 8 + t;
+                    atomically(|tx| {
+                        let va = tx.read(&a)?;
+                        let vb = tx.read(&b)?;
+                        tx.write(&a, va + delta)?;
+                        tx.write(&b, vb - delta)
+                    });
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                for _ in 0..3_000 {
+                    let (va, vb) = atomically(|tx| {
+                        let va = tx.read(&a)?;
+                        let vb = tx.read(&b)?;
+                        Ok((va, vb))
+                    });
+                    assert_eq!(va + vb, 0, "snapshot violated the invariant");
+                }
+            })
+        })
+        .collect();
+    for h in writers.into_iter().chain(readers) {
+        h.join().unwrap();
+    }
+    assert_eq!(a.read_atomic() + b.read_atomic(), 0);
+}
+
+#[test]
+fn ring_rotation_preserves_multiset() {
+    // N TVars arranged in a ring; each transaction rotates three adjacent
+    // cells. The multiset of values is invariant.
+    const N: usize = 12;
+    let ring: Arc<Vec<TVar<i64>>> =
+        Arc::new((0..N).map(|i| TVar::new(i64::try_from(i).unwrap())).collect());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..2_000 {
+                    let start = (i * 5 + t * 3) % N;
+                    atomically(|tx| {
+                        let x = tx.read(&ring[start])?;
+                        let y = tx.read(&ring[(start + 1) % N])?;
+                        let z = tx.read(&ring[(start + 2) % N])?;
+                        tx.write(&ring[start], z)?;
+                        tx.write(&ring[(start + 1) % N], x)?;
+                        tx.write(&ring[(start + 2) % N], y)
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut values: Vec<i64> = ring.iter().map(TVar::read_atomic).collect();
+    values.sort_unstable();
+    let expected: Vec<i64> = (0..N).map(|i| i64::try_from(i).unwrap()).collect();
+    assert_eq!(values, expected, "rotation lost or duplicated a value");
+}
+
+#[test]
+fn nested_or_else_takes_the_first_ready_alternative() {
+    let q1 = TVar::new(Vec::<i64>::new());
+    let q2 = TVar::new(vec![7i64]);
+    let q3 = TVar::new(vec![9i64]);
+    let take_from = |q: TVar<Vec<i64>>| {
+        move |tx: &mut Tx| -> StmResult<i64> {
+            let mut items = tx.read(&q)?;
+            match items.pop() {
+                Some(v) => {
+                    tx.write(&q, items)?;
+                    Ok(v)
+                }
+                None => tx.retry(),
+            }
+        }
+    };
+    let got = atomically(|tx| {
+        let a = take_from(q1.clone());
+        let b = take_from(q2.clone());
+        let c = take_from(q3.clone());
+        tx.or_else(a, move |tx| tx.or_else(b, c))
+    });
+    assert_eq!(got, 7, "second alternative was the first ready one");
+    assert!(q2.read_atomic().is_empty());
+    assert_eq!(q3.read_atomic(), vec![9], "third alternative untouched");
+}
+
+#[test]
+fn bounded_pipeline_moves_every_item_under_backpressure() {
+    // producer -> stage -> consumer through two bounded(4) channels.
+    let (tx1, rx1) = bounded::<u64>(4);
+    let (tx2, rx2) = bounded::<u64>(4);
+    const ITEMS: u64 = 5_000;
+    let producer = thread::spawn(move || {
+        for i in 0..ITEMS {
+            tx1.send(i).unwrap();
+        }
+    });
+    let stage = thread::spawn(move || {
+        while let Ok(v) = rx1.recv() {
+            tx2.send(v * 2).unwrap();
+        }
+    });
+    let consumer = thread::spawn(move || {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        while let Ok(v) = rx2.recv() {
+            sum += v;
+            count += 1;
+        }
+        (sum, count)
+    });
+    producer.join().unwrap();
+    stage.join().unwrap();
+    let (sum, count) = consumer.join().unwrap();
+    assert_eq!(count, ITEMS);
+    assert_eq!(sum, ITEMS * (ITEMS - 1)); // 2 * sum(0..ITEMS)
+}
+
+#[test]
+fn stm_and_channels_compose_in_one_program() {
+    // Workers pull jobs from a channel and commit results into TVars.
+    let (tx, rx) = bounded::<usize>(8);
+    let cells: Arc<Vec<TVar<i64>>> = Arc::new((0..16).map(|_| TVar::new(0i64)).collect());
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let rx = rx.clone();
+            let cells = Arc::clone(&cells);
+            thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    atomically(|tx| {
+                        let v = tx.read(&cells[job % 16])?;
+                        tx.write(&cells[job % 16], v + 1)
+                    });
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+    for job in 0..1_600 {
+        tx.send(job).unwrap();
+    }
+    drop(tx);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let total: i64 = cells.iter().map(TVar::read_atomic).sum();
+    assert_eq!(total, 1_600);
+}

@@ -1,0 +1,206 @@
+//! Abstract syntax for the BitC-style language.
+//!
+//! The language is an ML-semantics, S-expression-syntax core with the two
+//! features the paper insists a systems language cannot drop: *mutability*
+//! (`set!`, mutable vectors, `while`) and *unboxed values* (the VM offers
+//! both representations; see [`crate::vm`]). Functions are first-class with
+//! lexical closures; `let` is polymorphic (Hindley–Milner).
+
+use std::fmt;
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// The unit value `(unit)`.
+    Unit,
+    /// Variable reference.
+    Var(String),
+    /// `(if c t e)`
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `(let ((x e) ...) body)` — parallel, polymorphic bindings.
+    Let(Vec<(String, Expr)>, Box<Expr>),
+    /// `(lambda (x ...) body)`
+    Lambda(Vec<String>, Box<Expr>),
+    /// `(f a ...)` — application (head may be any expression).
+    Apply(Box<Expr>, Vec<Expr>),
+    /// `(begin e ...)` — sequencing; value of the last expression.
+    Begin(Vec<Expr>),
+    /// `(set! x e)` — mutation of a bound variable.
+    SetBang(String, Box<Expr>),
+    /// `(while c body...)` — loops while `c` is true; evaluates to unit.
+    While(Box<Expr>, Vec<Expr>),
+    /// `(make-vector n init)`
+    MakeVector(Box<Expr>, Box<Expr>),
+    /// `(vec-ref v i)`
+    VectorRef(Box<Expr>, Box<Expr>),
+    /// `(vec-set! v i e)`
+    VectorSet(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `(vec-len v)`
+    VectorLen(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for applications of named functions.
+    #[must_use]
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Apply(Box::new(Expr::Var(name.to_owned())), args)
+    }
+}
+
+/// A top-level definition `(define name expr)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Def {
+    /// Binding name.
+    pub name: String,
+    /// Bound expression (usually a lambda).
+    pub expr: Expr,
+}
+
+/// A whole program: definitions followed by a main expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level definitions, in order; later ones may reference earlier
+    /// ones, and any definition may reference itself (recursion).
+    pub defs: Vec<Def>,
+    /// The program body evaluated for the result.
+    pub main: Expr,
+}
+
+fn fmt_list(f: &mut fmt::Formatter<'_>, head: &str, items: &[Expr]) -> fmt::Result {
+    write!(f, "({head}")?;
+    for e in items {
+        write!(f, " {e}")?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(n) => write!(f, "{n}"),
+            Expr::Bool(true) => write!(f, "#t"),
+            Expr::Bool(false) => write!(f, "#f"),
+            Expr::Unit => write!(f, "(unit)"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::If(c, t, e) => write!(f, "(if {c} {t} {e})"),
+            Expr::Let(binds, body) => {
+                write!(f, "(let (")?;
+                for (i, (x, e)) in binds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "({x} {e})")?;
+                }
+                write!(f, ") {body})")
+            }
+            Expr::Lambda(params, body) => {
+                write!(f, "(lambda (")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ") {body})")
+            }
+            Expr::Apply(head, args) => {
+                write!(f, "({head}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Begin(es) => fmt_list(f, "begin", es),
+            Expr::SetBang(x, e) => write!(f, "(set! {x} {e})"),
+            Expr::While(c, body) => {
+                write!(f, "(while {c}")?;
+                for e in body {
+                    write!(f, " {e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::MakeVector(n, init) => write!(f, "(make-vector {n} {init})"),
+            Expr::VectorRef(v, i) => write!(f, "(vec-ref {v} {i})"),
+            Expr::VectorSet(v, i, e) => write!(f, "(vec-set! {v} {i} {e})"),
+            Expr::VectorLen(v) => write!(f, "(vec-len {v})"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.defs {
+            writeln!(f, "(define {} {})", d.name, d.expr)?;
+        }
+        write!(f, "{}", self.main)
+    }
+}
+
+/// Names treated as primitive operators by the type checker, interpreter,
+/// and compiler: `(op, arity)`.
+pub const PRIMITIVES: &[(&str, usize)] = &[
+    ("+", 2),
+    ("-", 2),
+    ("*", 2),
+    ("div", 2),
+    ("mod", 2),
+    ("<", 2),
+    ("<=", 2),
+    (">", 2),
+    (">=", 2),
+    ("=", 2),
+    ("!=", 2),
+    ("and", 2),
+    ("or", 2),
+    ("not", 1),
+];
+
+/// True if `name` is a primitive operator.
+#[must_use]
+pub fn is_primitive(name: &str) -> bool {
+    PRIMITIVES.iter().any(|(p, _)| *p == name)
+}
+
+/// Arity of a primitive operator.
+#[must_use]
+pub fn primitive_arity(name: &str) -> Option<usize> {
+    PRIMITIVES.iter().find(|(p, _)| *p == name).map(|(_, a)| *a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let e = Expr::If(
+            Box::new(Expr::call("<", vec![Expr::Var("x".into()), Expr::Int(10)])),
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Int(0)),
+        );
+        assert_eq!(e.to_string(), "(if (< x 10) 1 0)");
+    }
+
+    #[test]
+    fn primitives_are_recognized() {
+        assert!(is_primitive("+"));
+        assert!(!is_primitive("vec-ref"));
+        assert_eq!(primitive_arity("not"), Some(1));
+        assert_eq!(primitive_arity("frobnicate"), None);
+    }
+
+    #[test]
+    fn program_display_lists_defs_then_main() {
+        let p = Program {
+            defs: vec![Def { name: "id".into(), expr: Expr::Lambda(vec!["x".into()], Box::new(Expr::Var("x".into()))) }],
+            main: Expr::call("id", vec![Expr::Int(5)]),
+        };
+        let s = p.to_string();
+        assert!(s.starts_with("(define id (lambda (x) x))"));
+        assert!(s.ends_with("(id 5)"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Bytecode for the stack VM.
+
+use std::fmt;
+
+/// Where a closure capture comes from in the *enclosing* frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureSrc {
+    /// A local slot of the enclosing function.
+    Local(u16),
+    /// A capture slot of the enclosing closure.
+    Capture(u16),
+}
+
+/// One VM instruction. Jumps are relative to the *next* instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push an integer constant.
+    Const(i64),
+    /// Push a boolean constant.
+    ConstBool(bool),
+    /// Push unit.
+    ConstUnit,
+    /// Push local slot.
+    LoadLocal(u16),
+    /// Pop into local slot.
+    StoreLocal(u16),
+    /// Push capture slot.
+    LoadCapture(u16),
+    /// Push global slot (top-level definitions).
+    LoadGlobal(u16),
+    /// Pop into global slot.
+    StoreGlobal(u16),
+    /// Integer add (binary, pops two, pushes one).
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (traps on zero).
+    Div,
+    /// Integer remainder (traps on zero).
+    Mod,
+    /// Integer less-than.
+    Lt,
+    /// Integer less-or-equal.
+    Le,
+    /// Integer greater-than.
+    Gt,
+    /// Integer greater-or-equal.
+    Ge,
+    /// Integer equality.
+    Eq,
+    /// Integer disequality.
+    Ne,
+    /// Boolean and.
+    And,
+    /// Boolean or.
+    Or,
+    /// Boolean not.
+    Not,
+    /// Superinstruction: add immediate (from peephole).
+    AddImm(i64),
+    /// Unconditional relative jump.
+    Jump(i32),
+    /// Pop a bool; jump if false.
+    JumpIfFalse(i32),
+    /// Build a closure over function `func` with the given captures.
+    MakeClosure {
+        /// Target function index.
+        func: u16,
+        /// Capture sources, evaluated in the enclosing frame.
+        captures: Vec<CaptureSrc>,
+    },
+    /// Call with `n` arguments (closure under the args on the stack).
+    Call(u8),
+    /// Tail call: like [`Instr::Call`] but reuses the current frame, so tail
+    /// recursion runs in constant stack space (inserted automatically for
+    /// `Call; Ret` sequences).
+    TailCall(u8),
+    /// Return the top of stack to the caller.
+    Ret,
+    /// Call native function `idx` with `nargs` integer arguments.
+    CallNative {
+        /// Index into the native registry.
+        idx: u16,
+        /// Argument count.
+        nargs: u8,
+    },
+    /// Pop `init` and `len`, push a new vector.
+    VecNew,
+    /// Pop index and vector, push element.
+    VecGet,
+    /// Pop value, index, vector; store; push unit.
+    VecSet,
+    /// Pop vector, push its length.
+    VecLen,
+    /// Discard the top of stack.
+    Pop,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Const(n) => write!(f, "const {n}"),
+            Instr::ConstBool(b) => write!(f, "const {b}"),
+            Instr::ConstUnit => write!(f, "const unit"),
+            Instr::LoadLocal(i) => write!(f, "load {i}"),
+            Instr::StoreLocal(i) => write!(f, "store {i}"),
+            Instr::LoadCapture(i) => write!(f, "loadcap {i}"),
+            Instr::LoadGlobal(i) => write!(f, "loadg {i}"),
+            Instr::StoreGlobal(i) => write!(f, "storeg {i}"),
+            Instr::AddImm(n) => write!(f, "addimm {n}"),
+            Instr::Jump(d) => write!(f, "jump {d}"),
+            Instr::JumpIfFalse(d) => write!(f, "jfalse {d}"),
+            Instr::MakeClosure { func, captures } => {
+                write!(f, "closure f{func} [{} captures]", captures.len())
+            }
+            Instr::Call(n) => write!(f, "call {n}"),
+            Instr::TailCall(n) => write!(f, "tailcall {n}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::CallNative { idx, nargs } => write!(f, "native {idx} ({nargs} args)"),
+            other => write!(f, "{}", format!("{other:?}").to_lowercase()),
+        }
+    }
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name (for disassembly; `<main>` for the entry).
+    pub name: String,
+    /// Number of parameters.
+    pub arity: usize,
+    /// Total local slots (params first).
+    pub n_locals: usize,
+    /// The code; must end with `Ret` on every path.
+    pub code: Vec<Instr>,
+}
+
+/// A compiled program: functions plus the native-call registry names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bytecode {
+    /// All functions; index 0 is the entry point.
+    pub functions: Vec<Function>,
+    /// Names of native functions referenced by `CallNative`.
+    pub natives: Vec<String>,
+}
+
+impl Bytecode {
+    /// Total instruction count across all functions (optimizer metric).
+    #[must_use]
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Renders a readable disassembly.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (fi, func) in self.functions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "fn {} (f{fi}, arity {}, {} locals):",
+                func.name, func.arity, func.n_locals
+            );
+            for (i, instr) in func.code.iter().enumerate() {
+                let _ = writeln!(out, "  {i:4}: {instr}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disassembly_lists_functions_and_offsets() {
+        let bc = Bytecode {
+            functions: vec![Function {
+                name: "<main>".into(),
+                arity: 0,
+                n_locals: 1,
+                code: vec![Instr::Const(1), Instr::StoreLocal(0), Instr::LoadLocal(0), Instr::Ret],
+            }],
+            natives: vec![],
+        };
+        let d = bc.disassemble();
+        assert!(d.contains("fn <main>"));
+        assert!(d.contains("0: const 1"));
+        assert!(d.contains("3: ret"));
+        assert_eq!(bc.instruction_count(), 4);
+    }
+
+    #[test]
+    fn instr_display_covers_jumps_and_calls() {
+        assert_eq!(Instr::Jump(-3).to_string(), "jump -3");
+        assert_eq!(Instr::Call(2).to_string(), "call 2");
+        assert_eq!(Instr::CallNative { idx: 1, nargs: 2 }.to_string(), "native 1 (2 args)");
+    }
+}

@@ -1,0 +1,347 @@
+//! Contracts over BitC functions — the actual BitC vision, wired end to
+//! end: write a function in the language, state `requires`/`ensures` about
+//! it, and let the prover discharge the obligation against the *real AST*,
+//! not a hand-copied model.
+//!
+//! The translatable fragment is deliberately the decidable one: integer
+//! parameters, `+`/`-`, multiplication by constants, comparisons, `and`/
+//! `or`/`not`, `if`, `let`, `begin`, and `set!`. Loops and vectors are out
+//! of fragment (they need invariant annotations and array theories); the
+//! translator reports them as unsupported rather than guessing.
+
+use crate::ast::{Expr, Program};
+use crate::diag::{BitcError, Result};
+use bitc_verify::term::{Cmp, Formula, Term};
+use bitc_verify::vcgen::{verify_procedure, Procedure, Stmt, Vc, VcOutcome};
+
+/// A contract over a function's parameters and its `result`.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// Precondition over the parameter names.
+    pub requires: Formula,
+    /// Postcondition over the parameter names and `result`.
+    pub ensures: Formula,
+}
+
+/// Translation state: fresh temporaries and accumulated statements.
+#[derive(Debug, Default)]
+struct Translator {
+    fresh: usize,
+}
+
+impl Translator {
+    fn fresh_tmp(&mut self) -> String {
+        self.fresh += 1;
+        format!("tmp%{}", self.fresh)
+    }
+
+    /// Translates an integer-valued expression into statements + a term.
+    fn int_expr(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Result<Term> {
+        match e {
+            Expr::Int(n) => Ok(Term::Int(*n)),
+            Expr::Var(x) => Ok(Term::var(x)),
+            Expr::Apply(head, args) => {
+                let Expr::Var(op) = &**head else {
+                    return Err(unsupported("higher-order call"));
+                };
+                match (op.as_str(), args.as_slice()) {
+                    ("+", [a, b]) => {
+                        let (ta, tb) = (self.int_expr(a, out)?, self.int_expr(b, out)?);
+                        Ok(Term::Add(Box::new(ta), Box::new(tb)))
+                    }
+                    ("-", [a, b]) => {
+                        let (ta, tb) = (self.int_expr(a, out)?, self.int_expr(b, out)?);
+                        Ok(Term::Sub(Box::new(ta), Box::new(tb)))
+                    }
+                    ("*", [Expr::Int(k), b]) => {
+                        let tb = self.int_expr(b, out)?;
+                        Ok(Term::Scale(*k, Box::new(tb)))
+                    }
+                    ("*", [a, Expr::Int(k)]) => {
+                        let ta = self.int_expr(a, out)?;
+                        Ok(Term::Scale(*k, Box::new(ta)))
+                    }
+                    ("*", _) => Err(unsupported("non-linear multiplication")),
+                    _ => Err(unsupported("call in contract fragment")),
+                }
+            }
+            Expr::If(c, t, f) => {
+                let cond = self.bool_expr(c, out)?;
+                let tmp = self.fresh_tmp();
+                let mut then_stmts = Vec::new();
+                let tt = self.int_expr(t, &mut then_stmts)?;
+                then_stmts.push(Stmt::Assign(tmp.clone(), tt));
+                let mut else_stmts = Vec::new();
+                let ft = self.int_expr(f, &mut else_stmts)?;
+                else_stmts.push(Stmt::Assign(tmp.clone(), ft));
+                out.push(Stmt::If(cond, then_stmts, else_stmts));
+                Ok(Term::var(&tmp))
+            }
+            Expr::Let(bindings, body) => {
+                for (name, bound) in bindings {
+                    let t = self.int_expr(bound, out)?;
+                    out.push(Stmt::Assign(name.clone(), t));
+                }
+                self.int_expr(body, out)
+            }
+            Expr::Begin(es) => {
+                let (last, init) = es.split_last().ok_or_else(|| unsupported("empty begin"))?;
+                for e in init {
+                    self.stmt_expr(e, out)?;
+                }
+                self.int_expr(last, out)
+            }
+            other => Err(unsupported_detail(other)),
+        }
+    }
+
+    /// Translates a unit-ish expression executed for effect.
+    fn stmt_expr(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Result<()> {
+        match e {
+            Expr::SetBang(x, v) => {
+                let t = self.int_expr(v, out)?;
+                out.push(Stmt::Assign(x.clone(), t));
+                Ok(())
+            }
+            Expr::Begin(es) => {
+                for e in es {
+                    self.stmt_expr(e, out)?;
+                }
+                Ok(())
+            }
+            Expr::If(c, t, f) => {
+                let cond = self.bool_expr(c, out)?;
+                let mut then_stmts = Vec::new();
+                self.stmt_expr(t, &mut then_stmts)?;
+                let mut else_stmts = Vec::new();
+                self.stmt_expr(f, &mut else_stmts)?;
+                out.push(Stmt::If(cond, then_stmts, else_stmts));
+                Ok(())
+            }
+            Expr::Unit => Ok(()),
+            other => Err(unsupported_detail(other)),
+        }
+    }
+
+    /// Translates a boolean expression into a formula (side-effect-free
+    /// conditions only, as in the language's typical guard position).
+    fn bool_expr(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Result<Formula> {
+        match e {
+            Expr::Bool(b) => Ok(if *b { Formula::True } else { Formula::False }),
+            Expr::Apply(head, args) => {
+                let Expr::Var(op) = &**head else {
+                    return Err(unsupported("higher-order condition"));
+                };
+                let cmp = |c: Cmp, tr: &mut Translator, out: &mut Vec<Stmt>| -> Result<Formula> {
+                    let ta = tr.int_expr(&args[0], out)?;
+                    let tb = tr.int_expr(&args[1], out)?;
+                    Ok(Formula::cmp(c, ta, tb))
+                };
+                match op.as_str() {
+                    "<" => cmp(Cmp::Lt, self, out),
+                    "<=" => cmp(Cmp::Le, self, out),
+                    ">" => cmp(Cmp::Gt, self, out),
+                    ">=" => cmp(Cmp::Ge, self, out),
+                    "=" => cmp(Cmp::Eq, self, out),
+                    "!=" => cmp(Cmp::Ne, self, out),
+                    "and" => Ok(Formula::and(
+                        self.bool_expr(&args[0], out)?,
+                        self.bool_expr(&args[1], out)?,
+                    )),
+                    "or" => Ok(Formula::or(
+                        self.bool_expr(&args[0], out)?,
+                        self.bool_expr(&args[1], out)?,
+                    )),
+                    "not" => Ok(Formula::not(self.bool_expr(&args[0], out)?)),
+                    other => Err(unsupported(&format!("condition operator {other}"))),
+                }
+            }
+            other => Err(unsupported_detail(other)),
+        }
+    }
+}
+
+fn unsupported(what: &str) -> BitcError {
+    BitcError::compile(format!("outside the contract fragment: {what}"))
+}
+
+fn unsupported_detail(e: &Expr) -> BitcError {
+    unsupported(&format!("expression form {e}"))
+}
+
+/// Translates the named function into a contract-checking [`Procedure`].
+///
+/// # Errors
+///
+/// Returns [`BitcError::Compile`] if the function is missing, not a lambda,
+/// or uses constructs outside the decidable fragment.
+pub fn procedure_for(p: &Program, name: &str, contract: &Contract) -> Result<Procedure> {
+    let def = p
+        .defs
+        .iter()
+        .find(|d| d.name == name)
+        .ok_or_else(|| BitcError::compile(format!("no definition named {name}")))?;
+    let Expr::Lambda(_params, body) = &def.expr else {
+        return Err(BitcError::compile(format!("{name} is not a function")));
+    };
+    let mut tr = Translator::default();
+    let mut stmts = Vec::new();
+    let result = tr.int_expr(body, &mut stmts)?;
+    stmts.push(Stmt::Assign("result".into(), result));
+    Ok(Procedure {
+        name: name.to_owned(),
+        requires: contract.requires.clone(),
+        ensures: contract.ensures.clone(),
+        body: stmts,
+    })
+}
+
+/// Verifies `name` in `p` against `contract`.
+///
+/// # Errors
+///
+/// Translation errors; verification outcomes (including refutations) are
+/// returned in the result list, not as errors.
+pub fn verify_function(
+    p: &Program,
+    name: &str,
+    contract: &Contract,
+) -> Result<Vec<(Vc, VcOutcome)>> {
+    Ok(verify_procedure(&procedure_for(p, name, contract)?))
+}
+
+/// True if every obligation of `name` against `contract` is proved.
+///
+/// # Errors
+///
+/// Translation errors only.
+pub fn check_function(p: &Program, name: &str, contract: &Contract) -> Result<bool> {
+    Ok(verify_function(p, name, contract)?
+        .iter()
+        .all(|(_, o)| *o == VcOutcome::Proved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn abs_satisfies_nonnegativity() {
+        let p = parse_program(
+            "(define abs (lambda (x) (if (< x 0) (- 0 x) x))) (abs -3)",
+        )
+        .unwrap();
+        let contract = Contract {
+            requires: Formula::True,
+            ensures: Formula::cmp(Cmp::Ge, v("result"), Term::Int(0)),
+        };
+        assert!(check_function(&p, "abs", &contract).unwrap());
+    }
+
+    #[test]
+    fn buggy_abs_is_refuted() {
+        // The else branch forgets the negation.
+        let p = parse_program(
+            "(define abs (lambda (x) (if (< x 0) x x))) (abs -3)",
+        )
+        .unwrap();
+        let contract = Contract {
+            requires: Formula::True,
+            ensures: Formula::cmp(Cmp::Ge, v("result"), Term::Int(0)),
+        };
+        let results = verify_function(&p, "abs", &contract).unwrap();
+        assert!(matches!(results[0].1, VcOutcome::Refuted(_)));
+    }
+
+    #[test]
+    fn clamp_stays_in_range() {
+        let p = parse_program(
+            "(define clamp (lambda (x lo hi)
+               (if (< x lo) lo (if (> x hi) hi x))))
+             (clamp 5 0 10)",
+        )
+        .unwrap();
+        let contract = Contract {
+            requires: Formula::cmp(Cmp::Le, v("lo"), v("hi")),
+            ensures: Formula::and(
+                Formula::cmp(Cmp::Ge, v("result"), v("lo")),
+                Formula::cmp(Cmp::Le, v("result"), v("hi")),
+            ),
+        };
+        assert!(check_function(&p, "clamp", &contract).unwrap());
+    }
+
+    #[test]
+    fn clamp_without_precondition_is_refuted() {
+        let p = parse_program(
+            "(define clamp (lambda (x lo hi)
+               (if (< x lo) lo (if (> x hi) hi x))))
+             (clamp 5 0 10)",
+        )
+        .unwrap();
+        // Without lo <= hi the postcondition is unprovable (lo > hi breaks it).
+        let contract = Contract {
+            requires: Formula::True,
+            ensures: Formula::and(
+                Formula::cmp(Cmp::Ge, v("result"), v("lo")),
+                Formula::cmp(Cmp::Le, v("result"), v("hi")),
+            ),
+        };
+        assert!(!check_function(&p, "clamp", &contract).unwrap());
+    }
+
+    #[test]
+    fn linear_arithmetic_with_lets_and_mutation() {
+        let p = parse_program(
+            "(define scale-add (lambda (a b)
+               (let ((acc (* 3 a)))
+                 (begin
+                   (set! acc (+ acc b))
+                   acc))))
+             (scale-add 1 2)",
+        )
+        .unwrap();
+        let contract = Contract {
+            requires: Formula::and(
+                Formula::cmp(Cmp::Ge, v("a"), Term::Int(0)),
+                Formula::cmp(Cmp::Ge, v("b"), Term::Int(0)),
+            ),
+            ensures: Formula::cmp(Cmp::Ge, v("result"), v("b")),
+        };
+        assert!(check_function(&p, "scale-add", &contract).unwrap());
+    }
+
+    #[test]
+    fn out_of_fragment_constructs_are_reported() {
+        let p = parse_program(
+            "(define f (lambda (x) (vec-len (make-vector x 0)))) (f 3)",
+        )
+        .unwrap();
+        let contract =
+            Contract { requires: Formula::True, ensures: Formula::True };
+        let err = verify_function(&p, "f", &contract).unwrap_err();
+        assert!(err.to_string().contains("outside the contract fragment"));
+    }
+
+    #[test]
+    fn nonlinear_multiplication_is_rejected_not_mistranslated() {
+        let p = parse_program("(define sq (lambda (x) (* x x))) (sq 3)").unwrap();
+        let contract = Contract {
+            requires: Formula::True,
+            ensures: Formula::cmp(Cmp::Ge, v("result"), Term::Int(0)),
+        };
+        assert!(verify_function(&p, "sq", &contract).is_err());
+    }
+
+    #[test]
+    fn missing_function_is_an_error() {
+        let p = parse_program("(+ 1 2)").unwrap();
+        let contract = Contract { requires: Formula::True, ensures: Formula::True };
+        assert!(verify_function(&p, "ghost", &contract).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Diagnostics: source spans and the unified error type.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both inputs.
+    #[must_use]
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Any error produced by the BitC pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitcError {
+    /// Lexical error.
+    Lex {
+        /// Where.
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+    /// Syntactic error.
+    Parse {
+        /// Where.
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+    /// Type error.
+    Type {
+        /// What went wrong.
+        message: String,
+    },
+    /// Compilation error (scope resolution, arity).
+    Compile {
+        /// What went wrong.
+        message: String,
+    },
+    /// Runtime error raised by the interpreter or VM.
+    Runtime {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl BitcError {
+    /// Constructs a type error.
+    #[must_use]
+    pub fn type_error(message: impl Into<String>) -> Self {
+        BitcError::Type { message: message.into() }
+    }
+
+    /// Constructs a runtime error.
+    #[must_use]
+    pub fn runtime(message: impl Into<String>) -> Self {
+        BitcError::Runtime { message: message.into() }
+    }
+
+    /// Constructs a compile error.
+    #[must_use]
+    pub fn compile(message: impl Into<String>) -> Self {
+        BitcError::Compile { message: message.into() }
+    }
+}
+
+impl fmt::Display for BitcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitcError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            BitcError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            BitcError::Type { message } => write!(f, "type error: {message}"),
+            BitcError::Compile { message } => write!(f, "compile error: {message}"),
+            BitcError::Runtime { message } => write!(f, "runtime error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BitcError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BitcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge_to_cover_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn errors_render_their_kind() {
+        let e = BitcError::type_error("expected int, found bool");
+        assert_eq!(e.to_string(), "type error: expected int, found bool");
+        let e = BitcError::Parse { span: Span::new(1, 2), message: "unbalanced paren".into() };
+        assert!(e.to_string().contains("1..2"));
+    }
+}

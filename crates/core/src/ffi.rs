@@ -1,0 +1,117 @@
+//! Native-function registry: the foreign-function boundary between VM code
+//! and host (Rust/"C") code.
+//!
+//! The paper's Fallacy 4 discussion turns on whether incremental adoption is
+//! viable — can new-language code call the legacy world cheaply enough to
+//! rewrite one component at a time? Experiment E4 measures exactly this
+//! boundary: a VM→native call pays argument marshalling (and, in the boxed
+//! representation, unboxing) that a VM→VM call does not.
+
+use crate::diag::{BitcError, Result};
+use std::collections::HashMap;
+
+/// A native function: integer arguments in, integer result out — the C ABI
+/// of this miniature world.
+pub type NativeFn = fn(&[i64]) -> std::result::Result<i64, String>;
+
+/// A registry of named native functions with arities.
+#[derive(Default)]
+pub struct NativeRegistry {
+    entries: HashMap<String, (NativeFn, usize)>,
+}
+
+impl std::fmt::Debug for NativeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeRegistry").field("count", &self.entries.len()).finish()
+    }
+}
+
+impl NativeRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry preloaded with the standard test natives.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        let mut r = Self::new();
+        r.register("host-add", 2, |args| Ok(args[0].wrapping_add(args[1])));
+        r.register("host-mul", 2, |args| Ok(args[0].wrapping_mul(args[1])));
+        r.register("host-clamp", 3, |args| Ok(args[0].clamp(args[1], args[2])));
+        r.register("host-sum-to", 1, |args| {
+            // A native leaf with real work: sum 1..=n.
+            let n = args[0].max(0);
+            Ok(n * (n + 1) / 2)
+        });
+        r
+    }
+
+    /// Registers `f` under `name` with the given arity.
+    pub fn register(&mut self, name: &str, arity: usize, f: NativeFn) {
+        self.entries.insert(name.to_owned(), (f, arity));
+    }
+
+    /// Looks up a native by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error naming the missing native.
+    pub fn lookup(&self, name: &str) -> Result<(NativeFn, usize)> {
+        self.entries
+            .get(name)
+            .copied()
+            .ok_or_else(|| BitcError::compile(format!("native function {name} is not registered")))
+    }
+
+    /// `(name, arity)` pairs for handing to the compiler.
+    #[must_use]
+    pub fn signatures(&self) -> Vec<(String, usize)> {
+        let mut v: Vec<(String, usize)> =
+            self.entries.iter().map(|(n, (_, a))| (n.clone(), *a)).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_callable() {
+        let r = NativeRegistry::with_defaults();
+        let (f, arity) = r.lookup("host-add").unwrap();
+        assert_eq!(arity, 2);
+        assert_eq!(f(&[2, 3]).unwrap(), 5);
+        let (f, _) = r.lookup("host-sum-to").unwrap();
+        assert_eq!(f(&[10]).unwrap(), 55);
+    }
+
+    #[test]
+    fn missing_native_is_reported_by_name() {
+        let r = NativeRegistry::new();
+        let err = r.lookup("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn custom_natives_can_fail() {
+        let mut r = NativeRegistry::new();
+        r.register("checked-div", 2, |args| {
+            if args[1] == 0 { Err("division by zero".into()) } else { Ok(args[0] / args[1]) }
+        });
+        let (f, _) = r.lookup("checked-div").unwrap();
+        assert!(f(&[1, 0]).is_err());
+        assert_eq!(f(&[6, 2]).unwrap(), 3);
+    }
+
+    #[test]
+    fn signatures_are_sorted_and_complete() {
+        let r = NativeRegistry::with_defaults();
+        let sigs = r.signatures();
+        assert_eq!(sigs.len(), 4);
+        assert!(sigs.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,393 @@
+//! Hindley–Milner type inference (Algorithm W) with the value restriction.
+//!
+//! BitC's pitch — and this reproduction's — is that an ML-strength type
+//! system can coexist with mutation and unboxed data. The checker therefore
+//! supports `set!`, mutable vectors, and `while`, and applies the standard
+//! *value restriction*: only syntactic values generalize at `let`, which
+//! keeps polymorphism sound in the presence of mutation.
+
+use crate::ast::{Expr, Program};
+use crate::diag::{BitcError, Result};
+use crate::types::{Scheme, Subst, Type};
+use std::collections::HashMap;
+
+/// Inference context: environment, substitution, fresh-variable counter.
+#[derive(Debug, Default)]
+pub struct Inferencer {
+    subst: Subst,
+    fresh: u32,
+}
+
+type Env = HashMap<String, Scheme>;
+
+impl Inferencer {
+    /// Creates an empty inference context.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_var(&mut self) -> Type {
+        self.fresh += 1;
+        Type::Var(self.fresh - 1)
+    }
+
+    fn instantiate(&mut self, scheme: &Scheme) -> Type {
+        let mut mapping = HashMap::new();
+        for &v in &scheme.vars {
+            mapping.insert(v, self.fresh_var());
+        }
+        fn walk(t: &Type, mapping: &HashMap<u32, Type>) -> Type {
+            match t {
+                Type::Var(v) => mapping.get(v).cloned().unwrap_or(Type::Var(*v)),
+                Type::Fn(args, ret) => Type::Fn(
+                    args.iter().map(|a| walk(a, mapping)).collect(),
+                    Box::new(walk(ret, mapping)),
+                ),
+                Type::Vector(inner) => Type::Vector(Box::new(walk(inner, mapping))),
+                other => other.clone(),
+            }
+        }
+        walk(&scheme.ty, &mapping)
+    }
+
+    fn generalize(&self, env: &Env, t: &Type) -> Scheme {
+        let t = self.subst.apply(t);
+        let mut type_vars = Vec::new();
+        t.free_vars(&mut type_vars);
+        let mut env_vars = Vec::new();
+        for scheme in env.values() {
+            let applied = self.subst.apply(&scheme.ty);
+            applied.free_vars(&mut env_vars);
+        }
+        let vars: Vec<u32> = type_vars.into_iter().filter(|v| !env_vars.contains(v)).collect();
+        Scheme { vars, ty: t }
+    }
+
+    /// Primitive operator type.
+    fn primitive_type(&mut self, name: &str) -> Option<Type> {
+        let int2int = || Type::Fn(vec![Type::Int, Type::Int], Box::new(Type::Int));
+        let int2bool = || Type::Fn(vec![Type::Int, Type::Int], Box::new(Type::Bool));
+        let bool2bool = || Type::Fn(vec![Type::Bool, Type::Bool], Box::new(Type::Bool));
+        match name {
+            "+" | "-" | "*" | "div" | "mod" => Some(int2int()),
+            "<" | "<=" | ">" | ">=" | "=" | "!=" => Some(int2bool()),
+            "and" | "or" => Some(bool2bool()),
+            "not" => Some(Type::Fn(vec![Type::Bool], Box::new(Type::Bool))),
+            _ => None,
+        }
+    }
+
+    /// Infers the type of `e` under `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitcError::Type`] on any type violation.
+    pub fn infer(&mut self, env: &Env, e: &Expr) -> Result<Type> {
+        match e {
+            Expr::Int(_) => Ok(Type::Int),
+            Expr::Bool(_) => Ok(Type::Bool),
+            Expr::Unit => Ok(Type::Unit),
+            Expr::Var(name) => {
+                if let Some(scheme) = env.get(name) {
+                    Ok(self.instantiate(&scheme.clone()))
+                } else if let Some(t) = self.primitive_type(name) {
+                    Ok(t)
+                } else {
+                    Err(BitcError::type_error(format!("unbound variable {name}")))
+                }
+            }
+            Expr::If(c, t, f) => {
+                let ct = self.infer(env, c)?;
+                self.subst.unify(&ct, &Type::Bool).map_err(|e| {
+                    BitcError::type_error(format!("if condition must be bool: {e}"))
+                })?;
+                let tt = self.infer(env, t)?;
+                let ft = self.infer(env, f)?;
+                self.subst.unify(&tt, &ft)?;
+                Ok(tt)
+            }
+            Expr::Let(bindings, body) => {
+                let mut extended = env.clone();
+                for (name, bound) in bindings {
+                    let bt = self.infer(env, bound)?;
+                    // Value restriction: only syntactic values generalize.
+                    let scheme = if is_syntactic_value(bound) {
+                        self.generalize(env, &bt)
+                    } else {
+                        Scheme::mono(self.subst.apply(&bt))
+                    };
+                    extended.insert(name.clone(), scheme);
+                }
+                self.infer(&extended, body)
+            }
+            Expr::Lambda(params, body) => {
+                let mut extended = env.clone();
+                let mut arg_types = Vec::new();
+                for p in params {
+                    let t = self.fresh_var();
+                    extended.insert(p.clone(), Scheme::mono(t.clone()));
+                    arg_types.push(t);
+                }
+                let ret = self.infer(&extended, body)?;
+                Ok(Type::Fn(arg_types, Box::new(ret)))
+            }
+            Expr::Apply(head, args) => {
+                let ft = self.infer(env, head)?;
+                let mut arg_types = Vec::new();
+                for a in args {
+                    arg_types.push(self.infer(env, a)?);
+                }
+                let ret = self.fresh_var();
+                self.subst.unify(&ft, &Type::Fn(arg_types, Box::new(ret.clone())))?;
+                Ok(ret)
+            }
+            Expr::Begin(es) => {
+                let mut last = Type::Unit;
+                for e in es {
+                    last = self.infer(env, e)?;
+                }
+                Ok(last)
+            }
+            Expr::SetBang(name, value) => {
+                let Some(scheme) = env.get(name).cloned() else {
+                    return Err(BitcError::type_error(format!("set! of unbound variable {name}")));
+                };
+                if !scheme.vars.is_empty() {
+                    return Err(BitcError::type_error(format!(
+                        "set! of polymorphic binding {name} is not allowed"
+                    )));
+                }
+                let vt = self.infer(env, value)?;
+                self.subst.unify(&scheme.ty, &vt)?;
+                Ok(Type::Unit)
+            }
+            Expr::While(cond, body) => {
+                let ct = self.infer(env, cond)?;
+                self.subst.unify(&ct, &Type::Bool).map_err(|e| {
+                    BitcError::type_error(format!("while condition must be bool: {e}"))
+                })?;
+                for e in body {
+                    self.infer(env, e)?;
+                }
+                Ok(Type::Unit)
+            }
+            Expr::MakeVector(n, init) => {
+                let nt = self.infer(env, n)?;
+                self.subst.unify(&nt, &Type::Int)?;
+                let it = self.infer(env, init)?;
+                Ok(Type::Vector(Box::new(it)))
+            }
+            Expr::VectorRef(v, i) => {
+                let vt = self.infer(env, v)?;
+                let it = self.infer(env, i)?;
+                self.subst.unify(&it, &Type::Int)?;
+                let elem = self.fresh_var();
+                self.subst.unify(&vt, &Type::Vector(Box::new(elem.clone())))?;
+                Ok(elem)
+            }
+            Expr::VectorSet(v, i, x) => {
+                let vt = self.infer(env, v)?;
+                let it = self.infer(env, i)?;
+                self.subst.unify(&it, &Type::Int)?;
+                let xt = self.infer(env, x)?;
+                self.subst.unify(&vt, &Type::Vector(Box::new(xt)))?;
+                Ok(Type::Unit)
+            }
+            Expr::VectorLen(v) => {
+                let vt = self.infer(env, v)?;
+                let elem = self.fresh_var();
+                self.subst.unify(&vt, &Type::Vector(Box::new(elem)))?;
+                Ok(Type::Int)
+            }
+        }
+    }
+
+    /// Applies the final substitution (for rendering inferred types).
+    #[must_use]
+    pub fn finalize(&self, t: &Type) -> Type {
+        self.subst.apply(t)
+    }
+}
+
+fn is_syntactic_value(e: &Expr) -> bool {
+    matches!(e, Expr::Int(_) | Expr::Bool(_) | Expr::Unit | Expr::Var(_) | Expr::Lambda(_, _))
+}
+
+/// Result of typechecking a whole program.
+#[derive(Debug, Clone)]
+pub struct TypedProgram {
+    /// Inferred scheme of each top-level definition, in order.
+    pub def_types: Vec<(String, Scheme)>,
+    /// Type of the main expression.
+    pub main_type: Type,
+}
+
+/// Typechecks a program: definitions may be recursive (each sees itself at a
+/// monomorphic type while being checked, then generalizes).
+///
+/// # Errors
+///
+/// Returns the first type error found.
+pub fn infer_program(p: &Program) -> Result<TypedProgram> {
+    let mut inf = Inferencer::new();
+    let mut env: Env = HashMap::new();
+    let mut def_types = Vec::new();
+    for def in &p.defs {
+        let assumed = inf.fresh_var();
+        let mut rec_env = env.clone();
+        rec_env.insert(def.name.clone(), Scheme::mono(assumed.clone()));
+        let actual = inf.infer(&rec_env, &def.expr)?;
+        inf.subst.unify(&assumed, &actual)?;
+        let scheme = if is_syntactic_value(&def.expr) {
+            inf.generalize(&env, &actual)
+        } else {
+            Scheme::mono(inf.finalize(&actual))
+        };
+        env.insert(def.name.clone(), scheme.clone());
+        def_types.push((def.name.clone(), scheme));
+    }
+    let main_type = inf.infer(&env, &p.main)?;
+    Ok(TypedProgram { def_types, main_type: inf.finalize(&main_type) })
+}
+
+/// Typechecks a single expression with no definitions in scope.
+///
+/// # Errors
+///
+/// Returns the first type error found.
+pub fn infer_expr(e: &Expr) -> Result<Type> {
+    let mut inf = Inferencer::new();
+    let t = inf.infer(&HashMap::new(), e)?;
+    Ok(inf.finalize(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn ty(src: &str) -> Result<Type> {
+        infer_expr(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(ty("42").unwrap(), Type::Int);
+        assert_eq!(ty("#t").unwrap(), Type::Bool);
+        assert_eq!(ty("(unit)").unwrap(), Type::Unit);
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert_eq!(ty("(+ 1 2)").unwrap(), Type::Int);
+        assert_eq!(ty("(< 1 2)").unwrap(), Type::Bool);
+        assert!(ty("(+ 1 #t)").is_err());
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        assert_eq!(ty("(if #t 1 2)").unwrap(), Type::Int);
+        assert!(ty("(if #t 1 #f)").is_err());
+        assert!(ty("(if 1 2 3)").is_err());
+    }
+
+    #[test]
+    fn lambda_and_application() {
+        assert_eq!(ty("((lambda (x) (+ x 1)) 41)").unwrap(), Type::Int);
+        assert!(ty("((lambda (x) (+ x 1)) #t)").is_err());
+        assert!(ty("((lambda (x y) x) 1)").is_err(), "arity mismatch");
+    }
+
+    #[test]
+    fn let_polymorphism_works_for_values() {
+        // id used at both int and bool.
+        let t = ty("(let ((id (lambda (x) x))) (if (id #t) (id 1) (id 2)))").unwrap();
+        assert_eq!(t, Type::Int);
+    }
+
+    #[test]
+    fn value_restriction_blocks_non_value_generalization() {
+        // (make-vector 1 ...) is not a syntactic value; its element type must
+        // stay monomorphic, so using it at two types fails.
+        let r = ty("(let ((v (make-vector 1 (vec-ref (make-vector 1 0) 0))))
+                      (begin (vec-set! v 0 1) (vec-len v)))");
+        assert!(r.is_ok(), "monomorphic use is fine");
+        // A vector created with unknown element type can't serve two types.
+        // Construct via lambda to keep elem type open, then misuse:
+        let bad = ty("(let ((mk (lambda (x) (make-vector 1 x))))
+                        (let ((v (mk 1)))
+                          (vec-set! v 0 #t)))");
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn mutation_is_type_checked() {
+        assert_eq!(ty("(let ((x 1)) (begin (set! x 2) x))").unwrap(), Type::Int);
+        assert!(ty("(let ((x 1)) (set! x #t))").is_err());
+        assert!(ty("(set! nope 1)").is_err());
+    }
+
+    #[test]
+    fn while_requires_bool_condition() {
+        assert_eq!(
+            ty("(let ((i 0)) (while (< i 3) (set! i (+ i 1))))").unwrap(),
+            Type::Unit
+        );
+        assert!(ty("(while 1 2)").is_err());
+    }
+
+    #[test]
+    fn vectors_are_homogeneous() {
+        assert_eq!(ty("(make-vector 3 0)").unwrap(), Type::Vector(Box::new(Type::Int)));
+        assert_eq!(ty("(vec-ref (make-vector 3 #t) 0)").unwrap(), Type::Bool);
+        assert!(ty("(vec-set! (make-vector 3 0) 0 #f)").is_err());
+        assert!(ty("(vec-ref 5 0)").is_err());
+    }
+
+    #[test]
+    fn unbound_variables_are_reported() {
+        let err = ty("undefined-thing").unwrap_err();
+        assert!(err.to_string().contains("unbound variable undefined-thing"));
+    }
+
+    #[test]
+    fn recursive_definitions_typecheck() {
+        let p = parse_program(
+            "(define fact (lambda (n) (if (<= n 1) 1 (* n (fact (- n 1))))))
+             (fact 10)",
+        )
+        .unwrap();
+        let tp = infer_program(&p).unwrap();
+        assert_eq!(tp.main_type, Type::Int);
+        assert_eq!(tp.def_types[0].1.ty.to_string(), "(int) -> int");
+    }
+
+    #[test]
+    fn mutual_recursion_via_forward_monotype_fails_gracefully() {
+        // Later defs can use earlier ones; a def cannot use a later one.
+        let p = parse_program("(define f (lambda (x) (g x))) (define g (lambda (x) x)) (f 1)");
+        assert!(infer_program(&p.unwrap()).is_err());
+    }
+
+    #[test]
+    fn polymorphic_definition_generalizes() {
+        let p = parse_program("(define id (lambda (x) x)) (if (id #t) (id 1) (id 2))").unwrap();
+        let tp = infer_program(&p).unwrap();
+        assert_eq!(tp.main_type, Type::Int);
+        assert!(!tp.def_types[0].1.vars.is_empty(), "id must be polymorphic");
+    }
+
+    #[test]
+    fn higher_order_functions_infer() {
+        let t = ty("(let ((twice (lambda (f x) (f (f x)))))
+                      (twice (lambda (n) (* n 2)) 3))")
+        .unwrap();
+        assert_eq!(t, Type::Int);
+    }
+
+    #[test]
+    fn occurs_check_fires_on_self_application() {
+        assert!(ty("(lambda (x) (x x))").is_err());
+    }
+}

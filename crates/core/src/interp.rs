@@ -1,0 +1,416 @@
+//! Reference tree-walking interpreter.
+//!
+//! This is the semantic oracle: slow, obviously correct, used by tests to
+//! validate the compiler + VM (differential testing) and by experiment E3 as
+//! the "no optimization at all" data point.
+
+use crate::ast::{primitive_arity, Expr, Program};
+use crate::diag::{BitcError, Result};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Unit.
+    Unit,
+    /// Closure: parameters, body, captured environment.
+    Closure(Rc<ClosureData>),
+    /// Mutable vector.
+    Vector(Rc<RefCell<Vec<Value>>>),
+}
+
+/// The body and environment of a closure.
+#[derive(Debug)]
+pub struct ClosureData {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body expression.
+    pub body: Expr,
+    /// Captured environment.
+    pub env: Env,
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Unit, Value::Unit) => true,
+            (Value::Vector(a), Value::Vector(b)) => *a.borrow() == *b.borrow(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(true) => write!(f, "#t"),
+            Value::Bool(false) => write!(f, "#f"),
+            Value::Unit => write!(f, "(unit)"),
+            Value::Closure(_) => write!(f, "#<closure>"),
+            Value::Vector(v) => {
+                write!(f, "#(")?;
+                for (i, x) in v.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// An environment: a persistent chain of mutable frames, so `set!` is
+/// visible through closures (Scheme-style boxes, one per binding).
+pub type Env = HashMap<String, Rc<RefCell<Value>>>;
+
+fn lookup(env: &Env, name: &str) -> Result<Rc<RefCell<Value>>> {
+    env.get(name)
+        .cloned()
+        .ok_or_else(|| BitcError::runtime(format!("unbound variable {name}")))
+}
+
+fn expect_int(v: &Value) -> Result<i64> {
+    match v {
+        Value::Int(n) => Ok(*n),
+        other => Err(BitcError::runtime(format!("expected int, found {other}"))),
+    }
+}
+
+fn expect_bool(v: &Value) -> Result<bool> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(BitcError::runtime(format!("expected bool, found {other}"))),
+    }
+}
+
+fn apply_primitive(name: &str, args: &[Value]) -> Result<Value> {
+    let int2 = || -> Result<(i64, i64)> { Ok((expect_int(&args[0])?, expect_int(&args[1])?)) };
+    Ok(match name {
+        "+" => Value::Int(int2()?.0.wrapping_add(int2()?.1)),
+        "-" => Value::Int(int2()?.0.wrapping_sub(int2()?.1)),
+        "*" => Value::Int(int2()?.0.wrapping_mul(int2()?.1)),
+        "div" => {
+            let (a, b) = int2()?;
+            if b == 0 {
+                return Err(BitcError::runtime("division by zero"));
+            }
+            Value::Int(a.wrapping_div(b))
+        }
+        "mod" => {
+            let (a, b) = int2()?;
+            if b == 0 {
+                return Err(BitcError::runtime("modulo by zero"));
+            }
+            Value::Int(a.wrapping_rem(b))
+        }
+        "<" => Value::Bool(int2()?.0 < int2()?.1),
+        "<=" => Value::Bool(int2()?.0 <= int2()?.1),
+        ">" => Value::Bool(int2()?.0 > int2()?.1),
+        ">=" => Value::Bool(int2()?.0 >= int2()?.1),
+        "=" => Value::Bool(int2()?.0 == int2()?.1),
+        "!=" => Value::Bool(int2()?.0 != int2()?.1),
+        "and" => Value::Bool(expect_bool(&args[0])? && expect_bool(&args[1])?),
+        "or" => Value::Bool(expect_bool(&args[0])? || expect_bool(&args[1])?),
+        "not" => Value::Bool(!expect_bool(&args[0])?),
+        other => return Err(BitcError::runtime(format!("unknown primitive {other}"))),
+    })
+}
+
+/// Evaluates `e` under `env`.
+///
+/// # Errors
+///
+/// Returns [`BitcError::Runtime`] on dynamic errors (the typechecker rules
+/// most of them out; the interpreter still checks, because it is the oracle).
+pub fn eval(env: &Env, e: &Expr) -> Result<Value> {
+    match e {
+        Expr::Int(n) => Ok(Value::Int(*n)),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Unit => Ok(Value::Unit),
+        Expr::Var(name) => {
+            if let Ok(cell) = lookup(env, name) {
+                let v = cell.borrow().clone();
+                Ok(v)
+            } else if primitive_arity(name).is_some() {
+                Err(BitcError::runtime(format!(
+                    "primitive {name} must be applied, not referenced"
+                )))
+            } else {
+                Err(BitcError::runtime(format!("unbound variable {name}")))
+            }
+        }
+        Expr::If(c, t, f) => {
+            if expect_bool(&eval(env, c)?)? {
+                eval(env, t)
+            } else {
+                eval(env, f)
+            }
+        }
+        Expr::Let(bindings, body) => {
+            let mut extended = env.clone();
+            for (name, bound) in bindings {
+                let v = eval(env, bound)?;
+                extended.insert(name.clone(), Rc::new(RefCell::new(v)));
+            }
+            eval(&extended, body)
+        }
+        Expr::Lambda(params, body) => Ok(Value::Closure(Rc::new(ClosureData {
+            params: params.clone(),
+            body: (**body).clone(),
+            env: env.clone(),
+        }))),
+        Expr::Apply(head, args) => {
+            // Primitive in head position?
+            if let Expr::Var(name) = &**head {
+                if !env.contains_key(name) {
+                    if let Some(arity) = primitive_arity(name) {
+                        if args.len() != arity {
+                            return Err(BitcError::runtime(format!(
+                                "primitive {name} expects {arity} arguments, got {}",
+                                args.len()
+                            )));
+                        }
+                        let mut vs = Vec::with_capacity(args.len());
+                        for a in args {
+                            vs.push(eval(env, a)?);
+                        }
+                        return apply_primitive(name, &vs);
+                    }
+                }
+            }
+            let f = eval(env, head)?;
+            let mut vs = Vec::with_capacity(args.len());
+            for a in args {
+                vs.push(eval(env, a)?);
+            }
+            match f {
+                Value::Closure(data) => {
+                    if data.params.len() != vs.len() {
+                        return Err(BitcError::runtime(format!(
+                            "function expects {} arguments, got {}",
+                            data.params.len(),
+                            vs.len()
+                        )));
+                    }
+                    let mut call_env = data.env.clone();
+                    for (p, v) in data.params.iter().zip(vs) {
+                        call_env.insert(p.clone(), Rc::new(RefCell::new(v)));
+                    }
+                    eval(&call_env, &data.body)
+                }
+                other => Err(BitcError::runtime(format!("cannot apply {other}"))),
+            }
+        }
+        Expr::Begin(es) => {
+            let mut last = Value::Unit;
+            for e in es {
+                last = eval(env, e)?;
+            }
+            Ok(last)
+        }
+        Expr::SetBang(name, value) => {
+            let cell = lookup(env, name)?;
+            let v = eval(env, value)?;
+            *cell.borrow_mut() = v;
+            Ok(Value::Unit)
+        }
+        Expr::While(cond, body) => {
+            while expect_bool(&eval(env, cond)?)? {
+                for e in body {
+                    eval(env, e)?;
+                }
+            }
+            Ok(Value::Unit)
+        }
+        Expr::MakeVector(n, init) => {
+            let len = expect_int(&eval(env, n)?)?;
+            if len < 0 {
+                return Err(BitcError::runtime(format!("make-vector with negative length {len}")));
+            }
+            let init = eval(env, init)?;
+            let len = usize::try_from(len).expect("checked nonnegative");
+            Ok(Value::Vector(Rc::new(RefCell::new(vec![init; len]))))
+        }
+        Expr::VectorRef(v, i) => {
+            let vec = eval(env, v)?;
+            let idx = expect_int(&eval(env, i)?)?;
+            match vec {
+                Value::Vector(cells) => {
+                    let cells = cells.borrow();
+                    usize::try_from(idx)
+                        .ok()
+                        .and_then(|i| cells.get(i).cloned())
+                        .ok_or_else(|| {
+                            BitcError::runtime(format!(
+                                "vector index {idx} out of bounds (len {})",
+                                cells.len()
+                            ))
+                        })
+                }
+                other => Err(BitcError::runtime(format!("vec-ref of non-vector {other}"))),
+            }
+        }
+        Expr::VectorSet(v, i, x) => {
+            let vec = eval(env, v)?;
+            let idx = expect_int(&eval(env, i)?)?;
+            let val = eval(env, x)?;
+            match vec {
+                Value::Vector(cells) => {
+                    let mut cells = cells.borrow_mut();
+                    let len = cells.len();
+                    let slot = usize::try_from(idx).ok().and_then(|i| cells.get_mut(i));
+                    match slot {
+                        Some(s) => {
+                            *s = val;
+                            Ok(Value::Unit)
+                        }
+                        None => Err(BitcError::runtime(format!(
+                            "vector index {idx} out of bounds (len {len})"
+                        ))),
+                    }
+                }
+                other => Err(BitcError::runtime(format!("vec-set! of non-vector {other}"))),
+            }
+        }
+        Expr::VectorLen(v) => match eval(env, v)? {
+            Value::Vector(cells) => {
+                Ok(Value::Int(i64::try_from(cells.borrow().len()).expect("fits i64")))
+            }
+            other => Err(BitcError::runtime(format!("vec-len of non-vector {other}"))),
+        },
+    }
+}
+
+/// Evaluates a whole program.
+///
+/// # Errors
+///
+/// Returns runtime errors from any definition or the main expression.
+pub fn eval_program(p: &Program) -> Result<Value> {
+    let mut env: Env = HashMap::new();
+    for def in &p.defs {
+        // Tie the recursive knot: insert a placeholder cell first.
+        let cell = Rc::new(RefCell::new(Value::Unit));
+        env.insert(def.name.clone(), Rc::clone(&cell));
+        let v = eval(&env, &def.expr)?;
+        *cell.borrow_mut() = v;
+    }
+    eval(&env, &p.main)
+}
+
+/// Convenience: parse, typecheck, and evaluate `src`.
+///
+/// # Errors
+///
+/// Returns the first pipeline error (lex, parse, type, or runtime).
+pub fn run_source(src: &str) -> Result<Value> {
+    let program = crate::parser::parse_program(src)?;
+    crate::infer::infer_program(&program)?;
+    eval_program(&program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Value {
+        run_source(src).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        assert_eq!(run("(+ 1 (* 2 3))"), Value::Int(7));
+        assert_eq!(run("(div 7 2)"), Value::Int(3));
+        assert_eq!(run("(mod 7 2)"), Value::Int(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_a_runtime_error() {
+        assert!(run_source("(div 1 0)").is_err());
+        assert!(run_source("(mod 1 0)").is_err());
+    }
+
+    #[test]
+    fn closures_capture_lexically() {
+        let v = run("(let ((make-adder (lambda (n) (lambda (x) (+ x n)))))
+                       (let ((add3 (make-adder 3))) (add3 4)))");
+        assert_eq!(v, Value::Int(7));
+    }
+
+    #[test]
+    fn set_bang_is_visible_through_closures() {
+        let v = run("(let ((counter 0))
+                       (let ((bump (lambda (u) (set! counter (+ counter 1)))))
+                         (begin (bump (unit)) (bump (unit)) counter)))");
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn while_loops_run() {
+        let v = run("(let ((i 0) (acc 0))
+                       (begin
+                         (while (< i 5)
+                           (set! acc (+ acc i))
+                           (set! i (+ i 1)))
+                         acc))");
+        assert_eq!(v, Value::Int(10));
+    }
+
+    #[test]
+    fn vectors_read_and_write() {
+        let v = run("(let ((v (make-vector 4 0)))
+                       (begin
+                         (vec-set! v 0 10)
+                         (vec-set! v 3 (+ (vec-ref v 0) 5))
+                         (+ (vec-ref v 3) (vec-len v))))");
+        assert_eq!(v, Value::Int(19));
+    }
+
+    #[test]
+    fn vector_bounds_are_checked() {
+        assert!(run_source("(vec-ref (make-vector 2 0) 5)").is_err());
+        assert!(run_source("(vec-set! (make-vector 2 0) -1 0)").is_err());
+    }
+
+    #[test]
+    fn recursion_works() {
+        let v = run("(define fib (lambda (n)
+                       (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))
+                     (fib 15)");
+        assert_eq!(v, Value::Int(610));
+    }
+
+    #[test]
+    fn higher_order_programs_run() {
+        let v = run("(define compose (lambda (f g) (lambda (x) (f (g x)))))
+                     (define inc (lambda (x) (+ x 1)))
+                     (define dbl (lambda (x) (* x 2)))
+                     ((compose inc dbl) 5)");
+        assert_eq!(v, Value::Int(11));
+    }
+
+    #[test]
+    fn shadowing_respects_scope() {
+        let v = run("(let ((x 1)) (let ((x 2)) x))");
+        assert_eq!(v, Value::Int(2));
+        let v = run("(let ((x 1)) (begin (let ((x 2)) x) x))");
+        assert_eq!(v, Value::Int(1));
+    }
+
+    #[test]
+    fn negative_vector_length_is_rejected() {
+        assert!(run_source("(make-vector -1 0)").is_err());
+    }
+}

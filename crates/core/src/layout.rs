@@ -1,0 +1,101 @@
+//! Representation cost model: how many bytes a value of a given type costs
+//! under the unboxed and boxed representations.
+//!
+//! The numbers feed experiment E2's memory column and quantify the paper's
+//! Fallacy 2 claim structurally: boxing multiplies the footprint (pointer +
+//! header per value) and scatters it (one heap cell per element), which is
+//! where the cache misses come from.
+
+use crate::types::Type;
+
+/// Bytes of one pointer/word in the model machine.
+pub const WORD: usize = 8;
+
+/// Bytes of a heap-cell header (tag + refcount in the boxed VM).
+pub const HEADER: usize = 8;
+
+/// Inline (stack/register) size of a value under the unboxed representation.
+#[must_use]
+pub fn unboxed_inline_bytes(t: &Type) -> usize {
+    match t {
+        // Unit is zero-sized; everything else is one machine word.
+        Type::Unit => 0,
+        _ => WORD,
+    }
+}
+
+/// Heap bytes per value under the unboxed representation (payload only;
+/// scalars carry none).
+#[must_use]
+pub fn unboxed_heap_bytes(t: &Type) -> usize {
+    match t {
+        Type::Vector(_) | Type::Fn(_, _) => HEADER, // descriptor cell
+        _ => 0,
+    }
+}
+
+/// Heap bytes per value under the uniformly boxed representation: every
+/// value, scalar or not, is a header + payload cell reached by pointer.
+#[must_use]
+pub fn boxed_heap_bytes(t: &Type) -> usize {
+    match t {
+        Type::Unit => HEADER,
+        _ => HEADER + WORD,
+    }
+}
+
+/// Total bytes for an array of `n` elements of type `t`, both
+/// representations: `(unboxed, boxed)`.
+///
+/// Unboxed arrays store elements inline; boxed arrays store `n` pointers to
+/// `n` separately allocated cells.
+#[must_use]
+pub fn array_bytes(t: &Type, n: usize) -> (usize, usize) {
+    let unboxed = HEADER + n * unboxed_inline_bytes(t);
+    let boxed = HEADER + n * WORD + n * boxed_heap_bytes(t);
+    (unboxed, boxed)
+}
+
+/// The boxing bloat factor for an array of `n` elements of `t`.
+#[must_use]
+pub fn bloat_factor(t: &Type, n: usize) -> f64 {
+    let (u, b) = array_bytes(t, n);
+    #[allow(clippy::cast_precision_loss)]
+    {
+        b as f64 / u as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_word_sized_unboxed() {
+        assert_eq!(unboxed_inline_bytes(&Type::Int), 8);
+        assert_eq!(unboxed_inline_bytes(&Type::Bool), 8);
+        assert_eq!(unboxed_inline_bytes(&Type::Unit), 0);
+        assert_eq!(unboxed_heap_bytes(&Type::Int), 0);
+    }
+
+    #[test]
+    fn boxing_adds_header_and_indirection() {
+        assert_eq!(boxed_heap_bytes(&Type::Int), 16);
+        let (u, b) = array_bytes(&Type::Int, 1000);
+        assert_eq!(u, 8 + 8000);
+        assert_eq!(b, 8 + 8000 + 16_000);
+    }
+
+    #[test]
+    fn bloat_approaches_3x_for_large_int_arrays() {
+        let f = bloat_factor(&Type::Int, 1_000_000);
+        assert!(f > 2.9 && f < 3.1, "bloat {f}");
+    }
+
+    #[test]
+    fn unit_arrays_are_degenerate_but_defined() {
+        let (u, b) = array_bytes(&Type::Unit, 10);
+        assert_eq!(u, 8);
+        assert!(b > u);
+    }
+}

@@ -1,0 +1,209 @@
+//! Lexer for the BitC-style S-expression surface syntax.
+//!
+//! BitC used an S-expression concrete syntax in its early revisions (the
+//! paper's group published the grammar that way), which keeps the reader
+//! small and unambiguous: parentheses, identifiers, integer literals,
+//! booleans `#t`/`#f`, and line comments starting with `;`.
+
+use crate::diag::{BitcError, Result, Span};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// An integer literal.
+    Int(i64),
+    /// `#t` or `#f`.
+    Bool(bool),
+    /// An identifier or operator symbol.
+    Ident(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Bool(true) => write!(f, "#t"),
+            Token::Bool(false) => write!(f, "#f"),
+            Token::Ident(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Its source location.
+    pub span: Span,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || "+-*/<>=!?_.:%".contains(c)
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns [`BitcError::Lex`] on malformed literals or stray characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ';' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(SpannedToken { token: Token::LParen, span: Span::new(i, i + 1) });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedToken { token: Token::RParen, span: Span::new(i, i + 1) });
+                i += 1;
+            }
+            '#' => {
+                let start = i;
+                i += 1;
+                match bytes.get(i) {
+                    Some('t') => {
+                        out.push(SpannedToken { token: Token::Bool(true), span: Span::new(start, i + 1) });
+                        i += 1;
+                    }
+                    Some('f') => {
+                        out.push(SpannedToken { token: Token::Bool(false), span: Span::new(start, i + 1) });
+                        i += 1;
+                    }
+                    _ => {
+                        return Err(BitcError::Lex {
+                            span: Span::new(start, i),
+                            message: "expected #t or #f".into(),
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n = text.parse::<i64>().map_err(|_| BitcError::Lex {
+                    span: Span::new(start, i),
+                    message: format!("integer literal {text} out of range"),
+                })?;
+                out.push(SpannedToken { token: Token::Int(n), span: Span::new(start, i) });
+            }
+            c if is_ident_char(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(SpannedToken { token: Token::Ident(text), span: Span::new(start, i) });
+            }
+            other => {
+                return Err(BitcError::Lex {
+                    span: Span::new(i, i + 1),
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("(+ 1 23)"),
+            vec![
+                Token::LParen,
+                Token::Ident("+".into()),
+                Token::Int(1),
+                Token::Int(23),
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_vs_minus_operator() {
+        assert_eq!(toks("-5"), vec![Token::Int(-5)]);
+        assert_eq!(toks("- 5"), vec![Token::Ident("-".into()), Token::Int(5)]);
+    }
+
+    #[test]
+    fn booleans() {
+        assert_eq!(toks("#t #f"), vec![Token::Bool(true), Token::Bool(false)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("1 ; the loneliest number\n2"), vec![Token::Int(1), Token::Int(2)]);
+    }
+
+    #[test]
+    fn identifiers_with_punctuation() {
+        assert_eq!(
+            toks("set! vec-ref <= foo_bar"),
+            vec![
+                Token::Ident("set!".into()),
+                Token::Ident("vec-ref".into()),
+                Token::Ident("<=".into()),
+                Token::Ident("foo_bar".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let ts = lex("(ab 12)").unwrap();
+        assert_eq!(ts[1].span, Span::new(1, 3));
+        assert_eq!(ts[2].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn bad_hash_is_an_error() {
+        assert!(lex("#x").is_err());
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        assert!(lex("[1]").is_err());
+    }
+
+    #[test]
+    fn out_of_range_integer_is_an_error() {
+        assert!(lex("999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_source_lexes_to_nothing() {
+        assert!(toks("").is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! # bitc-core — a BitC-style verifiable systems language, reified
+//!
+//! The paper's primary contribution is an argument that a language can offer
+//! ML-strength types *and* the things systems programmers refuse to give up:
+//! mutability, unboxed representation, manual-feeling cost models, and
+//! checkable invariants. BitC itself was abandoned before evaluation; this
+//! crate builds the pipeline the paper describes so the claims become
+//! measurable:
+//!
+//! * [`lexer`] / [`parser`] — S-expression surface syntax (BitC's original
+//!   concrete syntax family),
+//! * [`ast`] — core language: HM polymorphism plus `set!`, `while`, and
+//!   mutable vectors,
+//! * [`infer`] — Algorithm W with the value restriction,
+//! * [`interp`] — reference interpreter (semantic oracle),
+//! * [`compile`] — assignment conversion, closure conversion, codegen,
+//! * [`vm`] — one bytecode, two value representations: [`vm::Unboxed`]
+//!   (raw words, tags discharged by the type checker) and [`vm::Boxed`]
+//!   (uniform heap cells) — the paper's Fallacy 2 as an experiment,
+//! * [`opt`] — optimization passes, separable for the Fallacy 3 ablation,
+//! * [`ffi`] — the native-call boundary for the Fallacy 4 (legacy
+//!   interop) measurements,
+//! * [`layout`] — the representation cost model.
+//!
+//! ```
+//! use bitc_core::vm::{run_boxed, run_unboxed};
+//!
+//! let src = "(define fib (lambda (n)
+//!               (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))
+//!             (fib 10)";
+//! assert_eq!(run_unboxed(src).unwrap(), 55);
+//! assert_eq!(run_boxed(src).unwrap(), 55); // same semantics, slower clothes
+//! ```
+
+pub mod ast;
+pub mod bytecode;
+pub mod compile;
+pub mod contracts;
+pub mod diag;
+pub mod ffi;
+pub mod infer;
+pub mod interp;
+pub mod layout;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+pub mod types;
+pub mod vm;
+
+pub use diag::{BitcError, Result};

@@ -1,0 +1,383 @@
+//! Parser: tokens → S-expressions → [`crate::ast`].
+
+use crate::ast::{Def, Expr, Program};
+use crate::diag::{BitcError, Result, Span};
+use crate::lexer::{lex, SpannedToken, Token};
+
+/// A generic S-expression, the intermediate form between tokens and AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sexp {
+    /// Integer atom.
+    Int(i64, Span),
+    /// Boolean atom.
+    Bool(bool, Span),
+    /// Symbol atom.
+    Sym(String, Span),
+    /// Parenthesized list.
+    List(Vec<Sexp>, Span),
+}
+
+impl Sexp {
+    fn span(&self) -> Span {
+        match self {
+            Sexp::Int(_, s) | Sexp::Bool(_, s) | Sexp::Sym(_, s) | Sexp::List(_, s) => *s,
+        }
+    }
+}
+
+fn parse_error(span: Span, message: impl Into<String>) -> BitcError {
+    BitcError::Parse { span, message: message.into() }
+}
+
+fn read_sexp(tokens: &[SpannedToken], pos: &mut usize) -> Result<Sexp> {
+    let Some(t) = tokens.get(*pos) else {
+        return Err(parse_error(Span::default(), "unexpected end of input"));
+    };
+    *pos += 1;
+    match &t.token {
+        Token::Int(n) => Ok(Sexp::Int(*n, t.span)),
+        Token::Bool(b) => Ok(Sexp::Bool(*b, t.span)),
+        Token::Ident(s) => Ok(Sexp::Sym(s.clone(), t.span)),
+        Token::RParen => Err(parse_error(t.span, "unexpected )")),
+        Token::LParen => {
+            let start = t.span;
+            let mut items = Vec::new();
+            loop {
+                match tokens.get(*pos) {
+                    None => return Err(parse_error(start, "unclosed (")),
+                    Some(tok) if tok.token == Token::RParen => {
+                        let span = start.merge(tok.span);
+                        *pos += 1;
+                        return Ok(Sexp::List(items, span));
+                    }
+                    Some(_) => items.push(read_sexp(tokens, pos)?),
+                }
+            }
+        }
+    }
+}
+
+/// Reads every top-level S-expression in `src`.
+///
+/// # Errors
+///
+/// Returns lexical or syntactic errors.
+pub fn read_all(src: &str) -> Result<Vec<Sexp>> {
+    let tokens = lex(src)?;
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < tokens.len() {
+        out.push(read_sexp(&tokens, &mut pos)?);
+    }
+    Ok(out)
+}
+
+fn expect_sym(s: &Sexp) -> Result<String> {
+    match s {
+        Sexp::Sym(name, _) => Ok(name.clone()),
+        other => Err(parse_error(other.span(), "expected an identifier")),
+    }
+}
+
+fn to_expr(s: &Sexp) -> Result<Expr> {
+    match s {
+        Sexp::Int(n, _) => Ok(Expr::Int(*n)),
+        Sexp::Bool(b, _) => Ok(Expr::Bool(*b)),
+        Sexp::Sym(name, _) => Ok(Expr::Var(name.clone())),
+        Sexp::List(items, span) => {
+            let Some(head) = items.first() else {
+                return Err(parse_error(*span, "empty application"));
+            };
+            if let Sexp::Sym(kw, _) = head {
+                match kw.as_str() {
+                    "unit" => {
+                        if items.len() != 1 {
+                            return Err(parse_error(*span, "(unit) takes no arguments"));
+                        }
+                        return Ok(Expr::Unit);
+                    }
+                    "if" => {
+                        if items.len() != 4 {
+                            return Err(parse_error(*span, "(if c t e) takes three arguments"));
+                        }
+                        return Ok(Expr::If(
+                            Box::new(to_expr(&items[1])?),
+                            Box::new(to_expr(&items[2])?),
+                            Box::new(to_expr(&items[3])?),
+                        ));
+                    }
+                    "let" => {
+                        if items.len() != 3 {
+                            return Err(parse_error(*span, "(let ((x e)...) body)"));
+                        }
+                        let Sexp::List(binds, _) = &items[1] else {
+                            return Err(parse_error(items[1].span(), "let bindings must be a list"));
+                        };
+                        let mut bindings = Vec::new();
+                        for b in binds {
+                            let Sexp::List(pair, bspan) = b else {
+                                return Err(parse_error(b.span(), "binding must be (name expr)"));
+                            };
+                            if pair.len() != 2 {
+                                return Err(parse_error(*bspan, "binding must be (name expr)"));
+                            }
+                            bindings.push((expect_sym(&pair[0])?, to_expr(&pair[1])?));
+                        }
+                        return Ok(Expr::Let(bindings, Box::new(to_expr(&items[2])?)));
+                    }
+                    "lambda" => {
+                        if items.len() != 3 {
+                            return Err(parse_error(*span, "(lambda (params) body)"));
+                        }
+                        let Sexp::List(params, _) = &items[1] else {
+                            return Err(parse_error(items[1].span(), "lambda params must be a list"));
+                        };
+                        let names: Result<Vec<String>> = params.iter().map(expect_sym).collect();
+                        return Ok(Expr::Lambda(names?, Box::new(to_expr(&items[2])?)));
+                    }
+                    "begin" => {
+                        if items.len() < 2 {
+                            return Err(parse_error(*span, "(begin e ...) needs a body"));
+                        }
+                        let es: Result<Vec<Expr>> = items[1..].iter().map(to_expr).collect();
+                        return Ok(Expr::Begin(es?));
+                    }
+                    "set!" => {
+                        if items.len() != 3 {
+                            return Err(parse_error(*span, "(set! name expr)"));
+                        }
+                        return Ok(Expr::SetBang(expect_sym(&items[1])?, Box::new(to_expr(&items[2])?)));
+                    }
+                    "while" => {
+                        if items.len() < 3 {
+                            return Err(parse_error(*span, "(while cond body ...)"));
+                        }
+                        let body: Result<Vec<Expr>> = items[2..].iter().map(to_expr).collect();
+                        return Ok(Expr::While(Box::new(to_expr(&items[1])?), body?));
+                    }
+                    "make-vector" => {
+                        if items.len() != 3 {
+                            return Err(parse_error(*span, "(make-vector n init)"));
+                        }
+                        return Ok(Expr::MakeVector(
+                            Box::new(to_expr(&items[1])?),
+                            Box::new(to_expr(&items[2])?),
+                        ));
+                    }
+                    "vec-ref" => {
+                        if items.len() != 3 {
+                            return Err(parse_error(*span, "(vec-ref v i)"));
+                        }
+                        return Ok(Expr::VectorRef(
+                            Box::new(to_expr(&items[1])?),
+                            Box::new(to_expr(&items[2])?),
+                        ));
+                    }
+                    "vec-set!" => {
+                        if items.len() != 4 {
+                            return Err(parse_error(*span, "(vec-set! v i e)"));
+                        }
+                        return Ok(Expr::VectorSet(
+                            Box::new(to_expr(&items[1])?),
+                            Box::new(to_expr(&items[2])?),
+                            Box::new(to_expr(&items[3])?),
+                        ));
+                    }
+                    "vec-len" => {
+                        if items.len() != 2 {
+                            return Err(parse_error(*span, "(vec-len v)"));
+                        }
+                        return Ok(Expr::VectorLen(Box::new(to_expr(&items[1])?)));
+                    }
+                    "define" => {
+                        return Err(parse_error(*span, "define is only allowed at top level"));
+                    }
+                    _ => {}
+                }
+            }
+            let func = to_expr(head)?;
+            let args: Result<Vec<Expr>> = items[1..].iter().map(to_expr).collect();
+            Ok(Expr::Apply(Box::new(func), args?))
+        }
+    }
+}
+
+/// Parses one expression from source.
+///
+/// # Errors
+///
+/// Returns a parse error if `src` is not exactly one well-formed expression.
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let sexps = read_all(src)?;
+    match sexps.as_slice() {
+        [one] => to_expr(one),
+        [] => Err(parse_error(Span::default(), "empty input")),
+        [_, extra, ..] => Err(parse_error(extra.span(), "expected exactly one expression")),
+    }
+}
+
+/// Parses a whole program: any number of `(define name expr)` forms followed
+/// by a final main expression.
+///
+/// # Errors
+///
+/// Returns a parse error for malformed input or a missing main expression.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let sexps = read_all(src)?;
+    if sexps.is_empty() {
+        return Err(parse_error(Span::default(), "empty program"));
+    }
+    let mut defs = Vec::new();
+    let mut main: Option<Expr> = None;
+    for (i, s) in sexps.iter().enumerate() {
+        let is_define = matches!(
+            s,
+            Sexp::List(items, _) if matches!(items.first(), Some(Sexp::Sym(k, _)) if k == "define")
+        );
+        if is_define {
+            let Sexp::List(items, span) = s else { unreachable!() };
+            if main.is_some() {
+                return Err(parse_error(*span, "define after the main expression"));
+            }
+            if items.len() != 3 {
+                return Err(parse_error(*span, "(define name expr)"));
+            }
+            defs.push(Def { name: expect_sym(&items[1])?, expr: to_expr(&items[2])? });
+        } else {
+            if i != sexps.len() - 1 {
+                return Err(parse_error(s.span(), "only the final form may be the main expression"));
+            }
+            main = Some(to_expr(s)?);
+        }
+    }
+    let Some(main) = main else {
+        return Err(parse_error(Span::default(), "program has no main expression"));
+    };
+    Ok(Program { defs, main })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_arithmetic() {
+        let e = parse_expr("(+ 1 (* 2 3))").unwrap();
+        assert_eq!(e.to_string(), "(+ 1 (* 2 3))");
+    }
+
+    #[test]
+    fn parses_let_lambda_if() {
+        let e = parse_expr("(let ((f (lambda (x) (if (< x 0) (- 0 x) x)))) (f -5))").unwrap();
+        assert!(matches!(e, Expr::Let(_, _)));
+    }
+
+    #[test]
+    fn parses_mutation_and_loops() {
+        let e = parse_expr("(begin (set! x 1) (while (< x 10) (set! x (+ x 1))) x)").unwrap();
+        match e {
+            Expr::Begin(es) => {
+                assert!(matches!(es[0], Expr::SetBang(_, _)));
+                assert!(matches!(es[1], Expr::While(_, _)));
+            }
+            other => panic!("expected begin, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_vectors() {
+        let e = parse_expr("(vec-set! (make-vector 10 0) 3 42)").unwrap();
+        assert!(matches!(e, Expr::VectorSet(_, _, _)));
+    }
+
+    #[test]
+    fn parses_program_with_defines() {
+        let p = parse_program("(define two 2) (define sq (lambda (x) (* x x))) (sq two)").unwrap();
+        assert_eq!(p.defs.len(), 2);
+        assert_eq!(p.main.to_string(), "(sq two)");
+    }
+
+    #[test]
+    fn rejects_define_in_expression_position() {
+        assert!(parse_expr("(+ 1 (define x 2))").is_err());
+    }
+
+    #[test]
+    fn rejects_define_after_main() {
+        assert!(parse_program("(+ 1 2) (define x 3)").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(parse_expr("(+ 1 2").is_err());
+        assert!(parse_expr("+ 1 2)").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_application() {
+        assert!(parse_expr("()").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_let() {
+        assert!(parse_expr("(let (x 1) x)").is_err());
+        assert!(parse_expr("(let ((1 x)) x)").is_err());
+    }
+
+    #[test]
+    fn rejects_program_without_main() {
+        assert!(parse_program("(define x 1)").is_err());
+    }
+
+    /// Identifier strategy that avoids the language keywords (a keyword in
+    /// head position would legitimately reparse as a special form).
+    fn arb_name() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9]{0,5}".prop_filter("not a keyword", |s| {
+            !matches!(s.as_str(), "unit" | "if" | "let" | "lambda" | "begin" | "while" | "define")
+        })
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            any::<i32>().prop_map(|n| Expr::Int(i64::from(n))),
+            any::<bool>().prop_map(Expr::Bool),
+            arb_name().prop_map(Expr::Var),
+            Just(Expr::Unit),
+        ];
+        leaf.prop_recursive(4, 32, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| Expr::If(
+                    Box::new(a),
+                    Box::new(b),
+                    Box::new(c)
+                )),
+                (arb_name(), inner.clone(), inner.clone()).prop_map(|(x, e, b)| Expr::Let(
+                    vec![(x, e)],
+                    Box::new(b)
+                )),
+                (arb_name(), inner.clone()).prop_map(|(p, b)| Expr::Lambda(
+                    vec![p],
+                    Box::new(b)
+                )),
+                (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
+                    .prop_map(|(h, args)| Expr::Apply(Box::new(h), args)),
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::Begin),
+                (inner.clone(), inner.clone()).prop_map(|(n, i)| Expr::MakeVector(
+                    Box::new(n),
+                    Box::new(i)
+                )),
+            ]
+        })
+    }
+
+    proptest! {
+        /// print → reparse is the identity on ASTs.
+        #[test]
+        fn print_parse_roundtrip(e in arb_expr()) {
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed).unwrap();
+            prop_assert_eq!(reparsed, e);
+        }
+    }
+}

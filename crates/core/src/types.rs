@@ -1,0 +1,260 @@
+//! Types and unification for the Hindley–Milner checker.
+
+use crate::diag::{BitcError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A monotype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit signed integer (unboxed machine word).
+    Int,
+    /// Boolean.
+    Bool,
+    /// Unit.
+    Unit,
+    /// Inference variable.
+    Var(u32),
+    /// Function type `(args) -> ret`.
+    Fn(Vec<Type>, Box<Type>),
+    /// Mutable vector.
+    Vector(Box<Type>),
+}
+
+impl Type {
+    /// Collects free inference variables into `out`.
+    pub fn free_vars(&self, out: &mut Vec<u32>) {
+        match self {
+            Type::Int | Type::Bool | Type::Unit => {}
+            Type::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Type::Fn(args, ret) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+                ret.free_vars(out);
+            }
+            Type::Vector(t) => t.free_vars(out),
+        }
+    }
+}
+
+fn var_name(v: u32) -> String {
+    // a, b, ..., z, t26, t27, ...
+    if v < 26 {
+        char::from(b'a' + u8::try_from(v).expect("< 26")).to_string()
+    } else {
+        format!("t{v}")
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::Unit => write!(f, "unit"),
+            Type::Var(v) => write!(f, "'{}", var_name(*v)),
+            Type::Fn(args, ret) => {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ") -> {ret}")
+            }
+            Type::Vector(t) => write!(f, "(vector {t})"),
+        }
+    }
+}
+
+/// A type scheme `forall vars. ty`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheme {
+    /// Universally quantified variables.
+    pub vars: Vec<u32>,
+    /// The quantified type.
+    pub ty: Type,
+}
+
+impl Scheme {
+    /// A scheme with no quantified variables.
+    #[must_use]
+    pub fn mono(ty: Type) -> Self {
+        Scheme { vars: Vec::new(), ty }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vars.is_empty() {
+            write!(f, "{}", self.ty)
+        } else {
+            write!(f, "forall")?;
+            for v in &self.vars {
+                write!(f, " '{}", var_name(*v))?;
+            }
+            write!(f, ". {}", self.ty)
+        }
+    }
+}
+
+/// A substitution from inference variables to types, with path resolution.
+#[derive(Debug, Clone, Default)]
+pub struct Subst {
+    map: HashMap<u32, Type>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves `t` one level: follows variable bindings until a non-variable
+    /// or unbound variable is reached.
+    #[must_use]
+    pub fn resolve_shallow(&self, mut t: Type) -> Type {
+        while let Type::Var(v) = t {
+            match self.map.get(&v) {
+                Some(next) => t = next.clone(),
+                None => return Type::Var(v),
+            }
+        }
+        t
+    }
+
+    /// Fully applies the substitution.
+    #[must_use]
+    pub fn apply(&self, t: &Type) -> Type {
+        match self.resolve_shallow(t.clone()) {
+            Type::Fn(args, ret) => Type::Fn(
+                args.iter().map(|a| self.apply(a)).collect(),
+                Box::new(self.apply(&ret)),
+            ),
+            Type::Vector(inner) => Type::Vector(Box::new(self.apply(&inner))),
+            other => other,
+        }
+    }
+
+    fn occurs(&self, v: u32, t: &Type) -> bool {
+        match self.resolve_shallow(t.clone()) {
+            Type::Var(w) => w == v,
+            Type::Fn(args, ret) => args.iter().any(|a| self.occurs(v, a)) || self.occurs(v, &ret),
+            Type::Vector(inner) => self.occurs(v, &inner),
+            _ => false,
+        }
+    }
+
+    /// Unifies two types, extending the substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error on constructor mismatch, arity mismatch, or an
+    /// occurs-check failure (infinite type).
+    pub fn unify(&mut self, a: &Type, b: &Type) -> Result<()> {
+        let a = self.resolve_shallow(a.clone());
+        let b = self.resolve_shallow(b.clone());
+        match (a, b) {
+            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) | (Type::Unit, Type::Unit) => Ok(()),
+            (Type::Var(v), t) | (t, Type::Var(v)) => {
+                if t == Type::Var(v) {
+                    return Ok(());
+                }
+                if self.occurs(v, &t) {
+                    return Err(BitcError::type_error(format!(
+                        "infinite type: '{} occurs in {}",
+                        var_name(v),
+                        self.apply(&t)
+                    )));
+                }
+                self.map.insert(v, t);
+                Ok(())
+            }
+            (Type::Fn(a_args, a_ret), Type::Fn(b_args, b_ret)) => {
+                if a_args.len() != b_args.len() {
+                    return Err(BitcError::type_error(format!(
+                        "arity mismatch: function of {} arguments vs {}",
+                        a_args.len(),
+                        b_args.len()
+                    )));
+                }
+                for (x, y) in a_args.iter().zip(b_args.iter()) {
+                    self.unify(x, y)?;
+                }
+                self.unify(&a_ret, &b_ret)
+            }
+            (Type::Vector(x), Type::Vector(y)) => self.unify(&x, &y),
+            (a, b) => Err(BitcError::type_error(format!(
+                "cannot unify {} with {}",
+                self.apply(&a),
+                self.apply(&b)
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_identical_bases() {
+        let mut s = Subst::new();
+        assert!(s.unify(&Type::Int, &Type::Int).is_ok());
+        assert!(s.unify(&Type::Int, &Type::Bool).is_err());
+    }
+
+    #[test]
+    fn unify_binds_variables() {
+        let mut s = Subst::new();
+        s.unify(&Type::Var(0), &Type::Int).unwrap();
+        assert_eq!(s.apply(&Type::Var(0)), Type::Int);
+    }
+
+    #[test]
+    fn unify_chains_variables() {
+        let mut s = Subst::new();
+        s.unify(&Type::Var(0), &Type::Var(1)).unwrap();
+        s.unify(&Type::Var(1), &Type::Bool).unwrap();
+        assert_eq!(s.apply(&Type::Var(0)), Type::Bool);
+    }
+
+    #[test]
+    fn occurs_check_rejects_infinite_types() {
+        let mut s = Subst::new();
+        let t = Type::Fn(vec![Type::Var(0)], Box::new(Type::Int));
+        assert!(s.unify(&Type::Var(0), &t).is_err());
+    }
+
+    #[test]
+    fn function_types_unify_structurally() {
+        let mut s = Subst::new();
+        let f = Type::Fn(vec![Type::Var(0)], Box::new(Type::Var(0)));
+        let g = Type::Fn(vec![Type::Int], Box::new(Type::Var(1)));
+        s.unify(&f, &g).unwrap();
+        assert_eq!(s.apply(&Type::Var(1)), Type::Int);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let mut s = Subst::new();
+        let f = Type::Fn(vec![Type::Int], Box::new(Type::Int));
+        let g = Type::Fn(vec![Type::Int, Type::Int], Box::new(Type::Int));
+        assert!(s.unify(&f, &g).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Type::Fn(vec![Type::Int, Type::Var(1)], Box::new(Type::Vector(Box::new(Type::Var(1)))));
+        assert_eq!(t.to_string(), "(int 'b) -> (vector 'b)");
+        let s = Scheme { vars: vec![1], ty: t };
+        assert_eq!(s.to_string(), "forall 'b. (int 'b) -> (vector 'b)");
+    }
+}

@@ -1,0 +1,826 @@
+//! The stack VM, generic over value representation.
+//!
+//! The same bytecode executes under two representations:
+//!
+//! * [`Unboxed`] — every value is one raw machine word (`u64`). The type
+//!   checker has already proven the tags unnecessary, so none are stored or
+//!   checked: this is the representation BitC argues a systems language must
+//!   deliver.
+//! * [`Boxed`] — every value is a reference-counted heap cell with a tag,
+//!   checked on every use: the representation a uniformly-boxed managed
+//!   runtime pays for.
+//!
+//! Experiment E2 runs identical programs under both and measures the gap the
+//! paper's Fallacy 2 says can be optimised away; E3 then turns optimizer
+//! passes on to see how much of the gap they actually recover.
+
+use crate::bytecode::{Bytecode, CaptureSrc, Instr};
+use crate::diag::{BitcError, Result};
+use crate::ffi::{NativeFn, NativeRegistry};
+use std::fmt;
+use std::rc::Rc;
+
+/// A value representation strategy.
+pub trait Rep {
+    /// The runtime value type.
+    type Value: Clone + fmt::Debug;
+
+    /// Display name for reports.
+    const NAME: &'static str;
+
+    /// True if producing a value heap-allocates (for allocation accounting).
+    const ALLOCATES: bool;
+
+    /// Wraps an integer.
+    fn from_int(n: i64) -> Self::Value;
+
+    /// Extracts an integer.
+    ///
+    /// # Errors
+    ///
+    /// Tag mismatch (boxed representation only).
+    fn to_int(v: &Self::Value) -> Result<i64>;
+
+    /// Wraps a boolean.
+    fn from_bool(b: bool) -> Self::Value;
+
+    /// Extracts a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Tag mismatch (boxed representation only).
+    fn to_bool(v: &Self::Value) -> Result<bool>;
+
+    /// The unit value.
+    fn unit() -> Self::Value;
+
+    /// Wraps a closure handle.
+    fn from_closure(idx: u32) -> Self::Value;
+
+    /// Extracts a closure handle.
+    ///
+    /// # Errors
+    ///
+    /// Tag mismatch (boxed representation only).
+    fn to_closure(v: &Self::Value) -> Result<u32>;
+
+    /// Wraps a vector handle.
+    fn from_vec(idx: u32) -> Self::Value;
+
+    /// Extracts a vector handle.
+    ///
+    /// # Errors
+    ///
+    /// Tag mismatch (boxed representation only).
+    fn to_vec(v: &Self::Value) -> Result<u32>;
+}
+
+/// Unboxed representation: raw 64-bit words, no tags, no checks.
+#[derive(Debug, Clone, Copy)]
+pub struct Unboxed;
+
+impl Rep for Unboxed {
+    type Value = u64;
+
+    const NAME: &'static str = "unboxed";
+    const ALLOCATES: bool = false;
+
+    #[inline]
+    fn from_int(n: i64) -> u64 {
+        n.cast_unsigned()
+    }
+
+    #[inline]
+    fn to_int(v: &u64) -> Result<i64> {
+        Ok(v.cast_signed())
+    }
+
+    #[inline]
+    fn from_bool(b: bool) -> u64 {
+        u64::from(b)
+    }
+
+    #[inline]
+    fn to_bool(v: &u64) -> Result<bool> {
+        Ok(*v != 0)
+    }
+
+    #[inline]
+    fn unit() -> u64 {
+        0
+    }
+
+    #[inline]
+    fn from_closure(idx: u32) -> u64 {
+        u64::from(idx)
+    }
+
+    #[inline]
+    fn to_closure(v: &u64) -> Result<u32> {
+        u32::try_from(*v).map_err(|_| BitcError::runtime("corrupt closure handle"))
+    }
+
+    #[inline]
+    fn from_vec(idx: u32) -> u64 {
+        u64::from(idx)
+    }
+
+    #[inline]
+    fn to_vec(v: &u64) -> Result<u32> {
+        u32::try_from(*v).map_err(|_| BitcError::runtime("corrupt vector handle"))
+    }
+}
+
+/// A tagged, heap-allocated value cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoxedCell {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Unit.
+    Unit,
+    /// Closure handle.
+    Closure(u32),
+    /// Vector handle.
+    Vector(u32),
+}
+
+/// Boxed representation: every value is `Rc<BoxedCell>`, checked on use.
+#[derive(Debug, Clone, Copy)]
+pub struct Boxed;
+
+impl Rep for Boxed {
+    type Value = Rc<BoxedCell>;
+
+    const NAME: &'static str = "boxed";
+    const ALLOCATES: bool = true;
+
+    fn from_int(n: i64) -> Rc<BoxedCell> {
+        Rc::new(BoxedCell::Int(n))
+    }
+
+    fn to_int(v: &Rc<BoxedCell>) -> Result<i64> {
+        match **v {
+            BoxedCell::Int(n) => Ok(n),
+            ref other => Err(BitcError::runtime(format!("expected int, found {other:?}"))),
+        }
+    }
+
+    fn from_bool(b: bool) -> Rc<BoxedCell> {
+        Rc::new(BoxedCell::Bool(b))
+    }
+
+    fn to_bool(v: &Rc<BoxedCell>) -> Result<bool> {
+        match **v {
+            BoxedCell::Bool(b) => Ok(b),
+            ref other => Err(BitcError::runtime(format!("expected bool, found {other:?}"))),
+        }
+    }
+
+    fn unit() -> Rc<BoxedCell> {
+        Rc::new(BoxedCell::Unit)
+    }
+
+    fn from_closure(idx: u32) -> Rc<BoxedCell> {
+        Rc::new(BoxedCell::Closure(idx))
+    }
+
+    fn to_closure(v: &Rc<BoxedCell>) -> Result<u32> {
+        match **v {
+            BoxedCell::Closure(i) => Ok(i),
+            ref other => Err(BitcError::runtime(format!("expected closure, found {other:?}"))),
+        }
+    }
+
+    fn from_vec(idx: u32) -> Rc<BoxedCell> {
+        Rc::new(BoxedCell::Vector(idx))
+    }
+
+    fn to_vec(v: &Rc<BoxedCell>) -> Result<u32> {
+        match **v {
+            BoxedCell::Vector(i) => Ok(i),
+            ref other => Err(BitcError::runtime(format!("expected vector, found {other:?}"))),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ClosureRt<R: Rep> {
+    func: u16,
+    captures: Vec<R::Value>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: usize,
+    ip: usize,
+    base: usize,
+    closure: Option<u32>,
+}
+
+/// Execution counters for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Heap cells allocated by the value representation.
+    pub value_allocations: u64,
+    /// VM→VM calls.
+    pub calls: u64,
+    /// VM→native calls.
+    pub native_calls: u64,
+}
+
+/// Maximum call depth (guards against runaway recursion in tests).
+const MAX_DEPTH: usize = 100_000;
+
+/// The virtual machine, parameterized by representation.
+#[derive(Debug)]
+pub struct Vm<'a, R: Rep> {
+    bc: &'a Bytecode,
+    natives: Vec<NativeFn>,
+    globals: Vec<R::Value>,
+    closures: Vec<ClosureRt<R>>,
+    vectors: Vec<Vec<R::Value>>,
+    /// Execution counters.
+    pub stats: VmStats,
+}
+
+impl<'a, R: Rep> Vm<'a, R> {
+    /// Prepares a VM for `bc`, resolving natives against `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile error if a referenced native is missing.
+    pub fn new(bc: &'a Bytecode, registry: &NativeRegistry) -> Result<Self> {
+        let natives: Result<Vec<NativeFn>> =
+            bc.natives.iter().map(|n| registry.lookup(n).map(|(f, _)| f)).collect();
+        // Globals default to unit until their defining code runs.
+        let max_global = bc
+            .functions
+            .iter()
+            .flat_map(|f| &f.code)
+            .filter_map(|i| match i {
+                Instr::LoadGlobal(g) | Instr::StoreGlobal(g) => Some(usize::from(*g) + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Ok(Vm {
+            bc,
+            natives: natives?,
+            globals: (0..max_global).map(|_| R::unit()).collect(),
+            closures: Vec::new(),
+            vectors: Vec::new(),
+            stats: VmStats::default(),
+        })
+    }
+
+    fn produce(&mut self, v: R::Value) -> R::Value {
+        if R::ALLOCATES {
+            self.stats.value_allocations += 1;
+        }
+        v
+    }
+
+    /// Runs the entry function to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitcError::Runtime`] on traps (division by zero, bounds,
+    /// call-depth, or — in the boxed representation — tag mismatches).
+    #[allow(clippy::too_many_lines)]
+    pub fn run(&mut self) -> Result<R::Value> {
+        let mut stack: Vec<R::Value> = Vec::with_capacity(256);
+        let mut frames: Vec<Frame> = Vec::with_capacity(64);
+        // Enter main.
+        for _ in 0..self.bc.functions[0].n_locals {
+            stack.push(R::unit());
+        }
+        frames.push(Frame { func: 0, ip: 0, base: 0, closure: None });
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or_else(|| BitcError::runtime("operand stack underflow"))?
+            };
+        }
+        macro_rules! int_binop {
+            ($op:expr) => {{
+                let b = R::to_int(&pop!())?;
+                let a = R::to_int(&pop!())?;
+                let r = R::from_int($op(a, b));
+                let r = self.produce(r);
+                stack.push(r);
+            }};
+        }
+        macro_rules! cmp_binop {
+            ($op:expr) => {{
+                let b = R::to_int(&pop!())?;
+                let a = R::to_int(&pop!())?;
+                let r = R::from_bool($op(a, b));
+                let r = self.produce(r);
+                stack.push(r);
+            }};
+        }
+
+        loop {
+            let frame = frames.last_mut().expect("at least one frame");
+            let func = &self.bc.functions[frame.func];
+            let Some(instr) = func.code.get(frame.ip) else {
+                return Err(BitcError::runtime("fell off the end of a function"));
+            };
+            frame.ip += 1;
+            self.stats.instructions += 1;
+            let (func_idx, base) = (frame.func, frame.base);
+            let _ = func_idx;
+            match instr.clone() {
+                Instr::Const(n) => {
+                    let v = self.produce(R::from_int(n));
+                    stack.push(v);
+                }
+                Instr::ConstBool(b) => {
+                    let v = self.produce(R::from_bool(b));
+                    stack.push(v);
+                }
+                Instr::ConstUnit => {
+                    let v = self.produce(R::unit());
+                    stack.push(v);
+                }
+                Instr::LoadLocal(i) => {
+                    let v = stack[base + usize::from(i)].clone();
+                    stack.push(v);
+                }
+                Instr::StoreLocal(i) => {
+                    let v = pop!();
+                    stack[base + usize::from(i)] = v;
+                }
+                Instr::LoadCapture(i) => {
+                    let closure = frames
+                        .last()
+                        .and_then(|f| f.closure)
+                        .ok_or_else(|| BitcError::runtime("capture load outside closure"))?;
+                    let v = self.closures[closure as usize].captures[usize::from(i)].clone();
+                    stack.push(v);
+                }
+                Instr::LoadGlobal(g) => {
+                    let v = self.globals[usize::from(g)].clone();
+                    stack.push(v);
+                }
+                Instr::StoreGlobal(g) => {
+                    let v = pop!();
+                    self.globals[usize::from(g)] = v;
+                }
+                Instr::Add => int_binop!(i64::wrapping_add),
+                Instr::Sub => int_binop!(i64::wrapping_sub),
+                Instr::Mul => int_binop!(i64::wrapping_mul),
+                Instr::Div => {
+                    let b = R::to_int(&pop!())?;
+                    let a = R::to_int(&pop!())?;
+                    if b == 0 {
+                        return Err(BitcError::runtime("division by zero"));
+                    }
+                    let v = self.produce(R::from_int(a.wrapping_div(b)));
+                    stack.push(v);
+                }
+                Instr::Mod => {
+                    let b = R::to_int(&pop!())?;
+                    let a = R::to_int(&pop!())?;
+                    if b == 0 {
+                        return Err(BitcError::runtime("modulo by zero"));
+                    }
+                    let v = self.produce(R::from_int(a.wrapping_rem(b)));
+                    stack.push(v);
+                }
+                Instr::Lt => cmp_binop!(|a, b| a < b),
+                Instr::Le => cmp_binop!(|a, b| a <= b),
+                Instr::Gt => cmp_binop!(|a, b| a > b),
+                Instr::Ge => cmp_binop!(|a, b| a >= b),
+                Instr::Eq => cmp_binop!(|a, b| a == b),
+                Instr::Ne => cmp_binop!(|a, b| a != b),
+                Instr::And => {
+                    let b = R::to_bool(&pop!())?;
+                    let a = R::to_bool(&pop!())?;
+                    let v = self.produce(R::from_bool(a && b));
+                    stack.push(v);
+                }
+                Instr::Or => {
+                    let b = R::to_bool(&pop!())?;
+                    let a = R::to_bool(&pop!())?;
+                    let v = self.produce(R::from_bool(a || b));
+                    stack.push(v);
+                }
+                Instr::Not => {
+                    let a = R::to_bool(&pop!())?;
+                    let v = self.produce(R::from_bool(!a));
+                    stack.push(v);
+                }
+                Instr::AddImm(n) => {
+                    let a = R::to_int(&pop!())?;
+                    let v = self.produce(R::from_int(a.wrapping_add(n)));
+                    stack.push(v);
+                }
+                Instr::Jump(d) => {
+                    let frame = frames.last_mut().expect("frame");
+                    frame.ip = offset(frame.ip, d)?;
+                }
+                Instr::JumpIfFalse(d) => {
+                    let c = R::to_bool(&pop!())?;
+                    if !c {
+                        let frame = frames.last_mut().expect("frame");
+                        frame.ip = offset(frame.ip, d)?;
+                    }
+                }
+                Instr::MakeClosure { func, captures } => {
+                    let mut values = Vec::with_capacity(captures.len());
+                    for src in &captures {
+                        let v = match *src {
+                            CaptureSrc::Local(s) => stack[base + usize::from(s)].clone(),
+                            CaptureSrc::Capture(c) => {
+                                let closure = frames
+                                    .last()
+                                    .and_then(|f| f.closure)
+                                    .ok_or_else(|| BitcError::runtime("capture outside closure"))?;
+                                self.closures[closure as usize].captures[usize::from(c)].clone()
+                            }
+                        };
+                        values.push(v);
+                    }
+                    let idx = u32::try_from(self.closures.len())
+                        .map_err(|_| BitcError::runtime("closure heap exhausted"))?;
+                    self.closures.push(ClosureRt { func, captures: values });
+                    let v = self.produce(R::from_closure(idx));
+                    stack.push(v);
+                }
+                Instr::Call(nargs) => {
+                    if frames.len() >= MAX_DEPTH {
+                        return Err(BitcError::runtime("call depth exceeded"));
+                    }
+                    self.stats.calls += 1;
+                    let nargs = usize::from(nargs);
+                    if stack.len() < nargs + 1 {
+                        return Err(BitcError::runtime("operand stack underflow at call"));
+                    }
+                    let args_start = stack.len() - nargs;
+                    let closure_idx = R::to_closure(&stack[args_start - 1])?;
+                    let callee = self.closures[closure_idx as usize].func;
+                    let callee_fn = &self.bc.functions[usize::from(callee)];
+                    if callee_fn.arity != nargs {
+                        return Err(BitcError::runtime(format!(
+                            "function {} expects {} arguments, got {nargs}",
+                            callee_fn.name, callee_fn.arity
+                        )));
+                    }
+                    // Locals: args already in place; remove the closure slot
+                    // by shifting args down one.
+                    stack.remove(args_start - 1);
+                    let new_base = stack.len() - nargs;
+                    for _ in 0..callee_fn.n_locals - nargs {
+                        stack.push(R::unit());
+                    }
+                    frames.push(Frame {
+                        func: usize::from(callee),
+                        ip: 0,
+                        base: new_base,
+                        closure: Some(closure_idx),
+                    });
+                }
+                Instr::TailCall(nargs) => {
+                    self.stats.calls += 1;
+                    let nargs = usize::from(nargs);
+                    if stack.len() < nargs + 1 {
+                        return Err(BitcError::runtime("operand stack underflow at tail call"));
+                    }
+                    let args_start = stack.len() - nargs;
+                    let closure_idx = R::to_closure(&stack[args_start - 1])?;
+                    let callee = self.closures[closure_idx as usize].func;
+                    let callee_fn = &self.bc.functions[usize::from(callee)];
+                    if callee_fn.arity != nargs {
+                        return Err(BitcError::runtime(format!(
+                            "function {} expects {} arguments, got {nargs}",
+                            callee_fn.name, callee_fn.arity
+                        )));
+                    }
+                    // Move args down over the current frame, then reuse it.
+                    let frame = frames.last_mut().expect("frame");
+                    let base = frame.base;
+                    for i in 0..nargs {
+                        stack[base + i] = stack[args_start + i].clone();
+                    }
+                    stack.truncate(base + nargs);
+                    for _ in 0..callee_fn.n_locals - nargs {
+                        stack.push(R::unit());
+                    }
+                    frame.func = usize::from(callee);
+                    frame.ip = 0;
+                    frame.closure = Some(closure_idx);
+                }
+                Instr::Ret => {
+                    let result = pop!();
+                    let frame = frames.pop().expect("frame to return from");
+                    stack.truncate(frame.base);
+                    if frames.is_empty() {
+                        return Ok(result);
+                    }
+                    stack.push(result);
+                }
+                Instr::CallNative { idx, nargs } => {
+                    self.stats.native_calls += 1;
+                    let nargs = usize::from(nargs);
+                    let mut args = vec![0i64; nargs];
+                    for i in (0..nargs).rev() {
+                        args[i] = R::to_int(&pop!())?;
+                    }
+                    let f = self.natives[usize::from(idx)];
+                    let r = f(&args).map_err(BitcError::runtime)?;
+                    let v = self.produce(R::from_int(r));
+                    stack.push(v);
+                }
+                Instr::VecNew => {
+                    let init = pop!();
+                    let len = R::to_int(&pop!())?;
+                    if len < 0 {
+                        return Err(BitcError::runtime(format!(
+                            "make-vector with negative length {len}"
+                        )));
+                    }
+                    let idx = u32::try_from(self.vectors.len())
+                        .map_err(|_| BitcError::runtime("vector heap exhausted"))?;
+                    self.vectors.push(vec![init; usize::try_from(len).expect("nonnegative")]);
+                    self.stats.value_allocations += 1;
+                    let v = self.produce(R::from_vec(idx));
+                    stack.push(v);
+                }
+                Instr::VecGet => {
+                    let i = R::to_int(&pop!())?;
+                    let v = R::to_vec(&pop!())?;
+                    let vec = &self.vectors[v as usize];
+                    let item = usize::try_from(i).ok().and_then(|i| vec.get(i)).cloned();
+                    match item {
+                        Some(x) => stack.push(x),
+                        None => {
+                            return Err(BitcError::runtime(format!(
+                                "vector index {i} out of bounds (len {})",
+                                vec.len()
+                            )))
+                        }
+                    }
+                }
+                Instr::VecSet => {
+                    let x = pop!();
+                    let i = R::to_int(&pop!())?;
+                    let v = R::to_vec(&pop!())?;
+                    let vec = &mut self.vectors[v as usize];
+                    let len = vec.len();
+                    match usize::try_from(i).ok().and_then(|i| vec.get_mut(i)) {
+                        Some(slot) => *slot = x,
+                        None => {
+                            return Err(BitcError::runtime(format!(
+                                "vector index {i} out of bounds (len {len})"
+                            )))
+                        }
+                    }
+                    let u = self.produce(R::unit());
+                    stack.push(u);
+                }
+                Instr::VecLen => {
+                    let v = R::to_vec(&pop!())?;
+                    let len = i64::try_from(self.vectors[v as usize].len())
+                        .map_err(|_| BitcError::runtime("vector length overflows i64"))?;
+                    let r = self.produce(R::from_int(len));
+                    stack.push(r);
+                }
+                Instr::Pop => {
+                    let _ = pop!();
+                }
+            }
+        }
+    }
+
+    /// Runs and extracts the result as an integer.
+    ///
+    /// # Errors
+    ///
+    /// Runtime traps, or a non-integer result.
+    pub fn run_int(&mut self) -> Result<i64> {
+        let v = self.run()?;
+        R::to_int(&v)
+    }
+}
+
+fn offset(ip: usize, delta: i32) -> Result<usize> {
+    let target = i64::try_from(ip).expect("ip fits") + i64::from(delta);
+    usize::try_from(target).map_err(|_| BitcError::runtime("jump before function start"))
+}
+
+/// Compiles and runs `src` under the unboxed representation.
+///
+/// # Errors
+///
+/// Any pipeline error.
+pub fn run_unboxed(src: &str) -> Result<i64> {
+    let bc = crate::compile::compile_source(src)?;
+    Vm::<Unboxed>::new(&bc, &NativeRegistry::new())?.run_int()
+}
+
+/// Compiles and runs `src` under the boxed representation.
+///
+/// # Errors
+///
+/// Any pipeline error.
+pub fn run_boxed(src: &str) -> Result<i64> {
+    let bc = crate::compile::compile_source(src)?;
+    Vm::<Boxed>::new(&bc, &NativeRegistry::new())?.run_int()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_program_with_natives, compile_source};
+    use crate::parser::parse_program;
+
+    fn both(src: &str) -> (i64, i64) {
+        (run_unboxed(src).unwrap(), run_boxed(src).unwrap())
+    }
+
+    #[test]
+    fn arithmetic_matches_between_representations() {
+        let (u, b) = both("(+ 1 (* 2 3))");
+        assert_eq!(u, 7);
+        assert_eq!(b, 7);
+    }
+
+    #[test]
+    fn conditionals_and_comparisons() {
+        let (u, b) = both("(if (< 3 5) 10 20)");
+        assert_eq!((u, b), (10, 10));
+    }
+
+    #[test]
+    fn let_bindings_and_shadowing() {
+        let (u, b) = both("(let ((x 1)) (let ((x (+ x 1))) (* x 10)))");
+        assert_eq!((u, b), (20, 20));
+    }
+
+    #[test]
+    fn while_loop_accumulates() {
+        let src = "(let ((i 0) (acc 0))
+                     (begin
+                       (while (< i 10) (set! acc (+ acc i)) (set! i (+ i 1)))
+                       acc))";
+        assert_eq!(both(src), (45, 45));
+    }
+
+    #[test]
+    fn closures_capture_and_call() {
+        let src = "(let ((make-adder (lambda (n) (lambda (x) (+ x n)))))
+                     ((make-adder 3) 4))";
+        assert_eq!(both(src), (7, 7));
+    }
+
+    #[test]
+    fn mutation_through_closures_works_after_conversion() {
+        let src = "(let ((counter 0))
+                     (let ((bump (lambda (u) (set! counter (+ counter 1)))))
+                       (begin (bump (unit)) (bump (unit)) counter)))";
+        assert_eq!(both(src), (2, 2));
+    }
+
+    #[test]
+    fn recursion_via_globals() {
+        let src = "(define fib (lambda (n)
+                      (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))
+                    (fib 15)";
+        assert_eq!(both(src), (610, 610));
+    }
+
+    #[test]
+    fn vectors_work_in_both_reps() {
+        let src = "(let ((v (make-vector 5 1)))
+                     (begin
+                       (vec-set! v 2 42)
+                       (+ (vec-ref v 2) (+ (vec-ref v 0) (vec-len v)))))";
+        assert_eq!(both(src), (48, 48));
+    }
+
+    #[test]
+    fn division_by_zero_traps_in_both() {
+        assert!(run_unboxed("(div 1 0)").is_err());
+        assert!(run_boxed("(div 1 0)").is_err());
+    }
+
+    #[test]
+    fn vector_bounds_trap_in_both() {
+        assert!(run_unboxed("(vec-ref (make-vector 2 0) 9)").is_err());
+        assert!(run_boxed("(vec-ref (make-vector 2 0) 9)").is_err());
+    }
+
+    #[test]
+    fn deep_nontail_recursion_hits_depth_limit_not_host_stack() {
+        // sum is NOT tail recursive: the + happens after the recursive call.
+        let src = "(define sum (lambda (n) (if (= n 0) 0 (+ n (sum (- n 1))))))
+                    (sum 200000)";
+        let err = run_unboxed(src).unwrap_err();
+        assert!(err.to_string().contains("call depth"));
+    }
+
+    #[test]
+    fn tail_recursion_runs_in_constant_stack_space() {
+        // spin IS tail recursive: two million iterations, no depth limit.
+        let src = "(define spin (lambda (n) (if (= n 0) 42 (spin (- n 1)))))
+                    (spin 2000000)";
+        assert_eq!(run_unboxed(src).unwrap(), 42);
+        assert_eq!(run_boxed(src).unwrap(), 42);
+    }
+
+    #[test]
+    fn tail_call_compiles_into_the_bytecode() {
+        let bc = compile_source(
+            "(define spin (lambda (n) (if (= n 0) 0 (spin (- n 1))))) (spin 3)",
+        )
+        .unwrap();
+        let has_tail = bc.functions.iter().flat_map(|f| &f.code).any(|i| {
+            matches!(i, crate::bytecode::Instr::TailCall(_))
+        });
+        assert!(has_tail, "{}", bc.disassemble());
+    }
+
+    #[test]
+    fn tail_calls_between_different_functions_work() {
+        // f tail-calls g with different arity/locals: frame reshaping.
+        let src = "(define g (lambda (a b) (+ a b)))
+                   (define f (lambda (x) (g x (* x 10))))
+                   (f 4)";
+        assert_eq!(run_unboxed(src).unwrap(), 44);
+        assert_eq!(run_boxed(src).unwrap(), 44);
+    }
+
+    #[test]
+    fn boxed_rep_counts_allocations_unboxed_does_not() {
+        let bc = compile_source("(+ 1 (+ 2 3))").unwrap();
+        let reg = NativeRegistry::new();
+        let mut vu = Vm::<Unboxed>::new(&bc, &reg).unwrap();
+        vu.run().unwrap();
+        assert_eq!(vu.stats.value_allocations, 0);
+        let mut vb = Vm::<Boxed>::new(&bc, &reg).unwrap();
+        vb.run().unwrap();
+        assert!(vb.stats.value_allocations >= 5, "3 consts + 2 sums allocate");
+    }
+
+    #[test]
+    fn native_calls_work_in_both_reps() {
+        let p = parse_program("(host-add (host-sum-to 10) 5)").unwrap();
+        let bc = compile_program_with_natives(&p, &[("host-add", 2), ("host-sum-to", 1)]).unwrap();
+        let reg = NativeRegistry::with_defaults();
+        assert_eq!(Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap(), 60);
+        assert_eq!(Vm::<Boxed>::new(&bc, &reg).unwrap().run_int().unwrap(), 60);
+    }
+
+    #[test]
+    fn missing_native_is_rejected_at_vm_construction() {
+        let p = parse_program("(ghost 1)").unwrap();
+        let bc = compile_program_with_natives(&p, &[("ghost", 1)]).unwrap();
+        assert!(Vm::<Unboxed>::new(&bc, &NativeRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn instruction_counts_are_reported() {
+        let bc = compile_source("(+ 1 2)").unwrap();
+        let mut vm = Vm::<Unboxed>::new(&bc, &NativeRegistry::new()).unwrap();
+        vm.run().unwrap();
+        assert_eq!(vm.stats.instructions, 4, "const const add ret");
+    }
+
+    #[test]
+    fn higher_order_and_transitive_captures() {
+        let src = "(let ((a 100))
+                     (let ((outer (lambda (x) (lambda (y) (+ (+ x y) a)))))
+                       ((outer 10) 1)))";
+        assert_eq!(both(src), (111, 111));
+    }
+
+    #[test]
+    fn vm_agrees_with_interpreter_on_corpus() {
+        let corpus = [
+            "(+ 1 2)",
+            "(if (> 2 1) (* 3 3) 0)",
+            "(let ((x 5)) (begin (set! x (* x x)) x))",
+            "(define dbl (lambda (x) (* 2 x))) (dbl (dbl 7))",
+            "(let ((v (make-vector 3 7))) (+ (vec-ref v 1) (vec-len v)))",
+            "(let ((i 0)) (begin (while (< i 7) (set! i (+ i 1))) i))",
+            "(define half (lambda (n) (div n 2)))
+             (define quarter (lambda (n) (half (half n))))
+             (quarter 100)",
+            "(mod (* 13 17) 10)",
+        ];
+        for src in corpus {
+            let expected = match crate::interp::run_source(src) {
+                Ok(crate::interp::Value::Int(n)) => n,
+                Ok(other) => panic!("corpus programs return ints, got {other}"),
+                Err(e) => panic!("interpreter failed on {src}: {e}"),
+            };
+            assert_eq!(run_unboxed(src).unwrap(), expected, "unboxed vs interp: {src}");
+            assert_eq!(run_boxed(src).unwrap(), expected, "boxed vs interp: {src}");
+        }
+    }
+}

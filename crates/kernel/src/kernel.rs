@@ -1,0 +1,808 @@
+//! The kernel proper: capability spaces, synchronous IPC, scheduling, and
+//! the syscall interface.
+//!
+//! The design follows EROS/Coyotos in miniature: all authority flows through
+//! capabilities; IPC is synchronous rendezvous through endpoints; message
+//! payloads are copied through kernel heap objects. The kernel heap is any
+//! [`sysmem::Manager`], injected at construction — experiment E6 swaps heap
+//! policies (region, freelist, mark-sweep, generational) under the identical
+//! IPC fast path and watches what happens to the tail latency.
+
+use crate::cycles::{self, CycleCounter};
+use crate::object::{Capability, ObjId, ObjectKind};
+use crate::rights::Rights;
+use crate::{CapSlot, KernelError, Pid, Result};
+use std::collections::VecDeque;
+use sysmem::freelist::FreeListHeap;
+use sysmem::{Handle, Manager};
+
+/// Maximum capability-space slots per process.
+pub const CSPACE_CAPACITY: usize = 1024;
+
+/// An IPC message: payload words plus an optional capability transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Payload words.
+    pub payload: Vec<u64>,
+    /// Capability delivered alongside the payload, if any.
+    pub cap: Option<Capability>,
+}
+
+impl Message {
+    /// A plain data message.
+    #[must_use]
+    pub fn words(payload: &[u64]) -> Self {
+        Message { payload: payload.to_vec(), cap: None }
+    }
+
+    /// An empty message.
+    #[must_use]
+    pub fn empty() -> Self {
+        Message { payload: Vec::new(), cap: None }
+    }
+}
+
+/// Result of a successful syscall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysResult {
+    /// Operation completed with nothing to return.
+    Done,
+    /// Operation completed; message was delivered to [`Kernel::take_delivered`].
+    Delivered,
+    /// The caller is now blocked waiting for a partner.
+    Blocked,
+    /// A new capability slot.
+    Slot(CapSlot),
+    /// A data word (page reads).
+    Value(u64),
+}
+
+/// System calls.
+#[derive(Debug, Clone)]
+pub enum Syscall {
+    /// Send `msg` through an endpoint capability (requires SEND).
+    Send {
+        /// Endpoint capability slot.
+        cap: CapSlot,
+        /// The message.
+        msg: Message,
+    },
+    /// Receive from an endpoint capability (requires RECV).
+    Recv {
+        /// Endpoint capability slot.
+        cap: CapSlot,
+    },
+    /// Mint a diminished copy of a capability (requires GRANT).
+    Mint {
+        /// Source slot.
+        src: CapSlot,
+        /// Requested rights (intersected with the source's).
+        rights: Rights,
+    },
+    /// Allocate a page of `words` words (returns an ALL-rights page cap).
+    AllocPage {
+        /// Page size in words.
+        words: usize,
+    },
+    /// Write a word to a page (requires WRITE).
+    WritePage {
+        /// Page capability slot.
+        cap: CapSlot,
+        /// Word offset.
+        offset: usize,
+        /// Value to store.
+        value: u64,
+    },
+    /// Read a word from a page (requires READ).
+    ReadPage {
+        /// Page capability slot.
+        cap: CapSlot,
+        /// Word offset.
+        offset: usize,
+    },
+    /// Destroy an endpoint (requires CONTROL). Waiters are woken empty.
+    DestroyEndpoint {
+        /// Endpoint capability slot.
+        cap: CapSlot,
+    },
+    /// Yield the CPU.
+    Yield,
+    /// Exit the calling process.
+    Exit,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Ready,
+    BlockedSend(u32),
+    BlockedRecv(u32),
+    Dead,
+}
+
+#[derive(Debug)]
+struct Process {
+    state: ProcState,
+    cspace: Vec<Option<Capability>>,
+    delivered: VecDeque<Message>,
+}
+
+#[derive(Debug)]
+struct StoredMessage {
+    handle: Handle,
+    len: usize,
+    cap: Option<Capability>,
+    sender: Pid,
+}
+
+#[derive(Debug, Default)]
+struct Endpoint {
+    senders: VecDeque<StoredMessage>,
+    receivers: VecDeque<Pid>,
+    alive: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ObjEntry {
+    kind: ObjectKind,
+    index: u32,
+    alive: bool,
+}
+
+/// The kernel.
+pub struct Kernel {
+    mem: Box<dyn Manager>,
+    objects: Vec<ObjEntry>,
+    processes: Vec<Process>,
+    endpoints: Vec<Endpoint>,
+    pages: Vec<Handle>,
+    run_queue: VecDeque<Pid>,
+    /// Transparent cycle accounting.
+    pub cycles: CycleCounter,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("heap", &self.mem.name())
+            .field("processes", &self.processes.len())
+            .field("endpoints", &self.endpoints.len())
+            .field("cycles", &self.cycles.total())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel over the given heap manager.
+    #[must_use]
+    pub fn new(mem: Box<dyn Manager>) -> Self {
+        Kernel {
+            mem,
+            objects: Vec::new(),
+            processes: Vec::new(),
+            endpoints: Vec::new(),
+            pages: Vec::new(),
+            run_queue: VecDeque::new(),
+            cycles: CycleCounter::new(),
+        }
+    }
+
+    /// Creates a kernel over a 1 MiB free-list heap (the C-like default).
+    #[must_use]
+    pub fn with_default_heap() -> Self {
+        Kernel::new(Box::new(FreeListHeap::new(1 << 20)))
+    }
+
+    /// Name of the heap policy in use.
+    #[must_use]
+    pub fn heap_name(&self) -> &'static str {
+        self.mem.name()
+    }
+
+    fn new_object(&mut self, kind: ObjectKind, index: u32) -> ObjId {
+        let id = ObjId(u32::try_from(self.objects.len()).expect("object ids fit u32"));
+        self.objects.push(ObjEntry { kind, index, alive: true });
+        id
+    }
+
+    /// Spawns a new process with an empty capability space.
+    pub fn spawn_process(&mut self) -> Pid {
+        self.cycles.charge(cycles::OBJECT_ALLOC);
+        let pid = Pid(u32::try_from(self.processes.len()).expect("pids fit u32"));
+        self.processes.push(Process {
+            state: ProcState::Ready,
+            cspace: Vec::new(),
+            delivered: VecDeque::new(),
+        });
+        self.new_object(ObjectKind::Process, pid.0);
+        self.run_queue.push_back(pid);
+        pid
+    }
+
+    fn process(&self, pid: Pid) -> Result<&Process> {
+        self.processes.get(pid.0 as usize).ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    fn process_mut(&mut self, pid: Pid) -> Result<&mut Process> {
+        self.processes.get_mut(pid.0 as usize).ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    fn install_cap(&mut self, pid: Pid, cap: Capability) -> Result<CapSlot> {
+        let proc = self.process_mut(pid)?;
+        if let Some(free) = proc.cspace.iter().position(Option::is_none) {
+            proc.cspace[free] = Some(cap);
+            return Ok(CapSlot(u32::try_from(free).expect("fits")));
+        }
+        if proc.cspace.len() >= CSPACE_CAPACITY {
+            return Err(KernelError::CapSpaceFull);
+        }
+        proc.cspace.push(Some(cap));
+        Ok(CapSlot(u32::try_from(proc.cspace.len() - 1).expect("fits")))
+    }
+
+    fn lookup_cap(&mut self, pid: Pid, slot: CapSlot) -> Result<Capability> {
+        self.cycles.charge(cycles::CAP_LOOKUP);
+        self.process(pid)?
+            .cspace
+            .get(slot.0 as usize)
+            .copied()
+            .flatten()
+            .ok_or(KernelError::InvalidCapSlot(slot))
+    }
+
+    fn require(&mut self, cap: Capability, kind: ObjectKind, right: Rights, name: &'static str)
+        -> Result<u32> {
+        self.cycles.charge(cycles::RIGHTS_CHECK);
+        let entry = self.objects[cap.target.0 as usize];
+        if !entry.alive {
+            return Err(KernelError::DanglingCapability);
+        }
+        if entry.kind != kind {
+            return Err(KernelError::WrongObjectKind {
+                expected: match kind {
+                    ObjectKind::Endpoint => "endpoint",
+                    ObjectKind::Page => "page",
+                    ObjectKind::Process => "process",
+                },
+            });
+        }
+        if !cap.rights.contains(right) {
+            return Err(KernelError::InsufficientRights { required: name });
+        }
+        Ok(entry.index)
+    }
+
+    /// Creates an endpoint owned by `owner`, returning an ALL-rights cap.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the owner is unknown or its c-space is full.
+    pub fn create_endpoint(&mut self, owner: Pid) -> Result<CapSlot> {
+        self.cycles.charge(cycles::OBJECT_ALLOC);
+        let index = u32::try_from(self.endpoints.len()).expect("fits");
+        self.endpoints.push(Endpoint { alive: true, ..Endpoint::default() });
+        let id = self.new_object(ObjectKind::Endpoint, index);
+        self.install_cap(owner, Capability::new(id, ObjectKind::Endpoint, Rights::ALL))
+    }
+
+    /// Root-task operation: mints a diminished copy of `from`'s capability
+    /// into `to`'s c-space (requires GRANT on the source capability).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad slots, missing GRANT, or a full destination c-space.
+    pub fn grant_cap(&mut self, from: Pid, slot: CapSlot, to: Pid, rights: Rights)
+        -> Result<CapSlot> {
+        let cap = self.lookup_cap(from, slot)?;
+        self.cycles.charge(cycles::RIGHTS_CHECK);
+        if !cap.rights.contains(Rights::GRANT) {
+            return Err(KernelError::InsufficientRights { required: "GRANT" });
+        }
+        let minted = cap.mint(rights);
+        debug_assert!(cap.rights.contains(minted.rights), "mint must not amplify");
+        self.install_cap(to, minted)
+    }
+
+    /// Reads the capability in one of `pid`'s slots (inspection only; the
+    /// capability stays where it is).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown pids or empty slots.
+    pub fn inspect_cap(&mut self, pid: Pid, slot: CapSlot) -> Result<Capability> {
+        self.lookup_cap(pid, slot)
+    }
+
+    /// The set of object ids `pid` currently holds capabilities to — its
+    /// *authority*. Confinement reasoning in the EROS tradition: authority
+    /// can only grow through a capability explicitly transferred over an
+    /// endpoint both parties can reach; two processes with disjoint
+    /// authority can never affect each other, and the tests prove it by
+    /// running adversarial syscall sequences.
+    #[must_use]
+    pub fn authority(&self, pid: Pid) -> std::collections::BTreeSet<crate::object::ObjId> {
+        self.processes
+            .get(pid.0 as usize)
+            .map(|p| p.cspace.iter().flatten().map(|c| c.target).collect())
+            .unwrap_or_default()
+    }
+
+    /// Pops the next delivered message for `pid`.
+    pub fn take_delivered(&mut self, pid: Pid) -> Option<Message> {
+        self.processes.get_mut(pid.0 as usize)?.delivered.pop_front()
+    }
+
+    /// True if the process is ready to run.
+    #[must_use]
+    pub fn is_ready(&self, pid: Pid) -> bool {
+        self.processes.get(pid.0 as usize).is_some_and(|p| p.state == ProcState::Ready)
+    }
+
+    /// The scheduler: returns the next ready process, rotating the queue.
+    pub fn schedule(&mut self) -> Option<Pid> {
+        self.cycles.charge(cycles::SCHEDULE);
+        for _ in 0..self.run_queue.len() {
+            let pid = self.run_queue.pop_front()?;
+            if self.processes[pid.0 as usize].state == ProcState::Ready {
+                self.run_queue.push_back(pid);
+                return Some(pid);
+            }
+            // Blocked/dead processes drop off; they re-enter on wake.
+        }
+        None
+    }
+
+    fn wake(&mut self, pid: Pid) {
+        let proc = &mut self.processes[pid.0 as usize];
+        if proc.state != ProcState::Dead {
+            proc.state = ProcState::Ready;
+            self.run_queue.push_back(pid);
+        }
+    }
+
+    fn store_message(&mut self, sender: Pid, msg: Message) -> Result<StoredMessage> {
+        let len = msg.payload.len();
+        let handle =
+            self.mem.alloc(0, len.max(1)).map_err(|_| KernelError::OutOfMemory)?;
+        for (i, w) in msg.payload.iter().enumerate() {
+            self.mem.set_word(handle, i, *w).map_err(|_| KernelError::OutOfMemory)?;
+        }
+        self.mem.add_root(handle);
+        self.cycles.charge(cycles::COPY_WORD * len as u64);
+        Ok(StoredMessage { handle, len, cap: msg.cap, sender })
+    }
+
+    fn load_message(&mut self, stored: &StoredMessage) -> Message {
+        let mut payload = Vec::with_capacity(stored.len);
+        for i in 0..stored.len {
+            payload.push(self.mem.get_word(stored.handle, i).expect("kernel heap intact"));
+        }
+        self.cycles.charge(cycles::COPY_WORD * stored.len as u64);
+        self.mem.remove_root(stored.handle);
+        // Manual managers want an explicit free; collected heaps refuse it,
+        // which is fine — the root release above made it garbage.
+        let _ = self.mem.free(stored.handle);
+        Message { payload, cap: stored.cap }
+    }
+
+    fn deliver_to(&mut self, receiver: Pid, stored: StoredMessage) {
+        let msg = self.load_message(&stored);
+        if let Some(cap) = msg.cap {
+            // Transferred capability lands in the receiver's c-space.
+            let _ = self.install_cap(receiver, cap);
+        }
+        self.processes[receiver.0 as usize].delivered.push_back(msg);
+        self.cycles.charge(cycles::CONTEXT_SWITCH);
+    }
+
+    /// Executes one syscall on behalf of `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Every failure mode is a typed [`KernelError`]; the kernel never
+    /// panics on user input (the "segfaults should never happen" rule).
+    pub fn syscall(&mut self, pid: Pid, call: Syscall) -> Result<SysResult> {
+        self.cycles.charge(cycles::SYSCALL);
+        {
+            let proc = self.process(pid)?;
+            match proc.state {
+                ProcState::Dead => return Err(KernelError::ProcessDead(pid)),
+                ProcState::BlockedSend(_) | ProcState::BlockedRecv(_) => {
+                    return Err(KernelError::ProcessBlocked(pid))
+                }
+                ProcState::Ready => {}
+            }
+        }
+        match call {
+            Syscall::Send { cap, msg } => {
+                let capability = self.lookup_cap(pid, cap)?;
+                let ep_index =
+                    self.require(capability, ObjectKind::Endpoint, Rights::SEND, "SEND")?;
+                let stored = self.store_message(pid, msg)?;
+                if let Some(receiver) = self.endpoints[ep_index as usize].receivers.pop_front() {
+                    self.deliver_to(receiver, stored);
+                    self.wake(receiver);
+                    Ok(SysResult::Delivered)
+                } else {
+                    self.endpoints[ep_index as usize].senders.push_back(stored);
+                    self.processes[pid.0 as usize].state = ProcState::BlockedSend(ep_index);
+                    Ok(SysResult::Blocked)
+                }
+            }
+            Syscall::Recv { cap } => {
+                let capability = self.lookup_cap(pid, cap)?;
+                let ep_index =
+                    self.require(capability, ObjectKind::Endpoint, Rights::RECV, "RECV")?;
+                if let Some(stored) = self.endpoints[ep_index as usize].senders.pop_front() {
+                    let sender = stored.sender;
+                    self.deliver_to(pid, stored);
+                    self.wake(sender);
+                    Ok(SysResult::Delivered)
+                } else {
+                    self.endpoints[ep_index as usize].receivers.push_back(pid);
+                    self.processes[pid.0 as usize].state = ProcState::BlockedRecv(ep_index);
+                    Ok(SysResult::Blocked)
+                }
+            }
+            Syscall::Mint { src, rights } => {
+                let cap = self.lookup_cap(pid, src)?;
+                self.cycles.charge(cycles::RIGHTS_CHECK);
+                if !cap.rights.contains(Rights::GRANT) {
+                    return Err(KernelError::InsufficientRights { required: "GRANT" });
+                }
+                let minted = cap.mint(rights);
+                if !cap.rights.contains(minted.rights) {
+                    return Err(KernelError::RightsAmplification);
+                }
+                let slot = self.install_cap(pid, minted)?;
+                Ok(SysResult::Slot(slot))
+            }
+            Syscall::AllocPage { words } => {
+                self.cycles.charge(cycles::OBJECT_ALLOC);
+                let handle = self
+                    .mem
+                    .alloc(0, words.max(1))
+                    .map_err(|_| KernelError::OutOfMemory)?;
+                self.mem.add_root(handle);
+                let index = u32::try_from(self.pages.len()).expect("fits");
+                self.pages.push(handle);
+                let id = self.new_object(ObjectKind::Page, index);
+                let slot =
+                    self.install_cap(pid, Capability::new(id, ObjectKind::Page, Rights::ALL))?;
+                Ok(SysResult::Slot(slot))
+            }
+            Syscall::WritePage { cap, offset, value } => {
+                let capability = self.lookup_cap(pid, cap)?;
+                let index = self.require(capability, ObjectKind::Page, Rights::WRITE, "WRITE")?;
+                let handle = self.pages[index as usize];
+                self.mem
+                    .set_word(handle, offset, value)
+                    .map_err(|_| KernelError::PageFault { offset })?;
+                Ok(SysResult::Done)
+            }
+            Syscall::ReadPage { cap, offset } => {
+                let capability = self.lookup_cap(pid, cap)?;
+                let index = self.require(capability, ObjectKind::Page, Rights::READ, "READ")?;
+                let handle = self.pages[index as usize];
+                let v = self
+                    .mem
+                    .get_word(handle, offset)
+                    .map_err(|_| KernelError::PageFault { offset })?;
+                Ok(SysResult::Value(v))
+            }
+            Syscall::DestroyEndpoint { cap } => {
+                let capability = self.lookup_cap(pid, cap)?;
+                let index =
+                    self.require(capability, ObjectKind::Endpoint, Rights::CONTROL, "CONTROL")?;
+                let ep = &mut self.endpoints[index as usize];
+                ep.alive = false;
+                let senders: Vec<Pid> = ep.senders.drain(..).map(|s| s.sender).collect();
+                let receivers: Vec<Pid> = ep.receivers.drain(..).collect();
+                self.objects[capability.target.0 as usize].alive = false;
+                for p in senders.into_iter().chain(receivers) {
+                    self.wake(p);
+                }
+                Ok(SysResult::Done)
+            }
+            Syscall::Yield => {
+                self.cycles.charge(cycles::SCHEDULE);
+                Ok(SysResult::Done)
+            }
+            Syscall::Exit => {
+                self.processes[pid.0 as usize].state = ProcState::Dead;
+                Ok(SysResult::Done)
+            }
+        }
+    }
+
+    /// One complete IPC round trip: client sends `words` payload words to a
+    /// waiting server; server replies on a second endpoint. Returns the
+    /// cycles charged for the round trip. Used by experiment E6.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any syscall failure.
+    pub fn ping_pong(
+        &mut self,
+        client: Pid,
+        server: Pid,
+        request_ep: (CapSlot, CapSlot),
+        reply_ep: (CapSlot, CapSlot),
+        words: usize,
+    ) -> Result<u64> {
+        let snapshot = self.cycles;
+        let payload = vec![0xAB; words];
+        // Server posts a receive, then client sends (rendezvous).
+        self.syscall(server, Syscall::Recv { cap: request_ep.0 })?;
+        self.syscall(client, Syscall::Send { cap: request_ep.1, msg: Message::words(&payload) })?;
+        let req = self.take_delivered(server).ok_or(KernelError::DanglingCapability)?;
+        // Client waits for the reply; server echoes.
+        self.syscall(client, Syscall::Recv { cap: reply_ep.1 })?;
+        self.syscall(server, Syscall::Send { cap: reply_ep.0, msg: Message::words(&req.payload) })?;
+        let _ = self.take_delivered(client).ok_or(KernelError::DanglingCapability)?;
+        Ok(self.cycles.since(snapshot))
+    }
+
+    /// Forces a heap collection (no-op for manual managers); exposed so the
+    /// E6 driver can include collection pauses in its measurements.
+    pub fn collect_heap(&mut self) {
+        self.mem.collect();
+    }
+
+    /// Live bytes in the kernel heap.
+    #[must_use]
+    pub fn heap_live_bytes(&self) -> usize {
+        self.mem.live_bytes()
+    }
+
+    /// Worst collection pause observed in the kernel heap, in nanoseconds.
+    #[must_use]
+    pub fn heap_max_pause_ns(&self) -> u64 {
+        self.mem.stats().gc_pauses.max_ns()
+    }
+
+    /// Number of collections the kernel heap has run.
+    #[must_use]
+    pub fn heap_collections(&self) -> u64 {
+        self.mem.stats().collections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysmem::generational::GenerationalHeap;
+    use sysmem::marksweep::MarkSweepHeap;
+
+    fn setup() -> (Kernel, Pid, Pid, CapSlot, CapSlot) {
+        let mut k = Kernel::with_default_heap();
+        let server = k.spawn_process();
+        let client = k.spawn_process();
+        let ep_server = k.create_endpoint(server).unwrap();
+        let ep_client = k.grant_cap(server, ep_server, client, Rights::SEND).unwrap();
+        (k, server, client, ep_server, ep_client)
+    }
+
+    #[test]
+    fn rendezvous_delivers_payload() {
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        assert_eq!(k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap(), SysResult::Blocked);
+        assert!(!k.is_ready(server));
+        let r = k
+            .syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[1, 2, 3]) })
+            .unwrap();
+        assert_eq!(r, SysResult::Delivered);
+        assert!(k.is_ready(server), "receiver woken by rendezvous");
+        assert_eq!(k.take_delivered(server).unwrap().payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sender_blocks_until_receiver_arrives() {
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        let r = k
+            .syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[9]) })
+            .unwrap();
+        assert_eq!(r, SysResult::Blocked);
+        assert!(!k.is_ready(client));
+        k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap();
+        assert!(k.is_ready(client), "sender woken after delivery");
+        assert_eq!(k.take_delivered(server).unwrap().payload, vec![9]);
+    }
+
+    #[test]
+    fn send_right_is_required() {
+        let (mut k, server, client, ep_server, _) = setup();
+        // Client got SEND only; server granting RECV-only produces a cap
+        // that cannot send.
+        let recv_only = k.grant_cap(server, ep_server, client, Rights::RECV).unwrap();
+        let err = k
+            .syscall(client, Syscall::Send { cap: recv_only, msg: Message::empty() })
+            .unwrap_err();
+        assert_eq!(err, KernelError::InsufficientRights { required: "SEND" });
+    }
+
+    #[test]
+    fn grant_requires_grant_right() {
+        let (mut k, server, client, _ep_server, ep_client) = setup();
+        // Client's cap was minted with SEND only; it cannot re-grant.
+        let third = k.spawn_process();
+        let err = k.grant_cap(client, ep_client, third, Rights::SEND).unwrap_err();
+        assert_eq!(err, KernelError::InsufficientRights { required: "GRANT" });
+        let _ = server;
+    }
+
+    #[test]
+    fn mint_never_amplifies() {
+        let (mut k, server, _, ep_server, _) = setup();
+        // Server holds ALL; minting SEND|RECV gives exactly that.
+        let r = k.syscall(server, Syscall::Mint { src: ep_server, rights: Rights::SEND | Rights::RECV });
+        let SysResult::Slot(slot) = r.unwrap() else { panic!("expected slot") };
+        let cap = k.lookup_cap(server, slot).unwrap();
+        assert_eq!(cap.rights, Rights::SEND | Rights::RECV);
+    }
+
+    #[test]
+    fn capability_transfer_moves_authority() {
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        // Server allocates a page and sends a READ-only cap to the client.
+        let SysResult::Slot(page) = k.syscall(server, Syscall::AllocPage { words: 8 }).unwrap()
+        else {
+            panic!("expected slot")
+        };
+        k.syscall(server, Syscall::WritePage { cap: page, offset: 3, value: 77 }).unwrap();
+        let page_cap = k.lookup_cap(server, page).unwrap();
+        let readonly = page_cap.mint(Rights::READ);
+        k.syscall(client, Syscall::Recv { cap: ep_client }).err();
+        // Client needs RECV; grant it.
+        let ep_client_rv = k.grant_cap(server, ep_server, client, Rights::RECV).unwrap();
+        k.syscall(client, Syscall::Recv { cap: ep_client_rv }).unwrap();
+        k.syscall(
+            server,
+            Syscall::Send {
+                cap: ep_server,
+                msg: Message { payload: vec![], cap: Some(readonly) },
+            },
+        )
+        .unwrap();
+        let msg = k.take_delivered(client).unwrap();
+        assert!(msg.cap.is_some());
+        // The transferred cap landed in the client's c-space; find it.
+        let transferred = (0..CSPACE_CAPACITY)
+            .map(|i| CapSlot(u32::try_from(i).unwrap()))
+            .find(|&s| {
+                k.lookup_cap(client, s)
+                    .map(|c| c.kind == ObjectKind::Page)
+                    .unwrap_or(false)
+            })
+            .expect("transferred page cap present");
+        let SysResult::Value(v) =
+            k.syscall(client, Syscall::ReadPage { cap: transferred, offset: 3 }).unwrap()
+        else {
+            panic!("expected value")
+        };
+        assert_eq!(v, 77);
+        // But writing through the READ-only cap fails.
+        let err = k
+            .syscall(client, Syscall::WritePage { cap: transferred, offset: 0, value: 1 })
+            .unwrap_err();
+        assert_eq!(err, KernelError::InsufficientRights { required: "WRITE" });
+    }
+
+    #[test]
+    fn page_bounds_fault_cleanly() {
+        let mut k = Kernel::with_default_heap();
+        let p = k.spawn_process();
+        let SysResult::Slot(page) = k.syscall(p, Syscall::AllocPage { words: 4 }).unwrap() else {
+            panic!("expected slot")
+        };
+        let err = k.syscall(p, Syscall::ReadPage { cap: page, offset: 10 }).unwrap_err();
+        assert_eq!(err, KernelError::PageFault { offset: 10 });
+    }
+
+    #[test]
+    fn destroyed_endpoint_dangles() {
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        k.syscall(server, Syscall::DestroyEndpoint { cap: ep_server }).unwrap();
+        let err = k
+            .syscall(client, Syscall::Send { cap: ep_client, msg: Message::empty() })
+            .unwrap_err();
+        assert_eq!(err, KernelError::DanglingCapability);
+    }
+
+    #[test]
+    fn destroying_endpoint_wakes_waiters() {
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        k.syscall(client, Syscall::Send { cap: ep_client, msg: Message::empty() }).unwrap();
+        assert!(!k.is_ready(client));
+        k.syscall(server, Syscall::DestroyEndpoint { cap: ep_server }).unwrap();
+        assert!(k.is_ready(client), "blocked sender must not hang forever");
+    }
+
+    #[test]
+    fn blocked_processes_cannot_syscall() {
+        let (mut k, server, _, ep_server, _) = setup();
+        k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap();
+        let err = k.syscall(server, Syscall::Yield).unwrap_err();
+        assert_eq!(err, KernelError::ProcessBlocked(server));
+    }
+
+    #[test]
+    fn dead_processes_cannot_syscall() {
+        let mut k = Kernel::with_default_heap();
+        let p = k.spawn_process();
+        k.syscall(p, Syscall::Exit).unwrap();
+        assert_eq!(k.syscall(p, Syscall::Yield).unwrap_err(), KernelError::ProcessDead(p));
+    }
+
+    #[test]
+    fn scheduler_rotates_ready_processes() {
+        let mut k = Kernel::with_default_heap();
+        let a = k.spawn_process();
+        let b = k.spawn_process();
+        let first = k.schedule().unwrap();
+        let second = k.schedule().unwrap();
+        assert_ne!(first, second);
+        assert_eq!(k.schedule().unwrap(), first);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn cycles_accumulate_per_syscall() {
+        let mut k = Kernel::with_default_heap();
+        let p = k.spawn_process();
+        let before = k.cycles.total();
+        k.syscall(p, Syscall::Yield).unwrap();
+        assert!(k.cycles.total() > before);
+    }
+
+    #[test]
+    fn ping_pong_round_trip_works_and_counts_cycles() {
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        let reply_server = k.create_endpoint(server).unwrap();
+        let reply_client = k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+        let cycles = k
+            .ping_pong(client, server, (ep_server, ep_client), (reply_server, reply_client), 8)
+            .unwrap();
+        assert!(cycles > 0);
+        // Larger payloads must cost more cycles.
+        let cycles_big = k
+            .ping_pong(client, server, (ep_server, ep_client), (reply_server, reply_client), 256)
+            .unwrap();
+        assert!(cycles_big > cycles);
+    }
+
+    #[test]
+    fn kernel_runs_on_gc_heaps_too() {
+        for heap in [
+            Box::new(MarkSweepHeap::new(1 << 20)) as Box<dyn Manager>,
+            Box::new(GenerationalHeap::new(1 << 20, 1 << 12)) as Box<dyn Manager>,
+        ] {
+            let mut k = Kernel::new(heap);
+            let server = k.spawn_process();
+            let client = k.spawn_process();
+            let ep_s = k.create_endpoint(server).unwrap();
+            let ep_c = k.grant_cap(server, ep_s, client, Rights::SEND).unwrap();
+            for i in 0..200 {
+                k.syscall(server, Syscall::Recv { cap: ep_s }).unwrap();
+                k.syscall(client, Syscall::Send { cap: ep_c, msg: Message::words(&[i; 16]) })
+                    .unwrap();
+                let m = k.take_delivered(server).unwrap();
+                assert_eq!(m.payload, vec![i; 16]);
+            }
+            k.collect_heap();
+        }
+    }
+
+    #[test]
+    fn cspace_exhaustion_is_reported() {
+        let mut k = Kernel::with_default_heap();
+        let p = k.spawn_process();
+        let mut last = Ok(SysResult::Done);
+        for _ in 0..=CSPACE_CAPACITY {
+            last = k.syscall(p, Syscall::AllocPage { words: 1 });
+            if last.is_err() {
+                break;
+            }
+        }
+        assert_eq!(last.unwrap_err(), KernelError::CapSpaceFull);
+    }
+}

@@ -1,0 +1,143 @@
+//! The capability rights lattice.
+//!
+//! Rights form a powerset lattice ordered by inclusion; the kernel's core
+//! security invariant — *no operation ever produces a capability with rights
+//! outside its source's* — is monotonicity in this lattice. The invariant is
+//! checked at runtime here and proved over the abstract transition system in
+//! [`crate::invariants`].
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// A set of capability rights (a tiny hand-rolled bitset: the dependency
+/// policy keeps `bitflags` out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rights(u8);
+
+impl Rights {
+    /// No rights.
+    pub const NONE: Rights = Rights(0);
+    /// Read object contents (pages).
+    pub const READ: Rights = Rights(1);
+    /// Write object contents (pages).
+    pub const WRITE: Rights = Rights(1 << 1);
+    /// Send to an endpoint.
+    pub const SEND: Rights = Rights(1 << 2);
+    /// Receive from an endpoint.
+    pub const RECV: Rights = Rights(1 << 3);
+    /// Mint diminished copies and transfer them to other processes.
+    pub const GRANT: Rights = Rights(1 << 4);
+    /// Destroy or mutate the object itself.
+    pub const CONTROL: Rights = Rights(1 << 5);
+    /// Every right.
+    pub const ALL: Rights = Rights(0b11_1111);
+
+    /// True if `self` includes every right in `other`.
+    #[must_use]
+    pub fn contains(self, other: Rights) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if no rights are present.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub fn without(self, other: Rights) -> Rights {
+        Rights(self.0 & !other.0)
+    }
+
+    /// The raw bits (used by the prover encoding).
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits, masking unknown bits away.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Rights {
+        Rights(bits & Rights::ALL.0)
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        let names = [
+            (Rights::READ, "R"),
+            (Rights::WRITE, "W"),
+            (Rights::SEND, "S"),
+            (Rights::RECV, "V"),
+            (Rights::GRANT, "G"),
+            (Rights::CONTROL, "C"),
+        ];
+        for (r, n) in names {
+            if self.contains(r) {
+                f.write_str(n)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_is_subset_order() {
+        let rw = Rights::READ | Rights::WRITE;
+        assert!(rw.contains(Rights::READ));
+        assert!(rw.contains(Rights::NONE));
+        assert!(!rw.contains(Rights::SEND));
+        assert!(Rights::ALL.contains(rw));
+    }
+
+    #[test]
+    fn without_removes_rights() {
+        let r = Rights::ALL.without(Rights::GRANT);
+        assert!(!r.contains(Rights::GRANT));
+        assert!(r.contains(Rights::CONTROL));
+    }
+
+    #[test]
+    fn intersection_models_mint() {
+        let source = Rights::READ | Rights::SEND;
+        let requested = Rights::SEND | Rights::WRITE;
+        let minted = source & requested;
+        assert_eq!(minted, Rights::SEND);
+        assert!(source.contains(minted), "mint is always non-amplifying");
+    }
+
+    #[test]
+    fn from_bits_masks_garbage() {
+        assert_eq!(Rights::from_bits(0xFF), Rights::ALL);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!((Rights::READ | Rights::GRANT).to_string(), "RG");
+        assert_eq!(Rights::NONE.to_string(), "-");
+    }
+}

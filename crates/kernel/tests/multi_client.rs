@@ -1,0 +1,131 @@
+//! Scheduler-driven multi-client sessions: an echo server shared by many
+//! clients, driven through the kernel's scheduler the way a real system
+//! would run, plus starvation and revocation scenarios.
+
+use microkernel::kernel::{Kernel, Message, Syscall, SysResult};
+use microkernel::rights::Rights;
+use microkernel::{KernelError, Pid};
+
+#[test]
+fn echo_server_serves_many_clients_fairly() {
+    let mut k = Kernel::with_default_heap();
+    let server = k.spawn_process();
+    let ep = k.create_endpoint(server).unwrap();
+    const CLIENTS: usize = 8;
+    const ROUNDS: u64 = 20;
+
+    let clients: Vec<Pid> = (0..CLIENTS).map(|_| k.spawn_process()).collect();
+    let caps: Vec<_> = clients
+        .iter()
+        .map(|&c| k.grant_cap(server, ep, c, Rights::SEND).unwrap())
+        .collect();
+
+    // Reply path: one endpoint per client.
+    let reply_eps: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let s = k.create_endpoint(server).unwrap();
+            let c = k.grant_cap(server, s, clients[i], Rights::RECV).unwrap();
+            (s, c)
+        })
+        .collect();
+
+    let mut served = vec![0u64; CLIENTS];
+    for round in 0..ROUNDS {
+        // All clients queue requests (tagged with their index).
+        k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
+        for (i, &c) in clients.iter().enumerate() {
+            let payload = [i as u64, round];
+            match k.syscall(c, Syscall::Send { cap: caps[i], msg: Message::words(&payload) }) {
+                Ok(SysResult::Delivered | SysResult::Blocked) => {}
+                other => panic!("unexpected send result {other:?}"),
+            }
+        }
+        // Server drains: first message arrived via the rendezvous; the rest
+        // are queued on the endpoint.
+        for _ in 0..CLIENTS {
+            let msg = match k.take_delivered(server) {
+                Some(m) => m,
+                None => {
+                    k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
+                    k.take_delivered(server).expect("queued sender delivers")
+                }
+            };
+            let who = usize::try_from(msg.payload[0]).unwrap();
+            served[who] += 1;
+            // Echo back.
+            k.syscall(clients[who], Syscall::Recv { cap: reply_eps[who].1 }).unwrap();
+            k.syscall(server, Syscall::Send { cap: reply_eps[who].0, msg: Message::words(&msg.payload) })
+                .unwrap();
+            let echoed = k.take_delivered(clients[who]).unwrap();
+            assert_eq!(echoed.payload, msg.payload);
+        }
+    }
+    assert!(served.iter().all(|&n| n == ROUNDS), "every client served equally: {served:?}");
+}
+
+#[test]
+fn scheduler_only_offers_ready_processes() {
+    let mut k = Kernel::with_default_heap();
+    let a = k.spawn_process();
+    let b = k.spawn_process();
+    let ep = k.create_endpoint(a).unwrap();
+    // Block a on a receive; only b should be scheduled.
+    k.syscall(a, Syscall::Recv { cap: ep }).unwrap();
+    for _ in 0..5 {
+        assert_eq!(k.schedule(), Some(b));
+    }
+    // Wake a by sending from b.
+    let b_cap = {
+        // b has no cap yet: a grants via kernel root operation would need a
+        // to be runnable; use grant_cap directly (root-task semantics).
+        k.grant_cap(a, ep, b, Rights::SEND).unwrap()
+    };
+    k.syscall(b, Syscall::Send { cap: b_cap, msg: Message::empty() }).unwrap();
+    assert!(k.is_ready(a));
+    let offered: Vec<_> = (0..4).filter_map(|_| k.schedule()).collect();
+    assert!(offered.contains(&a), "woken process re-enters the rotation: {offered:?}");
+}
+
+#[test]
+fn exited_clients_do_not_wedge_the_server() {
+    let mut k = Kernel::with_default_heap();
+    let server = k.spawn_process();
+    let client = k.spawn_process();
+    let ep = k.create_endpoint(server).unwrap();
+    let cap = k.grant_cap(server, ep, client, Rights::SEND).unwrap();
+    k.syscall(client, Syscall::Send { cap, msg: Message::words(&[1]) }).unwrap();
+    k.syscall(client, Syscall::Exit).ok(); // blocked → Exit fails, that's fine
+    // Server still receives the queued message.
+    k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
+    assert_eq!(k.take_delivered(server).unwrap().payload, vec![1]);
+}
+
+#[test]
+fn heap_pressure_from_many_messages_is_survivable() {
+    // Small heap + many in-flight messages: sends fail with OutOfMemory
+    // rather than corrupting, and draining recovers.
+    let mut k = Kernel::new(Box::new(sysmem::freelist::FreeListHeap::new(4096)));
+    let server = k.spawn_process();
+    let client = k.spawn_process();
+    let ep = k.create_endpoint(server).unwrap();
+    let cap = k.grant_cap(server, ep, client, Rights::SEND).unwrap();
+    let mut sent = 0usize;
+    let mut oom = false;
+    for i in 0..64u64 {
+        match k.syscall(client, Syscall::Send { cap, msg: Message::words(&[i; 16]) }) {
+            Ok(_) => sent += 1,
+            Err(KernelError::OutOfMemory) => {
+                oom = true;
+                break;
+            }
+            Err(KernelError::ProcessBlocked(_)) => break, // first send blocked the client
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    // Either the first send blocked (rendezvous semantics) or we eventually
+    // hit OOM; in both cases the kernel stays consistent.
+    assert!(sent >= 1);
+    k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
+    assert!(k.take_delivered(server).is_some());
+    let _ = oom;
+}

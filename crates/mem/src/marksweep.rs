@@ -1,0 +1,345 @@
+//! Stop-the-world mark-sweep collection over the shared [`WordPool`]
+//! block allocator.
+//!
+//! Allocation takes the free-list fast path; when the pool cannot satisfy a
+//! request (or an allocation-volume threshold is crossed) the world stops,
+//! live objects are marked from the root set, and unmarked objects are swept
+//! back onto the free lists. Pause times are recorded per collection so
+//! experiment E1 can report the tail the paper worries about.
+
+use crate::freelist::WordPool;
+use crate::stats::MemStats;
+use crate::{Handle, MemError, Manager, WORD_BYTES};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    off: usize,
+    nrefs: u32,
+    nwords: u32,
+    live: bool,
+    marked: bool,
+}
+
+/// A tracing mark-sweep collector.
+///
+/// ```
+/// use sysmem::{Manager, ManagerExt, marksweep::MarkSweepHeap};
+///
+/// let mut h = MarkSweepHeap::new(1 << 16);
+/// let root = h.alloc(1, 0).unwrap();
+/// h.add_root(root);
+/// let child = h.alloc(0, 1).unwrap();
+/// h.link(root, 0, Some(child));
+/// h.collect();
+/// assert!(h.is_live(child)); // reachable through root
+/// h.link(root, 0, None);
+/// h.collect();
+/// assert!(!h.is_live(child)); // now garbage
+/// ```
+#[derive(Debug)]
+pub struct MarkSweepHeap {
+    pool: WordPool,
+    entries: Vec<Entry>,
+    live_list: Vec<Handle>,
+    roots: Vec<Handle>,
+    stats: MemStats,
+    live_bytes: usize,
+    bytes_since_gc: usize,
+    gc_threshold: usize,
+}
+
+impl MarkSweepHeap {
+    /// Creates a heap with the given capacity in bytes. A collection is
+    /// triggered whenever allocation volume since the last collection exceeds
+    /// half the capacity, or on allocation failure.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        MarkSweepHeap {
+            pool: WordPool::new((capacity_bytes / WORD_BYTES).max(4)),
+            entries: Vec::new(),
+            live_list: Vec::new(),
+            roots: Vec::new(),
+            stats: MemStats::new(),
+            live_bytes: 0,
+            bytes_since_gc: 0,
+            gc_threshold: capacity_bytes / 2,
+        }
+    }
+
+    fn entry(&self, h: Handle) -> Result<&Entry, MemError> {
+        match self.entries.get(h.0 as usize) {
+            Some(e) if e.live => Ok(e),
+            _ => Err(MemError::InvalidHandle(h)),
+        }
+    }
+
+    fn mark_from_roots(&mut self) {
+        let mut worklist: Vec<Handle> = self.roots.clone();
+        while let Some(h) = worklist.pop() {
+            let e = &mut self.entries[h.0 as usize];
+            if !e.live || e.marked {
+                continue;
+            }
+            e.marked = true;
+            let (off, nrefs) = (e.off, e.nrefs as usize);
+            for slot in 0..nrefs {
+                let raw = self.pool.read(off + slot);
+                if raw != 0 {
+                    worklist.push(Handle(u32::try_from(raw - 1).expect("handle fits")));
+                }
+            }
+        }
+    }
+
+    fn sweep(&mut self) {
+        let mut survivors = Vec::with_capacity(self.live_list.len());
+        for &h in &self.live_list {
+            let e = &mut self.entries[h.0 as usize];
+            if e.marked {
+                e.marked = false;
+                survivors.push(h);
+            } else {
+                e.live = false;
+                let bytes = (e.nrefs + e.nwords) as usize * WORD_BYTES;
+                self.live_bytes -= bytes;
+                self.stats.collected_objects += 1;
+                let off = e.off;
+                self.pool.free(off);
+            }
+        }
+        self.live_list = survivors;
+    }
+}
+
+impl Manager for MarkSweepHeap {
+    fn name(&self) -> &'static str {
+        "mark-sweep"
+    }
+
+    fn alloc(&mut self, nrefs: usize, nwords: usize) -> Result<Handle, MemError> {
+        let payload = nrefs + nwords;
+        if self.bytes_since_gc > self.gc_threshold {
+            self.collect();
+        }
+        let off = match self.pool.alloc(payload) {
+            Some(off) => off,
+            None => {
+                self.collect();
+                self.pool.alloc(payload).ok_or(MemError::OutOfMemory {
+                    requested: payload * WORD_BYTES,
+                })?
+            }
+        };
+        // Zero the whole payload: recycled blocks must not leak stale data
+        // (the same hygiene rule a kernel allocator follows).
+        for i in 0..payload {
+            self.pool.write(off + i, 0);
+        }
+        let h = Handle(u32::try_from(self.entries.len()).expect("handle space exhausted"));
+        self.entries.push(Entry {
+            off,
+            nrefs: u32::try_from(nrefs).expect("fits"),
+            nwords: u32::try_from(nwords).expect("fits"),
+            live: true,
+            marked: false,
+        });
+        self.live_list.push(h);
+        self.stats.allocs += 1;
+        self.stats.bytes_allocated += (payload * WORD_BYTES) as u64;
+        self.live_bytes += payload * WORD_BYTES;
+        self.bytes_since_gc += payload * WORD_BYTES;
+        Ok(h)
+    }
+
+    fn free(&mut self, _h: Handle) -> Result<(), MemError> {
+        Err(MemError::Unsupported("mark-sweep reclaims automatically"))
+    }
+
+    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
+        -> Result<(), MemError> {
+        let e = *self.entry(obj)?;
+        if slot >= e.nrefs as usize {
+            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+        }
+        if let Some(t) = target {
+            self.entry(t)?;
+        }
+        self.pool.write(e.off + slot, target.map_or(0, |t| u64::from(t.0) + 1));
+        Ok(())
+    }
+
+    fn get_ref(&self, obj: Handle, slot: usize) -> Result<Option<Handle>, MemError> {
+        let e = self.entry(obj)?;
+        if slot >= e.nrefs as usize {
+            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+        }
+        let raw = self.pool.read(e.off + slot);
+        Ok(if raw == 0 { None } else { Some(Handle(u32::try_from(raw - 1).expect("fits"))) })
+    }
+
+    fn set_word(&mut self, obj: Handle, idx: usize, val: u64) -> Result<(), MemError> {
+        let e = *self.entry(obj)?;
+        if idx >= e.nwords as usize {
+            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+        }
+        self.pool.write(e.off + e.nrefs as usize + idx, val);
+        Ok(())
+    }
+
+    fn get_word(&self, obj: Handle, idx: usize) -> Result<u64, MemError> {
+        let e = self.entry(obj)?;
+        if idx >= e.nwords as usize {
+            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+        }
+        Ok(self.pool.read(e.off + e.nrefs as usize + idx))
+    }
+
+    fn add_root(&mut self, obj: Handle) {
+        self.roots.push(obj);
+    }
+
+    fn remove_root(&mut self, obj: Handle) {
+        if let Some(pos) = self.roots.iter().rposition(|&r| r == obj) {
+            self.roots.swap_remove(pos);
+        }
+    }
+
+    fn collect(&mut self) {
+        let t0 = Instant::now();
+        self.mark_from_roots();
+        self.sweep();
+        self.bytes_since_gc = 0;
+        self.stats.collections += 1;
+        self.stats.gc_pauses.record(t0.elapsed());
+    }
+
+    fn is_live(&self, h: Handle) -> bool {
+        self.entry(h).is_ok()
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManagerExt;
+
+    #[test]
+    fn unrooted_objects_are_collected() {
+        let mut h = MarkSweepHeap::new(4096);
+        let o = h.alloc(0, 1).unwrap();
+        h.collect();
+        assert!(!h.is_live(o));
+        assert_eq!(h.stats().collected_objects, 1);
+    }
+
+    #[test]
+    fn rooted_objects_survive() {
+        let mut h = MarkSweepHeap::new(4096);
+        let o = h.alloc(0, 1).unwrap();
+        h.add_root(o);
+        h.put(o, 0, 99);
+        h.collect();
+        assert_eq!(h.get(o, 0), 99);
+    }
+
+    #[test]
+    fn transitively_reachable_objects_survive() {
+        let mut h = MarkSweepHeap::new(4096);
+        let a = h.alloc(1, 0).unwrap();
+        let b = h.alloc(1, 0).unwrap();
+        let c = h.alloc(0, 1).unwrap();
+        h.add_root(a);
+        h.link(a, 0, Some(b));
+        h.link(b, 0, Some(c));
+        h.put(c, 0, 7);
+        h.collect();
+        assert_eq!(h.get(c, 0), 7);
+    }
+
+    #[test]
+    fn cycles_are_collected_when_unrooted() {
+        let mut h = MarkSweepHeap::new(4096);
+        let a = h.alloc(1, 0).unwrap();
+        let b = h.alloc(1, 0).unwrap();
+        h.link(a, 0, Some(b));
+        h.link(b, 0, Some(a));
+        h.collect();
+        assert!(!h.is_live(a));
+        assert!(!h.is_live(b));
+    }
+
+    #[test]
+    fn gc_runs_on_exhaustion_and_recycles_space() {
+        let mut h = MarkSweepHeap::new(1024); // 128 words
+        // Allocate garbage until well past capacity: must succeed via GC.
+        for i in 0..100 {
+            let o = h.alloc(0, 8).unwrap();
+            h.put(o, 0, i);
+        }
+        assert!(h.stats().collections > 0);
+    }
+
+    #[test]
+    fn remove_root_makes_object_collectable() {
+        let mut h = MarkSweepHeap::new(4096);
+        let o = h.alloc(0, 0).unwrap();
+        h.add_root(o);
+        h.collect();
+        assert!(h.is_live(o));
+        h.remove_root(o);
+        h.collect();
+        assert!(!h.is_live(o));
+    }
+
+    #[test]
+    fn duplicate_roots_require_matching_removals() {
+        let mut h = MarkSweepHeap::new(4096);
+        let o = h.alloc(0, 0).unwrap();
+        h.add_root(o);
+        h.add_root(o);
+        h.remove_root(o);
+        h.collect();
+        assert!(h.is_live(o), "one root registration remains");
+    }
+
+    #[test]
+    fn oom_when_live_data_exceeds_capacity() {
+        let mut h = MarkSweepHeap::new(512); // 64 words
+        let mut prev: Option<Handle> = None;
+        let mut oom = false;
+        for _ in 0..20 {
+            match h.alloc(1, 4) {
+                Ok(o) => {
+                    h.add_root(o);
+                    h.set_ref(o, 0, prev).unwrap();
+                    prev = Some(o);
+                }
+                Err(MemError::OutOfMemory { .. }) => {
+                    oom = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(oom, "rooted data beyond capacity must OOM, not corrupt");
+    }
+
+    #[test]
+    fn pause_histogram_records_collections() {
+        let mut h = MarkSweepHeap::new(4096);
+        for _ in 0..10 {
+            h.alloc(0, 4).unwrap();
+        }
+        h.collect();
+        assert_eq!(h.stats().gc_pauses.count(), 1);
+    }
+}

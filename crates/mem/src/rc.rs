@@ -1,0 +1,536 @@
+//! Reference counting with an optional Bacon–Rajan trial-deletion cycle
+//! collector.
+//!
+//! Plain reference counting is the "incremental, predictable, and
+//! understandable" scheme of the paper's survey — and it leaks cyclic
+//! structures, which [`RcHeap::collect`] (the cycle collector) then reclaims.
+//! The tests demonstrate both the leak and its repair, reproducing the
+//! classic Figure-2 scenario from Wilson's GC survey cited by the course
+//! notes that carried the paper.
+
+use crate::freelist::WordPool;
+use crate::stats::MemStats;
+use crate::{Handle, MemError, Manager, WORD_BYTES};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    /// In use or free.
+    Black,
+    /// Possible member of a cycle.
+    Gray,
+    /// Member of a garbage cycle.
+    White,
+    /// Possible root of a garbage cycle.
+    Purple,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    off: usize,
+    nrefs: u32,
+    nwords: u32,
+    strong: u32,
+    live: bool,
+    color: Color,
+    buffered: bool,
+}
+
+/// A reference-counting manager.
+///
+/// Counts are adjusted by [`Manager::set_ref`] (the mutator never touches
+/// counts directly), roots contribute to the count, and objects free eagerly
+/// when their count reaches zero. Cycles survive eager freeing; call
+/// [`Manager::collect`] to run trial deletion.
+///
+/// ```
+/// use sysmem::{Manager, ManagerExt, rc::RcHeap};
+///
+/// let mut h = RcHeap::new(1 << 16);
+/// let a = h.alloc(1, 0).unwrap();
+/// let b = h.alloc(1, 0).unwrap();
+/// h.add_root(a);
+/// h.link(a, 0, Some(b)); // b kept alive by a
+/// h.remove_root(a);      // whole chain freed eagerly
+/// assert!(!h.is_live(a));
+/// assert!(!h.is_live(b));
+/// ```
+#[derive(Debug)]
+pub struct RcHeap {
+    pool: WordPool,
+    entries: Vec<Entry>,
+    candidates: Vec<Handle>,
+    stats: MemStats,
+    live_bytes: usize,
+}
+
+impl RcHeap {
+    /// Creates a heap with the given capacity in bytes.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        RcHeap {
+            pool: WordPool::new((capacity_bytes / WORD_BYTES).max(4)),
+            entries: Vec::new(),
+            candidates: Vec::new(),
+            stats: MemStats::new(),
+            live_bytes: 0,
+        }
+    }
+
+    fn entry(&self, h: Handle) -> Result<&Entry, MemError> {
+        match self.entries.get(h.0 as usize) {
+            Some(e) if e.live => Ok(e),
+            _ => Err(MemError::InvalidHandle(h)),
+        }
+    }
+
+    fn children(&self, h: Handle) -> Vec<Handle> {
+        let e = self.entries[h.0 as usize];
+        (0..e.nrefs as usize)
+            .filter_map(|slot| {
+                let raw = self.pool.read(e.off + slot);
+                (raw != 0).then(|| Handle(u32::try_from(raw - 1).expect("fits")))
+            })
+            .collect()
+    }
+
+    fn release(&mut self, h: Handle) {
+        // Iterative cascade free.
+        let mut worklist = vec![h];
+        while let Some(h) = worklist.pop() {
+            let e = self.entries[h.0 as usize];
+            if !e.live {
+                continue;
+            }
+            for child in self.children(h) {
+                let ce = &mut self.entries[child.0 as usize];
+                if ce.live {
+                    ce.strong = ce.strong.saturating_sub(1);
+                    if ce.strong == 0 {
+                        worklist.push(child);
+                    } else {
+                        // A decrement that does not reach zero may have
+                        // severed a cycle edge: buffer as candidate.
+                        if !ce.buffered {
+                            ce.buffered = true;
+                            ce.color = Color::Purple;
+                            self.candidates.push(child);
+                        }
+                    }
+                }
+            }
+            let e = &mut self.entries[h.0 as usize];
+            e.live = false;
+            let bytes = (e.nrefs + e.nwords) as usize * WORD_BYTES;
+            let off = e.off;
+            self.live_bytes -= bytes;
+            self.stats.frees += 1;
+            self.pool.free(off);
+        }
+    }
+
+    fn dec(&mut self, h: Handle) {
+        let e = &mut self.entries[h.0 as usize];
+        if !e.live {
+            return;
+        }
+        e.strong = e.strong.saturating_sub(1);
+        if e.strong == 0 {
+            self.release(h);
+        } else if !e.buffered {
+            e.buffered = true;
+            e.color = Color::Purple;
+            self.candidates.push(h);
+        }
+    }
+
+    fn inc(&mut self, h: Handle) {
+        let e = &mut self.entries[h.0 as usize];
+        e.strong += 1;
+        e.color = Color::Black;
+    }
+
+    /// Bytes held by objects whose reference counts are nonzero but which a
+    /// tracing collector would reclaim — i.e. leaked cycles. Used by tests
+    /// and experiment E1's leak column. Computing this runs a shadow trace
+    /// and does not modify the heap.
+    #[must_use]
+    pub fn cyclic_garbage_bytes(&self) -> usize {
+        // Shadow mark from "externally rooted" objects: strong count greater
+        // than the number of live internal references to the object.
+        let mut internal = vec![0u32; self.entries.len()];
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.live {
+                continue;
+            }
+            for child in self.children(Handle(u32::try_from(i).expect("fits"))) {
+                internal[child.0 as usize] += 1;
+            }
+        }
+        let mut marked = vec![false; self.entries.len()];
+        let mut worklist: Vec<Handle> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| e.live && e.strong > internal[*i])
+            .map(|(i, _)| Handle(u32::try_from(i).expect("fits")))
+            .collect();
+        while let Some(h) = worklist.pop() {
+            if std::mem::replace(&mut marked[h.0 as usize], true) {
+                continue;
+            }
+            worklist.extend(self.children(h));
+        }
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| e.live && !marked[*i])
+            .map(|(_, e)| (e.nrefs + e.nwords) as usize * WORD_BYTES)
+            .sum()
+    }
+
+    fn mark_gray(&mut self, start: Handle) {
+        let mut stack = vec![start];
+        while let Some(h) = stack.pop() {
+            let e = &mut self.entries[h.0 as usize];
+            if !e.live || e.color == Color::Gray {
+                continue;
+            }
+            e.color = Color::Gray;
+            for child in self.children(h) {
+                let ce = &mut self.entries[child.0 as usize];
+                if ce.live {
+                    ce.strong = ce.strong.saturating_sub(1);
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    fn scan(&mut self, start: Handle) {
+        let mut stack = vec![start];
+        while let Some(h) = stack.pop() {
+            let e = self.entries[h.0 as usize];
+            if !e.live || e.color != Color::Gray {
+                continue;
+            }
+            if e.strong > 0 {
+                self.scan_black(h);
+            } else {
+                self.entries[h.0 as usize].color = Color::White;
+                stack.extend(self.children(h));
+            }
+        }
+    }
+
+    fn scan_black(&mut self, start: Handle) {
+        let mut stack = vec![start];
+        self.entries[start.0 as usize].color = Color::Black;
+        while let Some(h) = stack.pop() {
+            for child in self.children(h) {
+                let ce = &mut self.entries[child.0 as usize];
+                if ce.live {
+                    ce.strong += 1;
+                    if ce.color != Color::Black {
+                        ce.color = Color::Black;
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_white(&mut self, start: Handle) {
+        let mut to_free = Vec::new();
+        let mut stack = vec![start];
+        while let Some(h) = stack.pop() {
+            let e = &mut self.entries[h.0 as usize];
+            if !e.live || e.color != Color::White || e.buffered {
+                continue;
+            }
+            e.color = Color::Black;
+            stack.extend(self.children(h));
+            to_free.push(h);
+        }
+        for h in to_free {
+            let e = &mut self.entries[h.0 as usize];
+            if e.live {
+                e.live = false;
+                let bytes = (e.nrefs + e.nwords) as usize * WORD_BYTES;
+                let off = e.off;
+                self.live_bytes -= bytes;
+                self.stats.collected_objects += 1;
+                self.pool.free(off);
+            }
+        }
+    }
+}
+
+impl Manager for RcHeap {
+    fn name(&self) -> &'static str {
+        "refcount"
+    }
+
+    fn alloc(&mut self, nrefs: usize, nwords: usize) -> Result<Handle, MemError> {
+        let payload = nrefs + nwords;
+        let off = self
+            .pool
+            .alloc(payload)
+            .ok_or(MemError::OutOfMemory { requested: payload * WORD_BYTES })?;
+        // Zero the whole payload: recycled blocks must not leak stale data
+        // (the same hygiene rule a kernel allocator follows).
+        for i in 0..payload {
+            self.pool.write(off + i, 0);
+        }
+        let h = Handle(u32::try_from(self.entries.len()).expect("handle space exhausted"));
+        self.entries.push(Entry {
+            off,
+            nrefs: u32::try_from(nrefs).expect("fits"),
+            nwords: u32::try_from(nwords).expect("fits"),
+            strong: 0,
+            live: true,
+            color: Color::Black,
+            buffered: false,
+        });
+        self.stats.allocs += 1;
+        self.stats.bytes_allocated += (payload * WORD_BYTES) as u64;
+        self.live_bytes += payload * WORD_BYTES;
+        Ok(h)
+    }
+
+    fn free(&mut self, _h: Handle) -> Result<(), MemError> {
+        Err(MemError::Unsupported("refcount heap frees when counts reach zero"))
+    }
+
+    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
+        -> Result<(), MemError> {
+        let e = *self.entry(obj)?;
+        if slot >= e.nrefs as usize {
+            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+        }
+        if let Some(t) = target {
+            self.entry(t)?;
+        }
+        let old_raw = self.pool.read(e.off + slot);
+        if let Some(t) = target {
+            self.inc(t);
+        }
+        self.pool.write(e.off + slot, target.map_or(0, |t| u64::from(t.0) + 1));
+        if old_raw != 0 {
+            self.dec(Handle(u32::try_from(old_raw - 1).expect("fits")));
+        }
+        Ok(())
+    }
+
+    fn get_ref(&self, obj: Handle, slot: usize) -> Result<Option<Handle>, MemError> {
+        let e = self.entry(obj)?;
+        if slot >= e.nrefs as usize {
+            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+        }
+        let raw = self.pool.read(e.off + slot);
+        Ok(if raw == 0 { None } else { Some(Handle(u32::try_from(raw - 1).expect("fits"))) })
+    }
+
+    fn set_word(&mut self, obj: Handle, idx: usize, val: u64) -> Result<(), MemError> {
+        let e = *self.entry(obj)?;
+        if idx >= e.nwords as usize {
+            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+        }
+        self.pool.write(e.off + e.nrefs as usize + idx, val);
+        Ok(())
+    }
+
+    fn get_word(&self, obj: Handle, idx: usize) -> Result<u64, MemError> {
+        let e = self.entry(obj)?;
+        if idx >= e.nwords as usize {
+            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+        }
+        Ok(self.pool.read(e.off + e.nrefs as usize + idx))
+    }
+
+    fn add_root(&mut self, obj: Handle) {
+        if self.entries.get(obj.0 as usize).is_some_and(|e| e.live) {
+            self.inc(obj);
+        }
+    }
+
+    fn remove_root(&mut self, obj: Handle) {
+        if self.entries.get(obj.0 as usize).is_some_and(|e| e.live) {
+            self.dec(obj);
+        }
+    }
+
+    /// Runs the trial-deletion cycle collector over buffered candidates.
+    fn collect(&mut self) {
+        let t0 = Instant::now();
+        let candidates: Vec<Handle> = std::mem::take(&mut self.candidates);
+        let mut retained = Vec::new();
+        for &h in &candidates {
+            let e = &mut self.entries[h.0 as usize];
+            if e.live && e.color == Color::Purple {
+                retained.push(h);
+            } else if e.live {
+                e.buffered = false;
+            }
+        }
+        for &h in &retained {
+            self.mark_gray(h);
+        }
+        for &h in &retained {
+            self.scan(h);
+        }
+        for &h in &retained {
+            self.entries[h.0 as usize].buffered = false;
+        }
+        for &h in &retained {
+            self.collect_white(h);
+        }
+        self.stats.collections += 1;
+        self.stats.gc_pauses.record(t0.elapsed());
+    }
+
+    fn is_live(&self, h: Handle) -> bool {
+        self.entry(h).is_ok()
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManagerExt;
+
+    #[test]
+    fn eager_free_on_last_reference() {
+        let mut h = RcHeap::new(4096);
+        let o = h.alloc(0, 1).unwrap();
+        h.add_root(o);
+        assert!(h.is_live(o));
+        h.remove_root(o);
+        assert!(!h.is_live(o), "count hit zero: freed immediately");
+    }
+
+    #[test]
+    fn cascade_free_walks_chains() {
+        let mut h = RcHeap::new(4096);
+        let a = h.alloc(1, 0).unwrap();
+        let b = h.alloc(1, 0).unwrap();
+        let c = h.alloc(0, 0).unwrap();
+        h.add_root(a);
+        h.link(a, 0, Some(b));
+        h.link(b, 0, Some(c));
+        h.remove_root(a);
+        assert!(!h.is_live(a));
+        assert!(!h.is_live(b));
+        assert!(!h.is_live(c));
+    }
+
+    #[test]
+    fn overwriting_a_ref_releases_the_old_target() {
+        let mut h = RcHeap::new(4096);
+        let a = h.alloc(1, 0).unwrap();
+        let b = h.alloc(0, 0).unwrap();
+        let c = h.alloc(0, 0).unwrap();
+        h.add_root(a);
+        h.link(a, 0, Some(b));
+        h.link(a, 0, Some(c)); // b's count drops to zero
+        assert!(!h.is_live(b));
+        assert!(h.is_live(c));
+    }
+
+    #[test]
+    fn cycles_leak_without_the_cycle_collector() {
+        let mut h = RcHeap::new(4096);
+        let a = h.alloc(1, 1).unwrap();
+        let b = h.alloc(1, 1).unwrap();
+        h.add_root(a);
+        h.link(a, 0, Some(b));
+        h.link(b, 0, Some(a)); // cycle
+        h.remove_root(a);
+        // Both survive: the classic reference-counting leak.
+        assert!(h.is_live(a));
+        assert!(h.is_live(b));
+        assert_eq!(h.cyclic_garbage_bytes(), 32);
+    }
+
+    #[test]
+    fn cycle_collector_reclaims_leaked_cycles() {
+        let mut h = RcHeap::new(4096);
+        let a = h.alloc(1, 1).unwrap();
+        let b = h.alloc(1, 1).unwrap();
+        h.add_root(a);
+        h.link(a, 0, Some(b));
+        h.link(b, 0, Some(a));
+        h.remove_root(a);
+        assert!(h.is_live(a), "leaked before cycle collection");
+        h.collect();
+        assert!(!h.is_live(a));
+        assert!(!h.is_live(b));
+        assert_eq!(h.cyclic_garbage_bytes(), 0);
+        assert_eq!(h.live_bytes(), 0);
+    }
+
+    #[test]
+    fn cycle_collector_spares_externally_reachable_cycles() {
+        let mut h = RcHeap::new(4096);
+        let a = h.alloc(1, 0).unwrap();
+        let b = h.alloc(1, 0).unwrap();
+        h.add_root(a);
+        h.link(a, 0, Some(b));
+        h.link(b, 0, Some(a));
+        // a is still rooted: trial deletion must not free the cycle.
+        let x = h.alloc(1, 0).unwrap();
+        h.add_root(x);
+        h.link(x, 0, Some(a));
+        h.set_ref(x, 0, None).unwrap(); // buffers a as candidate
+        h.collect();
+        assert!(h.is_live(a));
+        assert!(h.is_live(b));
+    }
+
+    #[test]
+    fn self_loop_is_collected() {
+        let mut h = RcHeap::new(4096);
+        let a = h.alloc(1, 0).unwrap();
+        h.add_root(a);
+        h.link(a, 0, Some(a));
+        h.remove_root(a);
+        assert!(h.is_live(a), "self-loop leaks under plain RC");
+        h.collect();
+        assert!(!h.is_live(a));
+    }
+
+    #[test]
+    fn shared_target_freed_only_after_all_owners() {
+        let mut h = RcHeap::new(4096);
+        let a = h.alloc(1, 0).unwrap();
+        let b = h.alloc(1, 0).unwrap();
+        let shared = h.alloc(0, 1).unwrap();
+        h.add_root(a);
+        h.add_root(b);
+        h.link(a, 0, Some(shared));
+        h.link(b, 0, Some(shared));
+        h.remove_root(a);
+        assert!(h.is_live(shared), "b still owns shared");
+        h.remove_root(b);
+        assert!(!h.is_live(shared));
+    }
+
+    #[test]
+    fn pool_space_is_reused_after_free() {
+        let mut h = RcHeap::new(256); // 32 words
+        for _ in 0..50 {
+            let o = h.alloc(0, 8).unwrap();
+            h.add_root(o);
+            h.remove_root(o);
+        }
+        assert_eq!(h.live_bytes(), 0);
+    }
+}

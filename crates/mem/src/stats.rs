@@ -1,0 +1,218 @@
+//! Accounting and pause-time statistics shared by all managers.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A fixed-bucket log-scale histogram of pause times in nanoseconds.
+///
+/// Buckets are powers of two from 1 ns up to ~17 s, which is plenty for
+/// allocation and collection pauses. Recording is O(1) and allocation-free so
+/// it can run inside the measured region.
+#[derive(Debug, Clone)]
+pub struct PauseHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    max_ns: u64,
+    total_ns: u64,
+}
+
+impl Default for PauseHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PauseHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        PauseHistogram { buckets: [0; 64], count: 0, max_ns: 0, total_ns: 0 }
+    }
+
+    /// Records one pause.
+    pub fn record(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.record_ns(ns);
+    }
+
+    /// Records one pause expressed in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let bucket = if ns == 0 { 0 } else { 63 - u64::leading_zeros(ns) as usize };
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+
+    /// Number of recorded pauses.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded pause in nanoseconds.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean pause in nanoseconds (0 if empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate percentile (0.0–1.0) in nanoseconds, resolved to the upper
+    /// edge of the containing power-of-two bucket.
+    #[must_use]
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let clamped = p.clamp(0.0, 1.0);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let target = ((clamped * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &PauseHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+    }
+}
+
+impl fmt::Display for PauseHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={}ns p50={}ns p99={}ns max={}ns",
+            self.count,
+            self.mean_ns(),
+            self.percentile_ns(0.50),
+            self.percentile_ns(0.99),
+            self.max_ns
+        )
+    }
+}
+
+/// Allocation and collection accounting for one manager instance.
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// Number of successful allocations.
+    pub allocs: u64,
+    /// Number of explicit frees (manual managers).
+    pub frees: u64,
+    /// Total bytes handed out over the lifetime of the heap.
+    pub bytes_allocated: u64,
+    /// Number of collection cycles run.
+    pub collections: u64,
+    /// Objects reclaimed by collection.
+    pub collected_objects: u64,
+    /// Bytes copied by moving collectors.
+    pub bytes_copied: u64,
+    /// Write-barrier triggers (generational).
+    pub barrier_hits: u64,
+    /// Pause histogram for collection pauses only.
+    pub gc_pauses: PauseHistogram,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocs={} frees={} bytes={} collections={} reclaimed={} pauses[{}]",
+            self.allocs,
+            self.frees,
+            self.bytes_allocated,
+            self.collections,
+            self.collected_objects,
+            self.gc_pauses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = PauseHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.percentile_ns(0.99), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_all_percentiles() {
+        let mut h = PauseHistogram::new();
+        h.record_ns(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_ns(), 1000);
+        assert!(h.percentile_ns(0.5) >= 1000);
+        assert_eq!(h.max_ns(), 1000);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = PauseHistogram::new();
+        for i in 1..=1000u64 {
+            h.record_ns(i * 17);
+        }
+        let p50 = h.percentile_ns(0.50);
+        let p90 = h.percentile_ns(0.90);
+        let p99 = h.percentile_ns(0.99);
+        assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        assert!(p99 <= h.max_ns().next_power_of_two());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let mut a = PauseHistogram::new();
+        let mut b = PauseHistogram::new();
+        a.record_ns(10);
+        b.record_ns(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn zero_pause_is_recorded() {
+        let mut h = PauseHistogram::new();
+        h.record_ns(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let mut h = PauseHistogram::new();
+        h.record(Duration::from_nanos(64));
+        let s = h.to_string();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("max=64ns"));
+    }
+}

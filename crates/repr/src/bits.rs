@@ -1,0 +1,284 @@
+//! Bit-precise reads and writes at arbitrary bit offsets and widths.
+//!
+//! Bits are numbered MSB-first within each byte (bit 0 of a buffer is the
+//! most significant bit of byte 0), matching how RFCs and hardware manuals
+//! draw their field diagrams — an IPv4 header's 4-bit `version` field is
+//! exactly `get_bits(buf, 0, 4)`.
+
+use crate::ReprError;
+
+/// Reads `width` bits (1–64) starting at absolute bit offset `bit_offset`.
+///
+/// # Errors
+///
+/// Returns [`ReprError::OutOfRange`] if the range exceeds the buffer or
+/// `width` is 0 or greater than 64.
+pub fn get_bits(buf: &[u8], bit_offset: usize, width: usize) -> Result<u64, ReprError> {
+    check_range(buf, bit_offset, width)?;
+    let mut acc: u64 = 0;
+    for i in 0..width {
+        let bit = bit_offset + i;
+        let byte = buf[bit / 8];
+        let shift = 7 - (bit % 8);
+        acc = (acc << 1) | u64::from((byte >> shift) & 1);
+    }
+    Ok(acc)
+}
+
+/// Writes the low `width` bits of `value` starting at bit offset `bit_offset`.
+///
+/// # Errors
+///
+/// Returns [`ReprError::OutOfRange`] for a bad range, or
+/// [`ReprError::InvalidField`] if `value` does not fit in `width` bits.
+pub fn set_bits(buf: &mut [u8], bit_offset: usize, width: usize, value: u64)
+    -> Result<(), ReprError> {
+    check_range(buf, bit_offset, width)?;
+    if width < 64 && value >> width != 0 {
+        return Err(ReprError::InvalidField { field: "value", value });
+    }
+    for i in 0..width {
+        let bit = bit_offset + i;
+        let shift = 7 - (bit % 8);
+        let v = (value >> (width - 1 - i)) & 1;
+        let byte = &mut buf[bit / 8];
+        *byte = (*byte & !(1 << shift)) | (u8::try_from(v).expect("single bit") << shift);
+    }
+    Ok(())
+}
+
+fn check_range(buf: &[u8], bit_offset: usize, width: usize) -> Result<(), ReprError> {
+    let buffer_bits = buf.len() * 8;
+    if width == 0 || width > 64 || bit_offset.checked_add(width).is_none_or(|end| end > buffer_bits)
+    {
+        return Err(ReprError::OutOfRange { bit_offset, width, buffer_bits });
+    }
+    Ok(())
+}
+
+/// A cursor for reading consecutive bit fields, as a parser would.
+///
+/// ```
+/// use sysrepr::bits::BitReader;
+///
+/// let buf = [0b0100_0101u8, 0xff]; // IPv4 version=4, IHL=5
+/// let mut r = BitReader::new(&buf);
+/// assert_eq!(r.read(4).unwrap(), 4);
+/// assert_eq!(r.read(4).unwrap(), 5);
+/// assert_eq!(r.position(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at bit 0.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads the next `width` bits and advances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::OutOfRange`] past end of buffer.
+    pub fn read(&mut self, width: usize) -> Result<u64, ReprError> {
+        let v = get_bits(self.buf, self.pos, width)?;
+        self.pos += width;
+        Ok(v)
+    }
+
+    /// Skips `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::OutOfRange`] past end of buffer.
+    pub fn skip(&mut self, width: usize) -> Result<(), ReprError> {
+        check_range(self.buf, self.pos, width.min(64)).and_then(|()| {
+            if self.pos + width > self.buf.len() * 8 {
+                return Err(ReprError::OutOfRange {
+                    bit_offset: self.pos,
+                    width,
+                    buffer_bits: self.buf.len() * 8,
+                });
+            }
+            self.pos += width;
+            Ok(())
+        })
+    }
+
+    /// Current absolute bit position.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+}
+
+/// A cursor for writing consecutive bit fields.
+#[derive(Debug)]
+pub struct BitWriter<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Creates a writer positioned at bit 0.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        BitWriter { buf, pos: 0 }
+    }
+
+    /// Writes the low `width` bits of `value` and advances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::OutOfRange`] past end of buffer, or
+    /// [`ReprError::InvalidField`] if the value does not fit.
+    pub fn write(&mut self, width: usize, value: u64) -> Result<(), ReprError> {
+        set_bits(self.buf, self.pos, width, value)?;
+        self.pos += width;
+        Ok(())
+    }
+
+    /// Current absolute bit position.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_bit_extraction() {
+        let buf = [0b1000_0000u8];
+        assert_eq!(get_bits(&buf, 0, 1).unwrap(), 1);
+        assert_eq!(get_bits(&buf, 1, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn byte_aligned_reads_match_bytes() {
+        let buf = [0xAB, 0xCD, 0xEF];
+        assert_eq!(get_bits(&buf, 0, 8).unwrap(), 0xAB);
+        assert_eq!(get_bits(&buf, 8, 16).unwrap(), 0xCDEF);
+        assert_eq!(get_bits(&buf, 0, 24).unwrap(), 0xABCDEF);
+    }
+
+    #[test]
+    fn unaligned_cross_byte_read() {
+        // bits: 1010 1011 1100 1101
+        let buf = [0xAB, 0xCD];
+        // bits 4..12 = 1011 1100 = 0xBC
+        assert_eq!(get_bits(&buf, 4, 8).unwrap(), 0xBC);
+        // bits 3..6 = 0 10 1 -> offset3 width3 = 010...
+        assert_eq!(get_bits(&buf, 3, 3).unwrap(), 0b010);
+    }
+
+    #[test]
+    fn full_64_bit_read() {
+        let buf = [0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF];
+        assert_eq!(get_bits(&buf, 0, 64).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let buf = [0u8; 2];
+        assert!(matches!(get_bits(&buf, 10, 8), Err(ReprError::OutOfRange { .. })));
+        assert!(matches!(get_bits(&buf, 0, 0), Err(ReprError::OutOfRange { .. })));
+        assert!(matches!(get_bits(&buf, 0, 65), Err(ReprError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn set_bits_writes_only_the_field() {
+        let mut buf = [0xFFu8; 2];
+        set_bits(&mut buf, 4, 8, 0).unwrap();
+        assert_eq!(buf, [0xF0, 0x0F]);
+    }
+
+    #[test]
+    fn set_bits_rejects_oversized_value() {
+        let mut buf = [0u8; 2];
+        assert!(matches!(set_bits(&mut buf, 0, 4, 16), Err(ReprError::InvalidField { .. })));
+    }
+
+    #[test]
+    fn reader_walks_ipv4_first_word() {
+        // version=4 ihl=5 dscp=0 ecn=0 total_len=0x0054
+        let buf = [0x45, 0x00, 0x00, 0x54];
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read(4).unwrap(), 4);
+        assert_eq!(r.read(4).unwrap(), 5);
+        assert_eq!(r.read(6).unwrap(), 0);
+        assert_eq!(r.read(2).unwrap(), 0);
+        assert_eq!(r.read(16).unwrap(), 0x54);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn writer_then_reader_roundtrip_fixed() {
+        let mut buf = [0u8; 4];
+        let mut w = BitWriter::new(&mut buf);
+        w.write(3, 0b101).unwrap();
+        w.write(13, 0x1ABC & 0x1FFF).unwrap();
+        w.write(16, 0xBEEF).unwrap();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read(3).unwrap(), 0b101);
+        assert_eq!(r.read(13).unwrap(), 0x1ABC & 0x1FFF);
+        assert_eq!(r.read(16).unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn skip_advances_and_checks_bounds() {
+        let buf = [0u8; 2];
+        let mut r = BitReader::new(&buf);
+        r.skip(12).unwrap();
+        assert_eq!(r.position(), 12);
+        assert!(r.skip(5).is_err());
+    }
+
+    proptest! {
+        /// set_bits followed by get_bits returns the value, for any in-range
+        /// offset/width/value combination.
+        #[test]
+        fn set_get_roundtrip(
+            offset in 0usize..64,
+            width in 1usize..=64,
+            value: u64,
+            fill: u8,
+        ) {
+            let mut buf = vec![fill; 16];
+            let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+            set_bits(&mut buf, offset, width, masked).unwrap();
+            prop_assert_eq!(get_bits(&buf, offset, width).unwrap(), masked);
+        }
+
+        /// Writes never disturb bits outside the target range.
+        #[test]
+        fn set_bits_is_local(offset in 0usize..32, width in 1usize..=32, value: u64) {
+            let mut buf = vec![0xA5u8; 8];
+            let before = buf.clone();
+            let masked = value & ((1u64 << width) - 1);
+            set_bits(&mut buf, offset, width, masked).unwrap();
+            for bit in 0..buf.len() * 8 {
+                if bit < offset || bit >= offset + width {
+                    prop_assert_eq!(
+                        get_bits(&buf, bit, 1).unwrap(),
+                        get_bits(&before, bit, 1).unwrap(),
+                        "bit {} disturbed", bit
+                    );
+                }
+            }
+        }
+    }
+}

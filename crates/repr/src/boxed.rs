@@ -1,0 +1,231 @@
+//! The allocating, "managed-representation" baseline parser.
+//!
+//! Every header is copied into an owned struct and every variable-length
+//! field into a fresh `Vec` — the representation a boxing functional-language
+//! runtime would naturally produce. Semantically identical to the zero-copy
+//! views in [`crate::packet`] (the tests check field-for-field agreement);
+//! experiment E8 measures what the representation alone costs, which is the
+//! paper's Fallacy 2 made concrete.
+
+use crate::packet::{EthernetView, Ipv4View, TcpView, UdpView, IPPROTO_TCP, IPPROTO_UDP};
+use crate::ReprError;
+
+/// An owned Ethernet header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxedEthernet {
+    /// Destination MAC.
+    pub dst_mac: Box<[u8; 6]>,
+    /// Source MAC.
+    pub src_mac: Box<[u8; 6]>,
+    /// EtherType.
+    pub ethertype: Box<u16>,
+}
+
+/// An owned IPv4 header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxedIpv4 {
+    /// Time to live.
+    pub ttl: Box<u8>,
+    /// Protocol number.
+    pub protocol: Box<u8>,
+    /// Header checksum.
+    pub checksum: Box<u16>,
+    /// Source address.
+    pub src: Box<[u8; 4]>,
+    /// Destination address.
+    pub dst: Box<[u8; 4]>,
+    /// Options bytes.
+    pub options: Vec<u8>,
+}
+
+/// An owned transport header plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoxedTransport {
+    /// UDP datagram.
+    Udp {
+        /// Source port.
+        src_port: Box<u16>,
+        /// Destination port.
+        dst_port: Box<u16>,
+        /// Payload copy.
+        payload: Vec<u8>,
+    },
+    /// TCP segment.
+    Tcp {
+        /// Source port.
+        src_port: Box<u16>,
+        /// Destination port.
+        dst_port: Box<u16>,
+        /// Sequence number.
+        seq: Box<u32>,
+        /// Acknowledgment number.
+        ack: Box<u32>,
+        /// Payload copy.
+        payload: Vec<u8>,
+    },
+    /// Unknown protocol: payload kept raw.
+    Other {
+        /// Protocol number.
+        protocol: u8,
+        /// Payload copy.
+        payload: Vec<u8>,
+    },
+}
+
+/// A fully parsed, fully owned packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxedPacket {
+    /// Link layer.
+    pub eth: BoxedEthernet,
+    /// Network layer.
+    pub ip: BoxedIpv4,
+    /// Transport layer.
+    pub transport: BoxedTransport,
+}
+
+impl BoxedPacket {
+    /// Parses a frame into owned structures, allocating as it goes.
+    ///
+    /// # Errors
+    ///
+    /// Same validation errors as the zero-copy path.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ReprError> {
+        let eth_view = EthernetView::parse(bytes)?;
+        let ip_view: Ipv4View<'_> = eth_view.ipv4()?;
+        let eth = BoxedEthernet {
+            dst_mac: Box::new(eth_view.dst_mac()),
+            src_mac: Box::new(eth_view.src_mac()),
+            ethertype: Box::new(eth_view.ethertype()),
+        };
+        let ip = BoxedIpv4 {
+            ttl: Box::new(ip_view.ttl()),
+            protocol: Box::new(ip_view.protocol()),
+            checksum: Box::new(ip_view.checksum()),
+            src: Box::new(ip_view.src()),
+            dst: Box::new(ip_view.dst()),
+            options: ip_view.options().to_vec(),
+        };
+        let transport = match ip_view.protocol() {
+            IPPROTO_UDP => {
+                let u: UdpView<'_> = ip_view.udp()?;
+                BoxedTransport::Udp {
+                    src_port: Box::new(u.src_port()),
+                    dst_port: Box::new(u.dst_port()),
+                    payload: u.payload().to_vec(),
+                }
+            }
+            IPPROTO_TCP => {
+                let t: TcpView<'_> = ip_view.tcp()?;
+                BoxedTransport::Tcp {
+                    src_port: Box::new(t.src_port()),
+                    dst_port: Box::new(t.dst_port()),
+                    seq: Box::new(t.seq()),
+                    ack: Box::new(t.ack()),
+                    payload: t.payload().to_vec(),
+                }
+            }
+            other => BoxedTransport::Other { protocol: other, payload: ip_view.payload().to_vec() },
+        };
+        Ok(BoxedPacket { eth, ip, transport })
+    }
+
+    /// Destination port, if the packet has a transport header.
+    #[must_use]
+    pub fn dst_port(&self) -> Option<u16> {
+        match &self.transport {
+            BoxedTransport::Udp { dst_port, .. } | BoxedTransport::Tcp { dst_port, .. } => {
+                Some(**dst_port)
+            }
+            BoxedTransport::Other { .. } => None,
+        }
+    }
+
+    /// Payload bytes.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        match &self.transport {
+            BoxedTransport::Udp { payload, .. }
+            | BoxedTransport::Tcp { payload, .. }
+            | BoxedTransport::Other { payload, .. } => payload,
+        }
+    }
+
+    /// Number of separate heap allocations this representation required —
+    /// the boxing overhead E8 tabulates against the zero-copy path's zero.
+    #[must_use]
+    pub fn allocation_count(&self) -> usize {
+        // eth: 3 boxes; ip: 5 boxes + options vec; transport: 3-4 boxes + payload vec.
+        let transport = match &self.transport {
+            BoxedTransport::Udp { .. } => 3,
+            BoxedTransport::Tcp { .. } => 5,
+            BoxedTransport::Other { .. } => 1,
+        };
+        3 + 6 + transport
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+    use proptest::prelude::*;
+
+    #[test]
+    fn boxed_and_zero_copy_agree_on_udp() {
+        let bytes = PacketBuilder::udp()
+            .src_ip([1, 2, 3, 4])
+            .dst_ip([5, 6, 7, 8])
+            .src_port(10)
+            .dst_port(20)
+            .payload(b"abc")
+            .build();
+        let boxed = BoxedPacket::parse(&bytes).unwrap();
+        let view = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+        assert_eq!(*boxed.ip.src, view.src());
+        assert_eq!(*boxed.ip.dst, view.dst());
+        assert_eq!(boxed.dst_port(), Some(20));
+        assert_eq!(boxed.payload(), view.udp().unwrap().payload());
+    }
+
+    #[test]
+    fn boxed_and_zero_copy_agree_on_tcp() {
+        let bytes = PacketBuilder::tcp().src_port(99).dst_port(443).payload(b"hi").build();
+        let boxed = BoxedPacket::parse(&bytes).unwrap();
+        match &boxed.transport {
+            BoxedTransport::Tcp { src_port, dst_port, .. } => {
+                assert_eq!(**src_port, 99);
+                assert_eq!(**dst_port, 443);
+            }
+            other => panic!("expected TCP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boxed_rejects_what_views_reject() {
+        let bytes = PacketBuilder::udp().build();
+        assert!(BoxedPacket::parse(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn allocation_count_is_nonzero() {
+        let bytes = PacketBuilder::udp().payload(b"x").build();
+        let boxed = BoxedPacket::parse(&bytes).unwrap();
+        assert!(boxed.allocation_count() >= 12, "boxing must visibly allocate");
+    }
+
+    proptest! {
+        /// Both parsers accept and reject exactly the same inputs.
+        #[test]
+        fn accept_reject_equivalence(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+            let view_ok = EthernetView::parse(&bytes)
+                .and_then(|e| e.ipv4())
+                .and_then(|ip| match ip.protocol() {
+                    IPPROTO_UDP => ip.udp().map(|_| ()),
+                    IPPROTO_TCP => ip.tcp().map(|_| ()),
+                    _ => Ok(()),
+                })
+                .is_ok();
+            prop_assert_eq!(BoxedPacket::parse(&bytes).is_ok(), view_ok);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Runtime layout descriptors: declare a structure's fields with exact bit
+//! widths and get a checked, zero-copy view over raw bytes.
+//!
+//! This reifies the representation control BitC builds into its type system
+//! (`bitfield` types): the *programmer* decides where every bit goes, and the
+//! system checks accesses against the declaration instead of trusting casts.
+//!
+//! ```
+//! use sysrepr::layout::LayoutBuilder;
+//!
+//! // A hardware-ish page-table entry.
+//! let pte = LayoutBuilder::new("pte")
+//!     .field("present", 1)
+//!     .field("writable", 1)
+//!     .field("user", 1)
+//!     .pad(9)
+//!     .field("frame", 52)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(pte.size_bits(), 64);
+//!
+//! let mut raw = [0u8; 8];
+//! let mut v = pte.view_mut(&mut raw).unwrap();
+//! v.set("present", 1).unwrap();
+//! v.set("frame", 0xCAFE).unwrap();
+//! assert_eq!(pte.view(&raw).unwrap().get("frame").unwrap(), 0xCAFE);
+//! ```
+
+use crate::bits;
+use crate::ReprError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One declared field of a [`Layout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Absolute bit offset from the start of the structure.
+    pub bit_offset: usize,
+    /// Width in bits (1–64).
+    pub width: usize,
+}
+
+/// Errors raised while declaring a layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Two fields share a name.
+    DuplicateField(String),
+    /// A field width was 0 or above 64.
+    BadWidth {
+        /// Field name.
+        field: String,
+        /// Offending width.
+        width: usize,
+    },
+    /// The named field does not exist.
+    UnknownField(String),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::DuplicateField(n) => write!(f, "duplicate field {n}"),
+            LayoutError::BadWidth { field, width } => {
+                write!(f, "field {field} has invalid width {width}")
+            }
+            LayoutError::UnknownField(n) => write!(f, "unknown field {n}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Builder for [`Layout`]. Fields are placed consecutively in declaration
+/// order; [`LayoutBuilder::pad`] inserts anonymous padding and
+/// [`LayoutBuilder::align_to`] pads to the next multiple of `bits`.
+#[derive(Debug, Clone)]
+pub struct LayoutBuilder {
+    name: String,
+    fields: Vec<Field>,
+    cursor: usize,
+}
+
+impl LayoutBuilder {
+    /// Starts a layout named `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        LayoutBuilder { name: name.to_owned(), fields: Vec::new(), cursor: 0 }
+    }
+
+    /// Appends a field of `width` bits.
+    #[must_use]
+    pub fn field(mut self, name: &str, width: usize) -> Self {
+        self.fields.push(Field { name: name.to_owned(), bit_offset: self.cursor, width });
+        self.cursor += width;
+        self
+    }
+
+    /// Appends `width` bits of anonymous padding.
+    #[must_use]
+    pub fn pad(mut self, width: usize) -> Self {
+        self.cursor += width;
+        self
+    }
+
+    /// Pads so the next field starts at a multiple of `bits`.
+    #[must_use]
+    pub fn align_to(mut self, bits: usize) -> Self {
+        if bits > 0 && !self.cursor.is_multiple_of(bits) {
+            self.cursor += bits - self.cursor % bits;
+        }
+        self
+    }
+
+    /// Validates and freezes the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::DuplicateField`] or [`LayoutError::BadWidth`].
+    pub fn build(self) -> Result<Layout, LayoutError> {
+        let mut by_name = HashMap::new();
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.width == 0 || f.width > 64 {
+                return Err(LayoutError::BadWidth { field: f.name.clone(), width: f.width });
+            }
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(LayoutError::DuplicateField(f.name.clone()));
+            }
+        }
+        Ok(Layout { name: self.name, fields: self.fields, by_name, size_bits: self.cursor })
+    }
+}
+
+/// A frozen bit-precise structure description.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    name: String,
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+    size_bits: usize,
+}
+
+impl Layout {
+    /// The layout's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total size in bits, including padding.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        self.size_bits
+    }
+
+    /// Total size in whole bytes (rounded up).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.size_bits.div_ceil(8)
+    }
+
+    /// Size this structure would occupy if every field were boxed into its
+    /// own 64-bit word — the "managed representation" the paper's Fallacy 2
+    /// argues cannot be optimised away. Used by E8's bloat column.
+    #[must_use]
+    pub fn boxed_size_bytes(&self) -> usize {
+        self.fields.len() * 8
+    }
+
+    /// Looks up a field descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::UnknownField`].
+    pub fn field(&self, name: &str) -> Result<&Field, LayoutError> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.fields[i])
+            .ok_or_else(|| LayoutError::UnknownField(name.to_owned()))
+    }
+
+    /// All fields in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Creates a read-only view over `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] if `buf` is smaller than the layout.
+    pub fn view<'a>(&'a self, buf: &'a [u8]) -> Result<View<'a>, ReprError> {
+        if buf.len() < self.size_bytes() {
+            return Err(ReprError::Truncated { needed: self.size_bytes(), got: buf.len() });
+        }
+        Ok(View { layout: self, buf })
+    }
+
+    /// Creates a mutable view over `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] if `buf` is smaller than the layout.
+    pub fn view_mut<'a>(&'a self, buf: &'a mut [u8]) -> Result<ViewMut<'a>, ReprError> {
+        if buf.len() < self.size_bytes() {
+            return Err(ReprError::Truncated { needed: self.size_bytes(), got: buf.len() });
+        }
+        Ok(ViewMut { layout: self, buf })
+    }
+}
+
+/// A read-only, zero-copy view of bytes through a [`Layout`].
+#[derive(Debug, Clone)]
+pub struct View<'a> {
+    layout: &'a Layout,
+    buf: &'a [u8],
+}
+
+impl View<'_> {
+    /// Reads the named field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] for unknown field names.
+    pub fn get(&self, name: &str) -> Result<u64, ReprError> {
+        let f = self
+            .layout
+            .field(name)
+            .map_err(|_| ReprError::InvalidField { field: "unknown", value: 0 })?;
+        bits::get_bits(self.buf, f.bit_offset, f.width)
+    }
+}
+
+/// A mutable, zero-copy view of bytes through a [`Layout`].
+#[derive(Debug)]
+pub struct ViewMut<'a> {
+    layout: &'a Layout,
+    buf: &'a mut [u8],
+}
+
+impl ViewMut<'_> {
+    /// Reads the named field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] for unknown field names.
+    pub fn get(&self, name: &str) -> Result<u64, ReprError> {
+        let f = self
+            .layout
+            .field(name)
+            .map_err(|_| ReprError::InvalidField { field: "unknown", value: 0 })?;
+        bits::get_bits(self.buf, f.bit_offset, f.width)
+    }
+
+    /// Writes the named field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] for unknown names or values that
+    /// do not fit the declared width.
+    pub fn set(&mut self, name: &str, value: u64) -> Result<(), ReprError> {
+        let f = self
+            .layout
+            .field(name)
+            .map_err(|_| ReprError::InvalidField { field: "unknown", value })?;
+        bits::set_bits(self.buf, f.bit_offset, f.width, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pte() -> Layout {
+        LayoutBuilder::new("pte")
+            .field("present", 1)
+            .field("writable", 1)
+            .field("user", 1)
+            .pad(9)
+            .field("frame", 52)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn offsets_accumulate_in_declaration_order() {
+        let l = pte();
+        assert_eq!(l.field("present").unwrap().bit_offset, 0);
+        assert_eq!(l.field("writable").unwrap().bit_offset, 1);
+        assert_eq!(l.field("frame").unwrap().bit_offset, 12);
+        assert_eq!(l.size_bits(), 64);
+        assert_eq!(l.size_bytes(), 8);
+    }
+
+    #[test]
+    fn boxed_size_shows_representation_bloat() {
+        let l = pte();
+        // 4 named fields boxed to words = 32 bytes vs 8 packed.
+        assert_eq!(l.boxed_size_bytes(), 32);
+        assert!(l.boxed_size_bytes() > l.size_bytes());
+    }
+
+    #[test]
+    fn duplicate_fields_are_rejected() {
+        let err = LayoutBuilder::new("x").field("a", 4).field("a", 4).build().unwrap_err();
+        assert_eq!(err, LayoutError::DuplicateField("a".into()));
+    }
+
+    #[test]
+    fn zero_and_oversized_widths_are_rejected() {
+        assert!(matches!(
+            LayoutBuilder::new("x").field("a", 0).build(),
+            Err(LayoutError::BadWidth { .. })
+        ));
+        assert!(matches!(
+            LayoutBuilder::new("x").field("a", 65).build(),
+            Err(LayoutError::BadWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn align_to_pads_cursor() {
+        let l = LayoutBuilder::new("x").field("a", 3).align_to(16).field("b", 8).build().unwrap();
+        assert_eq!(l.field("b").unwrap().bit_offset, 16);
+    }
+
+    #[test]
+    fn view_rejects_short_buffers() {
+        let l = pte();
+        let buf = [0u8; 4];
+        assert!(matches!(l.view(&buf), Err(ReprError::Truncated { .. })));
+    }
+
+    #[test]
+    fn set_get_through_views() {
+        let l = pte();
+        let mut raw = [0u8; 8];
+        let mut v = l.view_mut(&mut raw).unwrap();
+        v.set("present", 1).unwrap();
+        v.set("user", 1).unwrap();
+        v.set("frame", 0xABCDE).unwrap();
+        assert_eq!(v.get("present").unwrap(), 1);
+        assert_eq!(v.get("writable").unwrap(), 0);
+        let rv = l.view(&raw).unwrap();
+        assert_eq!(rv.get("frame").unwrap(), 0xABCDE);
+    }
+
+    #[test]
+    fn value_wider_than_field_is_rejected() {
+        let l = pte();
+        let mut raw = [0u8; 8];
+        let mut v = l.view_mut(&mut raw).unwrap();
+        assert!(v.set("present", 2).is_err());
+    }
+
+    #[test]
+    fn unknown_field_is_an_error_everywhere() {
+        let l = pte();
+        assert!(l.field("nope").is_err());
+        let raw = [0u8; 8];
+        assert!(l.view(&raw).unwrap().get("nope").is_err());
+    }
+
+    proptest! {
+        /// Fields written through a view read back exactly, independent of
+        /// neighbouring field contents.
+        #[test]
+        fn independent_field_roundtrip(a in 0u64..2, b in 0u64..512, c: u32) {
+            let l = LayoutBuilder::new("t")
+                .field("a", 1)
+                .field("b", 9)
+                .field("c", 32)
+                .build()
+                .unwrap();
+            let mut raw = vec![0u8; l.size_bytes()];
+            let mut v = l.view_mut(&mut raw).unwrap();
+            v.set("a", a).unwrap();
+            v.set("b", b).unwrap();
+            v.set("c", u64::from(c)).unwrap();
+            prop_assert_eq!(v.get("a").unwrap(), a);
+            prop_assert_eq!(v.get("b").unwrap(), b);
+            prop_assert_eq!(v.get("c").unwrap(), u64::from(c));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! # sysrepr — control over data representation
+//!
+//! Substrate for the paper's Challenge 3: "control over data representation".
+//! Systems code must describe *exact* bit-level layouts — hardware registers,
+//! page-table entries, network headers — and a viable C replacement must make
+//! those layouts expressible without boxing, padding surprises, or copies.
+//!
+//! The crate provides four layers:
+//!
+//! * [`bits`] — bit-precise reads/writes at arbitrary bit offsets and widths
+//!   (MSB-first, as network protocols and most hardware documents count bits),
+//! * [`endian`] — explicit byte-order conversion,
+//! * [`layout`] — a runtime layout-descriptor DSL in the spirit of BitC's
+//!   `bitfield` types: declare fields with bit widths, get offsets, bounds
+//!   checking, and a typed [`layout::View`] over raw bytes,
+//! * [`packet`] — zero-copy views over Ethernet/IPv4/UDP/TCP packets, with
+//!   [`boxed`] as the allocating "managed-language" baseline that experiment
+//!   E8 compares against, and [`langsec`] as a total, non-backtracking
+//!   combinator parser in the LangSec style.
+//!
+//! ```
+//! use sysrepr::packet::{EthernetView, PacketBuilder};
+//!
+//! let bytes = PacketBuilder::udp()
+//!     .src_ip([10, 0, 0, 1])
+//!     .dst_ip([10, 0, 0, 2])
+//!     .src_port(5004)
+//!     .dst_port(5005)
+//!     .payload(b"hello")
+//!     .build();
+//! let eth = EthernetView::parse(&bytes).unwrap();
+//! let ip = eth.ipv4().unwrap();
+//! assert_eq!(ip.dst(), [10, 0, 0, 2]);
+//! assert_eq!(ip.udp().unwrap().payload(), b"hello");
+//! ```
+
+pub mod bits;
+pub mod boxed;
+pub mod dns;
+pub mod endian;
+pub mod langsec;
+pub mod layout;
+pub mod packet;
+
+use std::fmt;
+
+/// Errors produced when decoding raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReprError {
+    /// The buffer is shorter than the structure requires.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A field value violates the format's constraints.
+    InvalidField {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Expected checksum.
+        expected: u16,
+        /// Computed checksum.
+        computed: u16,
+    },
+    /// A bit-level access was out of range.
+    OutOfRange {
+        /// Starting bit offset.
+        bit_offset: usize,
+        /// Width in bits.
+        width: usize,
+        /// Buffer length in bits.
+        buffer_bits: usize,
+    },
+}
+
+impl fmt::Display for ReprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReprError::Truncated { needed, got } => {
+                write!(f, "truncated input: need {needed} bytes, got {got}")
+            }
+            ReprError::InvalidField { field, value } => {
+                write!(f, "invalid value {value} for field {field}")
+            }
+            ReprError::BadChecksum { expected, computed } => {
+                write!(f, "bad checksum: header says {expected:#06x}, computed {computed:#06x}")
+            }
+            ReprError::OutOfRange { bit_offset, width, buffer_bits } => {
+                write!(
+                    f,
+                    "bit access [{bit_offset}, {bit_offset}+{width}) exceeds buffer of {buffer_bits} bits"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let e = ReprError::Truncated { needed: 20, got: 3 };
+        assert_eq!(e.to_string(), "truncated input: need 20 bytes, got 3");
+        let e = ReprError::BadChecksum { expected: 0x1234, computed: 0x5678 };
+        assert!(e.to_string().contains("0x1234"));
+    }
+}

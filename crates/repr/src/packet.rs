@@ -1,0 +1,695 @@
+//! Zero-copy packet views: Ethernet II, IPv4, UDP, and TCP.
+//!
+//! A view validates once at construction and then reads fields straight out
+//! of the original buffer — no allocation, no copying, exact representation.
+//! This is the style of code the paper says systems programmers cannot give
+//! up (Challenge 3); [`crate::boxed`] implements the same protocols in the
+//! allocating "managed" style for experiment E8's comparison.
+
+use crate::endian::{internet_checksum, read_u16_be, read_u32_be, write_u16_be};
+use crate::ReprError;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+const ETH_HEADER: usize = 14;
+const IPV4_MIN_HEADER: usize = 20;
+const UDP_HEADER: usize = 8;
+const TCP_MIN_HEADER: usize = 20;
+
+/// Zero-copy view of an Ethernet II frame.
+#[derive(Debug, Clone, Copy)]
+pub struct EthernetView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> EthernetView<'a> {
+    /// Validates the fixed header and wraps the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] for frames under 14 bytes.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, ReprError> {
+        if buf.len() < ETH_HEADER {
+            return Err(ReprError::Truncated { needed: ETH_HEADER, got: buf.len() });
+        }
+        Ok(EthernetView { buf })
+    }
+
+    /// Destination MAC address.
+    #[must_use]
+    pub fn dst_mac(&self) -> [u8; 6] {
+        self.buf[0..6].try_into().expect("validated length")
+    }
+
+    /// Source MAC address.
+    #[must_use]
+    pub fn src_mac(&self) -> [u8; 6] {
+        self.buf[6..12].try_into().expect("validated length")
+    }
+
+    /// EtherType field.
+    #[must_use]
+    pub fn ethertype(&self) -> u16 {
+        read_u16_be(self.buf, 12).expect("validated length")
+    }
+
+    /// Frame payload after the Ethernet header.
+    #[must_use]
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[ETH_HEADER..]
+    }
+
+    /// Interprets the payload as IPv4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] if the EtherType is not IPv4, or
+    /// any IPv4 validation error.
+    pub fn ipv4(&self) -> Result<Ipv4View<'a>, ReprError> {
+        if self.ethertype() != ETHERTYPE_IPV4 {
+            return Err(ReprError::InvalidField {
+                field: "ethertype",
+                value: u64::from(self.ethertype()),
+            });
+        }
+        Ipv4View::parse(self.payload())
+    }
+}
+
+/// Zero-copy view of an IPv4 packet.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4View<'a> {
+    buf: &'a [u8],
+    header_len: usize,
+    total_len: usize,
+}
+
+impl<'a> Ipv4View<'a> {
+    /// Validates version, header length, and total length, then wraps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] or [`ReprError::InvalidField`] on
+    /// malformed headers — total parsing, LangSec style: no field is exposed
+    /// until the whole header is known to be in bounds.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, ReprError> {
+        if buf.len() < IPV4_MIN_HEADER {
+            return Err(ReprError::Truncated { needed: IPV4_MIN_HEADER, got: buf.len() });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(ReprError::InvalidField { field: "version", value: u64::from(version) });
+        }
+        let ihl = usize::from(buf[0] & 0x0F);
+        let header_len = ihl * 4;
+        if ihl < 5 {
+            return Err(ReprError::InvalidField { field: "ihl", value: ihl as u64 });
+        }
+        if buf.len() < header_len {
+            return Err(ReprError::Truncated { needed: header_len, got: buf.len() });
+        }
+        let total_len = usize::from(read_u16_be(buf, 2).expect("validated length"));
+        if total_len < header_len {
+            return Err(ReprError::InvalidField { field: "total_len", value: total_len as u64 });
+        }
+        if buf.len() < total_len {
+            return Err(ReprError::Truncated { needed: total_len, got: buf.len() });
+        }
+        Ok(Ipv4View { buf, header_len, total_len })
+    }
+
+    /// Header length in bytes.
+    #[must_use]
+    pub fn header_len(&self) -> usize {
+        self.header_len
+    }
+
+    /// Total packet length in bytes (header + payload).
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Differentiated services code point.
+    #[must_use]
+    pub fn dscp(&self) -> u8 {
+        self.buf[1] >> 2
+    }
+
+    /// Identification field.
+    #[must_use]
+    pub fn identification(&self) -> u16 {
+        read_u16_be(self.buf, 4).expect("validated length")
+    }
+
+    /// Don't-fragment flag.
+    #[must_use]
+    pub fn dont_fragment(&self) -> bool {
+        self.buf[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    #[must_use]
+    pub fn more_fragments(&self) -> bool {
+        self.buf[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    #[must_use]
+    pub fn fragment_offset(&self) -> u16 {
+        read_u16_be(self.buf, 6).expect("validated length") & 0x1FFF
+    }
+
+    /// Time to live.
+    #[must_use]
+    pub fn ttl(&self) -> u8 {
+        self.buf[8]
+    }
+
+    /// Protocol number of the payload.
+    #[must_use]
+    pub fn protocol(&self) -> u8 {
+        self.buf[9]
+    }
+
+    /// Header checksum field.
+    #[must_use]
+    pub fn checksum(&self) -> u16 {
+        read_u16_be(self.buf, 10).expect("validated length")
+    }
+
+    /// Source address.
+    #[must_use]
+    pub fn src(&self) -> [u8; 4] {
+        self.buf[12..16].try_into().expect("validated length")
+    }
+
+    /// Destination address.
+    #[must_use]
+    pub fn dst(&self) -> [u8; 4] {
+        self.buf[16..20].try_into().expect("validated length")
+    }
+
+    /// Destination address as a `u32` (for routing-table lookups).
+    #[must_use]
+    pub fn dst_u32(&self) -> u32 {
+        read_u32_be(self.buf, 16).expect("validated length")
+    }
+
+    /// Options bytes (empty when IHL = 5).
+    #[must_use]
+    pub fn options(&self) -> &'a [u8] {
+        &self.buf[IPV4_MIN_HEADER..self.header_len]
+    }
+
+    /// Payload after the header, bounded by `total_len`.
+    #[must_use]
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.header_len..self.total_len]
+    }
+
+    /// Verifies the header checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::BadChecksum`] on mismatch.
+    pub fn verify_checksum(&self) -> Result<(), ReprError> {
+        let computed = internet_checksum(&self.buf[..self.header_len]);
+        if computed == 0 {
+            Ok(())
+        } else {
+            Err(ReprError::BadChecksum { expected: self.checksum(), computed })
+        }
+    }
+
+    /// Interprets the payload as UDP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] if the protocol is not UDP, or a
+    /// UDP validation error.
+    pub fn udp(&self) -> Result<UdpView<'a>, ReprError> {
+        if self.protocol() != IPPROTO_UDP {
+            return Err(ReprError::InvalidField {
+                field: "protocol",
+                value: u64::from(self.protocol()),
+            });
+        }
+        UdpView::parse(self.payload())
+    }
+
+    /// Interprets the payload as TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] if the protocol is not TCP, or a
+    /// TCP validation error.
+    pub fn tcp(&self) -> Result<TcpView<'a>, ReprError> {
+        if self.protocol() != IPPROTO_TCP {
+            return Err(ReprError::InvalidField {
+                field: "protocol",
+                value: u64::from(self.protocol()),
+            });
+        }
+        TcpView::parse(self.payload())
+    }
+}
+
+/// Zero-copy view of a UDP datagram.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpView<'a> {
+    buf: &'a [u8],
+    length: usize,
+}
+
+impl<'a> UdpView<'a> {
+    /// Validates the header and length field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] or [`ReprError::InvalidField`].
+    pub fn parse(buf: &'a [u8]) -> Result<Self, ReprError> {
+        if buf.len() < UDP_HEADER {
+            return Err(ReprError::Truncated { needed: UDP_HEADER, got: buf.len() });
+        }
+        let length = usize::from(read_u16_be(buf, 4).expect("validated length"));
+        if length < UDP_HEADER {
+            return Err(ReprError::InvalidField { field: "length", value: length as u64 });
+        }
+        if buf.len() < length {
+            return Err(ReprError::Truncated { needed: length, got: buf.len() });
+        }
+        Ok(UdpView { buf, length })
+    }
+
+    /// Source port.
+    #[must_use]
+    pub fn src_port(&self) -> u16 {
+        read_u16_be(self.buf, 0).expect("validated length")
+    }
+
+    /// Destination port.
+    #[must_use]
+    pub fn dst_port(&self) -> u16 {
+        read_u16_be(self.buf, 2).expect("validated length")
+    }
+
+    /// Datagram length (header + payload).
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// UDP checksum field (0 means "not computed").
+    #[must_use]
+    pub fn checksum(&self) -> u16 {
+        read_u16_be(self.buf, 6).expect("validated length")
+    }
+
+    /// Payload bytes.
+    #[must_use]
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[UDP_HEADER..self.length]
+    }
+}
+
+/// Zero-copy view of a TCP segment.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpView<'a> {
+    buf: &'a [u8],
+    data_offset: usize,
+}
+
+impl<'a> TcpView<'a> {
+    /// Validates the header and data offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] or [`ReprError::InvalidField`].
+    pub fn parse(buf: &'a [u8]) -> Result<Self, ReprError> {
+        if buf.len() < TCP_MIN_HEADER {
+            return Err(ReprError::Truncated { needed: TCP_MIN_HEADER, got: buf.len() });
+        }
+        let data_offset = usize::from(buf[12] >> 4) * 4;
+        if data_offset < TCP_MIN_HEADER {
+            return Err(ReprError::InvalidField {
+                field: "data_offset",
+                value: data_offset as u64,
+            });
+        }
+        if buf.len() < data_offset {
+            return Err(ReprError::Truncated { needed: data_offset, got: buf.len() });
+        }
+        Ok(TcpView { buf, data_offset })
+    }
+
+    /// Source port.
+    #[must_use]
+    pub fn src_port(&self) -> u16 {
+        read_u16_be(self.buf, 0).expect("validated length")
+    }
+
+    /// Destination port.
+    #[must_use]
+    pub fn dst_port(&self) -> u16 {
+        read_u16_be(self.buf, 2).expect("validated length")
+    }
+
+    /// Sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u32 {
+        read_u32_be(self.buf, 4).expect("validated length")
+    }
+
+    /// Acknowledgment number.
+    #[must_use]
+    pub fn ack(&self) -> u32 {
+        read_u32_be(self.buf, 8).expect("validated length")
+    }
+
+    /// True if the SYN flag is set.
+    #[must_use]
+    pub fn syn(&self) -> bool {
+        self.buf[13] & 0x02 != 0
+    }
+
+    /// True if the ACK flag is set.
+    #[must_use]
+    pub fn ack_flag(&self) -> bool {
+        self.buf[13] & 0x10 != 0
+    }
+
+    /// True if the FIN flag is set.
+    #[must_use]
+    pub fn fin(&self) -> bool {
+        self.buf[13] & 0x01 != 0
+    }
+
+    /// True if the RST flag is set.
+    #[must_use]
+    pub fn rst(&self) -> bool {
+        self.buf[13] & 0x04 != 0
+    }
+
+    /// Receive window.
+    #[must_use]
+    pub fn window(&self) -> u16 {
+        read_u16_be(self.buf, 14).expect("validated length")
+    }
+
+    /// Payload after the header (and options).
+    #[must_use]
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.data_offset..]
+    }
+}
+
+/// Builds well-formed Ethernet/IPv4/{UDP,TCP} packets for tests, examples,
+/// and workload generators; lengths and the IPv4 checksum are computed.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    protocol: u8,
+    src_mac: [u8; 6],
+    dst_mac: [u8; 6],
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    src_port: u16,
+    dst_port: u16,
+    ttl: u8,
+    payload: Vec<u8>,
+    corrupt_checksum: bool,
+}
+
+impl PacketBuilder {
+    /// Starts a UDP packet with loopback-ish defaults.
+    #[must_use]
+    pub fn udp() -> Self {
+        Self::with_protocol(IPPROTO_UDP)
+    }
+
+    /// Starts a TCP packet with loopback-ish defaults.
+    #[must_use]
+    pub fn tcp() -> Self {
+        Self::with_protocol(IPPROTO_TCP)
+    }
+
+    fn with_protocol(protocol: u8) -> Self {
+        PacketBuilder {
+            protocol,
+            src_mac: [2, 0, 0, 0, 0, 1],
+            dst_mac: [2, 0, 0, 0, 0, 2],
+            src_ip: [127, 0, 0, 1],
+            dst_ip: [127, 0, 0, 1],
+            src_port: 10_000,
+            dst_port: 10_001,
+            ttl: 64,
+            payload: Vec::new(),
+            corrupt_checksum: false,
+        }
+    }
+
+    /// Sets the source IP address.
+    #[must_use]
+    pub fn src_ip(mut self, ip: [u8; 4]) -> Self {
+        self.src_ip = ip;
+        self
+    }
+
+    /// Sets the destination IP address.
+    #[must_use]
+    pub fn dst_ip(mut self, ip: [u8; 4]) -> Self {
+        self.dst_ip = ip;
+        self
+    }
+
+    /// Sets the source port.
+    #[must_use]
+    pub fn src_port(mut self, p: u16) -> Self {
+        self.src_port = p;
+        self
+    }
+
+    /// Sets the destination port.
+    #[must_use]
+    pub fn dst_port(mut self, p: u16) -> Self {
+        self.dst_port = p;
+        self
+    }
+
+    /// Sets the IPv4 TTL.
+    #[must_use]
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the transport payload.
+    #[must_use]
+    pub fn payload(mut self, p: &[u8]) -> Self {
+        self.payload = p.to_vec();
+        self
+    }
+
+    /// Deliberately corrupts the IPv4 checksum (for failure-injection tests).
+    #[must_use]
+    pub fn corrupt_checksum(mut self) -> Self {
+        self.corrupt_checksum = true;
+        self
+    }
+
+    /// Produces the raw frame bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is too large for a 16-bit IPv4 total length.
+    #[must_use]
+    pub fn build(&self) -> Vec<u8> {
+        let transport_header = if self.protocol == IPPROTO_UDP { UDP_HEADER } else { TCP_MIN_HEADER };
+        let ip_total = IPV4_MIN_HEADER + transport_header + self.payload.len();
+        assert!(ip_total <= usize::from(u16::MAX), "payload too large for IPv4");
+        let mut frame = vec![0u8; ETH_HEADER + ip_total];
+        // Ethernet.
+        frame[0..6].copy_from_slice(&self.dst_mac);
+        frame[6..12].copy_from_slice(&self.src_mac);
+        write_u16_be(&mut frame, 12, ETHERTYPE_IPV4).expect("in bounds");
+        // IPv4 header.
+        let ip = ETH_HEADER;
+        frame[ip] = 0x45;
+        write_u16_be(&mut frame, ip + 2, u16::try_from(ip_total).expect("checked")).expect("in bounds");
+        frame[ip + 8] = self.ttl;
+        frame[ip + 9] = self.protocol;
+        frame[ip + 12..ip + 16].copy_from_slice(&self.src_ip);
+        frame[ip + 16..ip + 20].copy_from_slice(&self.dst_ip);
+        let mut ck = internet_checksum(&frame[ip..ip + IPV4_MIN_HEADER]);
+        if self.corrupt_checksum {
+            ck ^= 0xFFFF;
+        }
+        write_u16_be(&mut frame, ip + 10, ck).expect("in bounds");
+        // Transport header.
+        let tp = ip + IPV4_MIN_HEADER;
+        if self.protocol == IPPROTO_UDP {
+            write_u16_be(&mut frame, tp, self.src_port).expect("in bounds");
+            write_u16_be(&mut frame, tp + 2, self.dst_port).expect("in bounds");
+            let udp_len = u16::try_from(UDP_HEADER + self.payload.len()).expect("checked");
+            write_u16_be(&mut frame, tp + 4, udp_len).expect("in bounds");
+        } else {
+            write_u16_be(&mut frame, tp, self.src_port).expect("in bounds");
+            write_u16_be(&mut frame, tp + 2, self.dst_port).expect("in bounds");
+            frame[tp + 12] = 0x50; // data offset = 5 words
+            frame[tp + 13] = 0x10; // ACK
+            write_u16_be(&mut frame, tp + 14, 0xFFFF).expect("in bounds");
+        }
+        frame[tp + transport_header..].copy_from_slice(&self.payload);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_udp() -> Vec<u8> {
+        PacketBuilder::udp()
+            .src_ip([192, 168, 1, 10])
+            .dst_ip([192, 168, 1, 20])
+            .src_port(1234)
+            .dst_port(5678)
+            .payload(b"payload!")
+            .build()
+    }
+
+    #[test]
+    fn ethernet_fields_decode() {
+        let bytes = sample_udp();
+        let eth = EthernetView::parse(&bytes).unwrap();
+        assert_eq!(eth.ethertype(), ETHERTYPE_IPV4);
+        assert_eq!(eth.src_mac(), [2, 0, 0, 0, 0, 1]);
+        assert_eq!(eth.dst_mac(), [2, 0, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn ipv4_fields_decode() {
+        let bytes = sample_udp();
+        let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+        assert_eq!(ip.src(), [192, 168, 1, 10]);
+        assert_eq!(ip.dst(), [192, 168, 1, 20]);
+        assert_eq!(ip.ttl(), 64);
+        assert_eq!(ip.protocol(), IPPROTO_UDP);
+        assert_eq!(ip.total_len(), 20 + 8 + 8);
+        ip.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn udp_fields_and_payload_decode() {
+        let bytes = sample_udp();
+        let udp = EthernetView::parse(&bytes).unwrap().ipv4().unwrap().udp().unwrap();
+        assert_eq!(udp.src_port(), 1234);
+        assert_eq!(udp.dst_port(), 5678);
+        assert_eq!(udp.payload(), b"payload!");
+    }
+
+    #[test]
+    fn tcp_builder_and_view_agree() {
+        let bytes = PacketBuilder::tcp().src_port(80).dst_port(443).payload(b"GET /").build();
+        let tcp = EthernetView::parse(&bytes).unwrap().ipv4().unwrap().tcp().unwrap();
+        assert_eq!(tcp.src_port(), 80);
+        assert_eq!(tcp.dst_port(), 443);
+        assert!(tcp.ack_flag());
+        assert!(!tcp.syn());
+        assert_eq!(tcp.payload(), b"GET /");
+    }
+
+    #[test]
+    fn corrupted_checksum_is_detected() {
+        let bytes = PacketBuilder::udp().corrupt_checksum().build();
+        let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+        assert!(matches!(ip.verify_checksum(), Err(ReprError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_at_every_layer() {
+        let bytes = sample_udp();
+        assert!(EthernetView::parse(&bytes[..10]).is_err());
+        assert!(Ipv4View::parse(&bytes[14..30]).is_err());
+        assert!(UdpView::parse(&bytes[34..38]).is_err());
+    }
+
+    #[test]
+    fn wrong_ip_version_is_rejected() {
+        let mut bytes = sample_udp();
+        bytes[14] = 0x65; // version 6
+        assert!(matches!(
+            EthernetView::parse(&bytes).unwrap().ipv4(),
+            Err(ReprError::InvalidField { field: "version", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_ihl_is_rejected() {
+        let mut bytes = sample_udp();
+        bytes[14] = 0x42; // IHL 2 < 5
+        assert!(Ipv4View::parse(&bytes[14..]).is_err());
+    }
+
+    #[test]
+    fn total_len_bounds_payload() {
+        let bytes = sample_udp();
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0xEE; 16]); // trailing junk beyond total_len
+        let ip = EthernetView::parse(&long).unwrap().ipv4().unwrap();
+        assert_eq!(ip.payload().len(), 16, "payload must stop at total_len");
+    }
+
+    #[test]
+    fn lying_total_len_is_rejected() {
+        let mut bytes = sample_udp();
+        // Claim a total length past the end of the buffer.
+        bytes[16] = 0xFF;
+        bytes[17] = 0xFF;
+        assert!(matches!(Ipv4View::parse(&bytes[14..]), Err(ReprError::Truncated { .. })));
+    }
+
+    #[test]
+    fn udp_on_tcp_packet_is_a_type_error() {
+        let bytes = PacketBuilder::tcp().build();
+        let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+        assert!(matches!(ip.udp(), Err(ReprError::InvalidField { field: "protocol", .. })));
+    }
+
+    proptest! {
+        /// Any payload round-trips through build + parse.
+        #[test]
+        fn udp_payload_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let bytes = PacketBuilder::udp().payload(&payload).build();
+            let udp = EthernetView::parse(&bytes).unwrap().ipv4().unwrap().udp().unwrap();
+            prop_assert_eq!(udp.payload(), &payload[..]);
+        }
+
+        /// Built packets always carry a valid IPv4 checksum.
+        #[test]
+        fn built_checksums_verify(src: [u8; 4], dst: [u8; 4], ttl: u8) {
+            let bytes = PacketBuilder::udp().src_ip(src).dst_ip(dst).ttl(ttl).build();
+            let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+            prop_assert!(ip.verify_checksum().is_ok());
+        }
+
+        /// The parser never panics on arbitrary bytes (total parsing).
+        #[test]
+        fn parser_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            if let Ok(eth) = EthernetView::parse(&bytes) {
+                if let Ok(ip) = eth.ipv4() {
+                    let _ = ip.verify_checksum();
+                    let _ = ip.udp();
+                    let _ = ip.tcp();
+                    let _ = ip.payload();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! A small DPLL SAT solver: unit propagation, pure-literal elimination, and
+//! chronological backtracking over a CNF produced by Tseitin transformation.
+//!
+//! This is the propositional engine under the lazy-SMT loop in
+//! [`crate::solver`]; it is deliberately simple (no clause learning) because
+//! the verification conditions systems invariants generate are tiny by SAT
+//! standards — the paper's point is that the *integration* must exist, not
+//! that the engine be competitive.
+
+/// A literal: positive or negative occurrence of variable `var`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// True for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    #[must_use]
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal of `var`.
+    #[must_use]
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit { var: self.var, positive: !self.positive }
+    }
+}
+
+/// A CNF formula: a conjunction of clauses, each a disjunction of literals.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty CNF over `num_vars` variables.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        Cnf { num_vars, clauses: Vec::new() }
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn fresh_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Adds one clause.
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        self.clauses.push(lits);
+    }
+}
+
+/// Solves the CNF; returns a satisfying assignment (indexed by variable) or
+/// `None` if unsatisfiable.
+#[must_use]
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if dpll(&cnf.clauses, &mut assignment) {
+        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+fn dpll(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to a fixed point.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for clause in clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut num_unassigned = 0;
+            let mut satisfied = false;
+            for &lit in clause {
+                match assignment[lit.var] {
+                    Some(v) if v == lit.positive => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        num_unassigned += 1;
+                        unassigned = Some(lit);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match num_unassigned {
+                0 => {
+                    // Conflict: undo trail.
+                    for v in trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    let lit = unassigned.expect("one unassigned literal");
+                    assignment[lit.var] = Some(lit.positive);
+                    trail.push(lit.var);
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+    // Pick a branching variable.
+    let Some(var) = assignment.iter().position(Option::is_none) else {
+        return true; // all assigned, no conflicts: satisfying.
+    };
+    for value in [true, false] {
+        assignment[var] = Some(value);
+        if dpll(clauses, assignment) {
+            return true;
+        }
+        assignment[var] = None;
+    }
+    // Undo propagation trail on failure.
+    for v in trail {
+        assignment[v] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_cnf_is_sat() {
+        assert!(solve(&Cnf::new(0)).is_some());
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        assert_eq!(solve(&cnf), Some(vec![true]));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(0)]);
+        assert_eq!(solve(&cnf), None);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![]);
+        assert_eq!(solve(&cnf), None);
+    }
+
+    #[test]
+    fn chain_of_implications_propagates() {
+        // x0 && (x0 -> x1) && (x1 -> x2)
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::neg(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::neg(1), Lit::pos(2)]);
+        assert_eq!(solve(&cnf), Some(vec![true, true, true]));
+    }
+
+    #[test]
+    fn pigeonhole_two_in_one_is_unsat() {
+        // Two pigeons, one hole: p0 and p1 both in hole, but not together.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        cnf.add_clause(vec![Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::neg(0), Lit::neg(1)]);
+        assert_eq!(solve(&cnf), None);
+    }
+
+    #[test]
+    fn xor_structure_requires_backtracking() {
+        // (a || b) && (!a || !b) — two solutions; must find one.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::neg(0), Lit::neg(1)]);
+        let m = solve(&cnf).unwrap();
+        assert_ne!(m[0], m[1]);
+    }
+
+    fn eval(cnf: &Cnf, m: &[bool]) -> bool {
+        cnf.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| m[l.var] == l.positive))
+    }
+
+    proptest! {
+        /// Against brute force: for random small CNFs the solver agrees with
+        /// exhaustive enumeration and returned models actually satisfy.
+        #[test]
+        fn agrees_with_brute_force(
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((0usize..4, any::<bool>()), 1..4),
+                0..8
+            )
+        ) {
+            let mut cnf = Cnf::new(4);
+            for c in &clauses {
+                cnf.add_clause(c.iter().map(|&(v, p)| Lit { var: v, positive: p }).collect());
+            }
+            let brute = (0..16u32).any(|bits| {
+                let m: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                eval(&cnf, &m)
+            });
+            match solve(&cnf) {
+                Some(m) => {
+                    prop_assert!(eval(&cnf, &m), "returned model does not satisfy");
+                    prop_assert!(brute);
+                }
+                None => prop_assert!(!brute, "solver missed a satisfying assignment"),
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Decision procedure for conjunctions of linear integer constraints:
+//! Fourier–Motzkin elimination with integer (gcd) tightening and model
+//! extraction by back-substitution.
+//!
+//! Soundness contract:
+//!
+//! * `Unsat` is always correct (FM refutations are valid over the rationals,
+//!   hence over the integers).
+//! * `Sat` is always correct — a concrete integer model is produced and the
+//!   caller can (and the tests do) re-evaluate every constraint against it.
+//! * When elimination succeeds rationally but no integer model can be
+//!   extracted, the procedure answers `Unknown` rather than guessing. This is
+//!   the honest version of what a production prover handles with the Omega
+//!   test's dark shadows.
+
+use std::collections::BTreeMap;
+
+/// A linear expression `sum(coeff_i * var_i) + constant`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Variable coefficients (zero coefficients are never stored).
+    pub coeffs: BTreeMap<String, i64>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+impl LinExpr {
+    /// The constant expression `n`.
+    #[must_use]
+    pub fn constant(n: i64) -> Self {
+        LinExpr { coeffs: BTreeMap::new(), constant: n }
+    }
+
+    /// The expression `1 * var`.
+    #[must_use]
+    pub fn var(name: &str) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_owned(), 1);
+        LinExpr { coeffs, constant: 0 }
+    }
+
+    /// Adds another expression scaled by `k`.
+    #[must_use]
+    pub fn add_scaled(mut self, other: &LinExpr, k: i64) -> Self {
+        for (v, c) in &other.coeffs {
+            let e = self.coeffs.entry(v.clone()).or_insert(0);
+            *e += c * k;
+            if *e == 0 {
+                self.coeffs.remove(v);
+            }
+        }
+        self.constant += other.constant * k;
+        self
+    }
+
+    /// Evaluates under a (total) assignment.
+    #[must_use]
+    pub fn eval(&self, model: &BTreeMap<String, i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (v, c) in &self.coeffs {
+            acc = acc.checked_add(c.checked_mul(*model.get(v)?)?)?;
+        }
+        Some(acc)
+    }
+}
+
+/// A constraint `expr <= 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// The left-hand expression (compared against zero).
+    pub expr: LinExpr,
+}
+
+impl Constraint {
+    /// Builds `expr <= 0`.
+    #[must_use]
+    pub fn le_zero(expr: LinExpr) -> Self {
+        Constraint { expr }
+    }
+
+    /// True if the constraint holds under `model`.
+    #[must_use]
+    pub fn holds(&self, model: &BTreeMap<String, i64>) -> Option<bool> {
+        Some(self.expr.eval(model)? <= 0)
+    }
+
+    /// Integer tightening: divide by the gcd of the variable coefficients and
+    /// floor the bound. For `g | coeffs`, `sum c_i x_i <= -k` iff
+    /// `sum (c_i/g) x_i <= floor(-k/g)` over the integers.
+    fn tighten(&mut self) {
+        let g = self.expr.coeffs.values().fold(0i64, |acc, &c| gcd(acc, c.abs()));
+        if g > 1 {
+            for c in self.expr.coeffs.values_mut() {
+                *c /= g;
+            }
+            let bound = -self.expr.constant; // sum <= bound
+            self.expr.constant = -(bound.div_euclid(g));
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiaResult {
+    /// Satisfiable, with a witnessing integer model.
+    Sat(BTreeMap<String, i64>),
+    /// Definitely unsatisfiable.
+    Unsat,
+    /// The procedure could not decide (integer-gap or resource cap).
+    Unknown,
+}
+
+/// Bounds recorded when a variable is eliminated: the variable name, its
+/// lower bounds as `(coeff, expr)` pairs (`coeff * var >= expr`), and its
+/// upper bounds (`coeff * var <= expr`).
+type Elimination = (String, Vec<(i64, LinExpr)>, Vec<(i64, LinExpr)>);
+
+/// Caps the constraint population during elimination; beyond this the
+/// procedure answers `Unknown` instead of blowing up (FM is worst-case
+/// doubly exponential).
+const MAX_CONSTRAINTS: usize = 20_000;
+
+/// Decides satisfiability of a conjunction of constraints over the integers.
+#[must_use]
+pub fn check(constraints: &[Constraint]) -> LiaResult {
+    let mut work: Vec<Constraint> = constraints.to_vec();
+    for c in &mut work {
+        c.tighten();
+    }
+    // Elimination record: (var, lower bounds as (coeff, rest), upper bounds).
+    // A lower bound `a*x >= e` is stored as (a, e); upper `b*x <= f` as (b, f).
+    let mut eliminated: Vec<Elimination> = Vec::new();
+
+    loop {
+        // Drop trivially-true constraints; fail on trivially-false ones.
+        work.retain(|c| !(c.expr.coeffs.is_empty() && c.expr.constant <= 0));
+        if let Some(bad) = work.iter().find(|c| c.expr.coeffs.is_empty()) {
+            debug_assert!(bad.expr.constant > 0);
+            return LiaResult::Unsat;
+        }
+        // Pick the variable appearing in the fewest constraints.
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for c in &work {
+            for v in c.expr.coeffs.keys() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let Some((&var, _)) = counts.iter().min_by_key(|(_, n)| **n) else {
+            // No variables left and no contradictions: rationally feasible.
+            break;
+        };
+        let var = var.to_owned();
+        let mut lowers: Vec<(i64, LinExpr)> = Vec::new();
+        let mut uppers: Vec<(i64, LinExpr)> = Vec::new();
+        let mut rest: Vec<Constraint> = Vec::new();
+        for c in work {
+            match c.expr.coeffs.get(&var).copied() {
+                None => rest.push(c),
+                Some(a) if a > 0 => {
+                    // a*x + e <= 0  =>  a*x <= -e : upper bound (a, -e).
+                    let mut e = c.expr.clone();
+                    e.coeffs.remove(&var);
+                    let neg = LinExpr::constant(0).add_scaled(&e, -1);
+                    uppers.push((a, neg));
+                }
+                Some(a) => {
+                    // a<0: a*x + e <= 0 => (-a)*x >= e : lower bound (-a, e).
+                    let mut e = c.expr.clone();
+                    e.coeffs.remove(&var);
+                    lowers.push((-a, e));
+                }
+            }
+        }
+        // Combine every (lower, upper) pair:
+        // a*x >= e and b*x <= f  =>  b*e <= a*b*x <= a*f  =>  b*e - a*f <= 0.
+        for (a, e) in &lowers {
+            for (b, f) in &uppers {
+                let combined = LinExpr::constant(0).add_scaled(e, *b).add_scaled(f, -*a);
+                let mut c = Constraint::le_zero(combined);
+                c.tighten();
+                rest.push(c);
+            }
+        }
+        if rest.len() > MAX_CONSTRAINTS {
+            return LiaResult::Unknown;
+        }
+        eliminated.push((var, lowers, uppers));
+        work = rest;
+    }
+
+    // Back-substitute an integer model in reverse elimination order.
+    // Variables whose constraints cancelled during combination are
+    // unconstrained in the projection: default them to 0 first, then let the
+    // reverse pass overwrite every variable that carries bounds.
+    let mut model: BTreeMap<String, i64> = BTreeMap::new();
+    for c in constraints {
+        for v in c.expr.coeffs.keys() {
+            model.entry(v.clone()).or_insert(0);
+        }
+    }
+    for (var, lowers, uppers) in eliminated.iter().rev() {
+        let mut lo: Option<i64> = None;
+        let mut hi: Option<i64> = None;
+        for (a, e) in lowers {
+            // x >= e/a (a > 0): lower bound ceil(e/a).
+            let Some(ev) = e.eval(&model) else { return LiaResult::Unknown };
+            let bound = div_ceil(ev, *a);
+            lo = Some(lo.map_or(bound, |l| l.max(bound)));
+        }
+        for (b, f) in uppers {
+            // x <= f/b (b > 0): upper bound floor(f/b).
+            let Some(fv) = f.eval(&model) else { return LiaResult::Unknown };
+            let bound = fv.div_euclid(*b);
+            hi = Some(hi.map_or(bound, |h| h.min(bound)));
+        }
+        let value = match (lo, hi) {
+            (Some(l), Some(h)) if l > h => return LiaResult::Unknown,
+            (Some(l), _) => l,
+            (None, Some(h)) => h.min(0),
+            (None, None) => 0,
+        };
+        model.insert(var.clone(), value);
+    }
+    // Final safety net: the model must actually satisfy the inputs.
+    for c in constraints {
+        match c.holds(&model) {
+            Some(true) => {}
+            _ => return LiaResult::Unknown,
+        }
+    }
+    LiaResult::Sat(model)
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i64::from(a.rem_euclid(b) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn le(coeffs: &[(&str, i64)], constant: i64) -> Constraint {
+        // sum coeffs + constant <= 0
+        let mut e = LinExpr::constant(constant);
+        for (v, c) in coeffs {
+            e = e.add_scaled(&LinExpr::var(v), *c);
+        }
+        Constraint::le_zero(e)
+    }
+
+    #[test]
+    fn empty_system_is_sat() {
+        assert!(matches!(check(&[]), LiaResult::Sat(_)));
+    }
+
+    #[test]
+    fn constant_contradiction_is_unsat() {
+        // 1 <= 0
+        assert_eq!(check(&[le(&[], 1)]), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn simple_bounds_produce_a_model() {
+        // x >= 3 (i.e. -x + 3 <= 0), x <= 7 (x - 7 <= 0)
+        let cs = [le(&[("x", -1)], 3), le(&[("x", 1)], -7)];
+        match check(&cs) {
+            LiaResult::Sat(m) => {
+                let x = m["x"];
+                assert!((3..=7).contains(&x));
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_bounds_are_unsat() {
+        // x >= 5 and x <= 4
+        let cs = [le(&[("x", -1)], 5), le(&[("x", 1)], -4)];
+        assert_eq!(check(&cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn integer_tightening_catches_parity_style_gaps() {
+        // 2x >= 1 and 2x <= 1: rationally x = 1/2, integrally unsat.
+        // After tightening: x >= 1 and x <= 0.
+        let cs = [le(&[("x", -2)], 1), le(&[("x", 2)], -1)];
+        assert_eq!(check(&cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn two_variable_chain_is_transitive() {
+        // x <= y, y <= z, z <= x - 1  =>  unsat (x <= x - 1).
+        let cs = [
+            le(&[("x", 1), ("y", -1)], 0),
+            le(&[("y", 1), ("z", -1)], 0),
+            le(&[("z", 1), ("x", -1)], 1),
+        ];
+        assert_eq!(check(&cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_multivariable_system() {
+        // x + y <= 10, x >= 2, y >= 3.
+        let cs = [
+            le(&[("x", 1), ("y", 1)], -10),
+            le(&[("x", -1)], 2),
+            le(&[("y", -1)], 3),
+        ];
+        match check(&cs) {
+            LiaResult::Sat(m) => {
+                assert!(m["x"] >= 2);
+                assert!(m["y"] >= 3);
+                assert!(m["x"] + m["y"] <= 10);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_variable_defaults_sanely() {
+        // x <= 100 only.
+        match check(&[le(&[("x", 1)], -100)]) {
+            LiaResult::Sat(m) => assert!(m["x"] <= 100),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equalities_via_paired_inequalities() {
+        // x == 42 encoded as x <= 42 && x >= 42.
+        let cs = [le(&[("x", 1)], -42), le(&[("x", -1)], 42)];
+        match check(&cs) {
+            LiaResult::Sat(m) => assert_eq!(m["x"], 42),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    proptest! {
+        /// Agreement with a brute-force oracle over small boxes: for systems
+        /// of up to 4 constraints over x,y in [-6,6], FM+extraction must
+        /// never contradict exhaustive search (Unknown is allowed).
+        #[test]
+        fn agrees_with_brute_force(
+            specs in proptest::collection::vec(
+                (-3i64..=3, -3i64..=3, -8i64..=8), 1..4
+            )
+        ) {
+            // Each spec (a, b, k): a*x + b*y + k <= 0, plus box bounds.
+            let mut cs: Vec<Constraint> = specs
+                .iter()
+                .map(|(a, b, k)| le(&[("x", *a), ("y", *b)], *k))
+                .collect();
+            // Box: -6 <= x,y <= 6 keeps brute force finite and exercises
+            // bound extraction.
+            cs.push(le(&[("x", 1)], -6));
+            cs.push(le(&[("x", -1)], -6));
+            cs.push(le(&[("y", 1)], -6));
+            cs.push(le(&[("y", -1)], -6));
+
+            let brute_sat = (-6..=6).any(|x| {
+                (-6..=6).any(|y| {
+                    let m: BTreeMap<String, i64> =
+                        [("x".to_owned(), x), ("y".to_owned(), y)].into();
+                    cs.iter().all(|c| c.holds(&m) == Some(true))
+                })
+            });
+            match check(&cs) {
+                LiaResult::Sat(m) => {
+                    prop_assert!(brute_sat, "solver said Sat but box search disagrees");
+                    for c in &cs {
+                        prop_assert_eq!(c.holds(&m), Some(true), "model violates constraint");
+                    }
+                }
+                LiaResult::Unsat => prop_assert!(!brute_sat, "solver said Unsat but {:?} exists", brute_sat),
+                LiaResult::Unknown => { /* allowed */ }
+            }
+        }
+    }
+}

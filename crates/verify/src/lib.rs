@@ -1,0 +1,46 @@
+//! # bitc-verify — application constraint checking
+//!
+//! The prover-integration substrate the paper's Challenge 1 calls for: BitC's
+//! goal was "stateful low-level systems codes that we can reason about in
+//! varying measure using automated tools". This crate is that automated
+//! tool, scaled to a reproduction:
+//!
+//! * [`term`] — quantifier-free formulas over linear integer arithmetic and
+//!   Booleans (the fragment that covers index bounds, size accounting, and
+//!   capability-bit invariants),
+//! * [`dpll`] — a DPLL SAT solver,
+//! * [`lia`] — Fourier–Motzkin with integer tightening and model extraction,
+//! * [`solver`] — the lazy DPLL(T) combination with counterexample models,
+//! * [`vcgen`] — weakest-precondition verification-condition generation for
+//!   an imperative contract language (`requires`/`ensures`/`invariant`).
+//!
+//! The solver is *honest*: `Valid` and `Invalid(model)` are definitive
+//! (models are re-checkable, and the test suite cross-checks against brute
+//! force); when the integer fragment exceeds what Fourier–Motzkin can
+//! decide, it answers `Unknown` instead of guessing.
+//!
+//! ```
+//! use bitc_verify::term::{Cmp, Formula, Term};
+//! use bitc_verify::solver::{check_valid, Validity};
+//!
+//! // x <= y && y <= z ==> x <= z
+//! let f = Formula::implies(
+//!     Formula::and(
+//!         Formula::cmp(Cmp::Le, Term::var("x"), Term::var("y")),
+//!         Formula::cmp(Cmp::Le, Term::var("y"), Term::var("z")),
+//!     ),
+//!     Formula::cmp(Cmp::Le, Term::var("x"), Term::var("z")),
+//! );
+//! assert_eq!(check_valid(&f), Validity::Valid);
+//! ```
+
+pub mod dpll;
+pub mod lia;
+pub mod model;
+pub mod solver;
+pub mod term;
+pub mod vcgen;
+
+pub use model::Model;
+pub use solver::{check_sat, check_valid, SatResult, Validity};
+pub use term::{Cmp, Formula, Term};

@@ -1,0 +1,87 @@
+//! Counterexample models returned by the solver.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A concrete assignment to integer and Boolean variables.
+///
+/// Returned when a formula is satisfiable (or, for validity checks, as the
+/// counterexample that falsifies the property) — the artifact that makes a
+/// constraint checker *usable*: "here are inputs that break your invariant".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    /// Integer variable values.
+    pub ints: BTreeMap<String, i64>,
+    /// Boolean variable values.
+    pub bools: BTreeMap<String, bool>,
+}
+
+impl Model {
+    /// An empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up an integer variable, defaulting to 0 for variables the
+    /// solver never needed to constrain.
+    #[must_use]
+    pub fn int(&self, name: &str) -> i64 {
+        self.ints.get(name).copied().unwrap_or(0)
+    }
+
+    /// Looks up a Boolean variable, defaulting to `false`.
+    #[must_use]
+    pub fn bool(&self, name: &str) -> bool {
+        self.bools.get(name).copied().unwrap_or(false)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in &self.ints {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} = {v}")?;
+            first = false;
+        }
+        for (k, v) in &self.bools {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} = {v}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty model)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero_and_false() {
+        let m = Model::new();
+        assert_eq!(m.int("x"), 0);
+        assert!(!m.bool("p"));
+    }
+
+    #[test]
+    fn display_lists_assignments() {
+        let mut m = Model::new();
+        m.ints.insert("x".into(), 3);
+        m.bools.insert("p".into(), true);
+        assert_eq!(m.to_string(), "x = 3, p = true");
+    }
+
+    #[test]
+    fn empty_model_displays_placeholder() {
+        assert_eq!(Model::new().to_string(), "(empty model)");
+    }
+}

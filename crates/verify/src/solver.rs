@@ -1,0 +1,438 @@
+//! The lazy-SMT solver: a DPLL propositional core consulted against the
+//! linear-integer-arithmetic theory, with blocking-clause refinement.
+//!
+//! Pipeline: [`Formula`] → Tseitin CNF with theory atoms abstracted to
+//! propositional variables → [`crate::dpll::solve`] → theory check of the
+//! asserted atom conjunction via [`crate::lia::check`] (splitting
+//! disequalities) → either a full model, or a blocking clause and another
+//! round. This is the standard DPLL(T) architecture in miniature.
+
+use crate::dpll::{self, Cnf, Lit};
+use crate::lia::{self, Constraint, LiaResult, LinExpr};
+use crate::model::Model;
+use crate::term::{Cmp, Formula, Term};
+use std::collections::HashMap;
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable with a witnessing model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The solver gave up (resource cap or integer-arithmetic gap).
+    Unknown,
+}
+
+/// Result of a validity query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Validity {
+    /// The formula holds for every assignment.
+    Valid,
+    /// Falsified by the contained counterexample.
+    Invalid(Model),
+    /// The solver gave up.
+    Unknown,
+}
+
+/// Canonical theory atom: a linear expression compared against zero.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TheoryAtom {
+    /// `expr <= 0`.
+    LeZero(Vec<(String, i64)>, i64),
+    /// `expr == 0`.
+    EqZero(Vec<(String, i64)>, i64),
+}
+
+fn linearize(t: &Term, out: &mut LinExpr, scale: i64) {
+    match t {
+        Term::Int(n) => out.constant += n * scale,
+        Term::Var(v) => {
+            let e = out.coeffs.entry(v.clone()).or_insert(0);
+            *e += scale;
+            if *e == 0 {
+                out.coeffs.remove(v);
+            }
+        }
+        Term::Add(a, b) => {
+            linearize(a, out, scale);
+            linearize(b, out, scale);
+        }
+        Term::Sub(a, b) => {
+            linearize(a, out, scale);
+            linearize(b, out, -scale);
+        }
+        Term::Scale(k, inner) => linearize(inner, out, scale * k),
+    }
+}
+
+fn expr_key(e: &LinExpr) -> (Vec<(String, i64)>, i64) {
+    (e.coeffs.iter().map(|(k, v)| (k.clone(), *v)).collect(), e.constant)
+}
+
+struct Abstraction {
+    cnf: Cnf,
+    /// prop var -> theory atom (for vars that stand for atoms).
+    atom_of_var: HashMap<usize, TheoryAtom>,
+    /// canonical atom -> prop var.
+    var_of_atom: HashMap<TheoryAtom, usize>,
+    /// bool var name -> prop var.
+    bool_vars: HashMap<String, usize>,
+    true_var: usize,
+}
+
+impl Abstraction {
+    fn new() -> Self {
+        let mut cnf = Cnf::new(0);
+        let true_var = cnf.fresh_var();
+        cnf.add_clause(vec![Lit::pos(true_var)]);
+        Abstraction {
+            cnf,
+            atom_of_var: HashMap::new(),
+            var_of_atom: HashMap::new(),
+            bool_vars: HashMap::new(),
+            true_var,
+        }
+    }
+
+    fn atom_var(&mut self, atom: TheoryAtom) -> usize {
+        if let Some(&v) = self.var_of_atom.get(&atom) {
+            return v;
+        }
+        let v = self.cnf.fresh_var();
+        self.var_of_atom.insert(atom.clone(), v);
+        self.atom_of_var.insert(v, atom);
+        v
+    }
+
+    fn bool_var(&mut self, name: &str) -> usize {
+        if let Some(&v) = self.bool_vars.get(name) {
+            return v;
+        }
+        let v = self.cnf.fresh_var();
+        self.bool_vars.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Tseitin: returns a literal equisatisfiably representing `f`.
+    fn encode(&mut self, f: &Formula) -> Lit {
+        match f {
+            Formula::True => Lit::pos(self.true_var),
+            Formula::False => Lit::neg(self.true_var),
+            Formula::BoolVar(b) => Lit::pos(self.bool_var(b)),
+            Formula::Not(g) => self.encode(g).negated(),
+            Formula::Implies(a, b) => {
+                let not_a = Formula::not((**a).clone());
+                self.encode(&Formula::Or(vec![not_a, (**b).clone()]))
+            }
+            Formula::And(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
+                let v = self.cnf.fresh_var();
+                // v -> each lit
+                for &l in &lits {
+                    self.cnf.add_clause(vec![Lit::neg(v), l]);
+                }
+                // all lits -> v
+                let mut clause: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+                clause.push(Lit::pos(v));
+                self.cnf.add_clause(clause);
+                Lit::pos(v)
+            }
+            Formula::Or(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
+                let v = self.cnf.fresh_var();
+                // each lit -> v
+                for &l in &lits {
+                    self.cnf.add_clause(vec![l.negated(), Lit::pos(v)]);
+                }
+                // v -> some lit
+                let mut clause = lits;
+                clause.insert(0, Lit::neg(v));
+                self.cnf.add_clause(clause);
+                Lit::pos(v)
+            }
+            Formula::Atom(op, lhs, rhs) => {
+                let mut d = LinExpr::default();
+                linearize(lhs, &mut d, 1);
+                linearize(rhs, &mut d, -1);
+                // Normalize all six comparisons to LeZero / EqZero with an
+                // optional outer negation.
+                let (atom, negate) = match op {
+                    Cmp::Le => (TheoryAtom::LeZero(expr_key(&d).0, expr_key(&d).1), false),
+                    Cmp::Lt => {
+                        let mut e = d;
+                        e.constant += 1;
+                        (TheoryAtom::LeZero(expr_key(&e).0, expr_key(&e).1), false)
+                    }
+                    Cmp::Ge => {
+                        let e = LinExpr::constant(0).add_scaled(&d, -1);
+                        (TheoryAtom::LeZero(expr_key(&e).0, expr_key(&e).1), false)
+                    }
+                    Cmp::Gt => {
+                        let mut e = LinExpr::constant(0).add_scaled(&d, -1);
+                        e.constant += 1;
+                        (TheoryAtom::LeZero(expr_key(&e).0, expr_key(&e).1), false)
+                    }
+                    Cmp::Eq => (TheoryAtom::EqZero(expr_key(&d).0, expr_key(&d).1), false),
+                    Cmp::Ne => (TheoryAtom::EqZero(expr_key(&d).0, expr_key(&d).1), true),
+                };
+                let v = self.atom_var(atom);
+                if negate { Lit::neg(v) } else { Lit::pos(v) }
+            }
+        }
+    }
+}
+
+fn expr_from_key(coeffs: &[(String, i64)], constant: i64) -> LinExpr {
+    LinExpr { coeffs: coeffs.iter().cloned().collect(), constant }
+}
+
+/// Maximum disequality case-splits per theory check (2^k branches).
+const MAX_DISEQ: usize = 12;
+/// Maximum lazy-SMT refinement rounds.
+const MAX_ROUNDS: usize = 4_096;
+
+/// Decides satisfiability of `f` over the integers and Booleans.
+#[must_use]
+pub fn check_sat(f: &Formula) -> SatResult {
+    let mut abs = Abstraction::new();
+    let root = abs.encode(f);
+    abs.cnf.add_clause(vec![root]);
+
+    for _ in 0..MAX_ROUNDS {
+        let Some(assignment) = dpll::solve(&abs.cnf) else {
+            return SatResult::Unsat;
+        };
+        // Gather asserted theory literals.
+        let mut les: Vec<Constraint> = Vec::new();
+        let mut diseqs: Vec<LinExpr> = Vec::new();
+        let mut used_lits: Vec<Lit> = Vec::new();
+        for (&var, atom) in &abs.atom_of_var {
+            let value = assignment[var];
+            used_lits.push(if value { Lit::pos(var) } else { Lit::neg(var) });
+            match (atom, value) {
+                (TheoryAtom::LeZero(c, k), true) => {
+                    les.push(Constraint::le_zero(expr_from_key(c, *k)));
+                }
+                (TheoryAtom::LeZero(c, k), false) => {
+                    // !(e <= 0)  <=>  -e + 1 <= 0
+                    let mut e = LinExpr::constant(0).add_scaled(&expr_from_key(c, *k), -1);
+                    e.constant += 1;
+                    les.push(Constraint::le_zero(e));
+                }
+                (TheoryAtom::EqZero(c, k), true) => {
+                    let e = expr_from_key(c, *k);
+                    les.push(Constraint::le_zero(e.clone()));
+                    les.push(Constraint::le_zero(LinExpr::constant(0).add_scaled(&e, -1)));
+                }
+                (TheoryAtom::EqZero(c, k), false) => diseqs.push(expr_from_key(c, *k)),
+            }
+        }
+        match check_theory(&les, &diseqs) {
+            LiaResult::Sat(ints) => {
+                let mut model = Model::new();
+                model.ints = ints;
+                for (name, &v) in &abs.bool_vars {
+                    model.bools.insert(name.clone(), assignment[v]);
+                }
+                return SatResult::Sat(model);
+            }
+            LiaResult::Unsat => {
+                // Block this theory assignment and refine.
+                let clause: Vec<Lit> = used_lits.iter().map(|l| l.negated()).collect();
+                abs.cnf.add_clause(clause);
+            }
+            LiaResult::Unknown => return SatResult::Unknown,
+        }
+    }
+    SatResult::Unknown
+}
+
+/// Theory check with disequality case-splitting.
+fn check_theory(les: &[Constraint], diseqs: &[LinExpr]) -> LiaResult {
+    if diseqs.len() > MAX_DISEQ {
+        return LiaResult::Unknown;
+    }
+    let branches = 1usize << diseqs.len();
+    let mut saw_unknown = false;
+    for mask in 0..branches {
+        let mut cs = les.to_vec();
+        for (i, d) in diseqs.iter().enumerate() {
+            if mask >> i & 1 == 0 {
+                // d < 0  <=>  d + 1 <= 0
+                let mut e = d.clone();
+                e.constant += 1;
+                cs.push(Constraint::le_zero(e));
+            } else {
+                // d > 0  <=>  -d + 1 <= 0
+                let mut e = LinExpr::constant(0).add_scaled(d, -1);
+                e.constant += 1;
+                cs.push(Constraint::le_zero(e));
+            }
+        }
+        match lia::check(&cs) {
+            LiaResult::Sat(m) => return LiaResult::Sat(m),
+            LiaResult::Unsat => {}
+            LiaResult::Unknown => saw_unknown = true,
+        }
+    }
+    if saw_unknown { LiaResult::Unknown } else { LiaResult::Unsat }
+}
+
+/// Decides validity of `f`: `Valid` iff `!f` is unsatisfiable.
+#[must_use]
+pub fn check_valid(f: &Formula) -> Validity {
+    match check_sat(&Formula::not(f.clone())) {
+        SatResult::Unsat => Validity::Valid,
+        SatResult::Sat(m) => Validity::Invalid(m),
+        SatResult::Unknown => Validity::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term as T;
+
+    fn v(n: &str) -> T {
+        T::var(n)
+    }
+
+    #[test]
+    fn tautologies_are_valid() {
+        // x <= x
+        let f = Formula::cmp(Cmp::Le, v("x"), v("x"));
+        assert_eq!(check_valid(&f), Validity::Valid);
+        // x < x + 1
+        let f = Formula::cmp(Cmp::Lt, v("x"), T::Add(Box::new(v("x")), Box::new(T::Int(1))));
+        assert_eq!(check_valid(&f), Validity::Valid);
+    }
+
+    #[test]
+    fn transitivity_is_valid() {
+        // x <= y && y <= z ==> x <= z
+        let f = Formula::implies(
+            Formula::and(
+                Formula::cmp(Cmp::Le, v("x"), v("y")),
+                Formula::cmp(Cmp::Le, v("y"), v("z")),
+            ),
+            Formula::cmp(Cmp::Le, v("x"), v("z")),
+        );
+        assert_eq!(check_valid(&f), Validity::Valid);
+    }
+
+    #[test]
+    fn invalid_formulas_come_with_counterexamples() {
+        // x <= y ==> x < y is falsified by x == y.
+        let f = Formula::implies(
+            Formula::cmp(Cmp::Le, v("x"), v("y")),
+            Formula::cmp(Cmp::Lt, v("x"), v("y")),
+        );
+        match check_valid(&f) {
+            Validity::Invalid(m) => {
+                assert_eq!(m.int("x"), m.int("y"), "counterexample must have x == y");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counterexamples_actually_falsify() {
+        let f = Formula::implies(
+            Formula::cmp(Cmp::Ge, v("n"), T::Int(0)),
+            Formula::cmp(Cmp::Lt, v("i"), v("n")),
+        );
+        match check_valid(&f) {
+            Validity::Invalid(m) => {
+                let ie = |s: &str| Some(m.int(s));
+                let be = |s: &str| Some(m.bool(s));
+                assert_eq!(f.eval(&ie, &be), Some(false));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_structure_mixes_with_arithmetic() {
+        // (p || x > 0) && !p && x <= 0 is unsat.
+        let f = Formula::And(vec![
+            Formula::or(Formula::BoolVar("p".into()), Formula::cmp(Cmp::Gt, v("x"), T::Int(0))),
+            Formula::not(Formula::BoolVar("p".into())),
+            Formula::cmp(Cmp::Le, v("x"), T::Int(0)),
+        ]);
+        assert_eq!(check_sat(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn disequality_split_works() {
+        // x != 0 && x >= 0 && x <= 0 is unsat.
+        let f = Formula::And(vec![
+            Formula::cmp(Cmp::Ne, v("x"), T::Int(0)),
+            Formula::cmp(Cmp::Ge, v("x"), T::Int(0)),
+            Formula::cmp(Cmp::Le, v("x"), T::Int(0)),
+        ]);
+        assert_eq!(check_sat(&f), SatResult::Unsat);
+        // x != 0 && 0 <= x <= 1 forces x == 1.
+        let f = Formula::And(vec![
+            Formula::cmp(Cmp::Ne, v("x"), T::Int(0)),
+            Formula::cmp(Cmp::Ge, v("x"), T::Int(0)),
+            Formula::cmp(Cmp::Le, v("x"), T::Int(1)),
+        ]);
+        match check_sat(&f) {
+            SatResult::Sat(m) => assert_eq!(m.int("x"), 1),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equalities_propagate() {
+        // x == y && y == 3 ==> x == 3 is valid.
+        let f = Formula::implies(
+            Formula::and(
+                Formula::cmp(Cmp::Eq, v("x"), v("y")),
+                Formula::cmp(Cmp::Eq, v("y"), T::Int(3)),
+            ),
+            Formula::cmp(Cmp::Eq, v("x"), T::Int(3)),
+        );
+        assert_eq!(check_valid(&f), Validity::Valid);
+    }
+
+    #[test]
+    fn scaled_arithmetic_is_handled() {
+        // 2x + 3 <= 9 && x >= 3  is unsat over integers (x <= 3, so x == 3,
+        // 2*3+3=9 <= 9 ok — actually sat!). Check the sat case precisely.
+        let f = Formula::And(vec![
+            Formula::cmp(
+                Cmp::Le,
+                T::Add(Box::new(T::Scale(2, Box::new(v("x")))), Box::new(T::Int(3))),
+                T::Int(9),
+            ),
+            Formula::cmp(Cmp::Ge, v("x"), T::Int(3)),
+        ]);
+        match check_sat(&f) {
+            SatResult::Sat(m) => assert_eq!(m.int("x"), 3),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_boolean_formulas_work() {
+        let f = Formula::and(
+            Formula::or(Formula::BoolVar("a".into()), Formula::BoolVar("b".into())),
+            Formula::not(Formula::BoolVar("a".into())),
+        );
+        match check_sat(&f) {
+            SatResult::Sat(m) => {
+                assert!(!m.bool("a"));
+                assert!(m.bool("b"));
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_formula_is_unsat_not_unknown() {
+        let f = Formula::and(Formula::True, Formula::False);
+        assert_eq!(check_sat(&f), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,366 @@
+//! Logical terms and formulas for the constraint checker.
+//!
+//! The language is quantifier-free linear integer arithmetic plus Boolean
+//! structure — deliberately the fragment BitC's prover integration targeted
+//! first, because it covers the bread-and-butter systems invariants: index
+//! bounds, size accounting, counter monotonicity, capability bits.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An integer-valued term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Integer literal.
+    Int(i64),
+    /// Integer variable.
+    Var(String),
+    /// Sum of two terms.
+    Add(Box<Term>, Box<Term>),
+    /// Difference of two terms.
+    Sub(Box<Term>, Box<Term>),
+    /// Product by a literal coefficient (keeps the logic linear).
+    Scale(i64, Box<Term>),
+}
+
+impl Term {
+    /// Convenience: a variable term.
+    #[must_use]
+    pub fn var(name: &str) -> Term {
+        Term::Var(name.to_owned())
+    }
+
+    /// Collects variable names into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Term::Int(_) => {}
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Add(a, b) | Term::Sub(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Scale(_, t) => t.collect_vars(out),
+        }
+    }
+
+    /// Evaluates under an assignment.
+    ///
+    /// Returns `None` if a variable is unassigned or arithmetic overflows.
+    #[must_use]
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+        match self {
+            Term::Int(n) => Some(*n),
+            Term::Var(v) => env(v),
+            Term::Add(a, b) => a.eval(env)?.checked_add(b.eval(env)?),
+            Term::Sub(a, b) => a.eval(env)?.checked_sub(b.eval(env)?),
+            Term::Scale(k, t) => t.eval(env)?.checked_mul(*k),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Int(n) => write!(f, "{n}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Add(a, b) => write!(f, "({a} + {b})"),
+            Term::Sub(a, b) => write!(f, "({a} - {b})"),
+            Term::Scale(k, t) => write!(f, "{k}*{t}"),
+        }
+    }
+}
+
+impl From<i64> for Term {
+    fn from(n: i64) -> Term {
+        Term::Int(n)
+    }
+}
+
+/// Comparison operators over integer terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Le => "<=",
+            Cmp::Lt => "<",
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+            Cmp::Ge => ">=",
+            Cmp::Gt => ">",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A quantifier-free formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// Boolean variable.
+    BoolVar(String),
+    /// Arithmetic atom `lhs cmp rhs`.
+    Atom(Cmp, Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// `a && b`.
+    #[must_use]
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(vec![a, b])
+    }
+
+    /// `a || b`.
+    #[must_use]
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(vec![a, b])
+    }
+
+    /// `a ==> b`.
+    #[must_use]
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// `!a`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(a: Formula) -> Formula {
+        Formula::Not(Box::new(a))
+    }
+
+    /// Atom shorthand.
+    #[must_use]
+    pub fn cmp(op: Cmp, lhs: Term, rhs: Term) -> Formula {
+        Formula::Atom(op, lhs, rhs)
+    }
+
+    /// Collects integer and Boolean variable names.
+    pub fn collect_vars(&self, ints: &mut BTreeSet<String>, bools: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::BoolVar(b) => {
+                bools.insert(b.clone());
+            }
+            Formula::Atom(_, l, r) => {
+                l.collect_vars(ints);
+                r.collect_vars(ints);
+            }
+            Formula::Not(f) => f.collect_vars(ints, bools),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(ints, bools);
+                }
+            }
+            Formula::Implies(a, b) => {
+                a.collect_vars(ints, bools);
+                b.collect_vars(ints, bools);
+            }
+        }
+    }
+
+    /// Evaluates under full assignments (used by the brute-force test
+    /// oracle and counterexample validation).
+    #[must_use]
+    pub fn eval(
+        &self,
+        int_env: &dyn Fn(&str) -> Option<i64>,
+        bool_env: &dyn Fn(&str) -> Option<bool>,
+    ) -> Option<bool> {
+        match self {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            Formula::BoolVar(b) => bool_env(b),
+            Formula::Atom(op, l, r) => {
+                let (a, b) = (l.eval(int_env)?, r.eval(int_env)?);
+                Some(match op {
+                    Cmp::Le => a <= b,
+                    Cmp::Lt => a < b,
+                    Cmp::Eq => a == b,
+                    Cmp::Ne => a != b,
+                    Cmp::Ge => a >= b,
+                    Cmp::Gt => a > b,
+                })
+            }
+            Formula::Not(f) => f.eval(int_env, bool_env).map(|v| !v),
+            Formula::And(fs) => {
+                let mut acc = true;
+                for f in fs {
+                    acc &= f.eval(int_env, bool_env)?;
+                }
+                Some(acc)
+            }
+            Formula::Or(fs) => {
+                let mut acc = false;
+                for f in fs {
+                    acc |= f.eval(int_env, bool_env)?;
+                }
+                Some(acc)
+            }
+            Formula::Implies(a, b) => {
+                Some(!a.eval(int_env, bool_env)? || b.eval(int_env, bool_env)?)
+            }
+        }
+    }
+
+    /// Substitutes `term` for every occurrence of integer variable `var`.
+    #[must_use]
+    pub fn subst(&self, var: &str, term: &Term) -> Formula {
+        fn subst_term(t: &Term, var: &str, repl: &Term) -> Term {
+            match t {
+                Term::Int(n) => Term::Int(*n),
+                Term::Var(v) if v == var => repl.clone(),
+                Term::Var(v) => Term::Var(v.clone()),
+                Term::Add(a, b) => Term::Add(
+                    Box::new(subst_term(a, var, repl)),
+                    Box::new(subst_term(b, var, repl)),
+                ),
+                Term::Sub(a, b) => Term::Sub(
+                    Box::new(subst_term(a, var, repl)),
+                    Box::new(subst_term(b, var, repl)),
+                ),
+                Term::Scale(k, t) => Term::Scale(*k, Box::new(subst_term(t, var, repl))),
+            }
+        }
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::BoolVar(b) => Formula::BoolVar(b.clone()),
+            Formula::Atom(op, l, r) => {
+                Formula::Atom(*op, subst_term(l, var, term), subst_term(r, var, term))
+            }
+            Formula::Not(f) => Formula::not(f.subst(var, term)),
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.subst(var, term)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.subst(var, term)).collect()),
+            Formula::Implies(a, b) => Formula::implies(a.subst(var, term), b.subst(var, term)),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::BoolVar(b) => write!(f, "{b}"),
+            Formula::Atom(op, l, r) => write!(f, "{l} {op} {r}"),
+            Formula::Not(x) => write!(f, "!({x})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} ==> {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_xy(x: i64, y: i64) -> impl Fn(&str) -> Option<i64> {
+        move |v| match v {
+            "x" => Some(x),
+            "y" => Some(y),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn term_evaluation() {
+        let t = Term::Add(
+            Box::new(Term::Scale(3, Box::new(Term::var("x")))),
+            Box::new(Term::Sub(Box::new(Term::var("y")), Box::new(Term::Int(2)))),
+        );
+        assert_eq!(t.eval(&env_xy(4, 10)), Some(20));
+    }
+
+    #[test]
+    fn eval_detects_overflow() {
+        let t = Term::Scale(i64::MAX, Box::new(Term::Int(2)));
+        assert_eq!(t.eval(&|_| None), None);
+    }
+
+    #[test]
+    fn formula_evaluation_covers_all_ops() {
+        let x_le_y = Formula::cmp(Cmp::Le, Term::var("x"), Term::var("y"));
+        let be = |_: &str| Some(true);
+        assert_eq!(x_le_y.eval(&env_xy(1, 2), &be), Some(true));
+        assert_eq!(x_le_y.eval(&env_xy(3, 2), &be), Some(false));
+        let f = Formula::implies(x_le_y.clone(), Formula::cmp(Cmp::Lt, Term::var("x"), Term::var("y")));
+        // 2 <= 2 but !(2 < 2): implication false.
+        assert_eq!(f.eval(&env_xy(2, 2), &be), Some(false));
+    }
+
+    #[test]
+    fn collect_vars_finds_everything() {
+        let f = Formula::and(
+            Formula::cmp(Cmp::Eq, Term::var("a"), Term::Int(1)),
+            Formula::or(Formula::BoolVar("p".into()), Formula::cmp(Cmp::Lt, Term::var("b"), Term::var("a"))),
+        );
+        let mut ints = BTreeSet::new();
+        let mut bools = BTreeSet::new();
+        f.collect_vars(&mut ints, &mut bools);
+        assert_eq!(ints.into_iter().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(bools.into_iter().collect::<Vec<_>>(), vec!["p"]);
+    }
+
+    #[test]
+    fn substitution_replaces_in_atoms() {
+        let f = Formula::cmp(Cmp::Le, Term::var("x"), Term::Int(5));
+        let g = f.subst("x", &Term::Add(Box::new(Term::var("y")), Box::new(Term::Int(1))));
+        assert_eq!(g.to_string(), "(y + 1) <= 5");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::implies(
+            Formula::cmp(Cmp::Ge, Term::var("n"), Term::Int(0)),
+            Formula::cmp(Cmp::Lt, Term::var("i"), Term::var("n")),
+        );
+        assert_eq!(f.to_string(), "(n >= 0 ==> i < n)");
+    }
+}

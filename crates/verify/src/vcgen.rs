@@ -1,0 +1,379 @@
+//! Verification-condition generation for a small imperative contract
+//! language: weakest preconditions over straight-line code, conditionals,
+//! and invariant-annotated loops.
+//!
+//! This is the "application constraint checking" workflow of the paper's
+//! Challenge 1: the programmer states `requires`/`ensures`/`invariant`
+//! constraints alongside ordinary code, and the tool reduces them to
+//! formulas the solver can discharge — no interactive prover in the loop.
+
+use crate::solver::{check_valid, Validity};
+use crate::term::{Formula, Term};
+use std::fmt;
+
+/// A statement of the contract language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x := e`
+    Assign(String, Term),
+    /// Runtime check the verifier must prove can never fail.
+    Assert(Formula),
+    /// A fact the verifier may assume (e.g. from a caller check).
+    Assume(Formula),
+    /// `if c { then } else { els }`
+    If(Formula, Vec<Stmt>, Vec<Stmt>),
+    /// `while c invariant inv { body }`
+    While {
+        /// Loop condition.
+        cond: Formula,
+        /// Loop invariant supplied by the programmer.
+        invariant: Formula,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A procedure with a contract.
+#[derive(Debug, Clone)]
+pub struct Procedure {
+    /// Procedure name (used in VC labels).
+    pub name: String,
+    /// Precondition.
+    pub requires: Formula,
+    /// Postcondition.
+    pub ensures: Formula,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// One generated verification condition.
+#[derive(Debug, Clone)]
+pub struct Vc {
+    /// Human-readable label ("proc: loop invariant preserved").
+    pub label: String,
+    /// The formula that must be valid.
+    pub formula: Formula,
+}
+
+/// Outcome of checking one VC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcOutcome {
+    /// Proven.
+    Proved,
+    /// Refuted, with the counterexample rendered as a string.
+    Refuted(String),
+    /// Solver gave up.
+    Unknown,
+}
+
+impl fmt::Display for VcOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcOutcome::Proved => write!(f, "proved"),
+            VcOutcome::Refuted(m) => write!(f, "REFUTED [{m}]"),
+            VcOutcome::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Collects the variables assigned anywhere in `stmts` (loop havoc set).
+fn modified_vars(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(x, _) => {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+            Stmt::If(_, t, e) => {
+                modified_vars(t, out);
+                modified_vars(e, out);
+            }
+            Stmt::While { body, .. } => modified_vars(body, out),
+            Stmt::Assert(_) | Stmt::Assume(_) => {}
+        }
+    }
+}
+
+/// VC generator state (fresh-variable counter and the side conditions
+/// accumulated from asserts and loops).
+#[derive(Debug, Default)]
+struct VcGen {
+    fresh: usize,
+    side: Vec<Vc>,
+}
+
+impl VcGen {
+    fn fresh_name(&mut self, base: &str) -> String {
+        self.fresh += 1;
+        format!("{base}!{}", self.fresh)
+    }
+
+    /// Weakest precondition of a statement list w.r.t. `post`.
+    fn wp_seq(&mut self, proc: &str, stmts: &[Stmt], post: Formula) -> Formula {
+        let mut q = post;
+        for s in stmts.iter().rev() {
+            q = self.wp(proc, s, q);
+        }
+        q
+    }
+
+    fn wp(&mut self, proc: &str, s: &Stmt, post: Formula) -> Formula {
+        match s {
+            Stmt::Assign(x, e) => post.subst(x, e),
+            Stmt::Assert(f) => Formula::and(f.clone(), post),
+            Stmt::Assume(f) => Formula::implies(f.clone(), post),
+            Stmt::If(c, t, e) => {
+                let wt = self.wp_seq(proc, t, post.clone());
+                let we = self.wp_seq(proc, e, post);
+                Formula::and(
+                    Formula::implies(c.clone(), wt),
+                    Formula::implies(Formula::not(c.clone()), we),
+                )
+            }
+            Stmt::While { cond, invariant, body } => {
+                // Havoc the modified variables by renaming them to fresh
+                // names in the preserved/exit obligations; the fresh names
+                // are free, hence universally quantified by validity.
+                let mut mods = Vec::new();
+                modified_vars(body, &mut mods);
+                let rename = |f: &Formula, gen: &mut VcGen| {
+                    let mut g = f.clone();
+                    for m in &mods {
+                        g = g.subst(m, &Term::var(&gen.fresh_name(m)));
+                    }
+                    g
+                };
+                // Preservation: inv && cond ==> wp(body, inv), over havoced vars.
+                let body_wp = self.wp_seq(proc, body, invariant.clone());
+                let preserved = Formula::implies(
+                    Formula::and(invariant.clone(), cond.clone()),
+                    body_wp,
+                );
+                // Consistent renaming across the whole preservation formula.
+                let mut preserved_rn = preserved;
+                let mut snapshot = Vec::new();
+                for m in &mods {
+                    let fresh = self.fresh_name(m);
+                    preserved_rn = preserved_rn.subst(m, &Term::var(&fresh));
+                    snapshot.push(fresh);
+                }
+                self.side.push(Vc {
+                    label: format!("{proc}: loop invariant preserved"),
+                    formula: preserved_rn,
+                });
+                // Exit: inv && !cond ==> post, over havoced vars.
+                let exit = Formula::implies(
+                    Formula::and(invariant.clone(), Formula::not(cond.clone())),
+                    post,
+                );
+                let mut exit_rn = exit;
+                for m in &mods {
+                    exit_rn = exit_rn.subst(m, &Term::var(&self.fresh_name(m)));
+                }
+                self.side.push(Vc { label: format!("{proc}: postcondition on loop exit"), formula: exit_rn });
+                // Entry obligation flows up as the wp.
+                let _ = rename; // renaming helper retained for clarity
+                let _ = snapshot;
+                invariant.clone()
+            }
+        }
+    }
+}
+
+/// Generates the verification conditions for `proc`.
+#[must_use]
+pub fn generate_vcs(proc: &Procedure) -> Vec<Vc> {
+    let mut generator = VcGen::default();
+    let wp = generator.wp_seq(&proc.name, &proc.body, proc.ensures.clone());
+    let mut vcs = vec![Vc {
+        label: format!("{}: requires ==> wp(body, ensures)", proc.name),
+        formula: Formula::implies(proc.requires.clone(), wp),
+    }];
+    vcs.append(&mut generator.side);
+    vcs
+}
+
+/// Generates and discharges every VC of `proc`.
+#[must_use]
+pub fn verify_procedure(proc: &Procedure) -> Vec<(Vc, VcOutcome)> {
+    generate_vcs(proc)
+        .into_iter()
+        .map(|vc| {
+            let outcome = match check_valid(&vc.formula) {
+                Validity::Valid => VcOutcome::Proved,
+                Validity::Invalid(m) => VcOutcome::Refuted(m.to_string()),
+                Validity::Unknown => VcOutcome::Unknown,
+            };
+            (vc, outcome)
+        })
+        .collect()
+}
+
+/// True if every VC of `proc` is proved.
+#[must_use]
+pub fn is_verified(proc: &Procedure) -> bool {
+    verify_procedure(proc).iter().all(|(_, o)| *o == VcOutcome::Proved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Cmp;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    fn plus(a: Term, b: Term) -> Term {
+        Term::Add(Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn straight_line_assignment_verifies() {
+        // requires x >= 0; y := x + 1; ensures y > 0.
+        let p = Procedure {
+            name: "inc".into(),
+            requires: Formula::cmp(Cmp::Ge, v("x"), Term::Int(0)),
+            ensures: Formula::cmp(Cmp::Gt, v("y"), Term::Int(0)),
+            body: vec![Stmt::Assign("y".into(), plus(v("x"), Term::Int(1)))],
+        };
+        assert!(is_verified(&p));
+    }
+
+    #[test]
+    fn missing_precondition_is_refuted_with_counterexample() {
+        // requires true; y := x + 1; ensures y > 0 — fails for x <= -1.
+        let p = Procedure {
+            name: "inc".into(),
+            requires: Formula::True,
+            ensures: Formula::cmp(Cmp::Gt, v("y"), Term::Int(0)),
+            body: vec![Stmt::Assign("y".into(), plus(v("x"), Term::Int(1)))],
+        };
+        let results = verify_procedure(&p);
+        assert!(matches!(results[0].1, VcOutcome::Refuted(_)));
+    }
+
+    #[test]
+    fn asserts_become_obligations() {
+        // requires i < n; assert i + 1 <= n.
+        let p = Procedure {
+            name: "bound".into(),
+            requires: Formula::cmp(Cmp::Lt, v("i"), v("n")),
+            ensures: Formula::True,
+            body: vec![Stmt::Assert(Formula::cmp(Cmp::Le, plus(v("i"), Term::Int(1)), v("n")))],
+        };
+        assert!(is_verified(&p));
+    }
+
+    #[test]
+    fn failing_assert_is_refuted() {
+        let p = Procedure {
+            name: "bad".into(),
+            requires: Formula::True,
+            ensures: Formula::True,
+            body: vec![Stmt::Assert(Formula::cmp(Cmp::Lt, v("i"), v("n")))],
+        };
+        assert!(!is_verified(&p));
+    }
+
+    #[test]
+    fn conditional_paths_both_checked() {
+        // if x >= 0 { y := x } else { y := 0 - x }; ensures y >= 0.
+        let p = Procedure {
+            name: "abs".into(),
+            requires: Formula::True,
+            ensures: Formula::cmp(Cmp::Ge, v("y"), Term::Int(0)),
+            body: vec![Stmt::If(
+                Formula::cmp(Cmp::Ge, v("x"), Term::Int(0)),
+                vec![Stmt::Assign("y".into(), v("x"))],
+                vec![Stmt::Assign("y".into(), Term::Sub(Box::new(Term::Int(0)), Box::new(v("x"))))],
+            )],
+        };
+        assert!(is_verified(&p));
+    }
+
+    #[test]
+    fn buggy_conditional_is_caught() {
+        // Same but the else branch forgets to negate.
+        let p = Procedure {
+            name: "abs_bug".into(),
+            requires: Formula::True,
+            ensures: Formula::cmp(Cmp::Ge, v("y"), Term::Int(0)),
+            body: vec![Stmt::If(
+                Formula::cmp(Cmp::Ge, v("x"), Term::Int(0)),
+                vec![Stmt::Assign("y".into(), v("x"))],
+                vec![Stmt::Assign("y".into(), v("x"))], // bug
+            )],
+        };
+        assert!(!is_verified(&p));
+    }
+
+    fn counting_loop(invariant: Formula) -> Procedure {
+        // requires n >= 0; i := 0; while i < n inv { i := i + 1 }; ensures i == n.
+        Procedure {
+            name: "count".into(),
+            requires: Formula::cmp(Cmp::Ge, v("n"), Term::Int(0)),
+            ensures: Formula::cmp(Cmp::Eq, v("i"), v("n")),
+            body: vec![
+                Stmt::Assign("i".into(), Term::Int(0)),
+                Stmt::While {
+                    cond: Formula::cmp(Cmp::Lt, v("i"), v("n")),
+                    invariant,
+                    body: vec![Stmt::Assign("i".into(), plus(v("i"), Term::Int(1)))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn loop_with_correct_invariant_verifies() {
+        // Invariant: 0 <= i <= n.
+        let inv = Formula::and(
+            Formula::cmp(Cmp::Ge, v("i"), Term::Int(0)),
+            Formula::cmp(Cmp::Le, v("i"), v("n")),
+        );
+        assert!(is_verified(&counting_loop(inv)));
+    }
+
+    #[test]
+    fn loop_with_weak_invariant_fails_at_exit() {
+        // Invariant "true" cannot establish i == n on exit.
+        let results = verify_procedure(&counting_loop(Formula::True));
+        let exit = results
+            .iter()
+            .find(|(vc, _)| vc.label.contains("postcondition on loop exit"))
+            .expect("exit VC exists");
+        assert!(matches!(exit.1, VcOutcome::Refuted(_)));
+    }
+
+    #[test]
+    fn loop_with_non_inductive_invariant_fails_preservation() {
+        // Invariant i == 0 is not preserved by i := i + 1.
+        let inv = Formula::cmp(Cmp::Eq, v("i"), Term::Int(0));
+        let results = verify_procedure(&counting_loop(inv));
+        let pres = results
+            .iter()
+            .find(|(vc, _)| vc.label.contains("invariant preserved"))
+            .expect("preservation VC exists");
+        assert!(matches!(pres.1, VcOutcome::Refuted(_)));
+    }
+
+    #[test]
+    fn assume_weakens_obligations() {
+        let p = Procedure {
+            name: "assume".into(),
+            requires: Formula::True,
+            ensures: Formula::cmp(Cmp::Gt, v("x"), Term::Int(0)),
+            body: vec![Stmt::Assume(Formula::cmp(Cmp::Gt, v("x"), Term::Int(0)))],
+        };
+        assert!(is_verified(&p));
+    }
+
+    #[test]
+    fn vc_labels_name_the_procedure() {
+        let vcs = generate_vcs(&counting_loop(Formula::True));
+        assert!(vcs.iter().all(|vc| vc.label.starts_with("count:")));
+        assert_eq!(vcs.len(), 3, "entry + preservation + exit");
+    }
+}

@@ -1,0 +1,133 @@
+//! `bitc` — a command-line driver for the language.
+//!
+//! ```sh
+//! cargo run --release --example bitc -- run prog.bitc       # typecheck + run (unboxed VM)
+//! cargo run --release --example bitc -- run --boxed prog.bitc
+//! cargo run --release --example bitc -- check prog.bitc     # typecheck only
+//! cargo run --release --example bitc -- dis prog.bitc       # disassemble
+//! cargo run --release --example bitc -- dis -O prog.bitc    # optimized disassembly
+//! echo '(+ 1 2)' | cargo run --release --example bitc -- run -   # from stdin
+//! ```
+
+use bitc_core::compile::compile_program;
+use bitc_core::ffi::NativeRegistry;
+use bitc_core::infer::infer_program;
+use bitc_core::opt::{compile_optimized, OptLevel};
+use bitc_core::parser::parse_program;
+use bitc_core::vm::{Boxed, Unboxed, Vm};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bitc <run|check|dis> [--boxed] [-O] <file.bitc | ->");
+    ExitCode::from(2)
+}
+
+fn read_source(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut boxed = false;
+    let mut optimize = false;
+    let mut path = None;
+    for a in &args {
+        match a.as_str() {
+            "run" | "check" | "dis" if command.is_none() => command = Some(a.clone()),
+            "--boxed" => boxed = true,
+            "-O" | "--optimize" => optimize = true,
+            other if path.is_none() => path = Some(other.to_owned()),
+            _ => return usage(),
+        }
+    }
+    let (Some(command), Some(path)) = (command, path) else {
+        return usage();
+    };
+    let source = match read_source(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bitc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bitc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let typed = match infer_program(&program) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bitc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command.as_str() {
+        "check" => {
+            for (name, scheme) in &typed.def_types {
+                println!("{name} : {scheme}");
+            }
+            println!("main : {}", typed.main_type);
+            ExitCode::SUCCESS
+        }
+        "dis" => {
+            let bc = if optimize {
+                compile_optimized(&program, OptLevel::Full)
+            } else {
+                compile_program(&program)
+            };
+            match bc {
+                Ok(bc) => {
+                    print!("{}", bc.disassemble());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("bitc: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "run" => {
+            let bc = if optimize {
+                compile_optimized(&program, OptLevel::Full)
+            } else {
+                compile_program(&program)
+            };
+            let bc = match bc {
+                Ok(bc) => bc,
+                Err(e) => {
+                    eprintln!("bitc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let registry = NativeRegistry::with_defaults();
+            let result = if boxed {
+                Vm::<Boxed>::new(&bc, &registry).and_then(|mut vm| vm.run().map(|v| format!("{v:?}")))
+            } else {
+                Vm::<Unboxed>::new(&bc, &registry)
+                    .and_then(|mut vm| vm.run_int().map(|n| n.to_string()))
+            };
+            match result {
+                Ok(v) => {
+                    println!("{v}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("bitc: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,98 @@
+//! Packet router: zero-copy parsing + longest-prefix-match forwarding.
+//!
+//! ```sh
+//! cargo run --release --example packet_router
+//! ```
+//!
+//! The scenario from the paper's Challenge 3: network code needs exact,
+//! zero-copy control over wire representation. We parse a synthetic packet
+//! stream with the bit-precise views, drop packets that fail validation
+//! (bad checksum, truncation — LangSec style: reject before acting), and
+//! route the rest through a longest-prefix-match table.
+
+use sysrepr::packet::{EthernetView, PacketBuilder};
+
+/// A routing-table entry: prefix, mask length, next hop.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    prefix: u32,
+    len: u8,
+    next_hop: &'static str,
+}
+
+/// Longest-prefix match over a (small, linear) routing table.
+fn route(table: &[Route], dst: u32) -> Option<&'static str> {
+    table
+        .iter()
+        .filter(|r| {
+            let mask = if r.len == 0 { 0 } else { u32::MAX << (32 - u32::from(r.len)) };
+            dst & mask == r.prefix
+        })
+        .max_by_key(|r| r.len)
+        .map(|r| r.next_hop)
+}
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    u32::from_be_bytes([a, b, c, d])
+}
+
+fn main() {
+    let table = [
+        Route { prefix: ip(10, 0, 0, 0), len: 8, next_hop: "core-a" },
+        Route { prefix: ip(10, 1, 0, 0), len: 16, next_hop: "edge-b" },
+        Route { prefix: ip(10, 1, 2, 0), len: 24, next_hop: "rack-c" },
+        Route { prefix: 0, len: 0, next_hop: "default-gw" },
+    ];
+
+    // Synthesize a mixed stream: three destinations + some corrupted frames.
+    let mut stream = Vec::new();
+    for i in 0..30_000usize {
+        let dst = match i % 4 {
+            0 => [10, 0, 9, 9],
+            1 => [10, 1, 9, 9],
+            2 => [10, 1, 2, 9],
+            _ => [192, 168, 0, 1],
+        };
+        let mut b = PacketBuilder::udp()
+            .src_ip([172, 16, 0, 1])
+            .dst_ip(dst)
+            .dst_port(4789)
+            .payload(&[0xAA; 64]);
+        if i % 500 == 0 {
+            b = b.corrupt_checksum();
+        }
+        stream.push(b.build());
+    }
+
+    let mut forwarded: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    let mut dropped = 0usize;
+    let t0 = std::time::Instant::now();
+    for frame in &stream {
+        // Total parsing: validate the whole header chain before any use.
+        let Ok(eth) = EthernetView::parse(frame) else {
+            dropped += 1;
+            continue;
+        };
+        let Ok(ipv4) = eth.ipv4() else {
+            dropped += 1;
+            continue;
+        };
+        if ipv4.verify_checksum().is_err() || ipv4.ttl() == 0 {
+            dropped += 1;
+            continue;
+        }
+        match route(&table, ipv4.dst_u32()) {
+            Some(hop) => *forwarded.entry(hop).or_insert(0) += 1,
+            None => dropped += 1,
+        }
+    }
+    let elapsed = t0.elapsed();
+    println!("routed {} packets in {elapsed:?} (zero-copy, zero allocations in the fast path)", stream.len());
+    for (hop, n) in &forwarded {
+        println!("  {hop:<10} {n}");
+    }
+    println!("  dropped    {dropped} (checksum/validation failures)");
+    let total: usize = forwarded.values().sum();
+    assert_eq!(total + dropped, stream.len());
+    assert!(dropped >= 60, "failure injection must be caught");
+}

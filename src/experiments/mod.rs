@@ -1,0 +1,162 @@
+//! The experiment harness: one module per table in EXPERIMENTS.md.
+//!
+//! The paper (a position paper) publishes no tables; these eight experiments
+//! are the measurements its claims imply, as indexed in DESIGN.md. Each
+//! `run(scale)` returns a rendered table; `cargo run --release --example
+//! experiments -- <e1..e8|all>` prints them, and `crates/bench` holds the
+//! Criterion versions for statistically careful timing.
+
+pub mod e1_alloc;
+pub mod e2_boxing;
+pub mod e3_optimizer;
+pub mod e4_ffi;
+pub mod e5_verify;
+pub mod e6_ipc;
+pub mod e7_shared_state;
+pub mod e8_repr;
+
+use std::fmt;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for tests and CI (seconds).
+    Quick,
+    /// Paper-scale sizes for EXPERIMENTS.md (minutes).
+    Full,
+}
+
+/// A rendered experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (e.g. "E1 — allocator throughput and pauses").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (stringified by the experiment).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {c:<width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats nanoseconds compactly.
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Formats a rate (per second) compactly.
+#[must_use]
+pub fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2} M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} K/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0} /s")
+    }
+}
+
+/// Runs every experiment at the given scale, returning rendered tables.
+#[must_use]
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    vec![
+        e1_alloc::run(scale),
+        e2_boxing::run(scale),
+        e3_optimizer::run(scale),
+        e4_ffi::run(scale),
+        e5_verify::run(scale),
+        e6_ipc::run(scale),
+        e7_shared_state::run(scale),
+        e8_repr::run(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| longer | 22    |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    fn formatters_pick_sane_units() {
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(50_000), "50.0 µs");
+        assert_eq!(fmt_ns(50_000_000), "50.0 ms");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50 M/s");
+        assert_eq!(fmt_rate(2_500.0), "2.5 K/s");
+        assert_eq!(fmt_rate(25.0), "25 /s");
+    }
+}

@@ -1,0 +1,68 @@
+//! Integration smoke test: every experiment runs end to end at quick scale
+//! and its structural claims hold (deterministic properties only — timing
+//! magnitudes belong to EXPERIMENTS.md and the Criterion benches).
+
+use plos06::experiments::{self, Scale};
+
+#[test]
+fn all_eight_experiments_produce_tables() {
+    let tables = experiments::run_all(Scale::Quick);
+    assert_eq!(tables.len(), 8);
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{} has no rows", t.title);
+        assert!(!t.headers.is_empty());
+        // Rendering never panics and includes the title.
+        let rendered = t.to_string();
+        assert!(rendered.contains(&t.title));
+    }
+}
+
+#[test]
+fn e1_no_manager_corrupts_memory() {
+    let t = experiments::e1_alloc::run(Scale::Quick);
+    let errs_col = t.headers.iter().position(|h| h == "integrity errs").unwrap();
+    for row in &t.rows {
+        assert_eq!(row[errs_col], "0", "{} corrupted data", row[0]);
+    }
+}
+
+#[test]
+fn e2_representations_compute_identical_results() {
+    let t = experiments::e2_boxing::run(Scale::Quick);
+    for row in &t.rows {
+        assert_eq!(row[5], "ok");
+    }
+}
+
+#[test]
+fn e5_proofs_and_refutations_land_as_designed() {
+    let t = experiments::e5_verify::run(Scale::Quick);
+    let proved = t.rows.iter().filter(|r| r[2] == "proved").count();
+    let refuted = t.rows.iter().filter(|r| r[2] == "refuted").count();
+    assert_eq!(proved, 5);
+    assert_eq!(refuted, 5);
+}
+
+#[test]
+fn e6_protocol_cycles_are_heap_independent() {
+    let t = experiments::e6_ipc::run(Scale::Quick);
+    let cycles: Vec<&String> = t.rows.iter().map(|r| &r[1]).collect();
+    assert!(cycles.windows(2).all(|w| w[0] == w[1]), "transparency violated: {cycles:?}");
+}
+
+#[test]
+fn e7_only_the_broken_bank_may_show_anomalies() {
+    let t = experiments::e7_shared_state::run(Scale::Quick);
+    for row in &t.rows {
+        assert_eq!(row[6], "yes", "{} lost money", row[0]);
+        if row[0] != "broken-composed" {
+            assert_eq!(row[4], "0", "{} exposed intermediate state", row[0]);
+        }
+    }
+}
+
+#[test]
+fn e8_parsers_recognize_the_same_stream() {
+    let t = experiments::e8_repr::run(Scale::Quick);
+    assert_eq!(t.rows[0][3], t.rows[2][3], "zero-copy vs boxed checksum");
+}

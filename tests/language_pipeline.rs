@@ -1,0 +1,131 @@
+//! Cross-crate integration: the whole language pipeline must agree with
+//! itself — interpreter, unboxed VM, boxed VM, and every optimizer level
+//! produce identical results on identical programs (differential testing).
+
+use bitc_core::ffi::NativeRegistry;
+use bitc_core::interp::{run_source, Value};
+use bitc_core::opt::{compile_optimized, OptLevel};
+use bitc_core::parser::parse_program;
+use bitc_core::vm::{run_boxed, run_unboxed, Boxed, Unboxed, Vm};
+use proptest::prelude::*;
+
+const CORPUS: &[&str] = &[
+    // Arithmetic and primitives.
+    "(+ (* 3 4) (- 10 (div 9 2)))",
+    "(mod (* 123 456) 1000)",
+    "(if (and (< 1 2) (not (> 3 4))) 100 200)",
+    // Let, shadowing, polymorphism.
+    "(let ((x 2) (y 3)) (let ((x (* x y))) (+ x y)))",
+    "(let ((id (lambda (a) a))) (if (id #t) (id 41) 0))",
+    // Closures and higher-order functions.
+    "(define compose (lambda (f g) (lambda (x) (f (g x)))))
+     (define add1 (lambda (x) (+ x 1)))
+     (define dbl (lambda (x) (* x 2)))
+     ((compose dbl add1) 20)",
+    "(let ((make-counter (lambda (start)
+         (lambda (step) (+ start step)))))
+       ((make-counter 100) 23))",
+    // Mutation, loops, assignment conversion.
+    "(let ((n 0))
+       (let ((bump (lambda (k) (set! n (+ n k)))))
+         (begin (bump 5) (bump 7) n)))",
+    "(let ((i 0) (acc 1))
+       (begin (while (< i 10) (set! acc (* acc 2)) (set! i (+ i 1))) acc))",
+    // Vectors.
+    "(let ((v (make-vector 10 0)) (i 0))
+       (begin
+         (while (< i 10) (vec-set! v i (* i i)) (set! i (+ i 1)))
+         (+ (vec-ref v 9) (vec-len v))))",
+    // Recursion through globals.
+    "(define gcd (lambda (a b) (if (= b 0) a (gcd b (mod a b))))) (gcd 252 105)",
+    "(define ack (lambda (m n)
+        (if (= m 0) (+ n 1)
+          (if (= n 0) (ack (- m 1) 1)
+            (ack (- m 1) (ack m (- n 1)))))))
+     (ack 2 3)",
+    // Booleans flowing through data.
+    "(let ((flags (make-vector 4 #f)))
+       (begin
+         (vec-set! flags 2 #t)
+         (if (vec-ref flags 2) 7 8)))",
+];
+
+fn interp_int(src: &str) -> i64 {
+    match run_source(src) {
+        Ok(Value::Int(n)) => n,
+        other => panic!("interpreter produced {other:?} for {src}"),
+    }
+}
+
+#[test]
+fn interpreter_and_both_vms_agree_on_corpus() {
+    for src in CORPUS {
+        let expected = interp_int(src);
+        assert_eq!(run_unboxed(src).unwrap(), expected, "unboxed: {src}");
+        assert_eq!(run_boxed(src).unwrap(), expected, "boxed: {src}");
+    }
+}
+
+#[test]
+fn all_optimizer_levels_agree_on_corpus() {
+    let reg = NativeRegistry::new();
+    for src in CORPUS {
+        let expected = interp_int(src);
+        let program = parse_program(src).unwrap();
+        bitc_core::infer::infer_program(&program).unwrap();
+        for level in OptLevel::ALL {
+            let bc = compile_optimized(&program, level).unwrap();
+            let got =
+                Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap();
+            assert_eq!(got, expected, "{src} at {level}");
+            let got_boxed = Vm::<Boxed>::new(&bc, &reg).unwrap().run_int().unwrap();
+            assert_eq!(got_boxed, expected, "boxed {src} at {level}");
+        }
+    }
+}
+
+#[test]
+fn runtime_errors_are_consistent_across_engines() {
+    let traps = ["(div 1 0)", "(vec-ref (make-vector 3 0) 8)", "(mod 5 0)"];
+    for src in traps {
+        assert!(run_source(src).is_err(), "interp should trap: {src}");
+        assert!(run_unboxed(src).is_err(), "unboxed should trap: {src}");
+        assert!(run_boxed(src).is_err(), "boxed should trap: {src}");
+    }
+}
+
+/// A generator of closed, total integer expressions (no division, no
+/// unbound variables), so every engine must produce the same value.
+fn arb_int_expr() -> impl Strategy<Value = String> {
+    let leaf = (-50i64..50).prop_map(|n| n.to_string());
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(+ {a} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(- {a} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(* {a} {b})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| format!("(if (< {c} 0) {t} {e})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("(let ((x {a})) (+ x {b}))")),
+            inner.clone().prop_map(|a| format!("((lambda (z) (* z 2)) {a})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential fuzzing: generated programs evaluate identically in the
+    /// interpreter and both VM representations at full optimization.
+    #[test]
+    fn generated_programs_agree_everywhere(src in arb_int_expr()) {
+        let expected = interp_int(&src);
+        prop_assert_eq!(run_unboxed(&src).unwrap(), expected);
+        prop_assert_eq!(run_boxed(&src).unwrap(), expected);
+        let program = parse_program(&src).unwrap();
+        let bc = compile_optimized(&program, OptLevel::Full).unwrap();
+        let reg = NativeRegistry::new();
+        let opt = Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap();
+        prop_assert_eq!(opt, expected);
+    }
+}

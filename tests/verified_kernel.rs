@@ -1,0 +1,160 @@
+//! Cross-crate integration: the kernel's *verified models* and its *running
+//! code* must tell the same story. The prover proves the models; these
+//! tests check the implementation against the same properties, including
+//! randomized runs (the verified invariant is the property-test oracle).
+
+use bitc_verify::vcgen::{is_verified, verify_procedure, VcOutcome};
+use microkernel::invariants::{invariant_suite, mint_procedure, seeded_bug_suite};
+use microkernel::kernel::{Kernel, Message, Syscall, SysResult};
+use microkernel::rights::Rights;
+use proptest::prelude::*;
+
+#[test]
+fn every_kernel_invariant_is_proved() {
+    for proc in invariant_suite() {
+        assert!(is_verified(&proc), "invariant {} must prove", proc.name);
+    }
+}
+
+#[test]
+fn every_seeded_bug_is_refuted_with_a_counterexample() {
+    for proc in seeded_bug_suite() {
+        let refutations: Vec<String> = verify_procedure(&proc)
+            .into_iter()
+            .filter_map(|(_, o)| match o {
+                VcOutcome::Refuted(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert!(!refutations.is_empty(), "{} must be refuted", proc.name);
+    }
+}
+
+#[test]
+fn runtime_mint_matches_the_verified_model() {
+    // The model `mint` is proved non-amplifying; the implementation must be
+    // non-amplifying on every rights combination (exhaustive: 64 x 64).
+    let _proved = mint_procedure(false);
+    for src_bits in 0..64u8 {
+        for req_bits in 0..64u8 {
+            let src = Rights::from_bits(src_bits);
+            let req = Rights::from_bits(req_bits);
+            let minted = src & req;
+            assert!(
+                src.contains(minted),
+                "amplification: src {src} req {req} minted {minted}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Random kernel sessions never violate rights monotonicity: any
+    /// capability reachable in any c-space has rights included in ALL, and
+    /// caps produced by grant/mint are included in their source's rights.
+    #[test]
+    fn random_grants_never_amplify(rights_bits in proptest::collection::vec(0u8..64, 1..12)) {
+        let mut k = Kernel::with_default_heap();
+        let root = k.spawn_process();
+        let ep = k.create_endpoint(root).unwrap();
+        let mut current = k.inspect_cap(root, ep).unwrap();
+        let mut slot = ep;
+        let mut holder = root;
+        for bits in rights_bits {
+            let target = k.spawn_process();
+            let requested = Rights::from_bits(bits);
+            match k.grant_cap(holder, slot, target, requested) {
+                Ok(new_slot) => {
+                    let granted = k.inspect_cap(target, new_slot).unwrap();
+                    prop_assert!(
+                        current.rights.contains(granted.rights),
+                        "amplified: {} -> {}", current.rights, granted.rights
+                    );
+                    current = granted;
+                    slot = new_slot;
+                    holder = target;
+                }
+                Err(_) => {
+                    // Lacking GRANT terminates the delegation chain: also a
+                    // monotonicity win.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Messages delivered equal messages sent, under any payload.
+    #[test]
+    fn ipc_is_lossless(payload in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut k = Kernel::with_default_heap();
+        let server = k.spawn_process();
+        let client = k.spawn_process();
+        let ep = k.create_endpoint(server).unwrap();
+        let ep_c = k.grant_cap(server, ep, client, Rights::SEND).unwrap();
+        k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
+        k.syscall(client, Syscall::Send { cap: ep_c, msg: Message::words(&payload) }).unwrap();
+        let got = k.take_delivered(server).unwrap();
+        prop_assert_eq!(got.payload, payload);
+    }
+}
+
+#[test]
+fn kernel_sessions_work_on_every_heap_policy() {
+    use sysmem::arena::RegionHeap;
+    use sysmem::freelist::FreeListHeap;
+    use sysmem::generational::GenerationalHeap;
+    use sysmem::marksweep::MarkSweepHeap;
+    use sysmem::semispace::SemiSpaceHeap;
+    use sysmem::Manager;
+
+    let heaps: Vec<Box<dyn Manager>> = vec![
+        Box::new(FreeListHeap::new(1 << 20)),
+        Box::new(RegionHeap::new(1 << 20)),
+        Box::new(MarkSweepHeap::new(1 << 20)),
+        Box::new(SemiSpaceHeap::new(1 << 21)),
+        Box::new(GenerationalHeap::new(1 << 20, 1 << 13)),
+    ];
+    for heap in heaps {
+        let name = heap.name();
+        let mut k = Kernel::new(heap);
+        let server = k.spawn_process();
+        let client = k.spawn_process();
+        let ep = k.create_endpoint(server).unwrap();
+        let ep_c = k.grant_cap(server, ep, client, Rights::SEND).unwrap();
+        for i in 0..100u64 {
+            k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
+            k.syscall(client, Syscall::Send { cap: ep_c, msg: Message::words(&[i, i * 2]) })
+                .unwrap();
+            let m = k.take_delivered(server).unwrap();
+            assert_eq!(m.payload, vec![i, i * 2], "heap {name}");
+        }
+    }
+}
+
+#[test]
+fn page_rights_are_enforced_end_to_end() {
+    let mut k = Kernel::with_default_heap();
+    let owner = k.spawn_process();
+    let SysResult::Slot(page) = k.syscall(owner, Syscall::AllocPage { words: 2 }).unwrap() else {
+        panic!("expected slot");
+    };
+    k.syscall(owner, Syscall::WritePage { cap: page, offset: 1, value: 5 }).unwrap();
+    // Mint write-only and read-only views; each permits exactly its verb.
+    let SysResult::Slot(ro) =
+        k.syscall(owner, Syscall::Mint { src: page, rights: Rights::READ }).unwrap()
+    else {
+        panic!("expected slot");
+    };
+    let SysResult::Slot(wo) =
+        k.syscall(owner, Syscall::Mint { src: page, rights: Rights::WRITE }).unwrap()
+    else {
+        panic!("expected slot");
+    };
+    assert!(matches!(
+        k.syscall(owner, Syscall::ReadPage { cap: ro, offset: 1 }).unwrap(),
+        SysResult::Value(5)
+    ));
+    assert!(k.syscall(owner, Syscall::WritePage { cap: ro, offset: 0, value: 9 }).is_err());
+    assert!(k.syscall(owner, Syscall::WritePage { cap: wo, offset: 0, value: 9 }).is_ok());
+    assert!(k.syscall(owner, Syscall::ReadPage { cap: wo, offset: 0 }).is_err());
+}
