@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Repo CI: build, test, lint. Run from the repo root.
+set -eu
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

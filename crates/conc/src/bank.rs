@@ -174,6 +174,14 @@ impl BrokenComposedBank {
     pub fn credit(&self, account: usize, amount: i64) {
         *self.balances[account].lock().expect("bank poisoned") += amount;
     }
+
+    /// Transfers currently between their debit and credit halves — the
+    /// window in which an audit observes vanished money. Test hook: lets a
+    /// detector aim its audits at the window instead of sampling blindly.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
 }
 
 impl Bank for BrokenComposedBank {
@@ -526,6 +534,41 @@ mod tests {
         // Anomalies are *likely* but not guaranteed on every run/host, so we
         // only record them; the deterministic test above proves the defect.
         let _ = r.audit_anomalies;
+    }
+
+    #[test]
+    fn broken_bank_anomaly_is_detected_under_contention() {
+        // Regression fixture: the composition bug must stay *detectable*,
+        // not just latently present. A transfer thread runs the broken
+        // two-phase transfer in a loop; the detector waits until a transfer
+        // is inside its debit-but-not-yet-credit window (the `in_flight`
+        // hook) and audits exactly then. If someone "fixes" the bank by
+        // holding both locks across the transfer — or the audit stops
+        // taking each lock independently — this test fails and the fixture
+        // must be updated deliberately.
+        use std::sync::atomic::AtomicBool;
+        let bank = BrokenComposedBank::new(2, 100);
+        let stop = AtomicBool::new(false);
+        let mut detected = false;
+        std::thread::scope(|scope| {
+            let bank_ref = &bank;
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                while !stop_ref.load(Ordering::Acquire) {
+                    bank_ref.transfer(0, 1, 10);
+                    bank_ref.transfer(1, 0, 10);
+                }
+            });
+            for _ in 0..1_000_000 {
+                if bank.in_flight() > 0 && bank.audit() != 200 {
+                    detected = true;
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Release);
+        });
+        assert!(detected, "the composition bug must be observable under contention");
+        assert_eq!(bank.audit(), 200, "quiescent total is still conserved");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when every receiver is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,51 @@ impl fmt::Display for TryRecvError {
 }
 
 impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Sender::send_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout; the message comes
+    /// back.
+    Timeout(T),
+    /// Every receiver is gone; the message comes back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "send timed out on a full channel"),
+            SendTimeoutError::Disconnected(_) => {
+                write!(f, "send on a channel with no receivers")
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendTimeoutError<T> {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The channel stayed empty for the whole timeout.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "recv timed out on an empty channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "recv on an empty channel with no senders")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 #[derive(Debug)]
 struct Shared<T> {
@@ -129,6 +175,49 @@ impl<T> Sender<T> {
         Ok(())
     }
 
+    /// Like [`Sender::send`], but gives up after `timeout` instead of
+    /// blocking indefinitely on a full channel — backpressure with a
+    /// deadline, so a stalled consumer costs the producer bounded time.
+    ///
+    /// # Errors
+    ///
+    /// [`SendTimeoutError::Timeout`] if the channel stayed full,
+    /// [`SendTimeoutError::Disconnected`] if every receiver is gone; both
+    /// return the message.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if state.items.len() >= cap => {
+                    let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                        return Err(SendTimeoutError::Timeout(value));
+                    };
+                    let (s, wait) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(state, left)
+                        .expect("channel poisoned");
+                    state = s;
+                    if wait.timed_out() && state.items.len() >= cap {
+                        if state.receivers == 0 {
+                            return Err(SendTimeoutError::Disconnected(value));
+                        }
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                }
+                _ => break,
+            }
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Number of queued messages (racy; for monitoring only).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -185,6 +274,41 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             state = self.shared.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Like [`Receiver::recv`], but gives up after `timeout` instead of
+    /// blocking indefinitely on an empty channel.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] once the channel is empty and all
+    /// senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (s, wait) =
+                self.shared.not_empty.wait_timeout(state, left).expect("channel poisoned");
+            state = s;
+            if wait.timed_out() && state.items.is_empty() {
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
         }
     }
 
@@ -364,5 +488,72 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_is_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn recv_timeout_returns_value_or_times_out() {
+        let (tx, rx) = channel::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+
+    #[test]
+    fn recv_timeout_sees_late_arrivals() {
+        let (tx, rx) = channel::<u8>();
+        let h = thread::spawn(move || rx.recv_timeout(Duration::from_millis(500)));
+        thread::sleep(Duration::from_millis(20));
+        tx.send(9).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect() {
+        let (tx, rx) = channel::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_timeout_times_out_on_full_bounded_channel() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(10)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(tx.send_timeout(3, Duration::from_millis(10)), Ok(()));
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn send_timeout_unblocks_when_space_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send_timeout(2, Duration::from_millis(500)))
+        };
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(t.join().unwrap(), Ok(()));
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn send_timeout_reports_disconnect() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(7, Duration::from_millis(10)),
+            Err(SendTimeoutError::Disconnected(7))
+        );
     }
 }

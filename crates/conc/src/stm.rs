@@ -300,6 +300,127 @@ pub fn atomically<T>(mut body: impl FnMut(&mut Tx) -> StmResult<T>) -> T {
     }
 }
 
+/// Fault site consulted by [`atomically_faulted`] after each successful
+/// body run: when it fires, the attempt aborts as if a conflict occurred.
+pub const SITE_STM_ABORT: &str = "stm.abort";
+
+/// A bounded retry policy for [`atomically_budgeted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Maximum attempts (body runs) before giving up. Must be at least 1.
+    pub max_attempts: u32,
+    /// Backoff before attempt `k` (k ≥ 2): `backoff_base_us << (k - 2)`
+    /// microseconds, capped at [`RetryBudget::MAX_BACKOFF_US`]. Zero
+    /// disables backoff.
+    pub backoff_base_us: u64,
+}
+
+impl RetryBudget {
+    /// Cap on a single backoff sleep.
+    pub const MAX_BACKOFF_US: u64 = 10_000;
+
+    /// A budget of `max_attempts` with 1 µs base backoff.
+    #[must_use]
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryBudget { max_attempts: max_attempts.max(1), backoff_base_us: 1 }
+    }
+
+    fn backoff(&self, attempt: u32) -> u64 {
+        if self.backoff_base_us == 0 || attempt < 2 {
+            return 0;
+        }
+        let shift = (attempt - 2).min(20);
+        (self.backoff_base_us << shift).min(Self::MAX_BACKOFF_US)
+    }
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget { max_attempts: 64, backoff_base_us: 1 }
+    }
+}
+
+/// Typed exhaustion error: the transaction kept aborting until its budget
+/// ran out. Carries the attempt count so callers can report contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmExhausted {
+    /// Attempts consumed (equals the budget's `max_attempts`).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for StmExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted {} times and exhausted its retry budget", self.attempts)
+    }
+}
+
+impl std::error::Error for StmExhausted {}
+
+/// Like [`atomically`], but bounded: after `budget.max_attempts` aborts the
+/// caller gets a typed [`StmExhausted`] instead of an unbounded spin —
+/// livelock becomes a reportable, recoverable condition. Attempts after the
+/// first back off exponentially to shed contention.
+///
+/// # Errors
+///
+/// Returns [`StmExhausted`] when every attempt aborted.
+pub fn atomically_budgeted<T>(
+    budget: RetryBudget,
+    body: impl FnMut(&mut Tx) -> StmResult<T>,
+) -> Result<T, StmExhausted> {
+    atomically_with(budget, None, body)
+}
+
+/// [`atomically_budgeted`] with fault injection: after each successful body
+/// run the injector is consulted at [`SITE_STM_ABORT`]; a firing forces an
+/// abort-and-retry, consuming budget exactly like a real conflict.
+///
+/// # Errors
+///
+/// Returns [`StmExhausted`] when every attempt aborted (injected or real).
+pub fn atomically_faulted<T>(
+    budget: RetryBudget,
+    injector: &sysfault::SharedInjector,
+    body: impl FnMut(&mut Tx) -> StmResult<T>,
+) -> Result<T, StmExhausted> {
+    atomically_with(budget, Some(injector), body)
+}
+
+fn atomically_with<T>(
+    budget: RetryBudget,
+    injector: Option<&sysfault::SharedInjector>,
+    mut body: impl FnMut(&mut Tx) -> StmResult<T>,
+) -> Result<T, StmExhausted> {
+    let max = budget.max_attempts.max(1);
+    for attempt in 1..=max {
+        let pause = budget.backoff(attempt);
+        if pause > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(pause));
+        }
+        let mut tx = Tx::new();
+        match body(&mut tx) {
+            Ok(result) => {
+                if injector.is_some_and(|i| i.should_fail(SITE_STM_ABORT)) {
+                    // Injected abort: throw the attempt away, uncommitted.
+                    ABORTS.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if tx.commit() {
+                    return Ok(result);
+                }
+            }
+            Err(StmAbort::Conflict) => {
+                ABORTS.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(StmAbort::Retry) => {
+                ABORTS.fetch_add(1, Ordering::Relaxed);
+                tx.wait_for_change();
+            }
+        }
+    }
+    Err(StmExhausted { attempts: max })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +579,75 @@ mod tests {
         let b = a.clone();
         atomically(|tx| tx.write(&a, 7));
         assert_eq!(b.read_atomic(), 7);
+    }
+
+    #[test]
+    fn budgeted_succeeds_like_atomically() {
+        let v = TVar::new(5i64);
+        let got = atomically_budgeted(RetryBudget::default(), |tx| {
+            let x = tx.read(&v)?;
+            tx.write(&v, x + 1)?;
+            Ok(x)
+        });
+        assert_eq!(got, Ok(5));
+        assert_eq!(v.read_atomic(), 6);
+    }
+
+    #[test]
+    fn budgeted_reports_exhaustion_typed() {
+        // A body that always retries can never commit; the budget converts
+        // the livelock into a typed error. (Plain `atomically` would hang.)
+        let v = TVar::new(0u8);
+        let r: Result<(), StmExhausted> =
+            atomically_budgeted(RetryBudget { max_attempts: 3, backoff_base_us: 0 }, |tx| {
+                // Read something so Retry has a wait set that changes... it
+                // won't, so keep the body conflicting instead: bump the var
+                // outside the transaction to invalidate the read.
+                let x = tx.read(&v)?;
+                atomically(|tx2| tx2.write(&v, x.wrapping_add(1)));
+                tx.write(&v, x)
+            });
+        assert_eq!(r, Err(StmExhausted { attempts: 3 }));
+        assert!(r.unwrap_err().to_string().contains("retry budget"));
+    }
+
+    #[test]
+    fn injected_aborts_consume_budget_then_succeed() {
+        use sysfault::{FaultPlan, Schedule, SharedInjector};
+        let inj = SharedInjector::new(
+            FaultPlan::new(3).with_site(SITE_STM_ABORT, Schedule::OneShotAt(1)),
+        );
+        let v = TVar::new(10i64);
+        let before = stm_stats().aborts;
+        let got = atomically_faulted(RetryBudget::attempts(4), &inj, |tx| tx.read(&v));
+        assert_eq!(got, Ok(10));
+        assert_eq!(stm_stats().aborts, before + 1, "injected abort was counted");
+        assert_eq!(inj.faults_fired(), 1);
+    }
+
+    #[test]
+    fn injected_aborts_can_exhaust_the_budget() {
+        use sysfault::{FaultPlan, Schedule, SharedInjector};
+        let inj = SharedInjector::new(
+            FaultPlan::new(3).with_site(SITE_STM_ABORT, Schedule::EveryNth(1)),
+        );
+        let v = TVar::new(0i64);
+        let r = atomically_faulted(
+            RetryBudget { max_attempts: 5, backoff_base_us: 0 },
+            &inj,
+            |tx| tx.read(&v),
+        );
+        assert_eq!(r, Err(StmExhausted { attempts: 5 }));
+        assert_eq!(v.read_atomic(), 0, "no injected attempt may commit");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = RetryBudget { max_attempts: 40, backoff_base_us: 2 };
+        assert_eq!(b.backoff(1), 0, "first attempt is eager");
+        assert_eq!(b.backoff(2), 2);
+        assert_eq!(b.backoff(3), 4);
+        assert_eq!(b.backoff(40), RetryBudget::MAX_BACKOFF_US);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Shrinking failing fault plans to minimal reproductions.
+//!
+//! A campaign that fails under a 12-site plan is a poor bug report; the same
+//! failure under one site firing once is a diagnosis. [`minimize`] performs
+//! the domain-specific shrinking that a generic property-test shrinker cannot:
+//! it knows that removing a site, or replacing a noisy schedule with a
+//! [`Schedule::OneShotAt`] pinpointing a single firing, yields a *simpler*
+//! plan, and it re-runs the caller's failure predicate after each candidate
+//! edit to keep only edits that preserve the failure.
+
+use crate::{FaultInjector, FaultPlan, Schedule};
+
+/// Shrinks `plan` while `fails` keeps returning `true`.
+///
+/// The predicate must be deterministic in the plan (which it is whenever the
+/// system under test consults a fresh [`FaultInjector`] built from the plan
+/// and has no other nondeterminism). Strategy, in order:
+///
+/// 1. **Drop sites.** Remove each site in turn; keep the removal if the
+///    failure persists. Repeated to a fixed point, so mutually redundant
+///    sites all disappear.
+/// 2. **Simplify schedules.** For each surviving probabilistic or periodic
+///    site, probe which single firing suffices: replay the full plan to learn
+///    the per-site call numbers that fired, then try pinning the site to
+///    `OneShotAt(k)` for each observed `k` (earliest first).
+///
+/// Returns the smallest plan found; at worst, the original.
+pub fn minimize(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mut best = plan.clone();
+    if !fails(&best) {
+        return best;
+    }
+
+    // Phase 1: drop whole sites to a fixed point.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let names: Vec<String> = best.sites().map(|(n, _)| n.to_string()).collect();
+        for name in names {
+            let mut candidate = best.clone();
+            candidate.remove_site(&name);
+            if fails(&candidate) {
+                best = candidate;
+                changed = true;
+            }
+        }
+    }
+
+    // Phase 2: pin each remaining site to a single observed firing.
+    let names: Vec<String> = best.sites().map(|(n, _)| n.to_string()).collect();
+    for name in names {
+        if matches!(best.site(&name), Some(Schedule::OneShotAt(_))) {
+            continue;
+        }
+        for k in observed_firings(&best, &name) {
+            let mut candidate = best.clone();
+            candidate.set_site(&name, Schedule::OneShotAt(k));
+            if fails(&candidate) {
+                best = candidate;
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Replays `plan` against a worst-case consultation pattern to collect the
+/// per-site call numbers at which `site` fires within the first
+/// `PROBE_CALLS` consultations.
+fn observed_firings(plan: &FaultPlan, site: &str) -> Vec<u64> {
+    const PROBE_CALLS: u64 = 4096;
+    let mut inj = FaultInjector::new(plan.clone());
+    let mut firings = Vec::new();
+    for call in 1..=PROBE_CALLS {
+        if inj.should_fail(site) {
+            firings.push(call);
+        }
+    }
+    firings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy system: fails iff "b" fires at least once in 100 calls.
+    fn b_fires(plan: &FaultPlan) -> bool {
+        let mut inj = FaultInjector::new(plan.clone());
+        (0..100).any(|_| {
+            inj.should_fail("a");
+            inj.should_fail("b")
+        })
+    }
+
+    #[test]
+    fn irrelevant_sites_are_dropped() {
+        let plan = FaultPlan::new(3)
+            .with_site("a", Schedule::Probability(0.9))
+            .with_site("b", Schedule::EveryNth(10))
+            .with_site("c", Schedule::Probability(0.5));
+        let min = minimize(&plan, b_fires);
+        assert_eq!(min.len(), 1);
+        assert!(min.site("b").is_some());
+    }
+
+    #[test]
+    fn schedules_shrink_to_one_shot() {
+        let plan = FaultPlan::new(3).with_site("b", Schedule::EveryNth(10));
+        let min = minimize(&plan, b_fires);
+        assert_eq!(min.site("b"), Some(&Schedule::OneShotAt(10)));
+    }
+
+    #[test]
+    fn passing_plans_are_returned_unchanged() {
+        let plan = FaultPlan::new(1).with_site("x", Schedule::EveryNth(2));
+        let min = minimize(&plan, |_| false);
+        assert_eq!(min, plan);
+    }
+
+    #[test]
+    fn probabilistic_schedules_pin_to_observed_firing() {
+        let plan = FaultPlan::new(11).with_site("b", Schedule::Probability(0.2));
+        let min = minimize(&plan, b_fires);
+        // Must still fail, and must be a one-shot now.
+        assert!(b_fires(&min));
+        assert!(matches!(min.site("b"), Some(Schedule::OneShotAt(_))));
+    }
+}

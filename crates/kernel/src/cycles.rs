@@ -22,6 +22,12 @@ pub const SCHEDULE: u64 = 40;
 pub const OBJECT_ALLOC: u64 = 60;
 /// Cycle cost of a rights check.
 pub const RIGHTS_CHECK: u64 = 4;
+/// Cycle cost of the watchdog reaping one overdue blocked IPC (queue
+/// removal, message teardown, wakeup).
+pub const WATCHDOG_REAP: u64 = 120;
+/// Base cycle cost of one retry backoff step; attempt `k` waits
+/// `BACKOFF_BASE << k` cycles (exponential backoff).
+pub const BACKOFF_BASE: u64 = 400;
 
 /// A cycle accumulator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

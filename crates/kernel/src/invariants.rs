@@ -201,6 +201,51 @@ pub fn ipc_copy_procedure(seeded_bug: bool) -> Procedure {
     }
 }
 
+/// Watchdog reap transition: reaping an overdue blocked IPC moves the
+/// process from blocked to ready, preserving state exclusivity — a reaped
+/// process must never sit on both the blocked and ready queues. The buggy
+/// variant wakes the process without clearing the blocked bit, the exact
+/// double-queue mistake that turns a recovery path into a scheduler
+/// corruption.
+#[must_use]
+pub fn watchdog_reap_procedure(seeded_bug: bool) -> Procedure {
+    let one_hot = |r: &str, b: &str, d: &str| {
+        Formula::And(vec![
+            bit_constraint(r),
+            bit_constraint(b),
+            bit_constraint(d),
+            Formula::cmp(Cmp::Eq, plus(plus(v(r), v(b)), v(d)), int(1)),
+        ])
+    };
+    let requires = Formula::And(vec![
+        one_hot("ready", "blocked", "dead"),
+        // Only a blocked process with an expired deadline is reaped.
+        Formula::cmp(Cmp::Eq, v("blocked"), int(1)),
+        Formula::cmp(Cmp::Ge, v("now"), int(0)),
+        Formula::cmp(Cmp::Ge, v("deadline"), int(0)),
+        Formula::cmp(Cmp::Lt, v("deadline"), v("now")),
+    ]);
+    let body = if seeded_bug {
+        // Bug: wakes without clearing blocked (process on two queues).
+        vec![Stmt::Assign("ready".into(), int(1))]
+    } else {
+        vec![
+            Stmt::Assign("blocked".into(), int(0)),
+            Stmt::Assign("ready".into(), int(1)),
+        ]
+    };
+    let ensures = Formula::and(
+        one_hot("ready", "blocked", "dead"),
+        Formula::cmp(Cmp::Eq, v("blocked"), int(0)),
+    );
+    Procedure {
+        name: if seeded_bug { "watchdog-reap-buggy".into() } else { "watchdog-reap".into() },
+        requires,
+        ensures,
+        body,
+    }
+}
+
 /// The full invariant suite: every procedure here must verify.
 #[must_use]
 pub fn invariant_suite() -> Vec<Procedure> {
@@ -210,6 +255,7 @@ pub fn invariant_suite() -> Vec<Procedure> {
         queue_enqueue_procedure(false),
         scheduler_block_procedure(false),
         ipc_copy_procedure(false),
+        watchdog_reap_procedure(false),
     ]
 }
 
@@ -223,6 +269,7 @@ pub fn seeded_bug_suite() -> Vec<Procedure> {
         queue_enqueue_procedure(true),
         scheduler_block_procedure(true),
         ipc_copy_procedure(true),
+        watchdog_reap_procedure(true),
     ]
 }
 
@@ -273,6 +320,6 @@ mod tests {
             invariant_suite().into_iter().map(|p| p.name).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
     }
 }

@@ -13,11 +13,21 @@ use crate::object::{Capability, ObjId, ObjectKind};
 use crate::rights::Rights;
 use crate::{CapSlot, KernelError, Pid, Result};
 use std::collections::VecDeque;
+use sysfault::SharedInjector;
 use sysmem::freelist::FreeListHeap;
 use sysmem::{Handle, Manager};
 
 /// Maximum capability-space slots per process.
 pub const CSPACE_CAPACITY: usize = 1024;
+
+/// Fault site: an IPC send silently loses its message after the rights check
+/// (the sender sees success; the receiver waits forever — until the
+/// watchdog).
+pub const SITE_IPC_DROP: &str = "kernel.ipc.drop";
+
+/// Fault site: a kernel-heap allocation reports exhaustion regardless of the
+/// heap's real state, driving the graceful-degradation path.
+pub const SITE_KERNEL_OOM: &str = "kernel.oom";
 
 /// An IPC message: payload words plus an optional capability transfer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +65,9 @@ pub enum SysResult {
     Slot(CapSlot),
     /// A data word (page reads).
     Value(u64),
+    /// The caller's blocked IPC exceeded its deadline and was reaped by the
+    /// watchdog (reported by [`Kernel::poll_ipc`]).
+    TimedOut,
 }
 
 /// System calls.
@@ -124,6 +137,17 @@ struct Process {
     state: ProcState,
     cspace: Vec<Option<Capability>>,
     delivered: VecDeque<Message>,
+    /// IPC deadline in cycles: a blocked send/recv older than this is reaped
+    /// by the watchdog. `None` means wait forever (the pre-fault-framework
+    /// behaviour, still the default).
+    deadline: Option<u64>,
+    /// Cycle timestamp at which the process last blocked.
+    blocked_at: u64,
+    /// Set by the watchdog when it reaps this process's blocked IPC; cleared
+    /// and reported by [`Kernel::poll_ipc`].
+    timed_out: bool,
+    /// Essential processes are never chosen by [`Kernel::shed_for_memory`].
+    essential: bool,
 }
 
 #[derive(Debug)]
@@ -148,14 +172,46 @@ struct ObjEntry {
     alive: bool,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    handle: Handle,
+    owner: Pid,
+    obj: ObjId,
+    alive: bool,
+}
+
+/// Counters for the kernel's recovery machinery, read by experiment E9.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Blocked IPCs reaped by the watchdog after their deadline passed.
+    pub watchdog_reaps: u64,
+    /// Processes killed by graceful OOM degradation.
+    pub shed_processes: u64,
+    /// Messages lost to injected IPC drops.
+    pub dropped_messages: u64,
+    /// Allocation failures surfaced to syscalls (injected or real).
+    pub oom_failures: u64,
+}
+
+/// One round trip's outcome under [`Kernel::ping_pong_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpcOutcome {
+    /// Total cycles charged, including failed attempts and backoff.
+    pub cycles: u64,
+    /// Attempts that failed before the round trip succeeded.
+    pub retries: u32,
+}
+
 /// The kernel.
 pub struct Kernel {
     mem: Box<dyn Manager>,
     objects: Vec<ObjEntry>,
     processes: Vec<Process>,
     endpoints: Vec<Endpoint>,
-    pages: Vec<Handle>,
+    pages: Vec<PageEntry>,
     run_queue: VecDeque<Pid>,
+    injector: Option<SharedInjector>,
+    fault_stats: FaultStats,
     /// Transparent cycle accounting.
     pub cycles: CycleCounter,
 }
@@ -182,8 +238,27 @@ impl Kernel {
             endpoints: Vec::new(),
             pages: Vec::new(),
             run_queue: VecDeque::new(),
+            injector: None,
+            fault_stats: FaultStats::default(),
             cycles: CycleCounter::new(),
         }
+    }
+
+    /// Attaches a fault injector; kernel sites ([`SITE_IPC_DROP`],
+    /// [`SITE_KERNEL_OOM`]) consult it. Without one the kernel runs
+    /// fault-free with zero overhead on the fast path.
+    pub fn set_injector(&mut self, injector: SharedInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Recovery-machinery counters.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    fn inject(&mut self, site: &str) -> bool {
+        self.injector.as_ref().is_some_and(|i| i.should_fail(site))
     }
 
     /// Creates a kernel over a 1 MiB free-list heap (the C-like default).
@@ -212,10 +287,35 @@ impl Kernel {
             state: ProcState::Ready,
             cspace: Vec::new(),
             delivered: VecDeque::new(),
+            deadline: None,
+            blocked_at: 0,
+            timed_out: false,
+            essential: false,
         });
         self.new_object(ObjectKind::Process, pid.0);
         self.run_queue.push_back(pid);
         pid
+    }
+
+    /// Sets the cycle deadline after which `pid`'s blocked IPCs are reaped by
+    /// the watchdog sweep in [`Kernel::schedule`]. `None` waits forever.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pid` is unknown.
+    pub fn set_ipc_deadline(&mut self, pid: Pid, deadline: Option<u64>) -> Result<()> {
+        self.process_mut(pid)?.deadline = deadline;
+        Ok(())
+    }
+
+    /// Marks `pid` essential: graceful OOM degradation will never shed it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pid` is unknown.
+    pub fn set_essential(&mut self, pid: Pid, essential: bool) -> Result<()> {
+        self.process_mut(pid)?.essential = essential;
+        Ok(())
     }
 
     fn process(&self, pid: Pid) -> Result<&Process> {
@@ -252,7 +352,12 @@ impl Kernel {
     fn require(&mut self, cap: Capability, kind: ObjectKind, right: Rights, name: &'static str)
         -> Result<u32> {
         self.cycles.charge(cycles::RIGHTS_CHECK);
-        let entry = self.objects[cap.target.0 as usize];
+        // A capability whose target id is outside the object table is as
+        // dangling as one whose target died — report it, don't index-panic.
+        let entry = *self
+            .objects
+            .get(cap.target.0 as usize)
+            .ok_or(KernelError::DanglingCapability)?;
         if !entry.alive {
             return Err(KernelError::DanglingCapability);
         }
@@ -338,8 +443,13 @@ impl Kernel {
     }
 
     /// The scheduler: returns the next ready process, rotating the queue.
+    ///
+    /// Every scheduling decision first runs the watchdog sweep, reaping any
+    /// blocked IPC whose deadline has passed — so a lost message costs its
+    /// sender a timeout, never the system a hang.
     pub fn schedule(&mut self) -> Option<Pid> {
         self.cycles.charge(cycles::SCHEDULE);
+        self.watchdog_sweep();
         for _ in 0..self.run_queue.len() {
             let pid = self.run_queue.pop_front()?;
             if self.processes[pid.0 as usize].state == ProcState::Ready {
@@ -359,10 +469,121 @@ impl Kernel {
         }
     }
 
+    /// Reaps every blocked IPC whose deadline has passed: the message (if
+    /// any) is torn down, the process is woken with its `timed_out` flag
+    /// set, and the event is counted. Called from [`Kernel::schedule`].
+    fn watchdog_sweep(&mut self) {
+        let now = self.cycles.total();
+        let overdue: Vec<Pid> = self
+            .processes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let blocked =
+                    matches!(p.state, ProcState::BlockedSend(_) | ProcState::BlockedRecv(_));
+                let expired = p.deadline.is_some_and(|d| now.saturating_sub(p.blocked_at) > d);
+                (blocked && expired).then(|| Pid(u32::try_from(i).expect("pids fit u32")))
+            })
+            .collect();
+        for pid in overdue {
+            self.cycles.charge(cycles::WATCHDOG_REAP);
+            self.cancel_ipc(pid);
+            self.fault_stats.watchdog_reaps += 1;
+        }
+    }
+
+    /// Cancels `pid`'s blocked IPC (if any): removes it from endpoint
+    /// queues, frees its stored message, and wakes it with `timed_out` set.
+    fn cancel_ipc(&mut self, pid: Pid) {
+        match self.processes[pid.0 as usize].state {
+            ProcState::BlockedSend(ep) => {
+                let queue = &mut self.endpoints[ep as usize].senders;
+                if let Some(at) = queue.iter().position(|s| s.sender == pid) {
+                    let stored = queue.remove(at).expect("position is in range");
+                    self.release_stored(&stored);
+                }
+            }
+            ProcState::BlockedRecv(ep) => {
+                self.endpoints[ep as usize].receivers.retain(|&p| p != pid);
+            }
+            ProcState::Ready | ProcState::Dead => return,
+        }
+        self.processes[pid.0 as usize].timed_out = true;
+        self.wake(pid);
+    }
+
+    /// Reports the fate of `pid`'s last blocking IPC without blocking:
+    /// [`SysResult::TimedOut`] if the watchdog reaped it (one-shot; the flag
+    /// clears), [`SysResult::Blocked`] while still waiting,
+    /// [`SysResult::Delivered`] when a message is waiting in the inbox, and
+    /// [`SysResult::Done`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pid` is unknown.
+    pub fn poll_ipc(&mut self, pid: Pid) -> Result<SysResult> {
+        let proc = self.process_mut(pid)?;
+        if proc.timed_out {
+            proc.timed_out = false;
+            return Ok(SysResult::TimedOut);
+        }
+        Ok(match proc.state {
+            ProcState::BlockedSend(_) | ProcState::BlockedRecv(_) => SysResult::Blocked,
+            _ if !proc.delivered.is_empty() => SysResult::Delivered,
+            _ => SysResult::Done,
+        })
+    }
+
+    /// Graceful OOM degradation: kills the newest non-essential process
+    /// (never `protect`), releasing its pages and any queued message, and
+    /// returns its pid. Returns `None` when nothing can be shed — at which
+    /// point the allocation failure is surfaced as a typed error.
+    fn shed_for_memory(&mut self, protect: Pid) -> Option<Pid> {
+        let victim = (0..self.processes.len())
+            .rev()
+            .map(|i| Pid(u32::try_from(i).expect("pids fit u32")))
+            .find(|&pid| {
+                pid != protect
+                    && !self.processes[pid.0 as usize].essential
+                    && self.processes[pid.0 as usize].state != ProcState::Dead
+            })?;
+        self.cancel_ipc(victim);
+        for i in 0..self.pages.len() {
+            let page = self.pages[i];
+            if page.owner == victim && page.alive {
+                self.mem.remove_root(page.handle);
+                let _ = self.mem.free(page.handle);
+                self.pages[i].alive = false;
+                self.objects[page.obj.0 as usize].alive = false;
+            }
+        }
+        self.processes[victim.0 as usize].state = ProcState::Dead;
+        self.fault_stats.shed_processes += 1;
+        Some(victim)
+    }
+
+    /// Kernel-heap allocation with fault injection and graceful OOM
+    /// degradation: on failure (injected via [`SITE_KERNEL_OOM`] or real),
+    /// sheds non-essential processes and retries before giving up.
+    fn kernel_alloc(&mut self, caller: Pid, nwords: usize) -> Result<Handle> {
+        let injected = self.inject(SITE_KERNEL_OOM);
+        if !injected {
+            if let Ok(h) = self.mem.try_alloc(0, nwords) {
+                return Ok(h);
+            }
+        }
+        while self.shed_for_memory(caller).is_some() {
+            if let Ok(h) = self.mem.try_alloc(0, nwords) {
+                return Ok(h);
+            }
+        }
+        self.fault_stats.oom_failures += 1;
+        Err(KernelError::OutOfMemory)
+    }
+
     fn store_message(&mut self, sender: Pid, msg: Message) -> Result<StoredMessage> {
         let len = msg.payload.len();
-        let handle =
-            self.mem.alloc(0, len.max(1)).map_err(|_| KernelError::OutOfMemory)?;
+        let handle = self.kernel_alloc(sender, len.max(1))?;
         for (i, w) in msg.payload.iter().enumerate() {
             self.mem.set_word(handle, i, *w).map_err(|_| KernelError::OutOfMemory)?;
         }
@@ -371,27 +592,44 @@ impl Kernel {
         Ok(StoredMessage { handle, len, cap: msg.cap, sender })
     }
 
-    fn load_message(&mut self, stored: &StoredMessage) -> Message {
-        let mut payload = Vec::with_capacity(stored.len);
-        for i in 0..stored.len {
-            payload.push(self.mem.get_word(stored.handle, i).expect("kernel heap intact"));
-        }
-        self.cycles.charge(cycles::COPY_WORD * stored.len as u64);
+    /// Releases a stored message's heap object without delivering it.
+    fn release_stored(&mut self, stored: &StoredMessage) {
         self.mem.remove_root(stored.handle);
         // Manual managers want an explicit free; collected heaps refuse it,
         // which is fine — the root release above made it garbage.
         let _ = self.mem.free(stored.handle);
-        Message { payload, cap: stored.cap }
     }
 
-    fn deliver_to(&mut self, receiver: Pid, stored: StoredMessage) {
-        let msg = self.load_message(&stored);
+    fn load_message(&mut self, stored: &StoredMessage) -> Result<Message> {
+        let mut payload = Vec::with_capacity(stored.len);
+        for i in 0..stored.len {
+            payload.push(
+                self.mem
+                    .get_word(stored.handle, i)
+                    .map_err(|_| KernelError::HeapCorruption)?,
+            );
+        }
+        self.cycles.charge(cycles::COPY_WORD * stored.len as u64);
+        self.release_stored(stored);
+        Ok(Message { payload, cap: stored.cap })
+    }
+
+    fn deliver_to(&mut self, receiver: Pid, stored: StoredMessage) -> Result<()> {
+        let msg = self.load_message(&stored)?;
         if let Some(cap) = msg.cap {
             // Transferred capability lands in the receiver's c-space.
             let _ = self.install_cap(receiver, cap);
         }
         self.processes[receiver.0 as usize].delivered.push_back(msg);
         self.cycles.charge(cycles::CONTEXT_SWITCH);
+        Ok(())
+    }
+
+    fn block(&mut self, pid: Pid, state: ProcState) {
+        let now = self.cycles.total();
+        let proc = &mut self.processes[pid.0 as usize];
+        proc.state = state;
+        proc.blocked_at = now;
     }
 
     /// Executes one syscall on behalf of `pid`.
@@ -418,13 +656,21 @@ impl Kernel {
                 let ep_index =
                     self.require(capability, ObjectKind::Endpoint, Rights::SEND, "SEND")?;
                 let stored = self.store_message(pid, msg)?;
+                if self.inject(SITE_IPC_DROP) {
+                    // The message is lost in transit: the sender sees
+                    // success, the receiver keeps waiting. Only deadlines
+                    // and retry recover from this — which is the point.
+                    self.release_stored(&stored);
+                    self.fault_stats.dropped_messages += 1;
+                    return Ok(SysResult::Delivered);
+                }
                 if let Some(receiver) = self.endpoints[ep_index as usize].receivers.pop_front() {
-                    self.deliver_to(receiver, stored);
+                    self.deliver_to(receiver, stored)?;
                     self.wake(receiver);
                     Ok(SysResult::Delivered)
                 } else {
                     self.endpoints[ep_index as usize].senders.push_back(stored);
-                    self.processes[pid.0 as usize].state = ProcState::BlockedSend(ep_index);
+                    self.block(pid, ProcState::BlockedSend(ep_index));
                     Ok(SysResult::Blocked)
                 }
             }
@@ -434,12 +680,12 @@ impl Kernel {
                     self.require(capability, ObjectKind::Endpoint, Rights::RECV, "RECV")?;
                 if let Some(stored) = self.endpoints[ep_index as usize].senders.pop_front() {
                     let sender = stored.sender;
-                    self.deliver_to(pid, stored);
+                    self.deliver_to(pid, stored)?;
                     self.wake(sender);
                     Ok(SysResult::Delivered)
                 } else {
                     self.endpoints[ep_index as usize].receivers.push_back(pid);
-                    self.processes[pid.0 as usize].state = ProcState::BlockedRecv(ep_index);
+                    self.block(pid, ProcState::BlockedRecv(ep_index));
                     Ok(SysResult::Blocked)
                 }
             }
@@ -458,14 +704,11 @@ impl Kernel {
             }
             Syscall::AllocPage { words } => {
                 self.cycles.charge(cycles::OBJECT_ALLOC);
-                let handle = self
-                    .mem
-                    .alloc(0, words.max(1))
-                    .map_err(|_| KernelError::OutOfMemory)?;
+                let handle = self.kernel_alloc(pid, words.max(1))?;
                 self.mem.add_root(handle);
                 let index = u32::try_from(self.pages.len()).expect("fits");
-                self.pages.push(handle);
                 let id = self.new_object(ObjectKind::Page, index);
+                self.pages.push(PageEntry { handle, owner: pid, obj: id, alive: true });
                 let slot =
                     self.install_cap(pid, Capability::new(id, ObjectKind::Page, Rights::ALL))?;
                 Ok(SysResult::Slot(slot))
@@ -473,7 +716,7 @@ impl Kernel {
             Syscall::WritePage { cap, offset, value } => {
                 let capability = self.lookup_cap(pid, cap)?;
                 let index = self.require(capability, ObjectKind::Page, Rights::WRITE, "WRITE")?;
-                let handle = self.pages[index as usize];
+                let handle = self.pages[index as usize].handle;
                 self.mem
                     .set_word(handle, offset, value)
                     .map_err(|_| KernelError::PageFault { offset })?;
@@ -482,7 +725,7 @@ impl Kernel {
             Syscall::ReadPage { cap, offset } => {
                 let capability = self.lookup_cap(pid, cap)?;
                 let index = self.require(capability, ObjectKind::Page, Rights::READ, "READ")?;
-                let handle = self.pages[index as usize];
+                let handle = self.pages[index as usize].handle;
                 let v = self
                     .mem
                     .get_word(handle, offset)
@@ -495,10 +738,17 @@ impl Kernel {
                     self.require(capability, ObjectKind::Endpoint, Rights::CONTROL, "CONTROL")?;
                 let ep = &mut self.endpoints[index as usize];
                 ep.alive = false;
-                let senders: Vec<Pid> = ep.senders.drain(..).map(|s| s.sender).collect();
+                let orphans: Vec<StoredMessage> = ep.senders.drain(..).collect();
                 let receivers: Vec<Pid> = ep.receivers.drain(..).collect();
                 self.objects[capability.target.0 as usize].alive = false;
-                for p in senders.into_iter().chain(receivers) {
+                for stored in orphans {
+                    // Undelivered messages die with the endpoint; their heap
+                    // objects must not leak.
+                    let sender = stored.sender;
+                    self.release_stored(&stored);
+                    self.wake(sender);
+                }
+                for p in receivers {
                     self.wake(p);
                 }
                 Ok(SysResult::Done)
@@ -540,6 +790,110 @@ impl Kernel {
         self.syscall(server, Syscall::Send { cap: reply_ep.0, msg: Message::words(&req.payload) })?;
         let _ = self.take_delivered(client).ok_or(KernelError::DanglingCapability)?;
         Ok(self.cycles.since(snapshot))
+    }
+
+    /// Drives the clock (via scheduler sweeps) until `pid` is no longer
+    /// blocked — normally because the watchdog reaped its overdue IPC. Falls
+    /// back to a direct cancel if the process has no deadline set.
+    fn ride_out_timeout(&mut self, pid: Pid) {
+        let deadline = self.processes[pid.0 as usize].deadline.unwrap_or(0);
+        // Each schedule() charges SCHEDULE cycles, so this many sweeps is
+        // guaranteed to push `now - blocked_at` past the deadline.
+        let sweeps = deadline / cycles::SCHEDULE + 2;
+        for _ in 0..sweeps {
+            if self.is_ready(pid) {
+                return;
+            }
+            let _ = self.schedule();
+        }
+        if !self.is_ready(pid) {
+            self.cycles.charge(cycles::WATCHDOG_REAP);
+            self.cancel_ipc(pid);
+        }
+    }
+
+    /// A fault-tolerant IPC round trip: like [`Kernel::ping_pong`], but with
+    /// per-attempt deadlines, watchdog-driven recovery of lost messages, and
+    /// bounded retry with exponential backoff. Returns the cycles charged
+    /// (failed attempts and backoff included) and the retry count.
+    ///
+    /// This is the recovery path experiment E9 measures: under injected
+    /// message drops and allocation failures, round trips still complete —
+    /// they just cost more cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::TimedOut`] after `max_retries` failed attempts;
+    /// propagates non-recoverable syscall failures (bad caps, dead
+    /// processes) immediately.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub fn ping_pong_resilient(
+        &mut self,
+        client: Pid,
+        server: Pid,
+        request_ep: (CapSlot, CapSlot),
+        reply_ep: (CapSlot, CapSlot),
+        words: usize,
+        deadline: u64,
+        max_retries: u32,
+    ) -> Result<IpcOutcome> {
+        let snapshot = self.cycles;
+        self.set_ipc_deadline(client, Some(deadline))?;
+        self.set_ipc_deadline(server, Some(deadline))?;
+        let payload = vec![0xAB; words];
+        // An error is recoverable when retrying can plausibly change the
+        // outcome: transient exhaustion, or a partner stuck from a prior
+        // lost message. Anything else (bad caps, dead processes) aborts.
+        fn recoverable(e: &KernelError) -> bool {
+            matches!(
+                e,
+                KernelError::OutOfMemory
+                    | KernelError::TimedOut(_)
+                    | KernelError::ProcessBlocked(_)
+            )
+        }
+        let mut retries = 0u32;
+        while retries <= max_retries {
+            if retries > 0 {
+                self.cycles.charge(cycles::BACKOFF_BASE << (retries - 1).min(16));
+            }
+            // Recover any party left blocked by a failed attempt, and drop
+            // stale half-round-trip messages so a late reply from attempt
+            // N-1 cannot satisfy attempt N.
+            for pid in [client, server] {
+                if !self.is_ready(pid) {
+                    self.ride_out_timeout(pid);
+                }
+                let proc = self.process_mut(pid)?;
+                proc.timed_out = false;
+                proc.delivered.clear();
+            }
+            let attempt = (|| -> Result<bool> {
+                self.syscall(server, Syscall::Recv { cap: request_ep.0 })?;
+                self.syscall(
+                    client,
+                    Syscall::Send { cap: request_ep.1, msg: Message::words(&payload) },
+                )?;
+                let Some(req) = self.take_delivered(server) else {
+                    return Ok(false); // request lost in transit
+                };
+                self.syscall(client, Syscall::Recv { cap: reply_ep.1 })?;
+                self.syscall(
+                    server,
+                    Syscall::Send { cap: reply_ep.0, msg: Message::words(&req.payload) },
+                )?;
+                Ok(self.take_delivered(client).is_some())
+            })();
+            match attempt {
+                Ok(true) => {
+                    return Ok(IpcOutcome { cycles: self.cycles.since(snapshot), retries })
+                }
+                Ok(false) => retries += 1,
+                Err(ref e) if recoverable(e) => retries += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(KernelError::TimedOut(client))
     }
 
     /// Forces a heap collection (no-op for manual managers); exposed so the
@@ -790,6 +1144,217 @@ mod tests {
             }
             k.collect_heap();
         }
+    }
+
+    #[test]
+    fn watchdog_reaps_overdue_recv() {
+        let (mut k, server, _, ep_server, _) = setup();
+        k.set_ipc_deadline(server, Some(500)).unwrap();
+        k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap();
+        assert!(!k.is_ready(server));
+        // Drive the clock past the deadline; each schedule() charges cycles
+        // and runs the watchdog sweep.
+        for _ in 0..20 {
+            k.schedule();
+        }
+        assert!(k.is_ready(server), "watchdog must reap the overdue recv");
+        assert_eq!(k.poll_ipc(server).unwrap(), SysResult::TimedOut);
+        // The flag is one-shot.
+        assert_eq!(k.poll_ipc(server).unwrap(), SysResult::Done);
+        assert_eq!(k.fault_stats().watchdog_reaps, 1);
+    }
+
+    #[test]
+    fn watchdog_reaps_overdue_send_and_frees_its_message() {
+        let (mut k, _, client, _, ep_client) = setup();
+        k.set_ipc_deadline(client, Some(500)).unwrap();
+        let live_before = k.heap_live_bytes();
+        k.syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[1; 64]) })
+            .unwrap();
+        assert!(k.heap_live_bytes() > live_before, "queued message holds heap");
+        for _ in 0..20 {
+            k.schedule();
+        }
+        assert!(k.is_ready(client));
+        assert_eq!(k.poll_ipc(client).unwrap(), SysResult::TimedOut);
+        assert_eq!(k.heap_live_bytes(), live_before, "reaped message must not leak");
+    }
+
+    #[test]
+    fn no_deadline_means_wait_forever() {
+        let (mut k, server, _, ep_server, _) = setup();
+        k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap();
+        for _ in 0..100 {
+            k.schedule();
+        }
+        assert!(!k.is_ready(server), "without a deadline the watchdog stays out");
+    }
+
+    #[test]
+    fn injected_drop_loses_the_message_but_not_the_kernel() {
+        use sysfault::{FaultPlan, Schedule, SharedInjector};
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        k.set_injector(SharedInjector::new(
+            FaultPlan::new(1).with_site(SITE_IPC_DROP, Schedule::OneShotAt(1)),
+        ));
+        k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap();
+        let r = k
+            .syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[7]) })
+            .unwrap();
+        assert_eq!(r, SysResult::Delivered, "sender believes the send worked");
+        assert!(k.take_delivered(server).is_none(), "receiver got nothing");
+        assert!(!k.is_ready(server), "receiver still waiting");
+        assert_eq!(k.fault_stats().dropped_messages, 1);
+        // Second send is not dropped (one-shot) and reaches the receiver.
+        k.syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[8]) }).unwrap();
+        assert_eq!(k.take_delivered(server).unwrap().payload, vec![8]);
+    }
+
+    #[test]
+    fn injected_oom_sheds_newest_non_essential_process() {
+        use sysfault::{FaultPlan, Schedule, SharedInjector};
+        let mut k = Kernel::with_default_heap();
+        let worker = k.spawn_process();
+        let expendable = k.spawn_process();
+        k.set_essential(worker, true).unwrap();
+        let SysResult::Slot(_) = k.syscall(expendable, Syscall::AllocPage { words: 8 }).unwrap()
+        else {
+            panic!("expected slot")
+        };
+        k.set_injector(SharedInjector::new(
+            FaultPlan::new(1).with_site(SITE_KERNEL_OOM, Schedule::OneShotAt(1)),
+        ));
+        // The injected OOM triggers shedding; the expendable process dies,
+        // its page is freed, and the retry succeeds.
+        let r = k.syscall(worker, Syscall::AllocPage { words: 8 });
+        assert!(matches!(r, Ok(SysResult::Slot(_))), "got {r:?}");
+        assert_eq!(k.fault_stats().shed_processes, 1);
+        assert_eq!(
+            k.syscall(expendable, Syscall::Yield).unwrap_err(),
+            KernelError::ProcessDead(expendable)
+        );
+    }
+
+    #[test]
+    fn real_heap_exhaustion_sheds_then_fails_typed() {
+        // A tiny heap: the first big page fits, the second cannot until the
+        // first owner is shed; with nothing expendable left, the failure is
+        // the typed error, never a panic.
+        let mut k = Kernel::new(Box::new(FreeListHeap::new(4096)));
+        let hog = k.spawn_process();
+        let worker = k.spawn_process();
+        k.set_essential(worker, true).unwrap();
+        k.syscall(hog, Syscall::AllocPage { words: 300 }).unwrap();
+        let r = k.syscall(worker, Syscall::AllocPage { words: 300 });
+        assert!(matches!(r, Ok(SysResult::Slot(_))), "shedding should free room: {r:?}");
+        assert_eq!(k.fault_stats().shed_processes, 1);
+        let r = k.syscall(worker, Syscall::AllocPage { words: 10_000 });
+        assert_eq!(r.unwrap_err(), KernelError::OutOfMemory);
+    }
+
+    #[test]
+    fn resilient_ping_pong_matches_plain_when_fault_free() {
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        let reply_server = k.create_endpoint(server).unwrap();
+        let reply_client = k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+        let out = k
+            .ping_pong_resilient(
+                client,
+                server,
+                (ep_server, ep_client),
+                (reply_server, reply_client),
+                8,
+                5_000,
+                4,
+            )
+            .unwrap();
+        assert_eq!(out.retries, 0);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn resilient_ping_pong_recovers_from_dropped_request() {
+        use sysfault::{FaultPlan, Schedule, SharedInjector};
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        let reply_server = k.create_endpoint(server).unwrap();
+        let reply_client = k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+        k.set_injector(SharedInjector::new(
+            FaultPlan::new(1).with_site(SITE_IPC_DROP, Schedule::OneShotAt(1)),
+        ));
+        let out = k
+            .ping_pong_resilient(
+                client,
+                server,
+                (ep_server, ep_client),
+                (reply_server, reply_client),
+                8,
+                2_000,
+                4,
+            )
+            .unwrap();
+        assert_eq!(out.retries, 1, "one attempt lost to the drop");
+        assert!(k.fault_stats().watchdog_reaps >= 1, "recovery went through the watchdog");
+    }
+
+    #[test]
+    fn resilient_ping_pong_gives_up_with_typed_timeout() {
+        use sysfault::{FaultPlan, Schedule, SharedInjector};
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        let reply_server = k.create_endpoint(server).unwrap();
+        let reply_client = k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+        // Every send is dropped: no retry budget can succeed.
+        k.set_injector(SharedInjector::new(
+            FaultPlan::new(1).with_site(SITE_IPC_DROP, Schedule::EveryNth(1)),
+        ));
+        let err = k
+            .ping_pong_resilient(
+                client,
+                server,
+                (ep_server, ep_client),
+                (reply_server, reply_client),
+                8,
+                1_000,
+                3,
+            )
+            .unwrap_err();
+        assert_eq!(err, KernelError::TimedOut(client));
+    }
+
+    #[test]
+    fn fault_campaign_is_replayable_from_its_seed() {
+        use sysfault::{FaultPlan, Schedule, SharedInjector};
+        let plan = FaultPlan::new(0xFEED)
+            .with_site(SITE_IPC_DROP, Schedule::Probability(0.2))
+            .with_site(SITE_KERNEL_OOM, Schedule::Probability(0.05));
+        let run = |plan: FaultPlan| {
+            let (mut k, server, client, ep_server, ep_client) = setup();
+            let reply_server = k.create_endpoint(server).unwrap();
+            let reply_client =
+                k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+            let inj = SharedInjector::new(plan);
+            k.set_injector(inj.clone());
+            let mut outcomes = Vec::new();
+            for _ in 0..50 {
+                outcomes.push(
+                    k.ping_pong_resilient(
+                        client,
+                        server,
+                        (ep_server, ep_client),
+                        (reply_server, reply_client),
+                        4,
+                        1_500,
+                        3,
+                    )
+                    .map(|o| o.retries)
+                    .map_err(|_| ()),
+                );
+            }
+            (outcomes, inj.digest())
+        };
+        let (a_out, a_digest) = run(plan.clone());
+        let (b_out, b_digest) = run(plan);
+        assert_eq!(a_out, b_out, "same seed, same outcomes");
+        assert_eq!(a_digest, b_digest, "same seed, same fault log digest");
     }
 
     #[test]

@@ -99,6 +99,13 @@ pub enum KernelError {
     ProcessDead(Pid),
     /// C-space is full.
     CapSpaceFull,
+    /// A blocked IPC exceeded its deadline and was reaped by the watchdog,
+    /// or a retried operation exhausted its retry budget.
+    TimedOut(Pid),
+    /// Kernel heap bookkeeping failed mid-operation (a stored message's
+    /// backing object vanished). Always a kernel bug, never user error —
+    /// but reported, not panicked.
+    HeapCorruption,
 }
 
 impl fmt::Display for KernelError {
@@ -121,6 +128,8 @@ impl fmt::Display for KernelError {
             KernelError::ProcessBlocked(p) => write!(f, "process {p} is blocked"),
             KernelError::ProcessDead(p) => write!(f, "process {p} has exited"),
             KernelError::CapSpaceFull => write!(f, "capability space is full"),
+            KernelError::TimedOut(p) => write!(f, "process {p} timed out"),
+            KernelError::HeapCorruption => write!(f, "kernel heap bookkeeping corrupted"),
         }
     }
 }

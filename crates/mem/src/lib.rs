@@ -38,6 +38,7 @@
 //! ```
 
 pub mod arena;
+pub mod faulty;
 pub mod freelist;
 pub mod generational;
 pub mod marksweep;
@@ -130,6 +131,21 @@ pub trait Manager {
     ///
     /// Returns [`MemError::OutOfMemory`] if space cannot be found.
     fn alloc(&mut self, nrefs: usize, nwords: usize) -> Result<Handle, MemError>;
+
+    /// Fallible allocation entry point for callers with a recovery path.
+    ///
+    /// Semantically identical to [`Manager::alloc`] for the plain managers;
+    /// instrumented managers ([`faulty::FaultyHeap`]) additionally consult
+    /// their fault plan here, so code that degrades gracefully under OOM
+    /// calls `try_alloc` and code that treats OOM as fatal calls `alloc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] if space cannot be found or an
+    /// injected allocation fault fires.
+    fn try_alloc(&mut self, nrefs: usize, nwords: usize) -> Result<Handle, MemError> {
+        self.alloc(nrefs, nwords)
+    }
 
     /// Explicitly frees an object (manual managers only).
     ///

@@ -55,11 +55,11 @@ mod tests {
     #[test]
     fn e5_proves_all_real_invariants_and_refutes_all_bugs() {
         let t = run(Scale::Quick);
-        assert_eq!(t.rows.len(), 10);
-        for row in &t.rows[..5] {
+        assert_eq!(t.rows.len(), 12);
+        for row in &t.rows[..6] {
             assert_eq!(row[2], "proved", "{} must prove", row[0]);
         }
-        for row in &t.rows[5..] {
+        for row in &t.rows[6..] {
             assert_eq!(row[2], "refuted", "{} must be refuted", row[0]);
             assert_ne!(row[4], "-", "{} must carry a counterexample", row[0]);
         }

@@ -5,9 +5,9 @@
 use plos06::experiments::{self, Scale};
 
 #[test]
-fn all_eight_experiments_produce_tables() {
+fn all_nine_experiments_produce_tables() {
     let tables = experiments::run_all(Scale::Quick);
-    assert_eq!(tables.len(), 8);
+    assert_eq!(tables.len(), 9);
     for t in &tables {
         assert!(!t.rows.is_empty(), "{} has no rows", t.title);
         assert!(!t.headers.is_empty());
@@ -39,8 +39,8 @@ fn e5_proofs_and_refutations_land_as_designed() {
     let t = experiments::e5_verify::run(Scale::Quick);
     let proved = t.rows.iter().filter(|r| r[2] == "proved").count();
     let refuted = t.rows.iter().filter(|r| r[2] == "refuted").count();
-    assert_eq!(proved, 5);
-    assert_eq!(refuted, 5);
+    assert_eq!(proved, 6);
+    assert_eq!(refuted, 6);
 }
 
 #[test]
@@ -59,6 +59,20 @@ fn e7_only_the_broken_bank_may_show_anomalies() {
             assert_eq!(row[4], "0", "{} exposed intermediate state", row[0]);
         }
     }
+}
+
+#[test]
+fn e9_campaigns_stay_available_replayable_and_verified() {
+    let t = experiments::e9_faults::run(Scale::Quick);
+    let avail = t.headers.iter().position(|h| h == "RT avail").unwrap();
+    let replay = t.headers.iter().position(|h| h == "replay").unwrap();
+    let inv = t.headers.iter().position(|h| h == "invariants").unwrap();
+    for row in &t.rows {
+        assert_ne!(row[avail], "0.0%", "{} fault rate lost all availability", row[0]);
+        assert!(row[replay].ends_with('✓'), "{} campaign did not replay", row[0]);
+        assert_eq!(row[inv], "6/6", "invariants regressed at {}", row[0]);
+    }
+    assert_eq!(t.rows[0][avail], "100.0%", "fault-free baseline must be perfect");
 }
 
 #[test]

@@ -1,0 +1,77 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Inclusive-exclusive length bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { min: *r.start(), max: r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::new(4);
+        let s = vec(any::<u8>(), 2..9);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vecs_work() {
+        let mut rng = TestRng::new(8);
+        let s = vec(vec(0usize..4, 1..4), 1..4);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|inner| !inner.is_empty() && inner.iter().all(|&x| x < 4)));
+    }
+}

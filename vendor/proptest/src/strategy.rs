@@ -1,0 +1,405 @@
+//! Generator-based strategies: the value-producing half of proptest.
+//!
+//! A [`Strategy`] here is simply a deterministic generator: given a
+//! [`TestRng`] it produces one value. Combinators mirror the real crate's
+//! names so call sites compile unchanged.
+
+use std::sync::Arc;
+
+/// Deterministic SplitMix64 RNG threaded through strategy generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x6a09_e667_f3bc_c909 }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. The workspace-facing subset of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, regenerating (bounded).
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence: whence.into(), pred }
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for the
+    /// previous depth level and returns the composite level. `depth` bounds
+    /// nesting; the size-budget parameters of real proptest are accepted and
+    /// ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(ArcStrategy<Self::Value>) -> R,
+    {
+        let mut level = self.arc();
+        for _ in 0..depth {
+            let deeper = recurse(level.clone()).arc();
+            level = Union::new(vec![(1, level), (2, deeper)]).arc();
+        }
+        level
+    }
+
+    /// Type-erases the strategy behind an `Arc` (the stand-in for
+    /// `BoxedStrategy`).
+    fn arc(self) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        ArcStrategy { gen_fn: Arc::new(move |rng| self.generate(rng)) }
+    }
+}
+
+/// Cloneable, type-erased strategy handle.
+pub struct ArcStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    gen_fn: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for ArcStrategy<T> {
+    fn clone(&self) -> Self {
+        ArcStrategy { gen_fn: Arc::clone(&self.gen_fn) }
+    }
+}
+
+impl<T> Strategy for ArcStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+    }
+}
+
+/// Weighted union of same-typed strategies (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, ArcStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; every weight must be nonzero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, ArcStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (w, arm) in &self.arms {
+            if pick < u64::from(*w) {
+                return arm.generate(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start);
+                let offset = rng.below(span as u64);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                {
+                    self.start.wrapping_add(offset as $t)
+                }
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = end.abs_diff(start) as u64;
+                let offset =
+                    if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                {
+                    start.wrapping_add(offset as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Regex-lite string strategy: `&'static str` patterns made of character
+/// classes with optional `{m}` / `{m,n}` repetition (e.g. `"[a-z0-9]{1,5}"`)
+/// plus literal characters. This covers the patterns used in-tree; anything
+/// fancier panics loudly rather than misgenerating.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let reps = if atom.max == atom.min {
+                atom.min
+            } else {
+                atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+            };
+            for _ in 0..reps {
+                let idx = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "bad class range in {pattern:?}");
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.' | '\\'),
+                "unsupported regex feature {c:?} in pattern {pattern:?} (regex-lite stub)"
+            );
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat lower bound"),
+                    hi.trim().parse().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition in pattern {pattern:?}");
+        assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+        atoms.push(PatternAtom { chars: set, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let v = (0u32..8).generate(&mut rng);
+            assert!(v < 8);
+            let w = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&w));
+            let x = (1u8..=16).generate(&mut rng);
+            assert!((1..=16).contains(&x));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,5}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 6, "bad {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let t = "[a-z]{1,10}".generate(&mut rng);
+            assert!((1..=10).contains(&t.len()));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = TestRng::new(1);
+        let u = Union::new(vec![(1, Just(0u8).arc()), (3, Just(1u8).arc())]);
+        let ones = (0..4_000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!((2_600..3_400).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn map_filter_recursive_compose() {
+        let mut rng = TestRng::new(5);
+        let s = (0u32..100).prop_map(|n| n * 2).prop_filter("even under 100", |&n| n < 100);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 100);
+        }
+        let nested = (0i32..10)
+            .prop_map(|n| n.to_string())
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| format!("({a} {b})"))
+            });
+        let sample = nested.generate(&mut rng);
+        assert!(!sample.is_empty());
+    }
+}

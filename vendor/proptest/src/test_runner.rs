@@ -1,0 +1,96 @@
+//! The case-running half of the harness: configuration, seeding, and the
+//! loop behind the `proptest!` macro.
+
+use crate::strategy::TestRng;
+
+/// Subset of `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline CI quick while
+        // still exercising a meaningful sample. Override with PROPTEST_CASES.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = s.trim().parse::<u64>() {
+            return n;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` for each configured case index with a per-case deterministic
+/// RNG. Panics (failing the enclosing `#[test]`) on the first case returning
+/// `Err`, echoing the seed and case index needed to replay.
+///
+/// # Panics
+///
+/// Panics when a case fails, with a replayable seed in the message.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(config.cases);
+    let seed = base_seed(test_name);
+    for i in 0..cases {
+        let mut rng = TestRng::new(seed ^ (u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        if let Err(msg) = case(&mut rng) {
+            panic!(
+                "property {test_name} failed at case {i}/{cases}: {msg}\n\
+                 replay with PROPTEST_SEED={seed} (case index {i})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run_cases(&ProptestConfig::with_cases(10), "demo", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_seed() {
+        run_cases(&ProptestConfig::with_cases(5), "demo_fail", |_| Err("boom".into()));
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(base_seed("alpha"), base_seed("alpha"));
+        assert_ne!(base_seed("alpha"), base_seed("beta"));
+    }
+}
