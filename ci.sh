@@ -5,3 +5,10 @@ set -eu
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Data-plane smoke: the end-to-end example (asserts conservation and the
+# canonicalization fix) and the E10 experiment at quick scale. router_bench
+# --quick never rewrites the recorded BENCH_router.json.
+cargo run --release --example packet_router
+cargo run --release --example experiments -- e10
+cargo run --release --example router_bench -- --quick

@@ -185,7 +185,9 @@ impl<T> Sender<T> {
     /// [`SendTimeoutError::Disconnected`] if every receiver is gone; both
     /// return the message.
     pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
-        let deadline = Instant::now() + timeout;
+        // A timeout too large to represent as an Instant (e.g. Duration::MAX)
+        // means "wait forever" — it must not panic the sender.
+        let deadline = Instant::now().checked_add(timeout);
         let mut state = self.shared.queue.lock().expect("channel poisoned");
         loop {
             if state.receivers == 0 {
@@ -193,6 +195,10 @@ impl<T> Sender<T> {
             }
             match self.shared.capacity {
                 Some(cap) if state.items.len() >= cap => {
+                    let Some(deadline) = deadline else {
+                        state = self.shared.not_full.wait(state).expect("channel poisoned");
+                        continue;
+                    };
                     let Some(left) = deadline.checked_duration_since(Instant::now()) else {
                         return Err(SendTimeoutError::Timeout(value));
                     };
@@ -286,7 +292,9 @@ impl<T> Receiver<T> {
     /// [`RecvTimeoutError::Disconnected`] once the channel is empty and all
     /// senders are gone.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
+        // As in [`Sender::send_timeout`]: an unrepresentable deadline means
+        // "wait forever", not an `Instant` addition panic.
+        let deadline = Instant::now().checked_add(timeout);
         let mut state = self.shared.queue.lock().expect("channel poisoned");
         loop {
             if let Some(v) = state.items.pop_front() {
@@ -297,6 +305,10 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
+            let Some(deadline) = deadline else {
+                state = self.shared.not_empty.wait(state).expect("channel poisoned");
+                continue;
+            };
             let Some(left) = deadline.checked_duration_since(Instant::now()) else {
                 return Err(RecvTimeoutError::Timeout);
             };
@@ -540,6 +552,40 @@ mod tests {
         let t = {
             let tx = tx.clone();
             thread::spawn(move || tx.send_timeout(2, Duration::from_millis(500)))
+        };
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(t.join().unwrap(), Ok(()));
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_with_huge_timeout_waits_instead_of_panicking() {
+        // Regression: `Instant::now() + Duration::MAX` used to panic; an
+        // unrepresentable deadline must behave as wait-forever.
+        let (tx, rx) = channel::<u8>();
+        let h = thread::spawn(move || rx.recv_timeout(Duration::MAX));
+        thread::sleep(Duration::from_millis(20));
+        tx.send(9).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn recv_timeout_with_huge_timeout_still_sees_disconnect() {
+        let (tx, rx) = channel::<u8>();
+        let h = thread::spawn(move || rx.recv_timeout(Duration::MAX));
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn send_timeout_with_huge_timeout_waits_instead_of_panicking() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send_timeout(2, Duration::MAX))
         };
         thread::sleep(Duration::from_millis(20));
         assert_eq!(rx.recv().unwrap(), 1);

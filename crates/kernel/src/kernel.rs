@@ -452,7 +452,9 @@ impl Kernel {
         self.watchdog_sweep();
         for _ in 0..self.run_queue.len() {
             let pid = self.run_queue.pop_front()?;
-            if self.processes[pid.0 as usize].state == ProcState::Ready {
+            // Checked lookup: a reaped or bogus pid silently drops off the
+            // queue instead of indexing out of bounds.
+            if self.is_ready(pid) {
                 self.run_queue.push_back(pid);
                 return Some(pid);
             }
@@ -462,7 +464,7 @@ impl Kernel {
     }
 
     fn wake(&mut self, pid: Pid) {
-        let proc = &mut self.processes[pid.0 as usize];
+        let Ok(proc) = self.process_mut(pid) else { return };
         if proc.state != ProcState::Dead {
             proc.state = ProcState::Ready;
             self.run_queue.push_back(pid);
@@ -495,20 +497,28 @@ impl Kernel {
     /// Cancels `pid`'s blocked IPC (if any): removes it from endpoint
     /// queues, frees its stored message, and wakes it with `timed_out` set.
     fn cancel_ipc(&mut self, pid: Pid) {
-        match self.processes[pid.0 as usize].state {
+        let Ok(state) = self.process(pid).map(|p| p.state) else { return };
+        match state {
             ProcState::BlockedSend(ep) => {
-                let queue = &mut self.endpoints[ep as usize].senders;
+                let Some(queue) = self.endpoints.get_mut(ep as usize).map(|e| &mut e.senders)
+                else {
+                    return;
+                };
                 if let Some(at) = queue.iter().position(|s| s.sender == pid) {
                     let stored = queue.remove(at).expect("position is in range");
                     self.release_stored(&stored);
                 }
             }
             ProcState::BlockedRecv(ep) => {
-                self.endpoints[ep as usize].receivers.retain(|&p| p != pid);
+                if let Some(endpoint) = self.endpoints.get_mut(ep as usize) {
+                    endpoint.receivers.retain(|&p| p != pid);
+                }
             }
             ProcState::Ready | ProcState::Dead => return,
         }
-        self.processes[pid.0 as usize].timed_out = true;
+        if let Ok(proc) = self.process_mut(pid) {
+            proc.timed_out = true;
+        }
         self.wake(pid);
     }
 
@@ -539,14 +549,14 @@ impl Kernel {
     /// returns its pid. Returns `None` when nothing can be shed — at which
     /// point the allocation failure is surfaced as a typed error.
     fn shed_for_memory(&mut self, protect: Pid) -> Option<Pid> {
-        let victim = (0..self.processes.len())
+        let victim = self
+            .processes
+            .iter()
+            .enumerate()
             .rev()
-            .map(|i| Pid(u32::try_from(i).expect("pids fit u32")))
-            .find(|&pid| {
-                pid != protect
-                    && !self.processes[pid.0 as usize].essential
-                    && self.processes[pid.0 as usize].state != ProcState::Dead
-            })?;
+            .map(|(i, p)| (Pid(u32::try_from(i).expect("pids fit u32")), p))
+            .find(|&(pid, p)| pid != protect && !p.essential && p.state != ProcState::Dead)
+            .map(|(pid, _)| pid)?;
         self.cancel_ipc(victim);
         for i in 0..self.pages.len() {
             let page = self.pages[i];
@@ -557,7 +567,9 @@ impl Kernel {
                 self.objects[page.obj.0 as usize].alive = false;
             }
         }
-        self.processes[victim.0 as usize].state = ProcState::Dead;
+        if let Ok(proc) = self.process_mut(victim) {
+            proc.state = ProcState::Dead;
+        }
         self.fault_stats.shed_processes += 1;
         Some(victim)
     }
@@ -620,14 +632,14 @@ impl Kernel {
             // Transferred capability lands in the receiver's c-space.
             let _ = self.install_cap(receiver, cap);
         }
-        self.processes[receiver.0 as usize].delivered.push_back(msg);
+        self.process_mut(receiver)?.delivered.push_back(msg);
         self.cycles.charge(cycles::CONTEXT_SWITCH);
         Ok(())
     }
 
     fn block(&mut self, pid: Pid, state: ProcState) {
         let now = self.cycles.total();
-        let proc = &mut self.processes[pid.0 as usize];
+        let Ok(proc) = self.process_mut(pid) else { return };
         proc.state = state;
         proc.blocked_at = now;
     }
@@ -758,7 +770,7 @@ impl Kernel {
                 Ok(SysResult::Done)
             }
             Syscall::Exit => {
-                self.processes[pid.0 as usize].state = ProcState::Dead;
+                self.process_mut(pid)?.state = ProcState::Dead;
                 Ok(SysResult::Done)
             }
         }
@@ -796,7 +808,7 @@ impl Kernel {
     /// blocked — normally because the watchdog reaped its overdue IPC. Falls
     /// back to a direct cancel if the process has no deadline set.
     fn ride_out_timeout(&mut self, pid: Pid) {
-        let deadline = self.processes[pid.0 as usize].deadline.unwrap_or(0);
+        let deadline = self.process(pid).ok().and_then(|p| p.deadline).unwrap_or(0);
         // Each schedule() charges SCHEDULE cycles, so this many sweeps is
         // guaranteed to push `now - blocked_at` past the deadline.
         let sweeps = deadline / cycles::SCHEDULE + 2;
@@ -1085,6 +1097,59 @@ mod tests {
         let p = k.spawn_process();
         k.syscall(p, Syscall::Exit).unwrap();
         assert_eq!(k.syscall(p, Syscall::Yield).unwrap_err(), KernelError::ProcessDead(p));
+    }
+
+    #[test]
+    fn syscalls_against_a_reaped_pid_yield_typed_errors() {
+        // Regression: kernel hot paths used to index `processes[pid]`
+        // directly; a dead or never-spawned pid must surface as a typed
+        // error on every public entry point, never a panic.
+        let (mut k, server, client, ep_server, ep_client) = setup();
+        k.syscall(client, Syscall::Exit).unwrap();
+        assert_eq!(
+            k.syscall(client, Syscall::Send { cap: ep_client, msg: Message::empty() })
+                .unwrap_err(),
+            KernelError::ProcessDead(client)
+        );
+        // A pid the kernel never issued: out of bounds for the process table.
+        let ghost = Pid(999);
+        assert_eq!(k.syscall(ghost, Syscall::Yield).unwrap_err(), KernelError::NoSuchProcess(ghost));
+        assert_eq!(k.poll_ipc(ghost).unwrap_err(), KernelError::NoSuchProcess(ghost));
+        assert_eq!(
+            k.set_ipc_deadline(ghost, Some(100)).unwrap_err(),
+            KernelError::NoSuchProcess(ghost)
+        );
+        assert_eq!(k.set_essential(ghost, true).unwrap_err(), KernelError::NoSuchProcess(ghost));
+        assert!(k.take_delivered(ghost).is_none());
+        assert!(!k.is_ready(ghost));
+        assert!(k.authority(ghost).is_empty());
+        // The resilient round-trip driver used to panic in ride_out_timeout
+        // when handed a ghost pid; now it reports the bad pid.
+        let reply_server = k.create_endpoint(server).unwrap();
+        let err = k
+            .ping_pong_resilient(
+                ghost,
+                server,
+                (ep_server, ep_client),
+                (reply_server, reply_server),
+                4,
+                500,
+                1,
+            )
+            .unwrap_err();
+        assert_eq!(err, KernelError::NoSuchProcess(ghost));
+    }
+
+    #[test]
+    fn scheduler_skips_dead_pids_without_panicking() {
+        let mut k = Kernel::with_default_heap();
+        let a = k.spawn_process();
+        let b = k.spawn_process();
+        k.syscall(a, Syscall::Exit).unwrap();
+        // The dead pid is still in the run queue; scheduling must drop it.
+        for _ in 0..4 {
+            assert_eq!(k.schedule(), Some(b));
+        }
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! The data-plane bench harness: the ROADMAP's first recorded perf
+//! trajectory.
+//!
+//! Two measurements, both deterministic in the sweep seed:
+//!
+//! * **lookup** — ns/lookup for the linear-scan reference vs the binary
+//!   trie over the same ≥64-route table and address stream;
+//! * **sweep** — end-to-end pipeline throughput (packets/sec) and
+//!   per-packet p50/p99 latency across worker counts and batch sizes.
+//!
+//! [`BenchReport::to_json`] renders the record `BENCH_router.json` at the
+//! repo root is built from (`cargo run --release --example router_bench`),
+//! so later PRs have a number to beat.
+
+use crate::lpm::{LinearTable, TrieTable};
+use crate::router::{run_stream, PortId, RouterConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+use sysrepr::packet::PacketBuilder;
+
+/// Number of next-hop ports the synthetic route set spreads over.
+pub const PORTS: usize = 4;
+
+/// Port names, indexed by [`PortId`].
+pub const PORT_NAMES: [&str; PORTS] = ["core-a", "edge-b", "rack-c", "default-gw"];
+
+/// Sweep sizing.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Packets per (workers × batch) configuration.
+    pub packets: usize,
+    /// Routes to install (plus the default route).
+    pub routes: usize,
+    /// UDP payload bytes per packet.
+    pub payload_len: usize,
+    /// Corrupt every Nth packet's checksum (0 = never).
+    pub corrupt_every: usize,
+    /// Worker counts to sweep.
+    pub worker_counts: Vec<usize>,
+    /// Batch sizes to sweep.
+    pub batch_sizes: Vec<usize>,
+    /// Bounded-queue depth (batches) per worker.
+    pub queue_depth: usize,
+    /// Total lookups for the linear-vs-trie microbench.
+    pub lookups: usize,
+    /// Seed for the synthetic stream.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// CI-sized sweep (fractions of a second).
+    #[must_use]
+    pub fn quick() -> Self {
+        SweepConfig {
+            packets: 20_000,
+            routes: 64,
+            payload_len: 64,
+            corrupt_every: 500,
+            worker_counts: vec![1, 2, 4],
+            batch_sizes: vec![64],
+            queue_depth: 8,
+            lookups: 200_000,
+            seed: 0x5EED_0E10,
+        }
+    }
+
+    /// Recorded-trajectory sweep (a few seconds).
+    #[must_use]
+    pub fn full() -> Self {
+        SweepConfig {
+            packets: 200_000,
+            routes: 256,
+            payload_len: 64,
+            corrupt_every: 500,
+            worker_counts: vec![1, 2, 4],
+            batch_sizes: vec![16, 64, 256],
+            queue_depth: 8,
+            lookups: 2_000_000,
+            seed: 0x5EED_0E10,
+        }
+    }
+}
+
+/// Linear-vs-trie lookup microbench result.
+#[derive(Debug, Clone, Copy)]
+pub struct LookupPoint {
+    /// Routes actually installed (after canonical dedup).
+    pub routes: usize,
+    /// Lookups timed per table.
+    pub lookups: usize,
+    /// Mean ns/lookup for the linear scan.
+    pub linear_ns: f64,
+    /// Mean ns/lookup for the trie.
+    pub trie_ns: f64,
+}
+
+impl LookupPoint {
+    /// linear / trie: how many times faster the trie is.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.trie_ns <= 0.0 {
+            0.0
+        } else {
+            self.linear_ns / self.trie_ns
+        }
+    }
+}
+
+/// One pipeline sweep configuration's measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Worker threads.
+    pub workers: usize,
+    /// Frames per batch.
+    pub batch_size: usize,
+    /// Wall-clock packets/sec over the whole stream.
+    pub pps: f64,
+    /// Median per-packet latency (submit → batch completion), ns.
+    pub p50_ns: u64,
+    /// 99th-percentile per-packet latency, ns.
+    pub p99_ns: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped (all reasons).
+    pub dropped: u64,
+}
+
+/// The full bench record.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Cores visible to the process (scaling context for the sweep).
+    pub host_cores: usize,
+    /// Packets per sweep configuration.
+    pub packets: usize,
+    /// The lookup microbench.
+    pub lookup: LookupPoint,
+    /// The pipeline sweep, in (workers, batch) order.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// Deterministic route set: a default route plus `n` overlapping /8, /16,
+/// and /24 prefixes under and around 10.0.0.0, spread over [`PORTS`] ports.
+#[must_use]
+pub fn route_set(n: usize) -> Vec<(u32, u8, PortId)> {
+    let mut routes: Vec<(u32, u8, PortId)> = vec![(0, 0, 3)]; // default-gw
+    for i in 0..n {
+        let j = u32::try_from(i / 4).expect("route counts are small");
+        let port = PortId::try_from(i % (PORTS - 1)).expect("fits");
+        // Each arm is injective in j and the arms' keys are disjoint, so the
+        // set holds exactly n routes; the /16s cover the low /24s and the
+        // default route covers everything, giving real overlap.
+        let (prefix, len) = match i % 4 {
+            0 => ((10 << 24) | ((j % 16) << 16) | ((j / 16) << 8), 24),
+            1 => ((10 << 24) | ((j % 200) << 16), 16),
+            2 => ((10 << 24) | ((j % 16) << 16) | (((j / 16) + 100) << 8), 24),
+            _ => ((20 + (j % 200)) << 24, 8),
+        };
+        routes.push((prefix, len, port));
+    }
+    routes
+}
+
+/// Builds both tables from the same route set; returns (trie, linear).
+#[must_use]
+pub fn build_tables(n: usize) -> (TrieTable<PortId>, LinearTable<PortId>) {
+    let mut trie = TrieTable::new();
+    let mut linear = LinearTable::new();
+    for (prefix, len, port) in route_set(n) {
+        trie.insert(prefix, len, port).expect("generated routes are valid");
+        linear.insert(prefix, len, port).expect("generated routes are valid");
+    }
+    (trie, linear)
+}
+
+/// A deterministic destination-address stream: 80 % drawn inside installed
+/// prefixes (host bits randomized), 20 % anywhere (default-route traffic).
+#[must_use]
+pub fn address_stream(n: usize, routes: usize, seed: u64) -> Vec<u32> {
+    let set = route_set(routes);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_range(0u32..100) < 80 {
+                let (prefix, len, _) = set[rng.gen_range(0..set.len())];
+                let host_mask = !crate::lpm::mask(len);
+                prefix | (rng.gen_range(0u32..=u32::MAX) & host_mask)
+            } else {
+                rng.gen_range(0u32..=u32::MAX)
+            }
+        })
+        .collect()
+}
+
+/// Builds the synthetic frame stream the sweep routes.
+#[must_use]
+pub fn frame_stream(cfg: &SweepConfig) -> Vec<Vec<u8>> {
+    let addrs = address_stream(cfg.packets, cfg.routes, cfg.seed);
+    let payload = vec![0xAA_u8; cfg.payload_len];
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let mut b = PacketBuilder::udp()
+                .src_ip([172, 16, (i % 8) as u8, (i % 251) as u8])
+                .dst_ip(addr.to_be_bytes())
+                .dst_port(4789)
+                .payload(&payload);
+            if cfg.corrupt_every != 0 && i % cfg.corrupt_every == 0 {
+                b = b.corrupt_checksum();
+            }
+            b.build()
+        })
+        .collect()
+}
+
+/// Times `lookups` lookups against both tables over the same addresses.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn lookup_comparison(routes: usize, lookups: usize, seed: u64) -> LookupPoint {
+    let (trie, linear) = build_tables(routes);
+    let addrs = address_stream(lookups.clamp(1, 65_536), routes, seed ^ 0xF00D);
+    let time_table = |lookup: &dyn Fn(u32) -> Option<PortId>| -> f64 {
+        let mut acc = 0u64;
+        let mut done = 0usize;
+        let t0 = Instant::now();
+        while done < lookups {
+            for &a in &addrs {
+                if let Some(hop) = lookup(a) {
+                    acc = acc.wrapping_add(u64::from(hop));
+                }
+            }
+            done += addrs.len();
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_nanos() as f64 / done as f64
+    };
+    LookupPoint {
+        routes: trie.len(),
+        lookups,
+        linear_ns: time_table(&|a| linear.lookup(a)),
+        trie_ns: time_table(&|a| trie.lookup(a)),
+    }
+}
+
+/// Runs the full sweep: lookup microbench plus the (workers × batch)
+/// pipeline grid.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn run_sweep(cfg: &SweepConfig) -> BenchReport {
+    let lookup = lookup_comparison(cfg.routes, cfg.lookups, cfg.seed);
+    let frames = frame_stream(cfg);
+    let mut sweep = Vec::new();
+    for &workers in &cfg.worker_counts {
+        for &batch_size in &cfg.batch_sizes {
+            let (trie, _) = build_tables(cfg.routes);
+            let rc = RouterConfig { workers, batch_size, queue_depth: cfg.queue_depth };
+            let (report, elapsed) = run_stream(trie, PORTS, rc, frames.clone());
+            let secs = elapsed.as_secs_f64().max(1e-9);
+            sweep.push(SweepPoint {
+                workers,
+                batch_size,
+                pps: report.packets() as f64 / secs,
+                p50_ns: report.latency_ns(0.50),
+                p99_ns: report.latency_ns(0.99),
+                forwarded: report.stats.totals.forwarded,
+                dropped: report.stats.totals.dropped_total(),
+            });
+        }
+    }
+    BenchReport {
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        packets: cfg.packets,
+        lookup,
+        sweep,
+    }
+}
+
+impl BenchReport {
+    /// Renders the report as the `BENCH_router.json` record (hand-rolled:
+    /// the container has no serde, and the schema is flat).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"router\",");
+        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        let _ = writeln!(s, "  \"packets_per_config\": {},", self.packets);
+        let _ = writeln!(s, "  \"lookup\": {{");
+        let _ = writeln!(s, "    \"routes\": {},", self.lookup.routes);
+        let _ = writeln!(s, "    \"lookups\": {},", self.lookup.lookups);
+        let _ = writeln!(s, "    \"linear_ns_per_lookup\": {:.2},", self.lookup.linear_ns);
+        let _ = writeln!(s, "    \"trie_ns_per_lookup\": {:.2},", self.lookup.trie_ns);
+        let _ = writeln!(s, "    \"trie_speedup\": {:.2}", self.lookup.speedup());
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"sweep\": [");
+        for (i, p) in self.sweep.iter().enumerate() {
+            let comma = if i + 1 == self.sweep.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"workers\": {}, \"batch_size\": {}, \"pps\": {:.0}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"forwarded\": {}, \"dropped\": {}}}{comma}",
+                p.workers, p.batch_size, p.pps, p.p50_ns, p.p99_ns, p.forwarded, p.dropped
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_set_is_deterministic_and_overlapping() {
+        let a = route_set(64);
+        let b = route_set(64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 65, "64 routes plus the default");
+        assert!(a.iter().any(|&(_, len, _)| len == 8));
+        assert!(a.iter().any(|&(_, len, _)| len == 16));
+        assert!(a.iter().any(|&(_, len, _)| len == 24));
+    }
+
+    #[test]
+    fn tables_built_from_the_set_agree_on_the_stream() {
+        let (trie, linear) = build_tables(64);
+        assert!(trie.len() >= 64, "≥64-route table after dedup, got {}", trie.len());
+        for addr in address_stream(2_000, 64, 42) {
+            assert_eq!(trie.lookup(addr), linear.lookup(addr), "addr {addr:#010x}");
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = BenchReport {
+            host_cores: 1,
+            packets: 10,
+            lookup: LookupPoint { routes: 65, lookups: 100, linear_ns: 120.0, trie_ns: 30.0 },
+            sweep: vec![SweepPoint {
+                workers: 1,
+                batch_size: 64,
+                pps: 1e6,
+                p50_ns: 500,
+                p99_ns: 900,
+                forwarded: 9,
+                dropped: 1,
+            }],
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"trie_speedup\": 4.00"));
+        assert!(json.contains("\"pps\": 1000000"));
+    }
+
+    #[test]
+    fn quick_sweep_runs_end_to_end() {
+        let mut cfg = SweepConfig::quick();
+        cfg.packets = 2_000;
+        cfg.lookups = 10_000;
+        cfg.worker_counts = vec![1, 2];
+        let report = run_sweep(&cfg);
+        assert_eq!(report.sweep.len(), 2);
+        for p in &report.sweep {
+            assert_eq!(p.forwarded + p.dropped, 2_000);
+            assert!(p.pps > 0.0);
+            assert!(p.p99_ns >= p.p50_ns);
+        }
+        assert!(report.lookup.linear_ns > 0.0 && report.lookup.trie_ns > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # sysnet — the packet data plane
+//!
+//! Where the paper's Challenge 3 (bit-precise representation) meets
+//! Challenge 4 (managing shared state): a forwarding plane built on the
+//! zero-copy [`sysrepr::packet`] views and the [`sysconc::channel`] bounded
+//! channels, with no code the substrate rule forbids.
+//!
+//! Four layers:
+//!
+//! * [`lpm`] — longest-prefix-match routing tables: a binary [`lpm::TrieTable`]
+//!   (the data plane's lookup structure) and the [`lpm::LinearTable`]
+//!   reference it is property-tested against. Both canonicalize prefixes on
+//!   insert (`prefix & mask`), fixing the silent never-matches bug an
+//!   unmasked entry like `10.1.2.9/24` used to cause.
+//! * [`pipeline`] — the batched parse → validate → route fast path: total
+//!   parsing (LangSec style — reject before acting), per-reason drop
+//!   counters, zero allocation per packet.
+//! * [`router`] — the sharded multi-worker router: flows hash-partition
+//!   across `std::thread` workers fed through bounded channels
+//!   (backpressure, not unbounded queues), per-worker counters aggregated
+//!   into a router-wide snapshot.
+//! * [`bench`] — the measured trajectory: sweeps worker counts and batch
+//!   sizes, reports packets/sec and p50/p99 per-packet latency, and renders
+//!   the `BENCH_router.json` record the ROADMAP's perf north star tracks.
+//!
+//! ```
+//! use sysnet::lpm::TrieTable;
+//!
+//! let mut table = TrieTable::new();
+//! table.insert(u32::from_be_bytes([10, 0, 0, 0]), 8, 1u16).unwrap();
+//! table.insert(u32::from_be_bytes([10, 1, 0, 0]), 16, 2u16).unwrap();
+//! // Longest prefix wins.
+//! assert_eq!(table.lookup(u32::from_be_bytes([10, 1, 9, 9])), Some(2));
+//! assert_eq!(table.lookup(u32::from_be_bytes([10, 7, 0, 1])), Some(1));
+//! ```
+
+pub mod bench;
+pub mod lpm;
+pub mod pipeline;
+pub mod router;
+
+pub use lpm::{LinearTable, RouteError, TrieTable};
+pub use pipeline::{process_batch, BatchStats, DropReason};
+pub use router::{RouterConfig, RouterReport, RouterStats, ShardedRouter};

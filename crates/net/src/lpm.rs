@@ -1,0 +1,330 @@
+//! Longest-prefix-match routing tables.
+//!
+//! [`TrieTable`] is the data plane's structure: a binary (unibit) trie over
+//! the address bits, O(32) per lookup independent of table size.
+//! [`LinearTable`] is the obviously-correct O(n) reference the trie is
+//! property-tested against — and the old `packet_router` example's
+//! implementation, kept as the baseline experiment E10 measures the trie's
+//! speedup over.
+//!
+//! Both tables **canonicalize on insert**: the stored prefix is
+//! `prefix & mask(len)`. The old linear scan compared `dst & mask ==
+//! prefix` against the raw prefix, so an unmasked entry like `10.1.2.9/24`
+//! could never match anything — silently. Canonicalizing makes such an
+//! entry mean `10.1.2.0/24`, which is what every real routing stack does.
+
+use std::fmt;
+
+/// Error returned for malformed route operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// IPv4 prefix lengths run 0..=32.
+    PrefixLenOutOfRange(u8),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::PrefixLenOutOfRange(len) => {
+                write!(f, "prefix length {len} out of range (0..=32)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The network mask for a prefix length (`mask(0) == 0`, `mask(32) == !0`).
+#[inline]
+#[must_use]
+pub fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len.min(32)))
+    }
+}
+
+/// Canonicalizes a `(prefix, len)` pair: masks off host bits, rejects
+/// out-of-range lengths.
+///
+/// # Errors
+///
+/// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+#[inline]
+pub fn canonical(prefix: u32, len: u8) -> Result<u32, RouteError> {
+    if len > 32 {
+        return Err(RouteError::PrefixLenOutOfRange(len));
+    }
+    Ok(prefix & mask(len))
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    children: [Option<Box<Node<T>>>; 2],
+    value: Option<T>,
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node { children: [None, None], value: None }
+    }
+}
+
+impl<T> Node<T> {
+    fn is_empty(&self) -> bool {
+        self.value.is_none() && self.children.iter().all(Option::is_none)
+    }
+}
+
+/// A binary-trie longest-prefix-match table mapping IPv4 prefixes to a
+/// next-hop value.
+///
+/// Lookups walk at most 32 nodes regardless of how many routes are
+/// installed; the linear reference walks every route. Experiment E10
+/// measures the crossover (it is well below 64 routes).
+#[derive(Debug, Default)]
+pub struct TrieTable<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T: Copy> TrieTable<T> {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        TrieTable { root: Node::default(), len: 0 }
+    }
+
+    /// Number of installed routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no routes are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Installs `prefix/len → next_hop`, canonicalizing the prefix first.
+    /// Returns the next hop it replaced, if the (canonical) route existed.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+    pub fn insert(&mut self, prefix: u32, len: u8, next_hop: T) -> Result<Option<T>, RouteError> {
+        let prefix = canonical(prefix, len)?;
+        let mut node = &mut self.root;
+        for i in 0..len {
+            let bit = usize::from((prefix >> (31 - i)) & 1 != 0);
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(next_hop);
+        if old.is_none() {
+            self.len += 1;
+        }
+        Ok(old)
+    }
+
+    /// The longest-prefix match for `addr`, if any route covers it.
+    #[must_use]
+    pub fn lookup(&self, addr: u32) -> Option<T> {
+        let mut best = self.root.value;
+        let mut node = &self.root;
+        for i in 0..32u32 {
+            let bit = usize::from((addr >> (31 - i)) & 1 != 0);
+            match &node.children[bit] {
+                Some(child) => {
+                    if child.value.is_some() {
+                        best = child.value;
+                    }
+                    node = child;
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Removes the route `prefix/len` (canonicalized), returning its next
+    /// hop if it was installed. Interior nodes left empty are pruned.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+    pub fn remove(&mut self, prefix: u32, len: u8) -> Result<Option<T>, RouteError> {
+        let prefix = canonical(prefix, len)?;
+        let removed = Self::remove_at(&mut self.root, prefix, 0, len);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        Ok(removed)
+    }
+
+    fn remove_at(node: &mut Node<T>, prefix: u32, depth: u8, len: u8) -> Option<T> {
+        if depth == len {
+            return node.value.take();
+        }
+        let bit = usize::from((prefix >> (31 - depth)) & 1 != 0);
+        let child = node.children[bit].as_deref_mut()?;
+        let removed = Self::remove_at(child, prefix, depth + 1, len);
+        if child.is_empty() {
+            node.children[bit] = None;
+        }
+        removed
+    }
+}
+
+/// The linear-scan reference table: every lookup filters all routes and
+/// keeps the longest match. Correct by inspection; O(n) by construction.
+#[derive(Debug, Default)]
+pub struct LinearTable<T> {
+    routes: Vec<(u32, u8, T)>,
+}
+
+impl<T: Copy> LinearTable<T> {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        LinearTable { routes: Vec::new() }
+    }
+
+    /// Number of installed routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Installs `prefix/len → next_hop` (canonicalized), replacing any
+    /// existing entry for the same canonical route.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+    pub fn insert(&mut self, prefix: u32, len: u8, next_hop: T) -> Result<Option<T>, RouteError> {
+        let prefix = canonical(prefix, len)?;
+        for (p, l, hop) in &mut self.routes {
+            if *p == prefix && *l == len {
+                return Ok(Some(std::mem::replace(hop, next_hop)));
+            }
+        }
+        self.routes.push((prefix, len, next_hop));
+        Ok(None)
+    }
+
+    /// The longest-prefix match for `addr`, if any route covers it.
+    #[must_use]
+    pub fn lookup(&self, addr: u32) -> Option<T> {
+        self.routes
+            .iter()
+            .filter(|(prefix, len, _)| addr & mask(*len) == *prefix)
+            .max_by_key(|(_, len, _)| *len)
+            .map(|(_, _, hop)| *hop)
+    }
+
+    /// Removes the route `prefix/len` (canonicalized), returning its next
+    /// hop if it was installed.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+    pub fn remove(&mut self, prefix: u32, len: u8) -> Result<Option<T>, RouteError> {
+        let prefix = canonical(prefix, len)?;
+        let at = self.routes.iter().position(|(p, l, _)| *p == prefix && *l == len);
+        Ok(at.map(|i| self.routes.swap_remove(i).2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = TrieTable::new();
+        t.insert(ip(10, 0, 0, 0), 8, "core").unwrap();
+        t.insert(ip(10, 1, 0, 0), 16, "edge").unwrap();
+        t.insert(ip(10, 1, 2, 0), 24, "rack").unwrap();
+        assert_eq!(t.lookup(ip(10, 9, 9, 9)), Some("core"));
+        assert_eq!(t.lookup(ip(10, 1, 9, 9)), Some("edge"));
+        assert_eq!(t.lookup(ip(10, 1, 2, 9)), Some("rack"));
+        assert_eq!(t.lookup(ip(11, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        // The /0 route: mask(0) must be 0, not a shift-overflow artifact.
+        let mut t = TrieTable::new();
+        t.insert(0, 0, "gw").unwrap();
+        assert_eq!(t.lookup(0), Some("gw"));
+        assert_eq!(t.lookup(u32::MAX), Some("gw"));
+        assert_eq!(t.lookup(ip(192, 168, 0, 1)), Some("gw"));
+        let mut lin = LinearTable::new();
+        lin.insert(0, 0, "gw").unwrap();
+        assert_eq!(lin.lookup(u32::MAX), Some("gw"));
+    }
+
+    #[test]
+    fn unmasked_prefix_is_canonicalized_not_silently_dead() {
+        // Regression for the old linear scan: `10.1.2.9/24` never matched
+        // because the host bits survived insert. Canonicalization makes it
+        // mean `10.1.2.0/24` in both tables.
+        let mut t = TrieTable::new();
+        t.insert(ip(10, 1, 2, 9), 24, "rack").unwrap();
+        assert_eq!(t.lookup(ip(10, 1, 2, 200)), Some("rack"));
+        let mut lin = LinearTable::new();
+        lin.insert(ip(10, 1, 2, 9), 24, "rack").unwrap();
+        assert_eq!(lin.lookup(ip(10, 1, 2, 200)), Some("rack"));
+        // And the canonical key dedups: reinserting via a different host
+        // suffix replaces, not duplicates.
+        assert_eq!(t.insert(ip(10, 1, 2, 77), 24, "rack2").unwrap(), Some("rack"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn host_routes_and_len_bounds() {
+        let mut t = TrieTable::new();
+        t.insert(ip(10, 0, 0, 1), 32, 1u16).unwrap();
+        assert_eq!(t.lookup(ip(10, 0, 0, 1)), Some(1));
+        assert_eq!(t.lookup(ip(10, 0, 0, 2)), None);
+        assert_eq!(t.insert(0, 33, 9), Err(RouteError::PrefixLenOutOfRange(33)));
+        assert_eq!(LinearTable::new().insert(0, 40, 9u16), Err(RouteError::PrefixLenOutOfRange(40)));
+    }
+
+    #[test]
+    fn remove_restores_shorter_match_and_prunes() {
+        let mut t = TrieTable::new();
+        t.insert(ip(10, 0, 0, 0), 8, "core").unwrap();
+        t.insert(ip(10, 1, 0, 0), 16, "edge").unwrap();
+        assert_eq!(t.lookup(ip(10, 1, 5, 5)), Some("edge"));
+        assert_eq!(t.remove(ip(10, 1, 0, 0), 16).unwrap(), Some("edge"));
+        assert_eq!(t.lookup(ip(10, 1, 5, 5)), Some("core"), "falls back to the /8");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(ip(10, 1, 0, 0), 16).unwrap(), None, "double remove is a no-op");
+        // Removing an unmasked spelling removes the canonical route.
+        assert_eq!(t.remove(ip(10, 255, 255, 255), 8).unwrap(), Some("core"));
+        assert!(t.is_empty());
+        assert!(t.root.is_empty(), "interior nodes must be pruned");
+    }
+
+    #[test]
+    fn replacement_returns_old_next_hop() {
+        let mut t = TrieTable::new();
+        assert_eq!(t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap(), None);
+        assert_eq!(t.insert(ip(10, 0, 0, 0), 8, 2u16).unwrap(), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip(10, 3, 3, 3)), Some(2));
+    }
+}

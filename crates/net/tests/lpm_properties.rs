@@ -1,0 +1,150 @@
+//! Differential property tests: the binary trie against the linear-scan
+//! reference.
+//!
+//! The [`sysnet::LinearTable`] is correct by inspection — every lookup
+//! filters all routes and keeps the longest match. Any divergence between
+//! it and the trie on the same operation sequence is a trie bug. The
+//! generated tables deliberately pile up overlapping prefixes (nested /8 →
+//! /16 → /24 ladders, duplicate canonical keys from unmasked spellings,
+//! the /0 default route) because those are exactly the shapes the trie's
+//! best-match tracking and canonicalization can get wrong.
+
+use proptest::prelude::*;
+use sysnet::{LinearTable, TrieTable};
+
+/// One route-table operation, chosen by proptest.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert a (possibly unmasked, possibly duplicate-canonical) route.
+    Insert { prefix: u32, len: u8, hop: u16 },
+    /// Remove by a (possibly unmasked) spelling.
+    Remove { prefix: u32, len: u8 },
+}
+
+/// Prefix lengths concentrated on realistic values but covering 0..=32.
+fn arb_len() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        4 => prop_oneof![Just(8u8), Just(16u8), Just(24u8), Just(32u8)],
+        2 => 0u8..=32,
+    ]
+}
+
+/// Addresses and prefixes drawn from a small pool of high octets so that
+/// routes overlap and lookups actually hit nested prefixes, plus a stream
+/// of fully arbitrary values.
+fn arb_addr() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        4 => (0u32..4, any::<u32>())
+            .prop_map(|(hi, lo)| ((10 + hi) << 24) | (lo & 0x00FF_FFFF)),
+        1 => any::<u32>(),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (arb_addr(), arb_len(), any::<u16>())
+            .prop_map(|(prefix, len, hop)| Op::Insert { prefix, len, hop }),
+        1 => (arb_addr(), arb_len()).prop_map(|(prefix, len)| Op::Remove { prefix, len }),
+    ]
+}
+
+/// Applies the same op sequence to both tables, asserting that every
+/// operation's return value agrees.
+fn build_both(ops: &[Op]) -> (TrieTable<u16>, LinearTable<u16>) {
+    let mut trie = TrieTable::new();
+    let mut linear = LinearTable::new();
+    for op in ops {
+        match *op {
+            Op::Insert { prefix, len, hop } => {
+                let a = trie.insert(prefix, len, hop);
+                let b = linear.insert(prefix, len, hop);
+                assert_eq!(a, b, "insert {prefix:#010x}/{len} disagreed");
+            }
+            Op::Remove { prefix, len } => {
+                let a = trie.remove(prefix, len);
+                let b = linear.remove(prefix, len);
+                assert_eq!(a, b, "remove {prefix:#010x}/{len} disagreed");
+            }
+        }
+    }
+    (trie, linear)
+}
+
+proptest! {
+    /// The headline property: after an arbitrary insert/remove history,
+    /// both tables give the same answer for arbitrary addresses — including
+    /// addresses derived from the installed prefixes themselves (prefix
+    /// base, broadcast-end, and a mutated-host-bits probe for each route).
+    #[test]
+    fn trie_agrees_with_linear_reference(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        probes in proptest::collection::vec(arb_addr(), 1..40),
+    ) {
+        let (trie, linear) = build_both(&ops);
+        prop_assert_eq!(trie.len(), linear.len());
+        for &addr in &probes {
+            prop_assert_eq!(trie.lookup(addr), linear.lookup(addr));
+        }
+        for op in &ops {
+            let Op::Insert { prefix, len, .. } = *op else { continue };
+            let m = sysnet::lpm::mask(len);
+            for addr in [prefix & m, prefix | !m, (prefix & m) ^ 1] {
+                prop_assert_eq!(trie.lookup(addr), linear.lookup(addr));
+            }
+        }
+    }
+
+    /// A dense overlapping ladder: every address under 10/8 must resolve to
+    /// the deepest installed covering prefix, in both tables.
+    #[test]
+    fn nested_ladders_resolve_to_deepest_cover(
+        host in any::<u32>(),
+        default_route in any::<bool>(),
+    ) {
+        let mut trie = TrieTable::new();
+        let mut linear = LinearTable::new();
+        let ladder: [(u32, u8, u16); 4] = [
+            (10 << 24, 8, 1),
+            ((10 << 24) | (1 << 16), 16, 2),
+            ((10 << 24) | (1 << 16) | (2 << 8), 24, 3),
+            ((10 << 24) | (1 << 16) | (2 << 8) | 9, 32, 4),
+        ];
+        for (prefix, len, hop) in ladder {
+            trie.insert(prefix, len, hop).unwrap();
+            linear.insert(prefix, len, hop).unwrap();
+        }
+        if default_route {
+            trie.insert(0, 0, 99).unwrap();
+            linear.insert(0, 0, 99).unwrap();
+        }
+        let addr = (10 << 24) | (host & 0x00FF_FFFF);
+        let got = trie.lookup(addr);
+        prop_assert_eq!(got, linear.lookup(addr));
+        prop_assert!(got.is_some(), "everything under 10/8 is covered");
+        let outside = host | 0x8000_0000; // 128.0.0.0/1: never under 10/8
+        prop_assert_eq!(trie.lookup(outside), linear.lookup(outside));
+        prop_assert_eq!(trie.lookup(outside).is_some(), default_route);
+    }
+
+    /// Removing every inserted route (by an arbitrary, possibly unmasked
+    /// spelling) leaves both tables empty and answering `None`.
+    #[test]
+    fn removal_drains_both_tables(
+        routes in proptest::collection::vec((arb_addr(), arb_len(), any::<u16>()), 1..40),
+        probe in any::<u32>(),
+    ) {
+        let ops: Vec<Op> =
+            routes.iter().map(|&(prefix, len, hop)| Op::Insert { prefix, len, hop }).collect();
+        let (mut trie, mut linear) = build_both(&ops);
+        for &(prefix, len, _) in &routes {
+            // Remove via a different unmasked spelling of the same route.
+            let spelling = prefix | (!sysnet::lpm::mask(len) & 0x0055_5555);
+            let a = trie.remove(spelling, len);
+            let b = linear.remove(spelling, len);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert!(trie.is_empty());
+        prop_assert!(linear.is_empty());
+        prop_assert_eq!(trie.lookup(probe), None);
+    }
+}

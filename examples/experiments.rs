@@ -14,7 +14,7 @@ fn main() {
     let wanted: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let wanted = if wanted.is_empty() || wanted.contains(&"all") {
-        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1"]
+        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "f1"]
     } else {
         wanted
     };
@@ -30,9 +30,10 @@ fn main() {
             "e7" => experiments::e7_shared_state::run(scale),
             "e8" => experiments::e8_repr::run(scale),
             "e9" => experiments::e9_faults::run(scale),
+            "e10" => experiments::e10_dataplane::run(scale),
             "f1" => experiments::e2_boxing::run_figure(scale),
             other => {
-                eprintln!("unknown experiment {other} (use e1..e9 or all)");
+                eprintln!("unknown experiment {other} (use e1..e10 or all)");
                 std::process::exit(2);
             }
         };

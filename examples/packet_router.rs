@@ -1,56 +1,46 @@
-//! Packet router: zero-copy parsing + longest-prefix-match forwarding.
+//! Packet router: zero-copy parsing + trie LPM + sharded workers, on the
+//! `sysnet` data plane.
 //!
 //! ```sh
 //! cargo run --release --example packet_router
 //! ```
 //!
 //! The scenario from the paper's Challenge 3: network code needs exact,
-//! zero-copy control over wire representation. We parse a synthetic packet
-//! stream with the bit-precise views, drop packets that fail validation
-//! (bad checksum, truncation — LangSec style: reject before acting), and
-//! route the rest through a longest-prefix-match table.
+//! zero-copy control over wire representation. This example used to carry
+//! its own linear-scan route table; that table (bugs and all — an unmasked
+//! prefix like `10.1.2.9/24` silently never matched) grew up into
+//! `sysnet::lpm`, and the parse → validate → route loop into
+//! `sysnet::router`. What remains here is the demo: build a table, push a
+//! synthetic stream through the sharded router, and print where everything
+//! went and why.
 
-use sysrepr::packet::{EthernetView, PacketBuilder};
+use sysnet::lpm::TrieTable;
+use sysnet::pipeline::DROP_LABELS;
+use sysnet::router::{run_stream, RouterConfig};
+use sysrepr::packet::PacketBuilder;
 
-/// A routing-table entry: prefix, mask length, next hop.
-#[derive(Debug, Clone, Copy)]
-struct Route {
-    prefix: u32,
-    len: u8,
-    next_hop: &'static str,
-}
-
-/// Longest-prefix match over a (small, linear) routing table.
-fn route(table: &[Route], dst: u32) -> Option<&'static str> {
-    table
-        .iter()
-        .filter(|r| {
-            let mask = if r.len == 0 { 0 } else { u32::MAX << (32 - u32::from(r.len)) };
-            dst & mask == r.prefix
-        })
-        .max_by_key(|r| r.len)
-        .map(|r| r.next_hop)
-}
+const PORT_NAMES: [&str; 4] = ["core-a", "edge-b", "rack-c", "default-gw"];
 
 fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
     u32::from_be_bytes([a, b, c, d])
 }
 
 fn main() {
-    let table = [
-        Route { prefix: ip(10, 0, 0, 0), len: 8, next_hop: "core-a" },
-        Route { prefix: ip(10, 1, 0, 0), len: 16, next_hop: "edge-b" },
-        Route { prefix: ip(10, 1, 2, 0), len: 24, next_hop: "rack-c" },
-        Route { prefix: 0, len: 0, next_hop: "default-gw" },
-    ];
+    let mut table = TrieTable::new();
+    table.insert(ip(10, 0, 0, 0), 8, 0u16).unwrap();
+    table.insert(ip(10, 1, 0, 0), 16, 1u16).unwrap();
+    // Deliberately unmasked: canonicalized to 10.1.2.0/24 on insert. The
+    // old linear scan stored this verbatim and it never matched anything.
+    table.insert(ip(10, 1, 2, 9), 24, 2u16).unwrap();
+    table.insert(0, 0, 3u16).unwrap();
 
-    // Synthesize a mixed stream: three destinations + some corrupted frames.
+    // Synthesize a mixed stream: four destinations + some corrupted frames.
     let mut stream = Vec::new();
     for i in 0..30_000usize {
         let dst = match i % 4 {
             0 => [10, 0, 9, 9],
             1 => [10, 1, 9, 9],
-            2 => [10, 1, 2, 9],
+            2 => [10, 1, 2, 9], // hits the canonicalized /24
             _ => [192, 168, 0, 1],
         };
         let mut b = PacketBuilder::udp()
@@ -63,36 +53,37 @@ fn main() {
         }
         stream.push(b.build());
     }
+    let total = stream.len();
 
-    let mut forwarded: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
-    let mut dropped = 0usize;
-    let t0 = std::time::Instant::now();
-    for frame in &stream {
-        // Total parsing: validate the whole header chain before any use.
-        let Ok(eth) = EthernetView::parse(frame) else {
-            dropped += 1;
-            continue;
-        };
-        let Ok(ipv4) = eth.ipv4() else {
-            dropped += 1;
-            continue;
-        };
-        if ipv4.verify_checksum().is_err() || ipv4.ttl() == 0 {
-            dropped += 1;
-            continue;
-        }
-        match route(&table, ipv4.dst_u32()) {
-            Some(hop) => *forwarded.entry(hop).or_insert(0) += 1,
-            None => dropped += 1,
+    let config = RouterConfig { workers: 2, batch_size: 64, queue_depth: 8 };
+    let (report, elapsed) = run_stream(table, PORT_NAMES.len(), config, stream);
+
+    let totals = &report.stats.totals;
+    println!(
+        "routed {total} packets in {elapsed:?} across {} workers \
+         (zero-copy views, trie LPM, bounded channels)",
+        report.stats.per_worker.len()
+    );
+    for (port, n) in totals.per_port.iter().enumerate() {
+        println!("  {:<12} {n}", PORT_NAMES[port]);
+    }
+    for (reason, n) in totals.dropped.iter().enumerate() {
+        if *n > 0 {
+            println!("  drop/{:<12} {n}", DROP_LABELS[reason]);
         }
     }
-    let elapsed = t0.elapsed();
-    println!("routed {} packets in {elapsed:?} (zero-copy, zero allocations in the fast path)", stream.len());
-    for (hop, n) in &forwarded {
-        println!("  {hop:<10} {n}");
-    }
-    println!("  dropped    {dropped} (checksum/validation failures)");
-    let total: usize = forwarded.values().sum();
-    assert_eq!(total + dropped, stream.len());
+    println!(
+        "  p50 {} ns, p99 {} ns per packet (batch submit → completion)",
+        report.latency_ns(0.50),
+        report.latency_ns(0.99)
+    );
+
+    let forwarded = totals.forwarded;
+    let dropped = totals.dropped_total();
+    assert_eq!(forwarded + dropped, total as u64, "every packet accounted for");
     assert!(dropped >= 60, "failure injection must be caught");
+    assert!(
+        totals.per_port[2] > 0,
+        "the unmasked /24 must forward after canonicalization"
+    );
 }

@@ -1,0 +1,41 @@
+//! The data-plane bench harness: writes `BENCH_router.json` at the repo
+//! root.
+//!
+//! ```sh
+//! cargo run --release --example router_bench            # full sweep, a few seconds
+//! cargo run --release --example router_bench -- --quick # CI-sized, prints only
+//! ```
+//!
+//! The full sweep measures the linear-vs-trie lookup microbench and the
+//! end-to-end pipeline at 1/2/4 workers × batch 16/64/256, then records
+//! packets/sec and p50/p99 per-packet latency (plus the host core count —
+//! worker scaling is only meaningful with >1 core). `--quick` runs a small
+//! sweep and skips the file write so CI never clobbers the recorded
+//! trajectory with throwaway numbers.
+
+use sysnet::bench::{run_sweep, SweepConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { SweepConfig::quick() } else { SweepConfig::full() };
+    eprintln!(
+        "router bench: {} packets/config, {} routes, workers {:?}, batches {:?}...",
+        cfg.packets, cfg.routes, cfg.worker_counts, cfg.batch_sizes
+    );
+    let report = run_sweep(&cfg);
+    let json = report.to_json();
+    print!("{json}");
+    assert!(
+        report.lookup.speedup() > 1.0,
+        "trie must beat the linear scan at {} routes (linear {:.1} ns, trie {:.1} ns)",
+        report.lookup.routes,
+        report.lookup.linear_ns,
+        report.lookup.trie_ns
+    );
+    if quick {
+        eprintln!("(--quick: not writing BENCH_router.json)");
+    } else {
+        std::fs::write("BENCH_router.json", json).expect("write BENCH_router.json");
+        eprintln!("wrote BENCH_router.json");
+    }
+}

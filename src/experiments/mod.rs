@@ -1,9 +1,9 @@
 //! The experiment harness: one module per table in EXPERIMENTS.md.
 //!
-//! The paper (a position paper) publishes no tables; these nine experiments
+//! The paper (a position paper) publishes no tables; these ten experiments
 //! are the measurements its claims imply, as indexed in DESIGN.md. Each
 //! `run(scale)` returns a rendered table; `cargo run --release --example
-//! experiments -- <e1..e9|all>` prints them, and `crates/bench` holds the
+//! experiments -- <e1..e10|all>` prints them, and `crates/bench` holds the
 //! Criterion versions for statistically careful timing.
 
 pub mod e1_alloc;
@@ -15,6 +15,7 @@ pub mod e6_ipc;
 pub mod e7_shared_state;
 pub mod e8_repr;
 pub mod e9_faults;
+pub mod e10_dataplane;
 
 use std::fmt;
 
@@ -133,6 +134,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e7_shared_state::run(scale),
         e8_repr::run(scale),
         e9_faults::run(scale),
+        e10_dataplane::run(scale),
     ]
 }
 

@@ -5,9 +5,9 @@
 use plos06::experiments::{self, Scale};
 
 #[test]
-fn all_nine_experiments_produce_tables() {
+fn all_ten_experiments_produce_tables() {
     let tables = experiments::run_all(Scale::Quick);
-    assert_eq!(tables.len(), 9);
+    assert_eq!(tables.len(), 10);
     for t in &tables {
         assert!(!t.rows.is_empty(), "{} has no rows", t.title);
         assert!(!t.headers.is_empty());
@@ -73,6 +73,37 @@ fn e9_campaigns_stay_available_replayable_and_verified() {
         assert_eq!(row[inv], "6/6", "invariants regressed at {}", row[0]);
     }
     assert_eq!(t.rows[0][avail], "100.0%", "fault-free baseline must be perfect");
+}
+
+#[test]
+fn e10_trie_beats_linear_scan_and_streams_conserve_packets() {
+    // The structural claim behind E10, checked on real timings: by a
+    // 64-route table the O(32) trie must out-run the O(n) linear scan.
+    let point = sysnet::bench::lookup_comparison(64, 200_000, 0x5EED_0E10);
+    assert!(point.routes >= 64);
+    assert!(
+        point.speedup() > 1.0,
+        "trie ({:.1} ns) must beat linear scan ({:.1} ns) at {} routes",
+        point.trie_ns,
+        point.linear_ns,
+        point.routes
+    );
+
+    let t = experiments::e10_dataplane::run(Scale::Quick);
+    let fwd = t.headers.iter().position(|h| h == "forwarded").unwrap();
+    let drop = t.headers.iter().position(|h| h == "dropped").unwrap();
+    let streams: Vec<_> = t.rows.iter().filter(|r| r[0] == "pipeline stream").collect();
+    assert!(streams.len() >= 2, "at least 1-worker and multi-worker rows");
+    for row in &streams {
+        let total: u64 =
+            row[fwd].parse::<u64>().unwrap() + row[drop].parse::<u64>().unwrap();
+        assert_eq!(total, 20_000, "stream must conserve packets: {row:?}");
+    }
+    // Every worker count routes the identical stream to identical outcomes.
+    assert!(
+        streams.windows(2).all(|w| w[0][fwd] == w[1][fwd] && w[0][drop] == w[1][drop]),
+        "sharding changed routing outcomes"
+    );
 }
 
 #[test]
