@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Repo CI: build, test, lint. Run from the repo root.
+# Repo CI: format, build, test, lint. Run from the repo root.
 set -eu
 
+cargo fmt --all -- --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
@@ -12,3 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release --example packet_router
 cargo run --release --example experiments -- e10
 cargo run --release --example router_bench -- --quick
+
+# Observability smoke: E11 at quick scale, the obs bench without the budget
+# gate (a loaded CI box can't referee a 5% throughput claim — obs_bench
+# --quick never rewrites BENCH_obs.json), and the flight-recorder dump
+# (asserts non-empty trace, replayable fault + shape digests).
+cargo run --release --example experiments -- e11
+cargo run --release --example obs_bench -- --quick
+cargo run --release --example flight_recorder > /dev/null

@@ -8,7 +8,9 @@ use sysmem::generational::GenerationalHeap;
 use sysmem::marksweep::MarkSweepHeap;
 use sysmem::rc::RcHeap;
 use sysmem::semispace::SemiSpaceHeap;
-use sysmem::workload::{run_region_workload, run_workload, Lifetime, ReclaimStrategy, WorkloadSpec};
+use sysmem::workload::{
+    run_region_workload, run_workload, Lifetime, ReclaimStrategy, WorkloadSpec,
+};
 
 fn spec() -> WorkloadSpec {
     WorkloadSpec {

@@ -24,10 +24,20 @@ fn setup(heap: Box<dyn Manager>) -> Setup {
     let server = kernel.spawn_process();
     let client = kernel.spawn_process();
     let req_s = kernel.create_endpoint(server).unwrap();
-    let req_c = kernel.grant_cap(server, req_s, client, Rights::SEND).unwrap();
+    let req_c = kernel
+        .grant_cap(server, req_s, client, Rights::SEND)
+        .unwrap();
     let rep_s = kernel.create_endpoint(server).unwrap();
-    let rep_c = kernel.grant_cap(server, rep_s, client, Rights::RECV).unwrap();
-    Setup { kernel, client, server, req: (req_s, req_c), rep: (rep_s, rep_c) }
+    let rep_c = kernel
+        .grant_cap(server, rep_s, client, Rights::RECV)
+        .unwrap();
+    Setup {
+        kernel,
+        client,
+        server,
+        req: (req_s, req_c),
+        rep: (rep_s, rep_c),
+    }
 }
 
 fn heap_for(policy: &str) -> Box<dyn Manager> {

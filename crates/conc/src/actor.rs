@@ -36,7 +36,9 @@ pub struct Address<M> {
 
 impl<M> Clone for Address<M> {
     fn clone(&self) -> Self {
-        Address { tx: self.tx.clone() }
+        Address {
+            tx: self.tx.clone(),
+        }
     }
 }
 
@@ -207,7 +209,9 @@ mod tests {
                 return Flow::Stop;
             }
             if let Some(peer) = &self.peer {
-                peer.send(PingMsg { remaining: msg.remaining - 1 });
+                peer.send(PingMsg {
+                    remaining: msg.remaining - 1,
+                });
             }
             if msg.remaining == 1 {
                 Flow::Stop
@@ -221,9 +225,14 @@ mod tests {
     fn ping_pong_round_trip() {
         // sink <- pinger <- main: the ball bounces pinger -> sink until the
         // countdown hits 1 on each side, then both stop.
-        let (sink_addr, sink_handle) = spawn(PingPong { hits: 0, peer: None });
-        let (pinger_addr, pinger_handle) =
-            spawn(PingPong { hits: 0, peer: Some(sink_addr.clone()) });
+        let (sink_addr, sink_handle) = spawn(PingPong {
+            hits: 0,
+            peer: None,
+        });
+        let (pinger_addr, pinger_handle) = spawn(PingPong {
+            hits: 0,
+            peer: Some(sink_addr.clone()),
+        });
         assert!(pinger_addr.send(PingMsg { remaining: 1 }));
         // remaining == 1: pinger forwards the ball once, then stops.
         drop(pinger_addr);

@@ -51,7 +51,9 @@ impl CoarseLockBank {
     /// Creates `n` accounts each holding `initial`.
     #[must_use]
     pub fn new(n: usize, initial: i64) -> Self {
-        CoarseLockBank { balances: Mutex::new(vec![initial; n]) }
+        CoarseLockBank {
+            balances: Mutex::new(vec![initial; n]),
+        }
     }
 }
 
@@ -95,7 +97,9 @@ impl FineLockBank {
     /// Creates `n` accounts each holding `initial`.
     #[must_use]
     pub fn new(n: usize, initial: i64) -> Self {
-        FineLockBank { balances: (0..n).map(|_| Mutex::new(initial)).collect() }
+        FineLockBank {
+            balances: (0..n).map(|_| Mutex::new(initial)).collect(),
+        }
     }
 }
 
@@ -112,8 +116,11 @@ impl Bank for FineLockBank {
         let (lo, hi) = if from < to { (from, to) } else { (to, from) };
         let lo_guard = self.balances[lo].lock().expect("bank poisoned");
         let hi_guard = self.balances[hi].lock().expect("bank poisoned");
-        let (mut from_guard, mut to_guard) =
-            if from < to { (lo_guard, hi_guard) } else { (hi_guard, lo_guard) };
+        let (mut from_guard, mut to_guard) = if from < to {
+            (lo_guard, hi_guard)
+        } else {
+            (hi_guard, lo_guard)
+        };
         if *from_guard < amount {
             return false;
         }
@@ -125,8 +132,11 @@ impl Bank for FineLockBank {
     fn audit(&self) -> i64 {
         // Lock *all* accounts in order before reading any: a full two-phase
         // audit. Correct, but O(n) lock hold time — the price locks charge.
-        let guards: Vec<_> =
-            self.balances.iter().map(|m| m.lock().expect("bank poisoned")).collect();
+        let guards: Vec<_> = self
+            .balances
+            .iter()
+            .map(|m| m.lock().expect("bank poisoned"))
+            .collect();
         guards.iter().map(|g| **g).sum()
     }
 
@@ -203,7 +213,10 @@ impl Bank for BrokenComposedBank {
     }
 
     fn audit(&self) -> i64 {
-        self.balances.iter().map(|m| *m.lock().expect("bank poisoned")).sum()
+        self.balances
+            .iter()
+            .map(|m| *m.lock().expect("bank poisoned"))
+            .sum()
     }
 
     fn balance(&self, account: usize) -> i64 {
@@ -225,7 +238,9 @@ impl StmBank {
     /// Creates `n` accounts each holding `initial`.
     #[must_use]
     pub fn new(n: usize, initial: i64) -> Self {
-        StmBank { balances: (0..n).map(|_| TVar::new(initial)).collect() }
+        StmBank {
+            balances: (0..n).map(|_| TVar::new(initial)).collect(),
+        }
     }
 }
 
@@ -271,9 +286,19 @@ impl Bank for StmBank {
 
 #[derive(Debug)]
 enum BankMsg {
-    Transfer { from: usize, to: usize, amount: i64, reply: Sender<bool> },
-    Audit { reply: Sender<i64> },
-    Balance { account: usize, reply: Sender<i64> },
+    Transfer {
+        from: usize,
+        to: usize,
+        amount: i64,
+        reply: Sender<bool>,
+    },
+    Audit {
+        reply: Sender<i64>,
+    },
+    Balance {
+        account: usize,
+        reply: Sender<i64>,
+    },
 }
 
 struct BankActor {
@@ -285,7 +310,12 @@ impl Actor for BankActor {
 
     fn handle(&mut self, msg: BankMsg) -> Flow {
         match msg {
-            BankMsg::Transfer { from, to, amount, reply } => {
+            BankMsg::Transfer {
+                from,
+                to,
+                amount,
+                reply,
+            } => {
                 let ok = from != to && self.balances[from] >= amount;
                 if ok {
                     self.balances[from] -= amount;
@@ -316,7 +346,9 @@ impl ActorBank {
     /// Creates `n` accounts each holding `initial`, spawning the owner actor.
     #[must_use]
     pub fn new(n: usize, initial: i64) -> Self {
-        let (addr, handle) = spawn(BankActor { balances: vec![initial; n] });
+        let (addr, handle) = spawn(BankActor {
+            balances: vec![initial; n],
+        });
         // The actor lives as long as any Address clone; detach the handle.
         std::mem::forget(handle);
         ActorBank { addr, n }
@@ -329,7 +361,13 @@ impl Bank for ActorBank {
     }
 
     fn transfer(&self, from: usize, to: usize, amount: i64) -> bool {
-        ask(&self.addr, |reply| BankMsg::Transfer { from, to, amount, reply }).unwrap_or(false)
+        ask(&self.addr, |reply| BankMsg::Transfer {
+            from,
+            to,
+            amount,
+            reply,
+        })
+        .unwrap_or(false)
     }
 
     fn audit(&self) -> i64 {
@@ -395,7 +433,9 @@ pub fn run_contention(bank: &dyn Bank, threads: usize, ops: usize) -> BankReport
                 // Cheap deterministic LCG per thread.
                 let mut state = (t as u64).wrapping_mul(0x9e37_79b9) + 1;
                 let mut next = move || {
-                    state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1);
                     (state >> 33) as usize
                 };
                 for _ in 0..ops {
@@ -499,7 +539,12 @@ mod tests {
         let expected = bank.audit();
         let r = run_contention(bank, 4, 2_000);
         assert_eq!(bank.audit(), expected, "{}: money leaked", bank.name());
-        assert_eq!(r.audit_anomalies, 0, "{}: audit saw intermediate state", bank.name());
+        assert_eq!(
+            r.audit_anomalies,
+            0,
+            "{}: audit saw intermediate state",
+            bank.name()
+        );
         assert!(r.audits > 0);
     }
 
@@ -567,7 +612,10 @@ mod tests {
             }
             stop.store(true, Ordering::Release);
         });
-        assert!(detected, "the composition bug must be observable under contention");
+        assert!(
+            detected,
+            "the composition bug must be observable under contention"
+        );
         assert_eq!(bank.audit(), 200, "quiescent total is still conserved");
     }
 

@@ -136,12 +136,21 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 
 fn with_capacity_inner<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        queue: Mutex::new(State {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
         capacity,
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 /// The sending half of a channel. Cloneable (multi-producer).
@@ -172,6 +181,7 @@ impl<T> Sender<T> {
         state.items.push_back(value);
         drop(state);
         self.shared.not_empty.notify_one();
+        sysobs::obs_count!("chan.sends", 1);
         Ok(())
     }
 
@@ -200,6 +210,7 @@ impl<T> Sender<T> {
                         continue;
                     };
                     let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                        sysobs::obs_count!("chan.send_timeouts", 1);
                         return Err(SendTimeoutError::Timeout(value));
                     };
                     let (s, wait) = self
@@ -212,6 +223,7 @@ impl<T> Sender<T> {
                         if state.receivers == 0 {
                             return Err(SendTimeoutError::Disconnected(value));
                         }
+                        sysobs::obs_count!("chan.send_timeouts", 1);
                         return Err(SendTimeoutError::Timeout(value));
                     }
                 }
@@ -221,13 +233,19 @@ impl<T> Sender<T> {
         state.items.push_back(value);
         drop(state);
         self.shared.not_empty.notify_one();
+        sysobs::obs_count!("chan.sends", 1);
         Ok(())
     }
 
     /// Number of queued messages (racy; for monitoring only).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shared.queue.lock().expect("channel poisoned").items.len()
+        self.shared
+            .queue
+            .lock()
+            .expect("channel poisoned")
+            .items
+            .len()
     }
 
     /// True if no messages are queued (racy; for monitoring only).
@@ -240,7 +258,9 @@ impl<T> Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.queue.lock().expect("channel poisoned").senders += 1;
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -274,6 +294,7 @@ impl<T> Receiver<T> {
             if let Some(v) = state.items.pop_front() {
                 drop(state);
                 self.shared.not_full.notify_one();
+                sysobs::obs_count!("chan.recvs", 1);
                 return Ok(v);
             }
             if state.senders == 0 {
@@ -300,6 +321,7 @@ impl<T> Receiver<T> {
             if let Some(v) = state.items.pop_front() {
                 drop(state);
                 self.shared.not_full.notify_one();
+                sysobs::obs_count!("chan.recvs", 1);
                 return Ok(v);
             }
             if state.senders == 0 {
@@ -310,15 +332,20 @@ impl<T> Receiver<T> {
                 continue;
             };
             let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                sysobs::obs_count!("chan.recv_timeouts", 1);
                 return Err(RecvTimeoutError::Timeout);
             };
-            let (s, wait) =
-                self.shared.not_empty.wait_timeout(state, left).expect("channel poisoned");
+            let (s, wait) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, left)
+                .expect("channel poisoned");
             state = s;
             if wait.timed_out() && state.items.is_empty() {
                 if state.senders == 0 {
                     return Err(RecvTimeoutError::Disconnected);
                 }
+                sysobs::obs_count!("chan.recv_timeouts", 1);
                 return Err(RecvTimeoutError::Timeout);
             }
         }
@@ -335,6 +362,7 @@ impl<T> Receiver<T> {
         if let Some(v) = state.items.pop_front() {
             drop(state);
             self.shared.not_full.notify_one();
+            sysobs::obs_count!("chan.recvs", 1);
             return Ok(v);
         }
         if state.senders == 0 {
@@ -357,8 +385,14 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.queue.lock().expect("channel poisoned").receivers += 1;
-        Receiver { shared: Arc::clone(&self.shared) }
+        self.shared
+            .queue
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 

@@ -226,7 +226,7 @@ impl<T: Copy> SeqLock<T> {
     pub fn write(&self, value: T) {
         let _guard = self.writer.lock();
         self.seq.fetch_add(1, Ordering::AcqRel); // now odd: readers back off
-        // SAFETY: writers are serialized by `writer`; readers validate seq.
+                                                 // SAFETY: writers are serialized by `writer`; readers validate seq.
         unsafe { std::ptr::write_volatile(self.data.get(), value) };
         self.seq.fetch_add(1, Ordering::AcqRel); // even again
     }

@@ -38,7 +38,33 @@ pub struct StmStats {
 /// Reads the global STM counters.
 #[must_use]
 pub fn stm_stats() -> StmStats {
-    StmStats { commits: COMMITS.load(Ordering::Relaxed), aborts: ABORTS.load(Ordering::Relaxed) }
+    StmStats {
+        commits: COMMITS.load(Ordering::Relaxed),
+        aborts: ABORTS.load(Ordering::Relaxed),
+    }
+}
+
+impl StmStats {
+    /// Renders these counters as a [`sysobs::Snapshot`] under `stm.*`.
+    #[must_use]
+    pub fn to_snapshot(&self) -> sysobs::Snapshot {
+        let mut snap = sysobs::Snapshot::default();
+        snap.set_counter("stm.commits", self.commits);
+        snap.set_counter("stm.aborts", self.aborts);
+        snap
+    }
+}
+
+/// Bumps the commit counter (and its observability mirror).
+fn note_commit() {
+    COMMITS.fetch_add(1, Ordering::Relaxed);
+    sysobs::obs_count!("stm.commits", 1);
+}
+
+/// Bumps the abort counter (and its observability mirror).
+fn note_abort() {
+    ABORTS.fetch_add(1, Ordering::Relaxed);
+    sysobs::obs_count!("stm.aborts", 1);
 }
 
 type Boxed = Arc<dyn Any + Send + Sync>;
@@ -62,7 +88,10 @@ pub struct TVar<T> {
 
 impl<T> Clone for TVar<T> {
     fn clone(&self) -> Self {
-        TVar { core: Arc::clone(&self.core), _marker: std::marker::PhantomData }
+        TVar {
+            core: Arc::clone(&self.core),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -92,7 +121,10 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
             let val = Arc::clone(&self.core.value.lock().expect("poisoned tvar"));
             let v2 = self.core.version.load(Ordering::Acquire);
             if v1 == v2 {
-                return val.downcast_ref::<T>().expect("tvar type invariant").clone();
+                return val
+                    .downcast_ref::<T>()
+                    .expect("tvar type invariant")
+                    .clone();
             }
         }
     }
@@ -124,7 +156,11 @@ pub struct Tx {
 
 impl Tx {
     fn new() -> Self {
-        Tx { rv: GLOBAL_CLOCK.load(Ordering::Acquire), reads: Vec::new(), writes: HashMap::new() }
+        Tx {
+            rv: GLOBAL_CLOCK.load(Ordering::Acquire),
+            reads: Vec::new(),
+            writes: HashMap::new(),
+        }
     }
 
     /// Reads a `TVar` inside the transaction.
@@ -135,7 +171,10 @@ impl Tx {
     /// transaction started (the closure will be re-run).
     pub fn read<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> StmResult<T> {
         if let Some((_, pending)) = self.writes.get(&var.id()) {
-            return Ok(pending.downcast_ref::<T>().expect("tvar type invariant").clone());
+            return Ok(pending
+                .downcast_ref::<T>()
+                .expect("tvar type invariant")
+                .clone());
         }
         loop {
             let v1 = var.core.version.load(Ordering::Acquire);
@@ -151,7 +190,10 @@ impl Tx {
                     return Err(StmAbort::Conflict);
                 }
                 self.reads.push((var.id(), Arc::clone(&var.core), v1));
-                return Ok(val.downcast_ref::<T>().expect("tvar type invariant").clone());
+                return Ok(val
+                    .downcast_ref::<T>()
+                    .expect("tvar type invariant")
+                    .clone());
             }
         }
     }
@@ -167,7 +209,8 @@ impl Tx {
         var: &TVar<T>,
         value: T,
     ) -> StmResult<()> {
-        self.writes.insert(var.id(), (Arc::clone(&var.core), Arc::new(value)));
+        self.writes
+            .insert(var.id(), (Arc::clone(&var.core), Arc::new(value)));
         Ok(())
     }
 
@@ -211,7 +254,7 @@ impl Tx {
     fn commit(self) -> bool {
         // Read-only transactions validated on the fly: nothing to publish.
         if self.writes.is_empty() {
-            COMMITS.fetch_add(1, Ordering::Relaxed);
+            note_commit();
             return true;
         }
         // Lock write set in address order (deadlock freedom).
@@ -229,7 +272,7 @@ impl Tx {
                 for (c, orig) in locked {
                     c.version.store(orig, Ordering::Release);
                 }
-                ABORTS.fetch_add(1, Ordering::Relaxed);
+                note_abort();
                 return false;
             }
             locked.push((core, v));
@@ -243,7 +286,7 @@ impl Tx {
                 for (c, orig) in locked {
                     c.version.store(orig, Ordering::Release);
                 }
-                ABORTS.fetch_add(1, Ordering::Relaxed);
+                note_abort();
                 return false;
             }
         }
@@ -252,7 +295,7 @@ impl Tx {
             *core.value.lock().expect("poisoned tvar") = Arc::clone(value);
             core.version.store(wv << 1, Ordering::Release);
         }
-        COMMITS.fetch_add(1, Ordering::Relaxed);
+        note_commit();
         true
     }
 
@@ -290,10 +333,10 @@ pub fn atomically<T>(mut body: impl FnMut(&mut Tx) -> StmResult<T>) -> T {
                 }
             }
             Err(StmAbort::Conflict) => {
-                ABORTS.fetch_add(1, Ordering::Relaxed);
+                note_abort();
             }
             Err(StmAbort::Retry) => {
-                ABORTS.fetch_add(1, Ordering::Relaxed);
+                note_abort();
                 tx.wait_for_change();
             }
         }
@@ -322,7 +365,10 @@ impl RetryBudget {
     /// A budget of `max_attempts` with 1 µs base backoff.
     #[must_use]
     pub fn attempts(max_attempts: u32) -> Self {
-        RetryBudget { max_attempts: max_attempts.max(1), backoff_base_us: 1 }
+        RetryBudget {
+            max_attempts: max_attempts.max(1),
+            backoff_base_us: 1,
+        }
     }
 
     fn backoff(&self, attempt: u32) -> u64 {
@@ -336,7 +382,10 @@ impl RetryBudget {
 
 impl Default for RetryBudget {
     fn default() -> Self {
-        RetryBudget { max_attempts: 64, backoff_base_us: 1 }
+        RetryBudget {
+            max_attempts: 64,
+            backoff_base_us: 1,
+        }
     }
 }
 
@@ -350,7 +399,11 @@ pub struct StmExhausted {
 
 impl std::fmt::Display for StmExhausted {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "transaction aborted {} times and exhausted its retry budget", self.attempts)
+        write!(
+            f,
+            "transaction aborted {} times and exhausted its retry budget",
+            self.attempts
+        )
     }
 }
 
@@ -402,18 +455,19 @@ fn atomically_with<T>(
             Ok(result) => {
                 if injector.is_some_and(|i| i.should_fail(SITE_STM_ABORT)) {
                     // Injected abort: throw the attempt away, uncommitted.
-                    ABORTS.fetch_add(1, Ordering::Relaxed);
+                    note_abort();
                     continue;
                 }
                 if tx.commit() {
+                    sysobs::obs_hist!("stm.attempts", u64::from(attempt));
                     return Ok(result);
                 }
             }
             Err(StmAbort::Conflict) => {
-                ABORTS.fetch_add(1, Ordering::Relaxed);
+                note_abort();
             }
             Err(StmAbort::Retry) => {
-                ABORTS.fetch_add(1, Ordering::Relaxed);
+                note_abort();
                 tx.wait_for_change();
             }
         }
@@ -518,17 +572,14 @@ mod tests {
         let waiter = {
             let flag = StdArc::clone(&flag);
             thread::spawn(move || {
-                atomically(|tx| {
-                    if tx.read(&flag)? {
-                        Ok(())
-                    } else {
-                        tx.retry()
-                    }
-                });
+                atomically(|tx| if tx.read(&flag)? { Ok(()) } else { tx.retry() });
             })
         };
         thread::sleep(std::time::Duration::from_millis(30));
-        assert!(!waiter.is_finished(), "waiter must block while flag is false");
+        assert!(
+            !waiter.is_finished(),
+            "waiter must block while flag is false"
+        );
         atomically(|tx| tx.write(&flag, true));
         waiter.join().unwrap();
     }
@@ -598,15 +649,20 @@ mod tests {
         // A body that always retries can never commit; the budget converts
         // the livelock into a typed error. (Plain `atomically` would hang.)
         let v = TVar::new(0u8);
-        let r: Result<(), StmExhausted> =
-            atomically_budgeted(RetryBudget { max_attempts: 3, backoff_base_us: 0 }, |tx| {
+        let r: Result<(), StmExhausted> = atomically_budgeted(
+            RetryBudget {
+                max_attempts: 3,
+                backoff_base_us: 0,
+            },
+            |tx| {
                 // Read something so Retry has a wait set that changes... it
                 // won't, so keep the body conflicting instead: bump the var
                 // outside the transaction to invalidate the read.
                 let x = tx.read(&v)?;
                 atomically(|tx2| tx2.write(&v, x.wrapping_add(1)));
                 tx.write(&v, x)
-            });
+            },
+        );
         assert_eq!(r, Err(StmExhausted { attempts: 3 }));
         assert!(r.unwrap_err().to_string().contains("retry budget"));
     }
@@ -628,12 +684,14 @@ mod tests {
     #[test]
     fn injected_aborts_can_exhaust_the_budget() {
         use sysfault::{FaultPlan, Schedule, SharedInjector};
-        let inj = SharedInjector::new(
-            FaultPlan::new(3).with_site(SITE_STM_ABORT, Schedule::EveryNth(1)),
-        );
+        let inj =
+            SharedInjector::new(FaultPlan::new(3).with_site(SITE_STM_ABORT, Schedule::EveryNth(1)));
         let v = TVar::new(0i64);
         let r = atomically_faulted(
-            RetryBudget { max_attempts: 5, backoff_base_us: 0 },
+            RetryBudget {
+                max_attempts: 5,
+                backoff_base_us: 0,
+            },
             &inj,
             |tx| tx.read(&v),
         );
@@ -643,7 +701,10 @@ mod tests {
 
     #[test]
     fn backoff_grows_and_caps() {
-        let b = RetryBudget { max_attempts: 40, backoff_base_us: 2 };
+        let b = RetryBudget {
+            max_attempts: 40,
+            backoff_base_us: 2,
+        };
         assert_eq!(b.backoff(1), 0, "first attempt is eager");
         assert_eq!(b.backoff(2), 2);
         assert_eq!(b.backoff(3), 4);

@@ -2,10 +2,10 @@
 //! suites: snapshot isolation for readers, invariant preservation under
 //! heavy contention, composed alternatives, and bounded-channel pipelines.
 
-use sysconc::channel::bounded;
-use sysconc::stm::{atomically, StmResult, TVar, Tx};
 use std::sync::Arc;
 use std::thread;
+use sysconc::channel::bounded;
+use sysconc::stm::{atomically, StmResult, TVar, Tx};
 
 #[test]
 fn readers_always_see_consistent_snapshots() {
@@ -57,8 +57,11 @@ fn ring_rotation_preserves_multiset() {
     // N TVars arranged in a ring; each transaction rotates three adjacent
     // cells. The multiset of values is invariant.
     const N: usize = 12;
-    let ring: Arc<Vec<TVar<i64>>> =
-        Arc::new((0..N).map(|i| TVar::new(i64::try_from(i).unwrap())).collect());
+    let ring: Arc<Vec<TVar<i64>>> = Arc::new(
+        (0..N)
+            .map(|i| TVar::new(i64::try_from(i).unwrap()))
+            .collect(),
+    );
     let handles: Vec<_> = (0..4)
         .map(|t| {
             let ring = Arc::clone(&ring);

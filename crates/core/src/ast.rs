@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn program_display_lists_defs_then_main() {
         let p = Program {
-            defs: vec![Def { name: "id".into(), expr: Expr::Lambda(vec!["x".into()], Box::new(Expr::Var("x".into()))) }],
+            defs: vec![Def {
+                name: "id".into(),
+                expr: Expr::Lambda(vec!["x".into()], Box::new(Expr::Var("x".into()))),
+            }],
             main: Expr::call("id", vec![Expr::Int(5)]),
         };
         let s = p.to_string();

@@ -183,7 +183,12 @@ mod tests {
                 name: "<main>".into(),
                 arity: 0,
                 n_locals: 1,
-                code: vec![Instr::Const(1), Instr::StoreLocal(0), Instr::LoadLocal(0), Instr::Ret],
+                code: vec![
+                    Instr::Const(1),
+                    Instr::StoreLocal(0),
+                    Instr::LoadLocal(0),
+                    Instr::Ret,
+                ],
             }],
             natives: vec![],
         };
@@ -198,6 +203,9 @@ mod tests {
     fn instr_display_covers_jumps_and_calls() {
         assert_eq!(Instr::Jump(-3).to_string(), "jump -3");
         assert_eq!(Instr::Call(2).to_string(), "call 2");
-        assert_eq!(Instr::CallNative { idx: 1, nargs: 2 }.to_string(), "native 1 (2 args)");
+        assert_eq!(
+            Instr::CallNative { idx: 1, nargs: 2 }.to_string(),
+            "native 1 (2 args)"
+        );
     }
 }

@@ -203,7 +203,11 @@ fn rewrite(e: &Expr, boxed: &HashSet<String>) -> Expr {
                 .iter()
                 .map(|(x, b)| {
                     let rb = rewrite(b, boxed);
-                    if boxed.contains(x) { (x.clone(), box_expr(rb)) } else { (x.clone(), rb) }
+                    if boxed.contains(x) {
+                        (x.clone(), box_expr(rb))
+                    } else {
+                        (x.clone(), rb)
+                    }
                 })
                 .collect(),
             Box::new(rewrite(body, boxed)),
@@ -263,7 +267,11 @@ pub fn assignment_convert(e: &Expr) -> Expr {
     let mut captured = HashSet::new();
     collect_captured(e, &mut captured);
     let boxed: HashSet<String> = mutated.intersection(&captured).cloned().collect();
-    if boxed.is_empty() { e.clone() } else { rewrite(e, &boxed) }
+    if boxed.is_empty() {
+        e.clone()
+    } else {
+        rewrite(e, &boxed)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -309,7 +317,10 @@ impl Compiler {
         let ctx = self.ctx();
         let slot = u16::try_from(ctx.n_locals).expect("local slots fit u16");
         ctx.n_locals += 1;
-        ctx.scopes.last_mut().expect("scope open").insert(name.to_owned(), slot);
+        ctx.scopes
+            .last_mut()
+            .expect("scope open")
+            .insert(name.to_owned(), slot);
         slot
     }
 
@@ -320,7 +331,11 @@ impl Compiler {
             }
         }
         // Existing capture in this frame?
-        if let Some(pos) = self.stack[depth].captures.iter().position(|(n, _)| n == name) {
+        if let Some(pos) = self.stack[depth]
+            .captures
+            .iter()
+            .position(|(n, _)| n == name)
+        {
             return Some(Resolved::Capture(u16::try_from(pos).expect("fits")));
         }
         if depth == 0 {
@@ -328,13 +343,17 @@ impl Compiler {
         }
         match self.resolve_at(depth - 1, name)? {
             Resolved::Local(slot) => {
-                self.stack[depth].captures.push((name.to_owned(), CaptureSrc::Local(slot)));
+                self.stack[depth]
+                    .captures
+                    .push((name.to_owned(), CaptureSrc::Local(slot)));
                 Some(Resolved::Capture(
                     u16::try_from(self.stack[depth].captures.len() - 1).expect("fits"),
                 ))
             }
             Resolved::Capture(idx) => {
-                self.stack[depth].captures.push((name.to_owned(), CaptureSrc::Capture(idx)));
+                self.stack[depth]
+                    .captures
+                    .push((name.to_owned(), CaptureSrc::Capture(idx)));
                 Some(Resolved::Capture(
                     u16::try_from(self.stack[depth].captures.len() - 1).expect("fits"),
                 ))
@@ -489,7 +508,9 @@ impl Compiler {
                 for a in args {
                     self.compile_expr(a)?;
                 }
-                self.emit(Instr::Call(u8::try_from(args.len()).expect("arity fits u8")));
+                self.emit(Instr::Call(
+                    u8::try_from(args.len()).expect("arity fits u8"),
+                ));
             }
             Expr::Begin(es) => {
                 for (i, x) in es.iter().enumerate() {
@@ -506,11 +527,13 @@ impl Compiler {
                     Some(Resolved::Global(g)) => self.emit(Instr::StoreGlobal(g)),
                     Some(Resolved::Capture(_)) => {
                         return Err(BitcError::compile(format!(
-                            "internal: set! of captured variable {name} survived assignment conversion"
-                        )))
+                        "internal: set! of captured variable {name} survived assignment conversion"
+                    )))
                     }
                     None => {
-                        return Err(BitcError::compile(format!("set! of unbound variable {name}")))
+                        return Err(BitcError::compile(format!(
+                            "set! of unbound variable {name}"
+                        )))
                     }
                 }
                 self.emit(Instr::ConstUnit);
@@ -526,7 +549,9 @@ impl Compiler {
                 }
                 let jback_at = self.ctx().code.len();
                 self.emit(Instr::Jump(
-                    i32::try_from(loop_start).expect("fits") - i32::try_from(jback_at).expect("fits") - 1,
+                    i32::try_from(loop_start).expect("fits")
+                        - i32::try_from(jback_at).expect("fits")
+                        - 1,
                 ));
                 let end = self.ctx().code.len();
                 self.ctx().code[jfalse_at] =
@@ -592,7 +617,9 @@ pub fn compile_program_with_natives(p: &Program, natives: &[(&str, usize)]) -> R
     });
     // Globals for defs (slots assigned up front so recursion resolves).
     for (i, def) in p.defs.iter().enumerate() {
-        compiler.globals.insert(def.name.clone(), u16::try_from(i).expect("fits"));
+        compiler
+            .globals
+            .insert(def.name.clone(), u16::try_from(i).expect("fits"));
     }
     for def in &p.defs {
         let converted = assignment_convert(&def.expr);
@@ -612,7 +639,11 @@ pub fn compile_program_with_natives(p: &Program, natives: &[(&str, usize)]) -> R
         code: ctx.code,
     });
     Ok(Bytecode {
-        functions: compiler.functions.into_iter().map(|f| f.expect("all functions finished")).collect(),
+        functions: compiler
+            .functions
+            .into_iter()
+            .map(|f| f.expect("all functions finished"))
+            .collect(),
         natives: compiler.natives,
     })
 }
@@ -656,15 +687,21 @@ mod tests {
 
     #[test]
     fn assignment_conversion_boxes_mutated_captures() {
-        let e = parse_expr(
-            "(let ((n 0)) (begin ((lambda (u) (set! n 5)) (unit)) n))",
-        )
-        .unwrap();
+        let e = parse_expr("(let ((n 0)) (begin ((lambda (u) (set! n 5)) (unit)) n))").unwrap();
         let converted = assignment_convert(&e);
         let s = converted.to_string();
-        assert!(s.contains("(make-vector 1 0)"), "binding must be boxed: {s}");
-        assert!(s.contains("(vec-set! n 0 5)"), "set! must become vec-set!: {s}");
-        assert!(s.contains("(vec-ref n 0)"), "reads must become vec-ref: {s}");
+        assert!(
+            s.contains("(make-vector 1 0)"),
+            "binding must be boxed: {s}"
+        );
+        assert!(
+            s.contains("(vec-set! n 0 5)"),
+            "set! must become vec-set!: {s}"
+        );
+        assert!(
+            s.contains("(vec-ref n 0)"),
+            "reads must become vec-ref: {s}"
+        );
     }
 
     #[test]
@@ -753,12 +790,14 @@ mod tests {
     #[test]
     fn transitive_captures_chain_through_frames() {
         // innermost lambda reaches two frames up.
-        let bc = compile_source(
-            "(let ((a 1)) ((lambda (x) ((lambda (y) (+ (+ x y) a)) 2)) 3))",
-        )
-        .unwrap();
+        let bc = compile_source("(let ((a 1)) ((lambda (x) ((lambda (y) (+ (+ x y) a)) 2)) 3))")
+            .unwrap();
         // Inner function must have two captures (x and a).
-        let inner = bc.functions.iter().find(|f| f.arity == 1 && f.code.len() > 4).expect("inner fn");
+        let inner = bc
+            .functions
+            .iter()
+            .find(|f| f.arity == 1 && f.code.len() > 4)
+            .expect("inner fn");
         let _ = inner;
         let has_two_capture_closure = bc
             .functions

@@ -232,10 +232,7 @@ mod tests {
 
     #[test]
     fn abs_satisfies_nonnegativity() {
-        let p = parse_program(
-            "(define abs (lambda (x) (if (< x 0) (- 0 x) x))) (abs -3)",
-        )
-        .unwrap();
+        let p = parse_program("(define abs (lambda (x) (if (< x 0) (- 0 x) x))) (abs -3)").unwrap();
         let contract = Contract {
             requires: Formula::True,
             ensures: Formula::cmp(Cmp::Ge, v("result"), Term::Int(0)),
@@ -246,10 +243,7 @@ mod tests {
     #[test]
     fn buggy_abs_is_refuted() {
         // The else branch forgets the negation.
-        let p = parse_program(
-            "(define abs (lambda (x) (if (< x 0) x x))) (abs -3)",
-        )
-        .unwrap();
+        let p = parse_program("(define abs (lambda (x) (if (< x 0) x x))) (abs -3)").unwrap();
         let contract = Contract {
             requires: Formula::True,
             ensures: Formula::cmp(Cmp::Ge, v("result"), Term::Int(0)),
@@ -318,12 +312,11 @@ mod tests {
 
     #[test]
     fn out_of_fragment_constructs_are_reported() {
-        let p = parse_program(
-            "(define f (lambda (x) (vec-len (make-vector x 0)))) (f 3)",
-        )
-        .unwrap();
-        let contract =
-            Contract { requires: Formula::True, ensures: Formula::True };
+        let p = parse_program("(define f (lambda (x) (vec-len (make-vector x 0)))) (f 3)").unwrap();
+        let contract = Contract {
+            requires: Formula::True,
+            ensures: Formula::True,
+        };
         let err = verify_function(&p, "f", &contract).unwrap_err();
         assert!(err.to_string().contains("outside the contract fragment"));
     }
@@ -341,7 +334,10 @@ mod tests {
     #[test]
     fn missing_function_is_an_error() {
         let p = parse_program("(+ 1 2)").unwrap();
-        let contract = Contract { requires: Formula::True, ensures: Formula::True };
+        let contract = Contract {
+            requires: Formula::True,
+            ensures: Formula::True,
+        };
         assert!(verify_function(&p, "ghost", &contract).is_err());
     }
 }

@@ -21,7 +21,10 @@ impl Span {
     /// The smallest span covering both inputs.
     #[must_use]
     pub fn merge(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 }
 
@@ -69,19 +72,25 @@ impl BitcError {
     /// Constructs a type error.
     #[must_use]
     pub fn type_error(message: impl Into<String>) -> Self {
-        BitcError::Type { message: message.into() }
+        BitcError::Type {
+            message: message.into(),
+        }
     }
 
     /// Constructs a runtime error.
     #[must_use]
     pub fn runtime(message: impl Into<String>) -> Self {
-        BitcError::Runtime { message: message.into() }
+        BitcError::Runtime {
+            message: message.into(),
+        }
     }
 
     /// Constructs a compile error.
     #[must_use]
     pub fn compile(message: impl Into<String>) -> Self {
-        BitcError::Compile { message: message.into() }
+        BitcError::Compile {
+            message: message.into(),
+        }
     }
 }
 
@@ -117,7 +126,10 @@ mod tests {
     fn errors_render_their_kind() {
         let e = BitcError::type_error("expected int, found bool");
         assert_eq!(e.to_string(), "type error: expected int, found bool");
-        let e = BitcError::Parse { span: Span::new(1, 2), message: "unbalanced paren".into() };
+        let e = BitcError::Parse {
+            span: Span::new(1, 2),
+            message: "unbalanced paren".into(),
+        };
         assert!(e.to_string().contains("1..2"));
     }
 }

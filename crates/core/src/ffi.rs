@@ -22,7 +22,9 @@ pub struct NativeRegistry {
 
 impl std::fmt::Debug for NativeRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NativeRegistry").field("count", &self.entries.len()).finish()
+        f.debug_struct("NativeRegistry")
+            .field("count", &self.entries.len())
+            .finish()
     }
 }
 
@@ -68,8 +70,11 @@ impl NativeRegistry {
     /// `(name, arity)` pairs for handing to the compiler.
     #[must_use]
     pub fn signatures(&self) -> Vec<(String, usize)> {
-        let mut v: Vec<(String, usize)> =
-            self.entries.iter().map(|(n, (_, a))| (n.clone(), *a)).collect();
+        let mut v: Vec<(String, usize)> = self
+            .entries
+            .iter()
+            .map(|(n, (_, a))| (n.clone(), *a))
+            .collect();
         v.sort();
         v
     }
@@ -100,7 +105,11 @@ mod tests {
     fn custom_natives_can_fail() {
         let mut r = NativeRegistry::new();
         r.register("checked-div", 2, |args| {
-            if args[1] == 0 { Err("division by zero".into()) } else { Ok(args[0] / args[1]) }
+            if args[1] == 0 {
+                Err("division by zero".into())
+            } else {
+                Ok(args[0] / args[1])
+            }
         });
         let (f, _) = r.lookup("checked-div").unwrap();
         assert!(f(&[1, 0]).is_err());

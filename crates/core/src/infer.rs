@@ -60,7 +60,10 @@ impl Inferencer {
             let applied = self.subst.apply(&scheme.ty);
             applied.free_vars(&mut env_vars);
         }
-        let vars: Vec<u32> = type_vars.into_iter().filter(|v| !env_vars.contains(v)).collect();
+        let vars: Vec<u32> = type_vars
+            .into_iter()
+            .filter(|v| !env_vars.contains(v))
+            .collect();
         Scheme { vars, ty: t }
     }
 
@@ -139,7 +142,8 @@ impl Inferencer {
                     arg_types.push(self.infer(env, a)?);
                 }
                 let ret = self.fresh_var();
-                self.subst.unify(&ft, &Type::Fn(arg_types, Box::new(ret.clone())))?;
+                self.subst
+                    .unify(&ft, &Type::Fn(arg_types, Box::new(ret.clone())))?;
                 Ok(ret)
             }
             Expr::Begin(es) => {
@@ -151,7 +155,9 @@ impl Inferencer {
             }
             Expr::SetBang(name, value) => {
                 let Some(scheme) = env.get(name).cloned() else {
-                    return Err(BitcError::type_error(format!("set! of unbound variable {name}")));
+                    return Err(BitcError::type_error(format!(
+                        "set! of unbound variable {name}"
+                    )));
                 };
                 if !scheme.vars.is_empty() {
                     return Err(BitcError::type_error(format!(
@@ -183,7 +189,8 @@ impl Inferencer {
                 let it = self.infer(env, i)?;
                 self.subst.unify(&it, &Type::Int)?;
                 let elem = self.fresh_var();
-                self.subst.unify(&vt, &Type::Vector(Box::new(elem.clone())))?;
+                self.subst
+                    .unify(&vt, &Type::Vector(Box::new(elem.clone())))?;
                 Ok(elem)
             }
             Expr::VectorSet(v, i, x) => {
@@ -211,7 +218,10 @@ impl Inferencer {
 }
 
 fn is_syntactic_value(e: &Expr) -> bool {
-    matches!(e, Expr::Int(_) | Expr::Bool(_) | Expr::Unit | Expr::Var(_) | Expr::Lambda(_, _))
+    matches!(
+        e,
+        Expr::Int(_) | Expr::Bool(_) | Expr::Unit | Expr::Var(_) | Expr::Lambda(_, _)
+    )
 }
 
 /// Result of typechecking a whole program.
@@ -248,7 +258,10 @@ pub fn infer_program(p: &Program) -> Result<TypedProgram> {
         def_types.push((def.name.clone(), scheme));
     }
     let main_type = inf.infer(&env, &p.main)?;
-    Ok(TypedProgram { def_types, main_type: inf.finalize(&main_type) })
+    Ok(TypedProgram {
+        def_types,
+        main_type: inf.finalize(&main_type),
+    })
 }
 
 /// Typechecks a single expression with no definitions in scope.
@@ -339,7 +352,10 @@ mod tests {
 
     #[test]
     fn vectors_are_homogeneous() {
-        assert_eq!(ty("(make-vector 3 0)").unwrap(), Type::Vector(Box::new(Type::Int)));
+        assert_eq!(
+            ty("(make-vector 3 0)").unwrap(),
+            Type::Vector(Box::new(Type::Int))
+        );
         assert_eq!(ty("(vec-ref (make-vector 3 #t) 0)").unwrap(), Type::Bool);
         assert!(ty("(vec-set! (make-vector 3 0) 0 #f)").is_err());
         assert!(ty("(vec-ref 5 0)").is_err());

@@ -237,7 +237,9 @@ pub fn eval(env: &Env, e: &Expr) -> Result<Value> {
         Expr::MakeVector(n, init) => {
             let len = expect_int(&eval(env, n)?)?;
             if len < 0 {
-                return Err(BitcError::runtime(format!("make-vector with negative length {len}")));
+                return Err(BitcError::runtime(format!(
+                    "make-vector with negative length {len}"
+                )));
             }
             let init = eval(env, init)?;
             let len = usize::try_from(len).expect("checked nonnegative");
@@ -281,13 +283,15 @@ pub fn eval(env: &Env, e: &Expr) -> Result<Value> {
                         ))),
                     }
                 }
-                other => Err(BitcError::runtime(format!("vec-set! of non-vector {other}"))),
+                other => Err(BitcError::runtime(format!(
+                    "vec-set! of non-vector {other}"
+                ))),
             }
         }
         Expr::VectorLen(v) => match eval(env, v)? {
-            Value::Vector(cells) => {
-                Ok(Value::Int(i64::try_from(cells.borrow().len()).expect("fits i64")))
-            }
+            Value::Vector(cells) => Ok(Value::Int(
+                i64::try_from(cells.borrow().len()).expect("fits i64"),
+            )),
             other => Err(BitcError::runtime(format!("vec-len of non-vector {other}"))),
         },
     }

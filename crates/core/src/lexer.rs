@@ -68,11 +68,17 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>> {
                 }
             }
             '(' => {
-                out.push(SpannedToken { token: Token::LParen, span: Span::new(i, i + 1) });
+                out.push(SpannedToken {
+                    token: Token::LParen,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             ')' => {
-                out.push(SpannedToken { token: Token::RParen, span: Span::new(i, i + 1) });
+                out.push(SpannedToken {
+                    token: Token::RParen,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '#' => {
@@ -80,11 +86,17 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>> {
                 i += 1;
                 match bytes.get(i) {
                     Some('t') => {
-                        out.push(SpannedToken { token: Token::Bool(true), span: Span::new(start, i + 1) });
+                        out.push(SpannedToken {
+                            token: Token::Bool(true),
+                            span: Span::new(start, i + 1),
+                        });
                         i += 1;
                     }
                     Some('f') => {
-                        out.push(SpannedToken { token: Token::Bool(false), span: Span::new(start, i + 1) });
+                        out.push(SpannedToken {
+                            token: Token::Bool(false),
+                            span: Span::new(start, i + 1),
+                        });
                         i += 1;
                     }
                     _ => {
@@ -108,7 +120,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>> {
                     span: Span::new(start, i),
                     message: format!("integer literal {text} out of range"),
                 })?;
-                out.push(SpannedToken { token: Token::Int(n), span: Span::new(start, i) });
+                out.push(SpannedToken {
+                    token: Token::Int(n),
+                    span: Span::new(start, i),
+                });
             }
             c if is_ident_char(c) => {
                 let start = i;
@@ -116,7 +131,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>> {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                out.push(SpannedToken { token: Token::Ident(text), span: Span::new(start, i) });
+                out.push(SpannedToken {
+                    token: Token::Ident(text),
+                    span: Span::new(start, i),
+                });
             }
             other => {
                 return Err(BitcError::Lex {
@@ -164,7 +182,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("1 ; the loneliest number\n2"), vec![Token::Int(1), Token::Int(2)]);
+        assert_eq!(
+            toks("1 ; the loneliest number\n2"),
+            vec![Token::Int(1), Token::Int(2)]
+        );
     }
 
     #[test]

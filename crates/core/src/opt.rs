@@ -29,8 +29,13 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels in ascending order (for sweeps).
-    pub const ALL: [OptLevel; 5] =
-        [OptLevel::None, OptLevel::ConstFold, OptLevel::Inline, OptLevel::Peephole, OptLevel::Full];
+    pub const ALL: [OptLevel; 5] = [
+        OptLevel::None,
+        OptLevel::ConstFold,
+        OptLevel::Inline,
+        OptLevel::Peephole,
+        OptLevel::Full,
+    ];
 }
 
 impl std::fmt::Display for OptLevel {
@@ -110,7 +115,10 @@ pub fn const_fold(e: &Expr) -> Expr {
             Expr::Apply(Box::new(const_fold(head)), folded_args)
         }
         Expr::Let(binds, body) => Expr::Let(
-            binds.iter().map(|(x, b)| (x.clone(), const_fold(b))).collect(),
+            binds
+                .iter()
+                .map(|(x, b)| (x.clone(), const_fold(b)))
+                .collect(),
             Box::new(const_fold(body)),
         ),
         Expr::Lambda(params, body) => Expr::Lambda(params.clone(), Box::new(const_fold(body))),
@@ -203,7 +211,10 @@ fn inline_in(e: &Expr, name: &str, params: &[String], body: &Expr) -> Expr {
                     b.clone(),
                 );
             }
-            Expr::Let(binds.iter().map(|(x, i)| (x.clone(), rec(i))).collect(), Box::new(rec(b)))
+            Expr::Let(
+                binds.iter().map(|(x, i)| (x.clone(), rec(i))).collect(),
+                Box::new(rec(b)),
+            )
         }
         Expr::Lambda(ps, b) => {
             if ps.iter().any(|p| p == name) {
@@ -231,7 +242,9 @@ fn inline_in(e: &Expr, name: &str, params: &[String], body: &Expr) -> Expr {
 pub fn inline_program(p: &Program) -> Program {
     let mut out = p.clone();
     for def in &p.defs {
-        let Expr::Lambda(params, body) = &def.expr else { continue };
+        let Expr::Lambda(params, body) = &def.expr else {
+            continue;
+        };
         if expr_size(body) > INLINE_LIMIT || mentions(body, &def.name) {
             continue;
         }
@@ -387,10 +400,9 @@ fn peephole_function(func: &Function) -> Function {
                 let (Instr::Jump(d) | Instr::JumpIfFalse(d)) = &code[old_i] else {
                     unreachable!("jump stayed a jump")
                 };
-                let old_target = usize::try_from(
-                    i64::try_from(old_i).expect("fits") + 1 + i64::from(*d),
-                )
-                .expect("target in range");
+                let old_target =
+                    usize::try_from(i64::try_from(old_i).expect("fits") + 1 + i64::from(*d))
+                        .expect("target in range");
                 let new_target = map[old_target];
                 let nd = i64::try_from(new_target).expect("fits")
                     - i64::try_from(new_i).expect("fits")
@@ -404,7 +416,12 @@ fn peephole_function(func: &Function) -> Function {
             other => other.clone(),
         })
         .collect();
-    Function { name: func.name.clone(), arity: func.arity, n_locals: func.n_locals, code: remapped }
+    Function {
+        name: func.name.clone(),
+        arity: func.arity,
+        n_locals: func.n_locals,
+        code: remapped,
+    }
 }
 
 /// Peephole-optimizes every function.
@@ -468,14 +485,11 @@ fn dce_function(func: &Function) -> Function {
         }
         let fixed = match instr {
             Instr::Jump(d) | Instr::JumpIfFalse(d) => {
-                let old_target = usize::try_from(
-                    i64::try_from(old_i).expect("fits") + 1 + i64::from(*d),
-                )
-                .expect("in range");
+                let old_target =
+                    usize::try_from(i64::try_from(old_i).expect("fits") + 1 + i64::from(*d))
+                        .expect("in range");
                 let new_target = map[old_target];
-                let nd = i64::try_from(new_target).expect("fits")
-                    - i64::from(new_i)
-                    - 1;
+                let nd = i64::try_from(new_target).expect("fits") - i64::from(new_i) - 1;
                 let nd = i32::try_from(nd).expect("delta fits");
                 match instr {
                     Instr::Jump(_) => Instr::Jump(nd),
@@ -515,7 +529,10 @@ pub fn compile_optimized(p: &Program, level: OptLevel) -> Result<Bytecode> {
         p.defs = p
             .defs
             .iter()
-            .map(|d| Def { name: d.name.clone(), expr: const_fold(&d.expr) })
+            .map(|d| Def {
+                name: d.name.clone(),
+                expr: const_fold(&d.expr),
+            })
             .collect();
         p.main = const_fold(&p.main);
     }
@@ -526,7 +543,10 @@ pub fn compile_optimized(p: &Program, level: OptLevel) -> Result<Bytecode> {
         p.defs = p
             .defs
             .iter()
-            .map(|d| Def { name: d.name.clone(), expr: const_fold(&d.expr) })
+            .map(|d| Def {
+                name: d.name.clone(),
+                expr: const_fold(&d.expr),
+            })
             .collect();
     }
     let mut bc = compile_program(&p)?;
@@ -550,7 +570,10 @@ mod tests {
         let p = parse_program(src).unwrap();
         crate::infer::infer_program(&p).unwrap();
         let bc = compile_optimized(&p, level).unwrap();
-        Vm::<Unboxed>::new(&bc, &NativeRegistry::new()).unwrap().run_int().unwrap()
+        Vm::<Unboxed>::new(&bc, &NativeRegistry::new())
+            .unwrap()
+            .run_int()
+            .unwrap()
     }
 
     #[test]
@@ -574,7 +597,10 @@ mod tests {
     #[test]
     fn const_fold_is_semantics_preserving_on_programs() {
         let src = "(define f (lambda (x) (+ x (* 2 3)))) (f (+ 10 20))";
-        assert_eq!(run_at(src, OptLevel::None), run_at(src, OptLevel::ConstFold));
+        assert_eq!(
+            run_at(src, OptLevel::None),
+            run_at(src, OptLevel::ConstFold)
+        );
     }
 
     #[test]
@@ -601,8 +627,14 @@ mod tests {
         let plain = compile_program(&p).unwrap();
         let opt = peephole(&plain);
         assert!(opt.instruction_count() < plain.instruction_count());
-        let r1 = Vm::<Unboxed>::new(&plain, &NativeRegistry::new()).unwrap().run_int().unwrap();
-        let r2 = Vm::<Unboxed>::new(&opt, &NativeRegistry::new()).unwrap().run_int().unwrap();
+        let r1 = Vm::<Unboxed>::new(&plain, &NativeRegistry::new())
+            .unwrap()
+            .run_int()
+            .unwrap();
+        let r2 = Vm::<Unboxed>::new(&opt, &NativeRegistry::new())
+            .unwrap()
+            .run_int()
+            .unwrap();
         assert_eq!(r1, r2);
     }
 
@@ -639,7 +671,10 @@ mod tests {
         let folded = peephole(&bc); // cond becomes ConstBool(true)
         let cleaned = dce(&folded);
         assert!(cleaned.instruction_count() <= folded.instruction_count());
-        let r = Vm::<Unboxed>::new(&cleaned, &NativeRegistry::new()).unwrap().run_int().unwrap();
+        let r = Vm::<Unboxed>::new(&cleaned, &NativeRegistry::new())
+            .unwrap()
+            .run_int()
+            .unwrap();
         assert_eq!(r, 1);
     }
 

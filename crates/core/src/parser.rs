@@ -26,7 +26,10 @@ impl Sexp {
 }
 
 fn parse_error(span: Span, message: impl Into<String>) -> BitcError {
-    BitcError::Parse { span, message: message.into() }
+    BitcError::Parse {
+        span,
+        message: message.into(),
+    }
 }
 
 fn read_sexp(tokens: &[SpannedToken], pos: &mut usize) -> Result<Sexp> {
@@ -111,7 +114,10 @@ fn to_expr(s: &Sexp) -> Result<Expr> {
                             return Err(parse_error(*span, "(let ((x e)...) body)"));
                         }
                         let Sexp::List(binds, _) = &items[1] else {
-                            return Err(parse_error(items[1].span(), "let bindings must be a list"));
+                            return Err(parse_error(
+                                items[1].span(),
+                                "let bindings must be a list",
+                            ));
                         };
                         let mut bindings = Vec::new();
                         for b in binds {
@@ -130,7 +136,10 @@ fn to_expr(s: &Sexp) -> Result<Expr> {
                             return Err(parse_error(*span, "(lambda (params) body)"));
                         }
                         let Sexp::List(params, _) = &items[1] else {
-                            return Err(parse_error(items[1].span(), "lambda params must be a list"));
+                            return Err(parse_error(
+                                items[1].span(),
+                                "lambda params must be a list",
+                            ));
                         };
                         let names: Result<Vec<String>> = params.iter().map(expect_sym).collect();
                         return Ok(Expr::Lambda(names?, Box::new(to_expr(&items[2])?)));
@@ -146,7 +155,10 @@ fn to_expr(s: &Sexp) -> Result<Expr> {
                         if items.len() != 3 {
                             return Err(parse_error(*span, "(set! name expr)"));
                         }
-                        return Ok(Expr::SetBang(expect_sym(&items[1])?, Box::new(to_expr(&items[2])?)));
+                        return Ok(Expr::SetBang(
+                            expect_sym(&items[1])?,
+                            Box::new(to_expr(&items[2])?),
+                        ));
                     }
                     "while" => {
                         if items.len() < 3 {
@@ -235,23 +247,34 @@ pub fn parse_program(src: &str) -> Result<Program> {
             Sexp::List(items, _) if matches!(items.first(), Some(Sexp::Sym(k, _)) if k == "define")
         );
         if is_define {
-            let Sexp::List(items, span) = s else { unreachable!() };
+            let Sexp::List(items, span) = s else {
+                unreachable!()
+            };
             if main.is_some() {
                 return Err(parse_error(*span, "define after the main expression"));
             }
             if items.len() != 3 {
                 return Err(parse_error(*span, "(define name expr)"));
             }
-            defs.push(Def { name: expect_sym(&items[1])?, expr: to_expr(&items[2])? });
+            defs.push(Def {
+                name: expect_sym(&items[1])?,
+                expr: to_expr(&items[2])?,
+            });
         } else {
             if i != sexps.len() - 1 {
-                return Err(parse_error(s.span(), "only the final form may be the main expression"));
+                return Err(parse_error(
+                    s.span(),
+                    "only the final form may be the main expression",
+                ));
             }
             main = Some(to_expr(s)?);
         }
     }
     let Some(main) = main else {
-        return Err(parse_error(Span::default(), "program has no main expression"));
+        return Err(parse_error(
+            Span::default(),
+            "program has no main expression",
+        ));
     };
     Ok(Program { defs, main })
 }
@@ -334,7 +357,10 @@ mod tests {
     /// head position would legitimately reparse as a special form).
     fn arb_name() -> impl Strategy<Value = String> {
         "[a-z][a-z0-9]{0,5}".prop_filter("not a keyword", |s| {
-            !matches!(s.as_str(), "unit" | "if" | "let" | "lambda" | "begin" | "while" | "define")
+            !matches!(
+                s.as_str(),
+                "unit" | "if" | "let" | "lambda" | "begin" | "while" | "define"
+            )
         })
     }
 
@@ -352,21 +378,17 @@ mod tests {
                     Box::new(b),
                     Box::new(c)
                 )),
-                (arb_name(), inner.clone(), inner.clone()).prop_map(|(x, e, b)| Expr::Let(
-                    vec![(x, e)],
-                    Box::new(b)
-                )),
-                (arb_name(), inner.clone()).prop_map(|(p, b)| Expr::Lambda(
-                    vec![p],
-                    Box::new(b)
-                )),
-                (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
+                (arb_name(), inner.clone(), inner.clone())
+                    .prop_map(|(x, e, b)| Expr::Let(vec![(x, e)], Box::new(b))),
+                (arb_name(), inner.clone()).prop_map(|(p, b)| Expr::Lambda(vec![p], Box::new(b))),
+                (
+                    inner.clone(),
+                    proptest::collection::vec(inner.clone(), 0..3)
+                )
                     .prop_map(|(h, args)| Expr::Apply(Box::new(h), args)),
                 proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::Begin),
-                (inner.clone(), inner.clone()).prop_map(|(n, i)| Expr::MakeVector(
-                    Box::new(n),
-                    Box::new(i)
-                )),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(n, i)| Expr::MakeVector(Box::new(n), Box::new(i))),
             ]
         })
     }

@@ -86,7 +86,10 @@ impl Scheme {
     /// A scheme with no quantified variables.
     #[must_use]
     pub fn mono(ty: Type) -> Self {
-        Scheme { vars: Vec::new(), ty }
+        Scheme {
+            vars: Vec::new(),
+            ty,
+        }
     }
 }
 
@@ -252,9 +255,15 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let t = Type::Fn(vec![Type::Int, Type::Var(1)], Box::new(Type::Vector(Box::new(Type::Var(1)))));
+        let t = Type::Fn(
+            vec![Type::Int, Type::Var(1)],
+            Box::new(Type::Vector(Box::new(Type::Var(1)))),
+        );
         assert_eq!(t.to_string(), "(int 'b) -> (vector 'b)");
-        let s = Scheme { vars: vec![1], ty: t };
+        let s = Scheme {
+            vars: vec![1],
+            ty: t,
+        };
         assert_eq!(s.to_string(), "forall 'b. (int 'b) -> (vector 'b)");
     }
 }

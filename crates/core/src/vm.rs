@@ -174,7 +174,9 @@ impl Rep for Boxed {
     fn to_bool(v: &Rc<BoxedCell>) -> Result<bool> {
         match **v {
             BoxedCell::Bool(b) => Ok(b),
-            ref other => Err(BitcError::runtime(format!("expected bool, found {other:?}"))),
+            ref other => Err(BitcError::runtime(format!(
+                "expected bool, found {other:?}"
+            ))),
         }
     }
 
@@ -189,7 +191,9 @@ impl Rep for Boxed {
     fn to_closure(v: &Rc<BoxedCell>) -> Result<u32> {
         match **v {
             BoxedCell::Closure(i) => Ok(i),
-            ref other => Err(BitcError::runtime(format!("expected closure, found {other:?}"))),
+            ref other => Err(BitcError::runtime(format!(
+                "expected closure, found {other:?}"
+            ))),
         }
     }
 
@@ -200,7 +204,9 @@ impl Rep for Boxed {
     fn to_vec(v: &Rc<BoxedCell>) -> Result<u32> {
         match **v {
             BoxedCell::Vector(i) => Ok(i),
-            ref other => Err(BitcError::runtime(format!("expected vector, found {other:?}"))),
+            ref other => Err(BitcError::runtime(format!(
+                "expected vector, found {other:?}"
+            ))),
         }
     }
 }
@@ -254,8 +260,11 @@ impl<'a, R: Rep> Vm<'a, R> {
     ///
     /// Returns a compile error if a referenced native is missing.
     pub fn new(bc: &'a Bytecode, registry: &NativeRegistry) -> Result<Self> {
-        let natives: Result<Vec<NativeFn>> =
-            bc.natives.iter().map(|n| registry.lookup(n).map(|(f, _)| f)).collect();
+        let natives: Result<Vec<NativeFn>> = bc
+            .natives
+            .iter()
+            .map(|n| registry.lookup(n).map(|(f, _)| f))
+            .collect();
         // Globals default to unit until their defining code runs.
         let max_global = bc
             .functions
@@ -298,11 +307,18 @@ impl<'a, R: Rep> Vm<'a, R> {
         for _ in 0..self.bc.functions[0].n_locals {
             stack.push(R::unit());
         }
-        frames.push(Frame { func: 0, ip: 0, base: 0, closure: None });
+        frames.push(Frame {
+            func: 0,
+            ip: 0,
+            base: 0,
+            closure: None,
+        });
 
         macro_rules! pop {
             () => {
-                stack.pop().ok_or_else(|| BitcError::runtime("operand stack underflow"))?
+                stack
+                    .pop()
+                    .ok_or_else(|| BitcError::runtime("operand stack underflow"))?
             };
         }
         macro_rules! int_binop {
@@ -448,7 +464,10 @@ impl<'a, R: Rep> Vm<'a, R> {
                     }
                     let idx = u32::try_from(self.closures.len())
                         .map_err(|_| BitcError::runtime("closure heap exhausted"))?;
-                    self.closures.push(ClosureRt { func, captures: values });
+                    self.closures.push(ClosureRt {
+                        func,
+                        captures: values,
+                    });
                     let v = self.produce(R::from_closure(idx));
                     stack.push(v);
                 }
@@ -546,7 +565,8 @@ impl<'a, R: Rep> Vm<'a, R> {
                     }
                     let idx = u32::try_from(self.vectors.len())
                         .map_err(|_| BitcError::runtime("vector heap exhausted"))?;
-                    self.vectors.push(vec![init; usize::try_from(len).expect("nonnegative")]);
+                    self.vectors
+                        .push(vec![init; usize::try_from(len).expect("nonnegative")]);
                     self.stats.value_allocations += 1;
                     let v = self.produce(R::from_vec(idx));
                     stack.push(v);
@@ -735,13 +755,14 @@ mod tests {
 
     #[test]
     fn tail_call_compiles_into_the_bytecode() {
-        let bc = compile_source(
-            "(define spin (lambda (n) (if (= n 0) 0 (spin (- n 1))))) (spin 3)",
-        )
-        .unwrap();
-        let has_tail = bc.functions.iter().flat_map(|f| &f.code).any(|i| {
-            matches!(i, crate::bytecode::Instr::TailCall(_))
-        });
+        let bc =
+            compile_source("(define spin (lambda (n) (if (= n 0) 0 (spin (- n 1))))) (spin 3)")
+                .unwrap();
+        let has_tail = bc
+            .functions
+            .iter()
+            .flat_map(|f| &f.code)
+            .any(|i| matches!(i, crate::bytecode::Instr::TailCall(_)));
         assert!(has_tail, "{}", bc.disassemble());
     }
 
@@ -764,7 +785,10 @@ mod tests {
         assert_eq!(vu.stats.value_allocations, 0);
         let mut vb = Vm::<Boxed>::new(&bc, &reg).unwrap();
         vb.run().unwrap();
-        assert!(vb.stats.value_allocations >= 5, "3 consts + 2 sums allocate");
+        assert!(
+            vb.stats.value_allocations >= 5,
+            "3 consts + 2 sums allocate"
+        );
     }
 
     #[test]
@@ -772,7 +796,10 @@ mod tests {
         let p = parse_program("(host-add (host-sum-to 10) 5)").unwrap();
         let bc = compile_program_with_natives(&p, &[("host-add", 2), ("host-sum-to", 1)]).unwrap();
         let reg = NativeRegistry::with_defaults();
-        assert_eq!(Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap(), 60);
+        assert_eq!(
+            Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap(),
+            60
+        );
         assert_eq!(Vm::<Boxed>::new(&bc, &reg).unwrap().run_int().unwrap(), 60);
     }
 
@@ -819,7 +846,11 @@ mod tests {
                 Ok(other) => panic!("corpus programs return ints, got {other}"),
                 Err(e) => panic!("interpreter failed on {src}: {e}"),
             };
-            assert_eq!(run_unboxed(src).unwrap(), expected, "unboxed vs interp: {src}");
+            assert_eq!(
+                run_unboxed(src).unwrap(),
+                expected,
+                "unboxed vs interp: {src}"
+            );
             assert_eq!(run_boxed(src).unwrap(), expected, "boxed vs interp: {src}");
         }
     }

@@ -48,16 +48,11 @@ use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// FNV-1a hash of a byte string; used to derive per-site seeds and log
-/// digests. Stable across platforms and runs by construction.
-#[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// digests. Stable across platforms and runs by construction. The
+/// implementation lives in `sysobs` (one copy for fault digests, flow
+/// hashing, and trace shape digests); re-exported here so existing callers
+/// keep their import path.
+pub use sysobs::fnv1a;
 
 /// SplitMix64: tiny, fast, well-distributed PRNG. One per site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,7 +119,10 @@ impl FaultPlan {
     /// An empty plan (no sites, nothing ever fires) under `seed`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, sites: BTreeMap::new() }
+        FaultPlan {
+            seed,
+            sites: BTreeMap::new(),
+        }
     }
 
     /// Builder: adds or replaces a site schedule.
@@ -231,7 +229,11 @@ impl FaultLog {
 
     fn push(&mut self, site: &str, site_call: u64) {
         let seq = self.records.len() as u64;
-        self.records.push(FaultRecord { site: site.to_string(), site_call, seq });
+        self.records.push(FaultRecord {
+            site: site.to_string(),
+            site_call,
+            seq,
+        });
     }
 }
 
@@ -269,7 +271,11 @@ impl FaultInjector {
                 (name.to_string(), state)
             })
             .collect();
-        FaultInjector { plan, sites, log: FaultLog::default() }
+        FaultInjector {
+            plan,
+            sites,
+            log: FaultLog::default(),
+        }
     }
 
     /// An injector that never fires (empty plan). The zero-cost default for
@@ -296,6 +302,14 @@ impl FaultInjector {
         };
         if fire {
             self.log.push(site, state.calls);
+            // Mirror the firing into the observability layer: a counter for
+            // the metrics snapshot, and (under full tracing) an instant
+            // event named after the site so a flight-recorder dump lines up
+            // with the FaultLog record by (site, site_call).
+            sysobs::obs_count!("fault.fired", 1);
+            if sysobs::tracing_on() {
+                sysobs::instant_dynamic(&format!("fault.fired.{site}"), state.calls);
+            }
         }
         fire
     }
@@ -333,13 +347,17 @@ impl SharedInjector {
     /// Wraps a plan for shared use.
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
-        SharedInjector { inner: Arc::new(Mutex::new(FaultInjector::new(plan))) }
+        SharedInjector {
+            inner: Arc::new(Mutex::new(FaultInjector::new(plan))),
+        }
     }
 
     /// A shared injector that never fires.
     #[must_use]
     pub fn disabled() -> Self {
-        SharedInjector { inner: Arc::new(Mutex::new(FaultInjector::disabled())) }
+        SharedInjector {
+            inner: Arc::new(Mutex::new(FaultInjector::disabled())),
+        }
     }
 
     /// Consults `site` under the lock.
@@ -387,7 +405,10 @@ mod tests {
         let plan = FaultPlan::new(1).with_site("s", Schedule::EveryNth(4));
         let mut inj = FaultInjector::new(plan);
         let fired: Vec<bool> = (0..8).map(|_| inj.should_fail("s")).collect();
-        assert_eq!(fired, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            fired,
+            vec![false, false, false, true, false, false, false, true]
+        );
     }
 
     #[test]
@@ -481,8 +502,7 @@ mod tests {
 
     #[test]
     fn shared_injector_is_usable_across_threads() {
-        let shared =
-            SharedInjector::new(FaultPlan::new(5).with_site("s", Schedule::EveryNth(10)));
+        let shared = SharedInjector::new(FaultPlan::new(5).with_site("s", Schedule::EveryNth(10)));
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let s = shared.clone();

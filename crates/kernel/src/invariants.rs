@@ -69,7 +69,11 @@ pub fn mint_procedure(seeded_bug: bool) -> Procedure {
         ensures.push(Formula::cmp(Cmp::Le, v(&out), v(&src)));
     }
     Procedure {
-        name: if seeded_bug { "mint-buggy".into() } else { "mint".into() },
+        name: if seeded_bug {
+            "mint-buggy".into()
+        } else {
+            "mint".into()
+        },
         requires: Formula::And(requires),
         ensures: Formula::And(ensures),
         body,
@@ -97,7 +101,11 @@ pub fn cspace_lookup_procedure(seeded_bug: bool) -> Procedure {
         Formula::cmp(Cmp::Lt, v("addr"), plus(v("base"), v("size"))),
     ]);
     Procedure {
-        name: if seeded_bug { "cspace-lookup-buggy".into() } else { "cspace-lookup".into() },
+        name: if seeded_bug {
+            "cspace-lookup-buggy".into()
+        } else {
+            "cspace-lookup".into()
+        },
         requires,
         ensures,
         body,
@@ -126,7 +134,11 @@ pub fn queue_enqueue_procedure(seeded_bug: bool) -> Procedure {
     let body = if seeded_bug {
         vec![bump, Stmt::Assign("count".into(), plus(v("count"), int(1)))]
     } else {
-        vec![bump, wrap, Stmt::Assign("count".into(), plus(v("count"), int(1)))]
+        vec![
+            bump,
+            wrap,
+            Stmt::Assign("count".into(), plus(v("count"), int(1))),
+        ]
     };
     let ensures = Formula::And(vec![
         Formula::cmp(Cmp::Ge, v("tail"), int(0)),
@@ -134,7 +146,11 @@ pub fn queue_enqueue_procedure(seeded_bug: bool) -> Procedure {
         Formula::cmp(Cmp::Le, v("count"), v("cap")),
     ]);
     Procedure {
-        name: if seeded_bug { "queue-enqueue-buggy".into() } else { "queue-enqueue".into() },
+        name: if seeded_bug {
+            "queue-enqueue-buggy".into()
+        } else {
+            "queue-enqueue".into()
+        },
         requires,
         ensures,
         body,
@@ -169,7 +185,11 @@ pub fn scheduler_block_procedure(seeded_bug: bool) -> Procedure {
     };
     let ensures = one_hot("ready", "blocked", "dead");
     Procedure {
-        name: if seeded_bug { "sched-block-buggy".into() } else { "sched-block".into() },
+        name: if seeded_bug {
+            "sched-block-buggy".into()
+        } else {
+            "sched-block".into()
+        },
         requires,
         ensures,
         body,
@@ -194,7 +214,11 @@ pub fn ipc_copy_procedure(seeded_bug: bool) -> Procedure {
     let body = vec![Stmt::Assign("end".into(), v("len"))];
     let ensures = Formula::cmp(Cmp::Le, v("end"), v("buf"));
     Procedure {
-        name: if seeded_bug { "ipc-copy-buggy".into() } else { "ipc-copy".into() },
+        name: if seeded_bug {
+            "ipc-copy-buggy".into()
+        } else {
+            "ipc-copy".into()
+        },
         requires,
         ensures,
         body,
@@ -239,7 +263,11 @@ pub fn watchdog_reap_procedure(seeded_bug: bool) -> Procedure {
         Formula::cmp(Cmp::Eq, v("blocked"), int(0)),
     );
     Procedure {
-        name: if seeded_bug { "watchdog-reap-buggy".into() } else { "watchdog-reap".into() },
+        name: if seeded_bug {
+            "watchdog-reap-buggy".into()
+        } else {
+            "watchdog-reap".into()
+        },
         requires,
         ensures,
         body,
@@ -289,7 +317,9 @@ mod tests {
     fn all_seeded_bugs_are_refuted() {
         for proc in seeded_bug_suite() {
             let results = verify_procedure(&proc);
-            let refuted = results.iter().any(|(_, o)| matches!(o, VcOutcome::Refuted(_)));
+            let refuted = results
+                .iter()
+                .any(|(_, o)| matches!(o, VcOutcome::Refuted(_)));
             assert!(refuted, "{} should have been refuted", proc.name);
         }
     }
@@ -316,8 +346,7 @@ mod tests {
 
     #[test]
     fn suite_names_are_distinct() {
-        let mut names: Vec<String> =
-            invariant_suite().into_iter().map(|p| p.name).collect();
+        let mut names: Vec<String> = invariant_suite().into_iter().map(|p| p.name).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 6);

@@ -42,13 +42,19 @@ impl Message {
     /// A plain data message.
     #[must_use]
     pub fn words(payload: &[u64]) -> Self {
-        Message { payload: payload.to_vec(), cap: None }
+        Message {
+            payload: payload.to_vec(),
+            cap: None,
+        }
     }
 
     /// An empty message.
     #[must_use]
     pub fn empty() -> Self {
-        Message { payload: Vec::new(), cap: None }
+        Message {
+            payload: Vec::new(),
+            cap: None,
+        }
     }
 }
 
@@ -193,6 +199,20 @@ pub struct FaultStats {
     pub oom_failures: u64,
 }
 
+impl FaultStats {
+    /// Renders these counters as a [`sysobs::Snapshot`] under `kernel.*` —
+    /// the kernel's slice of the unified observability surface.
+    #[must_use]
+    pub fn to_snapshot(&self) -> sysobs::Snapshot {
+        let mut snap = sysobs::Snapshot::default();
+        snap.set_counter("kernel.watchdog_reaps", self.watchdog_reaps);
+        snap.set_counter("kernel.shed_processes", self.shed_processes);
+        snap.set_counter("kernel.dropped_messages", self.dropped_messages);
+        snap.set_counter("kernel.oom_failures", self.oom_failures);
+        snap
+    }
+}
+
 /// One round trip's outcome under [`Kernel::ping_pong_resilient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IpcOutcome {
@@ -257,6 +277,23 @@ impl Kernel {
         self.fault_stats
     }
 
+    /// One unified metrics view of this kernel instance: recovery counters
+    /// (`kernel.*`), heap accounting and GC pauses (`mem.<heap>.*`), and the
+    /// cycle total — the [`sysobs::Snapshot`] experiment harnesses merge
+    /// with router and STM snapshots.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> sysobs::Snapshot {
+        let mut snap = self.fault_stats.to_snapshot();
+        snap.set_counter("kernel.cycles", self.cycles.total());
+        snap.merge(
+            &self
+                .mem
+                .stats()
+                .to_snapshot(&format!("mem.{}", self.mem.name())),
+        );
+        snap
+    }
+
     fn inject(&mut self, site: &str) -> bool {
         self.injector.as_ref().is_some_and(|i| i.should_fail(site))
     }
@@ -275,7 +312,11 @@ impl Kernel {
 
     fn new_object(&mut self, kind: ObjectKind, index: u32) -> ObjId {
         let id = ObjId(u32::try_from(self.objects.len()).expect("object ids fit u32"));
-        self.objects.push(ObjEntry { kind, index, alive: true });
+        self.objects.push(ObjEntry {
+            kind,
+            index,
+            alive: true,
+        });
         id
     }
 
@@ -319,11 +360,15 @@ impl Kernel {
     }
 
     fn process(&self, pid: Pid) -> Result<&Process> {
-        self.processes.get(pid.0 as usize).ok_or(KernelError::NoSuchProcess(pid))
+        self.processes
+            .get(pid.0 as usize)
+            .ok_or(KernelError::NoSuchProcess(pid))
     }
 
     fn process_mut(&mut self, pid: Pid) -> Result<&mut Process> {
-        self.processes.get_mut(pid.0 as usize).ok_or(KernelError::NoSuchProcess(pid))
+        self.processes
+            .get_mut(pid.0 as usize)
+            .ok_or(KernelError::NoSuchProcess(pid))
     }
 
     fn install_cap(&mut self, pid: Pid, cap: Capability) -> Result<CapSlot> {
@@ -349,8 +394,13 @@ impl Kernel {
             .ok_or(KernelError::InvalidCapSlot(slot))
     }
 
-    fn require(&mut self, cap: Capability, kind: ObjectKind, right: Rights, name: &'static str)
-        -> Result<u32> {
+    fn require(
+        &mut self,
+        cap: Capability,
+        kind: ObjectKind,
+        right: Rights,
+        name: &'static str,
+    ) -> Result<u32> {
         self.cycles.charge(cycles::RIGHTS_CHECK);
         // A capability whose target id is outside the object table is as
         // dangling as one whose target died — report it, don't index-panic.
@@ -384,9 +434,15 @@ impl Kernel {
     pub fn create_endpoint(&mut self, owner: Pid) -> Result<CapSlot> {
         self.cycles.charge(cycles::OBJECT_ALLOC);
         let index = u32::try_from(self.endpoints.len()).expect("fits");
-        self.endpoints.push(Endpoint { alive: true, ..Endpoint::default() });
+        self.endpoints.push(Endpoint {
+            alive: true,
+            ..Endpoint::default()
+        });
         let id = self.new_object(ObjectKind::Endpoint, index);
-        self.install_cap(owner, Capability::new(id, ObjectKind::Endpoint, Rights::ALL))
+        self.install_cap(
+            owner,
+            Capability::new(id, ObjectKind::Endpoint, Rights::ALL),
+        )
     }
 
     /// Root-task operation: mints a diminished copy of `from`'s capability
@@ -395,8 +451,13 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails on bad slots, missing GRANT, or a full destination c-space.
-    pub fn grant_cap(&mut self, from: Pid, slot: CapSlot, to: Pid, rights: Rights)
-        -> Result<CapSlot> {
+    pub fn grant_cap(
+        &mut self,
+        from: Pid,
+        slot: CapSlot,
+        to: Pid,
+        rights: Rights,
+    ) -> Result<CapSlot> {
         let cap = self.lookup_cap(from, slot)?;
         self.cycles.charge(cycles::RIGHTS_CHECK);
         if !cap.rights.contains(Rights::GRANT) {
@@ -433,13 +494,18 @@ impl Kernel {
 
     /// Pops the next delivered message for `pid`.
     pub fn take_delivered(&mut self, pid: Pid) -> Option<Message> {
-        self.processes.get_mut(pid.0 as usize)?.delivered.pop_front()
+        self.processes
+            .get_mut(pid.0 as usize)?
+            .delivered
+            .pop_front()
     }
 
     /// True if the process is ready to run.
     #[must_use]
     pub fn is_ready(&self, pid: Pid) -> bool {
-        self.processes.get(pid.0 as usize).is_some_and(|p| p.state == ProcState::Ready)
+        self.processes
+            .get(pid.0 as usize)
+            .is_some_and(|p| p.state == ProcState::Ready)
     }
 
     /// The scheduler: returns the next ready process, rotating the queue.
@@ -448,6 +514,7 @@ impl Kernel {
     /// blocked IPC whose deadline has passed — so a lost message costs its
     /// sender a timeout, never the system a hang.
     pub fn schedule(&mut self) -> Option<Pid> {
+        sysobs::obs_span!("kernel.schedule");
         self.cycles.charge(cycles::SCHEDULE);
         self.watchdog_sweep();
         for _ in 0..self.run_queue.len() {
@@ -464,7 +531,9 @@ impl Kernel {
     }
 
     fn wake(&mut self, pid: Pid) {
-        let Ok(proc) = self.process_mut(pid) else { return };
+        let Ok(proc) = self.process_mut(pid) else {
+            return;
+        };
         if proc.state != ProcState::Dead {
             proc.state = ProcState::Ready;
             self.run_queue.push_back(pid);
@@ -481,9 +550,13 @@ impl Kernel {
             .iter()
             .enumerate()
             .filter_map(|(i, p)| {
-                let blocked =
-                    matches!(p.state, ProcState::BlockedSend(_) | ProcState::BlockedRecv(_));
-                let expired = p.deadline.is_some_and(|d| now.saturating_sub(p.blocked_at) > d);
+                let blocked = matches!(
+                    p.state,
+                    ProcState::BlockedSend(_) | ProcState::BlockedRecv(_)
+                );
+                let expired = p
+                    .deadline
+                    .is_some_and(|d| now.saturating_sub(p.blocked_at) > d);
                 (blocked && expired).then(|| Pid(u32::try_from(i).expect("pids fit u32")))
             })
             .collect();
@@ -491,13 +564,17 @@ impl Kernel {
             self.cycles.charge(cycles::WATCHDOG_REAP);
             self.cancel_ipc(pid);
             self.fault_stats.watchdog_reaps += 1;
+            sysobs::obs_count!("kernel.watchdog_reaps", 1);
+            sysobs::obs_instant!("kernel.watchdog.reap", u64::from(pid.0));
         }
     }
 
     /// Cancels `pid`'s blocked IPC (if any): removes it from endpoint
     /// queues, frees its stored message, and wakes it with `timed_out` set.
     fn cancel_ipc(&mut self, pid: Pid) {
-        let Ok(state) = self.process(pid).map(|p| p.state) else { return };
+        let Ok(state) = self.process(pid).map(|p| p.state) else {
+            return;
+        };
         match state {
             ProcState::BlockedSend(ep) => {
                 let Some(queue) = self.endpoints.get_mut(ep as usize).map(|e| &mut e.senders)
@@ -571,6 +648,8 @@ impl Kernel {
             proc.state = ProcState::Dead;
         }
         self.fault_stats.shed_processes += 1;
+        sysobs::obs_count!("kernel.shed_processes", 1);
+        sysobs::obs_instant!("kernel.oom.shed", u64::from(victim.0));
         Some(victim)
     }
 
@@ -590,6 +669,7 @@ impl Kernel {
             }
         }
         self.fault_stats.oom_failures += 1;
+        sysobs::obs_count!("kernel.oom_failures", 1);
         Err(KernelError::OutOfMemory)
     }
 
@@ -597,11 +677,18 @@ impl Kernel {
         let len = msg.payload.len();
         let handle = self.kernel_alloc(sender, len.max(1))?;
         for (i, w) in msg.payload.iter().enumerate() {
-            self.mem.set_word(handle, i, *w).map_err(|_| KernelError::OutOfMemory)?;
+            self.mem
+                .set_word(handle, i, *w)
+                .map_err(|_| KernelError::OutOfMemory)?;
         }
         self.mem.add_root(handle);
         self.cycles.charge(cycles::COPY_WORD * len as u64);
-        Ok(StoredMessage { handle, len, cap: msg.cap, sender })
+        Ok(StoredMessage {
+            handle,
+            len,
+            cap: msg.cap,
+            sender,
+        })
     }
 
     /// Releases a stored message's heap object without delivering it.
@@ -623,7 +710,10 @@ impl Kernel {
         }
         self.cycles.charge(cycles::COPY_WORD * stored.len as u64);
         self.release_stored(stored);
-        Ok(Message { payload, cap: stored.cap })
+        Ok(Message {
+            payload,
+            cap: stored.cap,
+        })
     }
 
     fn deliver_to(&mut self, receiver: Pid, stored: StoredMessage) -> Result<()> {
@@ -639,7 +729,9 @@ impl Kernel {
 
     fn block(&mut self, pid: Pid, state: ProcState) {
         let now = self.cycles.total();
-        let Ok(proc) = self.process_mut(pid) else { return };
+        let Ok(proc) = self.process_mut(pid) else {
+            return;
+        };
         proc.state = state;
         proc.blocked_at = now;
     }
@@ -651,6 +743,7 @@ impl Kernel {
     /// Every failure mode is a typed [`KernelError`]; the kernel never
     /// panics on user input (the "segfaults should never happen" rule).
     pub fn syscall(&mut self, pid: Pid, call: Syscall) -> Result<SysResult> {
+        sysobs::obs_span!("kernel.syscall");
         self.cycles.charge(cycles::SYSCALL);
         {
             let proc = self.process(pid)?;
@@ -674,6 +767,7 @@ impl Kernel {
                     // and retry recover from this — which is the point.
                     self.release_stored(&stored);
                     self.fault_stats.dropped_messages += 1;
+                    sysobs::obs_count!("kernel.dropped_messages", 1);
                     return Ok(SysResult::Delivered);
                 }
                 if let Some(receiver) = self.endpoints[ep_index as usize].receivers.pop_front() {
@@ -720,7 +814,12 @@ impl Kernel {
                 self.mem.add_root(handle);
                 let index = u32::try_from(self.pages.len()).expect("fits");
                 let id = self.new_object(ObjectKind::Page, index);
-                self.pages.push(PageEntry { handle, owner: pid, obj: id, alive: true });
+                self.pages.push(PageEntry {
+                    handle,
+                    owner: pid,
+                    obj: id,
+                    alive: true,
+                });
                 let slot =
                     self.install_cap(pid, Capability::new(id, ObjectKind::Page, Rights::ALL))?;
                 Ok(SysResult::Slot(slot))
@@ -791,16 +890,33 @@ impl Kernel {
         reply_ep: (CapSlot, CapSlot),
         words: usize,
     ) -> Result<u64> {
+        sysobs::obs_span!("kernel.ipc.ping_pong");
         let snapshot = self.cycles;
         let payload = vec![0xAB; words];
         // Server posts a receive, then client sends (rendezvous).
         self.syscall(server, Syscall::Recv { cap: request_ep.0 })?;
-        self.syscall(client, Syscall::Send { cap: request_ep.1, msg: Message::words(&payload) })?;
-        let req = self.take_delivered(server).ok_or(KernelError::DanglingCapability)?;
+        self.syscall(
+            client,
+            Syscall::Send {
+                cap: request_ep.1,
+                msg: Message::words(&payload),
+            },
+        )?;
+        let req = self
+            .take_delivered(server)
+            .ok_or(KernelError::DanglingCapability)?;
         // Client waits for the reply; server echoes.
         self.syscall(client, Syscall::Recv { cap: reply_ep.1 })?;
-        self.syscall(server, Syscall::Send { cap: reply_ep.0, msg: Message::words(&req.payload) })?;
-        let _ = self.take_delivered(client).ok_or(KernelError::DanglingCapability)?;
+        self.syscall(
+            server,
+            Syscall::Send {
+                cap: reply_ep.0,
+                msg: Message::words(&req.payload),
+            },
+        )?;
+        let _ = self
+            .take_delivered(client)
+            .ok_or(KernelError::DanglingCapability)?;
         Ok(self.cycles.since(snapshot))
     }
 
@@ -867,7 +983,8 @@ impl Kernel {
         let mut retries = 0u32;
         while retries <= max_retries {
             if retries > 0 {
-                self.cycles.charge(cycles::BACKOFF_BASE << (retries - 1).min(16));
+                self.cycles
+                    .charge(cycles::BACKOFF_BASE << (retries - 1).min(16));
             }
             // Recover any party left blocked by a failed attempt, and drop
             // stale half-round-trip messages so a late reply from attempt
@@ -884,7 +1001,10 @@ impl Kernel {
                 self.syscall(server, Syscall::Recv { cap: request_ep.0 })?;
                 self.syscall(
                     client,
-                    Syscall::Send { cap: request_ep.1, msg: Message::words(&payload) },
+                    Syscall::Send {
+                        cap: request_ep.1,
+                        msg: Message::words(&payload),
+                    },
                 )?;
                 let Some(req) = self.take_delivered(server) else {
                     return Ok(false); // request lost in transit
@@ -892,13 +1012,19 @@ impl Kernel {
                 self.syscall(client, Syscall::Recv { cap: reply_ep.1 })?;
                 self.syscall(
                     server,
-                    Syscall::Send { cap: reply_ep.0, msg: Message::words(&req.payload) },
+                    Syscall::Send {
+                        cap: reply_ep.0,
+                        msg: Message::words(&req.payload),
+                    },
                 )?;
                 Ok(self.take_delivered(client).is_some())
             })();
             match attempt {
                 Ok(true) => {
-                    return Ok(IpcOutcome { cycles: self.cycles.since(snapshot), retries })
+                    return Ok(IpcOutcome {
+                        cycles: self.cycles.since(snapshot),
+                        retries,
+                    })
                 }
                 Ok(false) => retries += 1,
                 Err(ref e) if recoverable(e) => retries += 1,
@@ -944,17 +1070,28 @@ mod tests {
         let server = k.spawn_process();
         let client = k.spawn_process();
         let ep_server = k.create_endpoint(server).unwrap();
-        let ep_client = k.grant_cap(server, ep_server, client, Rights::SEND).unwrap();
+        let ep_client = k
+            .grant_cap(server, ep_server, client, Rights::SEND)
+            .unwrap();
         (k, server, client, ep_server, ep_client)
     }
 
     #[test]
     fn rendezvous_delivers_payload() {
         let (mut k, server, client, ep_server, ep_client) = setup();
-        assert_eq!(k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap(), SysResult::Blocked);
+        assert_eq!(
+            k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap(),
+            SysResult::Blocked
+        );
         assert!(!k.is_ready(server));
         let r = k
-            .syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[1, 2, 3]) })
+            .syscall(
+                client,
+                Syscall::Send {
+                    cap: ep_client,
+                    msg: Message::words(&[1, 2, 3]),
+                },
+            )
             .unwrap();
         assert_eq!(r, SysResult::Delivered);
         assert!(k.is_ready(server), "receiver woken by rendezvous");
@@ -965,7 +1102,13 @@ mod tests {
     fn sender_blocks_until_receiver_arrives() {
         let (mut k, server, client, ep_server, ep_client) = setup();
         let r = k
-            .syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[9]) })
+            .syscall(
+                client,
+                Syscall::Send {
+                    cap: ep_client,
+                    msg: Message::words(&[9]),
+                },
+            )
             .unwrap();
         assert_eq!(r, SysResult::Blocked);
         assert!(!k.is_ready(client));
@@ -979,9 +1122,17 @@ mod tests {
         let (mut k, server, client, ep_server, _) = setup();
         // Client got SEND only; server granting RECV-only produces a cap
         // that cannot send.
-        let recv_only = k.grant_cap(server, ep_server, client, Rights::RECV).unwrap();
+        let recv_only = k
+            .grant_cap(server, ep_server, client, Rights::RECV)
+            .unwrap();
         let err = k
-            .syscall(client, Syscall::Send { cap: recv_only, msg: Message::empty() })
+            .syscall(
+                client,
+                Syscall::Send {
+                    cap: recv_only,
+                    msg: Message::empty(),
+                },
+            )
             .unwrap_err();
         assert_eq!(err, KernelError::InsufficientRights { required: "SEND" });
     }
@@ -991,7 +1142,9 @@ mod tests {
         let (mut k, server, client, _ep_server, ep_client) = setup();
         // Client's cap was minted with SEND only; it cannot re-grant.
         let third = k.spawn_process();
-        let err = k.grant_cap(client, ep_client, third, Rights::SEND).unwrap_err();
+        let err = k
+            .grant_cap(client, ep_client, third, Rights::SEND)
+            .unwrap_err();
         assert_eq!(err, KernelError::InsufficientRights { required: "GRANT" });
         let _ = server;
     }
@@ -1000,8 +1153,16 @@ mod tests {
     fn mint_never_amplifies() {
         let (mut k, server, _, ep_server, _) = setup();
         // Server holds ALL; minting SEND|RECV gives exactly that.
-        let r = k.syscall(server, Syscall::Mint { src: ep_server, rights: Rights::SEND | Rights::RECV });
-        let SysResult::Slot(slot) = r.unwrap() else { panic!("expected slot") };
+        let r = k.syscall(
+            server,
+            Syscall::Mint {
+                src: ep_server,
+                rights: Rights::SEND | Rights::RECV,
+            },
+        );
+        let SysResult::Slot(slot) = r.unwrap() else {
+            panic!("expected slot")
+        };
         let cap = k.lookup_cap(server, slot).unwrap();
         assert_eq!(cap.rights, Rights::SEND | Rights::RECV);
     }
@@ -1014,18 +1175,32 @@ mod tests {
         else {
             panic!("expected slot")
         };
-        k.syscall(server, Syscall::WritePage { cap: page, offset: 3, value: 77 }).unwrap();
+        k.syscall(
+            server,
+            Syscall::WritePage {
+                cap: page,
+                offset: 3,
+                value: 77,
+            },
+        )
+        .unwrap();
         let page_cap = k.lookup_cap(server, page).unwrap();
         let readonly = page_cap.mint(Rights::READ);
         k.syscall(client, Syscall::Recv { cap: ep_client }).err();
         // Client needs RECV; grant it.
-        let ep_client_rv = k.grant_cap(server, ep_server, client, Rights::RECV).unwrap();
-        k.syscall(client, Syscall::Recv { cap: ep_client_rv }).unwrap();
+        let ep_client_rv = k
+            .grant_cap(server, ep_server, client, Rights::RECV)
+            .unwrap();
+        k.syscall(client, Syscall::Recv { cap: ep_client_rv })
+            .unwrap();
         k.syscall(
             server,
             Syscall::Send {
                 cap: ep_server,
-                msg: Message { payload: vec![], cap: Some(readonly) },
+                msg: Message {
+                    payload: vec![],
+                    cap: Some(readonly),
+                },
             },
         )
         .unwrap();
@@ -1040,15 +1215,29 @@ mod tests {
                     .unwrap_or(false)
             })
             .expect("transferred page cap present");
-        let SysResult::Value(v) =
-            k.syscall(client, Syscall::ReadPage { cap: transferred, offset: 3 }).unwrap()
+        let SysResult::Value(v) = k
+            .syscall(
+                client,
+                Syscall::ReadPage {
+                    cap: transferred,
+                    offset: 3,
+                },
+            )
+            .unwrap()
         else {
             panic!("expected value")
         };
         assert_eq!(v, 77);
         // But writing through the READ-only cap fails.
         let err = k
-            .syscall(client, Syscall::WritePage { cap: transferred, offset: 0, value: 1 })
+            .syscall(
+                client,
+                Syscall::WritePage {
+                    cap: transferred,
+                    offset: 0,
+                    value: 1,
+                },
+            )
             .unwrap_err();
         assert_eq!(err, KernelError::InsufficientRights { required: "WRITE" });
     }
@@ -1060,16 +1249,31 @@ mod tests {
         let SysResult::Slot(page) = k.syscall(p, Syscall::AllocPage { words: 4 }).unwrap() else {
             panic!("expected slot")
         };
-        let err = k.syscall(p, Syscall::ReadPage { cap: page, offset: 10 }).unwrap_err();
+        let err = k
+            .syscall(
+                p,
+                Syscall::ReadPage {
+                    cap: page,
+                    offset: 10,
+                },
+            )
+            .unwrap_err();
         assert_eq!(err, KernelError::PageFault { offset: 10 });
     }
 
     #[test]
     fn destroyed_endpoint_dangles() {
         let (mut k, server, client, ep_server, ep_client) = setup();
-        k.syscall(server, Syscall::DestroyEndpoint { cap: ep_server }).unwrap();
+        k.syscall(server, Syscall::DestroyEndpoint { cap: ep_server })
+            .unwrap();
         let err = k
-            .syscall(client, Syscall::Send { cap: ep_client, msg: Message::empty() })
+            .syscall(
+                client,
+                Syscall::Send {
+                    cap: ep_client,
+                    msg: Message::empty(),
+                },
+            )
             .unwrap_err();
         assert_eq!(err, KernelError::DanglingCapability);
     }
@@ -1077,9 +1281,17 @@ mod tests {
     #[test]
     fn destroying_endpoint_wakes_waiters() {
         let (mut k, server, client, ep_server, ep_client) = setup();
-        k.syscall(client, Syscall::Send { cap: ep_client, msg: Message::empty() }).unwrap();
+        k.syscall(
+            client,
+            Syscall::Send {
+                cap: ep_client,
+                msg: Message::empty(),
+            },
+        )
+        .unwrap();
         assert!(!k.is_ready(client));
-        k.syscall(server, Syscall::DestroyEndpoint { cap: ep_server }).unwrap();
+        k.syscall(server, Syscall::DestroyEndpoint { cap: ep_server })
+            .unwrap();
         assert!(k.is_ready(client), "blocked sender must not hang forever");
     }
 
@@ -1096,7 +1308,10 @@ mod tests {
         let mut k = Kernel::with_default_heap();
         let p = k.spawn_process();
         k.syscall(p, Syscall::Exit).unwrap();
-        assert_eq!(k.syscall(p, Syscall::Yield).unwrap_err(), KernelError::ProcessDead(p));
+        assert_eq!(
+            k.syscall(p, Syscall::Yield).unwrap_err(),
+            KernelError::ProcessDead(p)
+        );
     }
 
     #[test]
@@ -1107,19 +1322,34 @@ mod tests {
         let (mut k, server, client, ep_server, ep_client) = setup();
         k.syscall(client, Syscall::Exit).unwrap();
         assert_eq!(
-            k.syscall(client, Syscall::Send { cap: ep_client, msg: Message::empty() })
-                .unwrap_err(),
+            k.syscall(
+                client,
+                Syscall::Send {
+                    cap: ep_client,
+                    msg: Message::empty()
+                }
+            )
+            .unwrap_err(),
             KernelError::ProcessDead(client)
         );
         // A pid the kernel never issued: out of bounds for the process table.
         let ghost = Pid(999);
-        assert_eq!(k.syscall(ghost, Syscall::Yield).unwrap_err(), KernelError::NoSuchProcess(ghost));
-        assert_eq!(k.poll_ipc(ghost).unwrap_err(), KernelError::NoSuchProcess(ghost));
+        assert_eq!(
+            k.syscall(ghost, Syscall::Yield).unwrap_err(),
+            KernelError::NoSuchProcess(ghost)
+        );
+        assert_eq!(
+            k.poll_ipc(ghost).unwrap_err(),
+            KernelError::NoSuchProcess(ghost)
+        );
         assert_eq!(
             k.set_ipc_deadline(ghost, Some(100)).unwrap_err(),
             KernelError::NoSuchProcess(ghost)
         );
-        assert_eq!(k.set_essential(ghost, true).unwrap_err(), KernelError::NoSuchProcess(ghost));
+        assert_eq!(
+            k.set_essential(ghost, true).unwrap_err(),
+            KernelError::NoSuchProcess(ghost)
+        );
         assert!(k.take_delivered(ghost).is_none());
         assert!(!k.is_ready(ghost));
         assert!(k.authority(ghost).is_empty());
@@ -1177,14 +1407,28 @@ mod tests {
     fn ping_pong_round_trip_works_and_counts_cycles() {
         let (mut k, server, client, ep_server, ep_client) = setup();
         let reply_server = k.create_endpoint(server).unwrap();
-        let reply_client = k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+        let reply_client = k
+            .grant_cap(server, reply_server, client, Rights::RECV)
+            .unwrap();
         let cycles = k
-            .ping_pong(client, server, (ep_server, ep_client), (reply_server, reply_client), 8)
+            .ping_pong(
+                client,
+                server,
+                (ep_server, ep_client),
+                (reply_server, reply_client),
+                8,
+            )
             .unwrap();
         assert!(cycles > 0);
         // Larger payloads must cost more cycles.
         let cycles_big = k
-            .ping_pong(client, server, (ep_server, ep_client), (reply_server, reply_client), 256)
+            .ping_pong(
+                client,
+                server,
+                (ep_server, ep_client),
+                (reply_server, reply_client),
+                256,
+            )
             .unwrap();
         assert!(cycles_big > cycles);
     }
@@ -1202,8 +1446,14 @@ mod tests {
             let ep_c = k.grant_cap(server, ep_s, client, Rights::SEND).unwrap();
             for i in 0..200 {
                 k.syscall(server, Syscall::Recv { cap: ep_s }).unwrap();
-                k.syscall(client, Syscall::Send { cap: ep_c, msg: Message::words(&[i; 16]) })
-                    .unwrap();
+                k.syscall(
+                    client,
+                    Syscall::Send {
+                        cap: ep_c,
+                        msg: Message::words(&[i; 16]),
+                    },
+                )
+                .unwrap();
                 let m = k.take_delivered(server).unwrap();
                 assert_eq!(m.payload, vec![i; 16]);
             }
@@ -1234,15 +1484,28 @@ mod tests {
         let (mut k, _, client, _, ep_client) = setup();
         k.set_ipc_deadline(client, Some(500)).unwrap();
         let live_before = k.heap_live_bytes();
-        k.syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[1; 64]) })
-            .unwrap();
-        assert!(k.heap_live_bytes() > live_before, "queued message holds heap");
+        k.syscall(
+            client,
+            Syscall::Send {
+                cap: ep_client,
+                msg: Message::words(&[1; 64]),
+            },
+        )
+        .unwrap();
+        assert!(
+            k.heap_live_bytes() > live_before,
+            "queued message holds heap"
+        );
         for _ in 0..20 {
             k.schedule();
         }
         assert!(k.is_ready(client));
         assert_eq!(k.poll_ipc(client).unwrap(), SysResult::TimedOut);
-        assert_eq!(k.heap_live_bytes(), live_before, "reaped message must not leak");
+        assert_eq!(
+            k.heap_live_bytes(),
+            live_before,
+            "reaped message must not leak"
+        );
     }
 
     #[test]
@@ -1252,7 +1515,10 @@ mod tests {
         for _ in 0..100 {
             k.schedule();
         }
-        assert!(!k.is_ready(server), "without a deadline the watchdog stays out");
+        assert!(
+            !k.is_ready(server),
+            "without a deadline the watchdog stays out"
+        );
     }
 
     #[test]
@@ -1264,14 +1530,27 @@ mod tests {
         ));
         k.syscall(server, Syscall::Recv { cap: ep_server }).unwrap();
         let r = k
-            .syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[7]) })
+            .syscall(
+                client,
+                Syscall::Send {
+                    cap: ep_client,
+                    msg: Message::words(&[7]),
+                },
+            )
             .unwrap();
         assert_eq!(r, SysResult::Delivered, "sender believes the send worked");
         assert!(k.take_delivered(server).is_none(), "receiver got nothing");
         assert!(!k.is_ready(server), "receiver still waiting");
         assert_eq!(k.fault_stats().dropped_messages, 1);
         // Second send is not dropped (one-shot) and reaches the receiver.
-        k.syscall(client, Syscall::Send { cap: ep_client, msg: Message::words(&[8]) }).unwrap();
+        k.syscall(
+            client,
+            Syscall::Send {
+                cap: ep_client,
+                msg: Message::words(&[8]),
+            },
+        )
+        .unwrap();
         assert_eq!(k.take_delivered(server).unwrap().payload, vec![8]);
     }
 
@@ -1282,7 +1561,9 @@ mod tests {
         let worker = k.spawn_process();
         let expendable = k.spawn_process();
         k.set_essential(worker, true).unwrap();
-        let SysResult::Slot(_) = k.syscall(expendable, Syscall::AllocPage { words: 8 }).unwrap()
+        let SysResult::Slot(_) = k
+            .syscall(expendable, Syscall::AllocPage { words: 8 })
+            .unwrap()
         else {
             panic!("expected slot")
         };
@@ -1311,7 +1592,10 @@ mod tests {
         k.set_essential(worker, true).unwrap();
         k.syscall(hog, Syscall::AllocPage { words: 300 }).unwrap();
         let r = k.syscall(worker, Syscall::AllocPage { words: 300 });
-        assert!(matches!(r, Ok(SysResult::Slot(_))), "shedding should free room: {r:?}");
+        assert!(
+            matches!(r, Ok(SysResult::Slot(_))),
+            "shedding should free room: {r:?}"
+        );
         assert_eq!(k.fault_stats().shed_processes, 1);
         let r = k.syscall(worker, Syscall::AllocPage { words: 10_000 });
         assert_eq!(r.unwrap_err(), KernelError::OutOfMemory);
@@ -1321,7 +1605,9 @@ mod tests {
     fn resilient_ping_pong_matches_plain_when_fault_free() {
         let (mut k, server, client, ep_server, ep_client) = setup();
         let reply_server = k.create_endpoint(server).unwrap();
-        let reply_client = k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+        let reply_client = k
+            .grant_cap(server, reply_server, client, Rights::RECV)
+            .unwrap();
         let out = k
             .ping_pong_resilient(
                 client,
@@ -1342,7 +1628,9 @@ mod tests {
         use sysfault::{FaultPlan, Schedule, SharedInjector};
         let (mut k, server, client, ep_server, ep_client) = setup();
         let reply_server = k.create_endpoint(server).unwrap();
-        let reply_client = k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+        let reply_client = k
+            .grant_cap(server, reply_server, client, Rights::RECV)
+            .unwrap();
         k.set_injector(SharedInjector::new(
             FaultPlan::new(1).with_site(SITE_IPC_DROP, Schedule::OneShotAt(1)),
         ));
@@ -1358,7 +1646,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.retries, 1, "one attempt lost to the drop");
-        assert!(k.fault_stats().watchdog_reaps >= 1, "recovery went through the watchdog");
+        assert!(
+            k.fault_stats().watchdog_reaps >= 1,
+            "recovery went through the watchdog"
+        );
     }
 
     #[test]
@@ -1366,7 +1657,9 @@ mod tests {
         use sysfault::{FaultPlan, Schedule, SharedInjector};
         let (mut k, server, client, ep_server, ep_client) = setup();
         let reply_server = k.create_endpoint(server).unwrap();
-        let reply_client = k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+        let reply_client = k
+            .grant_cap(server, reply_server, client, Rights::RECV)
+            .unwrap();
         // Every send is dropped: no retry budget can succeed.
         k.set_injector(SharedInjector::new(
             FaultPlan::new(1).with_site(SITE_IPC_DROP, Schedule::EveryNth(1)),
@@ -1394,8 +1687,9 @@ mod tests {
         let run = |plan: FaultPlan| {
             let (mut k, server, client, ep_server, ep_client) = setup();
             let reply_server = k.create_endpoint(server).unwrap();
-            let reply_client =
-                k.grant_cap(server, reply_server, client, Rights::RECV).unwrap();
+            let reply_client = k
+                .grant_cap(server, reply_server, client, Rights::RECV)
+                .unwrap();
             let inj = SharedInjector::new(plan);
             k.set_injector(inj.clone());
             let mut outcomes = Vec::new();
@@ -1434,5 +1728,22 @@ mod tests {
             }
         }
         assert_eq!(last.unwrap_err(), KernelError::CapSpaceFull);
+    }
+
+    #[test]
+    fn metrics_snapshot_unifies_kernel_and_heap_counters() {
+        let mut k = Kernel::with_default_heap();
+        let p = k.spawn_process();
+        let _ = k.syscall(p, Syscall::AllocPage { words: 4 });
+        let snap = k.metrics_snapshot();
+        assert!(
+            snap.counter("kernel.cycles") > 0,
+            "cycles were charged: {snap}"
+        );
+        assert_eq!(snap.counter("kernel.watchdog_reaps"), 0);
+        assert!(
+            snap.counter("mem.freelist.allocs") > 0,
+            "heap accounting flows through the same snapshot: {snap}"
+        );
     }
 }

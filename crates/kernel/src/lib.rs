@@ -153,6 +153,8 @@ mod tests {
     fn errors_name_their_cause() {
         let e = KernelError::InsufficientRights { required: "WRITE" };
         assert_eq!(e.to_string(), "capability lacks WRITE right");
-        assert!(KernelError::RightsAmplification.to_string().contains("amplify"));
+        assert!(KernelError::RightsAmplification
+            .to_string()
+            .contains("amplify"));
     }
 }

@@ -51,14 +51,22 @@ impl Capability {
     /// Creates a capability.
     #[must_use]
     pub fn new(target: ObjId, kind: ObjectKind, rights: Rights) -> Self {
-        Capability { target, kind, rights }
+        Capability {
+            target,
+            kind,
+            rights,
+        }
     }
 
     /// Mints a diminished copy: the result's rights are the intersection of
     /// this capability's rights with `requested`. Never amplifies.
     #[must_use]
     pub fn mint(&self, requested: Rights) -> Capability {
-        Capability { target: self.target, kind: self.kind, rights: self.rights & requested }
+        Capability {
+            target: self.target,
+            kind: self.kind,
+            rights: self.rights & requested,
+        }
     }
 }
 

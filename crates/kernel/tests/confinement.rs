@@ -6,7 +6,7 @@
 //! process may only gain authority through a capability transferred over an
 //! endpoint it could already reach.
 
-use microkernel::kernel::{Kernel, Message, Syscall, SysResult};
+use microkernel::kernel::{Kernel, Message, SysResult, Syscall};
 use microkernel::rights::Rights;
 use microkernel::{CapSlot, Pid};
 use proptest::prelude::*;
@@ -32,8 +32,13 @@ fn arb_op() -> impl Strategy<Value = AdversarialOp> {
         (0u32..8, any::<u8>()).prop_map(|(slot, rights)| AdversarialOp::Mint { slot, rights }),
         (1u8..16).prop_map(|words| AdversarialOp::AllocPage { words }),
         (0u32..8, any::<u8>()).prop_map(|(slot, offset)| AdversarialOp::ReadPage { slot, offset }),
-        (0u32..8, any::<u8>(), any::<u64>())
-            .prop_map(|(slot, offset, value)| AdversarialOp::WritePage { slot, offset, value }),
+        (0u32..8, any::<u8>(), any::<u64>()).prop_map(|(slot, offset, value)| {
+            AdversarialOp::WritePage {
+                slot,
+                offset,
+                value,
+            }
+        }),
         (0u32..8).prop_map(|slot| AdversarialOp::Probe { slot }),
     ]
 }
@@ -53,18 +58,35 @@ fn execute(k: &mut Kernel, pid: Pid, op: &AdversarialOp) {
         AdversarialOp::Recv { slot } => k.syscall(pid, Syscall::Recv { cap: CapSlot(slot) }),
         AdversarialOp::Mint { slot, rights } => k.syscall(
             pid,
-            Syscall::Mint { src: CapSlot(slot), rights: Rights::from_bits(rights) },
+            Syscall::Mint {
+                src: CapSlot(slot),
+                rights: Rights::from_bits(rights),
+            },
         ),
-        AdversarialOp::AllocPage { words } => {
-            k.syscall(pid, Syscall::AllocPage { words: usize::from(words) })
-        }
+        AdversarialOp::AllocPage { words } => k.syscall(
+            pid,
+            Syscall::AllocPage {
+                words: usize::from(words),
+            },
+        ),
         AdversarialOp::ReadPage { slot, offset } => k.syscall(
             pid,
-            Syscall::ReadPage { cap: CapSlot(slot), offset: usize::from(offset) },
+            Syscall::ReadPage {
+                cap: CapSlot(slot),
+                offset: usize::from(offset),
+            },
         ),
-        AdversarialOp::WritePage { slot, offset, value } => k.syscall(
+        AdversarialOp::WritePage {
+            slot,
+            offset,
+            value,
+        } => k.syscall(
             pid,
-            Syscall::WritePage { cap: CapSlot(slot), offset: usize::from(offset), value },
+            Syscall::WritePage {
+                cap: CapSlot(slot),
+                offset: usize::from(offset),
+                value,
+            },
         ),
         AdversarialOp::Probe { slot } => {
             k.syscall(pid, Syscall::DestroyEndpoint { cap: CapSlot(slot) })
@@ -131,14 +153,15 @@ fn authority_flows_only_over_granted_channels() {
     let server = k.spawn_process();
     let client = k.spawn_process();
     let ep = k.create_endpoint(server).unwrap();
-    let SysResult::Slot(page) = k.syscall(server, Syscall::AllocPage { words: 2 }).unwrap()
-    else {
+    let SysResult::Slot(page) = k.syscall(server, Syscall::AllocPage { words: 2 }).unwrap() else {
         panic!("expected slot")
     };
     // Before any grant, the client has no authority at all.
     assert!(k.authority(client).is_empty());
     // Grant the endpoint; authority grows by exactly that object.
-    let ep_c = k.grant_cap(server, ep, client, Rights::SEND | Rights::RECV).unwrap();
+    let ep_c = k
+        .grant_cap(server, ep, client, Rights::SEND | Rights::RECV)
+        .unwrap();
     let ep_obj = k.inspect_cap(client, ep_c).unwrap().target;
     assert_eq!(k.authority(client).len(), 1);
     assert!(k.authority(client).contains(&ep_obj));
@@ -147,7 +170,13 @@ fn authority_flows_only_over_granted_channels() {
     k.syscall(client, Syscall::Recv { cap: ep_c }).unwrap();
     k.syscall(
         server,
-        Syscall::Send { cap: ep, msg: Message { payload: vec![], cap: Some(page_cap) } },
+        Syscall::Send {
+            cap: ep,
+            msg: Message {
+                payload: vec![],
+                cap: Some(page_cap),
+            },
+        },
     )
     .unwrap();
     let _ = k.take_delivered(client);
@@ -164,7 +193,13 @@ fn minted_authority_is_never_new_authority() {
     k.syscall(p, Syscall::AllocPage { words: 1 }).unwrap();
     let before = k.authority(p);
     for slot in 0..4u32 {
-        let _ = k.syscall(p, Syscall::Mint { src: CapSlot(slot), rights: Rights::ALL });
+        let _ = k.syscall(
+            p,
+            Syscall::Mint {
+                src: CapSlot(slot),
+                rights: Rights::ALL,
+            },
+        );
     }
     assert_eq!(k.authority(p), before, "mint changed the authority set");
 }

@@ -2,7 +2,7 @@
 //! clients, driven through the kernel's scheduler the way a real system
 //! would run, plus starvation and revocation scenarios.
 
-use microkernel::kernel::{Kernel, Message, Syscall, SysResult};
+use microkernel::kernel::{Kernel, Message, SysResult, Syscall};
 use microkernel::rights::Rights;
 use microkernel::{KernelError, Pid};
 
@@ -35,7 +35,13 @@ fn echo_server_serves_many_clients_fairly() {
         k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
         for (i, &c) in clients.iter().enumerate() {
             let payload = [i as u64, round];
-            match k.syscall(c, Syscall::Send { cap: caps[i], msg: Message::words(&payload) }) {
+            match k.syscall(
+                c,
+                Syscall::Send {
+                    cap: caps[i],
+                    msg: Message::words(&payload),
+                },
+            ) {
                 Ok(SysResult::Delivered | SysResult::Blocked) => {}
                 other => panic!("unexpected send result {other:?}"),
             }
@@ -53,14 +59,29 @@ fn echo_server_serves_many_clients_fairly() {
             let who = usize::try_from(msg.payload[0]).unwrap();
             served[who] += 1;
             // Echo back.
-            k.syscall(clients[who], Syscall::Recv { cap: reply_eps[who].1 }).unwrap();
-            k.syscall(server, Syscall::Send { cap: reply_eps[who].0, msg: Message::words(&msg.payload) })
-                .unwrap();
+            k.syscall(
+                clients[who],
+                Syscall::Recv {
+                    cap: reply_eps[who].1,
+                },
+            )
+            .unwrap();
+            k.syscall(
+                server,
+                Syscall::Send {
+                    cap: reply_eps[who].0,
+                    msg: Message::words(&msg.payload),
+                },
+            )
+            .unwrap();
             let echoed = k.take_delivered(clients[who]).unwrap();
             assert_eq!(echoed.payload, msg.payload);
         }
     }
-    assert!(served.iter().all(|&n| n == ROUNDS), "every client served equally: {served:?}");
+    assert!(
+        served.iter().all(|&n| n == ROUNDS),
+        "every client served equally: {served:?}"
+    );
 }
 
 #[test]
@@ -80,10 +101,20 @@ fn scheduler_only_offers_ready_processes() {
         // to be runnable; use grant_cap directly (root-task semantics).
         k.grant_cap(a, ep, b, Rights::SEND).unwrap()
     };
-    k.syscall(b, Syscall::Send { cap: b_cap, msg: Message::empty() }).unwrap();
+    k.syscall(
+        b,
+        Syscall::Send {
+            cap: b_cap,
+            msg: Message::empty(),
+        },
+    )
+    .unwrap();
     assert!(k.is_ready(a));
     let offered: Vec<_> = (0..4).filter_map(|_| k.schedule()).collect();
-    assert!(offered.contains(&a), "woken process re-enters the rotation: {offered:?}");
+    assert!(
+        offered.contains(&a),
+        "woken process re-enters the rotation: {offered:?}"
+    );
 }
 
 #[test]
@@ -93,9 +124,16 @@ fn exited_clients_do_not_wedge_the_server() {
     let client = k.spawn_process();
     let ep = k.create_endpoint(server).unwrap();
     let cap = k.grant_cap(server, ep, client, Rights::SEND).unwrap();
-    k.syscall(client, Syscall::Send { cap, msg: Message::words(&[1]) }).unwrap();
+    k.syscall(
+        client,
+        Syscall::Send {
+            cap,
+            msg: Message::words(&[1]),
+        },
+    )
+    .unwrap();
     k.syscall(client, Syscall::Exit).ok(); // blocked → Exit fails, that's fine
-    // Server still receives the queued message.
+                                           // Server still receives the queued message.
     k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
     assert_eq!(k.take_delivered(server).unwrap().payload, vec![1]);
 }
@@ -112,7 +150,13 @@ fn heap_pressure_from_many_messages_is_survivable() {
     let mut sent = 0usize;
     let mut oom = false;
     for i in 0..64u64 {
-        match k.syscall(client, Syscall::Send { cap, msg: Message::words(&[i; 16]) }) {
+        match k.syscall(
+            client,
+            Syscall::Send {
+                cap,
+                msg: Message::words(&[i; 16]),
+            },
+        ) {
             Ok(_) => sent += 1,
             Err(KernelError::OutOfMemory) => {
                 oom = true;

@@ -7,7 +7,7 @@
 //! lifetimes — the model later adopted by Cyclone regions and Rust lifetimes.
 
 use crate::stats::MemStats;
-use crate::{Handle, MemError, Manager, WORD_BYTES};
+use crate::{Handle, Manager, MemError, WORD_BYTES};
 
 /// Identifier of an open region. Regions form a stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,7 +79,11 @@ impl RegionHeap {
     /// Opens a new region and makes it the current allocation target.
     pub fn open_region(&mut self) -> RegionId {
         let id = u32::try_from(self.regions.len()).expect("region count fits u32");
-        self.regions.push(Region { data: Vec::new(), live_bytes: 0, closed: false });
+        self.regions.push(Region {
+            data: Vec::new(),
+            live_bytes: 0,
+            closed: false,
+        });
         self.stack.push(id);
         RegionId(id)
     }
@@ -128,11 +132,17 @@ impl RegionHeap {
     ///
     /// Returns [`MemError::Unsupported`] if the region is closed, or
     /// [`MemError::OutOfMemory`] if capacity is exhausted.
-    pub fn alloc_in(&mut self, region: RegionId, nrefs: usize, nwords: usize)
-        -> Result<Handle, MemError> {
+    pub fn alloc_in(
+        &mut self,
+        region: RegionId,
+        nrefs: usize,
+        nwords: usize,
+    ) -> Result<Handle, MemError> {
         let payload = nrefs + nwords;
         if self.used_words + payload > self.capacity_words {
-            return Err(MemError::OutOfMemory { requested: payload * WORD_BYTES });
+            return Err(MemError::OutOfMemory {
+                requested: payload * WORD_BYTES,
+            });
         }
         let r = self
             .regions
@@ -156,7 +166,11 @@ impl RegionHeap {
     }
 
     fn entry(&self, h: Handle) -> Result<Entry, MemError> {
-        let e = self.entries.get(h.0 as usize).copied().ok_or(MemError::InvalidHandle(h))?;
+        let e = self
+            .entries
+            .get(h.0 as usize)
+            .copied()
+            .ok_or(MemError::InvalidHandle(h))?;
         if self.regions[e.region as usize].closed {
             return Err(MemError::InvalidHandle(h));
         }
@@ -175,14 +189,24 @@ impl Manager for RegionHeap {
     }
 
     fn free(&mut self, _h: Handle) -> Result<(), MemError> {
-        Err(MemError::Unsupported("regions free objects in bulk via close_region"))
+        Err(MemError::Unsupported(
+            "regions free objects in bulk via close_region",
+        ))
     }
 
-    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
-        -> Result<(), MemError> {
+    fn set_ref(
+        &mut self,
+        obj: Handle,
+        slot: usize,
+        target: Option<Handle>,
+    ) -> Result<(), MemError> {
         let e = self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         if let Some(t) = target {
             let te = self.entry(t)?;
@@ -203,16 +227,28 @@ impl Manager for RegionHeap {
     fn get_ref(&self, obj: Handle, slot: usize) -> Result<Option<Handle>, MemError> {
         let e = self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         let raw = self.regions[e.region as usize].data[e.off + slot];
-        Ok(if raw == 0 { None } else { Some(Handle(u32::try_from(raw - 1).expect("fits"))) })
+        Ok(if raw == 0 {
+            None
+        } else {
+            Some(Handle(u32::try_from(raw - 1).expect("fits")))
+        })
     }
 
     fn set_word(&mut self, obj: Handle, idx: usize, val: u64) -> Result<(), MemError> {
         let e = self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         self.regions[e.region as usize].data[e.off + e.nrefs as usize + idx] = val;
         Ok(())
@@ -221,7 +257,11 @@ impl Manager for RegionHeap {
     fn get_word(&self, obj: Handle, idx: usize) -> Result<u64, MemError> {
         let e = self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         Ok(self.regions[e.region as usize].data[e.off + e.nrefs as usize + idx])
     }
@@ -241,7 +281,11 @@ impl Manager for RegionHeap {
     }
 
     fn live_bytes(&self) -> usize {
-        self.regions.iter().filter(|r| !r.closed).map(|r| r.live_bytes).sum()
+        self.regions
+            .iter()
+            .filter(|r| !r.closed)
+            .map(|r| r.live_bytes)
+            .sum()
     }
 }
 

@@ -121,7 +121,9 @@ impl Manager for FaultyHeap {
     fn try_alloc(&mut self, nrefs: usize, nwords: usize) -> Result<Handle, MemError> {
         if self.injector.should_fail(SITE_OOM) {
             self.injected_oom += 1;
-            return Err(MemError::OutOfMemory { requested: crate::object_bytes(nrefs, nwords) });
+            return Err(MemError::OutOfMemory {
+                requested: crate::object_bytes(nrefs, nwords),
+            });
         }
         self.alloc(nrefs, nwords)
     }
@@ -163,8 +165,12 @@ impl Manager for FaultyHeap {
         }
     }
 
-    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
-        -> Result<(), MemError> {
+    fn set_ref(
+        &mut self,
+        obj: Handle,
+        slot: usize,
+        target: Option<Handle>,
+    ) -> Result<(), MemError> {
         self.guard(obj)?;
         if let Some(t) = target {
             self.guard(t)?;
@@ -220,14 +226,20 @@ mod tests {
     use sysfault::{FaultPlan, Schedule};
 
     fn faulty(plan: FaultPlan) -> FaultyHeap {
-        FaultyHeap::new(Box::new(FreeListHeap::new(1 << 16)), SharedInjector::new(plan))
+        FaultyHeap::new(
+            Box::new(FreeListHeap::new(1 << 16)),
+            SharedInjector::new(plan),
+        )
     }
 
     #[test]
     fn try_alloc_fails_on_schedule() {
         let mut h = faulty(FaultPlan::new(1).with_site(SITE_OOM, Schedule::EveryNth(2)));
         assert!(h.try_alloc(0, 4).is_ok());
-        assert!(matches!(h.try_alloc(0, 4), Err(MemError::OutOfMemory { .. })));
+        assert!(matches!(
+            h.try_alloc(0, 4),
+            Err(MemError::OutOfMemory { .. })
+        ));
         assert!(h.try_alloc(0, 4).is_ok());
         assert_eq!(h.injected_oom(), 1);
     }
@@ -247,8 +259,14 @@ mod tests {
         let obj = h.try_alloc(1, 2).unwrap();
         h.set_word(obj, 0, 42).unwrap();
         h.free(obj).unwrap();
-        assert!(matches!(h.get_word(obj, 0), Err(MemError::InvalidHandle(_))));
-        assert!(matches!(h.set_word(obj, 0, 1), Err(MemError::InvalidHandle(_))));
+        assert!(matches!(
+            h.get_word(obj, 0),
+            Err(MemError::InvalidHandle(_))
+        ));
+        assert!(matches!(
+            h.set_word(obj, 0, 1),
+            Err(MemError::InvalidHandle(_))
+        ));
         assert!(matches!(h.free(obj), Err(MemError::InvalidHandle(_))));
         assert!(h.poison_hits() >= 2);
         assert!(!h.is_live(obj));
@@ -260,7 +278,10 @@ mod tests {
         let a = h.try_alloc(1, 0).unwrap();
         let b = h.try_alloc(0, 1).unwrap();
         h.free(b).unwrap();
-        assert!(matches!(h.set_ref(a, 0, Some(b)), Err(MemError::InvalidHandle(_))));
+        assert!(matches!(
+            h.set_ref(a, 0, Some(b)),
+            Err(MemError::InvalidHandle(_))
+        ));
     }
 
     #[test]
@@ -291,7 +312,8 @@ mod tests {
     #[test]
     fn same_plan_reproduces_the_same_oom_pattern() {
         let run = |seed| {
-            let mut h = faulty(FaultPlan::new(seed).with_site(SITE_OOM, Schedule::Probability(0.3)));
+            let mut h =
+                faulty(FaultPlan::new(seed).with_site(SITE_OOM, Schedule::Probability(0.3)));
             let pattern: Vec<bool> = (0..64).map(|_| h.try_alloc(0, 1).is_err()).collect();
             (pattern, h.injector().digest())
         };

@@ -7,7 +7,7 @@
 //! allocator, so all non-moving managers share identical allocation costs.
 
 use crate::stats::MemStats;
-use crate::{Handle, MemError, Manager, WORD_BYTES};
+use crate::{Handle, Manager, MemError, WORD_BYTES};
 
 const NONE: u64 = u64::MAX;
 const USED_BIT: u64 = 1;
@@ -43,7 +43,10 @@ impl WordPool {
     /// Panics if `capacity_words < 4` (too small to hold one block).
     #[must_use]
     pub fn new(capacity_words: usize) -> Self {
-        assert!(capacity_words >= MIN_BLOCK, "pool must hold at least one block");
+        assert!(
+            capacity_words >= MIN_BLOCK,
+            "pool must hold at least one block"
+        );
         let mut pool = WordPool {
             data: vec![0; capacity_words],
             heads: [NONE; NUM_CLASSES],
@@ -212,7 +215,11 @@ impl WordPool {
             let size = self.block_size(h);
             assert!(size >= MIN_BLOCK, "undersized block at {h}");
             assert!(h + size <= self.data.len(), "block at {h} overruns pool");
-            assert_eq!(self.data[h], self.data[h + size - 1], "header/footer mismatch at {h}");
+            assert_eq!(
+                self.data[h],
+                self.data[h + size - 1],
+                "header/footer mismatch at {h}"
+            );
             let used = self.is_used(h);
             assert!(!prev_free || used, "adjacent free blocks at {h}");
             if !used {
@@ -317,32 +324,53 @@ impl Manager for FreeListHeap {
         Ok(())
     }
 
-    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
-        -> Result<(), MemError> {
+    fn set_ref(
+        &mut self,
+        obj: Handle,
+        slot: usize,
+        target: Option<Handle>,
+    ) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         if let Some(t) = target {
             self.entry(t)?;
         }
-        self.pool.write(e.off + slot, target.map_or(0, |t| u64::from(t.0) + 1));
+        self.pool
+            .write(e.off + slot, target.map_or(0, |t| u64::from(t.0) + 1));
         Ok(())
     }
 
     fn get_ref(&self, obj: Handle, slot: usize) -> Result<Option<Handle>, MemError> {
         let e = self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         let raw = self.pool.read(e.off + slot);
-        Ok(if raw == 0 { None } else { Some(Handle(u32::try_from(raw - 1).expect("handle fits"))) })
+        Ok(if raw == 0 {
+            None
+        } else {
+            Some(Handle(u32::try_from(raw - 1).expect("handle fits")))
+        })
     }
 
     fn set_word(&mut self, obj: Handle, idx: usize, val: u64) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         self.pool.write(e.off + e.nrefs as usize + idx, val);
         Ok(())
@@ -351,7 +379,11 @@ impl Manager for FreeListHeap {
     fn get_word(&self, obj: Handle, idx: usize) -> Result<u64, MemError> {
         let e = self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         Ok(self.pool.read(e.off + e.nrefs as usize + idx))
     }
@@ -465,8 +497,14 @@ mod tests {
     fn heap_out_of_bounds_is_detected() {
         let mut h = FreeListHeap::new(4096);
         let o = h.alloc(1, 1).unwrap();
-        assert!(matches!(h.get_word(o, 1), Err(MemError::IndexOutOfBounds { .. })));
-        assert!(matches!(h.get_ref(o, 1), Err(MemError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            h.get_word(o, 1),
+            Err(MemError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            h.get_ref(o, 1),
+            Err(MemError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::freelist::WordPool;
 use crate::stats::MemStats;
-use crate::{Handle, MemError, Manager, WORD_BYTES};
+use crate::{Handle, Manager, MemError, WORD_BYTES};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -111,16 +111,18 @@ impl GenerationalHeap {
         // collection (mark_and_sweep_mature is safe mid-promotion), so the
         // collector cannot recurse into itself.
         self.mark_and_sweep_mature();
-        self.mature
-            .alloc(payload)
-            .ok_or(MemError::OutOfMemory { requested: payload * WORD_BYTES })
+        self.mature.alloc(payload).ok_or(MemError::OutOfMemory {
+            requested: payload * WORD_BYTES,
+        })
     }
 
     /// Copies a nursery object into the mature space; returns false if it was
     /// already mature.
     fn promote(&mut self, h: Handle) -> Result<bool, MemError> {
         let e = self.entries[h.0 as usize];
-        let Loc::Nursery(off) = e.loc else { return Ok(false) };
+        let Loc::Nursery(off) = e.loc else {
+            return Ok(false);
+        };
         let len = (e.nrefs + e.nwords) as usize;
         let new_off = self.mature_alloc(len)?;
         for i in 0..len {
@@ -156,7 +158,8 @@ impl GenerationalHeap {
             if self.entries[h.0 as usize].live {
                 match self.entries[h.0 as usize].loc {
                     Loc::Nursery(_) => {
-                        self.promote(h).expect("promotion failed: mature space exhausted");
+                        self.promote(h)
+                            .expect("promotion failed: mature space exhausted");
                         queue.push(h);
                     }
                     Loc::Mature(_) => {}
@@ -181,7 +184,8 @@ impl GenerationalHeap {
                 let child = Handle(u32::try_from(raw - 1).expect("fits"));
                 let ce = self.entries[child.0 as usize];
                 if ce.live && matches!(ce.loc, Loc::Nursery(_)) {
-                    self.promote(child).expect("promotion failed: mature space exhausted");
+                    self.promote(child)
+                        .expect("promotion failed: mature space exhausted");
                     queue.push(child);
                 }
             }
@@ -198,7 +202,7 @@ impl GenerationalHeap {
         self.nursery_bump = 0;
         self.remembered.clear();
         self.stats.collections += 1;
-        self.stats.gc_pauses.record(t0.elapsed());
+        self.stats.record_gc_pause(t0.elapsed());
     }
 
     /// Marks from the roots (traversing nursery and mature objects alike)
@@ -248,7 +252,7 @@ impl GenerationalHeap {
             self.entries[h.0 as usize].marked = false;
         }
         self.stats.collections += 1;
-        self.stats.gc_pauses.record(t0.elapsed());
+        self.stats.record_gc_pause(t0.elapsed());
     }
 
     /// Runs a full collection: a minor collection followed by mark-sweep over
@@ -269,7 +273,9 @@ impl Manager for GenerationalHeap {
     fn alloc(&mut self, nrefs: usize, nwords: usize) -> Result<Handle, MemError> {
         let payload = nrefs + nwords;
         if payload > self.nursery_words {
-            return Err(MemError::OutOfMemory { requested: payload * WORD_BYTES });
+            return Err(MemError::OutOfMemory {
+                requested: payload * WORD_BYTES,
+            });
         }
         if self.nursery_bump + payload > self.nursery_words {
             self.minor_collect();
@@ -295,14 +301,24 @@ impl Manager for GenerationalHeap {
     }
 
     fn free(&mut self, _h: Handle) -> Result<(), MemError> {
-        Err(MemError::Unsupported("generational heap reclaims automatically"))
+        Err(MemError::Unsupported(
+            "generational heap reclaims automatically",
+        ))
     }
 
-    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
-        -> Result<(), MemError> {
+    fn set_ref(
+        &mut self,
+        obj: Handle,
+        slot: usize,
+        target: Option<Handle>,
+    ) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         if let Some(t) = target {
             let te = *self.entry(t)?;
@@ -319,16 +335,28 @@ impl Manager for GenerationalHeap {
     fn get_ref(&self, obj: Handle, slot: usize) -> Result<Option<Handle>, MemError> {
         let e = self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         let raw = self.read_at(e.loc, slot);
-        Ok(if raw == 0 { None } else { Some(Handle(u32::try_from(raw - 1).expect("fits"))) })
+        Ok(if raw == 0 {
+            None
+        } else {
+            Some(Handle(u32::try_from(raw - 1).expect("fits")))
+        })
     }
 
     fn set_word(&mut self, obj: Handle, idx: usize, val: u64) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         self.write_at(e.loc, e.nrefs as usize + idx, val);
         Ok(())
@@ -337,7 +365,11 @@ impl Manager for GenerationalHeap {
     fn get_word(&self, obj: Handle, idx: usize) -> Result<u64, MemError> {
         let e = self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         Ok(self.read_at(e.loc, e.nrefs as usize + idx))
     }
@@ -353,6 +385,7 @@ impl Manager for GenerationalHeap {
     }
 
     fn collect(&mut self) {
+        sysobs::obs_span!("mem.collect.generational");
         self.major_collect();
     }
 

@@ -278,7 +278,11 @@ mod tests {
     fn mem_error_messages_are_lowercase_and_concise() {
         let e = MemError::OutOfMemory { requested: 64 };
         assert_eq!(e.to_string(), "out of memory: 64 bytes requested");
-        let e = MemError::IndexOutOfBounds { handle: Handle(3), index: 9, len: 2 };
+        let e = MemError::IndexOutOfBounds {
+            handle: Handle(3),
+            index: 9,
+            len: 2,
+        };
         assert!(e.to_string().contains("index 9"));
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::freelist::WordPool;
 use crate::stats::MemStats;
-use crate::{Handle, MemError, Manager, WORD_BYTES};
+use crate::{Handle, Manager, MemError, WORD_BYTES};
 use std::time::Instant;
 
 #[derive(Debug, Clone, Copy)]
@@ -156,32 +156,53 @@ impl Manager for MarkSweepHeap {
         Err(MemError::Unsupported("mark-sweep reclaims automatically"))
     }
 
-    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
-        -> Result<(), MemError> {
+    fn set_ref(
+        &mut self,
+        obj: Handle,
+        slot: usize,
+        target: Option<Handle>,
+    ) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         if let Some(t) = target {
             self.entry(t)?;
         }
-        self.pool.write(e.off + slot, target.map_or(0, |t| u64::from(t.0) + 1));
+        self.pool
+            .write(e.off + slot, target.map_or(0, |t| u64::from(t.0) + 1));
         Ok(())
     }
 
     fn get_ref(&self, obj: Handle, slot: usize) -> Result<Option<Handle>, MemError> {
         let e = self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         let raw = self.pool.read(e.off + slot);
-        Ok(if raw == 0 { None } else { Some(Handle(u32::try_from(raw - 1).expect("fits"))) })
+        Ok(if raw == 0 {
+            None
+        } else {
+            Some(Handle(u32::try_from(raw - 1).expect("fits")))
+        })
     }
 
     fn set_word(&mut self, obj: Handle, idx: usize, val: u64) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         self.pool.write(e.off + e.nrefs as usize + idx, val);
         Ok(())
@@ -190,7 +211,11 @@ impl Manager for MarkSweepHeap {
     fn get_word(&self, obj: Handle, idx: usize) -> Result<u64, MemError> {
         let e = self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         Ok(self.pool.read(e.off + e.nrefs as usize + idx))
     }
@@ -206,12 +231,13 @@ impl Manager for MarkSweepHeap {
     }
 
     fn collect(&mut self) {
+        sysobs::obs_span!("mem.collect.marksweep");
         let t0 = Instant::now();
         self.mark_from_roots();
         self.sweep();
         self.bytes_since_gc = 0;
         self.stats.collections += 1;
-        self.stats.gc_pauses.record(t0.elapsed());
+        self.stats.record_gc_pause(t0.elapsed());
     }
 
     fn is_live(&self, h: Handle) -> bool {
@@ -280,7 +306,7 @@ mod tests {
     #[test]
     fn gc_runs_on_exhaustion_and_recycles_space() {
         let mut h = MarkSweepHeap::new(1024); // 128 words
-        // Allocate garbage until well past capacity: must succeed via GC.
+                                              // Allocate garbage until well past capacity: must succeed via GC.
         for i in 0..100 {
             let o = h.alloc(0, 8).unwrap();
             h.put(o, 0, i);

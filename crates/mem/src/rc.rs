@@ -10,7 +10,7 @@
 
 use crate::freelist::WordPool;
 use crate::stats::MemStats;
-use crate::{Handle, MemError, Manager, WORD_BYTES};
+use crate::{Handle, Manager, MemError, WORD_BYTES};
 use std::time::Instant;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -273,10 +273,9 @@ impl Manager for RcHeap {
 
     fn alloc(&mut self, nrefs: usize, nwords: usize) -> Result<Handle, MemError> {
         let payload = nrefs + nwords;
-        let off = self
-            .pool
-            .alloc(payload)
-            .ok_or(MemError::OutOfMemory { requested: payload * WORD_BYTES })?;
+        let off = self.pool.alloc(payload).ok_or(MemError::OutOfMemory {
+            requested: payload * WORD_BYTES,
+        })?;
         // Zero the whole payload: recycled blocks must not leak stale data
         // (the same hygiene rule a kernel allocator follows).
         for i in 0..payload {
@@ -299,14 +298,24 @@ impl Manager for RcHeap {
     }
 
     fn free(&mut self, _h: Handle) -> Result<(), MemError> {
-        Err(MemError::Unsupported("refcount heap frees when counts reach zero"))
+        Err(MemError::Unsupported(
+            "refcount heap frees when counts reach zero",
+        ))
     }
 
-    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
-        -> Result<(), MemError> {
+    fn set_ref(
+        &mut self,
+        obj: Handle,
+        slot: usize,
+        target: Option<Handle>,
+    ) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         if let Some(t) = target {
             self.entry(t)?;
@@ -315,7 +324,8 @@ impl Manager for RcHeap {
         if let Some(t) = target {
             self.inc(t);
         }
-        self.pool.write(e.off + slot, target.map_or(0, |t| u64::from(t.0) + 1));
+        self.pool
+            .write(e.off + slot, target.map_or(0, |t| u64::from(t.0) + 1));
         if old_raw != 0 {
             self.dec(Handle(u32::try_from(old_raw - 1).expect("fits")));
         }
@@ -325,16 +335,28 @@ impl Manager for RcHeap {
     fn get_ref(&self, obj: Handle, slot: usize) -> Result<Option<Handle>, MemError> {
         let e = self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         let raw = self.pool.read(e.off + slot);
-        Ok(if raw == 0 { None } else { Some(Handle(u32::try_from(raw - 1).expect("fits"))) })
+        Ok(if raw == 0 {
+            None
+        } else {
+            Some(Handle(u32::try_from(raw - 1).expect("fits")))
+        })
     }
 
     fn set_word(&mut self, obj: Handle, idx: usize, val: u64) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         self.pool.write(e.off + e.nrefs as usize + idx, val);
         Ok(())
@@ -343,7 +365,11 @@ impl Manager for RcHeap {
     fn get_word(&self, obj: Handle, idx: usize) -> Result<u64, MemError> {
         let e = self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         Ok(self.pool.read(e.off + e.nrefs as usize + idx))
     }
@@ -362,6 +388,7 @@ impl Manager for RcHeap {
 
     /// Runs the trial-deletion cycle collector over buffered candidates.
     fn collect(&mut self) {
+        sysobs::obs_span!("mem.collect.rc");
         let t0 = Instant::now();
         let candidates: Vec<Handle> = std::mem::take(&mut self.candidates);
         let mut retained = Vec::new();
@@ -386,7 +413,7 @@ impl Manager for RcHeap {
             self.collect_white(h);
         }
         self.stats.collections += 1;
-        self.stats.gc_pauses.record(t0.elapsed());
+        self.stats.record_gc_pause(t0.elapsed());
     }
 
     fn is_live(&self, h: Handle) -> bool {

@@ -7,7 +7,7 @@
 //! slots hold handles and never need rewriting.
 
 use crate::stats::MemStats;
-use crate::{Handle, MemError, Manager, WORD_BYTES};
+use crate::{Handle, Manager, MemError, WORD_BYTES};
 use std::time::Instant;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,7 +141,9 @@ impl Manager for SemiSpaceHeap {
         if self.bump + payload > self.space_words {
             self.collect();
             if self.bump + payload > self.space_words {
-                return Err(MemError::OutOfMemory { requested: payload * WORD_BYTES });
+                return Err(MemError::OutOfMemory {
+                    requested: payload * WORD_BYTES,
+                });
             }
         }
         let off = self.bump;
@@ -169,11 +171,19 @@ impl Manager for SemiSpaceHeap {
         Err(MemError::Unsupported("semispace reclaims automatically"))
     }
 
-    fn set_ref(&mut self, obj: Handle, slot: usize, target: Option<Handle>)
-        -> Result<(), MemError> {
+    fn set_ref(
+        &mut self,
+        obj: Handle,
+        slot: usize,
+        target: Option<Handle>,
+    ) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         if let Some(t) = target {
             self.entry(t)?;
@@ -185,16 +195,28 @@ impl Manager for SemiSpaceHeap {
     fn get_ref(&self, obj: Handle, slot: usize) -> Result<Option<Handle>, MemError> {
         let e = self.entry(obj)?;
         if slot >= e.nrefs as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: slot, len: e.nrefs as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: slot,
+                len: e.nrefs as usize,
+            });
         }
         let raw = self.read(e, slot);
-        Ok(if raw == 0 { None } else { Some(Handle(u32::try_from(raw - 1).expect("fits"))) })
+        Ok(if raw == 0 {
+            None
+        } else {
+            Some(Handle(u32::try_from(raw - 1).expect("fits")))
+        })
     }
 
     fn set_word(&mut self, obj: Handle, idx: usize, val: u64) -> Result<(), MemError> {
         let e = *self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         self.write(e, e.nrefs as usize + idx, val);
         Ok(())
@@ -203,7 +225,11 @@ impl Manager for SemiSpaceHeap {
     fn get_word(&self, obj: Handle, idx: usize) -> Result<u64, MemError> {
         let e = self.entry(obj)?;
         if idx >= e.nwords as usize {
-            return Err(MemError::IndexOutOfBounds { handle: obj, index: idx, len: e.nwords as usize });
+            return Err(MemError::IndexOutOfBounds {
+                handle: obj,
+                index: idx,
+                len: e.nwords as usize,
+            });
         }
         Ok(self.read(e, e.nrefs as usize + idx))
     }
@@ -219,6 +245,7 @@ impl Manager for SemiSpaceHeap {
     }
 
     fn collect(&mut self) {
+        sysobs::obs_span!("mem.collect.semispace");
         let t0 = Instant::now();
         let to = self.active.other();
         let mut to_bump = 0usize;
@@ -262,7 +289,7 @@ impl Manager for SemiSpaceHeap {
         self.active = to;
         self.bump = to_bump;
         self.stats.collections += 1;
-        self.stats.gc_pauses.record(t0.elapsed());
+        self.stats.record_gc_pause(t0.elapsed());
     }
 
     fn is_live(&self, h: Handle) -> bool {

@@ -1,95 +1,80 @@
 //! Accounting and pause-time statistics shared by all managers.
+//!
+//! The pause histogram is now a thin wrapper over [`sysobs::LogHistogram`] —
+//! the same log-bucketed structure the router's latency distribution and the
+//! metrics registry use — so GC pauses, packet latencies, and registry
+//! histograms all merge, compare, and print through one implementation. The
+//! `*_ns`-suffixed API is kept so collector code and existing callers read
+//! unchanged.
 
 use std::fmt;
 use std::time::Duration;
+use sysobs::LogHistogram;
 
 /// A fixed-bucket log-scale histogram of pause times in nanoseconds.
 ///
 /// Buckets are powers of two from 1 ns up to ~17 s, which is plenty for
 /// allocation and collection pauses. Recording is O(1) and allocation-free so
 /// it can run inside the measured region.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PauseHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    max_ns: u64,
-    total_ns: u64,
-}
-
-impl Default for PauseHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: LogHistogram,
 }
 
 impl PauseHistogram {
     /// Creates an empty histogram.
     #[must_use]
     pub fn new() -> Self {
-        PauseHistogram { buckets: [0; 64], count: 0, max_ns: 0, total_ns: 0 }
+        PauseHistogram {
+            inner: LogHistogram::new(),
+        }
     }
 
     /// Records one pause.
     pub fn record(&mut self, d: Duration) {
-        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-        self.record_ns(ns);
+        self.inner.record_duration(d);
     }
 
     /// Records one pause expressed in nanoseconds.
     pub fn record_ns(&mut self, ns: u64) {
-        let bucket = if ns == 0 { 0 } else { 63 - u64::leading_zeros(ns) as usize };
-        self.buckets[bucket.min(63)] += 1;
-        self.count += 1;
-        self.max_ns = self.max_ns.max(ns);
-        self.total_ns = self.total_ns.saturating_add(ns);
+        self.inner.record(ns);
     }
 
     /// Number of recorded pauses.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count()
     }
 
     /// Largest recorded pause in nanoseconds.
     #[must_use]
     pub fn max_ns(&self) -> u64 {
-        self.max_ns
+        self.inner.max()
     }
 
     /// Mean pause in nanoseconds (0 if empty).
     #[must_use]
     pub fn mean_ns(&self) -> u64 {
-        self.total_ns.checked_div(self.count).unwrap_or(0)
+        self.inner.mean()
     }
 
     /// Approximate percentile (0.0–1.0) in nanoseconds, resolved to the upper
-    /// edge of the containing power-of-two bucket.
+    /// edge of the containing power-of-two bucket and clamped to the observed
+    /// maximum.
     #[must_use]
     pub fn percentile_ns(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let clamped = p.clamp(0.0, 1.0);
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let target = ((clamped * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        self.max_ns
+        self.inner.percentile(p)
     }
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &PauseHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.max_ns = self.max_ns.max(other.max_ns);
-        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.inner.merge(&other.inner);
+    }
+
+    /// The underlying shared histogram (for metrics snapshots).
+    #[must_use]
+    pub fn as_log(&self) -> &LogHistogram {
+        &self.inner
     }
 }
 
@@ -98,11 +83,11 @@ impl fmt::Display for PauseHistogram {
         write!(
             f,
             "n={} mean={}ns p50={}ns p99={}ns max={}ns",
-            self.count,
+            self.count(),
             self.mean_ns(),
             self.percentile_ns(0.50),
             self.percentile_ns(0.99),
-            self.max_ns
+            self.max_ns()
         )
     }
 }
@@ -134,6 +119,39 @@ impl MemStats {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Records a completed collection pause: into this instance's histogram
+    /// and, when observability is enabled, into the global `mem.gc_pause_ns`
+    /// registry histogram so every manager's pauses aggregate in one place.
+    pub fn record_gc_pause(&mut self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.gc_pauses.record_ns(ns);
+        sysobs::obs_hist!("mem.gc_pause_ns", ns);
+        sysobs::obs_count!("mem.collections", 1);
+    }
+
+    /// Renders these stats as a [`sysobs::Snapshot`], keyed under
+    /// `prefix` (e.g. `mem.semispace`) so several managers can merge into
+    /// one unified snapshot without colliding.
+    #[must_use]
+    pub fn to_snapshot(&self, prefix: &str) -> sysobs::Snapshot {
+        let mut snap = sysobs::Snapshot::default();
+        snap.set_counter(format!("{prefix}.allocs"), self.allocs);
+        snap.set_counter(format!("{prefix}.frees"), self.frees);
+        snap.set_counter(format!("{prefix}.bytes_allocated"), self.bytes_allocated);
+        snap.set_counter(format!("{prefix}.collections"), self.collections);
+        snap.set_counter(
+            format!("{prefix}.collected_objects"),
+            self.collected_objects,
+        );
+        snap.set_counter(format!("{prefix}.bytes_copied"), self.bytes_copied);
+        snap.set_counter(format!("{prefix}.barrier_hits"), self.barrier_hits);
+        snap.set_hist(
+            format!("{prefix}.gc_pause_ns"),
+            self.gc_pauses.as_log().clone(),
+        );
+        snap
+    }
 }
 
 impl fmt::Display for MemStats {
@@ -161,6 +179,8 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean_ns(), 0);
         assert_eq!(h.percentile_ns(0.99), 0);
+        assert_eq!(h.percentile_ns(0.0), 0);
+        assert_eq!(h.percentile_ns(1.0), 0);
         assert_eq!(h.max_ns(), 0);
     }
 
@@ -170,7 +190,10 @@ mod tests {
         h.record_ns(1000);
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean_ns(), 1000);
-        assert!(h.percentile_ns(0.5) >= 1000);
+        // Every percentile of a one-sample distribution is that sample.
+        assert_eq!(h.percentile_ns(0.0), 1000);
+        assert_eq!(h.percentile_ns(0.5), 1000);
+        assert_eq!(h.percentile_ns(1.0), 1000);
         assert_eq!(h.max_ns(), 1000);
     }
 
@@ -200,11 +223,40 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = PauseHistogram::new();
+        a.record_ns(500);
+        let before = a.clone();
+        a.merge(&PauseHistogram::new());
+        assert_eq!(a, before, "merging an empty histogram changes nothing");
+        let mut empty = PauseHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into empty copies the source");
+    }
+
+    #[test]
     fn zero_pause_is_recorded() {
         let mut h = PauseHistogram::new();
         h.record_ns(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.max_ns(), 0);
+        // Non-empty data clamps percentiles to max(observed max, 1), so an
+        // all-zero distribution answers at most 1 ns.
+        assert!(h.percentile_ns(0.5) <= 1, "p50 of all-zero pauses is ~0");
+        assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn saturating_pause_lands_at_u64_max_without_wrapping() {
+        let mut h = PauseHistogram::new();
+        h.record(Duration::from_secs(u64::MAX / 1_000_000_000 + 1)); // > u64::MAX ns, saturates
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), u64::MAX);
+        // total_ns saturates rather than wrapping, so the mean stays huge
+        // instead of collapsing toward zero.
+        assert!(h.mean_ns() >= u64::MAX / 2);
+        assert_eq!(h.percentile_ns(0.99), u64::MAX);
     }
 
     #[test]
@@ -214,5 +266,21 @@ mod tests {
         let s = h.to_string();
         assert!(s.contains("n=1"));
         assert!(s.contains("max=64ns"));
+    }
+
+    #[test]
+    fn mem_stats_snapshot_carries_counters_and_pauses() {
+        let mut stats = MemStats::new();
+        stats.allocs = 7;
+        stats.collections = 2;
+        stats.gc_pauses.record_ns(4096);
+        let snap = stats.to_snapshot("mem.test");
+        assert_eq!(snap.counter("mem.test.allocs"), 7);
+        assert_eq!(snap.counter("mem.test.collections"), 2);
+        assert_eq!(
+            snap.hist("mem.test.gc_pause_ns")
+                .map(sysobs::LogHistogram::count),
+            Some(1)
+        );
     }
 }

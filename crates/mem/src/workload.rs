@@ -7,7 +7,7 @@
 //! manager are meaningless.
 
 use crate::stats::PauseHistogram;
-use crate::{Handle, ManagerExt, Manager, MemError};
+use crate::{Handle, Manager, ManagerExt, MemError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -386,7 +386,10 @@ mod tests {
     #[test]
     fn lifo_lifetime_works_with_explicit_free() {
         let mut h = FreeListHeap::new(1 << 20);
-        let spec = WorkloadSpec { lifetime: Lifetime::Lifo, ..small_spec() };
+        let spec = WorkloadSpec {
+            lifetime: Lifetime::Lifo,
+            ..small_spec()
+        };
         let r = run_workload(&mut h, &spec, ReclaimStrategy::ExplicitFree);
         assert_eq!(r.integrity_errors, 0);
     }
@@ -394,7 +397,10 @@ mod tests {
     #[test]
     fn uniform_lifetime_works() {
         let mut h = MarkSweepHeap::new(1 << 20);
-        let spec = WorkloadSpec { lifetime: Lifetime::Uniform { max_ops: 100 }, ..small_spec() };
+        let spec = WorkloadSpec {
+            lifetime: Lifetime::Uniform { max_ops: 100 },
+            ..small_spec()
+        };
         let r = run_workload(&mut h, &spec, ReclaimStrategy::RootRelease);
         assert_eq!(r.integrity_errors, 0);
     }

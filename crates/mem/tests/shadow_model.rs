@@ -18,10 +18,21 @@ use sysmem::{Handle, Manager};
 /// One mutator operation, chosen by proptest.
 #[derive(Debug, Clone)]
 enum Op {
-    Alloc { nwords: usize },
-    Free { victim: usize },
-    Write { victim: usize, idx: usize, value: u64 },
-    Read { victim: usize, idx: usize },
+    Alloc {
+        nwords: usize,
+    },
+    Free {
+        victim: usize,
+    },
+    Write {
+        victim: usize,
+        idx: usize,
+        value: u64,
+    },
+    Read {
+        victim: usize,
+        idx: usize,
+    },
     Collect,
 }
 
@@ -66,7 +77,10 @@ fn drive(mgr: &mut dyn Manager, ops: &[Op], manual: bool) {
                     mgr.collect();
                 }
                 assert!(!mgr.is_live(h), "object must be dead after retirement");
-                assert!(mgr.get_word(h, 0).is_err(), "use-after-free must be detected");
+                assert!(
+                    mgr.get_word(h, 0).is_err(),
+                    "use-after-free must be detected"
+                );
             }
             Op::Write { victim, idx, value } => {
                 if live.is_empty() {
@@ -75,7 +89,8 @@ fn drive(mgr: &mut dyn Manager, ops: &[Op], manual: bool) {
                 let len = live.len();
                 let (h, contents) = &mut live[victim % len];
                 let idx = idx % contents.len();
-                mgr.set_word(*h, idx, *value).expect("write to live object succeeds");
+                mgr.set_word(*h, idx, *value)
+                    .expect("write to live object succeeds");
                 contents[idx] = *value;
                 model.get_mut(h).expect("model in sync")[idx] = *value;
             }
@@ -85,7 +100,9 @@ fn drive(mgr: &mut dyn Manager, ops: &[Op], manual: bool) {
                 }
                 let (h, contents) = &live[victim % live.len()];
                 let idx = idx % contents.len();
-                let got = mgr.get_word(*h, idx).expect("read from live object succeeds");
+                let got = mgr
+                    .get_word(*h, idx)
+                    .expect("read from live object succeeds");
                 assert_eq!(got, contents[idx], "data divergence at {h} word {idx}");
             }
             Op::Collect => mgr.collect(),
@@ -95,7 +112,11 @@ fn drive(mgr: &mut dyn Manager, ops: &[Op], manual: bool) {
     for (h, contents) in &live {
         assert!(mgr.is_live(*h));
         for (i, expected) in contents.iter().enumerate() {
-            assert_eq!(mgr.get_word(*h, i).unwrap(), *expected, "final check {h} word {i}");
+            assert_eq!(
+                mgr.get_word(*h, i).unwrap(),
+                *expected,
+                "final check {h} word {i}"
+            );
         }
     }
     let model_bytes: usize = model.values().map(|v| v.len() * 8).sum();

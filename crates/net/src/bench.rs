@@ -168,8 +168,11 @@ pub fn build_tables(n: usize) -> (TrieTable<PortId>, LinearTable<PortId>) {
     let mut trie = TrieTable::new();
     let mut linear = LinearTable::new();
     for (prefix, len, port) in route_set(n) {
-        trie.insert(prefix, len, port).expect("generated routes are valid");
-        linear.insert(prefix, len, port).expect("generated routes are valid");
+        trie.insert(prefix, len, port)
+            .expect("generated routes are valid");
+        linear
+            .insert(prefix, len, port)
+            .expect("generated routes are valid");
     }
     (trie, linear)
 }
@@ -255,7 +258,12 @@ pub fn run_sweep(cfg: &SweepConfig) -> BenchReport {
     for &workers in &cfg.worker_counts {
         for &batch_size in &cfg.batch_sizes {
             let (trie, _) = build_tables(cfg.routes);
-            let rc = RouterConfig { workers, batch_size, queue_depth: cfg.queue_depth };
+            let rc = RouterConfig {
+                workers,
+                batch_size,
+                queue_depth: cfg.queue_depth,
+                ..RouterConfig::default()
+            };
             let (report, elapsed) = run_stream(trie, PORTS, rc, frames.clone());
             let secs = elapsed.as_secs_f64().max(1e-9);
             sweep.push(SweepPoint {
@@ -291,7 +299,11 @@ impl BenchReport {
         let _ = writeln!(s, "  \"lookup\": {{");
         let _ = writeln!(s, "    \"routes\": {},", self.lookup.routes);
         let _ = writeln!(s, "    \"lookups\": {},", self.lookup.lookups);
-        let _ = writeln!(s, "    \"linear_ns_per_lookup\": {:.2},", self.lookup.linear_ns);
+        let _ = writeln!(
+            s,
+            "    \"linear_ns_per_lookup\": {:.2},",
+            self.lookup.linear_ns
+        );
         let _ = writeln!(s, "    \"trie_ns_per_lookup\": {:.2},", self.lookup.trie_ns);
         let _ = writeln!(s, "    \"trie_speedup\": {:.2}", self.lookup.speedup());
         let _ = writeln!(s, "  }},");
@@ -328,7 +340,11 @@ mod tests {
     #[test]
     fn tables_built_from_the_set_agree_on_the_stream() {
         let (trie, linear) = build_tables(64);
-        assert!(trie.len() >= 64, "≥64-route table after dedup, got {}", trie.len());
+        assert!(
+            trie.len() >= 64,
+            "≥64-route table after dedup, got {}",
+            trie.len()
+        );
         for addr in address_stream(2_000, 64, 42) {
             assert_eq!(trie.lookup(addr), linear.lookup(addr), "addr {addr:#010x}");
         }
@@ -339,7 +355,12 @@ mod tests {
         let report = BenchReport {
             host_cores: 1,
             packets: 10,
-            lookup: LookupPoint { routes: 65, lookups: 100, linear_ns: 120.0, trie_ns: 30.0 },
+            lookup: LookupPoint {
+                routes: 65,
+                lookups: 100,
+                linear_ns: 120.0,
+                trie_ns: 30.0,
+            },
             sweep: vec![SweepPoint {
                 workers: 1,
                 batch_size: 64,

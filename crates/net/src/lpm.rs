@@ -67,7 +67,10 @@ struct Node<T> {
 
 impl<T> Default for Node<T> {
     fn default() -> Self {
-        Node { children: [None, None], value: None }
+        Node {
+            children: [None, None],
+            value: None,
+        }
     }
 }
 
@@ -93,7 +96,10 @@ impl<T: Copy> TrieTable<T> {
     /// An empty table.
     #[must_use]
     pub fn new() -> Self {
-        TrieTable { root: Node::default(), len: 0 }
+        TrieTable {
+            root: Node::default(),
+            len: 0,
+        }
     }
 
     /// Number of installed routes.
@@ -238,7 +244,10 @@ impl<T: Copy> LinearTable<T> {
     /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
     pub fn remove(&mut self, prefix: u32, len: u8) -> Result<Option<T>, RouteError> {
         let prefix = canonical(prefix, len)?;
-        let at = self.routes.iter().position(|(p, l, _)| *p == prefix && *l == len);
+        let at = self
+            .routes
+            .iter()
+            .position(|(p, l, _)| *p == prefix && *l == len);
         Ok(at.map(|i| self.routes.swap_remove(i).2))
     }
 }
@@ -289,7 +298,10 @@ mod tests {
         assert_eq!(lin.lookup(ip(10, 1, 2, 200)), Some("rack"));
         // And the canonical key dedups: reinserting via a different host
         // suffix replaces, not duplicates.
-        assert_eq!(t.insert(ip(10, 1, 2, 77), 24, "rack2").unwrap(), Some("rack"));
+        assert_eq!(
+            t.insert(ip(10, 1, 2, 77), 24, "rack2").unwrap(),
+            Some("rack")
+        );
         assert_eq!(t.len(), 1);
     }
 
@@ -300,7 +312,10 @@ mod tests {
         assert_eq!(t.lookup(ip(10, 0, 0, 1)), Some(1));
         assert_eq!(t.lookup(ip(10, 0, 0, 2)), None);
         assert_eq!(t.insert(0, 33, 9), Err(RouteError::PrefixLenOutOfRange(33)));
-        assert_eq!(LinearTable::new().insert(0, 40, 9u16), Err(RouteError::PrefixLenOutOfRange(40)));
+        assert_eq!(
+            LinearTable::new().insert(0, 40, 9u16),
+            Err(RouteError::PrefixLenOutOfRange(40))
+        );
     }
 
     #[test]
@@ -310,9 +325,17 @@ mod tests {
         t.insert(ip(10, 1, 0, 0), 16, "edge").unwrap();
         assert_eq!(t.lookup(ip(10, 1, 5, 5)), Some("edge"));
         assert_eq!(t.remove(ip(10, 1, 0, 0), 16).unwrap(), Some("edge"));
-        assert_eq!(t.lookup(ip(10, 1, 5, 5)), Some("core"), "falls back to the /8");
+        assert_eq!(
+            t.lookup(ip(10, 1, 5, 5)),
+            Some("core"),
+            "falls back to the /8"
+        );
         assert_eq!(t.len(), 1);
-        assert_eq!(t.remove(ip(10, 1, 0, 0), 16).unwrap(), None, "double remove is a no-op");
+        assert_eq!(
+            t.remove(ip(10, 1, 0, 0), 16).unwrap(),
+            None,
+            "double remove is a no-op"
+        );
         // Removing an unmasked spelling removes the canonical route.
         assert_eq!(t.remove(ip(10, 255, 255, 255), 8).unwrap(), Some("core"));
         assert!(t.is_empty());

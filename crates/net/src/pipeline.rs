@@ -30,8 +30,23 @@ pub enum DropReason {
 pub const DROP_REASONS: usize = 5;
 
 /// Display labels, indexed by `DropReason as usize`.
-pub const DROP_LABELS: [&str; DROP_REASONS] =
-    ["malformed", "not-ipv4", "bad-checksum", "ttl-expired", "no-route"];
+pub const DROP_LABELS: [&str; DROP_REASONS] = [
+    "malformed",
+    "not-ipv4",
+    "bad-checksum",
+    "ttl-expired",
+    "no-route",
+];
+
+/// Metric names for the per-reason drop counters, indexed like
+/// [`DROP_LABELS`]. Static so they can key the `sysobs` registry directly.
+pub const DROP_METRICS: [&str; DROP_REASONS] = [
+    "net.drop.malformed",
+    "net.drop.not-ipv4",
+    "net.drop.bad-checksum",
+    "net.drop.ttl-expired",
+    "net.drop.no-route",
+];
 
 /// Per-batch (or per-worker, accumulated) counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -65,6 +80,20 @@ impl BatchStats {
             *a += b;
         }
     }
+
+    /// Renders these counters as a [`sysobs::Snapshot`] under `net.*`, one
+    /// counter per drop reason — the unified form the experiment harness
+    /// merges with kernel and memory snapshots.
+    #[must_use]
+    pub fn to_snapshot(&self) -> sysobs::Snapshot {
+        let mut snap = sysobs::Snapshot::default();
+        snap.set_counter("net.parsed", self.parsed);
+        snap.set_counter("net.forwarded", self.forwarded);
+        for (name, &n) in DROP_METRICS.iter().zip(self.dropped.iter()) {
+            snap.set_counter(*name, n);
+        }
+        snap
+    }
 }
 
 /// Parses, validates, and routes a single frame. Returns the next hop, or
@@ -76,7 +105,9 @@ impl BatchStats {
 pub fn route_frame<T: Copy>(frame: &[u8], table: &TrieTable<T>) -> Result<T, DropReason> {
     let eth = EthernetView::parse(frame).map_err(|_| DropReason::Malformed)?;
     let ipv4 = eth.ipv4().map_err(|e| match e {
-        ReprError::InvalidField { field: "ethertype", .. } => DropReason::NotIpv4,
+        ReprError::InvalidField {
+            field: "ethertype", ..
+        } => DropReason::NotIpv4,
         _ => DropReason::Malformed,
     })?;
     if ipv4.verify_checksum().is_err() {
@@ -93,7 +124,40 @@ pub fn route_frame<T: Copy>(frame: &[u8], table: &TrieTable<T>) -> Result<T, Dro
 ///
 /// `parsed` counts frames whose headers validated (checksum and TTL checks
 /// happen after parsing, so a bad-checksum frame is parsed but dropped).
-pub fn process_batch<T, B, F>(frames: &[B], table: &TrieTable<T>, mut forward: F) -> BatchStats
+///
+/// Mirrors the batch's counters into the `sysobs` registry (amortized: one
+/// update per batch, not per frame) and opens a `net.batch` span under full
+/// tracing. For a compiled-out-baseline path with zero observability code,
+/// see [`process_batch_uninstrumented`].
+pub fn process_batch<T, B, F>(frames: &[B], table: &TrieTable<T>, forward: F) -> BatchStats
+where
+    T: Copy,
+    B: AsRef<[u8]>,
+    F: FnMut(T),
+{
+    sysobs::obs_span!("net.batch");
+    let stats = process_batch_uninstrumented(frames, table, forward);
+    if sysobs::metrics_on() {
+        sysobs::obs_count!("net.parsed", stats.parsed);
+        sysobs::obs_count!("net.forwarded", stats.forwarded);
+        sysobs::obs_count!("net.batches", 1);
+        for (name, &n) in DROP_METRICS.iter().zip(stats.dropped.iter()) {
+            if n > 0 {
+                sysobs::registry().counter(name).add(n);
+            }
+        }
+    }
+    stats
+}
+
+/// [`process_batch`] with no observability hooks at all — not even the
+/// disabled-mode atomic load. This is the compiled baseline experiment E11
+/// measures instrumentation overhead against.
+pub fn process_batch_uninstrumented<T, B, F>(
+    frames: &[B],
+    table: &TrieTable<T>,
+    mut forward: F,
+) -> BatchStats
 where
     T: Copy,
     B: AsRef<[u8]>,
@@ -125,8 +189,10 @@ mod tests {
 
     fn table() -> TrieTable<&'static str> {
         let mut t = TrieTable::new();
-        t.insert(u32::from_be_bytes([10, 0, 0, 0]), 8, "core").unwrap();
-        t.insert(u32::from_be_bytes([10, 1, 0, 0]), 16, "edge").unwrap();
+        t.insert(u32::from_be_bytes([10, 0, 0, 0]), 8, "core")
+            .unwrap();
+        t.insert(u32::from_be_bytes([10, 1, 0, 0]), 16, "edge")
+            .unwrap();
         t
     }
 
@@ -149,11 +215,17 @@ mod tests {
         non_ip[12] = 0x86; // EtherType -> not IPv4
         non_ip[13] = 0xDD;
         assert_eq!(route_frame(&non_ip, &t), Err(DropReason::NotIpv4));
-        let corrupt = PacketBuilder::udp().dst_ip([10, 0, 0, 1]).corrupt_checksum().build();
+        let corrupt = PacketBuilder::udp()
+            .dst_ip([10, 0, 0, 1])
+            .corrupt_checksum()
+            .build();
         assert_eq!(route_frame(&corrupt, &t), Err(DropReason::BadChecksum));
         let stale = PacketBuilder::udp().dst_ip([10, 0, 0, 1]).ttl(0).build();
         assert_eq!(route_frame(&stale, &t), Err(DropReason::TtlExpired));
-        assert_eq!(route_frame(&udp_to([192, 168, 0, 1]), &t), Err(DropReason::NoRoute));
+        assert_eq!(
+            route_frame(&udp_to([192, 168, 0, 1]), &t),
+            Err(DropReason::NoRoute)
+        );
     }
 
     #[test]
@@ -163,7 +235,10 @@ mod tests {
             udp_to([10, 1, 1, 1]),
             udp_to([10, 2, 2, 2]),
             udp_to([172, 16, 0, 1]),
-            PacketBuilder::udp().dst_ip([10, 0, 0, 1]).corrupt_checksum().build(),
+            PacketBuilder::udp()
+                .dst_ip([10, 0, 0, 1])
+                .corrupt_checksum()
+                .build(),
             vec![0u8; 3],
         ];
         let mut hops = Vec::new();
@@ -179,5 +254,32 @@ mod tests {
         merged.merge(&stats);
         merged.merge(&stats);
         assert_eq!(merged.total(), 10);
+    }
+
+    #[test]
+    fn snapshot_conserves_forwarded_plus_dropped() {
+        let t = table();
+        let frames = vec![
+            udp_to([10, 1, 1, 1]),
+            udp_to([10, 2, 2, 2]),
+            udp_to([172, 16, 0, 1]),
+            PacketBuilder::udp().dst_ip([10, 0, 0, 1]).ttl(0).build(),
+            vec![0u8; 3],
+        ];
+        let stats = process_batch(&frames, &t, |_| {});
+        let snap = stats.to_snapshot();
+        // Conservation: every submitted frame is either forwarded or
+        // attributed to exactly one drop-reason counter.
+        assert_eq!(
+            snap.counter("net.forwarded") + snap.counter_sum("net.drop."),
+            frames.len() as u64,
+            "snapshot loses or double-counts frames: {snap}"
+        );
+        assert_eq!(snap.counter("net.drop.ttl-expired"), 1);
+        assert_eq!(snap.counter("net.drop.no-route"), 1);
+        assert_eq!(snap.counter("net.drop.malformed"), 1);
+        // Both batch paths agree frame for frame.
+        let bare = process_batch_uninstrumented(&frames, &t, |_| {});
+        assert_eq!(bare, stats);
     }
 }

@@ -13,12 +13,13 @@
 //! plus message passing rather than locks.
 
 use crate::lpm::TrieTable;
-use crate::pipeline::{self, BatchStats, DROP_REASONS};
+use crate::pipeline::{self, BatchStats, DROP_METRICS, DROP_REASONS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use sysconc::channel::{bounded, Sender};
+use sysconc::channel::{bounded, Receiver, Sender};
+use sysobs::LogHistogram;
 
 /// A next-hop port: an index into the router's port table.
 pub type PortId = u16;
@@ -32,11 +33,22 @@ pub struct RouterConfig {
     pub batch_size: usize,
     /// Bounded-channel capacity, in batches, per worker (≥ 1).
     pub queue_depth: usize,
+    /// When false, workers run a monomorphized fast path with *no*
+    /// observability code compiled in — not even the disabled-mode atomic
+    /// check. This is the true baseline experiment E11 measures
+    /// instrumentation overhead against; production configs leave it true
+    /// and control cost via [`sysobs::set_mode`].
+    pub instrument: bool,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { workers: 1, batch_size: 64, queue_depth: 8 }
+        RouterConfig {
+            workers: 1,
+            batch_size: 64,
+            queue_depth: 8,
+            instrument: true,
+        }
     }
 }
 
@@ -78,7 +90,8 @@ impl Counters {
             cell.fetch_add(*n, Ordering::Relaxed);
         }
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.occupancy_sum.fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.occupancy_sum
+            .fetch_add(occupancy as u64, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> WorkerStats {
@@ -88,7 +101,11 @@ impl Counters {
             dropped: std::array::from_fn(|i| self.dropped[i].load(Ordering::Relaxed)),
             batches: self.batches.load(Ordering::Relaxed),
             occupancy_sum: self.occupancy_sum.load(Ordering::Relaxed),
-            per_port: self.per_port.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            per_port: self
+                .per_port
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -160,36 +177,48 @@ pub struct RouterStats {
 pub struct RouterReport {
     /// Aggregated counters.
     pub stats: RouterStats,
-    /// (latency ns, packets) pairs, sorted by latency. A packet's latency
-    /// is submit-to-batch-completion: queueing plus processing.
-    latencies: Vec<(u64, u32)>,
+    /// Per-packet submit-to-batch-completion latency (queueing plus
+    /// processing), log-bucketed. Replaces the old hand-rolled weighted
+    /// `(ns, packets)` quantile list with the shared [`LogHistogram`].
+    latencies: LogHistogram,
 }
 
 impl RouterReport {
-    /// Weighted latency quantile in nanoseconds (`0.5` = p50, `0.99` = p99).
-    /// Returns 0 when no packets were processed.
+    /// Latency quantile in nanoseconds (`0.5` = p50, `0.99` = p99),
+    /// resolved to log-bucket precision. Returns 0 when no packets were
+    /// processed.
     #[must_use]
-    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss, clippy::cast_possible_truncation)]
     pub fn latency_ns(&self, quantile: f64) -> u64 {
-        let total: u64 = self.latencies.iter().map(|(_, n)| u64::from(*n)).sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * quantile.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (ns, n) in &self.latencies {
-            seen += u64::from(*n);
-            if seen >= rank {
-                return *ns;
-            }
-        }
-        self.latencies.last().map_or(0, |(ns, _)| *ns)
+        self.latencies.percentile(quantile)
+    }
+
+    /// The full latency distribution.
+    #[must_use]
+    pub fn latency_histogram(&self) -> &LogHistogram {
+        &self.latencies
     }
 
     /// Total packets the report covers.
     #[must_use]
     pub fn packets(&self) -> u64 {
         self.stats.totals.total_frames()
+    }
+
+    /// Renders the report as a [`sysobs::Snapshot`]: `net.*` counters per
+    /// drop reason plus the latency histogram — the router's slice of the
+    /// unified observability surface.
+    #[must_use]
+    pub fn to_snapshot(&self) -> sysobs::Snapshot {
+        let t = &self.stats.totals;
+        let mut snap = sysobs::Snapshot::default();
+        snap.set_counter("net.parsed", t.parsed);
+        snap.set_counter("net.forwarded", t.forwarded);
+        snap.set_counter("net.batches", t.batches);
+        for (name, &n) in DROP_METRICS.iter().zip(t.dropped.iter()) {
+            snap.set_counter(*name, n);
+        }
+        snap.set_hist("net.latency_ns", self.latencies.clone());
+        snap
     }
 }
 
@@ -203,16 +232,46 @@ impl WorkerStats {
 
 /// FNV-1a over the IPv4 src/dst addresses (bytes 26..34 of a minimal
 /// Ethernet+IPv4 frame); shorter or odd frames hash whole. Same flow, same
-/// worker — without parsing (the worker does the real validation).
+/// worker — without parsing (the worker does the real validation). The hash
+/// itself is the shared [`sysobs::fnv1a`] (one FNV implementation for flow
+/// hashing, fault digests, and trace digests), which preserves the exact
+/// sharding this router has always produced.
 #[must_use]
 fn flow_hash(frame: &[u8]) -> u64 {
-    let key = frame.get(26..34).unwrap_or(frame);
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in key {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
+    sysobs::fnv1a(frame.get(26..34).unwrap_or(frame))
+}
+
+/// One worker's receive-process loop, monomorphized on `OBS` so the
+/// `instrument: false` configuration compiles a fast path containing zero
+/// observability code — the E11 baseline — while the instrumented variant
+/// routes through [`pipeline::process_batch`] (registry counters, spans).
+fn worker_loop<const OBS: bool>(
+    rx: &Receiver<Batch>,
+    table: &TrieTable<PortId>,
+    shared: &Counters,
+) -> LogHistogram {
+    let mut latencies = LogHistogram::new();
+    while let Ok(batch) = rx.recv() {
+        let occupancy = batch.frames.len();
+        let forward = |port: PortId| {
+            if let Some(cell) = shared.per_port.get(usize::from(port)) {
+                cell.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let stats = if OBS {
+            pipeline::process_batch(&batch.frames, table, forward)
+        } else {
+            pipeline::process_batch_uninstrumented(&batch.frames, table, forward)
+        };
+        shared.apply(&stats, occupancy);
+        let ns = u64::try_from(batch.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Every frame in the batch shares the batch's completion latency.
+        latencies.record_n(ns, occupancy as u64);
+        if OBS {
+            sysobs::obs_hist!("net.batch_latency_ns", ns);
+        }
     }
-    h
+    latencies
 }
 
 /// The sharded router: dispatcher-side handle. Create with
@@ -220,7 +279,7 @@ fn flow_hash(frame: &[u8]) -> u64 {
 /// with [`ShardedRouter::finish`].
 pub struct ShardedRouter {
     senders: Vec<Sender<Batch>>,
-    handles: Vec<JoinHandle<Vec<(u64, u32)>>>,
+    handles: Vec<JoinHandle<LogHistogram>>,
     counters: Vec<Arc<Counters>>,
     pending: Vec<Vec<Vec<u8>>>,
     batch_size: usize,
@@ -247,25 +306,13 @@ impl ShardedRouter {
             let worker_table = Arc::clone(&table);
             let worker_counters = Arc::new(Counters::new(ports));
             let shared = Arc::clone(&worker_counters);
-            let handle = std::thread::Builder::new()
-                .name(format!("sysnet-worker-{i}"))
-                .spawn(move || {
-                    let mut latencies: Vec<(u64, u32)> = Vec::new();
-                    while let Ok(batch) = rx.recv() {
-                        let occupancy = batch.frames.len();
-                        let stats = pipeline::process_batch(&batch.frames, &worker_table, |port| {
-                            if let Some(cell) = shared.per_port.get(usize::from(port)) {
-                                cell.fetch_add(1, Ordering::Relaxed);
-                            }
-                        });
-                        shared.apply(&stats, occupancy);
-                        let ns = u64::try_from(batch.submitted.elapsed().as_nanos())
-                            .unwrap_or(u64::MAX);
-                        latencies.push((ns, u32::try_from(occupancy).unwrap_or(u32::MAX)));
-                    }
-                    latencies
-                })
-                .expect("spawn router worker");
+            let builder = std::thread::Builder::new().name(format!("sysnet-worker-{i}"));
+            let handle = if config.instrument {
+                builder.spawn(move || worker_loop::<true>(&rx, &worker_table, &shared))
+            } else {
+                builder.spawn(move || worker_loop::<false>(&rx, &worker_table, &shared))
+            }
+            .expect("spawn router worker");
             senders.push(tx);
             handles.push(handle);
             counters.push(worker_counters);
@@ -301,8 +348,14 @@ impl ShardedRouter {
             return;
         }
         let frames = std::mem::take(&mut self.pending[w]);
-        let batch = Batch { frames, submitted: Instant::now() };
-        assert!(self.senders[w].send(batch).is_ok(), "router worker {w} exited early");
+        let batch = Batch {
+            frames,
+            submitted: Instant::now(),
+        };
+        assert!(
+            self.senders[w].send(batch).is_ok(),
+            "router worker {w} exited early"
+        );
     }
 
     /// Live aggregate of every worker's counters (racy between workers —
@@ -324,14 +377,12 @@ impl ShardedRouter {
     pub fn finish(mut self) -> RouterReport {
         self.flush();
         drop(std::mem::take(&mut self.senders)); // workers exit on disconnect
-        let mut latencies: Vec<(u64, u32)> = Vec::new();
+        let mut latencies = LogHistogram::new();
         for handle in std::mem::take(&mut self.handles) {
-            latencies.extend(handle.join().expect("router worker panicked"));
+            latencies.merge(&handle.join().expect("router worker panicked"));
         }
-        latencies.sort_unstable();
         let stats = {
-            let per_worker: Vec<WorkerStats> =
-                self.counters.iter().map(|c| c.snapshot()).collect();
+            let per_worker: Vec<WorkerStats> = self.counters.iter().map(|c| c.snapshot()).collect();
             let mut totals = WorkerStats::default();
             for w in &per_worker {
                 totals.merge(w);
@@ -411,28 +462,93 @@ mod tests {
     #[test]
     fn sharded_workers_agree_with_single_worker() {
         let frames = stream(1200);
-        let single =
-            run_stream(table(), 3, RouterConfig { workers: 1, ..RouterConfig::default() }, frames.clone()).0;
-        let sharded =
-            run_stream(table(), 3, RouterConfig { workers: 4, ..RouterConfig::default() }, frames).0;
+        let single = run_stream(
+            table(),
+            3,
+            RouterConfig {
+                workers: 1,
+                ..RouterConfig::default()
+            },
+            frames.clone(),
+        )
+        .0;
+        let sharded = run_stream(
+            table(),
+            3,
+            RouterConfig {
+                workers: 4,
+                ..RouterConfig::default()
+            },
+            frames,
+        )
+        .0;
         // Same totals no matter how the flows shard.
-        assert_eq!(single.stats.totals.forwarded, sharded.stats.totals.forwarded);
+        assert_eq!(
+            single.stats.totals.forwarded,
+            sharded.stats.totals.forwarded
+        );
         assert_eq!(single.stats.totals.dropped, sharded.stats.totals.dropped);
         assert_eq!(single.stats.totals.per_port, sharded.stats.totals.per_port);
         assert_eq!(sharded.stats.per_worker.len(), 4);
         // More than one worker actually saw traffic.
-        let active = sharded.stats.per_worker.iter().filter(|w| w.total_frames() > 0).count();
+        let active = sharded
+            .stats
+            .per_worker
+            .iter()
+            .filter(|w| w.total_frames() > 0)
+            .count();
         assert!(active > 1, "flow hashing must spread flows across workers");
     }
 
     #[test]
     fn batch_occupancy_is_tracked() {
         let frames = stream(256);
-        let cfg = RouterConfig { workers: 1, batch_size: 32, queue_depth: 4 };
+        let cfg = RouterConfig {
+            workers: 1,
+            batch_size: 32,
+            queue_depth: 4,
+            ..RouterConfig::default()
+        };
         let (report, _) = run_stream(table(), 3, cfg, frames);
         let w = &report.stats.per_worker[0];
         assert_eq!(w.occupancy_sum, 256);
         assert!(w.mean_occupancy() > 0.0 && w.mean_occupancy() <= 32.0);
+    }
+
+    #[test]
+    fn uninstrumented_baseline_agrees_with_instrumented() {
+        let frames = stream(800);
+        let on = run_stream(table(), 3, RouterConfig::default(), frames.clone()).0;
+        let off = run_stream(
+            table(),
+            3,
+            RouterConfig {
+                instrument: false,
+                ..RouterConfig::default()
+            },
+            frames,
+        )
+        .0;
+        assert_eq!(on.stats.totals.forwarded, off.stats.totals.forwarded);
+        assert_eq!(on.stats.totals.dropped, off.stats.totals.dropped);
+        assert_eq!(on.stats.totals.per_port, off.stats.totals.per_port);
+    }
+
+    #[test]
+    fn report_snapshot_conserves_frames() {
+        let frames = stream(600);
+        let n = frames.len() as u64;
+        let (report, _) = run_stream(table(), 3, RouterConfig::default(), frames);
+        let snap = report.to_snapshot();
+        assert_eq!(
+            snap.counter("net.forwarded") + snap.counter_sum("net.drop."),
+            n,
+            "snapshot loses or double-counts frames: {snap}"
+        );
+        let hist = snap
+            .hist("net.latency_ns")
+            .expect("latency histogram present");
+        assert_eq!(hist.count(), n, "every frame carries a latency sample");
     }
 
     #[test]

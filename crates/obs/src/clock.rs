@@ -1,0 +1,40 @@
+//! A cheap process-relative monotonic clock.
+//!
+//! Every trace event carries a timestamp. `Instant` is monotonic but not
+//! serializable; this module pins one `Instant` at first use and reports
+//! nanoseconds since that origin as a plain `u64`, which packs into a ring
+//! slot and renders directly as the Chrome `trace_event` `ts` field.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process's trace origin (the first call wins the
+/// race to define time zero). Monotonic; saturates at `u64::MAX` after
+/// ~584 years of uptime.
+#[must_use]
+pub fn now_ns() -> u64 {
+    let origin = ORIGIN.get_or_init(Instant::now);
+    u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_advances_across_a_sleep() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = now_ns();
+        assert!(b - a >= 1_000_000, "2 ms sleep advanced only {} ns", b - a);
+    }
+}

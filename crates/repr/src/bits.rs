@@ -31,11 +31,18 @@ pub fn get_bits(buf: &[u8], bit_offset: usize, width: usize) -> Result<u64, Repr
 ///
 /// Returns [`ReprError::OutOfRange`] for a bad range, or
 /// [`ReprError::InvalidField`] if `value` does not fit in `width` bits.
-pub fn set_bits(buf: &mut [u8], bit_offset: usize, width: usize, value: u64)
-    -> Result<(), ReprError> {
+pub fn set_bits(
+    buf: &mut [u8],
+    bit_offset: usize,
+    width: usize,
+    value: u64,
+) -> Result<(), ReprError> {
     check_range(buf, bit_offset, width)?;
     if width < 64 && value >> width != 0 {
-        return Err(ReprError::InvalidField { field: "value", value });
+        return Err(ReprError::InvalidField {
+            field: "value",
+            value,
+        });
     }
     for i in 0..width {
         let bit = bit_offset + i;
@@ -49,9 +56,17 @@ pub fn set_bits(buf: &mut [u8], bit_offset: usize, width: usize, value: u64)
 
 fn check_range(buf: &[u8], bit_offset: usize, width: usize) -> Result<(), ReprError> {
     let buffer_bits = buf.len() * 8;
-    if width == 0 || width > 64 || bit_offset.checked_add(width).is_none_or(|end| end > buffer_bits)
+    if width == 0
+        || width > 64
+        || bit_offset
+            .checked_add(width)
+            .is_none_or(|end| end > buffer_bits)
     {
-        return Err(ReprError::OutOfRange { bit_offset, width, buffer_bits });
+        return Err(ReprError::OutOfRange {
+            bit_offset,
+            width,
+            buffer_bits,
+        });
     }
     Ok(())
 }
@@ -194,9 +209,18 @@ mod tests {
     #[test]
     fn out_of_range_is_rejected() {
         let buf = [0u8; 2];
-        assert!(matches!(get_bits(&buf, 10, 8), Err(ReprError::OutOfRange { .. })));
-        assert!(matches!(get_bits(&buf, 0, 0), Err(ReprError::OutOfRange { .. })));
-        assert!(matches!(get_bits(&buf, 0, 65), Err(ReprError::OutOfRange { .. })));
+        assert!(matches!(
+            get_bits(&buf, 10, 8),
+            Err(ReprError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            get_bits(&buf, 0, 0),
+            Err(ReprError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            get_bits(&buf, 0, 65),
+            Err(ReprError::OutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -209,7 +233,10 @@ mod tests {
     #[test]
     fn set_bits_rejects_oversized_value() {
         let mut buf = [0u8; 2];
-        assert!(matches!(set_bits(&mut buf, 0, 4, 16), Err(ReprError::InvalidField { .. })));
+        assert!(matches!(
+            set_bits(&mut buf, 0, 4, 16),
+            Err(ReprError::InvalidField { .. })
+        ));
     }
 
     #[test]

@@ -124,7 +124,10 @@ impl BoxedPacket {
                     payload: t.payload().to_vec(),
                 }
             }
-            other => BoxedTransport::Other { protocol: other, payload: ip_view.payload().to_vec() },
+            other => BoxedTransport::Other {
+                protocol: other,
+                payload: ip_view.payload().to_vec(),
+            },
         };
         Ok(BoxedPacket { eth, ip, transport })
     }
@@ -189,10 +192,16 @@ mod tests {
 
     #[test]
     fn boxed_and_zero_copy_agree_on_tcp() {
-        let bytes = PacketBuilder::tcp().src_port(99).dst_port(443).payload(b"hi").build();
+        let bytes = PacketBuilder::tcp()
+            .src_port(99)
+            .dst_port(443)
+            .payload(b"hi")
+            .build();
         let boxed = BoxedPacket::parse(&bytes).unwrap();
         match &boxed.transport {
-            BoxedTransport::Tcp { src_port, dst_port, .. } => {
+            BoxedTransport::Tcp {
+                src_port, dst_port, ..
+            } => {
                 assert_eq!(**src_port, 99);
                 assert_eq!(**dst_port, 443);
             }
@@ -210,7 +219,10 @@ mod tests {
     fn allocation_count_is_nonzero() {
         let bytes = PacketBuilder::udp().payload(b"x").build();
         let boxed = BoxedPacket::parse(&bytes).unwrap();
-        assert!(boxed.allocation_count() >= 12, "boxing must visibly allocate");
+        assert!(
+            boxed.allocation_count() >= 12,
+            "boxing must visibly allocate"
+        );
     }
 
     proptest! {

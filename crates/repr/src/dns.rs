@@ -93,7 +93,9 @@ pub fn decode_name(buf: &[u8], pos: usize) -> Result<(String, usize), ReprError>
     let mut inline_end: Option<usize> = None;
     let mut hops = 0;
     loop {
-        let &len_byte = buf.get(cursor).ok_or_else(|| truncated(cursor + 1, buf.len()))?;
+        let &len_byte = buf
+            .get(cursor)
+            .ok_or_else(|| truncated(cursor + 1, buf.len()))?;
         match len_byte {
             0 => {
                 let end = inline_end.unwrap_or(cursor + 1);
@@ -131,8 +133,9 @@ pub fn decode_name(buf: &[u8], pos: usize) -> Result<(String, usize), ReprError>
                 let l = usize::from(l);
                 let start = cursor + 1;
                 let end = start + l;
-                let label =
-                    buf.get(start..end).ok_or_else(|| truncated(end, buf.len()))?;
+                let label = buf
+                    .get(start..end)
+                    .ok_or_else(|| truncated(end, buf.len()))?;
                 if !name.is_empty() {
                     name.push('.');
                 }
@@ -182,7 +185,10 @@ pub fn parse_message(buf: &[u8]) -> Result<DnsMessage, ReprError> {
     // cannot be followed by more entries than bytes.
     let claimed = usize::from(header.qdcount) + usize::from(header.ancount);
     if claimed > buf.len() {
-        return Err(ReprError::InvalidField { field: "entry counts", value: claimed as u64 });
+        return Err(ReprError::InvalidField {
+            field: "entry counts",
+            value: claimed as u64,
+        });
     }
     let mut pos = 12;
     let mut questions = Vec::with_capacity(usize::from(header.qdcount).min(64));
@@ -190,7 +196,11 @@ pub fn parse_message(buf: &[u8]) -> Result<DnsMessage, ReprError> {
         let (name, next) = decode_name(buf, pos)?;
         let qtype = read_u16_be(buf, next)?;
         let qclass = read_u16_be(buf, next + 2)?;
-        questions.push(DnsQuestion { name, qtype, qclass });
+        questions.push(DnsQuestion {
+            name,
+            qtype,
+            qclass,
+        });
         pos = next + 4;
     }
     let mut answers = Vec::with_capacity(usize::from(header.ancount).min(64));
@@ -216,7 +226,11 @@ pub fn parse_message(buf: &[u8]) -> Result<DnsMessage, ReprError> {
         });
         pos = rdata_end;
     }
-    Ok(DnsMessage { header, questions, answers })
+    Ok(DnsMessage {
+        header,
+        questions,
+        answers,
+    })
 }
 
 /// Builds a simple query message (for tests and examples).
@@ -262,7 +276,7 @@ mod tests {
         // Mark as response with one answer.
         b[2] = 0x81; // QR + RD
         b[7] = 1; // ancount = 1
-        // Answer: pointer to offset 12 (question name), A record, rdata 4B.
+                  // Answer: pointer to offset 12 (question name), A record, rdata 4B.
         b.extend_from_slice(&[0xC0, 12]); // name = pointer
         b.extend_from_slice(&1u16.to_be_bytes()); // type A
         b.extend_from_slice(&1u16.to_be_bytes()); // class IN
@@ -309,7 +323,16 @@ mod tests {
         let name = vec!["abcdefghij"; 50].join(".");
         let b = build_query(1, &name, 1);
         let err = parse_message(&b).unwrap_err();
-        assert!(matches!(err, ReprError::InvalidField { field: "name length", .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                ReprError::InvalidField {
+                    field: "name length",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -327,13 +350,15 @@ mod tests {
         b[5] = 0x01;
         assert!(matches!(
             parse_message(&b),
-            Err(ReprError::InvalidField { field: "entry counts", .. })
+            Err(ReprError::InvalidField {
+                field: "entry counts",
+                ..
+            })
         ));
     }
 
     #[test]
-    fn reserved_label_bits_are_rejected()
-    {
+    fn reserved_label_bits_are_rejected() {
         let mut b = build_query(1, "ok", 1);
         b[12] = 0x80; // 10xxxxxx reserved
         assert!(parse_message(&b).is_err());

@@ -15,9 +15,17 @@ macro_rules! read_write {
         /// Returns [`ReprError::Truncated`] if the buffer is too short.
         pub fn $read_be(buf: &[u8], off: usize) -> Result<$t, ReprError> {
             let n = std::mem::size_of::<$t>();
-            let end = off.checked_add(n).ok_or(ReprError::Truncated { needed: usize::MAX, got: buf.len() })?;
-            let slice = buf.get(off..end).ok_or(ReprError::Truncated { needed: end, got: buf.len() })?;
-            Ok(<$t>::from_be_bytes(slice.try_into().expect("length checked")))
+            let end = off.checked_add(n).ok_or(ReprError::Truncated {
+                needed: usize::MAX,
+                got: buf.len(),
+            })?;
+            let slice = buf.get(off..end).ok_or(ReprError::Truncated {
+                needed: end,
+                got: buf.len(),
+            })?;
+            Ok(<$t>::from_be_bytes(
+                slice.try_into().expect("length checked"),
+            ))
         }
 
         /// Writes a big-endian value at `off`.
@@ -27,9 +35,15 @@ macro_rules! read_write {
         /// Returns [`ReprError::Truncated`] if the buffer is too short.
         pub fn $write_be(buf: &mut [u8], off: usize, v: $t) -> Result<(), ReprError> {
             let n = std::mem::size_of::<$t>();
-            let end = off.checked_add(n).ok_or(ReprError::Truncated { needed: usize::MAX, got: buf.len() })?;
+            let end = off.checked_add(n).ok_or(ReprError::Truncated {
+                needed: usize::MAX,
+                got: buf.len(),
+            })?;
             let len = buf.len();
-            let slice = buf.get_mut(off..end).ok_or(ReprError::Truncated { needed: end, got: len })?;
+            let slice = buf.get_mut(off..end).ok_or(ReprError::Truncated {
+                needed: end,
+                got: len,
+            })?;
             slice.copy_from_slice(&v.to_be_bytes());
             Ok(())
         }
@@ -41,9 +55,17 @@ macro_rules! read_write {
         /// Returns [`ReprError::Truncated`] if the buffer is too short.
         pub fn $read_le(buf: &[u8], off: usize) -> Result<$t, ReprError> {
             let n = std::mem::size_of::<$t>();
-            let end = off.checked_add(n).ok_or(ReprError::Truncated { needed: usize::MAX, got: buf.len() })?;
-            let slice = buf.get(off..end).ok_or(ReprError::Truncated { needed: end, got: buf.len() })?;
-            Ok(<$t>::from_le_bytes(slice.try_into().expect("length checked")))
+            let end = off.checked_add(n).ok_or(ReprError::Truncated {
+                needed: usize::MAX,
+                got: buf.len(),
+            })?;
+            let slice = buf.get(off..end).ok_or(ReprError::Truncated {
+                needed: end,
+                got: buf.len(),
+            })?;
+            Ok(<$t>::from_le_bytes(
+                slice.try_into().expect("length checked"),
+            ))
         }
 
         /// Writes a little-endian value at `off`.
@@ -53,9 +75,15 @@ macro_rules! read_write {
         /// Returns [`ReprError::Truncated`] if the buffer is too short.
         pub fn $write_le(buf: &mut [u8], off: usize, v: $t) -> Result<(), ReprError> {
             let n = std::mem::size_of::<$t>();
-            let end = off.checked_add(n).ok_or(ReprError::Truncated { needed: usize::MAX, got: buf.len() })?;
+            let end = off.checked_add(n).ok_or(ReprError::Truncated {
+                needed: usize::MAX,
+                got: buf.len(),
+            })?;
             let len = buf.len();
-            let slice = buf.get_mut(off..end).ok_or(ReprError::Truncated { needed: end, got: len })?;
+            let slice = buf.get_mut(off..end).ok_or(ReprError::Truncated {
+                needed: end,
+                got: len,
+            })?;
             slice.copy_from_slice(&v.to_le_bytes());
             Ok(())
         }
@@ -100,8 +128,14 @@ mod tests {
     #[test]
     fn truncated_reads_are_rejected() {
         let buf = [0u8; 3];
-        assert!(matches!(read_u32_be(&buf, 0), Err(ReprError::Truncated { .. })));
-        assert!(matches!(read_u16_be(&buf, 2), Err(ReprError::Truncated { .. })));
+        assert!(matches!(
+            read_u32_be(&buf, 0),
+            Err(ReprError::Truncated { .. })
+        ));
+        assert!(matches!(
+            read_u16_be(&buf, 2),
+            Err(ReprError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -133,7 +167,9 @@ mod tests {
     #[test]
     fn checksum_verifies_to_zero_when_embedded() {
         // A buffer whose checksum field is filled in verifies to 0.
-        let mut h = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00];
+        let mut h = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00,
+        ];
         h.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
         let ck = internet_checksum(&h);
         h[10] = (ck >> 8) as u8;

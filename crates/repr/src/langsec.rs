@@ -64,7 +64,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: expected {}", self.position, self.expected)
+        write!(
+            f,
+            "parse error at byte {}: expected {}",
+            self.position, self.expected
+        )
     }
 }
 
@@ -80,8 +84,17 @@ pub type PResult<'a, T> = Result<(T, Input<'a>), ParseError>;
 /// Fails at end of input.
 pub fn u8(i: Input<'_>) -> PResult<'_, u8> {
     match i.rest().first() {
-        Some(&b) => Ok((b, Input { data: i.data, pos: i.pos + 1 })),
-        None => Err(ParseError { position: i.pos, expected: "one byte" }),
+        Some(&b) => Ok((
+            b,
+            Input {
+                data: i.data,
+                pos: i.pos + 1,
+            },
+        )),
+        None => Err(ParseError {
+            position: i.pos,
+            expected: "one byte",
+        }),
     }
 }
 
@@ -92,8 +105,17 @@ pub fn u8(i: Input<'_>) -> PResult<'_, u8> {
 /// Fails with fewer than two bytes remaining.
 pub fn be_u16(i: Input<'_>) -> PResult<'_, u16> {
     match i.rest() {
-        [a, b, ..] => Ok((u16::from_be_bytes([*a, *b]), Input { data: i.data, pos: i.pos + 2 })),
-        _ => Err(ParseError { position: i.pos, expected: "big-endian u16" }),
+        [a, b, ..] => Ok((
+            u16::from_be_bytes([*a, *b]),
+            Input {
+                data: i.data,
+                pos: i.pos + 2,
+            },
+        )),
+        _ => Err(ParseError {
+            position: i.pos,
+            expected: "big-endian u16",
+        }),
     }
 }
 
@@ -106,9 +128,15 @@ pub fn be_u32(i: Input<'_>) -> PResult<'_, u32> {
     match i.rest() {
         [a, b, c, d, ..] => Ok((
             u32::from_be_bytes([*a, *b, *c, *d]),
-            Input { data: i.data, pos: i.pos + 4 },
+            Input {
+                data: i.data,
+                pos: i.pos + 4,
+            },
         )),
-        _ => Err(ParseError { position: i.pos, expected: "big-endian u32" }),
+        _ => Err(ParseError {
+            position: i.pos,
+            expected: "big-endian u32",
+        }),
     }
 }
 
@@ -116,9 +144,18 @@ pub fn be_u32(i: Input<'_>) -> PResult<'_, u32> {
 pub fn take(n: usize) -> impl Fn(Input<'_>) -> PResult<'_, &[u8]> {
     move |i| {
         if i.remaining() < n {
-            Err(ParseError { position: i.pos, expected: "more bytes" })
+            Err(ParseError {
+                position: i.pos,
+                expected: "more bytes",
+            })
         } else {
-            Ok((&i.data[i.pos..i.pos + n], Input { data: i.data, pos: i.pos + n }))
+            Ok((
+                &i.data[i.pos..i.pos + n],
+                Input {
+                    data: i.data,
+                    pos: i.pos + n,
+                },
+            ))
         }
     }
 }
@@ -127,17 +164,29 @@ pub fn take(n: usize) -> impl Fn(Input<'_>) -> PResult<'_, &[u8]> {
 pub fn tag<'t>(t: &'t [u8]) -> impl Fn(Input<'_>) -> PResult<'_, ()> + 't {
     move |i| {
         if i.rest().starts_with(t) {
-            Ok(((), Input { data: i.data, pos: i.pos + t.len() }))
+            Ok((
+                (),
+                Input {
+                    data: i.data,
+                    pos: i.pos + t.len(),
+                },
+            ))
         } else {
-            Err(ParseError { position: i.pos, expected: "tag bytes" })
+            Err(ParseError {
+                position: i.pos,
+                expected: "tag bytes",
+            })
         }
     }
 }
 
 /// Wraps a parser with a post-condition; the cursor does not advance on
 /// failure, so the caller can report the exact offending field.
-pub fn verify<'a, T, P, F>(parser: P, expected: &'static str, pred: F)
-    -> impl Fn(Input<'a>) -> PResult<'a, T>
+pub fn verify<'a, T, P, F>(
+    parser: P,
+    expected: &'static str,
+    pred: F,
+) -> impl Fn(Input<'a>) -> PResult<'a, T>
 where
     P: Fn(Input<'a>) -> PResult<'a, T>,
     F: Fn(&T) -> bool,
@@ -148,7 +197,10 @@ where
         if pred(&v) {
             Ok((v, rest))
         } else {
-            Err(ParseError { position: at, expected })
+            Err(ParseError {
+                position: at,
+                expected,
+            })
         }
     }
 }
@@ -201,7 +253,10 @@ pub fn ipv4_header(i: Input<'_>) -> PResult<'_, Ipv4Header> {
         usize::from(t) >= header_len
     })(i)?;
     if usize::from(total_len) > start_remaining {
-        return Err(ParseError { position: i.position(), expected: "total_len within buffer" });
+        return Err(ParseError {
+            position: i.position(),
+            expected: "total_len within buffer",
+        });
     }
     let (_id, i) = be_u16(i)?;
     let (_flags_frag, i) = be_u16(i)?;

@@ -86,13 +86,21 @@ impl LayoutBuilder {
     /// Starts a layout named `name`.
     #[must_use]
     pub fn new(name: &str) -> Self {
-        LayoutBuilder { name: name.to_owned(), fields: Vec::new(), cursor: 0 }
+        LayoutBuilder {
+            name: name.to_owned(),
+            fields: Vec::new(),
+            cursor: 0,
+        }
     }
 
     /// Appends a field of `width` bits.
     #[must_use]
     pub fn field(mut self, name: &str, width: usize) -> Self {
-        self.fields.push(Field { name: name.to_owned(), bit_offset: self.cursor, width });
+        self.fields.push(Field {
+            name: name.to_owned(),
+            bit_offset: self.cursor,
+            width,
+        });
         self.cursor += width;
         self
     }
@@ -122,13 +130,21 @@ impl LayoutBuilder {
         let mut by_name = HashMap::new();
         for (i, f) in self.fields.iter().enumerate() {
             if f.width == 0 || f.width > 64 {
-                return Err(LayoutError::BadWidth { field: f.name.clone(), width: f.width });
+                return Err(LayoutError::BadWidth {
+                    field: f.name.clone(),
+                    width: f.width,
+                });
             }
             if by_name.insert(f.name.clone(), i).is_some() {
                 return Err(LayoutError::DuplicateField(f.name.clone()));
             }
         }
-        Ok(Layout { name: self.name, fields: self.fields, by_name, size_bits: self.cursor })
+        Ok(Layout {
+            name: self.name,
+            fields: self.fields,
+            by_name,
+            size_bits: self.cursor,
+        })
     }
 }
 
@@ -193,7 +209,10 @@ impl Layout {
     /// Returns [`ReprError::Truncated`] if `buf` is smaller than the layout.
     pub fn view<'a>(&'a self, buf: &'a [u8]) -> Result<View<'a>, ReprError> {
         if buf.len() < self.size_bytes() {
-            return Err(ReprError::Truncated { needed: self.size_bytes(), got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: self.size_bytes(),
+                got: buf.len(),
+            });
         }
         Ok(View { layout: self, buf })
     }
@@ -205,7 +224,10 @@ impl Layout {
     /// Returns [`ReprError::Truncated`] if `buf` is smaller than the layout.
     pub fn view_mut<'a>(&'a self, buf: &'a mut [u8]) -> Result<ViewMut<'a>, ReprError> {
         if buf.len() < self.size_bytes() {
-            return Err(ReprError::Truncated { needed: self.size_bytes(), got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: self.size_bytes(),
+                got: buf.len(),
+            });
         }
         Ok(ViewMut { layout: self, buf })
     }
@@ -228,7 +250,10 @@ impl View<'_> {
         let f = self
             .layout
             .field(name)
-            .map_err(|_| ReprError::InvalidField { field: "unknown", value: 0 })?;
+            .map_err(|_| ReprError::InvalidField {
+                field: "unknown",
+                value: 0,
+            })?;
         bits::get_bits(self.buf, f.bit_offset, f.width)
     }
 }
@@ -250,7 +275,10 @@ impl ViewMut<'_> {
         let f = self
             .layout
             .field(name)
-            .map_err(|_| ReprError::InvalidField { field: "unknown", value: 0 })?;
+            .map_err(|_| ReprError::InvalidField {
+                field: "unknown",
+                value: 0,
+            })?;
         bits::get_bits(self.buf, f.bit_offset, f.width)
     }
 
@@ -264,7 +292,10 @@ impl ViewMut<'_> {
         let f = self
             .layout
             .field(name)
-            .map_err(|_| ReprError::InvalidField { field: "unknown", value })?;
+            .map_err(|_| ReprError::InvalidField {
+                field: "unknown",
+                value,
+            })?;
         bits::set_bits(self.buf, f.bit_offset, f.width, value)
     }
 }
@@ -305,7 +336,11 @@ mod tests {
 
     #[test]
     fn duplicate_fields_are_rejected() {
-        let err = LayoutBuilder::new("x").field("a", 4).field("a", 4).build().unwrap_err();
+        let err = LayoutBuilder::new("x")
+            .field("a", 4)
+            .field("a", 4)
+            .build()
+            .unwrap_err();
         assert_eq!(err, LayoutError::DuplicateField("a".into()));
     }
 
@@ -323,7 +358,12 @@ mod tests {
 
     #[test]
     fn align_to_pads_cursor() {
-        let l = LayoutBuilder::new("x").field("a", 3).align_to(16).field("b", 8).build().unwrap();
+        let l = LayoutBuilder::new("x")
+            .field("a", 3)
+            .align_to(16)
+            .field("b", 8)
+            .build()
+            .unwrap();
         assert_eq!(l.field("b").unwrap().bit_offset, 16);
     }
 

@@ -89,9 +89,16 @@ impl fmt::Display for ReprError {
                 write!(f, "invalid value {value} for field {field}")
             }
             ReprError::BadChecksum { expected, computed } => {
-                write!(f, "bad checksum: header says {expected:#06x}, computed {computed:#06x}")
+                write!(
+                    f,
+                    "bad checksum: header says {expected:#06x}, computed {computed:#06x}"
+                )
             }
-            ReprError::OutOfRange { bit_offset, width, buffer_bits } => {
+            ReprError::OutOfRange {
+                bit_offset,
+                width,
+                buffer_bits,
+            } => {
                 write!(
                     f,
                     "bit access [{bit_offset}, {bit_offset}+{width}) exceeds buffer of {buffer_bits} bits"
@@ -111,7 +118,10 @@ mod tests {
     fn error_messages_name_the_problem() {
         let e = ReprError::Truncated { needed: 20, got: 3 };
         assert_eq!(e.to_string(), "truncated input: need 20 bytes, got 3");
-        let e = ReprError::BadChecksum { expected: 0x1234, computed: 0x5678 };
+        let e = ReprError::BadChecksum {
+            expected: 0x1234,
+            computed: 0x5678,
+        };
         assert!(e.to_string().contains("0x1234"));
     }
 }

@@ -35,7 +35,10 @@ impl<'a> EthernetView<'a> {
     /// Returns [`ReprError::Truncated`] for frames under 14 bytes.
     pub fn parse(buf: &'a [u8]) -> Result<Self, ReprError> {
         if buf.len() < ETH_HEADER {
-            return Err(ReprError::Truncated { needed: ETH_HEADER, got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: ETH_HEADER,
+                got: buf.len(),
+            });
         }
         Ok(EthernetView { buf })
     }
@@ -99,28 +102,50 @@ impl<'a> Ipv4View<'a> {
     /// until the whole header is known to be in bounds.
     pub fn parse(buf: &'a [u8]) -> Result<Self, ReprError> {
         if buf.len() < IPV4_MIN_HEADER {
-            return Err(ReprError::Truncated { needed: IPV4_MIN_HEADER, got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: IPV4_MIN_HEADER,
+                got: buf.len(),
+            });
         }
         let version = buf[0] >> 4;
         if version != 4 {
-            return Err(ReprError::InvalidField { field: "version", value: u64::from(version) });
+            return Err(ReprError::InvalidField {
+                field: "version",
+                value: u64::from(version),
+            });
         }
         let ihl = usize::from(buf[0] & 0x0F);
         let header_len = ihl * 4;
         if ihl < 5 {
-            return Err(ReprError::InvalidField { field: "ihl", value: ihl as u64 });
+            return Err(ReprError::InvalidField {
+                field: "ihl",
+                value: ihl as u64,
+            });
         }
         if buf.len() < header_len {
-            return Err(ReprError::Truncated { needed: header_len, got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: header_len,
+                got: buf.len(),
+            });
         }
         let total_len = usize::from(read_u16_be(buf, 2).expect("validated length"));
         if total_len < header_len {
-            return Err(ReprError::InvalidField { field: "total_len", value: total_len as u64 });
+            return Err(ReprError::InvalidField {
+                field: "total_len",
+                value: total_len as u64,
+            });
         }
         if buf.len() < total_len {
-            return Err(ReprError::Truncated { needed: total_len, got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: total_len,
+                got: buf.len(),
+            });
         }
-        Ok(Ipv4View { buf, header_len, total_len })
+        Ok(Ipv4View {
+            buf,
+            header_len,
+            total_len,
+        })
     }
 
     /// Header length in bytes.
@@ -223,7 +248,10 @@ impl<'a> Ipv4View<'a> {
         if computed == 0 {
             Ok(())
         } else {
-            Err(ReprError::BadChecksum { expected: self.checksum(), computed })
+            Err(ReprError::BadChecksum {
+                expected: self.checksum(),
+                computed,
+            })
         }
     }
 
@@ -275,14 +303,23 @@ impl<'a> UdpView<'a> {
     /// Returns [`ReprError::Truncated`] or [`ReprError::InvalidField`].
     pub fn parse(buf: &'a [u8]) -> Result<Self, ReprError> {
         if buf.len() < UDP_HEADER {
-            return Err(ReprError::Truncated { needed: UDP_HEADER, got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: UDP_HEADER,
+                got: buf.len(),
+            });
         }
         let length = usize::from(read_u16_be(buf, 4).expect("validated length"));
         if length < UDP_HEADER {
-            return Err(ReprError::InvalidField { field: "length", value: length as u64 });
+            return Err(ReprError::InvalidField {
+                field: "length",
+                value: length as u64,
+            });
         }
         if buf.len() < length {
-            return Err(ReprError::Truncated { needed: length, got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: length,
+                got: buf.len(),
+            });
         }
         Ok(UdpView { buf, length })
     }
@@ -333,7 +370,10 @@ impl<'a> TcpView<'a> {
     /// Returns [`ReprError::Truncated`] or [`ReprError::InvalidField`].
     pub fn parse(buf: &'a [u8]) -> Result<Self, ReprError> {
         if buf.len() < TCP_MIN_HEADER {
-            return Err(ReprError::Truncated { needed: TCP_MIN_HEADER, got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: TCP_MIN_HEADER,
+                got: buf.len(),
+            });
         }
         let data_offset = usize::from(buf[12] >> 4) * 4;
         if data_offset < TCP_MIN_HEADER {
@@ -343,7 +383,10 @@ impl<'a> TcpView<'a> {
             });
         }
         if buf.len() < data_offset {
-            return Err(ReprError::Truncated { needed: data_offset, got: buf.len() });
+            return Err(ReprError::Truncated {
+                needed: data_offset,
+                got: buf.len(),
+            });
         }
         Ok(TcpView { buf, data_offset })
     }
@@ -509,9 +552,16 @@ impl PacketBuilder {
     /// Panics if the payload is too large for a 16-bit IPv4 total length.
     #[must_use]
     pub fn build(&self) -> Vec<u8> {
-        let transport_header = if self.protocol == IPPROTO_UDP { UDP_HEADER } else { TCP_MIN_HEADER };
+        let transport_header = if self.protocol == IPPROTO_UDP {
+            UDP_HEADER
+        } else {
+            TCP_MIN_HEADER
+        };
         let ip_total = IPV4_MIN_HEADER + transport_header + self.payload.len();
-        assert!(ip_total <= usize::from(u16::MAX), "payload too large for IPv4");
+        assert!(
+            ip_total <= usize::from(u16::MAX),
+            "payload too large for IPv4"
+        );
         let mut frame = vec![0u8; ETH_HEADER + ip_total];
         // Ethernet.
         frame[0..6].copy_from_slice(&self.dst_mac);
@@ -520,7 +570,12 @@ impl PacketBuilder {
         // IPv4 header.
         let ip = ETH_HEADER;
         frame[ip] = 0x45;
-        write_u16_be(&mut frame, ip + 2, u16::try_from(ip_total).expect("checked")).expect("in bounds");
+        write_u16_be(
+            &mut frame,
+            ip + 2,
+            u16::try_from(ip_total).expect("checked"),
+        )
+        .expect("in bounds");
         frame[ip + 8] = self.ttl;
         frame[ip + 9] = self.protocol;
         frame[ip + 12..ip + 16].copy_from_slice(&self.src_ip);
@@ -588,7 +643,12 @@ mod tests {
     #[test]
     fn udp_fields_and_payload_decode() {
         let bytes = sample_udp();
-        let udp = EthernetView::parse(&bytes).unwrap().ipv4().unwrap().udp().unwrap();
+        let udp = EthernetView::parse(&bytes)
+            .unwrap()
+            .ipv4()
+            .unwrap()
+            .udp()
+            .unwrap();
         assert_eq!(udp.src_port(), 1234);
         assert_eq!(udp.dst_port(), 5678);
         assert_eq!(udp.payload(), b"payload!");
@@ -596,8 +656,17 @@ mod tests {
 
     #[test]
     fn tcp_builder_and_view_agree() {
-        let bytes = PacketBuilder::tcp().src_port(80).dst_port(443).payload(b"GET /").build();
-        let tcp = EthernetView::parse(&bytes).unwrap().ipv4().unwrap().tcp().unwrap();
+        let bytes = PacketBuilder::tcp()
+            .src_port(80)
+            .dst_port(443)
+            .payload(b"GET /")
+            .build();
+        let tcp = EthernetView::parse(&bytes)
+            .unwrap()
+            .ipv4()
+            .unwrap()
+            .tcp()
+            .unwrap();
         assert_eq!(tcp.src_port(), 80);
         assert_eq!(tcp.dst_port(), 443);
         assert!(tcp.ack_flag());
@@ -609,7 +678,10 @@ mod tests {
     fn corrupted_checksum_is_detected() {
         let bytes = PacketBuilder::udp().corrupt_checksum().build();
         let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
-        assert!(matches!(ip.verify_checksum(), Err(ReprError::BadChecksum { .. })));
+        assert!(matches!(
+            ip.verify_checksum(),
+            Err(ReprError::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -626,7 +698,10 @@ mod tests {
         bytes[14] = 0x65; // version 6
         assert!(matches!(
             EthernetView::parse(&bytes).unwrap().ipv4(),
-            Err(ReprError::InvalidField { field: "version", .. })
+            Err(ReprError::InvalidField {
+                field: "version",
+                ..
+            })
         ));
     }
 
@@ -652,14 +727,23 @@ mod tests {
         // Claim a total length past the end of the buffer.
         bytes[16] = 0xFF;
         bytes[17] = 0xFF;
-        assert!(matches!(Ipv4View::parse(&bytes[14..]), Err(ReprError::Truncated { .. })));
+        assert!(matches!(
+            Ipv4View::parse(&bytes[14..]),
+            Err(ReprError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn udp_on_tcp_packet_is_a_type_error() {
         let bytes = PacketBuilder::tcp().build();
         let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
-        assert!(matches!(ip.udp(), Err(ReprError::InvalidField { field: "protocol", .. })));
+        assert!(matches!(
+            ip.udp(),
+            Err(ReprError::InvalidField {
+                field: "protocol",
+                ..
+            })
+        ));
     }
 
     proptest! {

@@ -20,19 +20,28 @@ impl Lit {
     /// Positive literal of `var`.
     #[must_use]
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of `var`.
     #[must_use]
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 
     /// The complementary literal.
     #[must_use]
     pub fn negated(self) -> Lit {
-        Lit { var: self.var, positive: !self.positive }
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 }
 
@@ -49,7 +58,10 @@ impl Cnf {
     /// Creates an empty CNF over `num_vars` variables.
     #[must_use]
     pub fn new(num_vars: usize) -> Self {
-        Cnf { num_vars, clauses: Vec::new() }
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Allocates a fresh variable and returns its index.

@@ -28,7 +28,10 @@ impl LinExpr {
     /// The constant expression `n`.
     #[must_use]
     pub fn constant(n: i64) -> Self {
-        LinExpr { coeffs: BTreeMap::new(), constant: n }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: n,
+        }
     }
 
     /// The expression `1 * var`.
@@ -36,7 +39,10 @@ impl LinExpr {
     pub fn var(name: &str) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(name.to_owned(), 1);
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Adds another expression scaled by `k`.
@@ -88,7 +94,11 @@ impl Constraint {
     /// floor the bound. For `g | coeffs`, `sum c_i x_i <= -k` iff
     /// `sum (c_i/g) x_i <= floor(-k/g)` over the integers.
     fn tighten(&mut self) {
-        let g = self.expr.coeffs.values().fold(0i64, |acc, &c| gcd(acc, c.abs()));
+        let g = self
+            .expr
+            .coeffs
+            .values()
+            .fold(0i64, |acc, &c| gcd(acc, c.abs()));
         if g > 1 {
             for c in self.expr.coeffs.values_mut() {
                 *c /= g;
@@ -100,7 +110,11 @@ impl Constraint {
 }
 
 fn gcd(a: i64, b: i64) -> i64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 /// Result of a satisfiability check.
@@ -207,13 +221,17 @@ pub fn check(constraints: &[Constraint]) -> LiaResult {
         let mut hi: Option<i64> = None;
         for (a, e) in lowers {
             // x >= e/a (a > 0): lower bound ceil(e/a).
-            let Some(ev) = e.eval(&model) else { return LiaResult::Unknown };
+            let Some(ev) = e.eval(&model) else {
+                return LiaResult::Unknown;
+            };
             let bound = div_ceil(ev, *a);
             lo = Some(lo.map_or(bound, |l| l.max(bound)));
         }
         for (b, f) in uppers {
             // x <= f/b (b > 0): upper bound floor(f/b).
-            let Some(fv) = f.eval(&model) else { return LiaResult::Unknown };
+            let Some(fv) = f.eval(&model) else {
+                return LiaResult::Unknown;
+            };
             let bound = fv.div_euclid(*b);
             hi = Some(hi.map_or(bound, |h| h.min(bound)));
         }

@@ -67,7 +67,10 @@ fn linearize(t: &Term, out: &mut LinExpr, scale: i64) {
 }
 
 fn expr_key(e: &LinExpr) -> (Vec<(String, i64)>, i64) {
-    (e.coeffs.iter().map(|(k, v)| (k.clone(), *v)).collect(), e.constant)
+    (
+        e.coeffs.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        e.constant,
+    )
 }
 
 struct Abstraction {
@@ -177,14 +180,21 @@ impl Abstraction {
                     Cmp::Ne => (TheoryAtom::EqZero(expr_key(&d).0, expr_key(&d).1), true),
                 };
                 let v = self.atom_var(atom);
-                if negate { Lit::neg(v) } else { Lit::pos(v) }
+                if negate {
+                    Lit::neg(v)
+                } else {
+                    Lit::pos(v)
+                }
             }
         }
     }
 }
 
 fn expr_from_key(coeffs: &[(String, i64)], constant: i64) -> LinExpr {
-    LinExpr { coeffs: coeffs.iter().cloned().collect(), constant }
+    LinExpr {
+        coeffs: coeffs.iter().cloned().collect(),
+        constant,
+    }
 }
 
 /// Maximum disequality case-splits per theory check (2^k branches).
@@ -276,7 +286,11 @@ fn check_theory(les: &[Constraint], diseqs: &[LinExpr]) -> LiaResult {
             LiaResult::Unknown => saw_unknown = true,
         }
     }
-    if saw_unknown { LiaResult::Unknown } else { LiaResult::Unsat }
+    if saw_unknown {
+        LiaResult::Unknown
+    } else {
+        LiaResult::Unsat
+    }
 }
 
 /// Decides validity of `f`: `Valid` iff `!f` is unsatisfiable.
@@ -304,7 +318,11 @@ mod tests {
         let f = Formula::cmp(Cmp::Le, v("x"), v("x"));
         assert_eq!(check_valid(&f), Validity::Valid);
         // x < x + 1
-        let f = Formula::cmp(Cmp::Lt, v("x"), T::Add(Box::new(v("x")), Box::new(T::Int(1))));
+        let f = Formula::cmp(
+            Cmp::Lt,
+            v("x"),
+            T::Add(Box::new(v("x")), Box::new(T::Int(1))),
+        );
         assert_eq!(check_valid(&f), Validity::Valid);
     }
 
@@ -356,7 +374,10 @@ mod tests {
     fn boolean_structure_mixes_with_arithmetic() {
         // (p || x > 0) && !p && x <= 0 is unsat.
         let f = Formula::And(vec![
-            Formula::or(Formula::BoolVar("p".into()), Formula::cmp(Cmp::Gt, v("x"), T::Int(0))),
+            Formula::or(
+                Formula::BoolVar("p".into()),
+                Formula::cmp(Cmp::Gt, v("x"), T::Int(0)),
+            ),
             Formula::not(Formula::BoolVar("p".into())),
             Formula::cmp(Cmp::Le, v("x"), T::Int(0)),
         ]);

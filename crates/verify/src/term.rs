@@ -330,7 +330,10 @@ mod tests {
         let be = |_: &str| Some(true);
         assert_eq!(x_le_y.eval(&env_xy(1, 2), &be), Some(true));
         assert_eq!(x_le_y.eval(&env_xy(3, 2), &be), Some(false));
-        let f = Formula::implies(x_le_y.clone(), Formula::cmp(Cmp::Lt, Term::var("x"), Term::var("y")));
+        let f = Formula::implies(
+            x_le_y.clone(),
+            Formula::cmp(Cmp::Lt, Term::var("x"), Term::var("y")),
+        );
         // 2 <= 2 but !(2 < 2): implication false.
         assert_eq!(f.eval(&env_xy(2, 2), &be), Some(false));
     }
@@ -339,7 +342,10 @@ mod tests {
     fn collect_vars_finds_everything() {
         let f = Formula::and(
             Formula::cmp(Cmp::Eq, Term::var("a"), Term::Int(1)),
-            Formula::or(Formula::BoolVar("p".into()), Formula::cmp(Cmp::Lt, Term::var("b"), Term::var("a"))),
+            Formula::or(
+                Formula::BoolVar("p".into()),
+                Formula::cmp(Cmp::Lt, Term::var("b"), Term::var("a")),
+            ),
         );
         let mut ints = BTreeSet::new();
         let mut bools = BTreeSet::new();
@@ -351,7 +357,10 @@ mod tests {
     #[test]
     fn substitution_replaces_in_atoms() {
         let f = Formula::cmp(Cmp::Le, Term::var("x"), Term::Int(5));
-        let g = f.subst("x", &Term::Add(Box::new(Term::var("y")), Box::new(Term::Int(1))));
+        let g = f.subst(
+            "x",
+            &Term::Add(Box::new(Term::var("y")), Box::new(Term::Int(1))),
+        );
         assert_eq!(g.to_string(), "(y + 1) <= 5");
     }
 

@@ -131,7 +131,11 @@ impl VcGen {
                     Formula::implies(Formula::not(c.clone()), we),
                 )
             }
-            Stmt::While { cond, invariant, body } => {
+            Stmt::While {
+                cond,
+                invariant,
+                body,
+            } => {
                 // Havoc the modified variables by renaming them to fresh
                 // names in the preserved/exit obligations; the fresh names
                 // are free, hence universally quantified by validity.
@@ -146,10 +150,8 @@ impl VcGen {
                 };
                 // Preservation: inv && cond ==> wp(body, inv), over havoced vars.
                 let body_wp = self.wp_seq(proc, body, invariant.clone());
-                let preserved = Formula::implies(
-                    Formula::and(invariant.clone(), cond.clone()),
-                    body_wp,
-                );
+                let preserved =
+                    Formula::implies(Formula::and(invariant.clone(), cond.clone()), body_wp);
                 // Consistent renaming across the whole preservation formula.
                 let mut preserved_rn = preserved;
                 let mut snapshot = Vec::new();
@@ -171,7 +173,10 @@ impl VcGen {
                 for m in &mods {
                     exit_rn = exit_rn.subst(m, &Term::var(&self.fresh_name(m)));
                 }
-                self.side.push(Vc { label: format!("{proc}: postcondition on loop exit"), formula: exit_rn });
+                self.side.push(Vc {
+                    label: format!("{proc}: postcondition on loop exit"),
+                    formula: exit_rn,
+                });
                 // Entry obligation flows up as the wp.
                 let _ = rename; // renaming helper retained for clarity
                 let _ = snapshot;
@@ -213,7 +218,9 @@ pub fn verify_procedure(proc: &Procedure) -> Vec<(Vc, VcOutcome)> {
 /// True if every VC of `proc` is proved.
 #[must_use]
 pub fn is_verified(proc: &Procedure) -> bool {
-    verify_procedure(proc).iter().all(|(_, o)| *o == VcOutcome::Proved)
+    verify_procedure(proc)
+        .iter()
+        .all(|(_, o)| *o == VcOutcome::Proved)
 }
 
 #[cfg(test)]
@@ -261,7 +268,11 @@ mod tests {
             name: "bound".into(),
             requires: Formula::cmp(Cmp::Lt, v("i"), v("n")),
             ensures: Formula::True,
-            body: vec![Stmt::Assert(Formula::cmp(Cmp::Le, plus(v("i"), Term::Int(1)), v("n")))],
+            body: vec![Stmt::Assert(Formula::cmp(
+                Cmp::Le,
+                plus(v("i"), Term::Int(1)),
+                v("n"),
+            ))],
         };
         assert!(is_verified(&p));
     }
@@ -287,7 +298,10 @@ mod tests {
             body: vec![Stmt::If(
                 Formula::cmp(Cmp::Ge, v("x"), Term::Int(0)),
                 vec![Stmt::Assign("y".into(), v("x"))],
-                vec![Stmt::Assign("y".into(), Term::Sub(Box::new(Term::Int(0)), Box::new(v("x"))))],
+                vec![Stmt::Assign(
+                    "y".into(),
+                    Term::Sub(Box::new(Term::Int(0)), Box::new(v("x"))),
+                )],
             )],
         };
         assert!(is_verified(&p));

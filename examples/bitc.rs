@@ -112,7 +112,8 @@ fn main() -> ExitCode {
             };
             let registry = NativeRegistry::with_defaults();
             let result = if boxed {
-                Vm::<Boxed>::new(&bc, &registry).and_then(|mut vm| vm.run().map(|v| format!("{v:?}")))
+                Vm::<Boxed>::new(&bc, &registry)
+                    .and_then(|mut vm| vm.run().map(|v| format!("{v:?}")))
             } else {
                 Vm::<Unboxed>::new(&bc, &registry)
                     .and_then(|mut vm| vm.run_int().map(|n| n.to_string()))

@@ -10,11 +10,20 @@ use plos06::experiments::{self, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
-    let wanted: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let wanted = if wanted.is_empty() || wanted.contains(&"all") {
-        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "f1"]
+        vec![
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "f1",
+        ]
     } else {
         wanted
     };
@@ -31,9 +40,10 @@ fn main() {
             "e8" => experiments::e8_repr::run(scale),
             "e9" => experiments::e9_faults::run(scale),
             "e10" => experiments::e10_dataplane::run(scale),
+            "e11" => experiments::e11_obs::run(scale),
             "f1" => experiments::e2_boxing::run_figure(scale),
             other => {
-                eprintln!("unknown experiment {other} (use e1..e10 or all)");
+                eprintln!("unknown experiment {other} (use e1..e11 or all)");
                 std::process::exit(2);
             }
         };

@@ -1,0 +1,85 @@
+//! Flight-recorder dump smoke: runs a faulted IPC workload under full
+//! tracing and prints both dump formats.
+//!
+//! ```sh
+//! cargo run --release --example flight_recorder             # text dump
+//! cargo run --release --example flight_recorder -- --chrome # trace_event JSON
+//! ```
+//!
+//! The workload is deterministic: a seeded [`sysfault`] plan drops IPC
+//! messages on a fixed schedule while a client and server ping-pong through
+//! the resilient retry path. Every run of this example therefore produces
+//! the same fault-log digest *and* the same flight-recorder shape digest —
+//! the property `tests/obs_replay.rs` locks in. The `--chrome` output loads
+//! directly into `chrome://tracing` / Perfetto.
+
+use microkernel::kernel::{Kernel, SITE_IPC_DROP};
+use microkernel::rights::Rights;
+use sysfault::{FaultPlan, Schedule, SharedInjector};
+use sysmem::freelist::FreeListHeap;
+use sysobs::Mode;
+
+fn run_workload() -> (u64, u64) {
+    sysobs::clear();
+    let mut k = Kernel::new(Box::new(FreeListHeap::new(1 << 20)));
+    let inj = SharedInjector::new(
+        FaultPlan::new(0x0B5E_2026).with_site(SITE_IPC_DROP, Schedule::EveryNth(7)),
+    );
+    k.set_injector(inj.clone());
+    let server = k.spawn_process();
+    let client = k.spawn_process();
+    let req_s = k.create_endpoint(server).unwrap();
+    let req_c = k.grant_cap(server, req_s, client, Rights::SEND).unwrap();
+    let rep_s = k.create_endpoint(server).unwrap();
+    let rep_c = k.grant_cap(server, rep_s, client, Rights::RECV).unwrap();
+    for _ in 0..40 {
+        // Some round trips lose their request to the injector and recover
+        // through the watchdog; both paths land in the trace.
+        let _ = k.ping_pong_resilient(client, server, (req_s, req_c), (rep_s, rep_c), 8, 2_000, 4);
+    }
+    (inj.digest(), sysobs::shape_digest())
+}
+
+fn main() {
+    let chrome = std::env::args().any(|a| a == "--chrome");
+    sysobs::set_mode(Mode::Tracing);
+    sysobs::install_panic_dump();
+
+    let (fault_digest, shape) = run_workload();
+    let json = sysobs::dump_chrome_json();
+    let text = sysobs::dump_text();
+
+    if chrome {
+        print!("{json}");
+    } else {
+        print!("{text}");
+    }
+    eprintln!(
+        "fault log digest {fault_digest:#018x}, trace shape digest {shape:#018x}, \
+         {} trace events",
+        sysobs::collect_events().len()
+    );
+
+    // Smoke guarantees for ci.sh: the dump is non-trivial and the workload's
+    // signature events are present.
+    assert!(
+        !sysobs::collect_events().is_empty(),
+        "tracing produced no events"
+    );
+    assert!(
+        json.contains("kernel.syscall"),
+        "syscall spans missing from dump"
+    );
+    assert!(
+        text.contains("fault.fired"),
+        "injected faults missing from dump"
+    );
+    let (fault2, shape2) = run_workload();
+    assert_eq!(
+        fault_digest, fault2,
+        "fault schedule must replay identically"
+    );
+    assert_eq!(shape, shape2, "trace shape must replay identically");
+    eprintln!("replay reproduced both digests");
+    sysobs::set_mode(Mode::Disabled);
+}

@@ -10,7 +10,7 @@
 //! endpoint revokes the communication path. Every denied operation is a
 //! typed error, not a crash.
 
-use microkernel::kernel::{Kernel, Message, Syscall, SysResult};
+use microkernel::kernel::{Kernel, Message, SysResult, Syscall};
 use microkernel::rights::Rights;
 
 fn main() {
@@ -22,33 +22,67 @@ fn main() {
     let client = kernel.spawn_process();
     let ep = kernel.create_endpoint(server).expect("endpoint");
     // The client receives a *diminished* capability: SEND only.
-    let client_ep = kernel.grant_cap(server, ep, client, Rights::SEND).expect("grant");
+    let client_ep = kernel
+        .grant_cap(server, ep, client, Rights::SEND)
+        .expect("grant");
     println!("spawned {server} (server, ALL rights) and {client} (client, SEND only)");
 
     // Echo transaction.
-    kernel.syscall(server, Syscall::Recv { cap: ep }).expect("server waits");
     kernel
-        .syscall(client, Syscall::Send { cap: client_ep, msg: Message::words(&[104, 105]) })
+        .syscall(server, Syscall::Recv { cap: ep })
+        .expect("server waits");
+    kernel
+        .syscall(
+            client,
+            Syscall::Send {
+                cap: client_ep,
+                msg: Message::words(&[104, 105]),
+            },
+        )
         .expect("client sends");
     let request = kernel.take_delivered(server).expect("delivered");
     println!("server received payload {:?}", request.payload);
 
     // The client cannot receive on its SEND-only capability.
-    let denied = kernel.syscall(client, Syscall::Recv { cap: client_ep }).unwrap_err();
+    let denied = kernel
+        .syscall(client, Syscall::Recv { cap: client_ep })
+        .unwrap_err();
     println!("client Recv on SEND-only cap => denied: {denied}");
 
     // Server shares memory: allocates a page, writes, sends a READ-only cap.
-    let SysResult::Slot(page) = kernel.syscall(server, Syscall::AllocPage { words: 4 }).unwrap()
+    let SysResult::Slot(page) = kernel
+        .syscall(server, Syscall::AllocPage { words: 4 })
+        .unwrap()
     else {
         unreachable!("AllocPage returns a slot")
     };
-    kernel.syscall(server, Syscall::WritePage { cap: page, offset: 0, value: 0xFEED }).unwrap();
+    kernel
+        .syscall(
+            server,
+            Syscall::WritePage {
+                cap: page,
+                offset: 0,
+                value: 0xFEED,
+            },
+        )
+        .unwrap();
     let reply_ep = kernel.create_endpoint(server).expect("reply endpoint");
-    let client_reply = kernel.grant_cap(server, reply_ep, client, Rights::RECV).expect("grant");
-    kernel.syscall(client, Syscall::Recv { cap: client_reply }).unwrap();
+    let client_reply = kernel
+        .grant_cap(server, reply_ep, client, Rights::RECV)
+        .expect("grant");
+    kernel
+        .syscall(client, Syscall::Recv { cap: client_reply })
+        .unwrap();
     // Mint a READ-only page cap and transfer it in the reply message.
-    let SysResult::Slot(ro_page) =
-        kernel.syscall(server, Syscall::Mint { src: page, rights: Rights::READ }).unwrap()
+    let SysResult::Slot(ro_page) = kernel
+        .syscall(
+            server,
+            Syscall::Mint {
+                src: page,
+                rights: Rights::READ,
+            },
+        )
+        .unwrap()
     else {
         unreachable!("Mint returns a slot")
     };
@@ -58,7 +92,10 @@ fn main() {
             server,
             Syscall::Send {
                 cap: reply_ep,
-                msg: Message { payload: vec![1], cap: Some(ro_capability) },
+                msg: Message {
+                    payload: vec![1],
+                    cap: Some(ro_capability),
+                },
             },
         )
         .expect("reply");
@@ -75,22 +112,44 @@ fn main() {
                 .unwrap_or(false)
         })
         .unwrap_or(transferred);
-    let SysResult::Value(v) =
-        kernel.syscall(client, Syscall::ReadPage { cap: transferred, offset: 0 }).unwrap()
+    let SysResult::Value(v) = kernel
+        .syscall(
+            client,
+            Syscall::ReadPage {
+                cap: transferred,
+                offset: 0,
+            },
+        )
+        .unwrap()
     else {
         unreachable!("ReadPage returns a value")
     };
     println!("client read shared page word 0 = {v:#x} through a READ-only cap");
     // ...but cannot write through it.
     let denied = kernel
-        .syscall(client, Syscall::WritePage { cap: transferred, offset: 0, value: 0 })
+        .syscall(
+            client,
+            Syscall::WritePage {
+                cap: transferred,
+                offset: 0,
+                value: 0,
+            },
+        )
         .unwrap_err();
     println!("client WritePage through READ-only cap => denied: {denied}");
 
     // Revocation: destroying the endpoint cuts the client off.
-    kernel.syscall(server, Syscall::DestroyEndpoint { cap: ep }).expect("destroy");
+    kernel
+        .syscall(server, Syscall::DestroyEndpoint { cap: ep })
+        .expect("destroy");
     let dangling = kernel
-        .syscall(client, Syscall::Send { cap: client_ep, msg: Message::empty() })
+        .syscall(
+            client,
+            Syscall::Send {
+                cap: client_ep,
+                msg: Message::empty(),
+            },
+        )
         .unwrap_err();
     println!("after revocation, client Send => {dangling}");
 

@@ -1,0 +1,50 @@
+//! The observability-overhead bench harness (experiment E11): writes
+//! `BENCH_obs.json` at the repo root.
+//!
+//! ```sh
+//! cargo run --release --example obs_bench            # full run, enforces the budget
+//! cargo run --release --example obs_bench -- --quick # CI-sized, prints only
+//! ```
+//!
+//! The full run measures the E10 router stream under four observability
+//! configurations (instrumentation compiled out / compiled in but disabled /
+//! counters only / full flight-recorder tracing) and the E6 IPC ping-pong
+//! under the three runtime modes, then **enforces the overhead budget**:
+//! with instrumentation compiled in but disabled the router must stay within
+//! 5% of the compiled-out baseline, and counters-only within 15%. `--quick`
+//! runs small sizes and skips both the file write and the budget assertions
+//! (a CI box under load can't referee a 5% throughput claim).
+
+use plos06::experiments::e11_obs;
+use plos06::experiments::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    eprintln!("obs bench: measuring observability overhead at {scale:?} scale...");
+    let report = e11_obs::measure(scale);
+    let json = report.to_json();
+    print!("{json}");
+    if quick {
+        eprintln!("(--quick: not writing BENCH_obs.json, not enforcing the budget)");
+        return;
+    }
+    let disabled = report.router_point("disabled").expect("disabled point");
+    let counters = report.router_point("counters").expect("counters point");
+    assert!(
+        disabled.overhead_pct <= 5.0,
+        "budget: disabled instrumentation costs {:.1}% > 5% router throughput",
+        disabled.overhead_pct
+    );
+    assert!(
+        counters.overhead_pct <= 15.0,
+        "budget: counters-only costs {:.1}% > 15% router throughput",
+        counters.overhead_pct
+    );
+    eprintln!(
+        "budget held: disabled {:+.1}% (≤5%), counters {:+.1}% (≤15%)",
+        disabled.overhead_pct, counters.overhead_pct
+    );
+    std::fs::write("BENCH_obs.json", json).expect("write BENCH_obs.json");
+    eprintln!("wrote BENCH_obs.json");
+}

@@ -55,7 +55,12 @@ fn main() {
     }
     let total = stream.len();
 
-    let config = RouterConfig { workers: 2, batch_size: 64, queue_depth: 8 };
+    let config = RouterConfig {
+        workers: 2,
+        batch_size: 64,
+        queue_depth: 8,
+        ..RouterConfig::default()
+    };
     let (report, elapsed) = run_stream(table, PORT_NAMES.len(), config, stream);
 
     let totals = &report.stats.totals;
@@ -80,7 +85,11 @@ fn main() {
 
     let forwarded = totals.forwarded;
     let dropped = totals.dropped_total();
-    assert_eq!(forwarded + dropped, total as u64, "every packet accounted for");
+    assert_eq!(
+        forwarded + dropped,
+        total as u64,
+        "every packet accounted for"
+    );
     assert!(dropped >= 60, "failure injection must be caught");
     assert!(
         totals.per_port[2] > 0,

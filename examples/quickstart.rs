@@ -52,8 +52,11 @@ fn main() {
 
     // 4. Compile once, run under both value representations.
     let bytecode = compile_source(PROGRAM).expect("compile");
-    println!("compiled to {} instructions across {} functions",
-        bytecode.instruction_count(), bytecode.functions.len());
+    println!(
+        "compiled to {} instructions across {} functions",
+        bytecode.instruction_count(),
+        bytecode.functions.len()
+    );
     let registry = NativeRegistry::new();
     let unboxed = Vm::<Unboxed>::new(&bytecode, &registry)
         .and_then(|mut vm| vm.run_int())

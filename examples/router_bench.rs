@@ -17,7 +17,11 @@ use sysnet::bench::{run_sweep, SweepConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { SweepConfig::quick() } else { SweepConfig::full() };
+    let cfg = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::full()
+    };
     eprintln!(
         "router bench: {} packets/config, {} routes, workers {:?}, batches {:?}...",
         cfg.packets, cfg.routes, cfg.worker_counts, cfg.batch_sizes

@@ -26,7 +26,10 @@ fn main() {
     let mid = broken.audit();
     println!("broken bank, between debit and credit: audit sees {mid} (400 units in flight!)");
     broken.credit(1, 400);
-    println!("broken bank, after credit:             audit sees {}\n", broken.audit());
+    println!(
+        "broken bank, after credit:             audit sees {}\n",
+        broken.audit()
+    );
 
     // 2. Race them: four transfer threads + a continuous auditor.
     let broken = BrokenComposedBank::new(ACCOUNTS, INITIAL);
@@ -49,7 +52,10 @@ fn main() {
         r.audit_anomalies,
         after.aborts - before.aborts
     );
-    assert_eq!(r.audit_anomalies, 0, "STM transactions are atomic to auditors");
+    assert_eq!(
+        r.audit_anomalies, 0,
+        "STM transactions are atomic to auditors"
+    );
     assert_eq!(stm.audit(), EXPECTED);
     println!("\nSTM composed debit+credit into one atomic action; the locks could not.");
 }

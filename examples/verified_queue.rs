@@ -24,7 +24,12 @@ struct RingBuffer {
 
 impl RingBuffer {
     fn new(cap: usize) -> Self {
-        RingBuffer { items: vec![0; cap], head: 0, tail: 0, count: 0 }
+        RingBuffer {
+            items: vec![0; cap],
+            head: 0,
+            tail: 0,
+            count: 0,
+        }
     }
 
     /// The code the model describes: enqueue with wrap.

@@ -38,11 +38,24 @@ fn sweep_config(scale: Scale) -> SweepConfig {
 
 /// Runs E10 at the given scale.
 #[must_use]
-#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
 pub fn run(scale: Scale) -> Table {
     let mut t = Table::new(
         "E10 — packet data plane: LPM structure and worker sharding",
-        &["config", "routes", "workers", "rate", "p50", "p99", "forwarded", "dropped"],
+        &[
+            "config",
+            "routes",
+            "workers",
+            "rate",
+            "p50",
+            "p99",
+            "forwarded",
+            "dropped",
+        ],
     );
 
     let lookups = match scale {
@@ -55,7 +68,10 @@ pub fn run(scale: Scale) -> Table {
         if routes >= 64 {
             speedup_64 = point.speedup();
         }
-        for (name, ns) in [("lpm lookup: linear", point.linear_ns), ("lpm lookup: trie", point.trie_ns)] {
+        for (name, ns) in [
+            ("lpm lookup: linear", point.linear_ns),
+            ("lpm lookup: trie", point.trie_ns),
+        ] {
             t.row(vec![
                 name.into(),
                 format!("{}", point.routes),

@@ -1,0 +1,375 @@
+//! E11 — What observability costs: the sysobs overhead budget, measured.
+//!
+//! The paper's systems programmers reject instrumented runtimes because the
+//! instrumentation is always-on and its cost is asserted, not measured.
+//! `sysobs` makes the opposite bet: per-site mode checks cheap enough to
+//! leave compiled into the hot paths, with the cost of every mode *measured*
+//! against a genuinely uninstrumented compiled baseline. This experiment is
+//! that measurement, on the two hottest paths in the repo:
+//!
+//! * **router stream** (the E10 workload): packets/sec through the sharded
+//!   router with (a) instrumentation compiled out (`instrument: false` —
+//!   the monomorphized baseline), (b) compiled in but disabled (one relaxed
+//!   atomic load per site), (c) counters only, (d) full flight-recorder
+//!   tracing;
+//! * **IPC ping-pong** (the E6 workload): wall ns per round trip under the
+//!   three runtime modes (the kernel keeps its instrumentation compiled in;
+//!   `disabled` is its reference point).
+//!
+//! Each configuration takes the best of several repetitions so a scheduler
+//! hiccup on a small CI box doesn't masquerade as instrumentation cost.
+//! The budget this experiment enforces (see `ci` and the obs_bench
+//! example): disabled ≤ 5% below the uninstrumented baseline on the router
+//! workload, counters ≤ 15%.
+
+use super::{fmt_ns, fmt_rate, Scale, Table};
+use microkernel::kernel::Kernel;
+use microkernel::rights::Rights;
+use std::fmt::Write as _;
+use std::time::Instant;
+use sysmem::freelist::FreeListHeap;
+use sysnet::bench::{build_tables, frame_stream, SweepConfig, PORTS};
+use sysnet::router::{run_stream, RouterConfig};
+use sysobs::Mode;
+
+/// One router configuration's measurement.
+#[derive(Debug, Clone)]
+pub struct RouterPoint {
+    /// Configuration label (`uninstrumented`, `disabled`, `counters`,
+    /// `tracing`).
+    pub mode: &'static str,
+    /// Best-of-reps packets per second.
+    pub pps: f64,
+    /// p50 per-packet latency (ns) from the best rep.
+    pub p50_ns: u64,
+    /// p99 per-packet latency (ns) from the best rep.
+    pub p99_ns: u64,
+    /// Throughput overhead vs the uninstrumented baseline, in percent
+    /// (positive = slower than baseline; 0 for the baseline itself).
+    pub overhead_pct: f64,
+}
+
+/// One IPC configuration's measurement.
+#[derive(Debug, Clone)]
+pub struct IpcPoint {
+    /// Mode label (`disabled`, `counters`, `tracing`).
+    pub mode: &'static str,
+    /// Best-of-reps wall nanoseconds per round trip.
+    pub ns_per_rt: u64,
+    /// Overhead vs the `disabled` mode, in percent.
+    pub overhead_pct: f64,
+}
+
+/// The full E11 record, rendered to `BENCH_obs.json` by the `obs_bench`
+/// example.
+#[derive(Debug, Clone)]
+pub struct ObsBenchReport {
+    /// Cores the host exposes (single-core CI flattens worker scaling).
+    pub host_cores: usize,
+    /// Packets per router repetition.
+    pub packets: usize,
+    /// IPC round trips per repetition.
+    pub rounds: usize,
+    /// Repetitions per configuration (best-of).
+    pub reps: usize,
+    /// Router workload, one point per configuration.
+    pub router: Vec<RouterPoint>,
+    /// IPC workload, one point per mode.
+    pub ipc: Vec<IpcPoint>,
+}
+
+impl ObsBenchReport {
+    /// The router point for `mode`, if measured.
+    #[must_use]
+    pub fn router_point(&self, mode: &str) -> Option<&RouterPoint> {
+        self.router.iter().find(|p| p.mode == mode)
+    }
+
+    /// Renders the report as the `BENCH_obs.json` record (hand-rolled: the
+    /// container has no serde, and the schema is flat).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"obs\",");
+        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        let _ = writeln!(s, "  \"router_packets\": {},", self.packets);
+        let _ = writeln!(s, "  \"ipc_rounds\": {},", self.rounds);
+        let _ = writeln!(s, "  \"reps\": {},", self.reps);
+        let _ = writeln!(s, "  \"router\": [");
+        for (i, p) in self.router.iter().enumerate() {
+            let comma = if i + 1 == self.router.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"mode\": \"{}\", \"pps\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"overhead_pct\": {:.2}}}{comma}",
+                p.mode, p.pps, p.p50_ns, p.p99_ns, p.overhead_pct
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"ipc\": [");
+        for (i, p) in self.ipc.iter().enumerate() {
+            let comma = if i + 1 == self.ipc.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"mode\": \"{}\", \"ns_per_rt\": {}, \"overhead_pct\": {:.2}}}{comma}",
+                p.mode, p.ns_per_rt, p.overhead_pct
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn sweep_config(scale: Scale) -> SweepConfig {
+    let mut cfg = match scale {
+        Scale::Quick => SweepConfig::quick(),
+        Scale::Full => SweepConfig::full(),
+    };
+    // One fixed shape: the E10 sweep already covers workers × batch; E11
+    // varies only the observability configuration.
+    cfg.worker_counts = vec![2];
+    cfg.batch_sizes = vec![64];
+    cfg
+}
+
+fn reps(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 2,
+        Scale::Full => 5,
+    }
+}
+
+fn ipc_rounds(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 20_000,
+    }
+}
+
+/// Runs the router stream once and returns (pps, p50, p99).
+fn router_once(cfg: &SweepConfig, frames: &[Vec<u8>], instrument: bool) -> (f64, u64, u64) {
+    let (trie, _) = build_tables(cfg.routes);
+    let rc = RouterConfig {
+        workers: 2,
+        batch_size: 64,
+        queue_depth: cfg.queue_depth,
+        instrument,
+    };
+    let (report, elapsed) = run_stream(trie, PORTS, rc, frames.to_vec());
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let pps = report.packets() as f64 / secs;
+    (pps, report.latency_ns(0.50), report.latency_ns(0.99))
+}
+
+/// Best-of-`reps` router measurement under one observability configuration.
+fn router_best(
+    cfg: &SweepConfig,
+    frames: &[Vec<u8>],
+    reps: usize,
+    instrument: bool,
+    mode: Mode,
+) -> (f64, u64, u64) {
+    sysobs::set_mode(mode);
+    let mut best = (0.0f64, 0u64, 0u64);
+    for _ in 0..reps {
+        sysobs::clear(); // bound ring reuse so tracing reps are comparable
+        let point = router_once(cfg, frames, instrument);
+        if point.0 > best.0 {
+            best = point;
+        }
+    }
+    sysobs::set_mode(Mode::Disabled);
+    best
+}
+
+/// Best-of-`reps` mean wall-ns per IPC round trip under `mode`.
+fn ipc_best(rounds: usize, reps: usize, mode: Mode) -> u64 {
+    sysobs::set_mode(mode);
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        sysobs::clear();
+        let mut k = Kernel::new(Box::new(FreeListHeap::new(1 << 20)));
+        let server = k.spawn_process();
+        let client = k.spawn_process();
+        let req_s = k.create_endpoint(server).unwrap();
+        let req_c = k.grant_cap(server, req_s, client, Rights::SEND).unwrap();
+        let rep_s = k.create_endpoint(server).unwrap();
+        let rep_c = k.grant_cap(server, rep_s, client, Rights::RECV).unwrap();
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            k.ping_pong(client, server, (req_s, req_c), (rep_s, rep_c), 16)
+                .expect("round trip");
+        }
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX) / rounds.max(1) as u64;
+        best = best.min(ns);
+    }
+    sysobs::set_mode(Mode::Disabled);
+    best
+}
+
+fn overhead_pct(baseline: f64, value: f64) -> f64 {
+    if baseline <= 0.0 {
+        return 0.0;
+    }
+    (baseline - value) / baseline * 100.0
+}
+
+/// Measures every configuration and returns the raw report (also consumed
+/// by the `obs_bench` example for `BENCH_obs.json`).
+#[must_use]
+pub fn measure(scale: Scale) -> ObsBenchReport {
+    let cfg = sweep_config(scale);
+    let frames = frame_stream(&cfg);
+    let n = reps(scale);
+    let rounds = ipc_rounds(scale);
+
+    let configs: [(&'static str, bool, Mode); 4] = [
+        ("uninstrumented", false, Mode::Disabled),
+        ("disabled", true, Mode::Disabled),
+        ("counters", true, Mode::Counters),
+        ("tracing", true, Mode::Tracing),
+    ];
+    let mut router = Vec::new();
+    let mut baseline_pps = 0.0f64;
+    for (name, instrument, mode) in configs {
+        let (pps, p50, p99) = router_best(&cfg, &frames, n, instrument, mode);
+        if name == "uninstrumented" {
+            baseline_pps = pps;
+        }
+        router.push(RouterPoint {
+            mode: name,
+            pps,
+            p50_ns: p50,
+            p99_ns: p99,
+            overhead_pct: overhead_pct(baseline_pps, pps),
+        });
+    }
+
+    let modes: [(&'static str, Mode); 3] = [
+        ("disabled", Mode::Disabled),
+        ("counters", Mode::Counters),
+        ("tracing", Mode::Tracing),
+    ];
+    let mut ipc = Vec::new();
+    let mut baseline_ns = 0u64;
+    for (name, mode) in modes {
+        let ns = ipc_best(rounds, n, mode);
+        if name == "disabled" {
+            baseline_ns = ns;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let pct = if baseline_ns == 0 {
+            0.0
+        } else {
+            (ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0
+        };
+        ipc.push(IpcPoint {
+            mode: name,
+            ns_per_rt: ns,
+            overhead_pct: pct,
+        });
+    }
+    sysobs::clear();
+
+    ObsBenchReport {
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        packets: cfg.packets,
+        rounds,
+        reps: n,
+        router,
+        ipc,
+    }
+}
+
+/// Runs E11 and renders the table.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let report = measure(scale);
+    let mut t = Table::new(
+        "E11 — observability overhead: flight recorder and metrics, measured",
+        &[
+            "workload",
+            "config",
+            "rate / latency",
+            "p50",
+            "p99",
+            "overhead",
+        ],
+    );
+    for p in &report.router {
+        t.row(vec![
+            "router stream".into(),
+            p.mode.into(),
+            fmt_rate(p.pps),
+            fmt_ns(p.p50_ns),
+            fmt_ns(p.p99_ns),
+            format!("{:+.1}%", p.overhead_pct),
+        ]);
+    }
+    for p in &report.ipc {
+        t.row(vec![
+            "ipc ping-pong".into(),
+            p.mode.into(),
+            format!("{}/RT", fmt_ns(p.ns_per_rt)),
+            "—".into(),
+            "—".into(),
+            format!("{:+.1}%", p.overhead_pct),
+        ]);
+    }
+    t.note(format!(
+        "router: {} packets, 2 workers × batch 64, best of {} reps; \
+         `uninstrumented` is a monomorphized compiled-out baseline, the other three \
+         flip the global sysobs mode at runtime",
+        report.packets, report.reps
+    ));
+    t.note(format!(
+        "ipc: {} round trips of 16-word messages, best of {} reps, freelist heap; \
+         kernel instrumentation stays compiled in, so `disabled` is its reference",
+        report.rounds, report.reps
+    ));
+    t.note(format!(
+        "budget (enforced by obs_bench on the full run): disabled ≤5% and counters ≤15% \
+         below uninstrumented on the router workload; host exposes {} core(s)",
+        report.host_cores
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_measures_all_configurations() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 7, "4 router configs + 3 ipc modes");
+        assert_eq!(
+            sysobs::mode(),
+            Mode::Disabled,
+            "experiment restores the mode"
+        );
+    }
+
+    #[test]
+    fn e11_report_json_is_well_formed() {
+        let r = measure(Scale::Quick);
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for mode in ["uninstrumented", "disabled", "counters", "tracing"] {
+            assert!(json.contains(mode), "{json}");
+        }
+        assert!(r.router_point("tracing").is_some());
+        assert!(
+            r.router.iter().all(|p| p.pps > 0.0),
+            "every config routed packets"
+        );
+        assert!(
+            r.ipc.iter().all(|p| p.ns_per_rt > 0),
+            "every mode completed round trips"
+        );
+    }
+}

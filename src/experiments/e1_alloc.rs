@@ -59,7 +59,16 @@ pub fn run(scale: Scale) -> Table {
     let bytes = heap_bytes(scale);
     let mut t = Table::new(
         "E1 — allocator throughput and pause tails (identical trace, six managers)",
-        &["manager", "reclaim", "alloc rate", "p50 ns", "p99 ns", "max ns", "GCs", "integrity errs"],
+        &[
+            "manager",
+            "reclaim",
+            "alloc rate",
+            "p50 ns",
+            "p99 ns",
+            "max ns",
+            "GCs",
+            "integrity errs",
+        ],
     );
 
     // Each manager's run is hermetic: construct, drive, read stats, drop.

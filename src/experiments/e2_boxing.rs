@@ -66,7 +66,14 @@ fn time_run<R: Rep>(src: &str) -> (u64, i64, u64) {
 pub fn run(scale: Scale) -> Table {
     let mut t = Table::new(
         "E2 — boxed vs unboxed value representation (same bytecode)",
-        &["kernel", "unboxed", "boxed", "slowdown", "boxed allocs", "result check"],
+        &[
+            "kernel",
+            "unboxed",
+            "boxed",
+            "slowdown",
+            "boxed allocs",
+            "result check",
+        ],
     );
     for (name, src) in kernels(scale) {
         let (u_ns, u_res, _) = time_run::<Unboxed>(&src);
@@ -79,7 +86,11 @@ pub fn run(scale: Scale) -> Table {
             fmt_ns(b_ns),
             format!("{slow:.2}x"),
             b_allocs.to_string(),
-            if u_res == b_res { "ok".into() } else { format!("MISMATCH {u_res}!={b_res}") },
+            if u_res == b_res {
+                "ok".into()
+            } else {
+                format!("MISMATCH {u_res}!={b_res}")
+            },
         ]);
     }
     let (u_mem, b_mem) = array_bytes(&Type::Int, 1_000_000);
@@ -107,7 +118,13 @@ pub fn run_figure(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         "F1 — boxing slowdown vs working-set size (vector sum, ns/element)",
-        &["elements", "unboxed ns/elem", "boxed ns/elem", "slowdown", "boxed bytes (model)"],
+        &[
+            "elements",
+            "unboxed ns/elem",
+            "boxed ns/elem",
+            "slowdown",
+            "boxed bytes (model)",
+        ],
     );
     let budget: usize = match scale {
         Scale::Quick => 1 << 17,
@@ -172,7 +189,10 @@ mod tests {
             let (_, _, u_allocs) = time_run::<Unboxed>(&src);
             let (_, _, b_allocs) = time_run::<Boxed>(&src);
             // Unboxed only allocates for vectors; boxed allocates per value.
-            assert!(b_allocs > u_allocs * 10, "boxed {b_allocs} vs unboxed {u_allocs}");
+            assert!(
+                b_allocs > u_allocs * 10,
+                "boxed {b_allocs} vs unboxed {u_allocs}"
+            );
         }
     }
 }

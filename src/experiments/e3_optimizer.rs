@@ -45,7 +45,14 @@ pub fn run(scale: Scale) -> Table {
     let reg = NativeRegistry::new();
     let mut t = Table::new(
         "E3 — optimizer ablation on the boxed VM vs unboxed-by-design",
-        &["configuration", "time", "vs boxed -O0", "instructions", "static code size", "result"],
+        &[
+            "configuration",
+            "time",
+            "vs boxed -O0",
+            "instructions",
+            "static code size",
+            "result",
+        ],
     );
     let mut baseline_ns = 0u64;
     let mut expected = None;

@@ -43,7 +43,10 @@ fn run_vm<R: Rep>(src: &str, reg: &NativeRegistry) -> (u64, i64) {
     let mut vm = Vm::<R>::new(&bc, reg).expect("vm");
     let t0 = Instant::now();
     let r = vm.run_int().expect("runs");
-    (u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX), r)
+    (
+        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        r,
+    )
 }
 
 /// Runs E4 and renders the table.
@@ -69,7 +72,10 @@ pub fn run(scale: Scale) -> Table {
         acc.to_string(),
     ]);
 
-    for (label, callee) in [("VM→VM call", "vm-add"), ("VM→native call (FFI)", "host-add")] {
+    for (label, callee) in [
+        ("VM→VM call", "vm-add"),
+        ("VM→native call (FFI)", "host-add"),
+    ] {
         let src = call_loop_src(n, callee);
         let (u_ns, u_r) = run_vm::<Unboxed>(&src, &reg);
         t.row(vec![

@@ -15,7 +15,13 @@ use std::time::Instant;
 pub fn run(_scale: Scale) -> Table {
     let mut t = Table::new(
         "E5 — kernel invariants discharged by the prover (and seeded bugs refuted)",
-        &["invariant", "VCs", "outcome", "decision time", "counterexample"],
+        &[
+            "invariant",
+            "VCs",
+            "outcome",
+            "decision time",
+            "counterexample",
+        ],
     );
     for (suite, expect_proof) in [(invariant_suite(), true), (seeded_bug_suite(), false)] {
         for proc in suite {

@@ -9,13 +9,13 @@
 use super::{fmt_ns, Scale, Table};
 use microkernel::kernel::Kernel;
 use microkernel::rights::Rights;
+use std::time::Instant;
 use sysmem::freelist::FreeListHeap;
 use sysmem::generational::GenerationalHeap;
 use sysmem::marksweep::MarkSweepHeap;
 use sysmem::semispace::SemiSpaceHeap;
 use sysmem::stats::PauseHistogram;
 use sysmem::Manager;
-use std::time::Instant;
 
 fn rounds(scale: Scale) -> usize {
     match scale {
@@ -78,7 +78,15 @@ pub fn run(scale: Scale) -> Table {
     let words = 16;
     let mut t = Table::new(
         "E6 — IPC round-trip latency under four kernel heap policies",
-        &["heap policy", "cycles/RT", "p50", "p99", "max", "GC max pause", "GCs"],
+        &[
+            "heap policy",
+            "cycles/RT",
+            "p50",
+            "p99",
+            "max",
+            "GC max pause",
+            "GCs",
+        ],
     );
     for policy in ["freelist", "mark-sweep", "semispace", "generational"] {
         let r = drive(policy, rounds, words);

@@ -31,7 +31,15 @@ pub fn run(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         "E7 — bank-transfer workload: five concurrency models, continuous audit",
-        &["model", "threads", "transfer rate", "audits", "audit anomalies", "STM aborts", "final total ok"],
+        &[
+            "model",
+            "threads",
+            "transfer rate",
+            "audits",
+            "audit anomalies",
+            "STM aborts",
+            "final total ok",
+        ],
     );
     for &threads in threads_list {
         let banks: Vec<Box<dyn Bank>> = vec![
@@ -57,7 +65,11 @@ pub fn run(scale: Scale) -> Table {
                 r.audits.to_string(),
                 r.audit_anomalies.to_string(),
                 aborts,
-                if bank.audit() == expected { "yes".into() } else { "NO".into() },
+                if bank.audit() == expected {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

@@ -7,10 +7,10 @@
 //! three recognize the same language — different costs.
 
 use super::{fmt_rate, Scale, Table};
+use std::time::Instant;
 use sysrepr::boxed::BoxedPacket;
 use sysrepr::langsec::{ipv4_header, Input};
 use sysrepr::packet::{EthernetView, PacketBuilder};
-use std::time::Instant;
 
 fn packet_count(scale: Scale) -> usize {
     match scale {
@@ -47,7 +47,13 @@ pub fn run(scale: Scale) -> Table {
     let total_bytes: usize = stream.iter().map(Vec::len).sum();
     let mut t = Table::new(
         "E8 — packet parsing: zero-copy views vs combinators vs boxed parser",
-        &["parser", "packets/s", "MB/s", "checksum payload", "allocations/packet"],
+        &[
+            "parser",
+            "packets/s",
+            "MB/s",
+            "checksum payload",
+            "allocations/packet",
+        ],
     );
 
     // Zero-copy views.
@@ -139,6 +145,9 @@ mod tests {
                     .is_err()
             })
             .count();
-        assert!(bad > 0, "failure injection must produce some corrupt packets");
+        assert!(
+            bad > 0,
+            "failure injection must produce some corrupt packets"
+        );
     }
 }

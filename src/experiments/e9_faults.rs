@@ -16,6 +16,7 @@
 //!   invariant contract still verifies under `bitc-verify`.
 
 use super::{Scale, Table};
+use bitc_verify::vcgen::is_verified;
 use microkernel::invariants::invariant_suite;
 use microkernel::kernel::{Kernel, Syscall, SITE_IPC_DROP, SITE_KERNEL_OOM};
 use microkernel::rights::Rights;
@@ -23,7 +24,6 @@ use sysconc::stm::{atomically_faulted, RetryBudget, TVar, SITE_STM_ABORT};
 use sysfault::{FaultPlan, Schedule, SharedInjector};
 use sysmem::faulty::{FaultyHeap, SITE_OOM};
 use sysmem::freelist::FreeListHeap;
-use bitc_verify::vcgen::is_verified;
 
 const CAMPAIGN_SEED: u64 = 0x9E37_79B9;
 const DEADLINE_CYCLES: u64 = 2_000;
@@ -69,9 +69,13 @@ fn kernel_campaign(rate: f64, rounds: usize, seed: u64) -> CampaignResult {
     k.set_essential(server, true).expect("live pid");
     k.set_essential(client, true).expect("live pid");
     let req_s = k.create_endpoint(server).expect("endpoint");
-    let req_c = k.grant_cap(server, req_s, client, Rights::SEND).expect("grant");
+    let req_c = k
+        .grant_cap(server, req_s, client, Rights::SEND)
+        .expect("grant");
     let rep_s = k.create_endpoint(server).expect("endpoint");
-    let rep_c = k.grant_cap(server, rep_s, client, Rights::RECV).expect("grant");
+    let rep_c = k
+        .grant_cap(server, rep_s, client, Rights::RECV)
+        .expect("grant");
     // Expendable background processes: graceful OOM degradation sheds these
     // (newest first) instead of failing the essential workload.
     for _ in 0..8 {
@@ -135,7 +139,10 @@ fn stm_campaign(rate: f64, txns: usize, seed: u64) -> (usize, usize) {
         FaultPlan::new(seed).with_site(SITE_STM_ABORT, Schedule::Probability(rate)),
     );
     let counter = TVar::new(0i64);
-    let budget = RetryBudget { max_attempts: 8, backoff_base_us: 0 };
+    let budget = RetryBudget {
+        max_attempts: 8,
+        backoff_base_us: 0,
+    };
     let mut ok = 0;
     for _ in 0..txns {
         let committed = atomically_faulted(budget, &injector, |tx| {
@@ -213,7 +220,11 @@ pub fn run(scale: Scale) -> Table {
             r.drops.to_string(),
             pct(stm_ok, stm_n),
             format!("{proven}/{suite_len}"),
-            if replay_ok { format!("{:016x} ✓", r.digest) } else { "MISMATCH".to_string() },
+            if replay_ok {
+                format!("{:016x} ✓", r.digest)
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
     }
     t.note(format!(

@@ -1,11 +1,13 @@
 //! The experiment harness: one module per table in EXPERIMENTS.md.
 //!
-//! The paper (a position paper) publishes no tables; these ten experiments
+//! The paper (a position paper) publishes no tables; these experiments
 //! are the measurements its claims imply, as indexed in DESIGN.md. Each
 //! `run(scale)` returns a rendered table; `cargo run --release --example
-//! experiments -- <e1..e10|all>` prints them, and `crates/bench` holds the
+//! experiments -- <e1..e11|all>` prints them, and `crates/bench` holds the
 //! Criterion versions for statistically careful timing.
 
+pub mod e10_dataplane;
+pub mod e11_obs;
 pub mod e1_alloc;
 pub mod e2_boxing;
 pub mod e3_optimizer;
@@ -15,7 +17,6 @@ pub mod e6_ipc;
 pub mod e7_shared_state;
 pub mod e8_repr;
 pub mod e9_faults;
-pub mod e10_dataplane;
 
 use std::fmt;
 
@@ -135,6 +136,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e8_repr::run(scale),
         e9_faults::run(scale),
         e10_dataplane::run(scale),
+        e11_obs::run(scale),
     ]
 }
 

@@ -5,9 +5,9 @@
 use plos06::experiments::{self, Scale};
 
 #[test]
-fn all_ten_experiments_produce_tables() {
+fn all_eleven_experiments_produce_tables() {
     let tables = experiments::run_all(Scale::Quick);
-    assert_eq!(tables.len(), 10);
+    assert_eq!(tables.len(), 11);
     for t in &tables {
         assert!(!t.rows.is_empty(), "{} has no rows", t.title);
         assert!(!t.headers.is_empty());
@@ -20,7 +20,11 @@ fn all_ten_experiments_produce_tables() {
 #[test]
 fn e1_no_manager_corrupts_memory() {
     let t = experiments::e1_alloc::run(Scale::Quick);
-    let errs_col = t.headers.iter().position(|h| h == "integrity errs").unwrap();
+    let errs_col = t
+        .headers
+        .iter()
+        .position(|h| h == "integrity errs")
+        .unwrap();
     for row in &t.rows {
         assert_eq!(row[errs_col], "0", "{} corrupted data", row[0]);
     }
@@ -47,7 +51,10 @@ fn e5_proofs_and_refutations_land_as_designed() {
 fn e6_protocol_cycles_are_heap_independent() {
     let t = experiments::e6_ipc::run(Scale::Quick);
     let cycles: Vec<&String> = t.rows.iter().map(|r| &r[1]).collect();
-    assert!(cycles.windows(2).all(|w| w[0] == w[1]), "transparency violated: {cycles:?}");
+    assert!(
+        cycles.windows(2).all(|w| w[0] == w[1]),
+        "transparency violated: {cycles:?}"
+    );
 }
 
 #[test]
@@ -68,11 +75,22 @@ fn e9_campaigns_stay_available_replayable_and_verified() {
     let replay = t.headers.iter().position(|h| h == "replay").unwrap();
     let inv = t.headers.iter().position(|h| h == "invariants").unwrap();
     for row in &t.rows {
-        assert_ne!(row[avail], "0.0%", "{} fault rate lost all availability", row[0]);
-        assert!(row[replay].ends_with('✓'), "{} campaign did not replay", row[0]);
+        assert_ne!(
+            row[avail], "0.0%",
+            "{} fault rate lost all availability",
+            row[0]
+        );
+        assert!(
+            row[replay].ends_with('✓'),
+            "{} campaign did not replay",
+            row[0]
+        );
         assert_eq!(row[inv], "6/6", "invariants regressed at {}", row[0]);
     }
-    assert_eq!(t.rows[0][avail], "100.0%", "fault-free baseline must be perfect");
+    assert_eq!(
+        t.rows[0][avail], "100.0%",
+        "fault-free baseline must be perfect"
+    );
 }
 
 #[test]
@@ -92,16 +110,24 @@ fn e10_trie_beats_linear_scan_and_streams_conserve_packets() {
     let t = experiments::e10_dataplane::run(Scale::Quick);
     let fwd = t.headers.iter().position(|h| h == "forwarded").unwrap();
     let drop = t.headers.iter().position(|h| h == "dropped").unwrap();
-    let streams: Vec<_> = t.rows.iter().filter(|r| r[0] == "pipeline stream").collect();
-    assert!(streams.len() >= 2, "at least 1-worker and multi-worker rows");
+    let streams: Vec<_> = t
+        .rows
+        .iter()
+        .filter(|r| r[0] == "pipeline stream")
+        .collect();
+    assert!(
+        streams.len() >= 2,
+        "at least 1-worker and multi-worker rows"
+    );
     for row in &streams {
-        let total: u64 =
-            row[fwd].parse::<u64>().unwrap() + row[drop].parse::<u64>().unwrap();
+        let total: u64 = row[fwd].parse::<u64>().unwrap() + row[drop].parse::<u64>().unwrap();
         assert_eq!(total, 20_000, "stream must conserve packets: {row:?}");
     }
     // Every worker count routes the identical stream to identical outcomes.
     assert!(
-        streams.windows(2).all(|w| w[0][fwd] == w[1][fwd] && w[0][drop] == w[1][drop]),
+        streams
+            .windows(2)
+            .all(|w| w[0][fwd] == w[1][fwd] && w[0][drop] == w[1][drop]),
         "sharding changed routing outcomes"
     );
 }

@@ -77,9 +77,13 @@ fn kernel_violation(plan: &FaultPlan) -> Option<String> {
     k.set_essential(server, true).expect("live pid");
     k.set_essential(client, true).expect("live pid");
     let req_s = k.create_endpoint(server).expect("endpoint");
-    let req_c = k.grant_cap(server, req_s, client, Rights::SEND).expect("grant");
+    let req_c = k
+        .grant_cap(server, req_s, client, Rights::SEND)
+        .expect("grant");
     let rep_s = k.create_endpoint(server).expect("endpoint");
-    let rep_c = k.grant_cap(server, rep_s, client, Rights::RECV).expect("grant");
+    let rep_c = k
+        .grant_cap(server, rep_s, client, Rights::RECV)
+        .expect("grant");
     for _ in 0..4 {
         let p = k.spawn_process();
         let _ = k.syscall(p, Syscall::AllocPage { words: 16 });
@@ -106,7 +110,9 @@ fn kernel_violation(plan: &FaultPlan) -> Option<String> {
     }
     let after = k.heap_live_bytes();
     if after > baseline {
-        return Some(format!("kernel heap leaked: {baseline} bytes live at setup, {after} after"));
+        return Some(format!(
+            "kernel heap leaked: {baseline} bytes live at setup, {after} after"
+        ));
     }
     None
 }
@@ -127,7 +133,9 @@ fn heap_violation(plan: &FaultPlan) -> Option<String> {
             let nwords = 1 + (mix(&mut s) % 8) as usize;
             // try_alloc is the injection point: an Err here (injected or
             // real OOM) must simply leave the heap unchanged.
-            let Ok(obj) = h.try_alloc(nrefs, nwords) else { continue };
+            let Ok(obj) = h.try_alloc(nrefs, nwords) else {
+                continue;
+            };
             for i in 0..nwords {
                 match h.get_word(obj, i) {
                     Ok(0) => {}
@@ -153,7 +161,9 @@ fn heap_violation(plan: &FaultPlan) -> Option<String> {
             order.push(obj);
         } else {
             let victim = order.swap_remove((mix(&mut s) as usize) % order.len());
-            let (nrefs, words) = shadow.remove(&victim).expect("shadow tracks every live handle");
+            let (nrefs, words) = shadow
+                .remove(&victim)
+                .expect("shadow tracks every live handle");
             shadow_bytes -= object_bytes(nrefs, words.len());
             if let Err(e) = h.free(victim) {
                 return Some(format!("free of live object failed: {e}"));
@@ -174,7 +184,9 @@ fn heap_violation(plan: &FaultPlan) -> Option<String> {
             match h.get_word(*obj, i) {
                 Ok(got) if got == *want => {}
                 other => {
-                    return Some(format!("live object corrupted: word {i} is {other:?}, wanted {want:#x}"))
+                    return Some(format!(
+                        "live object corrupted: word {i} is {other:?}, wanted {want:#x}"
+                    ))
                 }
             }
         }
@@ -185,7 +197,10 @@ fn heap_violation(plan: &FaultPlan) -> Option<String> {
         }
     }
     if h.live_bytes() != 0 {
-        return Some(format!("{} bytes still live after freeing everything", h.live_bytes()));
+        return Some(format!(
+            "{} bytes still live after freeing everything",
+            h.live_bytes()
+        ));
     }
     None
 }
@@ -247,9 +262,15 @@ fn shrinker_reduces_failing_plans_to_replayable_form() {
                 .is_err()
         })
     };
-    assert!(fails(&plan), "the seeded plan must trip the oracle to begin with");
+    assert!(
+        fails(&plan),
+        "the seeded plan must trip the oracle to begin with"
+    );
     let minimal = shrink::minimize(&plan, fails);
-    assert!(fails(&minimal), "minimized plan must still reproduce the failure");
+    assert!(
+        fails(&minimal),
+        "minimized plan must still reproduce the failure"
+    );
     assert!(!minimal.is_empty(), "an empty plan cannot drop messages");
     for (site, sched) in minimal.sites() {
         assert!(

@@ -75,8 +75,7 @@ fn all_optimizer_levels_agree_on_corpus() {
         bitc_core::infer::infer_program(&program).unwrap();
         for level in OptLevel::ALL {
             let bc = compile_optimized(&program, level).unwrap();
-            let got =
-                Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap();
+            let got = Vm::<Unboxed>::new(&bc, &reg).unwrap().run_int().unwrap();
             assert_eq!(got, expected, "{src} at {level}");
             let got_boxed = Vm::<Boxed>::new(&bc, &reg).unwrap().run_int().unwrap();
             assert_eq!(got_boxed, expected, "boxed {src} at {level}");
@@ -105,9 +104,10 @@ fn arb_int_expr() -> impl Strategy<Value = String> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(* {a} {b})")),
             (inner.clone(), inner.clone(), inner.clone())
                 .prop_map(|(c, t, e)| format!("(if (< {c} 0) {t} {e})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("(let ((x {a})) (+ x {b}))")),
-            inner.clone().prop_map(|a| format!("((lambda (z) (* z 2)) {a})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(let ((x {a})) (+ x {b}))")),
+            inner
+                .clone()
+                .prop_map(|a| format!("((lambda (z) (* z 2)) {a})")),
         ]
     })
 }

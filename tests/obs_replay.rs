@@ -1,0 +1,115 @@
+//! Regression: a fault campaign replayed from its plan reproduces not just
+//! the fault-log digest (sysfault's own guarantee) but the *flight-recorder
+//! trace shape* — same spans, instants, and counter samples in the same
+//! per-thread order, with only timestamps differing. This is what makes a
+//! flight-recorder dump from a failed run actionable: re-running the plan
+//! regenerates the same trace to poke at.
+
+use microkernel::kernel::{Kernel, SITE_IPC_DROP, SITE_KERNEL_OOM};
+use microkernel::rights::Rights;
+use std::sync::Mutex;
+use sysfault::{FaultPlan, Schedule, SharedInjector};
+use sysmem::freelist::FreeListHeap;
+use sysobs::Mode;
+
+// Mode and rings are process-global; tests that trace serialize here.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs a deterministic faulted IPC workload under full tracing and returns
+/// `(fault log digest, trace shape digest, event count)`.
+fn traced_campaign(plan: FaultPlan, rounds: usize) -> (u64, u64, usize) {
+    sysobs::clear();
+    let mut k = Kernel::new(Box::new(FreeListHeap::new(1 << 20)));
+    let inj = SharedInjector::new(plan);
+    k.set_injector(inj.clone());
+    let server = k.spawn_process();
+    let client = k.spawn_process();
+    let req_s = k.create_endpoint(server).unwrap();
+    let req_c = k.grant_cap(server, req_s, client, Rights::SEND).unwrap();
+    let rep_s = k.create_endpoint(server).unwrap();
+    let rep_c = k.grant_cap(server, rep_s, client, Rights::RECV).unwrap();
+    for _ in 0..rounds {
+        // Lost requests recover through the watchdog; unrecoverable rounds
+        // surface as typed timeouts. Either way the trace records the path.
+        let _ = k.ping_pong_resilient(client, server, (req_s, req_c), (rep_s, rep_c), 8, 2_000, 4);
+    }
+    let events = sysobs::collect_events().len();
+    (inj.digest(), sysobs::shape_digest(), events)
+}
+
+#[test]
+fn replayed_fault_schedule_reproduces_the_trace_shape() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    let prev = sysobs::mode();
+    sysobs::set_mode(Mode::Tracing);
+
+    let plan = FaultPlan::new(0x00DE_C0DE)
+        .with_site(SITE_IPC_DROP, Schedule::EveryNth(5))
+        .with_site(SITE_KERNEL_OOM, Schedule::Probability(0.02));
+    let (fault_a, shape_a, events_a) = traced_campaign(plan.clone(), 30);
+    let (fault_b, shape_b, events_b) = traced_campaign(plan, 30);
+
+    sysobs::set_mode(prev);
+    sysobs::clear();
+
+    assert!(events_a > 0, "tracing recorded nothing");
+    assert_eq!(fault_a, fault_b, "fault schedule must replay identically");
+    assert_eq!(
+        events_a, events_b,
+        "replay produced a different event count"
+    );
+    assert_eq!(shape_a, shape_b, "replay produced a different trace shape");
+}
+
+#[test]
+fn different_fault_schedules_produce_different_trace_shapes() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    let prev = sysobs::mode();
+    sysobs::set_mode(Mode::Tracing);
+
+    let quiet = FaultPlan::new(0x00DE_C0DE);
+    let noisy = FaultPlan::new(0x00DE_C0DE).with_site(SITE_IPC_DROP, Schedule::EveryNth(3));
+    let (_, shape_quiet, _) = traced_campaign(quiet, 20);
+    let (_, shape_noisy, _) = traced_campaign(noisy, 20);
+
+    sysobs::set_mode(prev);
+    sysobs::clear();
+
+    assert_ne!(
+        shape_quiet, shape_noisy,
+        "injected drops change the recovery path, so the trace shape must differ"
+    );
+}
+
+#[test]
+fn trace_dump_names_the_injected_faults() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    let prev = sysobs::mode();
+    sysobs::set_mode(Mode::Tracing);
+
+    let plan = FaultPlan::new(7).with_site(SITE_IPC_DROP, Schedule::EveryNth(4));
+    let (fault_digest, _, _) = traced_campaign(plan, 20);
+    let text = sysobs::dump_text();
+    let json = sysobs::dump_chrome_json();
+
+    sysobs::set_mode(prev);
+    sysobs::clear();
+
+    assert_ne!(
+        fault_digest,
+        sysfault::FaultLog::default().digest(),
+        "faults fired"
+    );
+    assert!(
+        text.contains(&format!("fault.fired.{SITE_IPC_DROP}")),
+        "text dump must name the fired site:\n{text}"
+    );
+    assert!(
+        json.contains("kernel.syscall"),
+        "chrome dump must carry syscall spans"
+    );
+    assert!(
+        json.contains("\"ph\":\"i\""),
+        "fault firings are instant events"
+    );
+}

@@ -5,7 +5,7 @@
 
 use bitc_verify::vcgen::{is_verified, verify_procedure, VcOutcome};
 use microkernel::invariants::{invariant_suite, mint_procedure, seeded_bug_suite};
-use microkernel::kernel::{Kernel, Message, Syscall, SysResult};
+use microkernel::kernel::{Kernel, Message, SysResult, Syscall};
 use microkernel::rights::Rights;
 use proptest::prelude::*;
 
@@ -123,8 +123,14 @@ fn kernel_sessions_work_on_every_heap_policy() {
         let ep_c = k.grant_cap(server, ep, client, Rights::SEND).unwrap();
         for i in 0..100u64 {
             k.syscall(server, Syscall::Recv { cap: ep }).unwrap();
-            k.syscall(client, Syscall::Send { cap: ep_c, msg: Message::words(&[i, i * 2]) })
-                .unwrap();
+            k.syscall(
+                client,
+                Syscall::Send {
+                    cap: ep_c,
+                    msg: Message::words(&[i, i * 2]),
+                },
+            )
+            .unwrap();
             let m = k.take_delivered(server).unwrap();
             assert_eq!(m.payload, vec![i, i * 2], "heap {name}");
         }
@@ -138,23 +144,66 @@ fn page_rights_are_enforced_end_to_end() {
     let SysResult::Slot(page) = k.syscall(owner, Syscall::AllocPage { words: 2 }).unwrap() else {
         panic!("expected slot");
     };
-    k.syscall(owner, Syscall::WritePage { cap: page, offset: 1, value: 5 }).unwrap();
+    k.syscall(
+        owner,
+        Syscall::WritePage {
+            cap: page,
+            offset: 1,
+            value: 5,
+        },
+    )
+    .unwrap();
     // Mint write-only and read-only views; each permits exactly its verb.
-    let SysResult::Slot(ro) =
-        k.syscall(owner, Syscall::Mint { src: page, rights: Rights::READ }).unwrap()
+    let SysResult::Slot(ro) = k
+        .syscall(
+            owner,
+            Syscall::Mint {
+                src: page,
+                rights: Rights::READ,
+            },
+        )
+        .unwrap()
     else {
         panic!("expected slot");
     };
-    let SysResult::Slot(wo) =
-        k.syscall(owner, Syscall::Mint { src: page, rights: Rights::WRITE }).unwrap()
+    let SysResult::Slot(wo) = k
+        .syscall(
+            owner,
+            Syscall::Mint {
+                src: page,
+                rights: Rights::WRITE,
+            },
+        )
+        .unwrap()
     else {
         panic!("expected slot");
     };
     assert!(matches!(
-        k.syscall(owner, Syscall::ReadPage { cap: ro, offset: 1 }).unwrap(),
+        k.syscall(owner, Syscall::ReadPage { cap: ro, offset: 1 })
+            .unwrap(),
         SysResult::Value(5)
     ));
-    assert!(k.syscall(owner, Syscall::WritePage { cap: ro, offset: 0, value: 9 }).is_err());
-    assert!(k.syscall(owner, Syscall::WritePage { cap: wo, offset: 0, value: 9 }).is_ok());
-    assert!(k.syscall(owner, Syscall::ReadPage { cap: wo, offset: 0 }).is_err());
+    assert!(k
+        .syscall(
+            owner,
+            Syscall::WritePage {
+                cap: ro,
+                offset: 0,
+                value: 9
+            }
+        )
+        .is_err());
+    assert!(k
+        .syscall(
+            owner,
+            Syscall::WritePage {
+                cap: wo,
+                offset: 0,
+                value: 9
+            }
+        )
+        .is_ok());
+    assert!(k
+        .syscall(owner, Syscall::ReadPage { cap: wo, offset: 0 })
+        .is_err());
 }

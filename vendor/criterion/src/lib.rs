@@ -21,7 +21,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== group {name}");
-        BenchmarkGroup { _parent: self, name, sample_size: 30 }
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 30,
+        }
     }
 }
 
@@ -57,11 +61,17 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { samples: Vec::new(), budget: self.sample_size };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size,
+        };
         f(&mut b);
         let label = format!("{}/{}", self.name, id);
         match b.median() {
-            Some(d) => println!("  {label:<40} median {d:>12?} ({} samples)", b.samples.len()),
+            Some(d) => println!(
+                "  {label:<40} median {d:>12?} ({} samples)",
+                b.samples.len()
+            ),
             None => println!("  {label:<40} produced no samples"),
         }
         self

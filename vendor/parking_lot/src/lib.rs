@@ -16,7 +16,9 @@ pub struct Mutex<T> {
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Acquires the lock, returning the guard directly.
@@ -26,7 +28,9 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -39,7 +43,9 @@ pub struct RwLock<T> {
 impl<T> RwLock<T> {
     /// Creates a new lock.
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Acquires a shared read guard.

@@ -74,7 +74,9 @@ mod tests {
     #[test]
     fn any_bool_hits_both_values() {
         let mut rng = TestRng::new(11);
-        let trues = (0..100).filter(|_| any::<bool>().generate(&mut rng)).count();
+        let trues = (0..100)
+            .filter(|_| any::<bool>().generate(&mut rng))
+            .count();
         assert!(trues > 10 && trues < 90);
     }
 

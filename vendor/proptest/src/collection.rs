@@ -13,14 +13,20 @@ pub struct SizeRange {
 impl From<std::ops::Range<usize>> for SizeRange {
     fn from(r: std::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "empty collection size range");
-        SizeRange { min: r.start, max: r.end }
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
     }
 }
 
 impl From<std::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: std::ops::RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty collection size range");
-        SizeRange { min: *r.start(), max: r.end() + 1 }
+        SizeRange {
+            min: *r.start(),
+            max: r.end() + 1,
+        }
     }
 }
 
@@ -32,7 +38,10 @@ impl From<usize> for SizeRange {
 
 /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// Strategy returned by [`vec`].
@@ -72,6 +81,8 @@ mod tests {
         let s = vec(vec(0usize..4, 1..4), 1..4);
         let v = s.generate(&mut rng);
         assert!(!v.is_empty());
-        assert!(v.iter().all(|inner| !inner.is_empty() && inner.iter().all(|&x| x < 4)));
+        assert!(v
+            .iter()
+            .all(|inner| !inner.is_empty() && inner.iter().all(|&x| x < 4)));
     }
 }

@@ -16,7 +16,9 @@ impl TestRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x6a09_e667_f3bc_c909 }
+        TestRng {
+            state: seed ^ 0x6a09_e667_f3bc_c909,
+        }
     }
 
     /// Next 64 uniformly distributed bits.
@@ -58,7 +60,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence: whence.into(), pred }
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
     }
 
     /// Builds recursive structures: `recurse` receives a strategy for the
@@ -93,7 +99,9 @@ pub trait Strategy {
         Self: Sized + 'static,
         Self::Value: 'static,
     {
-        ArcStrategy { gen_fn: Arc::new(move |rng| self.generate(rng)) }
+        ArcStrategy {
+            gen_fn: Arc::new(move |rng| self.generate(rng)),
+        }
     }
 }
 
@@ -105,7 +113,9 @@ pub struct ArcStrategy<T> {
 
 impl<T> Clone for ArcStrategy<T> {
     fn clone(&self) -> Self {
-        ArcStrategy { gen_fn: Arc::clone(&self.gen_fn) }
+        ArcStrategy {
+            gen_fn: Arc::clone(&self.gen_fn),
+        }
     }
 }
 
@@ -160,7 +170,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
     }
 }
 
@@ -342,8 +355,15 @@ fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
             (1, 1)
         };
         assert!(min <= max, "bad repetition in pattern {pattern:?}");
-        assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
-        atoms.push(PatternAtom { chars: set, min, max });
+        assert!(
+            !set.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        atoms.push(PatternAtom {
+            chars: set,
+            min,
+            max,
+        });
     }
     atoms
 }
@@ -372,7 +392,9 @@ mod tests {
             let s = "[a-z][a-z0-9]{0,5}".generate(&mut rng);
             assert!(!s.is_empty() && s.len() <= 6, "bad {s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
             let t = "[a-z]{1,10}".generate(&mut rng);
             assert!((1..=10).contains(&t.len()));
         }
@@ -389,7 +411,9 @@ mod tests {
     #[test]
     fn map_filter_recursive_compose() {
         let mut rng = TestRng::new(5);
-        let s = (0u32..100).prop_map(|n| n * 2).prop_filter("even under 100", |&n| n < 100);
+        let s = (0u32..100)
+            .prop_map(|n| n * 2)
+            .prop_filter("even under 100", |&n| n < 100);
         for _ in 0..100 {
             let v = s.generate(&mut rng);
             assert!(v % 2 == 0 && v < 100);

@@ -85,7 +85,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failing_property_panics_with_seed() {
-        run_cases(&ProptestConfig::with_cases(5), "demo_fail", |_| Err("boom".into()));
+        run_cases(&ProptestConfig::with_cases(5), "demo_fail", |_| {
+            Err("boom".into())
+        });
     }
 
     #[test]

@@ -110,7 +110,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         #[allow(clippy::cast_precision_loss)]
         let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         unit < p
@@ -131,7 +134,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
         }
     }
 
