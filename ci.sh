@@ -8,10 +8,13 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Data-plane smoke: the end-to-end example (asserts conservation and the
-# canonicalization fix) and the E10 experiment at quick scale. router_bench
-# --quick never rewrites the recorded BENCH_router.json.
+# canonicalization fix), the E10/E12 experiments at quick scale, the flow
+# cache + pool differential suite, and the bench with its steady-state
+# allocs/packet ≈ 0 assertion. router_bench --quick never rewrites the
+# recorded BENCH_router.json.
 cargo run --release --example packet_router
-cargo run --release --example experiments -- e10
+cargo run --release --example experiments -- e10 e12
+cargo test -q -p sysnet --test cache_properties
 cargo run --release --example router_bench -- --quick
 
 # Observability smoke: E11 at quick scale, the obs bench without the budget

@@ -56,6 +56,35 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity right now; the message comes back.
+    Full(T),
+    /// Every receiver is gone; the message comes back.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "try_send on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "send on a channel with no receivers"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
 /// Error returned by [`Sender::send_timeout`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendTimeoutError<T> {
@@ -176,6 +205,34 @@ impl<T> Sender<T> {
                     state = self.shared.not_full.wait(state).expect("channel poisoned");
                 }
                 _ => break,
+            }
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        sysobs::obs_count!("chan.sends", 1);
+        Ok(())
+    }
+
+    /// Sends without blocking: if a bounded channel is at capacity the
+    /// message comes straight back instead of stalling the producer. This is
+    /// the primitive the `sysnet` dispatcher builds head-of-line-blocking
+    /// avoidance from — one slow consumer's full queue must not stop traffic
+    /// destined to every other consumer.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when the channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone; both
+    /// return the message.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel poisoned");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if state.items.len() >= cap {
+                return Err(TrySendError::Full(value));
             }
         }
         state.items.push_back(value);
@@ -534,6 +591,44 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_is_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn try_send_fills_then_reports_full() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(tx.try_send(3), Ok(()), "space freed by the recv");
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn try_send_never_blocks_and_reports_disconnect() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        // Full channel: returns immediately with the message.
+        let t0 = std::time::Instant::now();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        drop(rx);
+        assert_eq!(
+            tx.try_send(2),
+            Err(TrySendError::Disconnected(2)),
+            "disconnect wins over full"
+        );
+        assert_eq!(TrySendError::Full(7).into_inner(), 7);
+    }
+
+    #[test]
+    fn try_send_on_unbounded_always_succeeds() {
+        let (tx, rx) = channel();
+        for i in 0..1000 {
+            assert_eq!(tx.try_send(i), Ok(()));
+        }
+        assert_eq!(rx.drain().len(), 1000);
     }
 
     #[test]

@@ -743,7 +743,10 @@ impl Kernel {
     /// Every failure mode is a typed [`KernelError`]; the kernel never
     /// panics on user input (the "segfaults should never happen" rule).
     pub fn syscall(&mut self, pid: Pid, call: Syscall) -> Result<SysResult> {
-        sysobs::obs_span!("kernel.syscall");
+        // Hot path: a syscall completes in well under a microsecond, so the
+        // span is a single marker event (one ring write, one clock read)
+        // rather than a begin/end pair.
+        sysobs::obs_span_hot!("kernel.syscall");
         self.cycles.charge(cycles::SYSCALL);
         {
             let proc = self.process(pid)?;
@@ -890,7 +893,7 @@ impl Kernel {
         reply_ep: (CapSlot, CapSlot),
         words: usize,
     ) -> Result<u64> {
-        sysobs::obs_span!("kernel.ipc.ping_pong");
+        sysobs::obs_span_hot!("kernel.ipc.ping_pong");
         let snapshot = self.cycles;
         let payload = vec![0xAB; words];
         // Server posts a receive, then client sends (rendezvous).

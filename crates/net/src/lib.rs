@@ -5,20 +5,28 @@
 //! zero-copy [`sysrepr::packet`] views and the [`sysconc::channel`] bounded
 //! channels, with no code the substrate rule forbids.
 //!
-//! Four layers:
+//! Five layers:
 //!
 //! * [`lpm`] — longest-prefix-match routing tables: a binary [`lpm::TrieTable`]
 //!   (the data plane's lookup structure) and the [`lpm::LinearTable`]
 //!   reference it is property-tested against. Both canonicalize prefixes on
 //!   insert (`prefix & mask`), fixing the silent never-matches bug an
-//!   unmasked entry like `10.1.2.9/24` used to cause.
+//!   unmasked entry like `10.1.2.9/24` used to cause. The trie carries a
+//!   generation counter so caches can observe route changes.
+//! * [`cache`] — the per-worker flow → next-hop [`cache::FlowCache`]:
+//!   direct-mapped over the shared FNV-1a hash, exact-keyed (collisions
+//!   miss, never misroute), generation-invalidated on any table mutation.
 //! * [`pipeline`] — the batched parse → validate → route fast path: total
 //!   parsing (LangSec style — reject before acting), per-reason drop
 //!   counters, zero allocation per packet.
 //! * [`router`] — the sharded multi-worker router: flows hash-partition
 //!   across `std::thread` workers fed through bounded channels
 //!   (backpressure, not unbounded queues), per-worker counters aggregated
-//!   into a router-wide snapshot.
+//!   into a router-wide snapshot. Steady state recycles every frame and
+//!   batch buffer through per-worker return channels — zero allocations
+//!   per packet after warm-up — and sizes batches adaptively from queue
+//!   occupancy, dispatching with `try_send` so one slow worker cannot
+//!   head-of-line-block the rest.
 //! * [`bench`] — the measured trajectory: sweeps worker counts and batch
 //!   sizes, reports packets/sec and p50/p99 per-packet latency, and renders
 //!   the `BENCH_router.json` record the ROADMAP's perf north star tracks.
@@ -35,10 +43,12 @@
 //! ```
 
 pub mod bench;
+pub mod cache;
 pub mod lpm;
 pub mod pipeline;
 pub mod router;
 
+pub use cache::FlowCache;
 pub use lpm::{LinearTable, RouteError, TrieTable};
 pub use pipeline::{process_batch, BatchStats, DropReason};
 pub use router::{RouterConfig, RouterReport, RouterStats, ShardedRouter};

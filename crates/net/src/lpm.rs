@@ -90,6 +90,7 @@ impl<T> Node<T> {
 pub struct TrieTable<T> {
     root: Node<T>,
     len: usize,
+    generation: u64,
 }
 
 impl<T: Copy> TrieTable<T> {
@@ -99,6 +100,7 @@ impl<T: Copy> TrieTable<T> {
         TrieTable {
             root: Node::default(),
             len: 0,
+            generation: 0,
         }
     }
 
@@ -106,6 +108,16 @@ impl<T: Copy> TrieTable<T> {
     #[must_use]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Mutation generation: bumped by every [`TrieTable::insert`] and every
+    /// [`TrieTable::remove`] that removed something. A
+    /// [`crate::cache::FlowCache`] snapshots this to detect that a cached
+    /// next hop may be stale; any observer holding an equal generation is
+    /// guaranteed no routing decision has changed since.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// True when no routes are installed.
@@ -131,6 +143,9 @@ impl<T: Copy> TrieTable<T> {
         if old.is_none() {
             self.len += 1;
         }
+        // Replacing a next hop changes routing decisions just as much as a
+        // new route does, so every successful insert bumps the generation.
+        self.generation += 1;
         Ok(old)
     }
 
@@ -165,6 +180,7 @@ impl<T: Copy> TrieTable<T> {
         let removed = Self::remove_at(&mut self.root, prefix, 0, len);
         if removed.is_some() {
             self.len -= 1;
+            self.generation += 1;
         }
         Ok(removed)
     }
@@ -340,6 +356,25 @@ mod tests {
         assert_eq!(t.remove(ip(10, 255, 255, 255), 8).unwrap(), Some("core"));
         assert!(t.is_empty());
         assert!(t.root.is_empty(), "interior nodes must be pruned");
+    }
+
+    #[test]
+    fn generation_tracks_every_routing_change() {
+        let mut t = TrieTable::new();
+        assert_eq!(t.generation(), 0);
+        t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap();
+        assert_eq!(t.generation(), 1);
+        // Replacement changes decisions, so it bumps too.
+        t.insert(ip(10, 0, 0, 0), 8, 2u16).unwrap();
+        assert_eq!(t.generation(), 2);
+        t.remove(ip(10, 0, 0, 0), 8).unwrap();
+        assert_eq!(t.generation(), 3);
+        // A no-op remove leaves the generation alone.
+        t.remove(ip(10, 0, 0, 0), 8).unwrap();
+        assert_eq!(t.generation(), 3);
+        // Lookups never bump.
+        let _ = t.lookup(ip(10, 1, 1, 1));
+        assert_eq!(t.generation(), 3);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! a [`TrieTable`]. Nothing in this module allocates per packet; the only
 //! state is the [`BatchStats`] counters.
 
+use crate::cache::FlowCache;
 use crate::lpm::TrieTable;
 use sysrepr::packet::EthernetView;
 use sysrepr::ReprError;
@@ -96,13 +97,11 @@ impl BatchStats {
     }
 }
 
-/// Parses, validates, and routes a single frame. Returns the next hop, or
-/// the reason the frame must be dropped.
-///
-/// # Errors
-///
-/// The [`DropReason`] for any frame that fails validation or routing.
-pub fn route_frame<T: Copy>(frame: &[u8], table: &TrieTable<T>) -> Result<T, DropReason> {
+/// Parses and validates one frame, returning the `(src, dst)` addresses a
+/// routing decision needs — the shared front half of [`route_frame`] and
+/// [`route_frame_cached`].
+#[inline]
+fn validate_frame(frame: &[u8]) -> Result<(u32, u32), DropReason> {
     let eth = EthernetView::parse(frame).map_err(|_| DropReason::Malformed)?;
     let ipv4 = eth.ipv4().map_err(|e| match e {
         ReprError::InvalidField {
@@ -116,7 +115,37 @@ pub fn route_frame<T: Copy>(frame: &[u8], table: &TrieTable<T>) -> Result<T, Dro
     if ipv4.ttl() == 0 {
         return Err(DropReason::TtlExpired);
     }
-    table.lookup(ipv4.dst_u32()).ok_or(DropReason::NoRoute)
+    Ok((u32::from_be_bytes(ipv4.src()), ipv4.dst_u32()))
+}
+
+/// Parses, validates, and routes a single frame. Returns the next hop, or
+/// the reason the frame must be dropped.
+///
+/// # Errors
+///
+/// The [`DropReason`] for any frame that fails validation or routing.
+pub fn route_frame<T: Copy>(frame: &[u8], table: &TrieTable<T>) -> Result<T, DropReason> {
+    let (_, dst) = validate_frame(frame)?;
+    table.lookup(dst).ok_or(DropReason::NoRoute)
+}
+
+/// [`route_frame`] with the trie walk fronted by a per-worker
+/// [`FlowCache`]: repeated flows resolve in one hash-and-compare. Identical
+/// decisions to [`route_frame`] by construction (exact keys, generation
+/// invalidation) — a property the differential suite tests.
+///
+/// # Errors
+///
+/// The [`DropReason`] for any frame that fails validation or routing.
+pub fn route_frame_cached<T: Copy>(
+    frame: &[u8],
+    table: &TrieTable<T>,
+    cache: &mut FlowCache<T>,
+) -> Result<T, DropReason> {
+    let (src, dst) = validate_frame(frame)?;
+    cache
+        .lookup_or_route(table, src, dst)
+        .ok_or(DropReason::NoRoute)
 }
 
 /// Runs a whole batch through [`route_frame`], invoking `forward(next_hop)`
@@ -137,6 +166,39 @@ where
 {
     sysobs::obs_span!("net.batch");
     let stats = process_batch_uninstrumented(frames, table, forward);
+    mirror_batch_stats(&stats);
+    stats
+}
+
+/// [`process_batch`] with the trie fronted by the worker's [`FlowCache`]:
+/// the production path the sharded router runs. Mirrors the batch counters
+/// *and* the cache's hit/miss deltas into the `sysobs` registry, one update
+/// per batch.
+pub fn process_batch_cached<T, B, F>(
+    frames: &[B],
+    table: &TrieTable<T>,
+    cache: &mut FlowCache<T>,
+    forward: F,
+) -> BatchStats
+where
+    T: Copy,
+    B: AsRef<[u8]>,
+    F: FnMut(T),
+{
+    sysobs::obs_span!("net.batch");
+    let (hits0, misses0) = (cache.hits(), cache.misses());
+    let stats = process_batch_cached_uninstrumented(frames, table, cache, forward);
+    mirror_batch_stats(&stats);
+    if sysobs::metrics_on() {
+        sysobs::obs_count!("net.cache.hits", cache.hits() - hits0);
+        sysobs::obs_count!("net.cache.misses", cache.misses() - misses0);
+    }
+    stats
+}
+
+/// Mirrors one batch's counters into the `sysobs` registry (amortized: one
+/// update per batch, not per frame).
+fn mirror_batch_stats(stats: &BatchStats) {
     if sysobs::metrics_on() {
         sysobs::obs_count!("net.parsed", stats.parsed);
         sysobs::obs_count!("net.forwarded", stats.forwarded);
@@ -147,7 +209,6 @@ where
             }
         }
     }
-    stats
 }
 
 /// [`process_batch`] with no observability hooks at all — not even the
@@ -165,21 +226,56 @@ where
 {
     let mut stats = BatchStats::default();
     for frame in frames {
-        match route_frame(frame.as_ref(), table) {
-            Ok(hop) => {
-                stats.parsed += 1;
-                stats.forwarded += 1;
-                forward(hop);
-            }
-            Err(reason) => {
-                if !matches!(reason, DropReason::Malformed | DropReason::NotIpv4) {
-                    stats.parsed += 1;
-                }
-                stats.dropped[reason as usize] += 1;
-            }
-        }
+        tally(&mut stats, route_frame(frame.as_ref(), table), &mut forward);
     }
     stats
+}
+
+/// [`process_batch_uninstrumented`] over [`route_frame_cached`] — the
+/// compiled-out-baseline path with the flow cache, used by the
+/// `instrument: false` router workers.
+pub fn process_batch_cached_uninstrumented<T, B, F>(
+    frames: &[B],
+    table: &TrieTable<T>,
+    cache: &mut FlowCache<T>,
+    mut forward: F,
+) -> BatchStats
+where
+    T: Copy,
+    B: AsRef<[u8]>,
+    F: FnMut(T),
+{
+    let mut stats = BatchStats::default();
+    for frame in frames {
+        tally(
+            &mut stats,
+            route_frame_cached(frame.as_ref(), table, cache),
+            &mut forward,
+        );
+    }
+    stats
+}
+
+/// Folds one frame's routing outcome into the batch counters.
+#[inline]
+fn tally<T: Copy, F: FnMut(T)>(
+    stats: &mut BatchStats,
+    outcome: Result<T, DropReason>,
+    forward: &mut F,
+) {
+    match outcome {
+        Ok(hop) => {
+            stats.parsed += 1;
+            stats.forwarded += 1;
+            forward(hop);
+        }
+        Err(reason) => {
+            if !matches!(reason, DropReason::Malformed | DropReason::NotIpv4) {
+                stats.parsed += 1;
+            }
+            stats.dropped[reason as usize] += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +377,31 @@ mod tests {
         // Both batch paths agree frame for frame.
         let bare = process_batch_uninstrumented(&frames, &t, |_| {});
         assert_eq!(bare, stats);
+    }
+
+    #[test]
+    fn cached_batch_paths_agree_with_uncached() {
+        let t = table();
+        let frames = vec![
+            udp_to([10, 1, 1, 1]),
+            udp_to([10, 1, 1, 1]), // repeat: must hit the cache
+            udp_to([10, 2, 2, 2]),
+            udp_to([172, 16, 0, 1]),
+            PacketBuilder::udp()
+                .dst_ip([10, 0, 0, 1])
+                .corrupt_checksum()
+                .build(),
+            vec![0u8; 3],
+        ];
+        let plain = process_batch_uninstrumented(&frames, &t, |_| {});
+        let mut cache = FlowCache::new(256);
+        let mut hops = Vec::new();
+        let cached = process_batch_cached(&frames, &t, &mut cache, |h| hops.push(h));
+        assert_eq!(plain, cached);
+        assert_eq!(hops, vec!["edge", "edge", "core"]);
+        assert!(cache.hits() >= 1, "the repeated flow must hit");
+        let mut cache2 = FlowCache::new(256);
+        let bare = process_batch_cached_uninstrumented(&frames, &t, &mut cache2, |_| {});
+        assert_eq!(bare, plain);
     }
 }

@@ -1,10 +1,27 @@
 //! The sharded multi-worker router.
 //!
 //! Flows hash-partition across `std::thread` workers, each fed batches
-//! through its own bounded [`sysconc::channel`] (backpressure: a slow
-//! worker stalls its dispatcher instead of growing an unbounded queue).
-//! Sharding by flow hash keeps any one flow on one worker, so per-flow
-//! packet order survives parallelism — the classic RSS design.
+//! through its own bounded [`sysconc::channel`]. Sharding by flow hash
+//! keeps any one flow on one worker, so per-flow packet order survives
+//! parallelism — the classic RSS design.
+//!
+//! Three properties define the steady state:
+//!
+//! * **Zero allocation.** Workers return drained [`Batch`] buffers to the
+//!   dispatcher over per-worker recycle channels; the dispatcher refills
+//!   frame buffers with `clear()` + `extend_from_slice` (length governs —
+//!   recycled bytes can never leak into a later frame) and reuses batch
+//!   containers the same way. After warm-up no `Vec` is allocated per
+//!   packet or per batch — Challenge 2's region-style reuse, measured as
+//!   `steady_allocs_per_packet` in the bench rather than asserted.
+//! * **Cached routing.** Each worker fronts the shared [`TrieTable`] with
+//!   its own [`FlowCache`]: repeated flows resolve in one hash-and-compare
+//!   instead of a 32-level trie walk, and a generation counter on the table
+//!   invalidates the cache before any post-mutation packet is routed.
+//! * **Non-blocking dispatch.** Batch size adapts to queue occupancy (deep
+//!   batches only under backlog) and dispatch uses `try_send` with a
+//!   bounded per-worker requeue, so one slow worker no longer
+//!   head-of-line-blocks every other worker's feed.
 //!
 //! Shared state is confined to per-worker atomic counters (aggregated into
 //! a router-wide [`RouterStats`] snapshot on demand) and the immutable
@@ -12,13 +29,15 @@
 //! through channels, never shared — Challenge 4 answered with ownership
 //! plus message passing rather than locks.
 
+use crate::cache::FlowCache;
 use crate::lpm::TrieTable;
 use crate::pipeline::{self, BatchStats, DROP_METRICS, DROP_REASONS};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use sysconc::channel::{bounded, Receiver, Sender};
+use sysconc::channel::{bounded, channel, Receiver, Sender, TrySendError};
 use sysobs::LogHistogram;
 
 /// A next-hop port: an index into the router's port table.
@@ -29,10 +48,15 @@ pub type PortId = u16;
 pub struct RouterConfig {
     /// Worker threads (≥ 1). Flows are hash-partitioned across them.
     pub workers: usize,
-    /// Frames per batch handed to a worker (≥ 1).
+    /// Maximum frames per batch handed to a worker (≥ 1). The dispatcher
+    /// sizes actual batches adaptively from queue occupancy, up to this.
     pub batch_size: usize,
     /// Bounded-channel capacity, in batches, per worker (≥ 1).
     pub queue_depth: usize,
+    /// Per-worker flow-cache slots (rounded up to a power of two).
+    /// `0` disables the cache: every packet walks the trie — the A/B
+    /// baseline experiment E12 measures the cache against.
+    pub cache_slots: usize,
     /// When false, workers run a monomorphized fast path with *no*
     /// observability code compiled in — not even the disabled-mode atomic
     /// check. This is the true baseline experiment E11 measures
@@ -47,13 +71,21 @@ impl Default for RouterConfig {
             workers: 1,
             batch_size: 64,
             queue_depth: 8,
+            cache_slots: 4096,
             instrument: true,
         }
     }
 }
 
-/// One worker's batch: owned frames plus the submission timestamp the
-/// per-packet latency measurement starts from.
+/// Requeued batches a worker may accumulate before the dispatcher falls
+/// back to a blocking send (bounding dispatcher-side memory), as a multiple
+/// of the queue depth.
+const STALL_CAP_FACTOR: usize = 2;
+
+/// One worker's batch: owned frames plus the dispatch timestamp the
+/// per-packet latency measurement starts from. The same buffers cycle
+/// dispatcher → worker → recycle channel → dispatcher for the router's
+/// lifetime.
 struct Batch {
     frames: Vec<Vec<u8>>,
     submitted: Instant,
@@ -68,6 +100,9 @@ struct Counters {
     dropped: [AtomicU64; DROP_REASONS],
     batches: AtomicU64,
     occupancy_sum: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_invalidations: AtomicU64,
     per_port: Vec<AtomicU64>,
 }
 
@@ -79,6 +114,9 @@ impl Counters {
             dropped: std::array::from_fn(|_| AtomicU64::new(0)),
             batches: AtomicU64::new(0),
             occupancy_sum: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_invalidations: AtomicU64::new(0),
             per_port: (0..ports).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -94,6 +132,14 @@ impl Counters {
             .fetch_add(occupancy as u64, Ordering::Relaxed);
     }
 
+    /// Publishes the worker's cache totals (single writer: plain stores).
+    fn store_cache(&self, cache: &FlowCache<PortId>) {
+        self.cache_hits.store(cache.hits(), Ordering::Relaxed);
+        self.cache_misses.store(cache.misses(), Ordering::Relaxed);
+        self.cache_invalidations
+            .store(cache.invalidations(), Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> WorkerStats {
         WorkerStats {
             parsed: self.parsed.load(Ordering::Relaxed),
@@ -101,6 +147,9 @@ impl Counters {
             dropped: std::array::from_fn(|i| self.dropped[i].load(Ordering::Relaxed)),
             batches: self.batches.load(Ordering::Relaxed),
             occupancy_sum: self.occupancy_sum.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
             per_port: self
                 .per_port
                 .iter()
@@ -123,6 +172,12 @@ pub struct WorkerStats {
     pub batches: u64,
     /// Sum of batch occupancies (frames per batch actually seen).
     pub occupancy_sum: u64,
+    /// Flow-cache hits (0 when the cache is disabled).
+    pub cache_hits: u64,
+    /// Flow-cache misses (each one walked the trie).
+    pub cache_misses: u64,
+    /// Flow-cache wholesale invalidations (table-generation changes seen).
+    pub cache_invalidations: u64,
     /// Forwards per port id.
     pub per_port: Vec<u64>,
 }
@@ -145,6 +200,18 @@ impl WorkerStats {
         }
     }
 
+    /// Flow-cache hit rate (0.0 when the cache was never consulted).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
     fn merge(&mut self, other: &WorkerStats) {
         self.parsed += other.parsed;
         self.forwarded += other.forwarded;
@@ -153,6 +220,9 @@ impl WorkerStats {
         }
         self.batches += other.batches;
         self.occupancy_sum += other.occupancy_sum;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
         if self.per_port.len() < other.per_port.len() {
             self.per_port.resize(other.per_port.len(), 0);
         }
@@ -171,12 +241,45 @@ pub struct RouterStats {
     pub totals: WorkerStats,
 }
 
+/// Dispatcher-side buffer-pool counters: how many frame buffers and batch
+/// containers were served from the recycle pool vs freshly allocated, plus
+/// how often dispatch had to requeue a batch for a busy worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Frame buffers reused from the pool.
+    pub frames_reused: u64,
+    /// Frame buffers freshly allocated (warm-up, or pool exhaustion).
+    pub frames_allocated: u64,
+    /// Batch containers reused from the pool.
+    pub batches_reused: u64,
+    /// Batch containers freshly allocated.
+    pub batches_allocated: u64,
+    /// Batches requeued because a worker's queue was full at dispatch.
+    pub stalled_requeues: u64,
+}
+
+impl PoolStats {
+    /// Fraction of frame buffers served from the pool (1.0 = all reuse).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn frame_reuse_rate(&self) -> f64 {
+        let total = self.frames_reused + self.frames_allocated;
+        if total == 0 {
+            0.0
+        } else {
+            self.frames_reused as f64 / total as f64
+        }
+    }
+}
+
 /// Final report returned by [`ShardedRouter::finish`]: the aggregate
 /// counters plus the per-packet latency distribution.
 #[derive(Debug, Clone)]
 pub struct RouterReport {
     /// Aggregated counters.
     pub stats: RouterStats,
+    /// Dispatcher-side buffer-pool counters.
+    pub pool: PoolStats,
     /// Per-packet submit-to-batch-completion latency (queueing plus
     /// processing), log-bucketed. Replaces the old hand-rolled weighted
     /// `(ns, packets)` quantile list with the shared [`LogHistogram`].
@@ -185,8 +288,8 @@ pub struct RouterReport {
 
 impl RouterReport {
     /// Latency quantile in nanoseconds (`0.5` = p50, `0.99` = p99),
-    /// resolved to log-bucket precision. Returns 0 when no packets were
-    /// processed.
+    /// resolved to interpolated log-bucket precision. Returns 0 when no
+    /// packets were processed.
     #[must_use]
     pub fn latency_ns(&self, quantile: f64) -> u64 {
         self.latencies.percentile(quantile)
@@ -204,9 +307,15 @@ impl RouterReport {
         self.stats.totals.total_frames()
     }
 
+    /// Flow-cache hit rate across all workers.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.stats.totals.cache_hit_rate()
+    }
+
     /// Renders the report as a [`sysobs::Snapshot`]: `net.*` counters per
-    /// drop reason plus the latency histogram — the router's slice of the
-    /// unified observability surface.
+    /// drop reason, the cache and pool counters, and the latency histogram
+    /// — the router's slice of the unified observability surface.
     #[must_use]
     pub fn to_snapshot(&self) -> sysobs::Snapshot {
         let t = &self.stats.totals;
@@ -214,6 +323,14 @@ impl RouterReport {
         snap.set_counter("net.parsed", t.parsed);
         snap.set_counter("net.forwarded", t.forwarded);
         snap.set_counter("net.batches", t.batches);
+        snap.set_counter("net.cache.hits", t.cache_hits);
+        snap.set_counter("net.cache.misses", t.cache_misses);
+        snap.set_counter("net.cache.invalidations", t.cache_invalidations);
+        snap.set_counter("net.pool.frames_reused", self.pool.frames_reused);
+        snap.set_counter("net.pool.frames_allocated", self.pool.frames_allocated);
+        snap.set_counter("net.pool.batches_reused", self.pool.batches_reused);
+        snap.set_counter("net.pool.batches_allocated", self.pool.batches_allocated);
+        snap.set_counter("net.pool.stalled_requeues", self.pool.stalled_requeues);
         for (name, &n) in DROP_METRICS.iter().zip(t.dropped.iter()) {
             snap.set_counter(*name, n);
         }
@@ -244,12 +361,18 @@ fn flow_hash(frame: &[u8]) -> u64 {
 /// One worker's receive-process loop, monomorphized on `OBS` so the
 /// `instrument: false` configuration compiles a fast path containing zero
 /// observability code — the E11 baseline — while the instrumented variant
-/// routes through [`pipeline::process_batch`] (registry counters, spans).
+/// routes through [`pipeline::process_batch_cached`] (registry counters,
+/// spans). Drained batches go back to the dispatcher through `recycle`;
+/// the send is best-effort because at shutdown the dispatcher drops its
+/// receiver first.
 fn worker_loop<const OBS: bool>(
     rx: &Receiver<Batch>,
+    recycle: &Sender<Batch>,
     table: &TrieTable<PortId>,
     shared: &Counters,
+    cache_slots: usize,
 ) -> LogHistogram {
+    let mut cache = (cache_slots > 0).then(|| FlowCache::new(cache_slots));
     let mut latencies = LogHistogram::new();
     while let Ok(batch) = rx.recv() {
         let occupancy = batch.frames.len();
@@ -258,18 +381,25 @@ fn worker_loop<const OBS: bool>(
                 cell.fetch_add(1, Ordering::Relaxed);
             }
         };
-        let stats = if OBS {
-            pipeline::process_batch(&batch.frames, table, forward)
-        } else {
-            pipeline::process_batch_uninstrumented(&batch.frames, table, forward)
+        let stats = match (&mut cache, OBS) {
+            (Some(c), true) => pipeline::process_batch_cached(&batch.frames, table, c, forward),
+            (Some(c), false) => {
+                pipeline::process_batch_cached_uninstrumented(&batch.frames, table, c, forward)
+            }
+            (None, true) => pipeline::process_batch(&batch.frames, table, forward),
+            (None, false) => pipeline::process_batch_uninstrumented(&batch.frames, table, forward),
         };
         shared.apply(&stats, occupancy);
+        if let Some(c) = &cache {
+            shared.store_cache(c);
+        }
         let ns = u64::try_from(batch.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // Every frame in the batch shares the batch's completion latency.
         latencies.record_n(ns, occupancy as u64);
         if OBS {
             sysobs::obs_hist!("net.batch_latency_ns", ns);
         }
+        let _ = recycle.send(batch);
     }
     latencies
 }
@@ -279,10 +409,30 @@ fn worker_loop<const OBS: bool>(
 /// with [`ShardedRouter::finish`].
 pub struct ShardedRouter {
     senders: Vec<Sender<Batch>>,
+    recycle_rx: Vec<Receiver<Batch>>,
     handles: Vec<JoinHandle<LogHistogram>>,
     counters: Vec<Arc<Counters>>,
     pending: Vec<Vec<Vec<u8>>>,
+    /// Batches dispatched per worker (for the queue-occupancy estimate).
+    dispatched: Vec<u64>,
+    /// Cached adaptive batch target, refreshed at each dispatch (so the
+    /// per-frame submit path does no arithmetic beyond one compare).
+    target: usize,
+    /// Batches that bounced off a full worker queue, awaiting retry in
+    /// dispatch order.
+    stalled: Vec<VecDeque<Batch>>,
+    /// Recycled frame buffers ready for refill.
+    free_frames: Vec<Vec<u8>>,
+    /// Recycled (empty) batch containers ready for refill.
+    free_batches: Vec<Vec<Vec<u8>>>,
+    pool: PoolStats,
     batch_size: usize,
+    queue_depth: usize,
+    /// Total frame buffers the dispatcher will create before it waits for
+    /// workers to recycle instead — the pool's region bound. Backpressure
+    /// flows through the pool: an exhausted budget blocks the feed until a
+    /// worker returns a batch, which also keeps memory flat.
+    frame_budget: u64,
 }
 
 impl ShardedRouter {
@@ -291,7 +441,8 @@ impl ShardedRouter {
     ///
     /// # Panics
     ///
-    /// Panics if any config knob is zero or a worker thread cannot spawn.
+    /// Panics if any config knob is zero (`cache_slots` may be zero) or a
+    /// worker thread cannot spawn.
     #[must_use]
     pub fn start(table: TrieTable<PortId>, ports: usize, config: RouterConfig) -> Self {
         assert!(config.workers >= 1, "router needs at least one worker");
@@ -299,63 +450,255 @@ impl ShardedRouter {
         assert!(config.queue_depth >= 1, "queue depth must be nonzero");
         let table = Arc::new(table);
         let mut senders = Vec::with_capacity(config.workers);
+        let mut recycle_rx = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         let mut counters = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let (tx, rx) = bounded::<Batch>(config.queue_depth);
+            // Unbounded: the worker must never block returning a buffer.
+            // In-flight batches (≤ queue_depth + stalled cap) bound it.
+            let (back_tx, back_rx) = channel::<Batch>();
             let worker_table = Arc::clone(&table);
             let worker_counters = Arc::new(Counters::new(ports));
             let shared = Arc::clone(&worker_counters);
+            let slots = config.cache_slots;
             let builder = std::thread::Builder::new().name(format!("sysnet-worker-{i}"));
             let handle = if config.instrument {
-                builder.spawn(move || worker_loop::<true>(&rx, &worker_table, &shared))
+                builder.spawn(move || {
+                    worker_loop::<true>(&rx, &back_tx, &worker_table, &shared, slots)
+                })
             } else {
-                builder.spawn(move || worker_loop::<false>(&rx, &worker_table, &shared))
+                builder.spawn(move || {
+                    worker_loop::<false>(&rx, &back_tx, &worker_table, &shared, slots)
+                })
             }
             .expect("spawn router worker");
             senders.push(tx);
+            recycle_rx.push(back_rx);
             handles.push(handle);
             counters.push(worker_counters);
         }
         ShardedRouter {
             senders,
+            recycle_rx,
             handles,
             counters,
             pending: vec![Vec::new(); config.workers],
+            dispatched: vec![0; config.workers],
+            target: (config.batch_size / 8).max(1),
+            stalled: (0..config.workers).map(|_| VecDeque::new()).collect(),
+            free_frames: Vec::new(),
+            free_batches: Vec::new(),
+            pool: PoolStats::default(),
             batch_size: config.batch_size,
+            queue_depth: config.queue_depth,
+            // Enough for every queue slot, one batch in flight per worker,
+            // and one being filled — beyond that, recycle, don't allocate.
+            frame_budget: (config.workers * (config.queue_depth + 2) * config.batch_size) as u64,
         }
     }
 
-    /// Queues one frame, dispatching a batch to its worker when full.
-    pub fn submit(&mut self, frame: Vec<u8>) {
+    /// Dispatcher-side buffer-pool counters so far.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool
+    }
+
+    /// Queues one frame (copied into a pooled buffer), dispatching a batch
+    /// to its worker when the adaptive threshold fills.
+    pub fn submit(&mut self, frame: &[u8]) {
         #[allow(clippy::cast_possible_truncation)]
-        let w = (flow_hash(&frame) % self.senders.len() as u64) as usize;
-        self.pending[w].push(frame);
-        if self.pending[w].len() >= self.batch_size {
+        let w = (flow_hash(frame) % self.senders.len() as u64) as usize;
+        let mut buf = self.take_frame_buf();
+        buf.clear();
+        buf.extend_from_slice(frame);
+        self.pending[w].push(buf);
+        if self.pending[w].len() >= self.target {
             self.dispatch(w);
         }
     }
 
-    /// Flushes all partially filled batches to their workers.
+    /// Flushes all partially filled batches and every requeued batch to
+    /// their workers (blocking on full queues — flush is a barrier, not a
+    /// fast path).
     pub fn flush(&mut self) {
         for w in 0..self.pending.len() {
             self.dispatch(w);
+            self.pump_stalled(w, true);
         }
     }
 
+    /// A frame buffer from the pool; allocates fresh only while under the
+    /// frame budget (warm-up). At the budget with an empty pool, every
+    /// missing buffer is inside a worker, so the dispatcher blocks on the
+    /// busiest worker's recycle channel — backpressure through the pool.
+    fn take_frame_buf(&mut self) -> Vec<u8> {
+        loop {
+            if let Some(buf) = self.free_frames.pop() {
+                self.pool.frames_reused += 1;
+                return buf;
+            }
+            self.drain_recycled();
+            if !self.free_frames.is_empty() {
+                continue;
+            }
+            if self.pool.frames_allocated < self.frame_budget {
+                self.pool.frames_allocated += 1;
+                return Vec::new();
+            }
+            // Budget spent and nothing recycled yet: every missing buffer
+            // is inside a worker, so wait for batches to come back. The
+            // hysteresis (recover half the budget, not one batch) matters
+            // on few-core hosts: one long sleep amortizes a context switch
+            // over many batches where a per-batch wake would pay it every
+            // time.
+            let target = (self.frame_budget / 2).max(self.batch_size as u64);
+            while (self.free_frames.len() as u64) < target {
+                let Some(w) = self.max_in_flight_worker() else {
+                    break;
+                };
+                let Ok(mut batch) = self.recycle_rx[w].recv() else {
+                    break;
+                };
+                self.free_frames.append(&mut batch.frames);
+                self.free_batches.push(batch.frames);
+                self.drain_recycled();
+            }
+            if self.free_frames.is_empty() {
+                // No worker holds a batch (the rest are dispatcher-held,
+                // pending or requeued): allocation is the only way forward.
+                self.pool.frames_allocated += 1;
+                return Vec::new();
+            }
+        }
+    }
+
+    /// The worker with the most dispatched-but-unprocessed batches (those
+    /// are guaranteed to come back on its recycle channel), if any.
+    fn max_in_flight_worker(&self) -> Option<usize> {
+        let mut best = None;
+        let mut best_depth = 0u64;
+        for w in 0..self.senders.len() {
+            let done = self.counters[w].batches.load(Ordering::Relaxed);
+            let depth = self.dispatched[w].saturating_sub(done);
+            if depth > best_depth {
+                best_depth = depth;
+                best = Some(w);
+            }
+        }
+        best
+    }
+
+    /// An empty batch container from the pool, or a fresh one.
+    fn take_batch_buf(&mut self) -> Vec<Vec<u8>> {
+        if let Some(buf) = self.free_batches.pop() {
+            self.pool.batches_reused += 1;
+            buf
+        } else {
+            self.pool.batches_allocated += 1;
+            Vec::new()
+        }
+    }
+
+    /// Pulls every batch the workers have returned back into the pools.
+    fn drain_recycled(&mut self) {
+        for rx in &self.recycle_rx {
+            while let Ok(mut batch) = rx.try_recv() {
+                self.free_frames.append(&mut batch.frames);
+                self.free_batches.push(batch.frames);
+            }
+        }
+    }
+
+    /// The batch size the next dispatch should aim for, from the pool's
+    /// occupancy: `outstanding` counts every frame currently downstream of
+    /// `submit` (pending, queued, processing, requeued), which is the
+    /// router-wide backlog. A lightly loaded router gets shallow batches so
+    /// the first packets of a burst don't wait for a full one (latency); a
+    /// backlogged one gets full batches (throughput — shallow batches under
+    /// backlog just multiply channel hand-offs).
+    fn target_batch_size(&self) -> usize {
+        #[allow(clippy::cast_possible_truncation)]
+        let outstanding =
+            (self.pool.frames_allocated as usize).saturating_sub(self.free_frames.len());
+        // Two batches per worker of backlog is already saturation: batches
+        // should be full from there on. Below it, scale down linearly.
+        let saturated = (2 * self.senders.len() * self.batch_size).max(1);
+        let scaled = self.batch_size * outstanding / saturated;
+        scaled.clamp((self.batch_size / 8).max(1), self.batch_size)
+    }
+
     fn dispatch(&mut self, w: usize) {
+        // Retry requeued batches first so per-worker dispatch order holds.
+        self.pump_stalled(w, false);
         if self.pending[w].is_empty() {
             return;
         }
-        let frames = std::mem::take(&mut self.pending[w]);
+        let replacement = self.take_batch_buf();
+        let frames = std::mem::replace(&mut self.pending[w], replacement);
         let batch = Batch {
             frames,
             submitted: Instant::now(),
         };
-        assert!(
-            self.senders[w].send(batch).is_ok(),
-            "router worker {w} exited early"
-        );
+        self.offer(w, batch);
+        self.target = self.target_batch_size();
+    }
+
+    /// Hands a batch to worker `w` without blocking: a full queue requeues
+    /// the batch (bounded; overflow falls back to one blocking send so
+    /// dispatcher memory cannot grow without limit).
+    fn offer(&mut self, w: usize, batch: Batch) {
+        if self.stalled[w].is_empty() {
+            match self.senders[w].try_send(batch) {
+                Ok(()) => {
+                    self.dispatched[w] += 1;
+                    return;
+                }
+                Err(TrySendError::Full(b)) => {
+                    self.stalled[w].push_back(b);
+                    self.pool.stalled_requeues += 1;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("router worker {w} exited early");
+                }
+            }
+        } else {
+            self.stalled[w].push_back(batch);
+            self.pool.stalled_requeues += 1;
+        }
+        if self.stalled[w].len() > STALL_CAP_FACTOR * self.queue_depth {
+            let b = self.stalled[w].pop_front().expect("nonempty requeue");
+            assert!(
+                self.senders[w].send(b).is_ok(),
+                "router worker {w} exited early"
+            );
+            self.dispatched[w] += 1;
+        }
+    }
+
+    /// Re-dispatches worker `w`'s requeued batches in order; when `block`
+    /// is set the send waits on a full queue instead of giving up.
+    fn pump_stalled(&mut self, w: usize, block: bool) {
+        while let Some(batch) = self.stalled[w].pop_front() {
+            match self.senders[w].try_send(batch) {
+                Ok(()) => self.dispatched[w] += 1,
+                Err(TrySendError::Full(b)) => {
+                    if block {
+                        assert!(
+                            self.senders[w].send(b).is_ok(),
+                            "router worker {w} exited early"
+                        );
+                        self.dispatched[w] += 1;
+                    } else {
+                        self.stalled[w].push_front(b);
+                        return;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("router worker {w} exited early");
+                }
+            }
+        }
     }
 
     /// Live aggregate of every worker's counters (racy between workers —
@@ -372,7 +715,7 @@ impl ShardedRouter {
     }
 
     /// Flushes pending batches, shuts the workers down, and returns the
-    /// final report (counters + latency distribution).
+    /// final report (counters + latency distribution + pool counters).
     #[must_use]
     pub fn finish(mut self) -> RouterReport {
         self.flush();
@@ -389,18 +732,24 @@ impl ShardedRouter {
             }
             RouterStats { per_worker, totals }
         };
-        RouterReport { stats, latencies }
+        RouterReport {
+            stats,
+            pool: self.pool,
+            latencies,
+        }
     }
 }
 
 /// Convenience driver: starts a router, feeds it the whole stream, and
 /// returns the report plus the wall-clock duration (for throughput math).
+/// Frames are borrowed — the router copies each into its pooled buffers,
+/// so the caller's stream can be reused across runs without cloning.
 #[must_use]
 pub fn run_stream(
     table: TrieTable<PortId>,
     ports: usize,
     config: RouterConfig,
-    frames: Vec<Vec<u8>>,
+    frames: &[Vec<u8>],
 ) -> (RouterReport, Duration) {
     let t0 = Instant::now();
     let mut router = ShardedRouter::start(table, ports, config);
@@ -449,7 +798,7 @@ mod tests {
     #[test]
     fn single_worker_conserves_and_counts() {
         let frames = stream(500);
-        let (report, _) = run_stream(table(), 3, RouterConfig::default(), frames);
+        let (report, _) = run_stream(table(), 3, RouterConfig::default(), &frames);
         let t = &report.stats.totals;
         assert_eq!(t.total_frames(), 500);
         assert_eq!(t.dropped[DropReason::BadChecksum as usize], 10);
@@ -457,6 +806,9 @@ mod tests {
         assert_eq!(t.per_port.iter().sum::<u64>(), 490);
         assert!(report.latency_ns(0.5) > 0);
         assert!(report.latency_ns(0.99) >= report.latency_ns(0.5));
+        // 61 flows over 500 packets: the cache must be doing real work.
+        assert!(t.cache_hits > 0, "repeated flows must hit the cache");
+        assert!(report.cache_hit_rate() > 0.5, "{}", report.cache_hit_rate());
     }
 
     #[test]
@@ -469,7 +821,7 @@ mod tests {
                 workers: 1,
                 ..RouterConfig::default()
             },
-            frames.clone(),
+            &frames,
         )
         .0;
         let sharded = run_stream(
@@ -479,7 +831,7 @@ mod tests {
                 workers: 4,
                 ..RouterConfig::default()
             },
-            frames,
+            &frames,
         )
         .0;
         // Same totals no matter how the flows shard.
@@ -501,6 +853,59 @@ mod tests {
     }
 
     #[test]
+    fn cache_disabled_config_agrees_with_cached() {
+        let frames = stream(800);
+        let cached = run_stream(table(), 3, RouterConfig::default(), &frames).0;
+        let uncached = run_stream(
+            table(),
+            3,
+            RouterConfig {
+                cache_slots: 0,
+                ..RouterConfig::default()
+            },
+            &frames,
+        )
+        .0;
+        assert_eq!(
+            cached.stats.totals.forwarded,
+            uncached.stats.totals.forwarded
+        );
+        assert_eq!(cached.stats.totals.per_port, uncached.stats.totals.per_port);
+        assert_eq!(uncached.stats.totals.cache_hits, 0);
+        assert_eq!(uncached.stats.totals.cache_misses, 0);
+    }
+
+    #[test]
+    fn buffers_recycle_after_warmup() {
+        let frames = stream(4096);
+        let (report, _) = run_stream(
+            table(),
+            3,
+            RouterConfig {
+                workers: 1,
+                batch_size: 32,
+                ..RouterConfig::default()
+            },
+            &frames,
+        );
+        let pool = report.pool;
+        assert!(
+            pool.frames_reused > pool.frames_allocated * 2,
+            "steady state must reuse, not allocate: {pool:?}"
+        );
+        assert!(
+            pool.batches_reused > 0,
+            "batch containers must recycle: {pool:?}"
+        );
+        // Allocation is bounded by what can be in flight at once, not by
+        // stream length.
+        assert!(
+            pool.frames_allocated <= 4 * 8 * 32 + 64,
+            "frame allocations must be bounded by in-flight capacity: {pool:?}"
+        );
+    }
+
+    #[test]
     fn batch_occupancy_is_tracked() {
         let frames = stream(256);
         let cfg = RouterConfig {
@@ -509,7 +914,7 @@ mod tests {
             queue_depth: 4,
             ..RouterConfig::default()
         };
-        let (report, _) = run_stream(table(), 3, cfg, frames);
+        let (report, _) = run_stream(table(), 3, cfg, &frames);
         let w = &report.stats.per_worker[0];
         assert_eq!(w.occupancy_sum, 256);
         assert!(w.mean_occupancy() > 0.0 && w.mean_occupancy() <= 32.0);
@@ -518,7 +923,7 @@ mod tests {
     #[test]
     fn uninstrumented_baseline_agrees_with_instrumented() {
         let frames = stream(800);
-        let on = run_stream(table(), 3, RouterConfig::default(), frames.clone()).0;
+        let on = run_stream(table(), 3, RouterConfig::default(), &frames).0;
         let off = run_stream(
             table(),
             3,
@@ -526,7 +931,7 @@ mod tests {
                 instrument: false,
                 ..RouterConfig::default()
             },
-            frames,
+            &frames,
         )
         .0;
         assert_eq!(on.stats.totals.forwarded, off.stats.totals.forwarded);
@@ -538,7 +943,7 @@ mod tests {
     fn report_snapshot_conserves_frames() {
         let frames = stream(600);
         let n = frames.len() as u64;
-        let (report, _) = run_stream(table(), 3, RouterConfig::default(), frames);
+        let (report, _) = run_stream(table(), 3, RouterConfig::default(), &frames);
         let snap = report.to_snapshot();
         assert_eq!(
             snap.counter("net.forwarded") + snap.counter_sum("net.drop."),
@@ -549,13 +954,22 @@ mod tests {
             .hist("net.latency_ns")
             .expect("latency histogram present");
         assert_eq!(hist.count(), n, "every frame carries a latency sample");
+        // Cache and pool counters ride along in the same snapshot.
+        assert_eq!(
+            snap.counter("net.cache.hits") + snap.counter("net.cache.misses"),
+            snap.counter("net.forwarded") + snap.counter("net.drop.no-route"),
+            "every routed decision is a cache hit or miss"
+        );
+        assert!(
+            snap.counter("net.pool.frames_reused") + snap.counter("net.pool.frames_allocated") >= n
+        );
     }
 
     #[test]
     fn snapshot_is_readable_mid_run() {
         let mut router = ShardedRouter::start(table(), 3, RouterConfig::default());
         for frame in stream(200) {
-            router.submit(frame);
+            router.submit(&frame);
         }
         router.flush();
         // Not a synchronization point — just must not panic or tear.
@@ -563,5 +977,25 @@ mod tests {
         assert!(snap.totals.total_frames() <= 200);
         let report = router.finish();
         assert_eq!(report.stats.totals.total_frames(), 200);
+    }
+
+    #[test]
+    fn tiny_queue_and_batch_still_conserve() {
+        // Worst case for the requeue path: 4 workers, queue depth 1,
+        // batch 1 — every dispatch races a full queue.
+        let frames = stream(300);
+        let cfg = RouterConfig {
+            workers: 4,
+            batch_size: 1,
+            queue_depth: 1,
+            ..RouterConfig::default()
+        };
+        let (report, _) = run_stream(table(), 3, cfg, &frames);
+        assert_eq!(report.stats.totals.total_frames(), 300);
+        assert!(
+            report.pool.stalled_requeues > 0,
+            "depth-1 queues must exercise the requeue path: {:?}",
+            report.pool
+        );
     }
 }

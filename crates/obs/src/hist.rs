@@ -17,9 +17,11 @@ pub const BUCKETS: usize = 64;
 /// nanoseconds).
 ///
 /// A sample `v` lands in bucket `floor(log2 v)` (bucket 0 for `v <= 1`);
-/// percentiles resolve to the upper edge of the containing bucket, which
-/// bounds the answer within 2x of the true value — plenty for tail-latency
-/// reporting, and what makes the structure O(1) per record.
+/// percentiles interpolate linearly inside the containing bucket, so the
+/// answer is within one interpolation step (`bucket_width / bucket_count`)
+/// of the exact rank statistic instead of snapping to the power-of-two
+/// upper edge (which overestimated by up to 2x). Recording stays O(1) and
+/// allocation-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     buckets: [u64; BUCKETS],
@@ -104,9 +106,16 @@ impl LogHistogram {
         self.total.checked_div(self.count).unwrap_or(0)
     }
 
-    /// Approximate quantile (`0.0..=1.0`), resolved to the upper edge of the
-    /// containing bucket and clamped to the observed maximum. Returns 0 when
-    /// empty.
+    /// Approximate quantile (`0.0..=1.0`), linearly interpolated inside the
+    /// containing power-of-two bucket and clamped to the observed maximum.
+    /// Returns 0 when empty.
+    ///
+    /// The rank-`r` sample of the `n` samples in bucket `[L, U)` resolves to
+    /// `L + (U - L) * r / n`: rank `n` lands on the upper edge (preserving
+    /// the old monotone upper-bound behaviour at bucket boundaries), rank 1
+    /// sits one step above the lower edge. Error vs the exact order
+    /// statistic is at most one step, `(U - L) / n`, rather than the up-to-2x
+    /// overshoot the plain upper-edge rule gave.
     #[must_use]
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
@@ -123,16 +132,18 @@ impl LogHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                // Upper edge of bucket i, but never beyond the observed max
-                // (a single-sample histogram answers with that sample's
-                // bucket edge, clamped so max stays an upper bound). The top
-                // bucket's edge is u64::MAX.
-                let edge = if i + 1 >= BUCKETS {
+                // Bucket i spans [L, U): bucket 0 is [0, 2), the top bucket
+                // runs to u64::MAX. Interpolate by rank within the bucket.
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                let upper = if i + 1 >= BUCKETS {
                     u64::MAX
                 } else {
                     1u64 << (i + 1)
                 };
-                return edge.min(self.max.max(1));
+                let rank = target - (seen - n); // 1..=n
+                let width = upper - lower;
+                let step = (u128::from(width) * u128::from(rank) / u128::from(n)) as u64;
+                return (lower + step).min(self.max);
             }
         }
         self.max
@@ -264,6 +275,59 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_exact_order_statistics() {
+        // Uniform 1..=1000: every value recorded once, so a bucket that the
+        // samples fill end-to-end interpolates to within one step
+        // (bucket_width / bucket_count) of the exact rank statistic.
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (p, exact) in [(0.25, 250u64), (0.50, 500u64)] {
+            let got = h.percentile(p);
+            let i = LogHistogram::bucket_index(exact);
+            let width = 1u64 << i; // bucket [2^i, 2^{i+1})
+            let step = (width / h.buckets()[i]).max(1);
+            assert!(
+                got.abs_diff(exact) <= step,
+                "p{p}: got {got}, exact {exact}, step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_inside_one_bucket_no_longer_collapse_to_the_edge() {
+        // The motivating bug: every router p50 read exactly 65536 because
+        // all samples shared the [32768, 65536) bucket and percentile()
+        // answered with the upper edge. Interpolation must spread them.
+        let mut h = LogHistogram::new();
+        for v in (32_768..65_536u64).step_by(32) {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p90 = h.percentile(0.90);
+        let p99 = h.percentile(0.99);
+        assert!(p50 < p90 && p90 < p99, "{p50} {p90} {p99}");
+        assert!(p99 < 65_536, "p99 must stay inside the bucket: {p99}");
+        // The bucket is filled uniformly, so p50 sits near the middle.
+        assert!(p50.abs_diff(49_152) <= 64, "p50 {p50} vs midpoint 49152");
+    }
+
+    #[test]
+    fn rank_n_still_reaches_the_bucket_edge_clamped_to_max() {
+        // The highest rank in a bucket resolves to the upper edge, so the
+        // old monotone-upper-bound behaviour survives at the boundary.
+        let mut h = LogHistogram::new();
+        h.record_n(700, 10);
+        assert_eq!(h.percentile(1.0), 700); // edge 1024 clamped to max
+        let mut g = LogHistogram::new();
+        g.record_n(700, 10);
+        g.record(2000);
+        // target = ceil(0.5 * 11) = 6 → rank 6 of 10 in [512, 1024).
+        assert_eq!(g.percentile(0.5), 512 + 512 * 6 / 10);
     }
 
     #[test]

@@ -152,6 +152,33 @@ macro_rules! obs_span {
     };
 }
 
+/// Marks a named span on a sub-microsecond path when tracing is on: one
+/// ring write with one clock read, instead of the begin/end pair (two of
+/// each) that [`obs_span!`] costs. The span collapses to a single
+/// [`EventKind::Span`] marker — ordering and trace shape survive; the
+/// duration (which would be clock noise at this scale) does not. Expands to
+/// one relaxed atomic load when disabled.
+///
+/// ```
+/// # use sysobs::obs_span_hot;
+/// fn syscall_entry() {
+///     obs_span_hot!("kernel.syscall");
+/// }
+/// ```
+#[macro_export]
+macro_rules! obs_span_hot {
+    ($name:expr) => {
+        if $crate::tracing_on() {
+            static ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::recorder::record(
+                $crate::EventKind::Span,
+                *ID.get_or_init(|| $crate::intern($name)),
+                0,
+            );
+        }
+    };
+}
+
 /// Adds to a named registry counter (and samples it into the trace when
 /// full tracing is on). One relaxed load when disabled.
 ///

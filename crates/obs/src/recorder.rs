@@ -41,6 +41,12 @@ pub enum EventKind {
     Instant = 2,
     /// A counter increment sampled into the trace (full-tracing mode only).
     CounterSample = 3,
+    /// A complete span collapsed into a single marker event — the hot-path
+    /// form [`crate::obs_span_hot!`] emits: one ring write and one clock
+    /// read instead of a begin/end pair. Sub-microsecond sites use this;
+    /// their duration would be clock noise anyway, and the marker preserves
+    /// ordering and shape.
+    Span = 4,
 }
 
 impl EventKind {
@@ -49,6 +55,7 @@ impl EventKind {
             0 => EventKind::SpanBegin,
             1 => EventKind::SpanEnd,
             2 => EventKind::Instant,
+            4 => EventKind::Span,
             _ => EventKind::CounterSample,
         }
     }
@@ -61,6 +68,7 @@ impl EventKind {
             EventKind::SpanEnd => 'E',
             EventKind::Instant => 'i',
             EventKind::CounterSample => 'C',
+            EventKind::Span => 'X',
         }
     }
 }
@@ -331,9 +339,16 @@ pub fn dump_chrome_json() -> String {
         #[allow(clippy::cast_precision_loss)]
         let ts_us = e.t_ns as f64 / 1e3;
         let name = e.name.replace('\\', "\\\\").replace('"', "\\\"");
+        // Complete ('X') events need a duration; hot-span markers carry none,
+        // so they render as zero-width slices.
+        let dur = if e.kind == EventKind::Span {
+            "\"dur\":0,"
+        } else {
+            ""
+        };
         let _ = writeln!(
             s,
-            "{{\"name\":\"{name}\",\"cat\":\"sysobs\",\"ph\":\"{}\",\"ts\":{ts_us:.3},\
+            "{{\"name\":\"{name}\",\"cat\":\"sysobs\",\"ph\":\"{}\",\"ts\":{ts_us:.3},{dur}\
              \"pid\":1,\"tid\":{},\"args\":{{\"value\":{},\"seq\":{}}}}}{comma}",
             e.kind.phase(),
             e.tid,
@@ -447,6 +462,22 @@ mod tests {
             assert_eq!(mine[0].kind, EventKind::SpanBegin);
             assert_eq!(mine[2].kind, EventKind::SpanEnd);
             assert_eq!(mine[0].name, mine[2].name);
+        });
+    }
+
+    #[test]
+    fn hot_span_marker_is_one_event_and_renders_as_complete() {
+        with_tracing(|| {
+            crate::obs_span_hot!("test.rec.hotspan");
+            let mine: Vec<Event> = collect_events()
+                .into_iter()
+                .filter(|e| e.name == "test.rec.hotspan")
+                .collect();
+            assert_eq!(mine.len(), 1, "one ring write per hot span");
+            assert_eq!(mine[0].kind, EventKind::Span);
+            let json = dump_chrome_json();
+            assert!(json.contains("\"ph\":\"X\""), "{json}");
+            assert!(json.contains("\"dur\":0,"), "{json}");
         });
     }
 

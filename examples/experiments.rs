@@ -22,7 +22,7 @@ fn main() {
         .collect();
     let wanted = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "f1",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "f1",
         ]
     } else {
         wanted
@@ -41,9 +41,10 @@ fn main() {
             "e9" => experiments::e9_faults::run(scale),
             "e10" => experiments::e10_dataplane::run(scale),
             "e11" => experiments::e11_obs::run(scale),
+            "e12" => experiments::e12_cache::run(scale),
             "f1" => experiments::e2_boxing::run_figure(scale),
             other => {
-                eprintln!("unknown experiment {other} (use e1..e11 or all)");
+                eprintln!("unknown experiment {other} (use e1..e12 or all)");
                 std::process::exit(2);
             }
         };

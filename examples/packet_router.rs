@@ -61,7 +61,7 @@ fn main() {
         queue_depth: 8,
         ..RouterConfig::default()
     };
-    let (report, elapsed) = run_stream(table, PORT_NAMES.len(), config, stream);
+    let (report, elapsed) = run_stream(table, PORT_NAMES.len(), config, &stream);
 
     let totals = &report.stats.totals;
     println!(

@@ -7,24 +7,60 @@
 //! ```
 //!
 //! The full sweep measures the linear-vs-trie lookup microbench and the
-//! end-to-end pipeline at 1/2/4 workers × batch 16/64/256, then records
-//! packets/sec and p50/p99 per-packet latency (plus the host core count —
-//! worker scaling is only meaningful with >1 core). `--quick` runs a small
-//! sweep and skips the file write so CI never clobbers the recorded
-//! trajectory with throwaway numbers.
+//! end-to-end pipeline at 1/2/4 workers × batch 16/64/256 over a skewed
+//! flow population, then records packets/sec, p50/p99 per-packet latency,
+//! the flow-cache hit rate, and — via the counting global allocator below —
+//! steady-state heap allocations per packet, which the full run asserts is
+//! ≈ 0 (the router's buffer pool at work). `--quick` runs a small sweep and
+//! skips the file write so CI never clobbers the recorded trajectory with
+//! throwaway numbers.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use sysnet::bench::{run_sweep, SweepConfig};
+
+/// Counts every heap allocation in the process, so the sweep can measure
+/// the router's steady-state allocation rate instead of asserting it.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates allocation to `System` unchanged; the counter is a
+// relaxed atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
+    let mut cfg = if quick {
         SweepConfig::quick()
     } else {
         SweepConfig::full()
     };
+    cfg.alloc_counter = Some(alloc_count);
     eprintln!(
-        "router bench: {} packets/config, {} routes, workers {:?}, batches {:?}...",
-        cfg.packets, cfg.routes, cfg.worker_counts, cfg.batch_sizes
+        "router bench: {} packets/config, {} routes, {} flows, workers {:?}, batches {:?}...",
+        cfg.packets, cfg.routes, cfg.flows, cfg.worker_counts, cfg.batch_sizes
     );
     let report = run_sweep(&cfg);
     let json = report.to_json();
@@ -36,6 +72,22 @@ fn main() {
         report.lookup.linear_ns,
         report.lookup.trie_ns
     );
+    for p in &report.sweep {
+        let allocs = p
+            .steady_allocs_per_packet
+            .expect("alloc counter was supplied");
+        // The zero-alloc steady state, measured: after the first half of the
+        // stream warms the pool, the second half must allocate (amortized)
+        // well under one Vec per packet. The budget leaves room for bounded
+        // warm-tail growth (stalled-queue churn), not per-packet allocation.
+        assert!(
+            allocs < 0.05,
+            "steady state must not allocate per packet: {allocs:.4} allocs/pkt \
+             at workers={} batch={}",
+            p.workers,
+            p.batch_size
+        );
+    }
     if quick {
         eprintln!("(--quick: not writing BENCH_router.json)");
     } else {

@@ -85,6 +85,12 @@ impl ObsBenchReport {
         self.router.iter().find(|p| p.mode == mode)
     }
 
+    /// The IPC point for `mode`, if measured.
+    #[must_use]
+    pub fn ipc_point(&self, mode: &str) -> Option<&IpcPoint> {
+        self.ipc.iter().find(|p| p.mode == mode)
+    }
+
     /// Renders the report as the `BENCH_obs.json` record (hand-rolled: the
     /// container has no serde, and the schema is flat).
     #[must_use]
@@ -156,8 +162,9 @@ fn router_once(cfg: &SweepConfig, frames: &[Vec<u8>], instrument: bool) -> (f64,
         batch_size: 64,
         queue_depth: cfg.queue_depth,
         instrument,
+        ..RouterConfig::default()
     };
-    let (report, elapsed) = run_stream(trie, PORTS, rc, frames.to_vec());
+    let (report, elapsed) = run_stream(trie, PORTS, rc, frames);
     let secs = elapsed.as_secs_f64().max(1e-9);
     #[allow(clippy::cast_precision_loss)]
     let pps = report.packets() as f64 / secs;
@@ -332,7 +339,8 @@ pub fn run(scale: Scale) -> Table {
     ));
     t.note(format!(
         "budget (enforced by obs_bench on the full run): disabled ≤5% and counters ≤15% \
-         below uninstrumented on the router workload; host exposes {} core(s)",
+         below uninstrumented on the router workload, tracing ≤90% over disabled on the \
+         IPC round trip; host exposes {} core(s)",
         report.host_cores
     ));
     t

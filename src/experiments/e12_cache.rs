@@ -1,0 +1,238 @@
+//! E12 — the zero-alloc steady state: flow route cache + frame pooling.
+//!
+//! PR 4 rebuilt the router's dispatch loop around two C-idiom techniques
+//! the paper says safe languages must support (C2: idiomatic manual
+//! storage management) and whose payoff is exactly the 1.5–2x factor the
+//! paper says the PL community dismisses (F1):
+//!
+//! * **frame/batch pooling** — workers hand drained buffers back to the
+//!   dispatcher over per-worker recycle channels, so after warm-up the
+//!   steady state performs (amortized) zero heap allocations per packet.
+//!   `router_bench` *measures* this with a counting global allocator and
+//!   asserts allocs/packet < 0.05; here we report the pool's reuse rate.
+//! * **per-worker flow cache** — a direct-mapped `(src, dst)` → next-hop
+//!   cache in front of the trie, invalidated wholesale by the table's
+//!   generation counter. Real traffic is flow-skewed; the cache converts
+//!   the common case from a 32-level trie walk into one array probe.
+//!
+//! The A/B: the same skewed stream through the same router with the cache
+//! on vs off (`cache_slots = 0`), plus the adversarial unique-flow stream
+//! (every packet its own flow) where the cache can only miss — the table
+//! shows the win on realistic traffic *and* bounds the regression on the
+//! pathological case.
+
+use super::{fmt_ns, fmt_rate, Scale, Table};
+use std::time::Instant;
+use sysnet::bench::{address_stream, build_tables, frame_stream, SweepConfig, PORTS};
+use sysnet::router::{PoolStats, RouterConfig, ShardedRouter};
+use sysnet::FlowCache;
+
+/// One measured configuration.
+struct Point {
+    pps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    hit_rate: f64,
+    pool: PoolStats,
+    forwarded: u64,
+    dropped: u64,
+}
+
+fn stream_config(scale: Scale, flows: usize) -> SweepConfig {
+    let mut cfg = match scale {
+        Scale::Quick => SweepConfig::quick(),
+        Scale::Full => SweepConfig::full(),
+    };
+    cfg.flows = flows;
+    cfg
+}
+
+/// Routes `frames` through a 2-worker router with the given cache sizing;
+/// best of `trials` trials (wall-clock on a shared host is scheduler-noisy).
+#[allow(clippy::cast_precision_loss)]
+fn measure(frames: &[Vec<u8>], routes: usize, cache_slots: usize, trials: usize) -> Point {
+    let mut best: Option<Point> = None;
+    for _ in 0..trials.max(1) {
+        let (trie, _) = build_tables(routes);
+        let config = RouterConfig {
+            workers: 2,
+            batch_size: 64,
+            cache_slots,
+            ..RouterConfig::default()
+        };
+        let t0 = Instant::now();
+        let mut router = ShardedRouter::start(trie, PORTS, config);
+        for frame in frames {
+            router.submit(frame);
+        }
+        let report = router.finish();
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let point = Point {
+            pps: report.packets() as f64 / secs,
+            p50_ns: report.latency_ns(0.50),
+            p99_ns: report.latency_ns(0.99),
+            hit_rate: report.cache_hit_rate(),
+            pool: report.pool,
+            forwarded: report.stats.totals.forwarded,
+            dropped: report.stats.totals.dropped_total(),
+        };
+        if best.as_ref().is_none_or(|b| point.pps > b.pps) {
+            best = Some(point);
+        }
+    }
+    best.expect("at least one trial")
+}
+
+/// Times route resolution alone — the path the cache shortcuts — over a
+/// skewed flow sequence: the bare trie walk vs the cache probe with trie
+/// fallback. Returns (trie ns/lookup, cached ns/lookup, hit rate).
+#[allow(clippy::cast_precision_loss)]
+fn lookup_comparison(routes: usize, flows: usize, lookups: usize, seed: u64) -> (f64, f64, f64) {
+    let (trie, _) = build_tables(routes);
+    let dsts = address_stream(flows, routes, seed);
+    // The same skew the frame stream uses: 7 of 8 packets from the hottest
+    // eighth of flows. A fixed stride stands in for the RNG so the timed
+    // loops stay allocation- and branch-predictable-free of rand overhead.
+    let hot = (flows / 8).max(1);
+    let keys: Vec<(u32, u32)> = (0..lookups)
+        .map(|i| {
+            let f = if i % 8 != 0 {
+                (i * 31) % hot
+            } else {
+                (i * 131) % flows
+            };
+            #[allow(clippy::cast_possible_truncation)]
+            let src = (f as u32).wrapping_mul(0x9E37_79B9);
+            (src, dsts[f])
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for &(_, dst) in &keys {
+        if let Some(hop) = trie.lookup(dst) {
+            acc = acc.wrapping_add(u64::from(hop));
+        }
+    }
+    std::hint::black_box(acc);
+    let trie_ns = t0.elapsed().as_nanos() as f64 / keys.len() as f64;
+
+    let mut cache = FlowCache::new(4096);
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for &(src, dst) in &keys {
+        if let Some(hop) = cache.lookup_or_route(&trie, src, dst) {
+            acc = acc.wrapping_add(u64::from(hop));
+        }
+    }
+    std::hint::black_box(acc);
+    let cached_ns = t0.elapsed().as_nanos() as f64 / keys.len() as f64;
+    (trie_ns, cached_ns, cache.hit_rate())
+}
+
+/// Runs E12 at the given scale.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E12 — flow cache and frame pooling: the zero-alloc steady state",
+        &[
+            "stream",
+            "cache",
+            "hit rate",
+            "rate",
+            "p50",
+            "p99",
+            "frame reuse",
+        ],
+    );
+
+    let trials = match scale {
+        Scale::Quick => 1,
+        Scale::Full => 3,
+    };
+    let (flows, lookups) = match scale {
+        Scale::Quick => (1024, 200_000),
+        Scale::Full => (4096, 2_000_000),
+    };
+    let skewed = stream_config(scale, flows);
+    let unique = stream_config(scale, 0);
+
+    let (trie_ns, cached_ns, probe_hits) =
+        lookup_comparison(skewed.routes, flows, lookups, skewed.seed);
+    for (name, ns, hits) in [
+        ("lookup: trie walk", trie_ns, None),
+        ("lookup: flow cache", cached_ns, Some(probe_hits)),
+    ] {
+        t.row(vec![
+            name.into(),
+            if hits.is_some() {
+                "on (4096)".into()
+            } else {
+                "off".into()
+            },
+            hits.map_or_else(|| "—".into(), |h| format!("{:.1} %", h * 100.0)),
+            fmt_rate(1e9 / ns.max(1e-9)),
+            format!("{ns:.1} ns"),
+            "—".into(),
+            "—".into(),
+        ]);
+    }
+
+    let mut reuse = 0.0;
+    for (stream_name, cfg) in [("skewed flows", &skewed), ("unique flows", &unique)] {
+        let frames = frame_stream(cfg);
+        for (cache_name, slots) in [("on (4096)", 4096usize), ("off", 0)] {
+            let p = measure(&frames, cfg.routes, slots, trials);
+            assert_eq!(
+                p.forwarded + p.dropped,
+                frames.len() as u64,
+                "conservation: every frame accounted for"
+            );
+            if stream_name == "skewed flows" && slots > 0 {
+                reuse = p.pool.frame_reuse_rate();
+            }
+            t.row(vec![
+                stream_name.into(),
+                cache_name.into(),
+                if slots > 0 {
+                    format!("{:.1} %", p.hit_rate * 100.0)
+                } else {
+                    "—".into()
+                },
+                fmt_rate(p.pps),
+                fmt_ns(p.p50_ns),
+                fmt_ns(p.p99_ns),
+                format!("{:.1} %", p.pool.frame_reuse_rate() * 100.0),
+            ]);
+        }
+    }
+
+    t.note(format!(
+        "on the lookup path the cache is {:.1}x cheaper than the trie walk — \
+         the F1-sized factor — but the end-to-end A/B rows are near parity: \
+         on this single-core host the dispatcher (memcpy + hash + channel), \
+         not route lookup, bounds throughput, so the probe's job end-to-end \
+         is to cost nothing, including on the adversarial unique-flow stream \
+         where it can only miss",
+        trie_ns / cached_ns.max(1e-9)
+    ));
+    t.note(format!(
+        "frame reuse {:.1} % at steady state: the pool is C2's idiomatic \
+         manual storage management — buffers cycle dispatcher → worker → \
+         recycle channel, (amortized) zero allocations per packet after \
+         warm-up (asserted <0.05 allocs/pkt by router_bench's counting \
+         allocator)",
+        reuse * 100.0
+    ));
+    t.note(
+        "the pool + adaptive dispatch (not the cache) are what moved the \
+         end-to-end number: BENCH_router.json w1/b64 went 7.95M → 12.01M pps \
+         against PR 3, and the 4-worker backwards scaling is gone",
+    );
+    t.note(
+        "caches are per-worker (no shared state, C4 by construction) and \
+         invalidated wholesale by the route table's generation counter — \
+         correctness is the differential suite in crates/net/tests/\
+         cache_properties.rs, not this table",
+    );
+    t
+}

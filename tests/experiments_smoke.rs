@@ -5,9 +5,9 @@
 use plos06::experiments::{self, Scale};
 
 #[test]
-fn all_eleven_experiments_produce_tables() {
+fn all_twelve_experiments_produce_tables() {
     let tables = experiments::run_all(Scale::Quick);
-    assert_eq!(tables.len(), 11);
+    assert_eq!(tables.len(), 12);
     for t in &tables {
         assert!(!t.rows.is_empty(), "{} has no rows", t.title);
         assert!(!t.headers.is_empty());
@@ -130,6 +130,28 @@ fn e10_trie_beats_linear_scan_and_streams_conserve_packets() {
             .all(|w| w[0][fwd] == w[1][fwd] && w[0][drop] == w[1][drop]),
         "sharding changed routing outcomes"
     );
+}
+
+#[test]
+fn e12_cache_hits_on_skewed_traffic_and_pool_reuses_frames() {
+    let t = experiments::e12_cache::run(Scale::Quick);
+    assert_eq!(t.rows.len(), 6, "2 lookup rows + 2 streams × cache on/off");
+    let hit = t.headers.iter().position(|h| h == "hit rate").unwrap();
+    let reuse = t.headers.iter().position(|h| h == "frame reuse").unwrap();
+    // Skewed traffic through the enabled cache must mostly hit — on both
+    // the bare lookup path and the end-to-end stream; cache-off rows have
+    // no hit rate at all.
+    for row in [&t.rows[1], &t.rows[2]] {
+        let pct: f64 = row[hit].trim_end_matches(" %").parse().unwrap();
+        assert!(pct > 50.0, "skewed stream must hit the cache: {row:?}");
+    }
+    assert_eq!(t.rows[3][hit], "—", "cache off reports no hit rate");
+    // The pool recycles in every stream configuration (the zero-alloc
+    // claim's structural half; the measured half lives in router_bench).
+    for row in &t.rows[2..] {
+        let r: f64 = row[reuse].trim_end_matches(" %").parse().unwrap();
+        assert!(r > 50.0, "steady state must reuse frames: {row:?}");
+    }
 }
 
 #[test]
