@@ -24,3 +24,14 @@ cargo run --release --example router_bench -- --quick
 cargo run --release --example experiments -- e11
 cargo run --release --example obs_bench -- --quick
 cargo run --release --example flight_recorder > /dev/null
+
+# Concurrency-checker smoke: the syscheck litmus suite, the shimmed model
+# tests next to the code they check (sysconc primitives, router
+# dispatch/recycle, kernel IPC/watchdog interleavings), and E13 at quick
+# scale — DFS + seeded-random rediscovery of both seeded bugs, shrunk to
+# minimal preemption traces. All deterministic; no wall-clock stress.
+cargo test -q -p syscheck
+cargo test -q -p sysconc checker_
+cargo test -q -p sysnet --test router_model
+cargo test -q -p microkernel --test ipc_interleavings
+cargo run --release --example experiments -- e13

@@ -1,0 +1,656 @@
+//! Drop-in `std::sync` / `std::thread` replacements.
+//!
+//! On any thread the checker did not spawn, every type and function here
+//! falls straight through to `std` — the only cost is one relaxed load of a
+//! process-wide counter (zero live runtimes means nothing is checked
+//! anywhere). On a model thread, every atomic access, lock operation,
+//! condvar operation, spawn, join, and yield becomes a scheduling decision
+//! point routed through the cooperative scheduler.
+//!
+//! Porting rules for code that wants to be checkable:
+//!
+//! * swap `std::sync::{Mutex, Condvar}` and `std::sync::atomic::Atomic*`
+//!   imports for the shim versions (the APIs match what this repo uses);
+//! * swap `std::thread::{spawn, yield_now}`, `std::hint::spin_loop`, and
+//!   `std::thread::sleep` for the shim versions;
+//! * inside a model, *only* threads created through [`spawn`] may touch
+//!   shimmed state, and the model must join every thread it spawns.
+//!
+//! Timed waits deserve a note: under the checker, [`Condvar::wait_timeout`]
+//! ignores the duration. A timeout fires only when the model would otherwise
+//! deadlock (then the longest-waiting timed waiter wakes) — "time passes
+//! when nothing else can happen", which keeps schedules finite and makes
+//! timeout paths deterministically explorable.
+
+use crate::rt;
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+use std::time::Duration;
+
+#[inline]
+fn sync_point(label: &'static str) {
+    if let Some((rt, me)) = rt::current() {
+        rt.yield_point(me, label, 0);
+    }
+}
+
+// ---- atomics ------------------------------------------------------------
+
+macro_rules! shim_atomic_common {
+    ($name:ident, $std:ty, $prim:ty) => {
+        impl $name {
+            /// Creates the atomic (const, like `std`).
+            #[must_use]
+            pub const fn new(v: $prim) -> Self {
+                $name(<$std>::new(v))
+            }
+
+            /// Shimmed `load`: a decision point under the checker.
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $prim {
+                sync_point("atomic.load");
+                self.0.load(order)
+            }
+
+            /// Shimmed `store`: a decision point under the checker.
+            #[inline]
+            pub fn store(&self, v: $prim, order: Ordering) {
+                sync_point("atomic.store");
+                self.0.store(v, order);
+            }
+
+            /// Shimmed `swap`.
+            #[inline]
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                sync_point("atomic.rmw");
+                self.0.swap(v, order)
+            }
+
+            /// Shimmed `compare_exchange`.
+            ///
+            /// # Errors
+            ///
+            /// Returns the observed value when it differs from `current`.
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                sync_point("atomic.rmw");
+                self.0.compare_exchange(current, new, success, failure)
+            }
+
+            /// Shimmed `compare_exchange_weak`.
+            ///
+            /// # Errors
+            ///
+            /// Returns the observed value when it differs from `current` (or
+            /// on a spurious failure, as in `std`).
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                sync_point("atomic.rmw");
+                self.0.compare_exchange_weak(current, new, success, failure)
+            }
+
+            /// Unshimmed exclusive access (no other thread can observe it).
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.0.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            #[must_use]
+            pub fn into_inner(self) -> $prim {
+                self.0.into_inner()
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> Self {
+                Self::new(v)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                std::fmt::Debug::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+macro_rules! shim_atomic_int {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Shimmed integer atomic: `std` semantics, checker decision points.
+        #[derive(Default)]
+        pub struct $name($std);
+
+        shim_atomic_common!($name, $std, $prim);
+
+        impl $name {
+            /// Shimmed `fetch_add`.
+            #[inline]
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                sync_point("atomic.rmw");
+                self.0.fetch_add(v, order)
+            }
+
+            /// Shimmed `fetch_sub`.
+            #[inline]
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                sync_point("atomic.rmw");
+                self.0.fetch_sub(v, order)
+            }
+
+            /// Shimmed `fetch_max`.
+            #[inline]
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                sync_point("atomic.rmw");
+                self.0.fetch_max(v, order)
+            }
+
+            /// Shimmed `fetch_min`.
+            #[inline]
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                sync_point("atomic.rmw");
+                self.0.fetch_min(v, order)
+            }
+
+            /// Shimmed `fetch_or`.
+            #[inline]
+            pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                sync_point("atomic.rmw");
+                self.0.fetch_or(v, order)
+            }
+
+            /// Shimmed `fetch_and`.
+            #[inline]
+            pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                sync_point("atomic.rmw");
+                self.0.fetch_and(v, order)
+            }
+        }
+    };
+}
+
+shim_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+shim_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+shim_atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+shim_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Shimmed `AtomicBool`: `std` semantics, checker decision points.
+#[derive(Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+shim_atomic_common!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+impl AtomicBool {
+    /// Shimmed `fetch_or`.
+    #[inline]
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        sync_point("atomic.rmw");
+        self.0.fetch_or(v, order)
+    }
+
+    /// Shimmed `fetch_and`.
+    #[inline]
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        sync_point("atomic.rmw");
+        self.0.fetch_and(v, order)
+    }
+}
+
+// ---- mutex --------------------------------------------------------------
+
+/// Shimmed mutex: `std::sync::Mutex` on ordinary threads; under the checker
+/// the acquisition is a scheduling decision and contention is model-time
+/// blocking the scheduler can see (and call a deadlock).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// Guard for [`Mutex`]. Releasing is deliberately *not* a decision point —
+/// the next shim operation of the releasing thread is — which keeps guard
+/// drops panic-free during unwinding.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    ctl: Option<(rt::Runtime, usize, u64)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn id_under(&self, rt: &rt::Runtime) -> u64 {
+        rt.object_id(std::ptr::from_ref(self).cast::<()>() as usize)
+    }
+
+    /// Acquires the mutex (see [`Mutex`] for checked-mode semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `std` poisoning on ordinary threads; under the checker a
+    /// poisoned execution is already aborting, so poison is swallowed.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    ctl: None,
+                })),
+            },
+            Some((rt, me)) => {
+                let id = self.id_under(&rt);
+                rt.lock_acquire(me, id);
+                // The runtime's ownership protocol means the std lock is
+                // free (teardown unwinds are serialized too: every other
+                // thread is parked).
+                let g = rt::relock(&self.inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    ctl: Some((rt, me, id)),
+                })
+            }
+        }
+    }
+
+    /// Tries to acquire the mutex without blocking.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when held elsewhere; poisoning as in [`Mutex::lock`].
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            None => match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(TryLockError::Poisoned(p)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(p.into_inner()),
+                        ctl: None,
+                    })))
+                }
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            },
+            Some((rt, me)) => {
+                let id = self.id_under(&rt);
+                if !rt.lock_try_acquire(me, id) {
+                    return Err(TryLockError::WouldBlock);
+                }
+                let g = rt::try_relock(&self.inner).expect("runtime owns the lock");
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    ctl: Some((rt, me, id)),
+                })
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for Mutex<T> {
+    fn drop(&mut self) {
+        if let Some((rt, _)) = rt::current() {
+            rt.forget_object(std::ptr::from_ref(self).cast::<()>() as usize);
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock first, then the model-level ownership.
+        self.inner.take();
+        if let Some((rt, me, id)) = self.ctl.take() {
+            rt.lock_release(me, id);
+        }
+    }
+}
+
+// ---- condvar ------------------------------------------------------------
+
+/// Result of a shimmed timed wait; mirrors `std::sync::WaitTimeoutResult`
+/// (which has no public constructor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout fired.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Shimmed condition variable. Under the checker, waiters queue FIFO,
+/// `notify_one` wakes the head, and the release-and-enqueue of a wait is
+/// atomic in model time — lost-wakeup bugs must live in the *calling* code,
+/// which is exactly where the checker then finds them.
+#[derive(Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates the condvar.
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn id_under(&self, rt: &rt::Runtime) -> u64 {
+        rt.object_id(std::ptr::from_ref(self).cast::<()>() as usize)
+    }
+
+    /// Waits on this condvar, releasing and reacquiring the guard's mutex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `std` poisoning on ordinary threads.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let ctl = guard.ctl.take();
+        let std_g = guard.inner.take().expect("guard holds the lock");
+        std::mem::forget(guard);
+        match ctl {
+            None => match self.inner.wait(std_g) {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: Some(p.into_inner()),
+                    ctl: None,
+                })),
+            },
+            Some((rt, me, lock_id)) => {
+                drop(std_g);
+                let cond_id = self.id_under(&rt);
+                let _ = rt.cond_wait(me, cond_id, lock_id, false);
+                let g = rt::relock(&lock.inner);
+                Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    ctl: Some((rt, me, lock_id)),
+                })
+            }
+        }
+    }
+
+    /// Timed wait. Under the checker the duration is ignored: the timeout
+    /// fires only when the model would otherwise deadlock (see the module
+    /// docs), making timeout paths deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `std` poisoning on ordinary threads.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let lock = guard.lock;
+        let ctl = guard.ctl.take();
+        let std_g = guard.inner.take().expect("guard holds the lock");
+        std::mem::forget(guard);
+        match ctl {
+            None => match self.inner.wait_timeout(std_g, dur) {
+                Ok((g, t)) => Ok((
+                    MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        ctl: None,
+                    },
+                    WaitTimeoutResult(t.timed_out()),
+                )),
+                Err(p) => {
+                    let (g, t) = p.into_inner();
+                    Err(PoisonError::new((
+                        MutexGuard {
+                            lock,
+                            inner: Some(g),
+                            ctl: None,
+                        },
+                        WaitTimeoutResult(t.timed_out()),
+                    )))
+                }
+            },
+            Some((rt, me, lock_id)) => {
+                drop(std_g);
+                let cond_id = self.id_under(&rt);
+                let fired = rt.cond_wait(me, cond_id, lock_id, true);
+                let g = rt::relock(&lock.inner);
+                Ok((
+                    MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        ctl: Some((rt, me, lock_id)),
+                    },
+                    WaitTimeoutResult(fired),
+                ))
+            }
+        }
+    }
+
+    /// Wakes one waiter (the longest-waiting one, under the checker).
+    pub fn notify_one(&self) {
+        match rt::current() {
+            None => self.inner.notify_one(),
+            Some((rt, me)) => {
+                let id = self.id_under(&rt);
+                rt.cond_notify(me, id, false);
+            }
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            None => self.inner.notify_all(),
+            Some((rt, me)) => {
+                let id = self.id_under(&rt);
+                rt.cond_notify(me, id, true);
+            }
+        }
+    }
+}
+
+impl Drop for Condvar {
+    fn drop(&mut self) {
+        if let Some((rt, _)) = rt::current() {
+            rt.forget_object(std::ptr::from_ref(self).cast::<()>() as usize);
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---- threads ------------------------------------------------------------
+
+enum HandleRepr<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        rt: rt::Runtime,
+        id: usize,
+        slot: rt::ResultSlot<T>,
+        os: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// Shimmed join handle; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(HandleRepr<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload, as `std` does.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a model-thread handle from a thread the checker
+    /// does not control, or when the execution is aborting mid-join.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            HandleRepr::Std(h) => h.join(),
+            HandleRepr::Model { rt, id, slot, os } => {
+                let (_, me) = rt::current().expect("join model threads from model threads");
+                rt.join_thread(me, id);
+                if let Some(os) = os {
+                    let _ = os.join();
+                }
+                rt::relock(&slot)
+                    .take()
+                    .expect("finished model thread leaves a result")
+            }
+        }
+    }
+
+    /// True when the thread has finished running.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            HandleRepr::Std(h) => h.is_finished(),
+            HandleRepr::Model { slot, .. } => rt::relock(slot).is_some(),
+        }
+    }
+}
+
+/// Shimmed `thread::spawn`: a real thread normally; a model thread (and a
+/// scheduling decision) under the checker.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle(HandleRepr::Std(std::thread::spawn(f))),
+        Some((rt, me)) => {
+            let (id, slot, os) = rt.spawn_thread(Some(me), f);
+            JoinHandle(HandleRepr::Model {
+                rt,
+                id,
+                slot,
+                os: Some(os),
+            })
+        }
+    }
+}
+
+/// Like [`spawn`], naming the OS thread in normal builds (model threads are
+/// named `syscheck-t<N>` by the runtime).
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn the thread.
+pub fn spawn_named<F, T>(name: &str, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle(HandleRepr::Std(
+            std::thread::Builder::new()
+                .name(name.to_owned())
+                .spawn(f)
+                .expect("spawn named thread"),
+        )),
+        Some((rt, me)) => {
+            let (id, slot, os) = rt.spawn_thread(Some(me), f);
+            JoinHandle(HandleRepr::Model {
+                rt,
+                id,
+                slot,
+                os: Some(os),
+            })
+        }
+    }
+}
+
+/// Shimmed `thread::yield_now`: under the checker the thread steps aside so
+/// any other runnable thread is scheduled first.
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some((rt, me)) => rt.yield_hint(me, "yield"),
+    }
+}
+
+/// Shimmed `hint::spin_loop`: same scheduling semantics as [`yield_now`]
+/// under the checker (a spinner must let the thread it waits on run), a CPU
+/// relax hint otherwise.
+pub fn spin_loop() {
+    match rt::current() {
+        None => std::hint::spin_loop(),
+        Some((rt, me)) => rt.yield_hint(me, "spin"),
+    }
+}
+
+/// Shimmed `thread::sleep`: model time has no duration, so under the
+/// checker this is a plain yield hint.
+pub fn sleep(dur: Duration) {
+    match rt::current() {
+        None => std::thread::sleep(dur),
+        Some((rt, me)) => {
+            let _ = dur;
+            rt.yield_hint(me, "sleep");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Shrinking failing schedules to minimal preemption traces.
+//!
+//! A failing schedule found by DFS or random search is a full decision list —
+//! hundreds of entries, almost all of which are the default policy anyway.
+//! The signal is the *deviations*: the few steps where the scheduler switched
+//! away from the thread the default policy would have run. This module
+//! encodes each deviation as a `sysfault` fault site named
+//! `preempt.<step>.<thread>` and drives [`sysfault::shrink::minimize`] over
+//! the resulting [`FaultPlan`], re-running the model under
+//! deviation-replay for every candidate plan. What survives is the minimal
+//! set of preemptions that still reproduces the failure — usually one or two
+//! — rendered with the full schedule trace of the shrunken reproduction.
+
+use crate::rt::Chooser;
+use crate::{run_once, Config, Report};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use sysfault::{FaultPlan, Schedule};
+
+/// A failing schedule reduced to its essential preemptions.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The surviving deviations as `(step, thread)` pairs: at decision
+    /// `step`, run `thread` instead of the default policy's pick.
+    pub deviations: Vec<(u64, usize)>,
+    /// Replay of the minimal schedule (its failure, trace, preemptions).
+    pub report: Report,
+    /// The minimized plan in `sysfault` form, one `preempt.<step>.<thread>`
+    /// site per surviving deviation.
+    pub plan: FaultPlan,
+}
+
+/// Encodes a decision list's deviations from the default policy as a
+/// fault plan: site `preempt.<step>.<thread>`, firing every time.
+fn plan_from_choices<F>(cfg: &Config, choices: &[usize], f: &Arc<F>) -> FaultPlan
+where
+    F: Fn() -> u64 + Send + Sync + 'static,
+{
+    // Re-run under Fixed replay to recover the per-step defaults (the
+    // original failure only recorded the chosen thread ids).
+    let out = run_once(
+        cfg,
+        Chooser::Fixed {
+            choices: choices.to_vec(),
+            cursor: 0,
+        },
+        Arc::clone(f),
+    );
+    let mut plan = FaultPlan::new(0);
+    for (step, d) in out.decisions.iter().enumerate() {
+        if d.chosen != d.default {
+            plan = plan.with_site(
+                format!("preempt.{step}.{}", d.chosen),
+                Schedule::EveryNth(1),
+            );
+        }
+    }
+    plan
+}
+
+/// Decodes a plan back into a deviation map. A site is active when its
+/// schedule fires on the first (and, for deviation sites, only)
+/// consultation — `EveryNth(1)` as written, or `OneShotAt(1)` after the
+/// minimizer pins it.
+fn deviations_from(plan: &FaultPlan) -> BTreeMap<u64, usize> {
+    let mut devs = BTreeMap::new();
+    for (name, sched) in plan.sites() {
+        let active = matches!(sched, Schedule::EveryNth(1) | Schedule::OneShotAt(1));
+        if !active {
+            continue;
+        }
+        let mut parts = name.split('.');
+        let (Some("preempt"), Some(step), Some(thread)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if let (Ok(step), Ok(thread)) = (step.parse::<u64>(), thread.parse::<usize>()) {
+            devs.insert(step, thread);
+        }
+    }
+    devs
+}
+
+/// Shrinks a failing schedule (its recorded [`crate::Failure::choices`]) to
+/// a minimal preemption trace.
+///
+/// The model must be the same closure the failure came from. Returns the
+/// deviations that still reproduce a failure of the same kind, plus a
+/// replay report of the minimal schedule. If the recorded choices no longer
+/// reproduce (a nondeterministic model), the result degenerates to the
+/// original deviation set.
+pub fn shrink_failure<F>(cfg: &Config, failure: &crate::Failure, f: F) -> Shrunk
+where
+    F: Fn() -> u64 + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let kind = failure.kind;
+    let full = plan_from_choices(cfg, &failure.choices, &f);
+
+    let fails = |candidate: &FaultPlan| {
+        let devs = deviations_from(candidate);
+        let out = run_once(cfg, Chooser::Deviate(devs), Arc::clone(&f));
+        matches!(&out.failure, Some((k, _)) if *k == kind)
+    };
+    let minimal = sysfault::shrink::minimize(&full, fails);
+
+    let devs = deviations_from(&minimal);
+    let out = run_once(cfg, Chooser::Deviate(devs.clone()), Arc::clone(&f));
+    let report = Report {
+        failure: crate::failure_from(&out, None),
+        digest: out.digest,
+        preemptions: out.preemptions,
+        trace: out.trace,
+    };
+    Shrunk {
+        deviations: devs.into_iter().collect(),
+        report,
+        plan: minimal,
+    }
+}

@@ -1,0 +1,97 @@
+//! Schedule traces: the event log of one explored execution.
+//!
+//! Every scheduler-visible operation (atomic access, lock acquire/release,
+//! condvar wait/notify, spawn/join/finish, yield hints) appends one event.
+//! The rendered form deliberately mimics the `sysobs` flight-recorder dump —
+//! fixed-width columns, one event per line — so a failing schedule reads
+//! like any other trace in this repo, and [`Trace::digest`] gives the same
+//! replay-equality guarantee `sysfault::FaultLog::digest` gives fault
+//! campaigns: two executions with equal digests took the same schedule.
+
+/// One scheduler-visible event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Scheduling step at which the event happened (decisions so far).
+    pub step: u64,
+    /// Model thread that performed (or was the subject of) the event.
+    pub thread: usize,
+    /// Operation label, e.g. `"lock.acquire"` or `"cond.wait"`.
+    pub label: &'static str,
+    /// Operation argument: an object id, a thread id, or 0.
+    pub arg: u64,
+}
+
+/// The event log of one execution, in program order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Appends an event.
+    pub(crate) fn push(&mut self, step: u64, thread: usize, label: &'static str, arg: u64) {
+        self.events.push(Event {
+            step,
+            thread,
+            label,
+            arg,
+        });
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the events in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// FNV-1a digest over the event stream. Equal digests mean the replayed
+    /// execution took the same schedule as the original — the assertion the
+    /// seed-replay tests pin.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut buf = Vec::with_capacity(self.events.len() * 24);
+        for e in &self.events {
+            buf.extend_from_slice(&e.step.to_le_bytes());
+            buf.extend_from_slice(&(e.thread as u64).to_le_bytes());
+            buf.extend_from_slice(e.label.as_bytes());
+            buf.extend_from_slice(&e.arg.to_le_bytes());
+        }
+        sysobs::fnv1a(&buf)
+    }
+
+    /// Renders the trace as an obs-style event log, one line per event.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.events.len() * 32);
+        let _ = writeln!(out, "{:>6}  {:<4}  {:<16}  arg", "step", "thr", "event");
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "{:>6}  t{:<3}  {:<16}  {}",
+                e.step, e.thread, e.label, e.arg
+            );
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}

@@ -1,0 +1,329 @@
+//! Self-tests for the syscheck scheduler, using only its own shim layer:
+//! known-racy models must fail, known-correct models must pass exhaustively,
+//! and every failure must replay and shrink deterministically.
+
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::Arc;
+use syscheck::shim::{spawn, yield_now, AtomicU64, Condvar, Mutex};
+use syscheck::{explore, explore_random, replay_choices, replay_seed, shrink, Config, FailureKind};
+
+fn small(bound: u32) -> Config {
+    Config {
+        preemption_bound: bound,
+        max_schedules: 10_000,
+        ..Config::default()
+    }
+}
+
+/// Two threads doing non-atomic read-modify-write through separate load and
+/// store shim calls: the classic lost-update race. DFS must find it.
+fn racy_counter_model() -> u64 {
+    let n = Arc::new(AtomicU64::new(0));
+    let mut hs = Vec::new();
+    for _ in 0..2 {
+        let n = Arc::clone(&n);
+        hs.push(spawn(move || {
+            let v = n.load(Relaxed);
+            n.store(v + 1, Relaxed);
+        }));
+    }
+    for h in hs {
+        h.join().unwrap();
+    }
+    let v = n.load(Relaxed);
+    assert_eq!(v, 2, "lost update: counter is {v}");
+    v
+}
+
+#[test]
+fn dfs_finds_lost_update_race() {
+    let ex = explore(&small(2), racy_counter_model);
+    let failure = ex.failure.expect("DFS must expose the lost update");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+    assert!(!failure.trace.is_empty());
+}
+
+#[test]
+fn lost_update_shrinks_to_essential_preemptions() {
+    let cfg = small(2);
+    let ex = explore(&cfg, racy_counter_model);
+    let failure = ex.failure.expect("race found");
+    let shrunk = shrink::shrink_failure(&cfg, &failure, racy_counter_model);
+    let rep_failure = shrunk
+        .report
+        .failure
+        .expect("shrunken schedule still fails");
+    assert_eq!(rep_failure.kind, FailureKind::Panic);
+    // The race needs exactly one preemption: interleave between one
+    // thread's load and store.
+    assert_eq!(
+        shrunk.deviations.len(),
+        1,
+        "deviations: {:?}",
+        shrunk.deviations
+    );
+    assert_eq!(shrunk.plan.len(), shrunk.deviations.len());
+}
+
+/// The same counter guarded by a shim mutex: must pass every schedule and
+/// always reach the same terminal state.
+#[test]
+fn mutexed_counter_is_clean_and_deterministic() {
+    let ex = explore(&small(3), || {
+        let n = Arc::new(Mutex::new(0u64));
+        let mut hs = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            hs.push(spawn(move || {
+                let mut g = n.lock().unwrap();
+                *g += 1;
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        let v = *n.lock().unwrap();
+        assert_eq!(v, 2);
+        v
+    });
+    assert!(ex.failure.is_none(), "{:?}", ex.failure);
+    assert!(ex.complete, "small model must be exhaustively explored");
+    assert_eq!(ex.distinct_states, 1);
+    assert!(ex.schedules > 1, "multiple interleavings must exist");
+}
+
+/// Atomic RMW (fetch_add) has no window: clean under any schedule.
+#[test]
+fn atomic_rmw_counter_is_clean() {
+    let ex = explore(&small(3), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let mut hs = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            hs.push(spawn(move || {
+                n.fetch_add(1, SeqCst);
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        let v = n.load(SeqCst);
+        assert_eq!(v, 2);
+        v
+    });
+    assert!(ex.failure.is_none(), "{:?}", ex.failure);
+    assert!(ex.complete);
+    assert_eq!(ex.distinct_states, 1);
+}
+
+/// Opposite-order double locking: DFS must drive the schedule into the
+/// classic ABBA deadlock, and the recorded choices must replay to the same
+/// trace digest.
+#[test]
+fn dfs_finds_abba_deadlock_and_replays() {
+    let model = || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let h = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            spawn(move || {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            })
+        };
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        h.join().unwrap();
+        0
+    };
+    let cfg = small(2);
+    let ex = explore(&cfg, model);
+    let failure = ex.failure.expect("ABBA deadlock must be found");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+
+    let replay = replay_choices(&cfg, &failure.choices, model);
+    let rf = replay.failure.expect("replay reproduces the deadlock");
+    assert_eq!(rf.kind, FailureKind::Deadlock);
+    assert_eq!(
+        rf.trace.digest(),
+        failure.trace.digest(),
+        "replay must take the same schedule"
+    );
+}
+
+/// A condvar consumer with a producer that really notifies: no deadlock in
+/// any schedule, and the wait is never reported as timed out.
+#[test]
+fn condvar_handoff_is_clean() {
+    let ex = explore(&small(2), || {
+        let slot = Arc::new((Mutex::new(None::<u64>), Condvar::new()));
+        let h = {
+            let slot = Arc::clone(&slot);
+            spawn(move || {
+                let (m, cv) = &*slot;
+                *m.lock().unwrap() = Some(7);
+                cv.notify_one();
+            })
+        };
+        let (m, cv) = &*slot;
+        let mut g = m.lock().unwrap();
+        while g.is_none() {
+            g = cv.wait(g).unwrap();
+        }
+        let v = g.unwrap();
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(v, 7);
+        v
+    });
+    assert!(ex.failure.is_none(), "{:?}", ex.failure);
+    assert!(ex.complete);
+    assert_eq!(ex.distinct_states, 1);
+}
+
+/// A timed wait with no producer: under the checker, durations are not
+/// simulated — the timeout fires exactly when the execution would otherwise
+/// deadlock, so the model completes with `timed_out() == true`.
+#[test]
+fn timed_wait_fires_at_would_be_deadlock() {
+    let ex = explore(&small(2), || {
+        let slot = Arc::new((Mutex::new(None::<u64>), Condvar::new()));
+        let (m, cv) = &*slot;
+        let g = m.lock().unwrap();
+        let (g, res) = cv
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unwrap();
+        assert!(
+            res.timed_out(),
+            "no producer exists; the wait must time out"
+        );
+        assert!(g.is_none());
+        drop(g);
+        0
+    });
+    assert!(ex.failure.is_none(), "{:?}", ex.failure);
+    assert!(ex.complete);
+}
+
+/// An untimed wait with no producer is a real lost-wakeup-style deadlock and
+/// must be reported as one.
+#[test]
+fn untimed_orphan_wait_is_a_deadlock() {
+    let ex = explore(&small(2), || {
+        let slot = Arc::new((Mutex::new(None::<u64>), Condvar::new()));
+        let (m, cv) = &*slot;
+        let g = m.lock().unwrap();
+        let _g = cv.wait(g).unwrap();
+        0
+    });
+    let failure = ex.failure.expect("orphan wait must deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("deadlock"), "{}", failure.message);
+}
+
+/// Spin-waiting on a flag with `yield_now` in the loop body must terminate
+/// under DFS: yielded threads are deprioritized so the flag-setter runs.
+#[test]
+fn spin_loop_with_yield_terminates() {
+    let ex = explore(&small(1), || {
+        let flag = Arc::new(AtomicU64::new(0));
+        let h = {
+            let flag = Arc::clone(&flag);
+            spawn(move || flag.store(1, Release))
+        };
+        while flag.load(Acquire) == 0 {
+            yield_now();
+        }
+        h.join().unwrap();
+        1
+    });
+    assert!(ex.failure.is_none(), "{:?}", ex.failure);
+    assert!(ex.complete);
+    assert_eq!(ex.distinct_states, 1);
+}
+
+/// Random exploration finds the lost-update race, records the failing seed,
+/// and replaying that one seed reproduces the identical schedule.
+#[test]
+fn random_schedules_find_and_replay_by_seed() {
+    let cfg = Config {
+        max_schedules: 10_000,
+        ..Config::default()
+    };
+    let ex = explore_random(&cfg, 0xC0FFEE, racy_counter_model);
+    let failure = ex
+        .failure
+        .expect("random schedules must find the lost update within budget");
+    let seed = failure.seed.expect("random failures carry their seed");
+
+    let replay = replay_seed(&cfg, seed, racy_counter_model);
+    let rf = replay.failure.expect("seed replay reproduces the failure");
+    assert_eq!(rf.kind, failure.kind);
+    assert_eq!(rf.trace.digest(), failure.trace.digest());
+
+    // And the digest is stable across a second replay.
+    let replay2 = replay_seed(&cfg, seed, racy_counter_model);
+    assert_eq!(
+        replay2.failure.expect("still fails").trace.digest(),
+        rf.trace.digest()
+    );
+}
+
+/// The whole exploration is deterministic: two identical DFS runs visit the
+/// same number of schedules and end in failures with identical digests.
+#[test]
+fn exploration_is_deterministic() {
+    let cfg = small(2);
+    let a = explore(&cfg, racy_counter_model);
+    let b = explore(&cfg, racy_counter_model);
+    assert_eq!(a.schedules, b.schedules);
+    let (fa, fb) = (a.failure.unwrap(), b.failure.unwrap());
+    assert_eq!(fa.choices, fb.choices);
+    assert_eq!(fa.trace.digest(), fb.trace.digest());
+}
+
+/// Shim types outside any exploration behave exactly like `std`: this test
+/// intentionally runs on a plain test thread.
+#[test]
+fn shim_passthrough_without_checker() {
+    let n = Arc::new(AtomicU64::new(0));
+    let m = Arc::new(Mutex::new(0u64));
+    let hs: Vec<_> = (0..4)
+        .map(|_| {
+            let n = Arc::clone(&n);
+            let m = Arc::clone(&m);
+            spawn(move || {
+                n.fetch_add(1, SeqCst);
+                *m.lock().unwrap() += 1;
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join().unwrap();
+    }
+    assert_eq!(n.load(SeqCst), 4);
+    assert_eq!(*m.lock().unwrap(), 4);
+}
+
+/// Failure traces render as an obs-style event log with header and
+/// per-thread rows.
+#[test]
+fn failure_trace_renders_like_an_event_log() {
+    let ex = explore(&small(2), racy_counter_model);
+    let failure = ex.failure.unwrap();
+    let rendered = failure.trace.render();
+    assert!(rendered.contains("step"), "{rendered}");
+    assert!(rendered.contains("t0"), "{rendered}");
+    assert!(
+        rendered.contains("atomic.load") || rendered.contains("switch"),
+        "{rendered}"
+    );
+}

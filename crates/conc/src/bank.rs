@@ -18,8 +18,8 @@ use crate::actor::{ask, spawn, Actor, Address, Flow};
 use crate::channel::Sender;
 use crate::stm::{atomically, TVar};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
+use syscheck::shim::Mutex;
 
 /// Uniform interface over all bank implementations.
 pub trait Bank: Send + Sync {
@@ -157,7 +157,7 @@ impl Bank for FineLockBank {
 pub struct BrokenComposedBank {
     balances: Vec<Mutex<i64>>,
     /// Counts transfers currently between debit and credit (test hook).
-    in_flight: AtomicU64,
+    in_flight: syscheck::shim::AtomicU64,
 }
 
 impl BrokenComposedBank {
@@ -166,7 +166,7 @@ impl BrokenComposedBank {
     pub fn new(n: usize, initial: i64) -> Self {
         BrokenComposedBank {
             balances: (0..n).map(|_| Mutex::new(initial)).collect(),
-            in_flight: AtomicU64::new(0),
+            in_flight: syscheck::shim::AtomicU64::new(0),
         }
     }
 
@@ -206,7 +206,7 @@ impl Bank for BrokenComposedBank {
         // The intermediate state — money in neither account — is observable
         // right here. yield_now widens the window the way preemption would.
         self.in_flight.fetch_add(1, Ordering::SeqCst);
-        std::thread::yield_now();
+        syscheck::shim::yield_now();
         self.credit(to, amount);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         true
@@ -581,16 +581,137 @@ mod tests {
         let _ = r.audit_anomalies;
     }
 
+    /// Regression fixture, formerly a race-the-OS-scheduler poll loop (a
+    /// million blind audits hoping to land in the debit-credit window). The
+    /// checker makes the window a scheduling decision: DFS steers an audit
+    /// into it deterministically, the shrinker reduces the reproduction to
+    /// its essential preemptions, and random mode pins a replayable seed —
+    /// the E13 "known bug detected" row. If someone "fixes" the bank by
+    /// holding both locks across the transfer, this test fails and the
+    /// fixture must be updated deliberately.
     #[test]
-    fn broken_bank_anomaly_is_detected_under_contention() {
-        // Regression fixture: the composition bug must stay *detectable*,
-        // not just latently present. A transfer thread runs the broken
-        // two-phase transfer in a loop; the detector waits until a transfer
-        // is inside its debit-but-not-yet-credit window (the `in_flight`
-        // hook) and audits exactly then. If someone "fixes" the bank by
-        // holding both locks across the transfer — or the audit stops
-        // taking each lock independently — this test fails and the fixture
-        // must be updated deliberately.
+    fn checker_broken_bank_audit_anomaly_is_rediscovered() {
+        let model = || {
+            let bank = std::sync::Arc::new(BrokenComposedBank::new(2, 100));
+            let t = {
+                let bank = std::sync::Arc::clone(&bank);
+                syscheck::shim::spawn(move || {
+                    assert!(bank.transfer(0, 1, 30));
+                })
+            };
+            let observed = bank.audit();
+            assert_eq!(observed, 200, "audit saw vanished money");
+            t.join().unwrap();
+            u64::try_from(bank.audit()).expect("non-negative")
+        };
+        let cfg = syscheck::Config::default();
+        let ex = syscheck::explore(&cfg, model);
+        let failure = ex.failure.expect("DFS must expose the audit anomaly");
+        assert_eq!(failure.kind, syscheck::FailureKind::Panic);
+        assert!(
+            failure.message.contains("vanished money"),
+            "{}",
+            failure.message
+        );
+        assert!(
+            ex.schedules <= 10_000,
+            "within the E13 budget: {}",
+            ex.schedules
+        );
+
+        let shrunk = syscheck::shrink::shrink_failure(&cfg, &failure, model);
+        assert!(shrunk.report.failure.is_some());
+        assert!(
+            (1..=2).contains(&shrunk.deviations.len()),
+            "the anomaly needs 1-2 preemptions: {:?}",
+            shrunk.deviations
+        );
+
+        let exr = syscheck::explore_random(&cfg, 0xE13, model);
+        let rf = exr.failure.expect("random mode must also find it");
+        let seed = rf.seed.expect("random failures carry seeds");
+        let replay = syscheck::replay_seed(&cfg, seed, model);
+        assert_eq!(
+            replay
+                .failure
+                .expect("seed replay fails too")
+                .trace
+                .digest(),
+            rf.trace.digest()
+        );
+    }
+
+    /// The coarse bank under the checker: no interleaving of a transfer and
+    /// an audit can observe a torn total.
+    #[test]
+    fn checker_coarse_bank_audit_always_conserves() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let bank = std::sync::Arc::new(CoarseLockBank::new(2, 100));
+            let t = {
+                let bank = std::sync::Arc::clone(&bank);
+                syscheck::shim::spawn(move || {
+                    assert!(bank.transfer(0, 1, 30));
+                })
+            };
+            let total = bank.audit();
+            assert_eq!(total, 200);
+            t.join().unwrap();
+            assert_eq!(bank.audit(), 200);
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
+    }
+
+    /// The fine bank's ordered two-phase locking: opposite-direction
+    /// transfers must not deadlock in any schedule (drop the ordering and
+    /// the checker reports the ABBA deadlock), and the audit never tears.
+    #[test]
+    fn checker_fine_bank_opposite_transfers_no_deadlock() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let bank = std::sync::Arc::new(FineLockBank::new(2, 100));
+            let t = {
+                let bank = std::sync::Arc::clone(&bank);
+                syscheck::shim::spawn(move || {
+                    bank.transfer(1, 0, 10);
+                })
+            };
+            bank.transfer(0, 1, 10);
+            t.join().unwrap();
+            let total = bank.audit();
+            assert_eq!(total, 200);
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
+    }
+
+    /// The STM bank under the checker: transfer versus audit, exhaustively.
+    #[test]
+    fn checker_stm_bank_audit_always_conserves() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let bank = std::sync::Arc::new(StmBank::new(2, 100));
+            let t = {
+                let bank = std::sync::Arc::clone(&bank);
+                syscheck::shim::spawn(move || {
+                    assert!(bank.transfer(0, 1, 30));
+                })
+            };
+            let total = bank.audit();
+            assert_eq!(total, 200);
+            t.join().unwrap();
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+    }
+
+    /// The one intentionally wall-clock stress run for this module: the
+    /// original poll-the-window detector, real threads and all. The checker
+    /// model above proves the defect deterministically; this keeps evidence
+    /// that it is observable on real hardware too.
+    #[test]
+    #[ignore = "wall-clock stress; run with --ignored"]
+    fn stress_broken_bank_anomaly_with_real_threads() {
         use std::sync::atomic::AtomicBool;
         let bank = BrokenComposedBank::new(2, 100);
         let stop = AtomicBool::new(false);

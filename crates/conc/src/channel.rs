@@ -5,11 +5,18 @@
 //! discussion points toward (and the model Erlang, Go, and Rust's `mpsc`
 //! adopted). This implementation is deliberately from scratch — the substrate
 //! rule — and is the transport under the [`crate::actor`] runtime.
+//!
+//! The mutex and condvars come from `syscheck::shim`, so the blocking
+//! protocol (including the timeout paths) is exhaustively model-checked by
+//! the `checker_*` tests below; on ordinary threads the shim is `std` plus
+//! one relaxed load. [`BrokenSignal`] is a deliberately buggy wait/notify
+//! cell kept as a known-defect specimen for the checker (E13).
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use syscheck::shim::{Condvar, Mutex};
 
 /// Error returned by [`Sender::send`] when every receiver is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -472,6 +479,55 @@ impl<T> Iterator for Receiver<T> {
     }
 }
 
+/// A deliberately broken one-shot wait/notify cell: the textbook lost
+/// wakeup, kept (like `bank::BrokenComposedBank`) as a known-defect specimen
+/// the checker must rediscover.
+///
+/// [`BrokenSignal::wait`] samples the flag under the lock, *releases the
+/// lock*, and only then parks on the condvar — without re-checking the flag
+/// under the re-acquired lock. A [`BrokenSignal::notify`] landing in that
+/// window finds no waiter to wake, and the subsequent naked `Condvar::wait`
+/// sleeps forever. OS schedulers hit the window rarely enough that the stress
+/// test for the original bug this models passed for weeks; `syscheck` finds
+/// it in a handful of schedules and reports it as a deadlock
+/// (`checker_broken_signal_loses_wakeup`).
+#[derive(Debug, Default)]
+pub struct BrokenSignal {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl BrokenSignal {
+    /// Creates an unsignaled cell.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the flag and wakes one waiter (correct half of the protocol).
+    pub fn notify(&self) {
+        let mut g = self.ready.lock().expect("signal poisoned");
+        *g = true;
+        drop(g);
+        self.cv.notify_one();
+    }
+
+    /// Blocks until [`BrokenSignal::notify`] — except it doesn't, always:
+    /// the check-then-park window described on [`BrokenSignal`] loses a
+    /// concurrent notify.
+    pub fn wait(&self) {
+        let signaled = *self.ready.lock().expect("signal poisoned");
+        if signaled {
+            return;
+        }
+        // BUG: between the check above and the wait below the notifier can
+        // set the flag and notify; the wait that follows never re-checks the
+        // predicate, so that wakeup is lost for good.
+        let g = self.ready.lock().expect("signal poisoned");
+        let _g = self.cv.wait(g).expect("signal poisoned");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,13 +545,22 @@ mod tests {
         }
     }
 
+    /// Formerly a sleep-20ms-and-hope real-thread test: now every
+    /// interleaving of the blocking receiver against the sender is explored,
+    /// including the ones where the receiver parks first.
     #[test]
-    fn recv_blocks_until_send() {
-        let (tx, rx) = channel();
-        let h = thread::spawn(move || rx.recv().unwrap());
-        thread::sleep(Duration::from_millis(20));
-        tx.send(7u8).unwrap();
-        assert_eq!(h.join().unwrap(), 7);
+    fn checker_recv_blocks_until_send() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let (tx, rx) = channel();
+            let h = syscheck::shim::spawn(move || rx.recv().unwrap());
+            tx.send(7u8).unwrap();
+            let got = h.join().unwrap();
+            assert_eq!(got, 7);
+            u64::from(got)
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
+        assert_eq!(ex.distinct_states, 1);
     }
 
     #[test]
@@ -522,22 +587,28 @@ mod tests {
         assert_eq!(got[3999], 3999);
     }
 
+    /// Formerly asserted "producer still blocked after 20ms" with real
+    /// threads (flaky both ways). The model states the actual contract: the
+    /// over-capacity send cannot complete before a recv frees a slot, so
+    /// FIFO order is preserved in *every* schedule.
     #[test]
-    fn bounded_send_applies_backpressure() {
-        let (tx, rx) = bounded(2);
-        tx.send(1).unwrap();
-        tx.send(2).unwrap();
-        let t = {
-            let tx = tx.clone();
-            thread::spawn(move || {
-                tx.send(3).unwrap(); // blocks until a recv
-                3
-            })
-        };
-        thread::sleep(Duration::from_millis(20));
-        assert!(!t.is_finished(), "send must block at capacity");
-        assert_eq!(rx.recv().unwrap(), 1);
-        assert_eq!(t.join().unwrap(), 3);
+    fn checker_bounded_send_applies_backpressure() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = {
+                let tx = tx.clone();
+                syscheck::shim::spawn(move || {
+                    tx.send(2).unwrap(); // must block until the recv below
+                })
+            };
+            assert_eq!(rx.recv().unwrap(), 1, "backpressure preserves FIFO");
+            assert_eq!(rx.recv().unwrap(), 2);
+            t.join().unwrap();
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
     }
 
     #[test]
@@ -642,13 +713,21 @@ mod tests {
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
     }
 
+    /// Formerly "sleep 20ms, hope the receiver parked first". Under the
+    /// checker a timed wait only times out when the model would otherwise
+    /// deadlock, so with a live sender the receiver must get the message in
+    /// every schedule — parked-before-send and arrived-after-send alike.
     #[test]
-    fn recv_timeout_sees_late_arrivals() {
-        let (tx, rx) = channel::<u8>();
-        let h = thread::spawn(move || rx.recv_timeout(Duration::from_millis(500)));
-        thread::sleep(Duration::from_millis(20));
-        tx.send(9).unwrap();
-        assert_eq!(h.join().unwrap(), Ok(9));
+    fn checker_recv_timeout_sees_late_arrivals() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let (tx, rx) = channel::<u8>();
+            let h = syscheck::shim::spawn(move || rx.recv_timeout(Duration::from_secs(3600)));
+            tx.send(9).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(9));
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
     }
 
     #[test]
@@ -674,52 +753,71 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 3);
     }
 
+    /// Formerly sleep-based; now exhaustive: with a consumer draining, a
+    /// timed send on a full channel completes (never times out) in every
+    /// schedule.
     #[test]
-    fn send_timeout_unblocks_when_space_frees() {
-        let (tx, rx) = bounded(1);
-        tx.send(1).unwrap();
-        let t = {
-            let tx = tx.clone();
-            thread::spawn(move || tx.send_timeout(2, Duration::from_millis(500)))
-        };
-        thread::sleep(Duration::from_millis(20));
-        assert_eq!(rx.recv().unwrap(), 1);
-        assert_eq!(t.join().unwrap(), Ok(()));
-        assert_eq!(rx.recv().unwrap(), 2);
+    fn checker_send_timeout_unblocks_when_space_frees() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = {
+                let tx = tx.clone();
+                syscheck::shim::spawn(move || tx.send_timeout(2, Duration::from_secs(3600)))
+            };
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(t.join().unwrap(), Ok(()));
+            assert_eq!(rx.recv().unwrap(), 2);
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
+    }
+
+    /// Regression (now exhaustive): `Instant::now() + Duration::MAX` used to
+    /// panic; an unrepresentable deadline must behave as wait-forever.
+    #[test]
+    fn checker_recv_timeout_with_huge_timeout_waits_instead_of_panicking() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let (tx, rx) = channel::<u8>();
+            let h = syscheck::shim::spawn(move || rx.recv_timeout(Duration::MAX));
+            tx.send(9).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(9));
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
     }
 
     #[test]
-    fn recv_timeout_with_huge_timeout_waits_instead_of_panicking() {
-        // Regression: `Instant::now() + Duration::MAX` used to panic; an
-        // unrepresentable deadline must behave as wait-forever.
-        let (tx, rx) = channel::<u8>();
-        let h = thread::spawn(move || rx.recv_timeout(Duration::MAX));
-        thread::sleep(Duration::from_millis(20));
-        tx.send(9).unwrap();
-        assert_eq!(h.join().unwrap(), Ok(9));
+    fn checker_recv_timeout_with_huge_timeout_still_sees_disconnect() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let (tx, rx) = channel::<u8>();
+            let h = syscheck::shim::spawn(move || rx.recv_timeout(Duration::MAX));
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvTimeoutError::Disconnected));
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
     }
 
     #[test]
-    fn recv_timeout_with_huge_timeout_still_sees_disconnect() {
-        let (tx, rx) = channel::<u8>();
-        let h = thread::spawn(move || rx.recv_timeout(Duration::MAX));
-        thread::sleep(Duration::from_millis(20));
-        drop(tx);
-        assert_eq!(h.join().unwrap(), Err(RecvTimeoutError::Disconnected));
-    }
-
-    #[test]
-    fn send_timeout_with_huge_timeout_waits_instead_of_panicking() {
-        let (tx, rx) = bounded(1);
-        tx.send(1).unwrap();
-        let t = {
-            let tx = tx.clone();
-            thread::spawn(move || tx.send_timeout(2, Duration::MAX))
-        };
-        thread::sleep(Duration::from_millis(20));
-        assert_eq!(rx.recv().unwrap(), 1);
-        assert_eq!(t.join().unwrap(), Ok(()));
-        assert_eq!(rx.recv().unwrap(), 2);
+    fn checker_send_timeout_with_huge_timeout_waits_instead_of_panicking() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = {
+                let tx = tx.clone();
+                syscheck::shim::spawn(move || tx.send_timeout(2, Duration::MAX))
+            };
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(t.join().unwrap(), Ok(()));
+            assert_eq!(rx.recv().unwrap(), 2);
+            0
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
     }
 
     #[test]
@@ -730,5 +828,126 @@ mod tests {
             tx.send_timeout(7, Duration::from_millis(10)),
             Err(SendTimeoutError::Disconnected(7))
         );
+    }
+
+    /// `try_send` racing a consumer: never blocks, and every accepted
+    /// message is delivered exactly once in every schedule.
+    #[test]
+    fn checker_try_send_conserves_messages() {
+        let ex = syscheck::explore(&syscheck::Config::default(), || {
+            let (tx, rx) = bounded(1);
+            let h = {
+                let tx = tx.clone();
+                syscheck::shim::spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..2 {
+                        if tx.try_send(i).is_ok() {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            };
+            drop(tx);
+            let accepted = h.join().unwrap();
+            let mut got = 0u64;
+            while rx.recv().is_ok() {
+                got += 1;
+            }
+            assert_eq!(got, accepted, "accepted messages must all arrive");
+            // Digest: how many of the two try_sends got through.
+            accepted
+        });
+        assert!(ex.failure.is_none(), "{:?}", ex.failure);
+        assert!(ex.complete);
+    }
+
+    /// The checker rediscovers the lost wakeup seeded in [`BrokenSignal`]:
+    /// notify lands between the waiter's flag check and its park, and the
+    /// execution deadlocks. Both search modes must find it, and the shrunken
+    /// reproduction needs at most two forced preemptions.
+    #[test]
+    fn checker_broken_signal_loses_wakeup() {
+        let model = || {
+            let sig = Arc::new(BrokenSignal::new());
+            let waiter = {
+                let sig = Arc::clone(&sig);
+                syscheck::shim::spawn(move || sig.wait())
+            };
+            sig.notify();
+            waiter.join().unwrap();
+            0
+        };
+        let cfg = syscheck::Config::default();
+        let ex = syscheck::explore(&cfg, model);
+        let failure = ex.failure.expect("DFS must find the lost wakeup");
+        assert_eq!(failure.kind, syscheck::FailureKind::Deadlock);
+        assert!(
+            ex.schedules <= 10_000,
+            "must be found within the E13 budget, took {}",
+            ex.schedules
+        );
+
+        let shrunk = syscheck::shrink::shrink_failure(&cfg, &failure, model);
+        assert!(
+            shrunk.report.failure.is_some(),
+            "shrunken schedule still fails"
+        );
+        assert!(
+            (1..=2).contains(&shrunk.deviations.len()),
+            "lost wakeup needs 1-2 preemptions, got {:?}",
+            shrunk.deviations
+        );
+
+        let exr = syscheck::explore_random(&cfg, 0xBAD_5EED, model);
+        let rf = exr.failure.expect("random schedules must find it too");
+        let seed = rf.seed.expect("random failure carries a seed");
+        let replay = syscheck::replay_seed(&cfg, seed, model);
+        assert_eq!(
+            replay
+                .failure
+                .expect("seed replays the deadlock")
+                .trace
+                .digest(),
+            rf.trace.digest()
+        );
+    }
+
+    /// The one intentionally wall-clock stress run for this module (the
+    /// checker models above cover correctness): real threads, real
+    /// contention, real timeouts.
+    #[test]
+    #[ignore = "wall-clock stress; run with --ignored"]
+    fn stress_channel_with_real_threads() {
+        let (tx, rx) = bounded(4);
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..5_000 {
+                        tx.send(t * 5_000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut n = 0usize;
+                    while rx.recv().is_ok() {
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 20_000);
     }
 }

@@ -294,6 +294,131 @@ impl Kernel {
         snap
     }
 
+    /// Runtime mirror of the six proved invariant pairs in
+    /// [`crate::invariants`]: where the prover discharges each transition in
+    /// isolation, this walks the *live* kernel state and checks that every
+    /// transition composed so far preserved the same properties. Model
+    /// checking calls it after every interleaved operation (see
+    /// `tests/ipc_interleavings.rs`), so a schedule that drives
+    /// `deliver_to`/`wake`/`cancel_ipc` into a corrupt state names the
+    /// violated invariant instead of failing far downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, named after its proved
+    /// counterpart (`mint`, `cspace-lookup`, `queue-enqueue`, `sched-block`,
+    /// `ipc-copy`, `watchdog-reap`), with the offending pid/endpoint.
+    #[allow(clippy::missing_panics_doc)] // u32 conversions cannot fail below
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        for (i, proc) in self.processes.iter().enumerate() {
+            let pid = Pid(u32::try_from(i).expect("pids fit u32"));
+            // cspace-lookup: every slot stays inside the table bounds.
+            if proc.cspace.len() > CSPACE_CAPACITY {
+                return Err(format!("cspace-lookup: {pid} c-space exceeds capacity"));
+            }
+            for cap in proc.cspace.iter().flatten() {
+                let Some(entry) = self.objects.get(cap.target.0 as usize) else {
+                    return Err(format!(
+                        "cspace-lookup: {pid} holds a capability to object {} outside the table",
+                        cap.target.0
+                    ));
+                };
+                // mint: a minted or transferred capability can never change
+                // what kind of object it names (amplification across kinds).
+                if entry.kind != cap.kind {
+                    return Err(format!(
+                        "mint: {pid} capability kind disagrees with object {}",
+                        cap.target.0
+                    ));
+                }
+            }
+            // sched-block: a ready process must be schedulable (stale
+            // blocked/dead queue entries are fine — schedule() drops them).
+            if proc.state == ProcState::Ready && !self.run_queue.contains(&pid) {
+                return Err(format!("sched-block: {pid} ready but not in the run queue"));
+            }
+            // watchdog-reap: reaping always wakes — a timed-out process must
+            // never still sit blocked on an endpoint.
+            if proc.timed_out
+                && matches!(
+                    proc.state,
+                    ProcState::BlockedSend(_) | ProcState::BlockedRecv(_)
+                )
+            {
+                return Err(format!("watchdog-reap: {pid} timed out yet still blocked"));
+            }
+            // ipc-copy: a blocked process waits in exactly one queue — the
+            // one its state names.
+            match proc.state {
+                ProcState::BlockedSend(ep) => {
+                    let (mut here, mut elsewhere) = (0usize, 0usize);
+                    for (j, e) in self.endpoints.iter().enumerate() {
+                        let n = e.senders.iter().filter(|s| s.sender == pid).count();
+                        if j == ep as usize {
+                            here = n;
+                        } else {
+                            elsewhere += n;
+                        }
+                    }
+                    if here != 1 || elsewhere != 0 {
+                        return Err(format!(
+                            "ipc-copy: {pid} blocked sending on endpoint {ep} but queued \
+                             {here} times there, {elsewhere} elsewhere"
+                        ));
+                    }
+                }
+                ProcState::BlockedRecv(ep) => {
+                    let (mut here, mut elsewhere) = (0usize, 0usize);
+                    for (j, e) in self.endpoints.iter().enumerate() {
+                        let n = e.receivers.iter().filter(|&&p| p == pid).count();
+                        if j == ep as usize {
+                            here = n;
+                        } else {
+                            elsewhere += n;
+                        }
+                    }
+                    if here != 1 || elsewhere != 0 {
+                        return Err(format!(
+                            "ipc-copy: {pid} blocked receiving on endpoint {ep} but queued \
+                             {here} times there, {elsewhere} elsewhere"
+                        ));
+                    }
+                }
+                ProcState::Ready | ProcState::Dead => {}
+            }
+        }
+        // queue-enqueue: endpoint queues only ever hold live, matching
+        // waiters, and a destroyed endpoint holds nothing.
+        for (j, ep) in self.endpoints.iter().enumerate() {
+            if !ep.alive && (!ep.senders.is_empty() || !ep.receivers.is_empty()) {
+                return Err(format!(
+                    "queue-enqueue: dead endpoint {j} still queues waiters"
+                ));
+            }
+            let ep_id = u32::try_from(j).expect("endpoint ids fit u32");
+            for s in &ep.senders {
+                let state = self.processes.get(s.sender.0 as usize).map(|p| p.state);
+                if state != Some(ProcState::BlockedSend(ep_id)) {
+                    return Err(format!(
+                        "queue-enqueue: endpoint {j} queues a message from {} which is not \
+                         blocked sending there ({state:?})",
+                        s.sender
+                    ));
+                }
+            }
+            for &p in &ep.receivers {
+                let state = self.processes.get(p.0 as usize).map(|pr| pr.state);
+                if state != Some(ProcState::BlockedRecv(ep_id)) {
+                    return Err(format!(
+                        "queue-enqueue: endpoint {j} queues receiver {p} which is not \
+                         blocked receiving there ({state:?})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn inject(&mut self, site: &str) -> bool {
         self.injector.as_ref().is_some_and(|i| i.should_fail(site))
     }

@@ -119,7 +119,12 @@ impl std::error::Error for MemError {}
 /// use-after-free is a *detected* error rather than undefined behaviour —
 /// this is the "well-typed programs don't go wrong" discipline the paper asks
 /// for, applied to storage.
-pub trait Manager {
+///
+/// Managers are `Send` (not `Sync`): every implementation is plain owned
+/// data, and requiring it here lets a kernel built over `Box<dyn Manager>`
+/// move into model threads under the `syscheck` cooperative scheduler (one
+/// thread at a time behind a shimmed mutex — `Sync` is never needed).
+pub trait Manager: Send {
     /// A short stable name for reports ("region", "freelist", ...).
     fn name(&self) -> &'static str;
 

@@ -28,6 +28,17 @@
 //! routing table behind an `Arc`; the packets themselves are *moved*
 //! through channels, never shared — Challenge 4 answered with ownership
 //! plus message passing rather than locks.
+//!
+//! The dispatch/recycle protocol itself is model-checkable: workers spawn
+//! through [`syscheck::shim::spawn_named`] and every channel hand-off rides
+//! the (shimmed) `sysconc` channels, so under a `syscheck` runtime the
+//! whole dispatcher → worker → recycle cycle runs on the cooperative
+//! scheduler (see `tests/router_model.rs`). The per-worker *counters* stay
+//! plain `std` atomics on purpose: they are observability, not protocol —
+//! no control flow in the dispatch path depends on racing counter reads
+//! beyond the monotone in-flight estimate, and shimming them would bury
+//! the protocol's real decision points under thousands of counter
+//! interleavings (the same split `sysconc::stm` makes for its stats).
 
 use crate::cache::FlowCache;
 use crate::lpm::TrieTable;
@@ -35,8 +46,8 @@ use crate::pipeline::{self, BatchStats, DROP_METRICS, DROP_REASONS};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use syscheck::shim::{spawn_named, JoinHandle};
 use sysconc::channel::{bounded, channel, Receiver, Sender, TrySendError};
 use sysobs::LogHistogram;
 
@@ -462,17 +473,16 @@ impl ShardedRouter {
             let worker_counters = Arc::new(Counters::new(ports));
             let shared = Arc::clone(&worker_counters);
             let slots = config.cache_slots;
-            let builder = std::thread::Builder::new().name(format!("sysnet-worker-{i}"));
+            let name = format!("sysnet-worker-{i}");
             let handle = if config.instrument {
-                builder.spawn(move || {
+                spawn_named(&name, move || {
                     worker_loop::<true>(&rx, &back_tx, &worker_table, &shared, slots)
                 })
             } else {
-                builder.spawn(move || {
+                spawn_named(&name, move || {
                     worker_loop::<false>(&rx, &back_tx, &worker_table, &shared, slots)
                 })
-            }
-            .expect("spawn router worker");
+            };
             senders.push(tx);
             recycle_rx.push(back_rx);
             handles.push(handle);

@@ -22,7 +22,7 @@ fn main() {
         .collect();
     let wanted = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "f1",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1",
         ]
     } else {
         wanted
@@ -42,9 +42,10 @@ fn main() {
             "e10" => experiments::e10_dataplane::run(scale),
             "e11" => experiments::e11_obs::run(scale),
             "e12" => experiments::e12_cache::run(scale),
+            "e13" => experiments::e13_check::run(scale),
             "f1" => experiments::e2_boxing::run_figure(scale),
             other => {
-                eprintln!("unknown experiment {other} (use e1..e12 or all)");
+                eprintln!("unknown experiment {other} (use e1..e13 or all)");
                 std::process::exit(2);
             }
         };

@@ -3,12 +3,13 @@
 //! The paper (a position paper) publishes no tables; these experiments
 //! are the measurements its claims imply, as indexed in DESIGN.md. Each
 //! `run(scale)` returns a rendered table; `cargo run --release --example
-//! experiments -- <e1..e12|all>` prints them, and `crates/bench` holds the
+//! experiments -- <e1..e13|all>` prints them, and `crates/bench` holds the
 //! Criterion versions for statistically careful timing.
 
 pub mod e10_dataplane;
 pub mod e11_obs;
 pub mod e12_cache;
+pub mod e13_check;
 pub mod e1_alloc;
 pub mod e2_boxing;
 pub mod e3_optimizer;
@@ -139,6 +140,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e10_dataplane::run(scale),
         e11_obs::run(scale),
         e12_cache::run(scale),
+        e13_check::run(scale),
     ]
 }
 

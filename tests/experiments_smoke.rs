@@ -5,9 +5,9 @@
 use plos06::experiments::{self, Scale};
 
 #[test]
-fn all_twelve_experiments_produce_tables() {
+fn all_thirteen_experiments_produce_tables() {
     let tables = experiments::run_all(Scale::Quick);
-    assert_eq!(tables.len(), 12);
+    assert_eq!(tables.len(), 13);
     for t in &tables {
         assert!(!t.rows.is_empty(), "{} has no rows", t.title);
         assert!(!t.headers.is_empty());
@@ -151,6 +151,35 @@ fn e12_cache_hits_on_skewed_traffic_and_pool_reuses_frames() {
     for row in &t.rows[2..] {
         let r: f64 = row[reuse].trim_end_matches(" %").parse().unwrap();
         assert!(r > 50.0, "steady state must reuse frames: {row:?}");
+    }
+}
+
+#[test]
+fn e13_checker_clears_correct_models_and_catches_seeded_bugs() {
+    let t = experiments::e13_check::run(Scale::Quick);
+    assert_eq!(t.rows.len(), 7, "3 clean models + 2 bugs × 2 modes");
+    let outcome = t.headers.iter().position(|h| h == "outcome").unwrap();
+    let preempts = t.headers.iter().position(|h| h == "min preempts").unwrap();
+    for row in &t.rows {
+        if row[0].contains("broken") || row[0].contains("wakeup") {
+            assert!(
+                row[outcome].starts_with("found"),
+                "{} must be rediscovered: {row:?}",
+                row[0]
+            );
+            let n: usize = row[preempts].parse().unwrap();
+            assert!(
+                (1..=2).contains(&n),
+                "{} must shrink to 1-2 preemptions: {row:?}",
+                row[0]
+            );
+        } else {
+            assert!(
+                row[outcome].starts_with("clean"),
+                "{} must verify clean: {row:?}",
+                row[0]
+            );
+        }
     }
 }
 
