@@ -35,3 +35,14 @@ cargo test -q -p sysconc checker_
 cargo test -q -p sysnet --test router_model
 cargo test -q -p microkernel --test ipc_interleavings
 cargo run --release --example experiments -- e13
+
+# Conntrack smoke: the hostile-segment + differential property suite, the
+# adversarial TcpView parse suite, the shared-gauge syscheck models, the
+# E14/E9b experiments at quick scale, and the bench smoke — which asserts
+# the capacity bound and < 0.05 steady-state allocs/packet but never
+# rewrites the recorded BENCH_conntrack.json.
+cargo test -q -p sysnet --test conntrack_properties
+cargo test -q -p sysrepr --test tcp_adversarial
+cargo test -q -p sysnet --test conntrack_model
+cargo run --release --example experiments -- e14 e9net
+cargo run --release --example conntrack_bench -- --quick

@@ -141,6 +141,9 @@ pub struct SweepPoint {
     pub p50_ns: u64,
     /// 99th-percentile per-packet latency, ns.
     pub p99_ns: u64,
+    /// 99.9th-percentile per-packet latency, ns — the tail the overload
+    /// experiments watch.
+    pub p999_ns: u64,
     /// Packets forwarded.
     pub forwarded: u64,
     /// Packets dropped (all reasons).
@@ -360,6 +363,7 @@ fn measure_point(
         pps: report.packets() as f64 / secs,
         p50_ns: report.latency_ns(0.50),
         p99_ns: report.latency_ns(0.99),
+        p999_ns: report.latency_ns(0.999),
         forwarded: report.stats.totals.forwarded,
         dropped: report.stats.totals.dropped_total(),
         cache_hit_rate: report.cache_hit_rate(),
@@ -400,7 +404,7 @@ impl BenchReport {
         let mut s = String::new();
         s.push_str("{\n");
         let _ = writeln!(s, "  \"bench\": \"router\",");
-        let _ = writeln!(s, "  \"schema\": 2,");
+        let _ = writeln!(s, "  \"schema\": 3,");
         let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
         let _ = writeln!(s, "  \"packets_per_config\": {},", self.packets);
         let _ = writeln!(s, "  \"flows\": {},", self.flows);
@@ -424,13 +428,14 @@ impl BenchReport {
             let _ = writeln!(
                 s,
                 "    {{\"workers\": {}, \"batch_size\": {}, \"pps\": {:.0}, \"p50_ns\": {}, \
-                 \"p99_ns\": {}, \"forwarded\": {}, \"dropped\": {}, \
+                 \"p99_ns\": {}, \"p999_ns\": {}, \"forwarded\": {}, \"dropped\": {}, \
                  \"cache_hit_rate\": {:.4}, \"steady_allocs_per_packet\": {}}}{comma}",
                 p.workers,
                 p.batch_size,
                 p.pps,
                 p.p50_ns,
                 p.p99_ns,
+                p.p999_ns,
                 p.forwarded,
                 p.dropped,
                 p.cache_hit_rate,
@@ -489,6 +494,7 @@ mod tests {
                     pps: 1e6,
                     p50_ns: 500,
                     p99_ns: 900,
+                    p999_ns: 1800,
                     forwarded: 9,
                     dropped: 1,
                     cache_hit_rate: 0.9321,
@@ -500,6 +506,7 @@ mod tests {
                     pps: 1e6,
                     p50_ns: 500,
                     p99_ns: 900,
+                    p999_ns: 1800,
                     forwarded: 9,
                     dropped: 1,
                     cache_hit_rate: 0.0,
@@ -510,7 +517,8 @@ mod tests {
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"schema\": 2,"));
+        assert!(json.contains("\"schema\": 3,"));
+        assert!(json.contains("\"p999_ns\": 1800"));
         assert!(json.contains("\"trie_speedup\": 4.00"));
         assert!(json.contains("\"pps\": 1000000"));
         assert!(json.contains("\"cache_hit_rate\": 0.9321"));
@@ -530,6 +538,7 @@ mod tests {
             assert_eq!(p.forwarded + p.dropped, 2_000);
             assert!(p.pps > 0.0);
             assert!(p.p99_ns >= p.p50_ns);
+            assert!(p.p999_ns >= p.p99_ns);
             assert!(
                 p.cache_hit_rate > 0.5,
                 "skewed flow stream must hit the cache: {}",

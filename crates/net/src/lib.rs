@@ -44,11 +44,14 @@
 
 pub mod bench;
 pub mod cache;
+pub mod conntrack;
+pub mod ctbench;
 pub mod lpm;
 pub mod pipeline;
 pub mod router;
 
 pub use cache::FlowCache;
+pub use conntrack::{Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats, FlowKey};
 pub use lpm::{LinearTable, RouteError, TrieTable};
 pub use pipeline::{process_batch, BatchStats, DropReason};
 pub use router::{RouterConfig, RouterReport, RouterStats, ShardedRouter};

@@ -7,12 +7,15 @@
 //! state is the [`BatchStats`] counters.
 
 use crate::cache::FlowCache;
+use crate::conntrack::{Conntrack, FlowKey, TcpSummary};
 use crate::lpm::TrieTable;
-use sysrepr::packet::EthernetView;
+use sysrepr::packet::{EthernetView, Ipv4View, IPPROTO_TCP};
 use sysrepr::ReprError;
 
 /// Why a packet was dropped instead of forwarded. The variants double as
-/// indices into [`BatchStats::dropped`].
+/// indices into [`BatchStats::dropped`]. Reasons 5..=8 are shed decisions
+/// from the connection tracker ([`crate::conntrack`]) — the typed
+/// vocabulary overload defense speaks in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropReason {
     /// Truncated or structurally malformed at any header layer.
@@ -25,10 +28,20 @@ pub enum DropReason {
     TtlExpired = 3,
     /// No route covers the destination.
     NoRoute = 4,
+    /// TCP packet on no tracked flow (and not a flow-creating SYN) — the
+    /// strict stateful stance that makes bare-ACK floods cheap to shed.
+    NoFlow = 5,
+    /// Stateless-fallback ACK whose cookie failed validation.
+    BadCookie = 6,
+    /// Admission denied: the flow table (or SYN backlog) had no room the
+    /// defense policy was willing to make.
+    FlowTableFull = 7,
+    /// Segment illegal for the flow's current TCP state.
+    StateViolation = 8,
 }
 
 /// Number of [`DropReason`] variants.
-pub const DROP_REASONS: usize = 5;
+pub const DROP_REASONS: usize = 9;
 
 /// Display labels, indexed by `DropReason as usize`.
 pub const DROP_LABELS: [&str; DROP_REASONS] = [
@@ -37,6 +50,10 @@ pub const DROP_LABELS: [&str; DROP_REASONS] = [
     "bad-checksum",
     "ttl-expired",
     "no-route",
+    "no-flow",
+    "bad-cookie",
+    "flow-table-full",
+    "state-violation",
 ];
 
 /// Metric names for the per-reason drop counters, indexed like
@@ -47,6 +64,10 @@ pub const DROP_METRICS: [&str; DROP_REASONS] = [
     "net.drop.bad-checksum",
     "net.drop.ttl-expired",
     "net.drop.no-route",
+    "net.drop.no-flow",
+    "net.drop.bad-cookie",
+    "net.drop.flow-table-full",
+    "net.drop.state-violation",
 ];
 
 /// Per-batch (or per-worker, accumulated) counters.
@@ -102,6 +123,14 @@ impl BatchStats {
 /// [`route_frame_cached`].
 #[inline]
 fn validate_frame(frame: &[u8]) -> Result<(u32, u32), DropReason> {
+    let ipv4 = validate_ipv4(frame)?;
+    Ok((u32::from_be_bytes(ipv4.src()), ipv4.dst_u32()))
+}
+
+/// The validation front half, keeping the IPv4 view alive so the tracked
+/// path can reach into the transport header.
+#[inline]
+fn validate_ipv4(frame: &[u8]) -> Result<Ipv4View<'_>, DropReason> {
     let eth = EthernetView::parse(frame).map_err(|_| DropReason::Malformed)?;
     let ipv4 = eth.ipv4().map_err(|e| match e {
         ReprError::InvalidField {
@@ -115,7 +144,7 @@ fn validate_frame(frame: &[u8]) -> Result<(u32, u32), DropReason> {
     if ipv4.ttl() == 0 {
         return Err(DropReason::TtlExpired);
     }
-    Ok((u32::from_be_bytes(ipv4.src()), ipv4.dst_u32()))
+    Ok(ipv4)
 }
 
 /// Parses, validates, and routes a single frame. Returns the next hop, or
@@ -146,6 +175,102 @@ pub fn route_frame_cached<T: Copy>(
     cache
         .lookup_or_route(table, src, dst)
         .ok_or(DropReason::NoRoute)
+}
+
+/// The production tracked path: validate, consult the connection tracker
+/// for TCP (state machine + admission control), then route — optionally
+/// through the worker's [`FlowCache`]. Non-TCP traffic bypasses tracking
+/// (the tracker is an L4 layer; UDP and friends are stateless here).
+///
+/// `now_ns` is the caller's clock — workers pass monotonic time, tests and
+/// the deterministic bench pass virtual time, which is what makes eviction
+/// and timeout behavior replayable.
+///
+/// # Errors
+///
+/// The [`DropReason`] for any frame that fails validation, tracking
+/// admission, or routing.
+pub fn route_frame_tracked<T: Copy>(
+    frame: &[u8],
+    table: &TrieTable<T>,
+    cache: Option<&mut FlowCache<T>>,
+    ct: &mut Conntrack,
+    now_ns: u64,
+) -> Result<T, DropReason> {
+    let ipv4 = validate_ipv4(frame)?;
+    let src = u32::from_be_bytes(ipv4.src());
+    let dst = ipv4.dst_u32();
+    if ipv4.protocol() == IPPROTO_TCP {
+        let tcp = ipv4.tcp().map_err(|_| DropReason::Malformed)?;
+        let key = FlowKey::canonical(src, dst, tcp.src_port(), tcp.dst_port(), IPPROTO_TCP);
+        ct.admit_tcp(&key, TcpSummary::from_view(&tcp), now_ns)?;
+    }
+    match cache {
+        Some(c) => c
+            .lookup_or_route(table, src, dst)
+            .ok_or(DropReason::NoRoute),
+        None => table.lookup(dst).ok_or(DropReason::NoRoute),
+    }
+}
+
+/// Runs a whole batch through [`route_frame_tracked`] — the sharded
+/// router's path when connection tracking is enabled. Mirrors batch
+/// counters plus the tracker's live/half-open gauges into the `sysobs`
+/// registry, one update per batch.
+pub fn process_batch_tracked<T, B, F>(
+    frames: &[B],
+    table: &TrieTable<T>,
+    cache: Option<&mut FlowCache<T>>,
+    ct: &mut Conntrack,
+    now_ns: u64,
+    forward: F,
+) -> BatchStats
+where
+    T: Copy,
+    B: AsRef<[u8]>,
+    F: FnMut(T),
+{
+    sysobs::obs_span!("net.batch");
+    let stats = process_batch_tracked_uninstrumented(frames, table, cache, ct, now_ns, forward);
+    mirror_batch_stats(&stats);
+    if sysobs::metrics_on() {
+        sysobs::obs_count!("net.ct.batches", 1);
+        #[allow(clippy::cast_possible_wrap)]
+        {
+            sysobs::registry().gauge("net.ct.live").set(ct.len() as i64);
+            sysobs::registry()
+                .gauge("net.ct.half_open")
+                .set(ct.half_open_len() as i64);
+        }
+    }
+    stats
+}
+
+/// [`process_batch_tracked`] with no observability hooks — the
+/// compiled-baseline tracked path (`instrument: false` workers, and the
+/// E14 bench's measured configuration).
+pub fn process_batch_tracked_uninstrumented<T, B, F>(
+    frames: &[B],
+    table: &TrieTable<T>,
+    mut cache: Option<&mut FlowCache<T>>,
+    ct: &mut Conntrack,
+    now_ns: u64,
+    mut forward: F,
+) -> BatchStats
+where
+    T: Copy,
+    B: AsRef<[u8]>,
+    F: FnMut(T),
+{
+    let mut stats = BatchStats::default();
+    for frame in frames {
+        tally(
+            &mut stats,
+            route_frame_tracked(frame.as_ref(), table, cache.as_deref_mut(), ct, now_ns),
+            &mut forward,
+        );
+    }
+    stats
 }
 
 /// Runs a whole batch through [`route_frame`], invoking `forward(next_hop)`
@@ -281,7 +406,8 @@ fn tally<T: Copy, F: FnMut(T)>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sysrepr::packet::PacketBuilder;
+    use crate::conntrack::ConntrackConfig;
+    use sysrepr::packet::{PacketBuilder, TCP_ACK, TCP_SYN};
 
     fn table() -> TrieTable<&'static str> {
         let mut t = TrieTable::new();
@@ -377,6 +503,70 @@ mod tests {
         // Both batch paths agree frame for frame.
         let bare = process_batch_uninstrumented(&frames, &t, |_| {});
         assert_eq!(bare, stats);
+    }
+
+    fn tcp_to(dst: [u8; 4], sport: u16, flags: u8) -> Vec<u8> {
+        PacketBuilder::tcp()
+            .src_ip([10, 9, 9, 9])
+            .dst_ip(dst)
+            .src_port(sport)
+            .dst_port(443)
+            .tcp_flags(flags)
+            .build()
+    }
+
+    #[test]
+    fn tracked_path_gates_tcp_and_passes_udp() {
+        let t = table();
+        let mut ct = Conntrack::new(ConntrackConfig::default());
+        // A bare ACK with no flow is shed; a SYN opens one; then data flows.
+        assert_eq!(
+            route_frame_tracked(&tcp_to([10, 1, 0, 1], 5000, TCP_ACK), &t, None, &mut ct, 0),
+            Err(DropReason::NoFlow)
+        );
+        assert_eq!(
+            route_frame_tracked(&tcp_to([10, 1, 0, 1], 5000, TCP_SYN), &t, None, &mut ct, 1),
+            Ok("edge")
+        );
+        assert_eq!(
+            route_frame_tracked(&tcp_to([10, 1, 0, 1], 5000, TCP_ACK), &t, None, &mut ct, 2),
+            Ok("edge")
+        );
+        assert_eq!(ct.len(), 1);
+        // UDP bypasses tracking entirely.
+        assert_eq!(
+            route_frame_tracked(&udp_to([10, 1, 0, 2]), &t, None, &mut ct, 3),
+            Ok("edge")
+        );
+        assert_eq!(ct.len(), 1, "udp creates no flow state");
+    }
+
+    #[test]
+    fn tracked_batch_counts_shed_tcp_by_reason() {
+        let t = table();
+        let mut ct = Conntrack::new(ConntrackConfig::default());
+        let mut cache = FlowCache::new(64);
+        let frames = vec![
+            tcp_to([10, 1, 0, 1], 5000, TCP_SYN),
+            tcp_to([10, 1, 0, 1], 5000, TCP_ACK),
+            tcp_to([10, 1, 0, 1], 6000, TCP_ACK), // no flow -> shed
+            udp_to([10, 2, 0, 1]),
+            vec![0u8; 4], // malformed
+        ];
+        let mut hops = Vec::new();
+        let stats =
+            process_batch_tracked(&frames, &t, Some(&mut cache), &mut ct, 0, |h| hops.push(h));
+        assert_eq!(stats.total(), frames.len() as u64);
+        assert_eq!(stats.forwarded, 3);
+        assert_eq!(stats.dropped[DropReason::NoFlow as usize], 1);
+        assert_eq!(stats.dropped[DropReason::Malformed as usize], 1);
+        assert_eq!(hops, vec!["edge", "edge", "core"]);
+        // Cached and uncached tracked paths agree (fresh tracker per run:
+        // admission is stateful).
+        let mut ct2 = Conntrack::new(ConntrackConfig::default());
+        let bare = process_batch_tracked_uninstrumented(&frames, &t, None, &mut ct2, 0, |_| {});
+        assert_eq!(bare, stats);
+        ct.check_invariants().unwrap();
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! interleavings (the same split `sysconc::stm` makes for its stats).
 
 use crate::cache::FlowCache;
+use crate::conntrack::{Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats};
 use crate::lpm::TrieTable;
 use crate::pipeline::{self, BatchStats, DROP_METRICS, DROP_REASONS};
 use std::collections::VecDeque;
@@ -49,13 +50,24 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use syscheck::shim::{spawn_named, JoinHandle};
 use sysconc::channel::{bounded, channel, Receiver, Sender, TrySendError};
+use sysfault::{FaultInjector, FaultPlan};
 use sysobs::LogHistogram;
 
 /// A next-hop port: an index into the router's port table.
 pub type PortId = u16;
 
+/// Fault site: the dispatcher silently drops a submitted frame (NIC-edge
+/// loss) before it reaches any worker.
+pub const SITE_NET_FRAME_DROP: &str = "net.dispatch.frame_drop";
+/// Fault site: a worker stalls briefly before processing a batch (the slow
+/// peer the non-blocking dispatch and requeue path must absorb).
+pub const SITE_NET_WORKER_STALL: &str = "net.worker.stall";
+/// Fault site: a batch returning on the recycle channel is lost, so its
+/// buffers leave the pool forever and the dispatcher must re-allocate.
+pub const SITE_NET_RECYCLE_LOSS: &str = "net.recycle.loss";
+
 /// Sizing knobs for [`ShardedRouter`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RouterConfig {
     /// Worker threads (≥ 1). Flows are hash-partitioned across them.
     pub workers: usize,
@@ -74,6 +86,19 @@ pub struct RouterConfig {
     /// instrumentation overhead against; production configs leave it true
     /// and control cost via [`sysobs::set_mode`].
     pub instrument: bool,
+    /// Per-worker connection-tracking shard config. `None` (the default)
+    /// runs the classic stateless pipeline; `Some` routes every batch
+    /// through [`pipeline::process_batch_tracked`] and sweeps each shard
+    /// watchdog-style between batches. `max_flows` is the **router-wide**
+    /// capacity: every shard charges the same [`ConntrackShared`] gauge,
+    /// so the live-entry total never exceeds it no matter how flows shard.
+    pub conntrack: Option<ConntrackConfig>,
+    /// Seeded fault plan for the `net.*` injection sites. The dispatcher
+    /// keeps an injector for [`SITE_NET_FRAME_DROP`] and
+    /// [`SITE_NET_RECYCLE_LOSS`]; each worker derives its own (seed XORed
+    /// with the FNV of the worker name) for [`SITE_NET_WORKER_STALL`] and
+    /// the `net.conntrack.*` sites, so campaigns replay per worker.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RouterConfig {
@@ -84,6 +109,8 @@ impl Default for RouterConfig {
             queue_depth: 8,
             cache_slots: 4096,
             instrument: true,
+            conntrack: None,
+            fault_plan: None,
         }
     }
 }
@@ -114,6 +141,7 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_invalidations: AtomicU64,
+    injected_stalls: AtomicU64,
     per_port: Vec<AtomicU64>,
 }
 
@@ -128,6 +156,7 @@ impl Counters {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_invalidations: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
             per_port: (0..ports).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -161,6 +190,7 @@ impl Counters {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            injected_stalls: self.injected_stalls.load(Ordering::Relaxed),
             per_port: self
                 .per_port
                 .iter()
@@ -189,6 +219,8 @@ pub struct WorkerStats {
     pub cache_misses: u64,
     /// Flow-cache wholesale invalidations (table-generation changes seen).
     pub cache_invalidations: u64,
+    /// Injected worker stalls served ([`SITE_NET_WORKER_STALL`]).
+    pub injected_stalls: u64,
     /// Forwards per port id.
     pub per_port: Vec<u64>,
 }
@@ -234,6 +266,7 @@ impl WorkerStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
+        self.injected_stalls += other.injected_stalls;
         if self.per_port.len() < other.per_port.len() {
             self.per_port.resize(other.per_port.len(), 0);
         }
@@ -283,6 +316,34 @@ impl PoolStats {
     }
 }
 
+/// What the seeded `net.*` fault campaign did to one router run: injection
+/// counts plus the replayable digests (same plan + same stream → same
+/// digests, which is how campaigns prove they reproduced).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFaultStats {
+    /// Frames dropped at the dispatcher ([`SITE_NET_FRAME_DROP`]).
+    pub injected_frame_drops: u64,
+    /// Recycle batches lost ([`SITE_NET_RECYCLE_LOSS`]).
+    pub recycle_losses: u64,
+    /// Frame buffers those lost batches carried away.
+    pub frames_lost: u64,
+    /// Worker stalls served ([`SITE_NET_WORKER_STALL`]).
+    pub injected_stalls: u64,
+    /// Dispatcher injector's fault-log digest (0 when no plan).
+    pub dispatch_digest: u64,
+    /// Per-worker digests (stall + conntrack sites) folded in worker
+    /// order: `d ← rotl(d, 1) ^ worker_digest`.
+    pub worker_digest: u64,
+}
+
+impl NetFaultStats {
+    /// Total injected events across all sites.
+    #[must_use]
+    pub fn total_injected(&self) -> u64 {
+        self.injected_frame_drops + self.recycle_losses + self.injected_stalls
+    }
+}
+
 /// Final report returned by [`ShardedRouter::finish`]: the aggregate
 /// counters plus the per-packet latency distribution.
 #[derive(Debug, Clone)]
@@ -291,6 +352,11 @@ pub struct RouterReport {
     pub stats: RouterStats,
     /// Dispatcher-side buffer-pool counters.
     pub pool: PoolStats,
+    /// Merged connection-tracking counters across workers (`None` when
+    /// tracking was disabled).
+    pub conntrack: Option<ConntrackStats>,
+    /// Fault-injection campaign summary (all zeros when no plan was set).
+    pub faults: NetFaultStats,
     /// Per-packet submit-to-batch-completion latency (queueing plus
     /// processing), log-bucketed. Replaces the old hand-rolled weighted
     /// `(ns, packets)` quantile list with the shared [`LogHistogram`].
@@ -345,6 +411,18 @@ impl RouterReport {
         for (name, &n) in DROP_METRICS.iter().zip(t.dropped.iter()) {
             snap.set_counter(*name, n);
         }
+        if let Some(ct) = &self.conntrack {
+            let ct_snap = ct.to_snapshot();
+            for (name, v) in ct_snap.counters() {
+                snap.set_counter(name.to_owned(), v);
+            }
+        }
+        if self.faults != NetFaultStats::default() {
+            snap.set_counter("net.fault.frame_drops", self.faults.injected_frame_drops);
+            snap.set_counter("net.fault.recycle_losses", self.faults.recycle_losses);
+            snap.set_counter("net.fault.frames_lost", self.faults.frames_lost);
+            snap.set_counter("net.fault.worker_stalls", self.faults.injected_stalls);
+        }
         snap.set_hist("net.latency_ns", self.latencies.clone());
         snap
     }
@@ -369,36 +447,88 @@ fn flow_hash(frame: &[u8]) -> u64 {
     sysobs::fnv1a(frame.get(26..34).unwrap_or(frame))
 }
 
+/// What one worker thread hands back at shutdown.
+struct WorkerExit {
+    latencies: LogHistogram,
+    /// Final conntrack counters (post-audit), when tracking ran.
+    ct_stats: Option<ConntrackStats>,
+    /// Combined fault-log digest: the worker's stall injector folded with
+    /// its conntrack shard's injector.
+    fault_digest: u64,
+}
+
 /// One worker's receive-process loop, monomorphized on `OBS` so the
 /// `instrument: false` configuration compiles a fast path containing zero
 /// observability code — the E11 baseline — while the instrumented variant
 /// routes through [`pipeline::process_batch_cached`] (registry counters,
-/// spans). Drained batches go back to the dispatcher through `recycle`;
-/// the send is best-effort because at shutdown the dispatcher drops its
-/// receiver first.
+/// spans). With a conntrack shard the batch goes through the tracked
+/// pipeline instead, and the shard's watchdog sweep runs between batches
+/// on the worker's own monotonic clock. Drained batches go back to the
+/// dispatcher through `recycle`; the send is best-effort because at
+/// shutdown the dispatcher drops its receiver first.
 fn worker_loop<const OBS: bool>(
     rx: &Receiver<Batch>,
     recycle: &Sender<Batch>,
     table: &TrieTable<PortId>,
     shared: &Counters,
     cache_slots: usize,
-) -> LogHistogram {
+    mut ct: Option<Conntrack>,
+    mut injector: Option<FaultInjector>,
+) -> WorkerExit {
     let mut cache = (cache_slots > 0).then(|| FlowCache::new(cache_slots));
     let mut latencies = LogHistogram::new();
+    let t0 = Instant::now();
     while let Ok(batch) = rx.recv() {
+        if let Some(inj) = &mut injector {
+            if inj.should_fail(SITE_NET_WORKER_STALL) {
+                shared.injected_stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
         let occupancy = batch.frames.len();
         let forward = |port: PortId| {
             if let Some(cell) = shared.per_port.get(usize::from(port)) {
                 cell.fetch_add(1, Ordering::Relaxed);
             }
         };
-        let stats = match (&mut cache, OBS) {
-            (Some(c), true) => pipeline::process_batch_cached(&batch.frames, table, c, forward),
-            (Some(c), false) => {
-                pipeline::process_batch_cached_uninstrumented(&batch.frames, table, c, forward)
+        let stats = if let Some(ct) = &mut ct {
+            let now_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let s = if OBS {
+                pipeline::process_batch_tracked(
+                    &batch.frames,
+                    table,
+                    cache.as_mut(),
+                    ct,
+                    now_ns,
+                    forward,
+                )
+            } else {
+                pipeline::process_batch_tracked_uninstrumented(
+                    &batch.frames,
+                    table,
+                    cache.as_mut(),
+                    ct,
+                    now_ns,
+                    forward,
+                )
+            };
+            // The watchdog runs between batches, never inside one: bounded
+            // extra work per batch, zero contention with the fast path.
+            if ct.due_sweep(now_ns) {
+                ct.sweep(now_ns);
             }
-            (None, true) => pipeline::process_batch(&batch.frames, table, forward),
-            (None, false) => pipeline::process_batch_uninstrumented(&batch.frames, table, forward),
+            s
+        } else {
+            match (&mut cache, OBS) {
+                (Some(c), true) => pipeline::process_batch_cached(&batch.frames, table, c, forward),
+                (Some(c), false) => {
+                    pipeline::process_batch_cached_uninstrumented(&batch.frames, table, c, forward)
+                }
+                (None, true) => pipeline::process_batch(&batch.frames, table, forward),
+                (None, false) => {
+                    pipeline::process_batch_uninstrumented(&batch.frames, table, forward)
+                }
+            }
         };
         shared.apply(&stats, occupancy);
         if let Some(c) = &cache {
@@ -412,7 +542,19 @@ fn worker_loop<const OBS: bool>(
         }
         let _ = recycle.send(batch);
     }
-    latencies
+    let mut fault_digest = injector.map_or(0, |inj| inj.log().digest());
+    let ct_stats = ct.map(|mut ct| {
+        // Shutdown audit: campaigns read invariant_violations out of the
+        // merged stats, so a corrupted shard cannot exit silently.
+        ct.audit();
+        fault_digest = fault_digest.rotate_left(1) ^ ct.fault_digest();
+        *ct.stats()
+    });
+    WorkerExit {
+        latencies,
+        ct_stats,
+        fault_digest,
+    }
 }
 
 /// The sharded router: dispatcher-side handle. Create with
@@ -421,8 +563,12 @@ fn worker_loop<const OBS: bool>(
 pub struct ShardedRouter {
     senders: Vec<Sender<Batch>>,
     recycle_rx: Vec<Receiver<Batch>>,
-    handles: Vec<JoinHandle<LogHistogram>>,
+    handles: Vec<JoinHandle<WorkerExit>>,
     counters: Vec<Arc<Counters>>,
+    /// Dispatcher-side injector (frame-drop and recycle-loss sites).
+    dispatch_injector: Option<FaultInjector>,
+    /// Injection counts accumulated dispatcher-side.
+    fault: NetFaultStats,
     pending: Vec<Vec<Vec<u8>>>,
     /// Batches dispatched per worker (for the queue-occupancy estimate).
     dispatched: Vec<u64>,
@@ -460,6 +606,12 @@ impl ShardedRouter {
         assert!(config.batch_size >= 1, "batch size must be nonzero");
         assert!(config.queue_depth >= 1, "queue depth must be nonzero");
         let table = Arc::new(table);
+        // One cross-shard gauge caps the router-wide live-entry count at
+        // `max_flows`; each worker shard charges it before inserting.
+        let ct_shared = config
+            .conntrack
+            .as_ref()
+            .map(|c| Arc::new(ConntrackShared::new(c.max_flows as u64)));
         let mut senders = Vec::with_capacity(config.workers);
         let mut recycle_rx = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
@@ -474,13 +626,47 @@ impl ShardedRouter {
             let shared = Arc::clone(&worker_counters);
             let slots = config.cache_slots;
             let name = format!("sysnet-worker-{i}");
+            // Per-worker injector seeds derive from the worker name, so a
+            // campaign replays per worker no matter how flows shard.
+            let derived_plan = config.fault_plan.as_ref().map(|p| {
+                let mut plan = p.clone();
+                plan.seed ^= sysobs::fnv1a(name.as_bytes());
+                plan
+            });
+            let worker_ct = config.conntrack.map(|c| {
+                let mut ct = Conntrack::new(c);
+                if let Some(shared) = &ct_shared {
+                    ct = ct.with_shared(Arc::clone(shared));
+                }
+                match &derived_plan {
+                    Some(plan) => ct.with_injector(FaultInjector::new(plan.clone())),
+                    None => ct,
+                }
+            });
+            let worker_injector = derived_plan.map(FaultInjector::new);
             let handle = if config.instrument {
                 spawn_named(&name, move || {
-                    worker_loop::<true>(&rx, &back_tx, &worker_table, &shared, slots)
+                    worker_loop::<true>(
+                        &rx,
+                        &back_tx,
+                        &worker_table,
+                        &shared,
+                        slots,
+                        worker_ct,
+                        worker_injector,
+                    )
                 })
             } else {
                 spawn_named(&name, move || {
-                    worker_loop::<false>(&rx, &back_tx, &worker_table, &shared, slots)
+                    worker_loop::<false>(
+                        &rx,
+                        &back_tx,
+                        &worker_table,
+                        &shared,
+                        slots,
+                        worker_ct,
+                        worker_injector,
+                    )
                 })
             };
             senders.push(tx);
@@ -493,6 +679,8 @@ impl ShardedRouter {
             recycle_rx,
             handles,
             counters,
+            dispatch_injector: config.fault_plan.clone().map(FaultInjector::new),
+            fault: NetFaultStats::default(),
             pending: vec![Vec::new(); config.workers],
             dispatched: vec![0; config.workers],
             target: (config.batch_size / 8).max(1),
@@ -517,6 +705,12 @@ impl ShardedRouter {
     /// Queues one frame (copied into a pooled buffer), dispatching a batch
     /// to its worker when the adaptive threshold fills.
     pub fn submit(&mut self, frame: &[u8]) {
+        if let Some(inj) = &mut self.dispatch_injector {
+            if inj.should_fail(SITE_NET_FRAME_DROP) {
+                self.fault.injected_frame_drops += 1;
+                return;
+            }
+        }
         #[allow(clippy::cast_possible_truncation)]
         let w = (flow_hash(frame) % self.senders.len() as u64) as usize;
         let mut buf = self.take_frame_buf();
@@ -567,11 +761,10 @@ impl ShardedRouter {
                 let Some(w) = self.max_in_flight_worker() else {
                     break;
                 };
-                let Ok(mut batch) = self.recycle_rx[w].recv() else {
+                let Ok(batch) = self.recycle_rx[w].recv() else {
                     break;
                 };
-                self.free_frames.append(&mut batch.frames);
-                self.free_batches.push(batch.frames);
+                self.absorb_recycled(batch);
                 self.drain_recycled();
             }
             if self.free_frames.is_empty() {
@@ -610,12 +803,30 @@ impl ShardedRouter {
         }
     }
 
+    /// Folds one returned batch into the pools — unless the recycle-loss
+    /// site eats it, in which case the buffers leave the budget's books too
+    /// (so replacements can be allocated and backpressure stays live).
+    fn absorb_recycled(&mut self, mut batch: Batch) {
+        if let Some(inj) = &mut self.dispatch_injector {
+            if inj.should_fail(SITE_NET_RECYCLE_LOSS) {
+                self.fault.recycle_losses += 1;
+                self.fault.frames_lost += batch.frames.len() as u64;
+                self.pool.frames_allocated = self
+                    .pool
+                    .frames_allocated
+                    .saturating_sub(batch.frames.len() as u64);
+                return;
+            }
+        }
+        self.free_frames.append(&mut batch.frames);
+        self.free_batches.push(batch.frames);
+    }
+
     /// Pulls every batch the workers have returned back into the pools.
     fn drain_recycled(&mut self) {
-        for rx in &self.recycle_rx {
-            while let Ok(mut batch) = rx.try_recv() {
-                self.free_frames.append(&mut batch.frames);
-                self.free_batches.push(batch.frames);
+        for w in 0..self.recycle_rx.len() {
+            while let Ok(batch) = self.recycle_rx[w].try_recv() {
+                self.absorb_recycled(batch);
             }
         }
     }
@@ -731,8 +942,17 @@ impl ShardedRouter {
         self.flush();
         drop(std::mem::take(&mut self.senders)); // workers exit on disconnect
         let mut latencies = LogHistogram::new();
+        let mut conntrack: Option<ConntrackStats> = None;
+        let mut faults = self.fault;
         for handle in std::mem::take(&mut self.handles) {
-            latencies.merge(&handle.join().expect("router worker panicked"));
+            let exit = handle.join().expect("router worker panicked");
+            latencies.merge(&exit.latencies);
+            if let Some(ct) = &exit.ct_stats {
+                conntrack
+                    .get_or_insert_with(ConntrackStats::default)
+                    .merge(ct);
+            }
+            faults.worker_digest = faults.worker_digest.rotate_left(1) ^ exit.fault_digest;
         }
         let stats = {
             let per_worker: Vec<WorkerStats> = self.counters.iter().map(|c| c.snapshot()).collect();
@@ -742,9 +962,16 @@ impl ShardedRouter {
             }
             RouterStats { per_worker, totals }
         };
+        faults.injected_stalls = stats.totals.injected_stalls;
+        faults.dispatch_digest = self
+            .dispatch_injector
+            .as_ref()
+            .map_or(0, |inj| inj.log().digest());
         RouterReport {
             stats,
             pool: self.pool,
+            conntrack,
+            faults,
             latencies,
         }
     }
@@ -987,6 +1214,158 @@ mod tests {
         assert!(snap.totals.total_frames() <= 200);
         let report = router.finish();
         assert_eq!(report.stats.totals.total_frames(), 200);
+    }
+
+    fn tcp_stream(flows: usize, data_per_flow: usize) -> Vec<Vec<u8>> {
+        use sysrepr::packet::{TCP_ACK, TCP_SYN};
+        let mut frames = Vec::new();
+        for f in 0..flows {
+            #[allow(clippy::cast_possible_truncation)]
+            let (hi, lo) = ((f >> 8) as u8, (f & 0xFF) as u8);
+            let mk = |flags: u8| {
+                PacketBuilder::tcp()
+                    .src_ip([172, 16, hi, lo])
+                    .dst_ip([10, lo % 3, hi, 1])
+                    .src_port(20_000)
+                    .dst_port(443)
+                    .tcp_flags(flags)
+                    .payload(&[0x5A; 32])
+                    .build()
+            };
+            frames.push(mk(TCP_SYN));
+            for _ in 0..data_per_flow {
+                frames.push(mk(TCP_ACK));
+            }
+        }
+        frames
+    }
+
+    #[test]
+    fn tracked_router_admits_handshaked_flows_and_sheds_strays() {
+        use crate::conntrack::ConntrackConfig;
+        let flows = 40;
+        let data = 4;
+        let mut frames = tcp_stream(flows, data);
+        // Stray bare ACKs on flows that never sent a SYN: must be shed
+        // with NoFlow, per worker, without disturbing tracked flows.
+        for s in 0..10u8 {
+            frames.push(
+                PacketBuilder::tcp()
+                    .src_ip([9, 9, 9, s])
+                    .dst_ip([10, 0, s, 1])
+                    .build(),
+            );
+        }
+        let cfg = RouterConfig {
+            workers: 4,
+            conntrack: Some(ConntrackConfig::default()),
+            ..RouterConfig::default()
+        };
+        let (report, _) = run_stream(table(), 3, cfg, &frames);
+        let t = &report.stats.totals;
+        assert_eq!(t.total_frames(), frames.len() as u64);
+        assert_eq!(t.forwarded, (flows * (1 + data)) as u64);
+        assert_eq!(t.dropped[DropReason::NoFlow as usize], 10);
+        let ct = report.conntrack.expect("tracking ran");
+        assert_eq!(ct.flows_created, flows as u64);
+        assert_eq!(ct.flows_promoted, flows as u64);
+        assert_eq!(ct.invariant_violations, 0);
+        // Flow sharding keeps each flow's packets on one worker, so the
+        // tracked totals agree with a single-worker run.
+        let single = run_stream(
+            table(),
+            3,
+            RouterConfig {
+                workers: 1,
+                conntrack: Some(ConntrackConfig::default()),
+                ..RouterConfig::default()
+            },
+            &frames,
+        )
+        .0;
+        assert_eq!(single.stats.totals.forwarded, t.forwarded);
+        assert_eq!(single.stats.totals.dropped, t.dropped);
+    }
+
+    #[test]
+    fn untracked_router_reports_no_conntrack() {
+        let frames = stream(100);
+        let (report, _) = run_stream(table(), 3, RouterConfig::default(), &frames);
+        assert!(report.conntrack.is_none());
+        assert_eq!(report.faults, NetFaultStats::default());
+    }
+
+    #[test]
+    fn injected_frame_drops_are_counted_not_lost() {
+        use sysfault::{FaultPlan, Schedule};
+        let frames = stream(400);
+        let cfg = RouterConfig {
+            fault_plan: Some(
+                FaultPlan::new(0xD0_D0).with_site(SITE_NET_FRAME_DROP, Schedule::EveryNth(10)),
+            ),
+            ..RouterConfig::default()
+        };
+        let (report, _) = run_stream(table(), 3, cfg, &frames);
+        assert_eq!(report.faults.injected_frame_drops, 40);
+        // Conservation including the injected drops: nothing vanishes
+        // unaccounted.
+        assert_eq!(
+            report.stats.totals.total_frames() + report.faults.injected_frame_drops,
+            frames.len() as u64
+        );
+    }
+
+    #[test]
+    fn injected_stalls_and_recycle_loss_degrade_gracefully() {
+        use crate::conntrack::ConntrackConfig;
+        use sysfault::{FaultPlan, Schedule};
+        let frames = tcp_stream(60, 30);
+        let plan = FaultPlan::new(0xBEEF)
+            .with_site(SITE_NET_WORKER_STALL, Schedule::EveryNth(7))
+            .with_site(SITE_NET_RECYCLE_LOSS, Schedule::EveryNth(5));
+        let cfg = RouterConfig {
+            workers: 2,
+            batch_size: 16,
+            conntrack: Some(ConntrackConfig::default()),
+            fault_plan: Some(plan),
+            ..RouterConfig::default()
+        };
+        let (report, _) = run_stream(table(), 3, cfg, &frames);
+        // Every frame still forwarded or attributed despite stalls and
+        // lost buffers — the campaign degrades service, never correctness.
+        assert_eq!(report.stats.totals.total_frames(), frames.len() as u64);
+        assert!(report.faults.injected_stalls > 0, "{:?}", report.faults);
+        assert!(report.faults.recycle_losses > 0, "{:?}", report.faults);
+        let ct = report.conntrack.expect("tracking ran");
+        assert_eq!(ct.invariant_violations, 0);
+    }
+
+    #[test]
+    fn fault_campaigns_replay_identically_from_their_seed() {
+        use crate::conntrack::ConntrackConfig;
+        use sysfault::{FaultPlan, Schedule};
+        let frames = tcp_stream(50, 10);
+        let mk = |seed: u64| RouterConfig {
+            workers: 2,
+            conntrack: Some(ConntrackConfig::default()),
+            fault_plan: Some(
+                FaultPlan::new(seed)
+                    .with_site(SITE_NET_FRAME_DROP, Schedule::Probability(0.02))
+                    .with_site(crate::conntrack::SITE_CT_TABLE_FULL, Schedule::EveryNth(40)),
+            ),
+            ..RouterConfig::default()
+        };
+        let a = run_stream(table(), 3, mk(77), &frames).0;
+        let b = run_stream(table(), 3, mk(77), &frames).0;
+        assert_eq!(a.faults.dispatch_digest, b.faults.dispatch_digest);
+        assert_eq!(a.faults.worker_digest, b.faults.worker_digest);
+        assert_eq!(a.faults.injected_frame_drops, b.faults.injected_frame_drops);
+        let c = run_stream(table(), 3, mk(78), &frames).0;
+        assert_ne!(
+            (a.faults.dispatch_digest, a.faults.worker_digest),
+            (c.faults.dispatch_digest, c.faults.worker_digest),
+            "different seed, different campaign"
+        );
     }
 
     #[test]

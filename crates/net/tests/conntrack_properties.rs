@@ -1,0 +1,223 @@
+//! Adversarial property tests for the conntrack flow table.
+//!
+//! The table's intrusive structure (slab + per-state recency lists + hash
+//! chains + free list) has exactly the pointer-soup shape the paper says
+//! systems code cannot avoid — so it gets the LangSec treatment: arbitrary
+//! segment sequences, hostile flag combinations, time jumps past every
+//! timeout, and sweeps at random moments, with [`Conntrack::check_invariants`]
+//! auditing the whole structure along the way. A differential property
+//! pins the zero-copy frame path ([`route_frame_tracked`]) to the direct
+//! [`Conntrack::admit_tcp`] summary path: same inputs, same verdicts, same
+//! final table.
+
+use proptest::prelude::*;
+use sysnet::conntrack::{EvictCause, TcpSummary};
+use sysnet::lpm::TrieTable;
+use sysnet::pipeline::route_frame_tracked;
+use sysnet::{Conntrack, ConntrackConfig, FlowKey};
+use sysrepr::packet::{PacketBuilder, IPPROTO_TCP, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};
+
+/// One adversarial step against the table.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Admit a segment for the keyed flow.
+    Segment {
+        /// Index into the small endpoint pool (collisions guaranteed).
+        flow: usize,
+        /// Reverse the direction (same canonical key, swapped endpoints).
+        reverse: bool,
+        flags: u8,
+        /// `None` = echo the shard's cookie + 1 (a well-behaved client);
+        /// `Some(n)` = an arbitrary, usually wrong, acknowledgment.
+        ack_no: Option<u32>,
+    },
+    /// Advance virtual time.
+    Tick { ns: u64 },
+    /// Run the watchdog sweep now.
+    Sweep,
+}
+
+/// A small endpoint pool: collisions, bidirectional traffic, and enough
+/// distinct flows to overflow an 8-entry table.
+fn endpoints(flow: usize) -> (u32, u32, u16, u16) {
+    let f = flow % 24;
+    let src = u32::from_be_bytes([172, 16, 0, (f % 6) as u8]);
+    let dst = u32::from_be_bytes([10, 0, 0, (f / 6) as u8]);
+    (src, dst, 40_000 + (f % 4) as u16, 443)
+}
+
+fn key_of(flow: usize) -> FlowKey {
+    let (src, dst, sport, dport) = endpoints(flow);
+    FlowKey::canonical(src, dst, sport, dport, IPPROTO_TCP)
+}
+
+fn arb_flags() -> impl Strategy<Value = u8> {
+    prop_oneof![
+        3 => Just(TCP_SYN),
+        3 => Just(TCP_ACK),
+        2 => Just(TCP_SYN | TCP_ACK),
+        1 => Just(TCP_FIN | TCP_ACK),
+        1 => Just(TCP_RST),
+        1 => Just(TCP_FIN),
+        1 => any::<u8>(),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0usize..24, any::<bool>(), arb_flags(), prop_oneof![
+                2 => Just(None),
+                1 => any::<u32>().prop_map(Some),
+            ])
+            .prop_map(|(flow, reverse, flags, ack_no)| Op::Segment { flow, reverse, flags, ack_no }),
+        2 => (0u64..3_000_000_000).prop_map(|ns| Op::Tick { ns }),
+        1 => Just(Op::Sweep),
+    ]
+}
+
+fn tiny_config(defense: bool) -> ConntrackConfig {
+    ConntrackConfig {
+        max_flows: 8,
+        syn_backlog: 3,
+        sweep_batch: 4,
+        overload_defense: defense,
+        ..ConntrackConfig::default()
+    }
+}
+
+fn summary_of(flags: u8, ack_no: u32) -> TcpSummary {
+    TcpSummary {
+        syn: flags & TCP_SYN != 0,
+        ack: flags & TCP_ACK != 0,
+        fin: flags & TCP_FIN != 0,
+        rst: flags & TCP_RST != 0,
+        ack_no,
+    }
+}
+
+proptest! {
+    /// Any op sequence leaves the intrusive structure sound: no panics,
+    /// bounds hold after every step, and the full structural audit passes
+    /// at every sweep and at the end. Runs with the defense both on and
+    /// off, since the two modes take disjoint eviction paths.
+    #[test]
+    fn hostile_segments_never_break_the_structure(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        defense in any::<bool>(),
+    ) {
+        let cfg = tiny_config(defense);
+        let mut ct = Conntrack::new(cfg);
+        let mut now = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Segment { flow, reverse, flags, ack_no } => {
+                    let key = key_of(flow);
+                    let ack = ack_no.unwrap_or_else(|| ct.cookie(&key).wrapping_add(1));
+                    // reverse shares the canonical key by construction.
+                    let _ = reverse;
+                    let _ = ct.admit_tcp(&key, summary_of(flags, ack), now);
+                }
+                Op::Tick { ns } => now += ns,
+                Op::Sweep => {
+                    ct.sweep(now);
+                    ct.check_invariants().expect("audit after sweep");
+                }
+            }
+            prop_assert!(ct.len() <= cfg.max_flows, "len {} > cap", ct.len());
+            prop_assert!(ct.half_open_len() <= ct.len());
+            if defense {
+                prop_assert!(
+                    ct.half_open_len() <= cfg.syn_backlog,
+                    "backlog breached: {} > {}",
+                    ct.half_open_len(),
+                    cfg.syn_backlog
+                );
+            }
+        }
+        ct.check_invariants().expect("final audit");
+        // Stats conservation: everything created (cookie establishments
+        // included — `insert` counts them too) was either removed or is
+        // still live.
+        let s = ct.stats();
+        prop_assert_eq!(s.flows_created, s.removed_total() + ct.len() as u64);
+        prop_assert!(s.cookie_established <= s.flows_created);
+    }
+
+    /// With the defense on, overload never cannibalizes established flows:
+    /// the naive-LRU eviction cause stays at zero no matter the traffic.
+    #[test]
+    fn defense_never_evicts_established_flows(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let mut ct = Conntrack::new(tiny_config(true));
+        let mut now = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Segment { flow, flags, ack_no, .. } => {
+                    let key = key_of(flow);
+                    let ack = ack_no.unwrap_or_else(|| ct.cookie(&key).wrapping_add(1));
+                    let _ = ct.admit_tcp(&key, summary_of(flags, ack), now);
+                }
+                Op::Tick { ns } => now += ns,
+                Op::Sweep => { ct.sweep(now); }
+            }
+            prop_assert_eq!(
+                ct.stats().removed[EvictCause::Lru as usize], 0,
+                "defense-on run took the naive-LRU eviction path"
+            );
+        }
+    }
+
+    /// Differential: the zero-copy frame path and the direct summary path
+    /// agree packet by packet — same admit/shed verdicts, same live set,
+    /// same counters. Catches key-canonicalization or parse drift between
+    /// `route_frame_tracked` and `admit_tcp`.
+    #[test]
+    fn frame_path_matches_summary_path(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        defense in any::<bool>(),
+    ) {
+        let cfg = tiny_config(defense);
+        let mut by_frame = Conntrack::new(cfg);
+        let mut by_summary = Conntrack::new(cfg);
+        let mut table = TrieTable::new();
+        table.insert(0, 0, 1u16).unwrap();
+        let mut now = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Segment { flow, reverse, flags, ack_no } => {
+                    let (mut src, mut dst, mut sport, mut dport) = endpoints(flow);
+                    if reverse {
+                        std::mem::swap(&mut src, &mut dst);
+                        std::mem::swap(&mut sport, &mut dport);
+                    }
+                    let key = FlowKey::canonical(src, dst, sport, dport, IPPROTO_TCP);
+                    let ack = ack_no.unwrap_or_else(|| by_frame.cookie(&key).wrapping_add(1));
+                    let frame = PacketBuilder::tcp()
+                        .src_ip(src.to_be_bytes())
+                        .dst_ip(dst.to_be_bytes())
+                        .src_port(sport)
+                        .dst_port(dport)
+                        .tcp_flags(flags)
+                        .ack_no(ack)
+                        .build();
+                    let via_frame =
+                        route_frame_tracked(&frame, &table, None, &mut by_frame, now).map(|_| ());
+                    let via_summary = by_summary.admit_tcp(&key, summary_of(flags, ack), now);
+                    prop_assert_eq!(via_frame, via_summary, "paths disagree on a packet");
+                }
+                Op::Tick { ns } => now += ns,
+                Op::Sweep => {
+                    by_frame.sweep(now);
+                    by_summary.sweep(now);
+                }
+            }
+        }
+        prop_assert_eq!(by_frame.len(), by_summary.len());
+        prop_assert_eq!(by_frame.half_open_len(), by_summary.half_open_len());
+        prop_assert_eq!(by_frame.cookie_mode(), by_summary.cookie_mode());
+        prop_assert_eq!(by_frame.stats(), by_summary.stats());
+        by_frame.check_invariants().expect("frame-path audit");
+        by_summary.check_invariants().expect("summary-path audit");
+    }
+}

@@ -46,6 +46,8 @@ fn route_model() -> u64 {
         queue_depth: 1,
         cache_slots: 0,
         instrument: false,
+        conntrack: None,
+        fault_plan: None,
     };
     let mut router = ShardedRouter::start(table(), 2, cfg);
     for frame in frames() {

@@ -182,11 +182,12 @@ impl fmt::Display for LogHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={} p50={} p99={} max={}",
+            "n={} mean={} p50={} p99={} p999={} max={}",
             self.count,
             self.mean(),
             self.percentile(0.50),
             self.percentile(0.99),
+            self.percentile(0.999),
             self.max
         )
     }
@@ -336,6 +337,30 @@ mod tests {
         h.record(64);
         let s = h.to_string();
         assert!(s.contains("n=1"), "{s}");
+        assert!(s.contains("p999=64"), "{s}");
         assert!(s.contains("max=64"), "{s}");
+    }
+
+    #[test]
+    fn interpolated_p999_is_pinned_on_a_known_distribution() {
+        // 999 samples at 100 ns and one at 60000 ns: both p99 and p999
+        // interpolate inside the [64, 128) bucket — only p100 reaches the
+        // outlier. Attack sweeps live exactly in this regime: a p999 of
+        // ~128 with a max of 60000 is a different system than one whose
+        // p999 is 60000, and the report must distinguish them.
+        let mut h = LogHistogram::new();
+        h.record_n(100, 999);
+        h.record(60_000);
+        // target = ceil(0.99 * 1000) = 990 → rank 990 of 999 in [64, 128):
+        // 64 + 64 * 990 / 999 = 127.
+        assert_eq!(h.percentile(0.99), 127);
+        // Rank ceil(0.999 * 1000) = 999 of 999 in [64, 128) → the bucket's
+        // upper edge, exactly 128 — still two decades under the outlier.
+        assert_eq!(h.percentile(0.999), 128);
+        assert_eq!(h.percentile(1.0), 60_000);
+        // A tail-free distribution keeps p999 tight to p99.
+        let mut g = LogHistogram::new();
+        g.record_n(100, 1000);
+        assert_eq!(g.percentile(0.999), g.percentile(0.99));
     }
 }

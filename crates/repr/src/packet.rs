@@ -6,7 +6,7 @@
 //! up (Challenge 3); [`crate::boxed`] implements the same protocols in the
 //! allocating "managed" style for experiment E8's comparison.
 
-use crate::endian::{internet_checksum, read_u16_be, read_u32_be, write_u16_be};
+use crate::endian::{internet_checksum, read_u16_be, read_u32_be, write_u16_be, write_u32_be};
 use crate::ReprError;
 
 /// EtherType for IPv4.
@@ -15,6 +15,15 @@ pub const ETHERTYPE_IPV4: u16 = 0x0800;
 pub const IPPROTO_TCP: u8 = 6;
 /// IP protocol number for UDP.
 pub const IPPROTO_UDP: u8 = 17;
+
+/// TCP FIN flag bit.
+pub const TCP_FIN: u8 = 0x01;
+/// TCP SYN flag bit.
+pub const TCP_SYN: u8 = 0x02;
+/// TCP RST flag bit.
+pub const TCP_RST: u8 = 0x04;
+/// TCP ACK flag bit.
+pub const TCP_ACK: u8 = 0x10;
 
 const ETH_HEADER: usize = 14;
 const IPV4_MIN_HEADER: usize = 20;
@@ -464,6 +473,9 @@ pub struct PacketBuilder {
     src_port: u16,
     dst_port: u16,
     ttl: u8,
+    tcp_flags: u8,
+    seq: u32,
+    ack_no: u32,
     payload: Vec<u8>,
     corrupt_checksum: bool,
 }
@@ -491,6 +503,9 @@ impl PacketBuilder {
             src_port: 10_000,
             dst_port: 10_001,
             ttl: 64,
+            tcp_flags: TCP_ACK,
+            seq: 0,
+            ack_no: 0,
             payload: Vec::new(),
             corrupt_checksum: false,
         }
@@ -528,6 +543,28 @@ impl PacketBuilder {
     #[must_use]
     pub fn ttl(mut self, ttl: u8) -> Self {
         self.ttl = ttl;
+        self
+    }
+
+    /// Sets the TCP flag byte (combine the `TCP_*` flag constants; ignored
+    /// for UDP). The default is a bare ACK.
+    #[must_use]
+    pub fn tcp_flags(mut self, flags: u8) -> Self {
+        self.tcp_flags = flags;
+        self
+    }
+
+    /// Sets the TCP sequence number (ignored for UDP).
+    #[must_use]
+    pub fn seq(mut self, seq: u32) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the TCP acknowledgment number (ignored for UDP).
+    #[must_use]
+    pub fn ack_no(mut self, ack: u32) -> Self {
+        self.ack_no = ack;
         self
     }
 
@@ -595,8 +632,10 @@ impl PacketBuilder {
         } else {
             write_u16_be(&mut frame, tp, self.src_port).expect("in bounds");
             write_u16_be(&mut frame, tp + 2, self.dst_port).expect("in bounds");
+            write_u32_be(&mut frame, tp + 4, self.seq).expect("in bounds");
+            write_u32_be(&mut frame, tp + 8, self.ack_no).expect("in bounds");
             frame[tp + 12] = 0x50; // data offset = 5 words
-            frame[tp + 13] = 0x10; // ACK
+            frame[tp + 13] = self.tcp_flags;
             write_u16_be(&mut frame, tp + 14, 0xFFFF).expect("in bounds");
         }
         frame[tp + transport_header..].copy_from_slice(&self.payload);

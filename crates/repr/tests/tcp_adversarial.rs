@@ -1,0 +1,145 @@
+//! Adversarial property tests for the TCP view: the conntrack layer's
+//! parse surface under attacker-controlled bytes.
+//!
+//! The flow table promotes segments to state-machine events straight off
+//! [`TcpView`], so a SYN flood is also a parser flood: every byte of the
+//! TCP header is attacker-chosen. The LangSec contract here is total
+//! parsing — for *any* input, `parse` either yields a view whose every
+//! accessor is in-bounds or returns a typed [`ReprError`]. No panic, no
+//! out-of-range slice, no accessor that works on one valid view but not
+//! another.
+
+use proptest::prelude::*;
+use sysrepr::packet::{EthernetView, PacketBuilder, TcpView, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};
+
+/// Exercises every accessor of a successfully parsed view. Each call
+/// indexes into the buffer; any latent off-by-one panics here, inside
+/// the proptest harness, with the failing bytes minimized.
+fn drain_accessors(v: &TcpView<'_>, buf_len: usize) {
+    let _ = v.src_port();
+    let _ = v.dst_port();
+    let _ = v.seq();
+    let _ = v.ack();
+    let _ = (v.syn(), v.ack_flag(), v.fin(), v.rst());
+    let _ = v.window();
+    // The payload is everything after the (validated) data offset, so the
+    // two lengths must tile the segment exactly.
+    assert!(v.payload().len() <= buf_len);
+}
+
+proptest! {
+    /// Raw fuzz: arbitrary byte strings, including lengths straddling the
+    /// 20-byte minimum header and data offsets pointing past the buffer.
+    #[test]
+    fn parse_is_total_on_arbitrary_bytes(buf in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Typed rejection is the other half of the contract; only a panic
+        // or a hang can fail this property.
+        if let Ok(v) = TcpView::parse(&buf) {
+            drain_accessors(&v, buf.len());
+        }
+    }
+
+    /// Structured fuzz biased at the interesting boundary: a plausible
+    /// header whose data-offset nibble is fully adversarial. Offsets < 5
+    /// words must be rejected as InvalidField, offsets past the buffer as
+    /// Truncated; everything else must parse.
+    #[test]
+    fn data_offset_boundary_is_enforced(
+        mut header in proptest::collection::vec(any::<u8>(), 20..80),
+        offset_words in 0u8..=15,
+    ) {
+        header[12] = (header[12] & 0x0F) | (offset_words << 4);
+        let data_offset = usize::from(offset_words) * 4;
+        match TcpView::parse(&header) {
+            Ok(v) => {
+                prop_assert!(data_offset >= 20 && data_offset <= header.len());
+                prop_assert_eq!(v.payload().len(), header.len() - data_offset);
+            }
+            Err(e) => {
+                prop_assert!(
+                    data_offset < 20 || data_offset > header.len(),
+                    "rejected a valid offset {} (len {}): {}",
+                    data_offset, header.len(), e
+                );
+            }
+        }
+    }
+
+    /// Truncation sweep over well-formed segments: a builder-produced TCP
+    /// frame cut at every length and bit-flipped at one position must
+    /// never panic anywhere in the Ethernet → IPv4 → TCP view stack.
+    #[test]
+    fn mutated_real_frames_never_panic(
+        cut in 0usize..96,
+        flip_at in 0usize..96,
+        flip_bits in 1u8..=255,
+        flags in prop_oneof![
+            Just(TCP_SYN), Just(TCP_SYN | TCP_ACK), Just(TCP_ACK),
+            Just(TCP_FIN | TCP_ACK), Just(TCP_RST), any::<u8>(),
+        ],
+        seq in any::<u32>(),
+        ack_no in any::<u32>(),
+    ) {
+        let mut frame = PacketBuilder::tcp()
+            .src_ip([172, 16, 0, 9])
+            .dst_ip([10, 0, 0, 1])
+            .src_port(49152)
+            .dst_port(443)
+            .tcp_flags(flags)
+            .seq(seq)
+            .ack_no(ack_no)
+            .payload(&[0xC5; 16])
+            .build();
+        frame.truncate(cut.min(frame.len()));
+        if flip_at < frame.len() {
+            frame[flip_at] ^= flip_bits;
+        }
+        // Every layer either parses or returns; `?`-style chaining is what
+        // the pipeline's validate step does per packet.
+        if let Ok(eth) = EthernetView::parse(&frame) {
+            if let Ok(ip) = eth.ipv4() {
+                let _ = ip.verify_checksum();
+                if let Ok(tcp) = ip.tcp() {
+                    drain_accessors(&tcp, ip.payload().len());
+                }
+            }
+        }
+    }
+
+    /// Round-trip: builder fields survive the view unharmed, for all flag
+    /// combinations and sequence-space corners.
+    #[test]
+    fn builder_fields_round_trip_through_the_view(
+        flags in any::<u8>(),
+        seq in any::<u32>(),
+        ack_no in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload_len in 0usize..64,
+    ) {
+        let payload = vec![0xA7u8; payload_len];
+        let frame = PacketBuilder::tcp()
+            .src_ip([192, 168, 1, 2])
+            .dst_ip([10, 1, 2, 3])
+            .src_port(sport)
+            .dst_port(dport)
+            .tcp_flags(flags)
+            .seq(seq)
+            .ack_no(ack_no)
+            .payload(&payload)
+            .build();
+        let tcp = EthernetView::parse(&frame)
+            .and_then(|e| e.ipv4())
+            .and_then(|ip| ip.tcp())
+            .expect("builder output must parse");
+        prop_assert_eq!(tcp.src_port(), sport);
+        prop_assert_eq!(tcp.dst_port(), dport);
+        prop_assert_eq!(tcp.seq(), seq);
+        prop_assert_eq!(tcp.ack(), ack_no);
+        prop_assert_eq!(tcp.syn(), flags & TCP_SYN != 0);
+        prop_assert_eq!(tcp.ack_flag(), flags & TCP_ACK != 0);
+        prop_assert_eq!(tcp.fin(), flags & TCP_FIN != 0);
+        prop_assert_eq!(tcp.rst(), flags & TCP_RST != 0);
+        prop_assert_eq!(tcp.payload(), &payload[..]);
+    }
+}

@@ -1,0 +1,121 @@
+//! The conntrack bench harness: writes `BENCH_conntrack.json` at the repo
+//! root (experiment E14's recorded form).
+//!
+//! ```sh
+//! cargo run --release --example conntrack_bench            # full run, tens of seconds
+//! cargo run --release --example conntrack_bench -- --quick # CI-sized, prints only
+//! ```
+//!
+//! The full run sweeps the benign-only live-flow population 10k → 1M
+//! (pps, p50/p99/p999 latency), then runs the attack matrix at 100k benign
+//! flows: 50 % and 90 % SYN-flood mixes with the overload defense on, and
+//! the 90 % mix again with the defense off as the collapse contrast. The
+//! headline is established-flow goodput retained at the 90 % mix, which
+//! the full run asserts stays ≥ 70 % of the benign-only baseline. Both
+//! modes assert the steady state allocates (amortized) under 0.05 heap
+//! allocations per packet — generator included, via [`FrameForge`]'s
+//! in-place template patching.
+//!
+//! [`FrameForge`]: sysnet::ctbench::FrameForge
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use sysnet::ctbench::{run_ct_bench, CtBenchConfig};
+
+/// Counts every heap allocation in the process, so the bench measures the
+/// tracked data plane's steady-state allocation rate instead of asserting it.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates allocation to `System` unchanged; the counter is a
+// relaxed atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = if quick {
+        CtBenchConfig::quick()
+    } else {
+        CtBenchConfig::full()
+    };
+    cfg.alloc_counter = Some(alloc_count);
+    eprintln!(
+        "conntrack bench: scale {:?} flows, attack at {} flows x mixes {:?}, \
+         {} workers, backlog {}...",
+        cfg.scale_flows, cfg.attack_flows, cfg.attack_mixes, cfg.workers, cfg.syn_backlog
+    );
+    let report = run_ct_bench(&cfg);
+    let json = report.to_json();
+    print!("{json}");
+
+    let baseline = *report.baseline().expect("baseline ran");
+    for p in report.scale.iter().chain(report.attack.iter()) {
+        // Hard robustness floor: the sharded gauge must cap the table at
+        // its configured capacity no matter the offered load.
+        assert!(
+            p.peak_flows <= p.capacity,
+            "flow table exceeded capacity: {} > {} (mix {:.2}, defense {})",
+            p.peak_flows,
+            p.capacity,
+            p.attack_mix,
+            p.defense
+        );
+        let allocs = p
+            .steady_allocs_per_packet
+            .expect("alloc counter was supplied");
+        // Zero-alloc steady state, generator included: after the stream's
+        // first half warms the pool and slab, the second half must allocate
+        // (amortized) well under one Vec per packet.
+        assert!(
+            allocs < 0.05,
+            "steady state must not allocate per packet: {allocs:.4} allocs/pkt \
+             at {} flows, mix {:.2}",
+            p.benign_flows,
+            p.attack_mix
+        );
+    }
+    let headline = report.headline().expect("attack matrix ran");
+    let retained = headline.goodput_retained(&baseline);
+    eprintln!(
+        "headline: {:.1} % attack mix at {} benign flows -> {:.1} % goodput retained",
+        headline.attack_mix * 100.0,
+        headline.benign_flows,
+        retained * 100.0
+    );
+    if !quick {
+        // The acceptance floor: graceful degradation, not collapse. The
+        // quick run skips it — tiny streams make the ratio noisy.
+        assert!(
+            retained >= 0.70,
+            "defense must retain >= 70 % goodput at the hottest mix: {retained:.3}"
+        );
+    }
+    if quick {
+        eprintln!("(--quick: not writing BENCH_conntrack.json)");
+    } else {
+        std::fs::write("BENCH_conntrack.json", json).expect("write BENCH_conntrack.json");
+        eprintln!("wrote BENCH_conntrack.json");
+    }
+}

@@ -22,7 +22,8 @@ fn main() {
         .collect();
     let wanted = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "f1",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e9net", "e10", "e11", "e12",
+            "e13", "e14", "f1",
         ]
     } else {
         wanted
@@ -39,13 +40,15 @@ fn main() {
             "e7" => experiments::e7_shared_state::run(scale),
             "e8" => experiments::e8_repr::run(scale),
             "e9" => experiments::e9_faults::run(scale),
+            "e9net" => experiments::e9_faults::run_net(scale),
             "e10" => experiments::e10_dataplane::run(scale),
             "e11" => experiments::e11_obs::run(scale),
             "e12" => experiments::e12_cache::run(scale),
             "e13" => experiments::e13_check::run(scale),
+            "e14" => experiments::e14_conntrack::run(scale),
             "f1" => experiments::e2_boxing::run_figure(scale),
             other => {
-                eprintln!("unknown experiment {other} (use e1..e13 or all)");
+                eprintln!("unknown experiment {other} (use e1..e14, e9net, or all)");
                 std::process::exit(2);
             }
         };

@@ -24,6 +24,16 @@ use sysconc::stm::{atomically_faulted, RetryBudget, TVar, SITE_STM_ABORT};
 use sysfault::{FaultPlan, Schedule, SharedInjector};
 use sysmem::faulty::{FaultyHeap, SITE_OOM};
 use sysmem::freelist::FreeListHeap;
+use sysnet::conntrack::{
+    ConntrackConfig, SITE_CT_STATE_DESYNC, SITE_CT_TABLE_FULL, SITE_CT_TIMER_STALL,
+};
+use sysnet::ctbench::{ct_table, CT_PORTS};
+use sysnet::pipeline::DropReason;
+use sysnet::router::{
+    run_stream, RouterConfig, RouterReport, SITE_NET_FRAME_DROP, SITE_NET_RECYCLE_LOSS,
+    SITE_NET_WORKER_STALL,
+};
+use sysrepr::packet::{PacketBuilder, TCP_ACK, TCP_SYN};
 
 const CAMPAIGN_SEED: u64 = 0x9E37_79B9;
 const DEADLINE_CYCLES: u64 = 2_000;
@@ -244,6 +254,144 @@ pub fn run(scale: Scale) -> Table {
     t
 }
 
+// ---- E9b: the same campaign discipline, aimed at the data plane --------
+
+fn net_flows(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 200,
+        Scale::Full => 2_000,
+    }
+}
+
+/// Round-robin TCP stream: every flow handshakes (SYN, then the ACK),
+/// then streams `data_rounds` payload packets, interleaved so the whole
+/// population is concurrently live in the tracker.
+fn net_stream(flows: usize, data_rounds: usize) -> Vec<Vec<u8>> {
+    let mut frames = Vec::with_capacity(flows * (2 + data_rounds));
+    for round in 0..(2 + data_rounds) {
+        for f in 0..flows {
+            #[allow(clippy::cast_possible_truncation)]
+            let (src, dst) = (
+                [172, 16, (f >> 8) as u8, f as u8],
+                [10 + (f % 3) as u8, (f >> 8) as u8, f as u8, 1],
+            );
+            #[allow(clippy::cast_possible_truncation)]
+            let sport = 1024 + (f as u16 & 0x3FFF);
+            let mut b = PacketBuilder::tcp()
+                .src_ip(src)
+                .dst_ip(dst)
+                .src_port(sport)
+                .dst_port(443);
+            b = match round {
+                0 => b.tcp_flags(TCP_SYN),
+                1 => b.tcp_flags(TCP_ACK),
+                _ => b.tcp_flags(TCP_ACK).payload(&[0x5A; 48]),
+            };
+            frames.push(b.build());
+        }
+    }
+    frames
+}
+
+/// One seeded campaign over every `net.*` site at `rate`, through the
+/// tracked sharded router. Deterministic in `(rate, flows, seed)`.
+fn net_campaign(rate: f64, flows: usize, seed: u64) -> RouterReport {
+    let plan = FaultPlan::new(seed)
+        .with_site(SITE_NET_FRAME_DROP, Schedule::Probability(rate))
+        .with_site(SITE_NET_WORKER_STALL, Schedule::Probability(rate / 2.0))
+        .with_site(SITE_NET_RECYCLE_LOSS, Schedule::Probability(rate / 4.0))
+        .with_site(SITE_CT_TABLE_FULL, Schedule::Probability(rate / 2.0))
+        .with_site(SITE_CT_TIMER_STALL, Schedule::Probability(rate / 2.0))
+        .with_site(SITE_CT_STATE_DESYNC, Schedule::Probability(rate / 4.0));
+    let config = RouterConfig {
+        workers: 2,
+        queue_depth: 64,
+        // Roomy sizing: the whole population is half-open at once during
+        // round 0, and overload is E14's subject, not this campaign's —
+        // every drop in the table should be injected, not organic.
+        conntrack: Some(ConntrackConfig {
+            max_flows: (flows * 2).max(64),
+            syn_backlog: flows.max(32),
+            ..ConntrackConfig::default()
+        }),
+        fault_plan: Some(plan),
+        ..RouterConfig::default()
+    };
+    let frames = net_stream(flows, 4);
+    let (report, _) = run_stream(ct_table(), CT_PORTS, config, &frames);
+    report
+}
+
+/// Runs E9b — the data-plane follow-on — and renders the table.
+#[must_use]
+pub fn run_net(scale: Scale) -> Table {
+    let flows = net_flows(scale);
+    let mut t = Table::new(
+        "E9b — data-plane availability under seeded net.* faults",
+        &[
+            "fault rate",
+            "delivered",
+            "frame drops",
+            "stalls",
+            "recycle loss",
+            "table-full",
+            "timer stalls",
+            "desyncs",
+            "ct audits",
+            "replay",
+        ],
+    );
+    for rate in [0.0, 0.02, 0.05, 0.10] {
+        let r = net_campaign(rate, flows, CAMPAIGN_SEED);
+        let replay = net_campaign(rate, flows, CAMPAIGN_SEED);
+        let replay_ok = r.faults.dispatch_digest == replay.faults.dispatch_digest
+            && r.faults.worker_digest == replay.faults.worker_digest
+            && r.stats.totals.forwarded == replay.stats.totals.forwarded;
+        let totals = &r.stats.totals;
+        let submitted = totals.total_frames() + r.faults.injected_frame_drops;
+        let ct = r.conntrack.unwrap_or_default();
+        t.row(vec![
+            format!("{:.0}%", rate * 100.0),
+            pct(
+                usize::try_from(totals.forwarded).expect("fits"),
+                usize::try_from(submitted).expect("fits"),
+            ),
+            r.faults.injected_frame_drops.to_string(),
+            r.faults.injected_stalls.to_string(),
+            format!(
+                "{} (-{} bufs)",
+                r.faults.recycle_losses, r.faults.frames_lost
+            ),
+            totals.dropped[DropReason::FlowTableFull as usize].to_string(),
+            ct.timer_stalls.to_string(),
+            ct.desyncs_injected.to_string(),
+            if ct.invariant_violations == 0 {
+                "0 ✓".to_string()
+            } else {
+                format!("{} VIOLATED", ct.invariant_violations)
+            },
+            if replay_ok {
+                let d = r.faults.dispatch_digest ^ r.faults.worker_digest;
+                format!("{d:016x} ✓")
+            } else {
+                "MISMATCH".to_string()
+            },
+        ]);
+    }
+    t.note(format!(
+        "{flows} tracked TCP flows (handshake + 4 data packets each, round-robin) through a \
+         2-worker router; sites: net.dispatch.frame_drop@rate, net.worker.stall@rate/2, \
+         net.recycle.loss@rate/4, net.conntrack.table_full@rate/2, timer_stall@rate/2, \
+         state_desync@rate/4; seed {CAMPAIGN_SEED:#x}.",
+    ));
+    t.note(
+        "ct audits: post-run structural audit failures across every shard — any nonzero value \
+         means an injected fault corrupted the flow table. replay: both campaign runs must fold \
+         to identical dispatcher and per-worker fault-log digests.",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +430,29 @@ mod tests {
         assert_eq!(a.total_retries, b.total_retries);
         let c = kernel_campaign(0.15, 120, 43);
         assert_ne!(a.digest, c.digest, "different seed, different campaign");
+    }
+
+    #[test]
+    fn e9b_net_campaign_replays_and_keeps_audits_clean() {
+        let t = run_net(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            assert_eq!(row[8], "0 ✓", "an injected fault corrupted a shard");
+            assert!(row[9].ends_with('✓'), "campaign digests must replay");
+        }
+    }
+
+    #[test]
+    fn e9b_faulted_rates_actually_inject() {
+        let r = net_campaign(0.10, 120, CAMPAIGN_SEED);
+        assert!(r.faults.total_injected() > 0, "no faults fired at 10%");
+        let clean = net_campaign(0.0, 120, CAMPAIGN_SEED);
+        assert_eq!(clean.faults.total_injected(), 0);
+        assert_eq!(
+            clean.stats.totals.forwarded,
+            120 * 6,
+            "zero-rate campaign must deliver the whole stream"
+        );
     }
 
     #[test]

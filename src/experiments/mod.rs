@@ -10,6 +10,7 @@ pub mod e10_dataplane;
 pub mod e11_obs;
 pub mod e12_cache;
 pub mod e13_check;
+pub mod e14_conntrack;
 pub mod e1_alloc;
 pub mod e2_boxing;
 pub mod e3_optimizer;
@@ -137,10 +138,12 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e7_shared_state::run(scale),
         e8_repr::run(scale),
         e9_faults::run(scale),
+        e9_faults::run_net(scale),
         e10_dataplane::run(scale),
         e11_obs::run(scale),
         e12_cache::run(scale),
         e13_check::run(scale),
+        e14_conntrack::run(scale),
     ]
 }
 

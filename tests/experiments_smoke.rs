@@ -5,9 +5,10 @@
 use plos06::experiments::{self, Scale};
 
 #[test]
-fn all_thirteen_experiments_produce_tables() {
+fn all_experiments_produce_tables() {
     let tables = experiments::run_all(Scale::Quick);
-    assert_eq!(tables.len(), 13);
+    // E1–E14 plus the E9b data-plane campaign.
+    assert_eq!(tables.len(), 15);
     for t in &tables {
         assert!(!t.rows.is_empty(), "{} has no rows", t.title);
         assert!(!t.headers.is_empty());
@@ -187,4 +188,43 @@ fn e13_checker_clears_correct_models_and_catches_seeded_bugs() {
 fn e8_parsers_recognize_the_same_stream() {
     let t = experiments::e8_repr::run(Scale::Quick);
     assert_eq!(t.rows[0][3], t.rows[2][3], "zero-copy vs boxed checksum");
+}
+
+#[test]
+fn e14_defense_beats_the_naive_tracker_under_flood() {
+    let t = experiments::e14_conntrack::run(Scale::Quick);
+    let delivery = t
+        .headers
+        .iter()
+        .position(|h| h == "benign delivery")
+        .unwrap();
+    let pct = |row: &Vec<String>| -> f64 { row[delivery].trim_end_matches('%').parse().unwrap() };
+    let on = t
+        .rows
+        .iter()
+        .find(|r| r[1] != "0%" && r[2] == "on")
+        .expect("a defended attack row");
+    let off = t
+        .rows
+        .iter()
+        .find(|r| r[2] == "OFF")
+        .expect("the defense-off contrast row");
+    assert!(
+        pct(on) > pct(off),
+        "defense must out-deliver naive LRU under the same flood"
+    );
+    // Benign-only rows lose nothing at quick scale: every drop is typed
+    // and attributable to the flood.
+    assert_eq!(pct(&t.rows[0]), 100.0);
+}
+
+#[test]
+fn e9b_net_campaign_digests_replay() {
+    let t = experiments::e9_faults::run_net(Scale::Quick);
+    let audits = t.headers.iter().position(|h| h == "ct audits").unwrap();
+    let replay = t.headers.iter().position(|h| h == "replay").unwrap();
+    for row in &t.rows {
+        assert_eq!(row[audits], "0 ✓", "no injected fault may corrupt a shard");
+        assert!(row[replay].ends_with('✓'), "campaigns must replay: {row:?}");
+    }
 }
