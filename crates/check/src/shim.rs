@@ -210,6 +210,87 @@ impl AtomicBool {
     }
 }
 
+/// Shimmed `AtomicPtr`: `std` semantics, checker decision points. The macro
+/// the integer atomics come from is typed on primitives, so the generic
+/// pointee is written out by hand — same shape, same sync points.
+pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+impl<T> AtomicPtr<T> {
+    /// Creates the atomic (const, like `std`).
+    #[must_use]
+    pub const fn new(p: *mut T) -> Self {
+        AtomicPtr(std::sync::atomic::AtomicPtr::new(p))
+    }
+
+    /// Shimmed `load`: a decision point under the checker.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> *mut T {
+        sync_point("atomic.load");
+        self.0.load(order)
+    }
+
+    /// Shimmed `store`: a decision point under the checker.
+    #[inline]
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        sync_point("atomic.store");
+        self.0.store(p, order);
+    }
+
+    /// Shimmed `swap`.
+    #[inline]
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        sync_point("atomic.rmw");
+        self.0.swap(p, order)
+    }
+
+    /// Shimmed `compare_exchange`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the observed pointer when it differs from `current`.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        sync_point("atomic.rmw");
+        self.0.compare_exchange(current, new, success, failure)
+    }
+
+    /// Unshimmed exclusive access (no other thread can observe it).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.0.get_mut()
+    }
+
+    /// Consumes the atomic, returning the pointer.
+    #[must_use]
+    pub fn into_inner(self) -> *mut T {
+        self.0.into_inner()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> From<*mut T> for AtomicPtr<T> {
+    fn from(p: *mut T) -> Self {
+        AtomicPtr::new(p)
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.0, f)
+    }
+}
+
 // ---- mutex --------------------------------------------------------------
 
 /// Shimmed mutex: `std::sync::Mutex` on ordinary threads; under the checker

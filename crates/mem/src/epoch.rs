@@ -1,0 +1,502 @@
+//! Epoch-based reclamation — the seventh memory-management discipline.
+//!
+//! The six heaps in this crate all answer "when is it safe to reuse this
+//! storage?" for a *single* owner. Concurrent readers break that framing:
+//! an RCU-style data structure unlinks a node while other threads may still
+//! be traversing it, so the unlink must be decoupled from the free. This
+//! module supplies the decoupling — the reclamation protocol Shapiro's C2
+//! names as exactly the idiom safe languages struggle to express.
+//!
+//! The protocol is classic three-epoch EBR:
+//!
+//! * A [`Domain`] owns a global epoch counter and a deferred-garbage list of
+//!   epoch-tagged bins.
+//! * Each reader registers a [`Handle`]; [`Handle::pin`] announces
+//!   "I am reading under epoch *e*" in a single per-reader slot (one `SeqCst`
+//!   store plus a re-check load — no locks, no shared writes with other
+//!   readers), and the returned [`Guard`] un-announces on drop.
+//! * Writers unlink nodes from their structure, then [`Domain::retire`] them
+//!   into the bin tagged with the current epoch.
+//! * [`Domain::collect`] tries to advance the epoch — allowed only when every
+//!   *pinned* reader has caught up to the current one — and hands back every
+//!   item whose bin is **two or more epochs old**. A reader pinned at epoch
+//!   *e* blocks advancement past *e + 1*, so a bin tagged *e* cannot mature
+//!   while any reader that might have seen its contents is still pinned.
+//!
+//! Why two epochs and not one: a reader pinned at *e* may hold pointers it
+//! loaded just *before* a concurrent writer unlinked them and retired them
+//! into bin *e*. The global epoch can still advance to *e + 1* (the reader
+//! *is* current), so freeing at *one* epoch of age would free under that
+//! reader's feet. The off-by-one is a real bug class, and it is seeded here
+//! behind [`Domain::new_with_premature_reclaim_bug`] so the `syscheck`
+//! model (`crates/mem/tests/epoch_model.rs`, experiment E15) can rediscover
+//! it from the protocol's own interleavings and shrink the repro.
+//!
+//! Everything synchronizing is built on [`syscheck::shim`] primitives, so
+//! under the checker every pin, unpin, retire, and advance is a scheduling
+//! decision point — the whole protocol is exhaustively model-checkable at a
+//! preemption bound. Outside the checker the shim compiles to plain `std`
+//! atomics: a pin is two `SeqCst` ops on an uncontended cache line.
+//!
+//! Items are *values*, not frees: `retire` takes ownership of a `T` and
+//! `collect` hands matured items to a sink. Callers that manage raw memory
+//! (the copy-on-write trie in `sysnet`) pass node boxes through and recycle
+//! them into an allocation pool, which is how route churn stays allocation-
+//! free in the steady state.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sysmem::epoch::Domain;
+//!
+//! let domain: Arc<Domain<u32>> = Arc::new(Domain::new());
+//! let reader = domain.register();
+//!
+//! let guard = reader.pin();
+//! domain.retire(7); // a writer unlinked node 7
+//! let mut freed = Vec::new();
+//! domain.collect(|item| freed.push(item));
+//! assert!(freed.is_empty(), "reader still pinned: nothing matures");
+//! drop(guard);
+//!
+//! domain.collect(|item| freed.push(item));
+//! domain.collect(|item| freed.push(item));
+//! assert_eq!(freed, vec![7], "two advances later the item is safe");
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use syscheck::shim::{AtomicU64, Mutex};
+
+/// Low bit of a slot word: set while the reader is inside a critical
+/// section. The remaining bits hold the epoch the reader announced.
+const PINNED: u64 = 1;
+
+/// How many epochs a bin must age before its items are handed back. Three-
+/// epoch reclamation: retire at `e`, matured once the global epoch reaches
+/// `e + 2`.
+const SAFE_HORIZON: u64 = 2;
+
+/// Per-reader announcement slot: `(epoch << 1) | pinned`, written only by
+/// its owning reader, scanned by whoever tries to advance the epoch.
+#[derive(Debug, Default)]
+struct ReaderSlot {
+    state: AtomicU64,
+}
+
+/// One epoch-tagged batch of retired items.
+#[derive(Debug)]
+struct Bin<T> {
+    epoch: u64,
+    items: Vec<T>,
+}
+
+/// Deferred garbage: bins in ascending epoch order, plus drained bins kept
+/// for reuse so steady-state retirement allocates nothing.
+#[derive(Debug)]
+struct Garbage<T> {
+    bins: Vec<Bin<T>>,
+    spare: Vec<Bin<T>>,
+}
+
+/// When retired items may be handed back to the collector's sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReclaimPolicy {
+    /// Correct: a bin matures `SAFE_HORIZON` epochs after retirement.
+    Safe,
+    /// Seeded off-by-one: a bin "matures" after a single epoch — exactly the
+    /// premature free the module docs derive. Exists so the checker can
+    /// rediscover the bug; never reachable through [`Domain::new`].
+    PrematureOffByOne,
+}
+
+impl ReclaimPolicy {
+    fn horizon(self) -> u64 {
+        match self {
+            ReclaimPolicy::Safe => SAFE_HORIZON,
+            ReclaimPolicy::PrematureOffByOne => SAFE_HORIZON - 1,
+        }
+    }
+}
+
+/// An epoch-reclamation domain: one global epoch, one set of registered
+/// readers, one deferred-garbage list for items of type `T`.
+///
+/// Readers come from [`Domain::register`]; writers call [`Domain::retire`]
+/// and [`Domain::collect`]. The domain itself is `Sync` — wrap it in an
+/// [`Arc`] and share it.
+#[derive(Debug)]
+pub struct Domain<T: Send> {
+    epoch: AtomicU64,
+    readers: Mutex<Vec<Arc<ReaderSlot>>>,
+    garbage: Mutex<Garbage<T>>,
+    policy: ReclaimPolicy,
+}
+
+impl<T: Send> Default for Domain<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> Domain<T> {
+    /// A fresh domain at epoch 0 with no readers and no garbage.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_policy(ReclaimPolicy::Safe)
+    }
+
+    /// The seeded-bug variant: reclaims one epoch too early, so a reader
+    /// pinned just before an unlink can observe freed memory. For the
+    /// `syscheck` models and experiment E15 only.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn new_with_premature_reclaim_bug() -> Self {
+        Self::with_policy(ReclaimPolicy::PrematureOffByOne)
+    }
+
+    fn with_policy(policy: ReclaimPolicy) -> Self {
+        Domain {
+            epoch: AtomicU64::new(0),
+            readers: Mutex::new(Vec::new()),
+            garbage: Mutex::new(Garbage {
+                bins: Vec::new(),
+                spare: Vec::new(),
+            }),
+            policy,
+        }
+    }
+
+    /// The current global epoch (diagnostics and tests).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Registers a reader with this domain. Registration takes the reader
+    /// list lock — do it at worker startup, not on the read path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader list mutex is poisoned (a reader panicked while
+    /// registering, which already aborts the test run).
+    #[must_use]
+    pub fn register(self: &Arc<Self>) -> Handle<T> {
+        let slot = Arc::new(ReaderSlot::default());
+        self.readers
+            .lock()
+            .expect("epoch reader list poisoned")
+            .push(Arc::clone(&slot));
+        Handle {
+            domain: Arc::clone(self),
+            slot,
+            _single_owner: std::marker::PhantomData,
+        }
+    }
+
+    /// Defers `item` until every reader that might still see it has
+    /// unpinned: it joins the bin tagged with the current epoch and comes
+    /// back out through a future [`Domain::collect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the garbage mutex is poisoned.
+    pub fn retire(&self, item: T) {
+        let e = self.epoch.load(Ordering::SeqCst);
+        let mut garbage = self.garbage.lock().expect("epoch garbage poisoned");
+        match garbage.bins.last_mut() {
+            Some(bin) if bin.epoch == e => bin.items.push(item),
+            _ => {
+                let mut bin = garbage.spare.pop().unwrap_or(Bin {
+                    epoch: e,
+                    items: Vec::new(),
+                });
+                bin.epoch = e;
+                bin.items.push(item);
+                garbage.bins.push(bin);
+            }
+        }
+    }
+
+    /// Tries to advance the global epoch by one. Advancement succeeds only
+    /// when every *pinned* reader has announced the current epoch; a single
+    /// reader still inside an older critical section holds the epoch back
+    /// (and with it, every bin that reader might reference).
+    ///
+    /// Returns the global epoch after the attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader list mutex is poisoned.
+    pub fn try_advance(&self) -> u64 {
+        let e = self.epoch.load(Ordering::SeqCst);
+        {
+            let readers = self.readers.lock().expect("epoch reader list poisoned");
+            for slot in readers.iter() {
+                let state = slot.state.load(Ordering::SeqCst);
+                if state & PINNED != 0 && state >> 1 != e {
+                    return e;
+                }
+            }
+        }
+        // Lost races are fine: someone advanced for us.
+        let _ = self
+            .epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advances the epoch if possible, then hands every matured item (bin
+    /// old enough under the reclamation policy) to `sink`. Returns how many
+    /// items were handed over.
+    ///
+    /// The sink owns each item: dropping it frees, pushing it into a pool
+    /// recycles. Drained bins keep their capacity for future retirements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the garbage mutex is poisoned.
+    pub fn collect(&self, mut sink: impl FnMut(T)) -> usize {
+        let global = self.try_advance();
+        let horizon = self.policy.horizon();
+        let mut garbage = self.garbage.lock().expect("epoch garbage poisoned");
+        let mut handed = 0;
+        while let Some(first) = garbage.bins.first() {
+            if first.epoch + horizon > global {
+                break;
+            }
+            let mut bin = garbage.bins.remove(0);
+            handed += bin.items.len();
+            for item in bin.items.drain(..) {
+                sink(item);
+            }
+            garbage.spare.push(bin);
+        }
+        handed
+    }
+
+    /// Hands back every deferred item regardless of age, newest bins last.
+    /// Teardown only: callers must know no reader can still hold references
+    /// (e.g. the owning structure is being dropped). Not unsafe in itself —
+    /// items are values — but freeing them early is the caller's call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the garbage mutex is poisoned.
+    pub fn drain(&self, mut sink: impl FnMut(T)) -> usize {
+        let mut garbage = self.garbage.lock().expect("epoch garbage poisoned");
+        let mut handed = 0;
+        for bin in &mut garbage.bins {
+            handed += bin.items.len();
+            for item in bin.items.drain(..) {
+                sink(item);
+            }
+        }
+        garbage.bins.clear();
+        handed
+    }
+
+    /// Number of retired-but-not-yet-matured items (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the garbage mutex is poisoned.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        let garbage = self.garbage.lock().expect("epoch garbage poisoned");
+        garbage.bins.iter().map(|b| b.items.len()).sum()
+    }
+
+    fn unregister(&self, slot: &Arc<ReaderSlot>) {
+        if let Ok(mut readers) = self.readers.lock() {
+            readers.retain(|s| !Arc::ptr_eq(s, slot));
+        }
+    }
+}
+
+/// A registered reader: owns one announcement slot in the domain. `Send`
+/// (hand one to each worker thread) but deliberately not `Sync` — a slot has
+/// exactly one announcing owner, and two threads pinning through the same
+/// handle would clobber each other's announcements.
+#[derive(Debug)]
+pub struct Handle<T: Send> {
+    domain: Arc<Domain<T>>,
+    slot: Arc<ReaderSlot>,
+    /// Suppresses auto-`Sync` (a `Cell` is `Send` but not `Sync`).
+    _single_owner: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+impl<T: Send> Handle<T> {
+    /// Enters a read critical section: announce the current epoch, pinned.
+    ///
+    /// The announce-then-recheck loop is the load-bearing subtlety: after
+    /// storing `(e, pinned)` the global epoch is reloaded, and if it moved
+    /// the announcement is redone. Without the recheck a reader could pin a
+    /// stale epoch *after* an advancer's scan already passed its slot,
+    /// letting the epoch run two ahead of a live reader.
+    #[must_use]
+    pub fn pin(&self) -> Guard<'_, T> {
+        let mut e = self.domain.epoch.load(Ordering::SeqCst);
+        loop {
+            self.slot.state.store((e << 1) | PINNED, Ordering::SeqCst);
+            let now = self.domain.epoch.load(Ordering::SeqCst);
+            if now == e {
+                break;
+            }
+            e = now;
+        }
+        Guard { handle: self }
+    }
+
+    /// The owning domain (writers reach `retire`/`collect` through it).
+    #[must_use]
+    pub fn domain(&self) -> &Arc<Domain<T>> {
+        &self.domain
+    }
+}
+
+impl<T: Send> Drop for Handle<T> {
+    fn drop(&mut self) {
+        self.domain.unregister(&self.slot);
+    }
+}
+
+/// An active pin: while alive, the epoch cannot advance more than one past
+/// the announced epoch, so nothing retired at or after it is reclaimed.
+/// Dropping un-announces with a single store.
+#[derive(Debug)]
+pub struct Guard<'a, T: Send> {
+    handle: &'a Handle<T>,
+}
+
+impl<T: Send> Guard<'_, T> {
+    /// The epoch this guard announced (diagnostics and tests).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.handle.slot.state.load(Ordering::SeqCst) >> 1
+    }
+}
+
+impl<T: Send> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        let state = self.handle.slot.state.load(Ordering::SeqCst);
+        self.handle
+            .slot
+            .state
+            .store(state & !PINNED, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpinned_world_matures_in_two_collects() {
+        let d: Arc<Domain<u32>> = Arc::new(Domain::new());
+        d.retire(1);
+        let mut out = Vec::new();
+        d.collect(|v| out.push(v));
+        assert!(out.is_empty(), "retired at 0, global 1: one epoch old");
+        d.collect(|v| out.push(v));
+        assert_eq!(out, vec![1], "retired at 0, global 2: matured");
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        let d: Arc<Domain<u32>> = Arc::new(Domain::new());
+        let r = d.register();
+        let g = r.pin();
+        d.retire(7);
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            d.collect(|v| out.push(v));
+        }
+        assert!(out.is_empty(), "a pin at epoch 0 holds bin 0 forever");
+        assert!(d.epoch() <= 1, "epoch may reach e+1 but never e+2");
+        drop(g);
+        for _ in 0..3 {
+            d.collect(|v| out.push(v));
+        }
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn reader_pinned_at_current_epoch_does_not_block_one_advance() {
+        let d: Arc<Domain<u32>> = Arc::new(Domain::new());
+        let r = d.register();
+        let g = r.pin();
+        assert_eq!(g.epoch(), 0);
+        assert_eq!(d.try_advance(), 1, "current-epoch pins allow one advance");
+        assert_eq!(d.try_advance(), 1, "but hold the line after that");
+        drop(g);
+        assert_eq!(d.try_advance(), 2);
+    }
+
+    #[test]
+    fn repin_catches_up_to_the_global_epoch() {
+        let d: Arc<Domain<u32>> = Arc::new(Domain::new());
+        let r = d.register();
+        drop(r.pin());
+        let _ = d.try_advance();
+        let _ = d.try_advance();
+        let g = r.pin();
+        assert_eq!(
+            g.epoch(),
+            d.epoch(),
+            "a fresh pin announces the current epoch"
+        );
+    }
+
+    #[test]
+    fn items_mature_in_retirement_order() {
+        let d: Arc<Domain<u32>> = Arc::new(Domain::new());
+        d.retire(1);
+        let _ = d.try_advance();
+        d.retire(2);
+        let mut out = Vec::new();
+        d.collect(|v| out.push(v)); // global 2: bin 0 matures
+        assert_eq!(out, vec![1]);
+        d.collect(|v| out.push(v)); // global 3: bin 1 matures
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn buggy_domain_reclaims_one_epoch_early() {
+        let d: Arc<Domain<u32>> = Arc::new(Domain::new_with_premature_reclaim_bug());
+        d.retire(9);
+        let mut out = Vec::new();
+        d.collect(|v| out.push(v));
+        assert_eq!(out, vec![9], "the seeded bug frees after a single epoch");
+    }
+
+    #[test]
+    fn dropped_handles_stop_blocking() {
+        let d: Arc<Domain<u32>> = Arc::new(Domain::new());
+        let r1 = d.register();
+        let _r2 = d.register();
+        let g = r1.pin();
+        d.retire(3);
+        let mut out = Vec::new();
+        d.collect(|v| out.push(v));
+        drop(g);
+        drop(r1); // unregisters; _r2 stays registered but unpinned
+        d.collect(|v| out.push(v));
+        d.collect(|v| out.push(v));
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn collect_recycles_bin_storage() {
+        let d: Arc<Domain<u32>> = Arc::new(Domain::new());
+        for round in 0..10u32 {
+            d.retire(round);
+            d.collect(|_| ());
+        }
+        let garbage = d.garbage.lock().unwrap();
+        assert!(
+            garbage.bins.len() + garbage.spare.len() <= 3,
+            "drained bins are reused, not reallocated"
+        );
+    }
+}

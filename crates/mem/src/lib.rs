@@ -1,8 +1,9 @@
 //! # sysmem — memory-management substrate
 //!
-//! Six memory managers behind one uniform object model, built to test the
-//! paper's Fallacy 1 ("factors of 1.5x–2x in performance don't matter") and
-//! Challenge 2 ("idiomatic manual storage management"):
+//! Seven memory-management disciplines, built to test the paper's Fallacy 1
+//! ("factors of 1.5x–2x in performance don't matter") and Challenge 2
+//! ("idiomatic manual storage management"). Six are heap managers behind one
+//! uniform object model:
 //!
 //! * [`arena::RegionHeap`] — region/arena allocation (the paper's preferred
 //!   "idiomatic manual storage" discipline, as in Cyclone and later Rust),
@@ -14,6 +15,13 @@
 //! * [`semispace::SemiSpaceHeap`] — Cheney-style copying collection,
 //! * [`generational::GenerationalHeap`] — nursery copying + promotion with a
 //!   write barrier and remembered set, mature-space mark-sweep.
+//!
+//! The seventh is not a heap but a *protocol*: [`epoch`] — epoch-based
+//! reclamation for concurrent readers (pin/unpin guards, deferred retire
+//! bins, epoch advancement), built on [`syscheck::shim`] primitives so the
+//! whole protocol is model-checkable. It is what lets `sysnet` publish
+//! routing-table updates copy-on-write while workers read with zero
+//! synchronization in the hot path.
 //!
 //! All managers implement the [`Manager`] trait over a common object model:
 //! an object is a header, `nrefs` reference slots (handles to other objects),
@@ -38,6 +46,7 @@
 //! ```
 
 pub mod arena;
+pub mod epoch;
 pub mod faulty;
 pub mod freelist;
 pub mod generational;

@@ -1,23 +1,33 @@
 //! The data-plane bench harness: the ROADMAP's first recorded perf
 //! trajectory.
 //!
-//! Two measurements, both deterministic in the sweep seed:
+//! Four measurements, all deterministic in the sweep seed:
 //!
 //! * **lookup** — ns/lookup for the linear-scan reference vs the binary
 //!   trie over the same ≥64-route table and address stream;
 //! * **sweep** — end-to-end pipeline throughput (packets/sec) and
-//!   per-packet p50/p99 latency across worker counts and batch sizes.
+//!   per-packet p50/p99 latency across worker counts and batch sizes;
+//! * **churn** — experiment E15's A/B arm: throughput under live route-flap
+//!   churn (a wall-clock-paced updater thread flapping a route the traffic
+//!   never hits), copy-on-write epoch publication vs the locked
+//!   generation-clear baseline, at each target update rate;
+//! * **update visibility** — how long after a route publication a reader
+//!   first observes it, for both publication mechanisms.
 //!
 //! [`BenchReport::to_json`] renders the record `BENCH_router.json` at the
 //! repo root is built from (`cargo run --release --example router_bench`),
 //! so later PRs have a number to beat.
 
-use crate::lpm::{LinearTable, TrieTable};
-use crate::router::{PortId, RouterConfig, ShardedRouter};
+use crate::cowtrie::CowRouteTable;
+use crate::lpm::{LinearTable, Routes as _, TrieTable};
+use crate::router::{PortId, RouteMode, RouterConfig, ShardedRouter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+use syscheck::shim::Mutex as ShimMutex;
 use sysrepr::packet::PacketBuilder;
 
 /// Number of next-hop ports the synthetic route set spreads over.
@@ -61,6 +71,12 @@ pub struct SweepConfig {
     /// the scheduler — best-of-N reports what the data plane can sustain,
     /// not which trial drew the short straw.
     pub trials: usize,
+    /// Target route-update rates (updates/sec) for the churn sweep; each
+    /// rate runs once per [`RouteMode`]. Empty skips the churn sweep.
+    pub churn_rates: Vec<u64>,
+    /// Publish → first-observation samples for the update-visibility
+    /// microbench. `0` skips it.
+    pub visibility_samples: usize,
 }
 
 impl SweepConfig {
@@ -80,6 +96,8 @@ impl SweepConfig {
             flows: 1024,
             alloc_counter: None,
             trials: 1,
+            churn_rates: Vec::new(),
+            visibility_samples: 0,
         }
     }
 
@@ -99,6 +117,8 @@ impl SweepConfig {
             flows: 4096,
             alloc_counter: None,
             trials: 3,
+            churn_rates: vec![0, 100, 1_000, 10_000],
+            visibility_samples: 512,
         }
     }
 }
@@ -156,6 +176,58 @@ pub struct SweepPoint {
     pub steady_allocs_per_packet: Option<f64>,
 }
 
+/// One churn-sweep measurement: one [`RouteMode`] forwarding the full
+/// stream while an updater thread flaps a route at a target rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnPoint {
+    /// Route-publication mechanism under test.
+    pub mode: RouteMode,
+    /// Target update rate the churn thread paced itself to (updates/sec).
+    pub target_updates_per_sec: u64,
+    /// Updates actually applied during the run (wall-clock × rate).
+    pub updates_applied: u64,
+    /// Wall-clock packets/sec over the whole stream, churn included.
+    pub pps: f64,
+    /// Median per-packet latency, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile per-packet latency, ns.
+    pub p99_ns: u64,
+    /// Flow-cache hit rate under churn.
+    pub cache_hit_rate: f64,
+    /// Cache misses attributed to invalidation refills — the measured cost
+    /// of each publication nuking the per-worker caches.
+    pub invalidation_misses: u64,
+    /// Steady-state allocations per packet (second half of the stream),
+    /// churn thread included; `None` without an alloc counter.
+    pub steady_allocs_per_packet: Option<f64>,
+}
+
+impl ChurnPoint {
+    /// Short mode name for tables and JSON.
+    #[must_use]
+    pub fn mode_name(&self) -> &'static str {
+        match self.mode {
+            RouteMode::CowEpoch => "cow-epoch",
+            RouteMode::LockedGenerationClear => "locked-gen-clear",
+        }
+    }
+}
+
+/// Publish → first-observation latency for both publication mechanisms.
+#[derive(Debug, Clone, Copy)]
+pub struct VisibilityPoint {
+    /// Samples per mechanism.
+    pub samples: usize,
+    /// Median ns from COW publication to a fresh pin observing it.
+    pub cow_p50_ns: u64,
+    /// 99th-percentile ns for the COW path.
+    pub cow_p99_ns: u64,
+    /// Median ns from a locked-table update to a locking reader observing it.
+    pub locked_p50_ns: u64,
+    /// 99th-percentile ns for the locked path.
+    pub locked_p99_ns: u64,
+}
+
 /// The full bench record.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -169,6 +241,12 @@ pub struct BenchReport {
     pub lookup: LookupPoint,
     /// The pipeline sweep, in (workers, batch) order.
     pub sweep: Vec<SweepPoint>,
+    /// The route-flap churn sweep, in (rate, mode) order; empty when
+    /// [`SweepConfig::churn_rates`] is.
+    pub churn: Vec<ChurnPoint>,
+    /// The update-visibility microbench; `None` when
+    /// [`SweepConfig::visibility_samples`] is 0.
+    pub visibility: Option<VisibilityPoint>,
 }
 
 /// Deterministic route set: a default route plus `n` overlapping /8, /16,
@@ -371,8 +449,224 @@ fn measure_point(
     }
 }
 
+/// The churn target: a /30 outside [`route_set`]'s prefixes (the /16 arm
+/// stops at 10.199), so flapping its next hop exercises publication and
+/// cache invalidation without changing any measured packet's routing
+/// decision — the A and B arms forward identical streams.
+pub const FLAP_PREFIX: u32 = (10 << 24) | (200 << 16);
+/// Prefix length of the churn target.
+pub const FLAP_LEN: u8 = 30;
+/// An address inside the churn target (visibility microbench probe).
+const FLAP_ADDR: u32 = FLAP_PREFIX | 1;
+
+/// Runs one timed churn trial: the full stream through `mode` while an
+/// updater thread flaps [`FLAP_PREFIX`] at `rate` updates/sec.
+#[allow(clippy::cast_precision_loss)]
+fn churn_point(
+    cfg: &SweepConfig,
+    frames: &[Vec<u8>],
+    workers: usize,
+    batch_size: usize,
+    mode: RouteMode,
+    rate: u64,
+) -> ChurnPoint {
+    let (trie, _) = build_tables(cfg.routes);
+    let rc = RouterConfig {
+        workers,
+        batch_size,
+        queue_depth: cfg.queue_depth,
+        route_mode: mode,
+        ..RouterConfig::default()
+    };
+    let half = frames.len() / 2;
+    let t0 = Instant::now();
+    let mut router = ShardedRouter::start(trie, PORTS, rc);
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = (rate > 0).then(|| {
+        let updater = router.updater();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Wall-clock pacing: apply however many updates the elapsed
+            // time says are due, then yield. Every insert changes the next
+            // hop, so every one is a real publication.
+            let start = Instant::now();
+            let mut applied = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let due = (start.elapsed().as_secs_f64() * rate as f64) as u64;
+                while applied < due {
+                    let hop = PortId::try_from(applied as usize % PORTS).expect("fits");
+                    let _ = updater.insert(FLAP_PREFIX, FLAP_LEN, hop);
+                    applied += 1;
+                }
+                std::thread::yield_now();
+            }
+            applied
+        })
+    });
+    for frame in &frames[..half] {
+        router.submit(frame);
+    }
+    let allocs_mid = cfg.alloc_counter.map(|f| f());
+    for frame in &frames[half..] {
+        router.submit(frame);
+    }
+    let allocs_end = cfg.alloc_counter.map(|f| f());
+    stop.store(true, Ordering::Relaxed);
+    let updates_applied = churn.map_or(0, |h| h.join().expect("churn thread panicked"));
+    let report = router.finish();
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let steady_allocs_per_packet = match (allocs_mid, allocs_end) {
+        (Some(a), Some(b)) if frames.len() > half => {
+            Some((b.saturating_sub(a)) as f64 / (frames.len() - half) as f64)
+        }
+        _ => None,
+    };
+    ChurnPoint {
+        mode,
+        target_updates_per_sec: rate,
+        updates_applied,
+        pps: report.packets() as f64 / secs,
+        p50_ns: report.latency_ns(0.50),
+        p99_ns: report.latency_ns(0.99),
+        cache_hit_rate: report.cache_hit_rate(),
+        invalidation_misses: report.stats.totals.cache_invalidation_misses,
+        steady_allocs_per_packet,
+    }
+}
+
+/// Runs the churn sweep: each rate × each [`RouteMode`], best of
+/// [`SweepConfig::trials`] trials, at the largest worker count.
+#[must_use]
+pub fn run_churn_sweep(cfg: &SweepConfig) -> Vec<ChurnPoint> {
+    if cfg.churn_rates.is_empty() {
+        return Vec::new();
+    }
+    let frames = frame_stream(cfg);
+    let workers = cfg.worker_counts.iter().copied().max().unwrap_or(1);
+    let batch_size = if cfg.batch_sizes.contains(&64) {
+        64
+    } else {
+        cfg.batch_sizes.last().copied().unwrap_or(64)
+    };
+    let mut churn = Vec::new();
+    for &rate in &cfg.churn_rates {
+        for mode in [RouteMode::CowEpoch, RouteMode::LockedGenerationClear] {
+            let best = (0..cfg.trials.max(1))
+                .map(|_| churn_point(cfg, &frames, workers, batch_size, mode, rate))
+                .max_by(|a, b| a.pps.total_cmp(&b.pps))
+                .expect("at least one trial");
+            churn.push(best);
+        }
+    }
+    churn
+}
+
+/// Publish-to-observation protocol: the writer bumps `seq` (arming the
+/// reader's spin), stamps the publish time, applies the update; the reader
+/// spins on its read closure until the new hop appears and stamps that.
+/// Sequential samples — no overlap between publications.
+fn measure_visibility<W, R>(samples: usize, write: W, read: R) -> (u64, u64)
+where
+    W: Fn(PortId),
+    R: Fn() -> Option<PortId> + Send + 'static,
+{
+    let origin = Instant::now();
+    let seq = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    let reader = {
+        let seq = Arc::clone(&seq);
+        std::thread::spawn(move || {
+            for i in 0..samples {
+                let want = PortId::try_from(i % PORTS).expect("fits");
+                while seq.load(Ordering::Acquire) <= i as u64 {
+                    std::hint::spin_loop();
+                }
+                while read() != Some(want) {
+                    std::hint::spin_loop();
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                tx.send(origin.elapsed().as_nanos() as u64)
+                    .expect("visibility channel closed");
+            }
+        })
+    };
+    let mut lat = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let hop = PortId::try_from(i % PORTS).expect("fits");
+        seq.store(i as u64 + 1, Ordering::Release);
+        #[allow(clippy::cast_possible_truncation)]
+        let published = origin.elapsed().as_nanos() as u64;
+        write(hop);
+        let seen = rx.recv().expect("visibility reader died");
+        lat.push(seen.saturating_sub(published));
+    }
+    reader.join().expect("visibility reader panicked");
+    lat.sort_unstable();
+    let q = |f: f64| {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((lat.len() - 1) as f64 * f) as usize;
+        lat[idx]
+    };
+    (q(0.50), q(0.99))
+}
+
+/// Measures publish → first-observation latency for both publication
+/// mechanisms: a fresh epoch pin against the COW table, and a lock
+/// round-trip against the mutex-guarded trie (the per-batch cost a worker
+/// pays in [`RouteMode::LockedGenerationClear`]).
+#[must_use]
+pub fn update_visibility(samples: usize) -> Option<VisibilityPoint> {
+    if samples == 0 {
+        return None;
+    }
+    // Pre-seed with the default-gw hop (3): the first sample's hop is 0,
+    // and consecutive hops cycle 0..4, so every insert changes the value.
+    let cow: Arc<CowRouteTable<PortId>> = Arc::new(CowRouteTable::new());
+    cow.insert(FLAP_PREFIX, FLAP_LEN, 3).expect("valid route");
+    let reader = cow.reader();
+    let (cow_p50_ns, cow_p99_ns) = measure_visibility(
+        samples,
+        |hop| {
+            let _ = cow.insert(FLAP_PREFIX, FLAP_LEN, hop);
+        },
+        move || reader.pin().lookup(FLAP_ADDR),
+    );
+
+    let locked = Arc::new(ShimMutex::new(TrieTable::<PortId>::new()));
+    locked
+        .lock()
+        .expect("fresh mutex")
+        .insert(FLAP_PREFIX, FLAP_LEN, 3)
+        .expect("valid route");
+    let table = Arc::clone(&locked);
+    let (locked_p50_ns, locked_p99_ns) = measure_visibility(
+        samples,
+        |hop| {
+            let _ = locked
+                .lock()
+                .expect("route table poisoned")
+                .insert(FLAP_PREFIX, FLAP_LEN, hop);
+        },
+        move || {
+            table
+                .lock()
+                .expect("route table poisoned")
+                .lookup(FLAP_ADDR)
+        },
+    );
+    Some(VisibilityPoint {
+        samples,
+        cow_p50_ns,
+        cow_p99_ns,
+        locked_p50_ns,
+        locked_p99_ns,
+    })
+}
+
 /// Runs the full sweep: lookup microbench plus the (workers × batch)
-/// pipeline grid, best of [`SweepConfig::trials`] trials per point.
+/// pipeline grid, best of [`SweepConfig::trials`] trials per point, plus
+/// the churn sweep and visibility microbench when configured.
 #[must_use]
 pub fn run_sweep(cfg: &SweepConfig) -> BenchReport {
     let lookup = lookup_comparison(cfg.routes, cfg.lookups, cfg.seed);
@@ -393,6 +687,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> BenchReport {
         flows: cfg.flows,
         lookup,
         sweep,
+        churn: run_churn_sweep(cfg),
+        visibility: update_visibility(cfg.visibility_samples),
     }
 }
 
@@ -404,7 +700,7 @@ impl BenchReport {
         let mut s = String::new();
         s.push_str("{\n");
         let _ = writeln!(s, "  \"bench\": \"router\",");
-        let _ = writeln!(s, "  \"schema\": 3,");
+        let _ = writeln!(s, "  \"schema\": 4,");
         let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
         let _ = writeln!(s, "  \"packets_per_config\": {},", self.packets);
         let _ = writeln!(s, "  \"flows\": {},", self.flows);
@@ -442,7 +738,46 @@ impl BenchReport {
                 allocs
             );
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        let _ = writeln!(s, "  \"churn\": [");
+        for (i, p) in self.churn.iter().enumerate() {
+            let comma = if i + 1 == self.churn.len() { "" } else { "," };
+            let allocs = p
+                .steady_allocs_per_packet
+                .map_or_else(|| "null".to_owned(), |a| format!("{a:.4}"));
+            let _ = writeln!(
+                s,
+                "    {{\"mode\": \"{}\", \"target_updates_per_sec\": {}, \
+                 \"updates_applied\": {}, \"pps\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"cache_hit_rate\": {:.4}, \"invalidation_misses\": {}, \
+                 \"steady_allocs_per_packet\": {}}}{comma}",
+                p.mode_name(),
+                p.target_updates_per_sec,
+                p.updates_applied,
+                p.pps,
+                p.p50_ns,
+                p.p99_ns,
+                p.cache_hit_rate,
+                p.invalidation_misses,
+                allocs
+            );
+        }
+        s.push_str("  ],\n");
+        match &self.visibility {
+            Some(v) => {
+                let _ = writeln!(s, "  \"update_visibility\": {{");
+                let _ = writeln!(s, "    \"samples\": {},", v.samples);
+                let _ = writeln!(s, "    \"cow_p50_ns\": {},", v.cow_p50_ns);
+                let _ = writeln!(s, "    \"cow_p99_ns\": {},", v.cow_p99_ns);
+                let _ = writeln!(s, "    \"locked_p50_ns\": {},", v.locked_p50_ns);
+                let _ = writeln!(s, "    \"locked_p99_ns\": {}", v.locked_p99_ns);
+                let _ = writeln!(s, "  }}");
+            }
+            None => {
+                let _ = writeln!(s, "  \"update_visibility\": null");
+            }
+        }
+        s.push_str("}\n");
         s
     }
 }
@@ -513,11 +848,34 @@ mod tests {
                     steady_allocs_per_packet: None,
                 },
             ],
+            churn: vec![ChurnPoint {
+                mode: RouteMode::CowEpoch,
+                target_updates_per_sec: 10_000,
+                updates_applied: 312,
+                pps: 2e6,
+                p50_ns: 600,
+                p99_ns: 1200,
+                cache_hit_rate: 0.8812,
+                invalidation_misses: 42,
+                steady_allocs_per_packet: Some(0.0031),
+            }],
+            visibility: Some(VisibilityPoint {
+                samples: 64,
+                cow_p50_ns: 180,
+                cow_p99_ns: 950,
+                locked_p50_ns: 210,
+                locked_p99_ns: 1400,
+            }),
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"schema\": 3,"));
+        assert!(json.contains("\"schema\": 4,"));
+        assert!(json.contains("\"mode\": \"cow-epoch\""));
+        assert!(json.contains("\"target_updates_per_sec\": 10000"));
+        assert!(json.contains("\"invalidation_misses\": 42"));
+        assert!(json.contains("\"cow_p50_ns\": 180"));
+        assert!(json.contains("\"locked_p99_ns\": 1400"));
         assert!(json.contains("\"p999_ns\": 1800"));
         assert!(json.contains("\"trie_speedup\": 4.00"));
         assert!(json.contains("\"pps\": 1000000"));
@@ -547,6 +905,45 @@ mod tests {
             assert!(p.steady_allocs_per_packet.is_none(), "no counter supplied");
         }
         assert!(report.lookup.linear_ns > 0.0 && report.lookup.trie_ns > 0.0);
+        assert!(
+            report.churn.is_empty(),
+            "quick config skips the churn sweep"
+        );
+        assert!(report.visibility.is_none());
+    }
+
+    #[test]
+    fn churn_sweep_runs_both_modes_at_every_rate() {
+        let cfg = SweepConfig {
+            packets: 4_000,
+            worker_counts: vec![2],
+            churn_rates: vec![0, 20_000],
+            ..SweepConfig::quick()
+        };
+        let points = run_churn_sweep(&cfg);
+        assert_eq!(points.len(), 4, "2 rates × 2 modes");
+        for p in &points {
+            assert!(p.pps > 0.0);
+            assert!(p.p99_ns >= p.p50_ns);
+            if p.target_updates_per_sec == 0 {
+                assert_eq!(p.updates_applied, 0);
+            } else {
+                assert!(
+                    p.updates_applied > 0,
+                    "{}: churn thread applied no updates",
+                    p.mode_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_visibility_measures_both_mechanisms() {
+        let v = update_visibility(32).expect("samples > 0");
+        assert_eq!(v.samples, 32);
+        assert!(v.cow_p99_ns >= v.cow_p50_ns);
+        assert!(v.locked_p99_ns >= v.locked_p50_ns);
+        assert!(update_visibility(0).is_none());
     }
 
     #[test]

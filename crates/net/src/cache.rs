@@ -14,20 +14,28 @@
 //!   misroute. The cached value is `Option<next_hop>` — "no route" is
 //!   cached too (negative caching), because a default-route-less table must
 //!   keep dropping the same flow cheaply.
-//! * **Generation invalidation.** Every [`TrieTable::insert`] / successful
-//!   `remove` bumps the table's generation; the cache snapshots it and
+//! * **Generation invalidation.** Every routing-visible mutation bumps the
+//!   route source's [`Routes::generation`]; the cache snapshots it and
 //!   wholesale-clears itself the moment it observes a newer one. A cache
 //!   can therefore never return a decision from before a route change —
 //!   the differential property test in `tests/cache_properties.rs` drives
 //!   arbitrary insert/remove/traffic interleavings against this claim.
+//!
+//! The cache is generic over [`Routes`], so the same code fronts an
+//! exclusive [`TrieTable`](crate::lpm::TrieTable), a mutex-held one, or a
+//! pinned copy-on-write view ([`crate::cowtrie::RouteView`]). Under route
+//! churn the forced post-invalidation misses are *attributed*: they count in
+//! `invalidation_misses` as well as `misses`, so a hit-rate drop can be
+//! split into "routes changed" versus "working set outgrew the cache" —
+//! experiment E15's miss-cause breakdown.
 
-use crate::lpm::TrieTable;
+use crate::lpm::Routes;
 
 /// One cache slot: the exact flow key plus the routing decision cached for
 /// it — `Some(hop)` or a negative entry (`None`: the trie had no route).
 type Slot<T> = Option<(u64, Option<T>)>;
 
-/// Direct-mapped flow → next-hop cache over a [`TrieTable`].
+/// Direct-mapped flow → next-hop cache over any [`Routes`] source.
 ///
 /// Owned by exactly one router worker (no interior sharing, no locks); the
 /// router reports its hit/miss/invalidation counters through the worker's
@@ -40,6 +48,14 @@ pub struct FlowCache<T> {
     hits: u64,
     misses: u64,
     invalidations: u64,
+    /// Misses attributable to a wholesale invalidation: refills of slots
+    /// that held a decision before the last clear.
+    invalidation_misses: u64,
+    /// Occupied slots (so an invalidation knows how much it destroyed).
+    filled: usize,
+    /// Slots an invalidation emptied that have not been refilled yet; while
+    /// nonzero, an empty-slot miss is attributed to invalidation.
+    pending_refills: u64,
 }
 
 impl<T: Copy> FlowCache<T> {
@@ -55,6 +71,9 @@ impl<T: Copy> FlowCache<T> {
             hits: 0,
             misses: 0,
             invalidations: 0,
+            invalidation_misses: 0,
+            filled: 0,
+            pending_refills: 0,
         }
     }
 
@@ -82,6 +101,15 @@ impl<T: Copy> FlowCache<T> {
         self.invalidations
     }
 
+    /// The subset of [`FlowCache::misses`] attributable to wholesale
+    /// invalidation rather than cold start or capacity: refills of slots a
+    /// generation change emptied. `invalidation_misses ≤ misses` always;
+    /// the difference is the cold/capacity miss count.
+    #[must_use]
+    pub fn invalidation_misses(&self) -> u64 {
+        self.invalidation_misses
+    }
+
     /// Hit rate over the cache's lifetime (0.0 when never consulted).
     #[must_use]
     #[allow(clippy::cast_precision_loss)]
@@ -96,38 +124,57 @@ impl<T: Copy> FlowCache<T> {
 
     /// The route decision for `(src, dst)`: the cached next hop when the
     /// slot holds this exact flow at the table's current generation, the
-    /// trie's answer (which is then cached, `None` included) otherwise.
+    /// table's answer (which is then cached, `None` included) otherwise.
     #[inline]
-    pub fn lookup_or_route(&mut self, table: &TrieTable<T>, src: u32, dst: u32) -> Option<T> {
+    pub fn lookup_or_route<R: Routes<T>>(&mut self, table: &R, src: u32, dst: u32) -> Option<T> {
         if self.generation != table.generation() {
             self.invalidate(table.generation());
         }
         let key = (u64::from(src) << 32) | u64::from(dst);
         #[allow(clippy::cast_possible_truncation)]
         let idx = (sysobs::fnv1a(&key.to_be_bytes()) & self.mask) as usize;
-        if let Some((cached_key, hop)) = self.slots[idx] {
-            if cached_key == key {
+        match self.slots[idx] {
+            Some((cached_key, hop)) if cached_key == key => {
                 self.hits += 1;
                 return hop;
             }
+            Some(_) => {
+                // Occupied by another flow: a collision/capacity miss, not
+                // an invalidation refill.
+                self.misses += 1;
+            }
+            None => {
+                self.misses += 1;
+                if self.pending_refills > 0 {
+                    // This slot (or one like it) held a decision before the
+                    // last clear: the miss is the invalidation's doing.
+                    self.pending_refills -= 1;
+                    self.invalidation_misses += 1;
+                }
+                self.filled += 1;
+            }
         }
-        self.misses += 1;
         let hop = table.lookup(dst);
         self.slots[idx] = Some((key, hop));
         hop
     }
 
-    /// Drops every entry and adopts the table's generation.
+    /// Drops every entry and adopts the table's generation. The destroyed
+    /// entries become the refill debt that attributes upcoming misses.
     fn invalidate(&mut self, generation: u64) {
         self.slots.fill(None);
         self.generation = generation;
         self.invalidations += 1;
+        self.pending_refills =
+            (self.pending_refills + self.filled as u64).min(self.slots.len() as u64);
+        self.filled = 0;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lpm::TrieTable;
 
     fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
         u32::from_be_bytes([a, b, c, d])
@@ -195,6 +242,34 @@ mod tests {
             assert_eq!(c.lookup_or_route(&t, i, dst), expect);
         }
         assert_eq!(c.hits() + c.misses(), 32);
+    }
+
+    #[test]
+    fn invalidation_misses_split_churn_from_cold_start() {
+        let mut t = table();
+        let mut c = FlowCache::new(64);
+        // Cold-start misses: nothing pending, so none attributed.
+        for i in 0..8u32 {
+            c.lookup_or_route(&t, i, ip(10, 1, 0, i as u8));
+        }
+        assert_eq!(c.misses(), 8);
+        assert_eq!(c.invalidation_misses(), 0, "cold misses are not churn");
+        // A route change clears 8 filled slots (assuming no collisions in a
+        // 64-slot cache over 8 flows this run is deterministic either way:
+        // the debt equals however many slots were actually occupied).
+        let filled_before = c.filled as u64;
+        t.insert(ip(10, 3, 0, 0), 16, 7).unwrap();
+        // Refill the same working set: these misses are the invalidation's.
+        for i in 0..8u32 {
+            c.lookup_or_route(&t, i, ip(10, 1, 0, i as u8));
+        }
+        assert_eq!(c.invalidation_misses(), filled_before);
+        assert!(c.invalidation_misses() <= c.misses());
+        // Steady state again: hits, no new attribution.
+        for i in 0..8u32 {
+            c.lookup_or_route(&t, i, ip(10, 1, 0, i as u8));
+        }
+        assert_eq!(c.invalidation_misses(), filled_before);
     }
 
     #[test]

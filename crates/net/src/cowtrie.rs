@@ -1,0 +1,667 @@
+//! Copy-on-write LPM publication over epoch reclamation.
+//!
+//! [`CowRouteTable`] holds the same binary trie as [`crate::lpm::TrieTable`],
+//! but with raw-pointer nodes behind one atomic root, so route updates and
+//! packet dispatch overlap instead of excluding each other:
+//!
+//! * **Writers** (serialized by an internal mutex — route updates are a
+//!   control-plane trickle, not a data-plane firehose) clone the O(depth)
+//!   spine from the root to the changed node, splice the unchanged subtrees
+//!   in by pointer, and publish the whole update with a single atomic root
+//!   store. The replaced spine nodes are retired into a
+//!   [`sysmem::epoch::Domain`] and come back through the writer's node pool
+//!   once every reader that might have seen them has unpinned — so steady
+//!   route churn allocates nothing.
+//! * **Readers** ([`RouteReader::pin`], one per worker) pay two `SeqCst`
+//!   loads per *batch* — publication count, then root — and from there the
+//!   lookup hot path is exactly the plain trie walk: zero synchronization
+//!   per packet.
+//!
+//! The publication counter is the cache generation ([`Routes::generation`]).
+//! Ordering is load-bearing and asymmetric on purpose: the **writer stores
+//! the root first, then bumps the counter; the reader loads the counter
+//! first, then the root.** A reader can therefore observe a *new* root with
+//! an *old* counter (it tags fresh decisions with a stale generation and
+//! re-invalidates one publication later — conservative), but never an old
+//! root with a new counter, which is the ordering that would let a
+//! [`crate::cache::FlowCache`] serve pre-update decisions forever.
+//!
+//! The no-op-insert discipline matches the fixed [`crate::lpm::TrieTable`]:
+//! re-installing an identical next hop publishes nothing — no root swap, no
+//! counter bump, no cache invalidation anywhere.
+//!
+//! Unsafe code is confined to this module and leans on three invariants the
+//! `syscheck` models (`tests/cowtrie_model.rs`) and the epoch models in
+//! `crates/mem` check mechanically: published nodes are immutable; a node is
+//! retired only after it becomes unreachable from the published root; and
+//! retired nodes are recycled only once no pinned reader can reference them.
+
+use crate::lpm::{canonical, RouteError, Routes, TrieTable};
+use std::ptr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use syscheck::shim::{AtomicPtr, AtomicU64, Mutex};
+use sysmem::epoch;
+
+/// A trie node, published by pointer. Never mutated after the root store
+/// that makes it reachable; child pointers either are null or point at
+/// nodes published no later than this one.
+struct CowNode<T> {
+    children: [*mut CowNode<T>; 2],
+    value: Option<T>,
+}
+
+/// A retired node pointer traveling through the epoch domain. The raw
+/// pointer is `Send`-wrapped: ownership genuinely transfers (writer retires,
+/// collector recycles), and no reader dereferences it after maturity — that
+/// is the epoch protocol's whole job.
+struct Retired<T>(*mut CowNode<T>);
+
+unsafe impl<T: Send> Send for Retired<T> {}
+
+/// Writer-side state behind the update mutex: the recycled-node pool the
+/// epoch collector refills, so steady-state updates reuse boxes instead of
+/// allocating.
+struct WriterState<T> {
+    pool: Vec<*mut CowNode<T>>,
+}
+
+impl<T: Copy> WriterState<T> {
+    /// A blank node: pooled if possible, freshly boxed otherwise.
+    fn fresh_node(&mut self) -> *mut CowNode<T> {
+        match self.pool.pop() {
+            Some(p) => unsafe {
+                (*p).children = [ptr::null_mut(), ptr::null_mut()];
+                (*p).value = None;
+                p
+            },
+            None => Box::into_raw(Box::new(CowNode {
+                children: [ptr::null_mut(), ptr::null_mut()],
+                value: None,
+            })),
+        }
+    }
+
+    /// A shallow copy of `src`: same value, same child pointers (unchanged
+    /// subtrees are shared, not cloned).
+    ///
+    /// Safety: `src` must point at a live node the caller may read (the
+    /// writer lock is held and `src` is reachable from the current root).
+    unsafe fn clone_node(&mut self, src: *const CowNode<T>) -> *mut CowNode<T> {
+        let p = self.fresh_node();
+        (*p).children = (*src).children;
+        (*p).value = (*src).value;
+        p
+    }
+}
+
+/// The concurrently readable LPM table: one atomic root, copy-on-write
+/// spine publication, epoch-deferred reclamation. See the module docs for
+/// the protocol; see [`CowRouteTable::reader`] for the worker side and
+/// [`CowRouteTable::insert`]/[`CowRouteTable::remove`] for the writer side.
+pub struct CowRouteTable<T: Copy + Send> {
+    /// The published root. Never null: an empty table is an empty node.
+    root: AtomicPtr<CowNode<T>>,
+    /// Publication counter — the table's [`Routes::generation`]. Bumped
+    /// *after* the root store (see the module docs for why that order).
+    publications: AtomicU64,
+    /// Installed-route count (observability; writer-maintained).
+    len: AtomicUsize,
+    /// Where replaced spine nodes wait out their grace period.
+    domain: Arc<epoch::Domain<Retired<T>>>,
+    /// Serializes writers; owns the recycled-node pool.
+    writer: Mutex<WriterState<T>>,
+}
+
+// Safety: the raw pointers inside are governed by the publish/retire
+// protocol — readers reach nodes only through a pinned root load, writers
+// mutate only unpublished clones under the writer mutex, and reclamation
+// waits out every pin. `T` itself crosses threads by value, hence `Send`.
+unsafe impl<T: Copy + Send> Send for CowRouteTable<T> {}
+unsafe impl<T: Copy + Send> Sync for CowRouteTable<T> {}
+
+impl<T: Copy + Send> Default for CowRouteTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Send> CowRouteTable<T> {
+    /// An empty table at publication 0.
+    #[must_use]
+    pub fn new() -> Self {
+        let root = Box::into_raw(Box::new(CowNode {
+            children: [ptr::null_mut(), ptr::null_mut()],
+            value: None,
+        }));
+        CowRouteTable {
+            root: AtomicPtr::new(root),
+            publications: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            domain: Arc::new(epoch::Domain::new()),
+            writer: Mutex::new(WriterState { pool: Vec::new() }),
+        }
+    }
+
+    /// A table seeded from an exclusive [`TrieTable`]: one publication per
+    /// route, so the final publication count equals the generation a
+    /// [`TrieTable`] built from the same routes would carry.
+    #[must_use]
+    pub fn from_trie(table: &TrieTable<T>) -> Self
+    where
+        T: PartialEq,
+    {
+        let cow = Self::new();
+        for (prefix, len, hop) in table.routes() {
+            cow.insert(prefix, len, hop)
+                .expect("routes() yields canonical prefixes");
+        }
+        cow
+    }
+
+    /// Number of installed routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when no routes are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publications so far — the generation readers tag cache entries with.
+    #[must_use]
+    pub fn publications(&self) -> u64 {
+        self.publications.load(Ordering::SeqCst)
+    }
+
+    /// Retired nodes still waiting out their grace period (diagnostics).
+    #[must_use]
+    pub fn pending_reclaim(&self) -> usize {
+        self.domain.pending()
+    }
+
+    /// Registers a reader. One per worker thread, created at startup —
+    /// registration locks the domain's reader list, pinning does not.
+    #[must_use]
+    pub fn reader(self: &Arc<Self>) -> RouteReader<T> {
+        RouteReader {
+            handle: self.domain.register(),
+            table: Arc::clone(self),
+        }
+    }
+
+    /// The bit choosing the child at `depth` along `prefix`'s path.
+    #[inline]
+    fn bit(prefix: u32, depth: u8) -> usize {
+        usize::from((prefix >> (31 - depth)) & 1 != 0)
+    }
+
+    /// Installs `prefix/len → next_hop`, returning the replaced next hop if
+    /// the canonical route existed. A value-preserving re-insert publishes
+    /// nothing at all: no allocation, no root store, no counter bump.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer mutex is poisoned (a writer panicked
+    /// mid-update, which already aborts the run).
+    pub fn insert(&self, prefix: u32, len: u8, next_hop: T) -> Result<Option<T>, RouteError>
+    where
+        T: PartialEq,
+    {
+        let prefix = canonical(prefix, len)?;
+        let mut w = self.writer.lock().expect("cow writer poisoned");
+        let old_root = self.root.load(Ordering::SeqCst);
+        // Writer-exclusive read of the current value at the path: decides
+        // the no-op case before any allocation.
+        let old = unsafe {
+            let mut node = old_root.cast_const();
+            let mut depth = 0u8;
+            loop {
+                if depth == len {
+                    break (*node).value;
+                }
+                let child = (*node).children[Self::bit(prefix, depth)];
+                if child.is_null() {
+                    break None;
+                }
+                node = child;
+                depth += 1;
+            }
+        };
+        if old == Some(next_hop) {
+            return Ok(old);
+        }
+        unsafe {
+            // Clone the spine, splicing shared subtrees in by pointer.
+            let new_root = w.clone_node(old_root);
+            let mut new_node = new_root;
+            let mut old_node = old_root; // goes null past the existing path
+            for depth in 0..len {
+                let bit = Self::bit(prefix, depth);
+                let old_child = if old_node.is_null() {
+                    ptr::null_mut()
+                } else {
+                    (*old_node).children[bit]
+                };
+                let new_child = if old_child.is_null() {
+                    w.fresh_node()
+                } else {
+                    w.clone_node(old_child)
+                };
+                (*new_node).children[bit] = new_child;
+                new_node = new_child;
+                old_node = old_child;
+            }
+            (*new_node).value = Some(next_hop);
+            // Publish: root first, counter second (module docs).
+            self.root.store(new_root, Ordering::SeqCst);
+            self.publications.fetch_add(1, Ordering::SeqCst);
+            if old.is_none() {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+            // Retire the replaced spine: the old root and every old node
+            // that existed along the path.
+            self.domain.retire(Retired(old_root));
+            let mut old_node = old_root;
+            for depth in 0..len {
+                let child = (*old_node).children[Self::bit(prefix, depth)];
+                if child.is_null() {
+                    break;
+                }
+                self.domain.retire(Retired(child));
+                old_node = child;
+            }
+        }
+        let pool = &mut w.pool;
+        self.domain.collect(|Retired(p)| pool.push(p));
+        Ok(old)
+    }
+
+    /// Removes the route `prefix/len` (canonicalized), returning its next
+    /// hop if it was installed. Cloned spine nodes left empty are pruned
+    /// before publication, so the published tree never carries dead
+    /// interior nodes. A no-op remove publishes nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer mutex is poisoned.
+    pub fn remove(&self, prefix: u32, len: u8) -> Result<Option<T>, RouteError> {
+        let prefix = canonical(prefix, len)?;
+        let mut w = self.writer.lock().expect("cow writer poisoned");
+        let old_root = self.root.load(Ordering::SeqCst);
+        // The old spine, root first. 33 = the deepest path (root + /32).
+        let mut spine = [ptr::null_mut::<CowNode<T>>(); 33];
+        spine[0] = old_root;
+        let depth = usize::from(len);
+        unsafe {
+            for d in 0..len {
+                let child = (*spine[usize::from(d)]).children[Self::bit(prefix, d)];
+                if child.is_null() {
+                    return Ok(None);
+                }
+                spine[usize::from(d) + 1] = child;
+            }
+            let old = (*spine[depth]).value;
+            if old.is_none() {
+                return Ok(None);
+            }
+            // Clone and relink the spine, clear the terminal value.
+            let mut clones = [ptr::null_mut::<CowNode<T>>(); 33];
+            for (clone, node) in clones[..=depth].iter_mut().zip(spine[..=depth].iter()) {
+                *clone = w.clone_node(*node);
+            }
+            for d in 0..len {
+                (*clones[usize::from(d)]).children[Self::bit(prefix, d)] =
+                    clones[usize::from(d) + 1];
+            }
+            (*clones[depth]).value = None;
+            // Prune empty clones bottom-up; they were never published, so
+            // they go straight back to the pool.
+            for d in (1..=depth).rev() {
+                let n = clones[d];
+                if (*n).value.is_none() && (*n).children[0].is_null() && (*n).children[1].is_null()
+                {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let bit = Self::bit(prefix, (d - 1) as u8);
+                    (*clones[d - 1]).children[bit] = ptr::null_mut();
+                    w.pool.push(n);
+                } else {
+                    break;
+                }
+            }
+            self.root.store(clones[0], Ordering::SeqCst);
+            self.publications.fetch_add(1, Ordering::SeqCst);
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            for node in &spine[..=depth] {
+                self.domain.retire(Retired(*node));
+            }
+            let pool = &mut w.pool;
+            self.domain.collect(|Retired(p)| pool.push(p));
+            Ok(old)
+        }
+    }
+
+    /// The LPM walk against a specific root (shared by the writer-side and
+    /// pinned-view lookups).
+    ///
+    /// Safety: `root` must be non-null and protected — either pinned under
+    /// the epoch or read while holding the writer lock.
+    unsafe fn lookup_at(root: *const CowNode<T>, addr: u32) -> Option<T> {
+        let mut node = &*root;
+        let mut best = node.value;
+        for depth in 0..32u8 {
+            let child = node.children[Self::bit(addr, depth)];
+            if child.is_null() {
+                break;
+            }
+            node = &*child;
+            if node.value.is_some() {
+                best = node.value;
+            }
+        }
+        best
+    }
+
+    /// Every installed route as `(canonical_prefix, len, next_hop)`,
+    /// depth-first — the differential tests compare this against the
+    /// exclusive trie's [`TrieTable::routes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer mutex is poisoned.
+    #[must_use]
+    pub fn routes(&self) -> Vec<(u32, u8, T)> {
+        let _w = self.writer.lock().expect("cow writer poisoned");
+        let mut out = Vec::with_capacity(self.len());
+        unsafe {
+            Self::walk(self.root.load(Ordering::SeqCst), 0, 0, &mut out);
+        }
+        out
+    }
+
+    unsafe fn walk(node: *const CowNode<T>, prefix: u32, depth: u8, out: &mut Vec<(u32, u8, T)>) {
+        if let Some(v) = (*node).value {
+            out.push((prefix, depth, v));
+        }
+        if depth == 32 {
+            return;
+        }
+        for (bit, child) in (*node).children.iter().enumerate() {
+            if !child.is_null() {
+                #[allow(clippy::cast_possible_truncation)]
+                let prefix = prefix | ((bit as u32) << (31 - depth));
+                Self::walk(*child, prefix, depth + 1, out);
+            }
+        }
+    }
+}
+
+impl<T: Copy + Send> Drop for CowRouteTable<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free the published tree recursively, then every
+        // retired node (flat — their subtrees are shared with the tree or
+        // with other retirees) and the pool.
+        unsafe fn free_tree<T>(p: *mut CowNode<T>) {
+            if p.is_null() {
+                return;
+            }
+            let node = unsafe { Box::from_raw(p) };
+            unsafe {
+                free_tree(node.children[0]);
+                free_tree(node.children[1]);
+            }
+        }
+        unsafe {
+            free_tree(*self.root.get_mut());
+        }
+        self.domain
+            .drain(|Retired(p)| unsafe { drop(Box::from_raw(p)) });
+        if let Ok(mut w) = self.writer.lock() {
+            for p in w.pool.drain(..) {
+                unsafe { drop(Box::from_raw(p)) }
+            }
+        }
+    }
+}
+
+impl<T: Copy + Send + std::fmt::Debug> std::fmt::Debug for CowRouteTable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CowRouteTable")
+            .field("len", &self.len())
+            .field("publications", &self.publications())
+            .field("pending_reclaim", &self.pending_reclaim())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A worker's registered read handle. `Send` (create on the dispatcher,
+/// move into the worker) but not shareable: one announcement slot, one
+/// owner.
+pub struct RouteReader<T: Copy + Send> {
+    handle: epoch::Handle<Retired<T>>,
+    table: Arc<CowRouteTable<T>>,
+}
+
+impl<T: Copy + Send> RouteReader<T> {
+    /// Pins a consistent view for one batch: epoch pin, then publication
+    /// count, then root — in that order (see the module docs). Two `SeqCst`
+    /// loads amortized over the whole batch; per-packet lookups through the
+    /// view touch no shared state.
+    #[must_use]
+    pub fn pin(&self) -> RouteView<'_, T> {
+        let guard = self.handle.pin();
+        let version = self.table.publications.load(Ordering::SeqCst);
+        let root = self.table.root.load(Ordering::SeqCst);
+        RouteView {
+            _guard: guard,
+            root,
+            version,
+        }
+    }
+
+    /// The table this reader reads.
+    #[must_use]
+    pub fn table(&self) -> &Arc<CowRouteTable<T>> {
+        &self.table
+    }
+}
+
+impl<T: Copy + Send> std::fmt::Debug for RouteReader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteReader").finish_non_exhaustive()
+    }
+}
+
+/// One pinned snapshot of the route state: a frozen root plus the
+/// publication count it is tagged with. While this view lives, nothing it
+/// can reach is reclaimed. Implements [`Routes`], so the whole pipeline and
+/// the flow cache run against it unchanged.
+pub struct RouteView<'a, T: Copy + Send> {
+    _guard: epoch::Guard<'a, Retired<T>>,
+    root: *const CowNode<T>,
+    version: u64,
+}
+
+impl<T: Copy + Send> Routes<T> for RouteView<'_, T> {
+    #[inline]
+    fn lookup(&self, addr: u32) -> Option<T> {
+        // Safety: the root was loaded after the guard pinned, so every node
+        // reachable from it outlives the guard.
+        unsafe { CowRouteTable::lookup_at(self.root, addr) }
+    }
+
+    #[inline]
+    fn generation(&self) -> u64 {
+        self.version
+    }
+}
+
+impl<T: Copy + Send> std::fmt::Debug for RouteView<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteView")
+            .field("version", &self.version)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    fn view_lookup(table: &Arc<CowRouteTable<u16>>, addr: u32) -> Option<u16> {
+        table.reader().pin().lookup(addr)
+    }
+
+    #[test]
+    fn longest_prefix_wins_through_a_pinned_view() {
+        let t = Arc::new(CowRouteTable::new());
+        t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap();
+        t.insert(ip(10, 1, 0, 0), 16, 2).unwrap();
+        t.insert(ip(10, 1, 2, 0), 24, 3).unwrap();
+        let reader = t.reader();
+        let view = reader.pin();
+        assert_eq!(view.lookup(ip(10, 9, 9, 9)), Some(1));
+        assert_eq!(view.lookup(ip(10, 1, 9, 9)), Some(2));
+        assert_eq!(view.lookup(ip(10, 1, 2, 9)), Some(3));
+        assert_eq!(view.lookup(ip(11, 0, 0, 1)), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn noop_insert_publishes_nothing() {
+        let t = Arc::new(CowRouteTable::new());
+        t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap();
+        let pubs = t.publications();
+        assert_eq!(t.insert(ip(10, 0, 0, 0), 8, 1).unwrap(), Some(1));
+        assert_eq!(t.insert(ip(10, 77, 0, 0), 8, 1).unwrap(), Some(1));
+        assert_eq!(
+            t.publications(),
+            pubs,
+            "identical re-insert must not publish"
+        );
+        assert_eq!(t.remove(ip(172, 16, 0, 0), 12).unwrap(), None);
+        assert_eq!(t.publications(), pubs, "no-op remove must not publish");
+        assert_eq!(t.insert(ip(10, 0, 0, 0), 8, 2).unwrap(), Some(1));
+        assert_eq!(t.publications(), pubs + 1);
+    }
+
+    #[test]
+    fn a_view_pinned_before_an_update_keeps_its_snapshot() {
+        let t = Arc::new(CowRouteTable::new());
+        t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap();
+        let reader = t.reader();
+        let view = reader.pin();
+        t.insert(ip(10, 0, 0, 0), 8, 9).unwrap();
+        assert_eq!(view.lookup(ip(10, 5, 5, 5)), Some(1), "snapshot isolation");
+        drop(view);
+        assert_eq!(reader.pin().lookup(ip(10, 5, 5, 5)), Some(9));
+    }
+
+    #[test]
+    fn remove_restores_shorter_match_and_prunes() {
+        let t = Arc::new(CowRouteTable::new());
+        t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap();
+        t.insert(ip(10, 1, 0, 0), 16, 2).unwrap();
+        assert_eq!(t.remove(ip(10, 1, 0, 0), 16).unwrap(), Some(2));
+        assert_eq!(
+            view_lookup(&t, ip(10, 1, 5, 5)),
+            Some(1),
+            "falls back to /8"
+        );
+        assert_eq!(t.len(), 1);
+        let routes = t.routes();
+        assert_eq!(routes, vec![(ip(10, 0, 0, 0), 8, 1)], "pruned: {routes:?}");
+        assert_eq!(t.remove(ip(10, 1, 0, 0), 16).unwrap(), None);
+    }
+
+    #[test]
+    fn from_trie_matches_the_source_table() {
+        let mut trie = TrieTable::new();
+        trie.insert(0, 0, 7u16).unwrap();
+        trie.insert(ip(10, 0, 0, 0), 8, 1).unwrap();
+        trie.insert(ip(10, 1, 2, 0), 24, 3).unwrap();
+        let cow = Arc::new(CowRouteTable::from_trie(&trie));
+        let mut a = trie.routes();
+        let mut b = cow.routes();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(cow.publications(), trie.generation());
+        for addr in [0, ip(10, 0, 0, 1), ip(10, 1, 2, 200), ip(192, 168, 1, 1)] {
+            assert_eq!(view_lookup(&cow, addr), trie.lookup(addr));
+        }
+    }
+
+    #[test]
+    fn unpinned_churn_recycles_spine_nodes() {
+        let t = Arc::new(CowRouteTable::new());
+        t.insert(ip(10, 1, 2, 0), 24, 1u16).unwrap();
+        // Flap the same /24 with no reader pinned: after the pool warms up,
+        // every retired spine matures and comes back.
+        for i in 0..200u16 {
+            t.insert(ip(10, 1, 2, 0), 24, 2 + (i % 2)).unwrap();
+        }
+        let w = t.writer.lock().unwrap();
+        assert!(
+            !w.pool.is_empty(),
+            "steady churn must feed the node pool (pending {})",
+            t.domain.pending()
+        );
+        drop(w);
+        // Unmatured garbage is bounded by the grace period, not the number
+        // of updates: at most the bins of the last two epochs.
+        assert!(
+            t.pending_reclaim() <= 2 * 26,
+            "pending {} retired nodes — reclamation is not keeping up",
+            t.pending_reclaim()
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_only_ever_see_published_hops() {
+        // Writer flaps one route between two hops while readers hammer
+        // lookups: every observed decision must be one of the published
+        // values, and per-reader generations must be non-decreasing.
+        let t = Arc::new(CowRouteTable::new());
+        t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let reader = t.reader();
+            let stop = Arc::clone(&stop);
+            joins.push(std::thread::spawn(move || {
+                let mut last_gen = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = reader.pin();
+                    let hop = view.lookup(ip(10, 5, 5, 5));
+                    assert!(hop == Some(1) || hop == Some(2), "unpublished hop {hop:?}");
+                    assert!(view.generation() >= last_gen, "generation went backwards");
+                    last_gen = view.generation();
+                }
+            }));
+        }
+        for i in 0..2_000u16 {
+            t.insert(ip(10, 0, 0, 0), 8, 1 + (i % 2)).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(view_lookup(&t, ip(10, 5, 5, 5)), Some(2));
+    }
+}

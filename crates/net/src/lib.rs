@@ -5,17 +5,26 @@
 //! zero-copy [`sysrepr::packet`] views and the [`sysconc::channel`] bounded
 //! channels, with no code the substrate rule forbids.
 //!
-//! Five layers:
+//! Six layers:
 //!
 //! * [`lpm`] — longest-prefix-match routing tables: a binary [`lpm::TrieTable`]
 //!   (the data plane's lookup structure) and the [`lpm::LinearTable`]
 //!   reference it is property-tested against. Both canonicalize prefixes on
 //!   insert (`prefix & mask`), fixing the silent never-matches bug an
 //!   unmasked entry like `10.1.2.9/24` used to cause. The trie carries a
-//!   generation counter so caches can observe route changes.
+//!   generation counter so caches can observe route changes. The [`lpm::Routes`]
+//!   trait abstracts "something you can route against", so the cache and
+//!   pipeline work identically over an exclusive trie or a concurrent view.
+//! * [`cowtrie`] — concurrent route updates: [`cowtrie::CowRouteTable`]
+//!   publishes each change as a copy-on-write spine clone behind one atomic
+//!   root pointer, readers pin an epoch ([`sysmem::epoch`]) and walk a frozen
+//!   snapshot with zero synchronization per lookup, and retired nodes are
+//!   reclaimed only after every reader provably moved on.
 //! * [`cache`] — the per-worker flow → next-hop [`cache::FlowCache`]:
 //!   direct-mapped over the shared FNV-1a hash, exact-keyed (collisions
-//!   miss, never misroute), generation-invalidated on any table mutation.
+//!   miss, never misroute), generation-invalidated on any table mutation,
+//!   with post-invalidation misses attributed separately so route churn is
+//!   distinguishable from capacity pressure.
 //! * [`pipeline`] — the batched parse → validate → route fast path: total
 //!   parsing (LangSec style — reject before acting), per-reason drop
 //!   counters, zero allocation per packet.
@@ -45,6 +54,7 @@
 pub mod bench;
 pub mod cache;
 pub mod conntrack;
+pub mod cowtrie;
 pub mod ctbench;
 pub mod lpm;
 pub mod pipeline;
@@ -52,6 +62,7 @@ pub mod router;
 
 pub use cache::FlowCache;
 pub use conntrack::{Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats, FlowKey};
-pub use lpm::{LinearTable, RouteError, TrieTable};
+pub use cowtrie::{CowRouteTable, RouteReader, RouteView};
+pub use lpm::{LinearTable, RouteError, Routes, TrieTable};
 pub use pipeline::{process_batch, BatchStats, DropReason};
-pub use router::{RouterConfig, RouterReport, RouterStats, ShardedRouter};
+pub use router::{RouteMode, RouteUpdater, RouterConfig, RouterReport, RouterStats, ShardedRouter};

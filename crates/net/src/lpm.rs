@@ -59,6 +59,45 @@ pub fn canonical(prefix: u32, len: u8) -> Result<u32, RouteError> {
     Ok(prefix & mask(len))
 }
 
+/// A read view of a routing table: what the fast path needs and nothing
+/// more. The pipeline and [`crate::cache::FlowCache`] are generic over this,
+/// so workers can route against an exclusive [`TrieTable`], a locked one, or
+/// a pinned copy-on-write snapshot ([`crate::cowtrie::RouteView`]) without
+/// the hot path knowing which.
+pub trait Routes<T: Copy> {
+    /// The longest-prefix match for `addr`, if any route covers it.
+    fn lookup(&self, addr: u32) -> Option<T>;
+
+    /// A version counter that changes whenever a routing decision may have
+    /// changed: equal generations guarantee identical decisions, so caches
+    /// key their validity on it.
+    fn generation(&self) -> u64;
+}
+
+impl<T: Copy> Routes<T> for TrieTable<T> {
+    #[inline]
+    fn lookup(&self, addr: u32) -> Option<T> {
+        TrieTable::lookup(self, addr)
+    }
+
+    #[inline]
+    fn generation(&self) -> u64 {
+        TrieTable::generation(self)
+    }
+}
+
+impl<T: Copy, R: Routes<T>> Routes<T> for &R {
+    #[inline]
+    fn lookup(&self, addr: u32) -> Option<T> {
+        (**self).lookup(addr)
+    }
+
+    #[inline]
+    fn generation(&self) -> u64 {
+        (**self).generation()
+    }
+}
+
 #[derive(Debug)]
 struct Node<T> {
     children: [Option<Box<Node<T>>>; 2],
@@ -110,11 +149,14 @@ impl<T: Copy> TrieTable<T> {
         self.len
     }
 
-    /// Mutation generation: bumped by every [`TrieTable::insert`] and every
-    /// [`TrieTable::remove`] that removed something. A
+    /// Mutation generation: bumped by every routing-visible change — an
+    /// [`TrieTable::insert`] that added a route or changed a next hop, and
+    /// every [`TrieTable::remove`] that removed something. A
     /// [`crate::cache::FlowCache`] snapshots this to detect that a cached
     /// next hop may be stale; any observer holding an equal generation is
-    /// guaranteed no routing decision has changed since.
+    /// guaranteed no routing decision has changed since. Value-preserving
+    /// re-inserts (a periodic route refresh) are generation-neutral, so they
+    /// no longer wholesale-clear every worker's cache for a routing no-op.
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
@@ -132,7 +174,10 @@ impl<T: Copy> TrieTable<T> {
     /// # Errors
     ///
     /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
-    pub fn insert(&mut self, prefix: u32, len: u8, next_hop: T) -> Result<Option<T>, RouteError> {
+    pub fn insert(&mut self, prefix: u32, len: u8, next_hop: T) -> Result<Option<T>, RouteError>
+    where
+        T: PartialEq,
+    {
         let prefix = canonical(prefix, len)?;
         let mut node = &mut self.root;
         for i in 0..len {
@@ -143,9 +188,13 @@ impl<T: Copy> TrieTable<T> {
         if old.is_none() {
             self.len += 1;
         }
-        // Replacing a next hop changes routing decisions just as much as a
-        // new route does, so every successful insert bumps the generation.
-        self.generation += 1;
+        // Replacing a next hop with a *different* one changes routing
+        // decisions just as much as a new route does; re-installing the
+        // identical next hop changes nothing, and must not invalidate every
+        // flow cache in the system.
+        if old != Some(next_hop) {
+            self.generation += 1;
+        }
         Ok(old)
     }
 
@@ -183,6 +232,31 @@ impl<T: Copy> TrieTable<T> {
             self.generation += 1;
         }
         Ok(removed)
+    }
+
+    /// Every installed route as `(canonical_prefix, len, next_hop)`,
+    /// depth-first. Used to seed other table representations (the
+    /// copy-on-write table in [`crate::cowtrie`] starts from one of these).
+    #[must_use]
+    pub fn routes(&self) -> Vec<(u32, u8, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::walk(&self.root, 0, 0, &mut out);
+        out
+    }
+
+    fn walk(node: &Node<T>, prefix: u32, depth: u8, out: &mut Vec<(u32, u8, T)>) {
+        if let Some(v) = node.value {
+            out.push((prefix, depth, v));
+        }
+        if depth == 32 {
+            return;
+        }
+        for (bit, child) in node.children.iter().enumerate() {
+            if let Some(child) = child {
+                let prefix = prefix | ((bit as u32) << (31 - depth));
+                Self::walk(child, prefix, depth + 1, out);
+            }
+        }
     }
 
     fn remove_at(node: &mut Node<T>, prefix: u32, depth: u8, len: u8) -> Option<T> {
@@ -364,7 +438,7 @@ mod tests {
         assert_eq!(t.generation(), 0);
         t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap();
         assert_eq!(t.generation(), 1);
-        // Replacement changes decisions, so it bumps too.
+        // Value-changing replacement changes decisions, so it bumps too.
         t.insert(ip(10, 0, 0, 0), 8, 2u16).unwrap();
         assert_eq!(t.generation(), 2);
         t.remove(ip(10, 0, 0, 0), 8).unwrap();
@@ -375,6 +449,45 @@ mod tests {
         // Lookups never bump.
         let _ = t.lookup(ip(10, 1, 1, 1));
         assert_eq!(t.generation(), 3);
+    }
+
+    #[test]
+    fn noop_reinsert_is_generation_neutral() {
+        // Regression: a periodic route refresh re-installing the identical
+        // next hop used to bump the generation and wholesale-clear every
+        // worker's flow cache for a routing no-op.
+        let mut t = TrieTable::new();
+        t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap();
+        let gen = t.generation();
+        assert_eq!(t.insert(ip(10, 0, 0, 0), 8, 1u16).unwrap(), Some(1));
+        assert_eq!(t.generation(), gen, "value-preserving insert must not bump");
+        // Same canonical route via an unmasked spelling: still a no-op.
+        assert_eq!(t.insert(ip(10, 200, 3, 4), 8, 1u16).unwrap(), Some(1));
+        assert_eq!(t.generation(), gen);
+        assert_eq!(t.len(), 1);
+        // A genuine replacement still bumps.
+        assert_eq!(t.insert(ip(10, 0, 0, 0), 8, 2u16).unwrap(), Some(1));
+        assert_eq!(t.generation(), gen + 1);
+    }
+
+    #[test]
+    fn routes_enumerates_canonical_entries() {
+        let mut t = TrieTable::new();
+        t.insert(0, 0, 7u16).unwrap();
+        t.insert(ip(10, 1, 2, 9), 24, 3).unwrap();
+        t.insert(ip(10, 0, 0, 0), 8, 1).unwrap();
+        t.insert(ip(10, 0, 0, 1), 32, 9).unwrap();
+        let mut routes = t.routes();
+        routes.sort_unstable();
+        assert_eq!(
+            routes,
+            vec![
+                (0, 0, 7),
+                (ip(10, 0, 0, 0), 8, 1),
+                (ip(10, 0, 0, 1), 32, 9),
+                (ip(10, 1, 2, 0), 24, 3),
+            ]
+        );
     }
 
     #[test]

@@ -3,12 +3,14 @@
 //! Zero-copy all the way down: each frame is parsed in place with the
 //! [`sysrepr::packet`] views (total parsing — every header is validated
 //! before any field is used), checksummed, TTL-checked, and routed through
-//! a [`TrieTable`]. Nothing in this module allocates per packet; the only
-//! state is the [`BatchStats`] counters.
+//! any [`Routes`] source — an exclusive [`crate::lpm::TrieTable`], a
+//! mutex-held one, or a pinned copy-on-write snapshot
+//! ([`crate::cowtrie::RouteView`]). Nothing in this module allocates per
+//! packet; the only state is the [`BatchStats`] counters.
 
 use crate::cache::FlowCache;
 use crate::conntrack::{Conntrack, FlowKey, TcpSummary};
-use crate::lpm::TrieTable;
+use crate::lpm::Routes;
 use sysrepr::packet::{EthernetView, Ipv4View, IPPROTO_TCP};
 use sysrepr::ReprError;
 
@@ -153,7 +155,7 @@ fn validate_ipv4(frame: &[u8]) -> Result<Ipv4View<'_>, DropReason> {
 /// # Errors
 ///
 /// The [`DropReason`] for any frame that fails validation or routing.
-pub fn route_frame<T: Copy>(frame: &[u8], table: &TrieTable<T>) -> Result<T, DropReason> {
+pub fn route_frame<T: Copy, R: Routes<T>>(frame: &[u8], table: &R) -> Result<T, DropReason> {
     let (_, dst) = validate_frame(frame)?;
     table.lookup(dst).ok_or(DropReason::NoRoute)
 }
@@ -166,9 +168,9 @@ pub fn route_frame<T: Copy>(frame: &[u8], table: &TrieTable<T>) -> Result<T, Dro
 /// # Errors
 ///
 /// The [`DropReason`] for any frame that fails validation or routing.
-pub fn route_frame_cached<T: Copy>(
+pub fn route_frame_cached<T: Copy, R: Routes<T>>(
     frame: &[u8],
-    table: &TrieTable<T>,
+    table: &R,
     cache: &mut FlowCache<T>,
 ) -> Result<T, DropReason> {
     let (src, dst) = validate_frame(frame)?;
@@ -190,9 +192,9 @@ pub fn route_frame_cached<T: Copy>(
 ///
 /// The [`DropReason`] for any frame that fails validation, tracking
 /// admission, or routing.
-pub fn route_frame_tracked<T: Copy>(
+pub fn route_frame_tracked<T: Copy, R: Routes<T>>(
     frame: &[u8],
-    table: &TrieTable<T>,
+    table: &R,
     cache: Option<&mut FlowCache<T>>,
     ct: &mut Conntrack,
     now_ns: u64,
@@ -217,9 +219,9 @@ pub fn route_frame_tracked<T: Copy>(
 /// router's path when connection tracking is enabled. Mirrors batch
 /// counters plus the tracker's live/half-open gauges into the `sysobs`
 /// registry, one update per batch.
-pub fn process_batch_tracked<T, B, F>(
+pub fn process_batch_tracked<T, R, B, F>(
     frames: &[B],
-    table: &TrieTable<T>,
+    table: &R,
     cache: Option<&mut FlowCache<T>>,
     ct: &mut Conntrack,
     now_ns: u64,
@@ -227,6 +229,7 @@ pub fn process_batch_tracked<T, B, F>(
 ) -> BatchStats
 where
     T: Copy,
+    R: Routes<T>,
     B: AsRef<[u8]>,
     F: FnMut(T),
 {
@@ -249,9 +252,9 @@ where
 /// [`process_batch_tracked`] with no observability hooks — the
 /// compiled-baseline tracked path (`instrument: false` workers, and the
 /// E14 bench's measured configuration).
-pub fn process_batch_tracked_uninstrumented<T, B, F>(
+pub fn process_batch_tracked_uninstrumented<T, R, B, F>(
     frames: &[B],
-    table: &TrieTable<T>,
+    table: &R,
     mut cache: Option<&mut FlowCache<T>>,
     ct: &mut Conntrack,
     now_ns: u64,
@@ -259,6 +262,7 @@ pub fn process_batch_tracked_uninstrumented<T, B, F>(
 ) -> BatchStats
 where
     T: Copy,
+    R: Routes<T>,
     B: AsRef<[u8]>,
     F: FnMut(T),
 {
@@ -283,9 +287,10 @@ where
 /// update per batch, not per frame) and opens a `net.batch` span under full
 /// tracing. For a compiled-out-baseline path with zero observability code,
 /// see [`process_batch_uninstrumented`].
-pub fn process_batch<T, B, F>(frames: &[B], table: &TrieTable<T>, forward: F) -> BatchStats
+pub fn process_batch<T, R, B, F>(frames: &[B], table: &R, forward: F) -> BatchStats
 where
     T: Copy,
+    R: Routes<T>,
     B: AsRef<[u8]>,
     F: FnMut(T),
 {
@@ -299,14 +304,15 @@ where
 /// the production path the sharded router runs. Mirrors the batch counters
 /// *and* the cache's hit/miss deltas into the `sysobs` registry, one update
 /// per batch.
-pub fn process_batch_cached<T, B, F>(
+pub fn process_batch_cached<T, R, B, F>(
     frames: &[B],
-    table: &TrieTable<T>,
+    table: &R,
     cache: &mut FlowCache<T>,
     forward: F,
 ) -> BatchStats
 where
     T: Copy,
+    R: Routes<T>,
     B: AsRef<[u8]>,
     F: FnMut(T),
 {
@@ -339,13 +345,14 @@ fn mirror_batch_stats(stats: &BatchStats) {
 /// [`process_batch`] with no observability hooks at all — not even the
 /// disabled-mode atomic load. This is the compiled baseline experiment E11
 /// measures instrumentation overhead against.
-pub fn process_batch_uninstrumented<T, B, F>(
+pub fn process_batch_uninstrumented<T, R, B, F>(
     frames: &[B],
-    table: &TrieTable<T>,
+    table: &R,
     mut forward: F,
 ) -> BatchStats
 where
     T: Copy,
+    R: Routes<T>,
     B: AsRef<[u8]>,
     F: FnMut(T),
 {
@@ -359,14 +366,15 @@ where
 /// [`process_batch_uninstrumented`] over [`route_frame_cached`] — the
 /// compiled-out-baseline path with the flow cache, used by the
 /// `instrument: false` router workers.
-pub fn process_batch_cached_uninstrumented<T, B, F>(
+pub fn process_batch_cached_uninstrumented<T, R, B, F>(
     frames: &[B],
-    table: &TrieTable<T>,
+    table: &R,
     cache: &mut FlowCache<T>,
     mut forward: F,
 ) -> BatchStats
 where
     T: Copy,
+    R: Routes<T>,
     B: AsRef<[u8]>,
     F: FnMut(T),
 {
@@ -407,6 +415,7 @@ fn tally<T: Copy, F: FnMut(T)>(
 mod tests {
     use super::*;
     use crate::conntrack::ConntrackConfig;
+    use crate::lpm::TrieTable;
     use sysrepr::packet::{PacketBuilder, TCP_ACK, TCP_SYN};
 
     fn table() -> TrieTable<&'static str> {

@@ -14,20 +14,28 @@
 //!   containers the same way. After warm-up no `Vec` is allocated per
 //!   packet or per batch — Challenge 2's region-style reuse, measured as
 //!   `steady_allocs_per_packet` in the bench rather than asserted.
-//! * **Cached routing.** Each worker fronts the shared [`TrieTable`] with
-//!   its own [`FlowCache`]: repeated flows resolve in one hash-and-compare
-//!   instead of a 32-level trie walk, and a generation counter on the table
+//! * **Cached routing.** Each worker fronts the route source with its own
+//!   [`FlowCache`]: repeated flows resolve in one hash-and-compare instead
+//!   of a 32-level trie walk, and a generation counter on the source
 //!   invalidates the cache before any post-mutation packet is routed.
+//! * **Live route updates.** The routing table is no longer frozen at
+//!   startup: [`ShardedRouter::updater`] hands out a clonable control-plane
+//!   handle whose inserts and removes reach running workers. Under the
+//!   default [`RouteMode::CowEpoch`] an update is one copy-on-write spine
+//!   clone plus an atomic root swap ([`crate::cowtrie`]); workers pin an
+//!   epoch-protected snapshot per batch and pay zero synchronization per
+//!   packet. [`RouteMode::LockedGenerationClear`] keeps the baseline — a
+//!   mutex around the exclusive trie, locked per batch — for the E15 A/B.
 //! * **Non-blocking dispatch.** Batch size adapts to queue occupancy (deep
 //!   batches only under backlog) and dispatch uses `try_send` with a
 //!   bounded per-worker requeue, so one slow worker no longer
 //!   head-of-line-blocks every other worker's feed.
 //!
 //! Shared state is confined to per-worker atomic counters (aggregated into
-//! a router-wide [`RouterStats`] snapshot on demand) and the immutable
-//! routing table behind an `Arc`; the packets themselves are *moved*
-//! through channels, never shared — Challenge 4 answered with ownership
-//! plus message passing rather than locks.
+//! a router-wide [`RouterStats`] snapshot on demand) and the published
+//! route state behind an `Arc`; the packets themselves are *moved* through
+//! channels, never shared — Challenge 4 answered with ownership plus
+//! message passing rather than locks.
 //!
 //! The dispatch/recycle protocol itself is model-checkable: workers spawn
 //! through [`syscheck::shim::spawn_named`] and every channel hand-off rides
@@ -42,13 +50,14 @@
 
 use crate::cache::FlowCache;
 use crate::conntrack::{Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats};
-use crate::lpm::TrieTable;
+use crate::cowtrie::{CowRouteTable, RouteReader};
+use crate::lpm::{RouteError, Routes, TrieTable};
 use crate::pipeline::{self, BatchStats, DROP_METRICS, DROP_REASONS};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use syscheck::shim::{spawn_named, JoinHandle};
+use syscheck::shim::{spawn_named, JoinHandle, Mutex as ShimMutex};
 use sysconc::channel::{bounded, channel, Receiver, Sender, TrySendError};
 use sysfault::{FaultInjector, FaultPlan};
 use sysobs::LogHistogram;
@@ -65,6 +74,21 @@ pub const SITE_NET_WORKER_STALL: &str = "net.worker.stall";
 /// Fault site: a batch returning on the recycle channel is lost, so its
 /// buffers leave the pool forever and the dispatcher must re-allocate.
 pub const SITE_NET_RECYCLE_LOSS: &str = "net.recycle.loss";
+
+/// How route updates reach running workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMode {
+    /// Copy-on-write publication over epoch-based reclamation (the
+    /// default): a [`RouteUpdater`] insert clones the O(depth) spine and
+    /// swaps one atomic root pointer; workers pin a frozen snapshot per
+    /// batch and pay zero synchronization per packet lookup.
+    #[default]
+    CowEpoch,
+    /// The pre-epoch baseline: the exclusive [`TrieTable`] behind one
+    /// mutex, locked by every worker for every batch (and by the updater
+    /// for every change). Kept as experiment E15's A/B comparison arm.
+    LockedGenerationClear,
+}
 
 /// Sizing knobs for [`ShardedRouter`].
 #[derive(Debug, Clone)]
@@ -99,6 +123,8 @@ pub struct RouterConfig {
     /// with the FNV of the worker name) for [`SITE_NET_WORKER_STALL`] and
     /// the `net.conntrack.*` sites, so campaigns replay per worker.
     pub fault_plan: Option<FaultPlan>,
+    /// How route updates reach the workers (see [`RouteMode`]).
+    pub route_mode: RouteMode,
 }
 
 impl Default for RouterConfig {
@@ -111,6 +137,7 @@ impl Default for RouterConfig {
             instrument: true,
             conntrack: None,
             fault_plan: None,
+            route_mode: RouteMode::default(),
         }
     }
 }
@@ -141,6 +168,7 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_invalidations: AtomicU64,
+    cache_invalidation_misses: AtomicU64,
     injected_stalls: AtomicU64,
     per_port: Vec<AtomicU64>,
 }
@@ -156,6 +184,7 @@ impl Counters {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_invalidations: AtomicU64::new(0),
+            cache_invalidation_misses: AtomicU64::new(0),
             injected_stalls: AtomicU64::new(0),
             per_port: (0..ports).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -178,6 +207,8 @@ impl Counters {
         self.cache_misses.store(cache.misses(), Ordering::Relaxed);
         self.cache_invalidations
             .store(cache.invalidations(), Ordering::Relaxed);
+        self.cache_invalidation_misses
+            .store(cache.invalidation_misses(), Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> WorkerStats {
@@ -190,6 +221,7 @@ impl Counters {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            cache_invalidation_misses: self.cache_invalidation_misses.load(Ordering::Relaxed),
             injected_stalls: self.injected_stalls.load(Ordering::Relaxed),
             per_port: self
                 .per_port
@@ -219,6 +251,10 @@ pub struct WorkerStats {
     pub cache_misses: u64,
     /// Flow-cache wholesale invalidations (table-generation changes seen).
     pub cache_invalidations: u64,
+    /// The subset of [`WorkerStats::cache_misses`] forced by those
+    /// invalidations (refills of slots a route change emptied) — route
+    /// churn's direct cost, separable from capacity pressure.
+    pub cache_invalidation_misses: u64,
     /// Injected worker stalls served ([`SITE_NET_WORKER_STALL`]).
     pub injected_stalls: u64,
     /// Forwards per port id.
@@ -266,6 +302,7 @@ impl WorkerStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
+        self.cache_invalidation_misses += other.cache_invalidation_misses;
         self.injected_stalls += other.injected_stalls;
         if self.per_port.len() < other.per_port.len() {
             self.per_port.resize(other.per_port.len(), 0);
@@ -403,6 +440,7 @@ impl RouterReport {
         snap.set_counter("net.cache.hits", t.cache_hits);
         snap.set_counter("net.cache.misses", t.cache_misses);
         snap.set_counter("net.cache.invalidations", t.cache_invalidations);
+        snap.set_counter("net.cache.invalidation_misses", t.cache_invalidation_misses);
         snap.set_counter("net.pool.frames_reused", self.pool.frames_reused);
         snap.set_counter("net.pool.frames_allocated", self.pool.frames_allocated);
         snap.set_counter("net.pool.batches_reused", self.pool.batches_reused);
@@ -457,19 +495,71 @@ struct WorkerExit {
     fault_digest: u64,
 }
 
+/// The route source one worker routes against: a registered epoch reader
+/// (pin a frozen snapshot per batch) or the locked-trie baseline (lock the
+/// shared mutex per batch).
+enum WorkerRoutes {
+    Cow(RouteReader<PortId>),
+    Locked(Arc<ShimMutex<TrieTable<PortId>>>),
+}
+
+/// Routes one batch against whatever [`Routes`] source the worker holds —
+/// the shared middle of [`worker_loop`], monomorphized per source and per
+/// `OBS` so both the pinned-view fast path and the locked baseline compile
+/// tight. With a conntrack shard the batch goes through the tracked
+/// pipeline, and the shard's watchdog sweep runs after the batch, never
+/// inside it (bounded extra work per batch, zero fast-path contention).
+fn run_batch<const OBS: bool, R: Routes<PortId>>(
+    frames: &[Vec<u8>],
+    table: &R,
+    cache: Option<&mut FlowCache<PortId>>,
+    ct: Option<&mut Conntrack>,
+    now_ns: u64,
+    shared: &Counters,
+) -> BatchStats {
+    let forward = |port: PortId| {
+        if let Some(cell) = shared.per_port.get(usize::from(port)) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    if let Some(ct) = ct {
+        let s = if OBS {
+            pipeline::process_batch_tracked(frames, table, cache, ct, now_ns, forward)
+        } else {
+            pipeline::process_batch_tracked_uninstrumented(
+                frames, table, cache, ct, now_ns, forward,
+            )
+        };
+        if ct.due_sweep(now_ns) {
+            ct.sweep(now_ns);
+        }
+        s
+    } else {
+        match (cache, OBS) {
+            (Some(c), true) => pipeline::process_batch_cached(frames, table, c, forward),
+            (Some(c), false) => {
+                pipeline::process_batch_cached_uninstrumented(frames, table, c, forward)
+            }
+            (None, true) => pipeline::process_batch(frames, table, forward),
+            (None, false) => pipeline::process_batch_uninstrumented(frames, table, forward),
+        }
+    }
+}
+
 /// One worker's receive-process loop, monomorphized on `OBS` so the
 /// `instrument: false` configuration compiles a fast path containing zero
 /// observability code — the E11 baseline — while the instrumented variant
 /// routes through [`pipeline::process_batch_cached`] (registry counters,
-/// spans). With a conntrack shard the batch goes through the tracked
-/// pipeline instead, and the shard's watchdog sweep runs between batches
-/// on the worker's own monotonic clock. Drained batches go back to the
-/// dispatcher through `recycle`; the send is best-effort because at
-/// shutdown the dispatcher drops its receiver first.
+/// spans). Each batch routes against one consistent route state: a pinned
+/// copy-on-write snapshot ([`RouteMode::CowEpoch`]) or the mutex-held trie
+/// ([`RouteMode::LockedGenerationClear`]) — see [`run_batch`] for the
+/// shared pipeline dispatch. Drained batches go back to the dispatcher
+/// through `recycle`; the send is best-effort because at shutdown the
+/// dispatcher drops its receiver first.
 fn worker_loop<const OBS: bool>(
     rx: &Receiver<Batch>,
     recycle: &Sender<Batch>,
-    table: &TrieTable<PortId>,
+    routes: &WorkerRoutes,
     shared: &Counters,
     cache_slots: usize,
     mut ct: Option<Conntrack>,
@@ -486,48 +576,31 @@ fn worker_loop<const OBS: bool>(
             }
         }
         let occupancy = batch.frames.len();
-        let forward = |port: PortId| {
-            if let Some(cell) = shared.per_port.get(usize::from(port)) {
-                cell.fetch_add(1, Ordering::Relaxed);
-            }
-        };
-        let stats = if let Some(ct) = &mut ct {
-            let now_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            let s = if OBS {
-                pipeline::process_batch_tracked(
+        let now_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let stats = match routes {
+            WorkerRoutes::Cow(reader) => {
+                // Pin once per batch: two SeqCst loads, then every lookup
+                // in the batch walks the frozen snapshot lock-free.
+                let view = reader.pin();
+                run_batch::<OBS, _>(
                     &batch.frames,
-                    table,
+                    &view,
                     cache.as_mut(),
-                    ct,
+                    ct.as_mut(),
                     now_ns,
-                    forward,
+                    shared,
                 )
-            } else {
-                pipeline::process_batch_tracked_uninstrumented(
-                    &batch.frames,
-                    table,
-                    cache.as_mut(),
-                    ct,
-                    now_ns,
-                    forward,
-                )
-            };
-            // The watchdog runs between batches, never inside one: bounded
-            // extra work per batch, zero contention with the fast path.
-            if ct.due_sweep(now_ns) {
-                ct.sweep(now_ns);
             }
-            s
-        } else {
-            match (&mut cache, OBS) {
-                (Some(c), true) => pipeline::process_batch_cached(&batch.frames, table, c, forward),
-                (Some(c), false) => {
-                    pipeline::process_batch_cached_uninstrumented(&batch.frames, table, c, forward)
-                }
-                (None, true) => pipeline::process_batch(&batch.frames, table, forward),
-                (None, false) => {
-                    pipeline::process_batch_uninstrumented(&batch.frames, table, forward)
-                }
+            WorkerRoutes::Locked(table) => {
+                let guard = table.lock().expect("route table poisoned");
+                run_batch::<OBS, _>(
+                    &batch.frames,
+                    &*guard,
+                    cache.as_mut(),
+                    ct.as_mut(),
+                    now_ns,
+                    shared,
+                )
             }
         };
         shared.apply(&stats, occupancy);
@@ -557,10 +630,101 @@ fn worker_loop<const OBS: bool>(
     }
 }
 
+/// The live route state, shaped by [`RouteMode`]. Shared between the
+/// router (which hands workers their per-worker view) and every
+/// [`RouteUpdater`] cloned off it.
+#[derive(Clone)]
+enum RouteBackend {
+    Cow(Arc<CowRouteTable<PortId>>),
+    Locked(Arc<ShimMutex<TrieTable<PortId>>>),
+}
+
+/// A clonable control-plane handle for live route updates, from
+/// [`ShardedRouter::updater`]. Inserts and removes reach running workers:
+/// under [`RouteMode::CowEpoch`] an update is visible to every batch pinned
+/// after the call returns, without stopping or locking the data plane;
+/// under [`RouteMode::LockedGenerationClear`] the update takes the same
+/// mutex the workers take per batch.
+#[derive(Clone)]
+pub struct RouteUpdater {
+    backend: RouteBackend,
+}
+
+impl RouteUpdater {
+    /// Installs `prefix/len → next_hop` in the live table, returning the
+    /// replaced next hop. Value-preserving re-inserts are generation-
+    /// neutral in both modes: no publication, no worker cache is nuked.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route mutex is poisoned (a panicked updater).
+    pub fn insert(
+        &self,
+        prefix: u32,
+        len: u8,
+        next_hop: PortId,
+    ) -> Result<Option<PortId>, RouteError> {
+        match &self.backend {
+            RouteBackend::Cow(t) => t.insert(prefix, len, next_hop),
+            RouteBackend::Locked(m) => m
+                .lock()
+                .expect("route table poisoned")
+                .insert(prefix, len, next_hop),
+        }
+    }
+
+    /// Removes the route `prefix/len`, returning its next hop if present.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::PrefixLenOutOfRange`] when `len > 32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route mutex is poisoned.
+    pub fn remove(&self, prefix: u32, len: u8) -> Result<Option<PortId>, RouteError> {
+        match &self.backend {
+            RouteBackend::Cow(t) => t.remove(prefix, len),
+            RouteBackend::Locked(m) => m.lock().expect("route table poisoned").remove(prefix, len),
+        }
+    }
+
+    /// Routing-visible changes published so far (the generation worker
+    /// caches invalidate against).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route mutex is poisoned.
+    #[must_use]
+    pub fn publications(&self) -> u64 {
+        match &self.backend {
+            RouteBackend::Cow(t) => t.publications(),
+            RouteBackend::Locked(m) => m.lock().expect("route table poisoned").generation(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RouteUpdater {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match self.backend {
+            RouteBackend::Cow(_) => "cow-epoch",
+            RouteBackend::Locked(_) => "locked",
+        };
+        f.debug_struct("RouteUpdater")
+            .field("mode", &mode)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The sharded router: dispatcher-side handle. Create with
 /// [`ShardedRouter::start`], feed with [`ShardedRouter::submit`], and close
 /// with [`ShardedRouter::finish`].
 pub struct ShardedRouter {
+    backend: RouteBackend,
     senders: Vec<Sender<Batch>>,
     recycle_rx: Vec<Receiver<Batch>>,
     handles: Vec<JoinHandle<WorkerExit>>,
@@ -605,7 +769,12 @@ impl ShardedRouter {
         assert!(config.workers >= 1, "router needs at least one worker");
         assert!(config.batch_size >= 1, "batch size must be nonzero");
         assert!(config.queue_depth >= 1, "queue depth must be nonzero");
-        let table = Arc::new(table);
+        let backend = match config.route_mode {
+            RouteMode::CowEpoch => RouteBackend::Cow(Arc::new(CowRouteTable::from_trie(&table))),
+            RouteMode::LockedGenerationClear => {
+                RouteBackend::Locked(Arc::new(ShimMutex::new(table)))
+            }
+        };
         // One cross-shard gauge caps the router-wide live-entry count at
         // `max_flows`; each worker shard charges it before inserting.
         let ct_shared = config
@@ -621,7 +790,10 @@ impl ShardedRouter {
             // Unbounded: the worker must never block returning a buffer.
             // In-flight batches (≤ queue_depth + stalled cap) bound it.
             let (back_tx, back_rx) = channel::<Batch>();
-            let worker_table = Arc::clone(&table);
+            let worker_routes = match &backend {
+                RouteBackend::Cow(cow) => WorkerRoutes::Cow(cow.reader()),
+                RouteBackend::Locked(m) => WorkerRoutes::Locked(Arc::clone(m)),
+            };
             let worker_counters = Arc::new(Counters::new(ports));
             let shared = Arc::clone(&worker_counters);
             let slots = config.cache_slots;
@@ -649,7 +821,7 @@ impl ShardedRouter {
                     worker_loop::<true>(
                         &rx,
                         &back_tx,
-                        &worker_table,
+                        &worker_routes,
                         &shared,
                         slots,
                         worker_ct,
@@ -661,7 +833,7 @@ impl ShardedRouter {
                     worker_loop::<false>(
                         &rx,
                         &back_tx,
-                        &worker_table,
+                        &worker_routes,
                         &shared,
                         slots,
                         worker_ct,
@@ -675,6 +847,7 @@ impl ShardedRouter {
             counters.push(worker_counters);
         }
         ShardedRouter {
+            backend,
             senders,
             recycle_rx,
             handles,
@@ -700,6 +873,16 @@ impl ShardedRouter {
     #[must_use]
     pub fn pool_stats(&self) -> PoolStats {
         self.pool
+    }
+
+    /// A control-plane handle whose route changes reach the running
+    /// workers (clonable; safe to move to an updater thread). See
+    /// [`RouteUpdater`] for the visibility contract per [`RouteMode`].
+    #[must_use]
+    pub fn updater(&self) -> RouteUpdater {
+        RouteUpdater {
+            backend: self.backend.clone(),
+        }
     }
 
     /// Queues one frame (copied into a pooled buffer), dispatching a batch
@@ -1366,6 +1549,111 @@ mod tests {
             (c.faults.dispatch_digest, c.faults.worker_digest),
             "different seed, different campaign"
         );
+    }
+
+    #[test]
+    fn route_modes_agree_on_a_static_stream() {
+        let frames = stream(800);
+        let cow = run_stream(table(), 3, RouterConfig::default(), &frames).0;
+        let locked = run_stream(
+            table(),
+            3,
+            RouterConfig {
+                route_mode: RouteMode::LockedGenerationClear,
+                ..RouterConfig::default()
+            },
+            &frames,
+        )
+        .0;
+        assert_eq!(cow.stats.totals.forwarded, locked.stats.totals.forwarded);
+        assert_eq!(cow.stats.totals.dropped, locked.stats.totals.dropped);
+        assert_eq!(cow.stats.totals.per_port, locked.stats.totals.per_port);
+    }
+
+    #[test]
+    fn live_updates_reach_workers_in_both_modes() {
+        for mode in [RouteMode::CowEpoch, RouteMode::LockedGenerationClear] {
+            let cfg = RouterConfig {
+                workers: 2,
+                route_mode: mode,
+                ..RouterConfig::default()
+            };
+            let mut router = ShardedRouter::start(table(), 4, cfg);
+            let updater = router.updater();
+            let dst = [10u8, 200, 7, 7]; // matches only the 10/8 → port 0
+            let mk = |s: u8| {
+                PacketBuilder::udp()
+                    .src_ip([172, 16, 1, s])
+                    .dst_ip(dst)
+                    .build()
+            };
+            for s in 0..50u8 {
+                router.submit(&mk(s));
+            }
+            router.flush();
+            // Flush dispatches but does not wait; the update below must not
+            // overtake in-flight batches or the port split is ambiguous.
+            while router.snapshot().totals.total_frames() < 50 {
+                std::thread::yield_now();
+            }
+            let before = updater.publications();
+            // Redirect 10.200/16 to port 3; every batch pinned (or locked)
+            // after this call returns must route dst to port 3.
+            assert_eq!(
+                updater.insert(ip(10, 200, 0, 0), 16, 3).unwrap(),
+                None,
+                "{mode:?}"
+            );
+            assert_eq!(updater.publications(), before + 1, "{mode:?}");
+            // A value-preserving re-insert publishes nothing: the workers'
+            // caches are not nuked a second time.
+            assert_eq!(
+                updater.insert(ip(10, 200, 0, 0), 16, 3).unwrap(),
+                Some(3),
+                "{mode:?}"
+            );
+            assert_eq!(updater.publications(), before + 1, "{mode:?}");
+            for s in 0..50u8 {
+                router.submit(&mk(s));
+            }
+            let report = router.finish();
+            let t = &report.stats.totals;
+            assert_eq!(t.total_frames(), 100, "{mode:?}");
+            assert_eq!(t.per_port[0], 50, "pre-update frames → /8 ({mode:?})");
+            assert_eq!(t.per_port[3], 50, "post-update frames → new /16 ({mode:?})");
+            assert!(
+                t.cache_invalidations >= 1,
+                "the publication must invalidate worker caches ({mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn cow_mode_attributes_churn_misses() {
+        // One worker, repeated flows, then a route flap: the refill misses
+        // after the flap must be attributed to invalidation.
+        let cfg = RouterConfig {
+            workers: 1,
+            ..RouterConfig::default()
+        };
+        let mut router = ShardedRouter::start(table(), 4, cfg);
+        let updater = router.updater();
+        let frames = stream(400);
+        for f in &frames {
+            router.submit(f);
+        }
+        router.flush();
+        updater.insert(ip(10, 250, 0, 0), 16, 3).unwrap();
+        for f in &frames {
+            router.submit(f);
+        }
+        let report = router.finish();
+        let t = &report.stats.totals;
+        assert!(
+            t.cache_invalidation_misses > 0,
+            "post-flap refills must be attributed: {t:?}"
+        );
+        assert!(t.cache_invalidation_misses <= t.cache_misses);
     }
 
     #[test]

@@ -88,6 +88,38 @@ fn main() {
             p.batch_size
         );
     }
+    for p in &report.churn {
+        let allocs = p
+            .steady_allocs_per_packet
+            .expect("alloc counter was supplied");
+        // Route churn must not reintroduce per-packet allocation: COW
+        // spine clones recycle through the epoch domain's node pool.
+        assert!(
+            allocs < 0.05,
+            "churn steady state allocated: {allocs:.4} allocs/pkt at \
+             {} {}/s",
+            p.mode_name(),
+            p.target_updates_per_sec
+        );
+    }
+    let cow_at = |rate: u64| {
+        report
+            .churn
+            .iter()
+            .find(|p| p.mode_name() == "cow-epoch" && p.target_updates_per_sec == rate)
+    };
+    if let (Some(base), Some(hot)) = (cow_at(0), cow_at(10_000)) {
+        // The tentpole's headline: updates through the copy-on-write path
+        // cost the data plane almost nothing — 10k updates/s must keep at
+        // least 80 % of the zero-churn throughput.
+        assert!(
+            hot.pps >= 0.8 * base.pps,
+            "cow-epoch throughput collapsed under churn: {:.0} pps at 10k \
+             updates/s vs {:.0} pps at zero churn",
+            hot.pps,
+            base.pps
+        );
+    }
     if quick {
         eprintln!("(--quick: not writing BENCH_router.json)");
     } else {

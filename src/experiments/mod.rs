@@ -11,6 +11,7 @@ pub mod e11_obs;
 pub mod e12_cache;
 pub mod e13_check;
 pub mod e14_conntrack;
+pub mod e15_churn;
 pub mod e1_alloc;
 pub mod e2_boxing;
 pub mod e3_optimizer;
