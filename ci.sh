@@ -47,6 +47,32 @@ cargo test -q -p sysnet --test conntrack_model
 cargo run --release --example experiments -- e14 e9net
 cargo run --release --example conntrack_bench -- --quick
 
+# Postmortem smoke: seed a drop-rate spike under sampled mode (live drop
+# counters, the standard watch set, a frozen flight-recorder capture),
+# then check the emitted artifact is valid JSON naming its trigger and
+# carrying causal traces, and that the recorded BENCH_obs.json is the
+# schema-2 form with the `sampled` arm whose budget obs_bench enforces.
+# E16 at quick scale covers the rest of the campaign (exactly one
+# postmortem per incident, dispatcher→worker trace reconstruction).
+cargo run --release --example obs_bench -- --postmortem-smoke
+python3 - <<'EOF'
+import json
+pm = json.load(open("POSTMORTEM_smoke.json"))
+assert pm["postmortem"] == 1, pm
+assert pm["trigger"] == "drop-rate-spike", pm["trigger"]
+assert pm["event_count"] > 0 and pm["events"], "postmortem must carry the recorder tail"
+assert pm["causal_traces"], "postmortem must carry causal traces"
+assert any(k.startswith("net.drop.") for k in pm["metrics"]["counters"]), \
+    "metrics snapshot must hold the drop counters that fired the watch"
+bench = json.load(open("BENCH_obs.json"))
+assert bench["schema"] == 2, bench["schema"]
+assert {p["mode"] for p in bench["router"]} >= {"uninstrumented", "disabled", "counters", "sampled", "tracing"}
+assert {p["mode"] for p in bench["ipc"]} >= {"disabled", "counters", "sampled", "tracing"}
+EOF
+rm -f POSTMORTEM_smoke.json
+cargo test -q --test obs_model --test obs_sampler_props --test obs_postmortem
+cargo run --release --example experiments -- e16
+
 # Route-churn smoke: the epoch-reclamation models (safe domain exhaustive
 # at preemption bound 2; the seeded premature free found and shrunk), the
 # COW publication-visibility models, the epoch unit tests, and E15 at

@@ -237,6 +237,29 @@ impl FaultLog {
     }
 }
 
+/// Publishes `digest` as the *active* campaign digest in the `sysobs`
+/// registry (gauge `fault.active_digest`, digest bits stored as `i64`):
+/// the link between a live incident and the fault plan that provoked it.
+/// A trigger-engine poll loop reads this back with [`active_digest`] and
+/// stamps it into every postmortem it captures, making the incident
+/// replayable from its plan. Publish 0 (or call with the final digest) at
+/// campaign end.
+pub fn publish_active_digest(digest: u64) {
+    #[allow(clippy::cast_possible_wrap)]
+    sysobs::registry()
+        .gauge("fault.active_digest")
+        .set(digest as i64);
+}
+
+/// The published campaign digest, or `None` when no campaign has announced
+/// itself (gauge absent or zero).
+#[must_use]
+pub fn active_digest() -> Option<u64> {
+    #[allow(clippy::cast_sign_loss)]
+    let d = sysobs::registry().gauge("fault.active_digest").get() as u64;
+    (d != 0).then_some(d)
+}
+
 #[derive(Debug)]
 struct SiteState {
     schedule: Schedule,

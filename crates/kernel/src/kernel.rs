@@ -36,6 +36,11 @@ pub struct Message {
     pub payload: Vec<u64>,
     /// Capability delivered alongside the payload, if any.
     pub cap: Option<Capability>,
+    /// Causal trace context ([`sysobs::context`] carrier form; 0 = none).
+    /// Stamped from the sender's thread-local context on `Send` when unset,
+    /// carried through the kernel heap with the payload, and recorded on
+    /// delivery — one sampled round trip links its send and recv spans.
+    pub ctx: u64,
 }
 
 impl Message {
@@ -45,6 +50,7 @@ impl Message {
         Message {
             payload: payload.to_vec(),
             cap: None,
+            ctx: 0,
         }
     }
 
@@ -54,6 +60,7 @@ impl Message {
         Message {
             payload: Vec::new(),
             cap: None,
+            ctx: 0,
         }
     }
 }
@@ -162,6 +169,8 @@ struct StoredMessage {
     len: usize,
     cap: Option<Capability>,
     sender: Pid,
+    /// The in-flight message's causal context (see [`Message::ctx`]).
+    ctx: u64,
 }
 
 #[derive(Debug, Default)]
@@ -813,6 +822,7 @@ impl Kernel {
             len,
             cap: msg.cap,
             sender,
+            ctx: msg.ctx,
         })
     }
 
@@ -838,11 +848,15 @@ impl Kernel {
         Ok(Message {
             payload,
             cap: stored.cap,
+            ctx: stored.ctx,
         })
     }
 
     fn deliver_to(&mut self, receiver: Pid, stored: StoredMessage) -> Result<()> {
         let msg = self.load_message(&stored)?;
+        // The recv half of the causal link: a traced message's delivery
+        // records under the same trace id its send did.
+        sysobs::obs_span_hot!("kernel.ipc.recv", ctx = msg.ctx);
         if let Some(cap) = msg.cap {
             // Transferred capability lands in the receiver's c-space.
             let _ = self.install_cap(receiver, cap);
@@ -884,10 +898,17 @@ impl Kernel {
             }
         }
         match call {
-            Syscall::Send { cap, msg } => {
+            Syscall::Send { cap, mut msg } => {
                 let capability = self.lookup_cap(pid, cap)?;
                 let ep_index =
                     self.require(capability, ObjectKind::Endpoint, Rights::SEND, "SEND")?;
+                // Stamp the sender's live causal context onto the message
+                // (unless the caller already attached one) and record the
+                // send half of the IPC link.
+                if msg.ctx == 0 {
+                    msg.ctx = sysobs::context::current_packed();
+                }
+                sysobs::obs_span_hot!("kernel.ipc.send", ctx = msg.ctx);
                 let stored = self.store_message(pid, msg)?;
                 if self.inject(SITE_IPC_DROP) {
                     // The message is lost in transit: the sender sees
@@ -1018,6 +1039,10 @@ impl Kernel {
         reply_ep: (CapSlot, CapSlot),
         words: usize,
     ) -> Result<u64> {
+        // Root a sampled causal trace for this round trip: when the draw
+        // wins, the request's send and recv markers (and the reply's) all
+        // record under one trace id.
+        let _root = sysobs::obs_trace_root!("kernel.ipc.ping_pong");
         sysobs::obs_span_hot!("kernel.ipc.ping_pong");
         let snapshot = self.cycles;
         let payload = vec![0xAB; words];
@@ -1328,6 +1353,7 @@ mod tests {
                 msg: Message {
                     payload: vec![],
                     cap: Some(readonly),
+                    ctx: 0,
                 },
             },
         )

@@ -175,6 +175,7 @@ fn authority_flows_only_over_granted_channels() {
             msg: Message {
                 payload: vec![],
                 cap: Some(page_cap),
+                ctx: 0,
             },
         },
     )

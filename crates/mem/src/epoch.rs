@@ -130,6 +130,11 @@ pub struct Domain<T: Send> {
     readers: Mutex<Vec<Arc<ReaderSlot>>>,
     garbage: Mutex<Garbage<T>>,
     policy: ReclaimPolicy,
+    /// Advance attempts that found a pinned reader still announcing an
+    /// older epoch — the "reclamation is lagging behind a slow reader"
+    /// signal (mirrored to the `mem.epoch.advance_stalls` registry counter
+    /// when metrics are on, so a trigger can watch it live).
+    advance_stalls: AtomicU64,
 }
 
 impl<T: Send> Default for Domain<T> {
@@ -163,6 +168,7 @@ impl<T: Send> Domain<T> {
                 spare: Vec::new(),
             }),
             policy,
+            advance_stalls: AtomicU64::new(0),
         }
     }
 
@@ -234,6 +240,8 @@ impl<T: Send> Domain<T> {
             for slot in readers.iter() {
                 let state = slot.state.load(Ordering::SeqCst);
                 if state & PINNED != 0 && state >> 1 != e {
+                    self.advance_stalls.fetch_add(1, Ordering::Relaxed);
+                    sysobs::obs_count!("mem.epoch.advance_stalls", 1);
                     return e;
                 }
             }
@@ -293,6 +301,26 @@ impl<T: Send> Domain<T> {
         }
         garbage.bins.clear();
         handed
+    }
+
+    /// Advance attempts a lagging pinned reader blocked (cumulative).
+    #[must_use]
+    pub fn advance_stalls(&self) -> u64 {
+        self.advance_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Registered readers currently inside a pinned critical section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader list mutex is poisoned.
+    #[must_use]
+    pub fn pinned_readers(&self) -> usize {
+        let readers = self.readers.lock().expect("epoch reader list poisoned");
+        readers
+            .iter()
+            .filter(|s| s.state.load(Ordering::SeqCst) & PINNED != 0)
+            .count()
     }
 
     /// Number of retired-but-not-yet-matured items (diagnostics).

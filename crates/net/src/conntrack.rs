@@ -749,6 +749,11 @@ impl Conntrack {
         if !self.cookie_mode && self.pressure_evictions >= self.cfg.syn_backlog {
             self.cookie_mode = true;
             self.stats.cookie_mode_entries += 1;
+            // Live registry mirror: the final stats reach the registry only
+            // at RouterReport::to_snapshot, but the syn-cookie-engaged
+            // trigger needs to see engagement while the flood is running.
+            sysobs::obs_count!("net.ct.cookie_mode_entries", 1);
+            sysobs::obs_instant!("net.ct.cookie_mode_enter", self.stats.cookie_mode_entries);
             self.pressure_evictions = 0;
             if let Some(s) = &self.shared {
                 s.set_cookie_shard(true);

@@ -105,6 +105,10 @@ pub struct CowRouteTable<T: Copy + Send> {
     /// Publication counter — the table's [`Routes::generation`]. Bumped
     /// *after* the root store (see the module docs for why that order).
     publications: AtomicU64,
+    /// Spine nodes that made it back into the writer's node pool (matured
+    /// through the epoch, or pruned before ever publishing) — the
+    /// reclamation loop's throughput counter.
+    spine_recycled: AtomicU64,
     /// Installed-route count (observability; writer-maintained).
     len: AtomicUsize,
     /// Where replaced spine nodes wait out their grace period.
@@ -137,6 +141,7 @@ impl<T: Copy + Send> CowRouteTable<T> {
         CowRouteTable {
             root: AtomicPtr::new(root),
             publications: AtomicU64::new(0),
+            spine_recycled: AtomicU64::new(0),
             len: AtomicUsize::new(0),
             domain: Arc::new(epoch::Domain::new()),
             writer: Mutex::new(WriterState { pool: Vec::new() }),
@@ -181,6 +186,25 @@ impl<T: Copy + Send> CowRouteTable<T> {
     #[must_use]
     pub fn pending_reclaim(&self) -> usize {
         self.domain.pending()
+    }
+
+    /// Spine nodes recycled into the writer pool over the table's lifetime.
+    #[must_use]
+    pub fn spine_recycled(&self) -> u64 {
+        self.spine_recycled.load(Ordering::Relaxed)
+    }
+
+    /// Registered readers currently inside a pinned critical section.
+    #[must_use]
+    pub fn pinned_readers(&self) -> usize {
+        self.domain.pinned_readers()
+    }
+
+    /// Epoch-advance attempts a lagging pinned reader blocked (see
+    /// [`sysmem::epoch::Domain::advance_stalls`]).
+    #[must_use]
+    pub fn advance_stalls(&self) -> u64 {
+        self.domain.advance_stalls()
     }
 
     /// Registers a reader. One per worker thread, created at startup —
@@ -280,7 +304,9 @@ impl<T: Copy + Send> CowRouteTable<T> {
             }
         }
         let pool = &mut w.pool;
-        self.domain.collect(|Retired(p)| pool.push(p));
+        let recycled = self.domain.collect(|Retired(p)| pool.push(p));
+        self.spine_recycled
+            .fetch_add(recycled as u64, Ordering::Relaxed);
         Ok(old)
     }
 
@@ -336,6 +362,7 @@ impl<T: Copy + Send> CowRouteTable<T> {
                     let bit = Self::bit(prefix, (d - 1) as u8);
                     (*clones[d - 1]).children[bit] = ptr::null_mut();
                     w.pool.push(n);
+                    self.spine_recycled.fetch_add(1, Ordering::Relaxed);
                 } else {
                     break;
                 }
@@ -347,7 +374,9 @@ impl<T: Copy + Send> CowRouteTable<T> {
                 self.domain.retire(Retired(*node));
             }
             let pool = &mut w.pool;
-            self.domain.collect(|Retired(p)| pool.push(p));
+            let recycled = self.domain.collect(|Retired(p)| pool.push(p));
+            self.spine_recycled
+                .fetch_add(recycled as u64, Ordering::Relaxed);
             Ok(old)
         }
     }

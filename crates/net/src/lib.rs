@@ -65,4 +65,6 @@ pub use conntrack::{Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats,
 pub use cowtrie::{CowRouteTable, RouteReader, RouteView};
 pub use lpm::{LinearTable, RouteError, Routes, TrieTable};
 pub use pipeline::{process_batch, BatchStats, DropReason};
-pub use router::{RouteMode, RouteUpdater, RouterConfig, RouterReport, RouterStats, ShardedRouter};
+pub use router::{
+    CowEpochStats, RouteMode, RouteUpdater, RouterConfig, RouterReport, RouterStats, ShardedRouter,
+};

@@ -215,6 +215,57 @@ pub fn route_frame_tracked<T: Copy, R: Routes<T>>(
     }
 }
 
+/// The causally traced twin of the single-frame paths: identical routing
+/// (and conntrack) decisions, with the parse and route stages wrapped in
+/// spans and a `net.frame.egress` marker on forward. Only the first frame
+/// of a batch whose dispatch won the sampling draw comes through here —
+/// the staged spans record under the batch's adopted context, so a sampled
+/// packet's postmortem shows `dispatch → parse → route → egress` across
+/// the dispatcher and worker threads, while untraced batches never reach
+/// this function at all.
+fn route_frame_traced<T: Copy, R: Routes<T>>(
+    frame: &[u8],
+    table: &R,
+    cache: Option<&mut FlowCache<T>>,
+    ct: Option<&mut Conntrack>,
+    now_ns: u64,
+) -> Result<T, DropReason> {
+    let (src, dst) = {
+        sysobs::obs_span!("net.frame.parse");
+        let ipv4 = validate_ipv4(frame)?;
+        let src = u32::from_be_bytes(ipv4.src());
+        let dst = ipv4.dst_u32();
+        // Conntrack admission rides in the parse stage: it reads the
+        // transport header the parse just validated.
+        if let Some(ct) = ct {
+            if ipv4.protocol() == IPPROTO_TCP {
+                let tcp = ipv4.tcp().map_err(|_| DropReason::Malformed)?;
+                let key = FlowKey::canonical(src, dst, tcp.src_port(), tcp.dst_port(), IPPROTO_TCP);
+                ct.admit_tcp(&key, TcpSummary::from_view(&tcp), now_ns)?;
+            }
+        }
+        (src, dst)
+    };
+    let hop = {
+        sysobs::obs_span!("net.frame.route");
+        match cache {
+            Some(c) => c.lookup_or_route(table, src, dst),
+            None => table.lookup(dst),
+        }
+    }
+    .ok_or(DropReason::NoRoute)?;
+    sysobs::obs_span_hot!("net.frame.egress");
+    Ok(hop)
+}
+
+/// True when this batch's first frame should take the staged-span path:
+/// a causal context is active (the dispatch draw was won upstream) and
+/// there is a frame to trace.
+#[inline]
+fn trace_first_frame<B>(frames: &[B]) -> bool {
+    !frames.is_empty() && sysobs::context::active()
+}
+
 /// Runs a whole batch through [`route_frame_tracked`] — the sharded
 /// router's path when connection tracking is enabled. Mirrors batch
 /// counters plus the tracker's live/half-open gauges into the `sysobs`
@@ -222,10 +273,10 @@ pub fn route_frame_tracked<T: Copy, R: Routes<T>>(
 pub fn process_batch_tracked<T, R, B, F>(
     frames: &[B],
     table: &R,
-    cache: Option<&mut FlowCache<T>>,
+    mut cache: Option<&mut FlowCache<T>>,
     ct: &mut Conntrack,
     now_ns: u64,
-    forward: F,
+    mut forward: F,
 ) -> BatchStats
 where
     T: Copy,
@@ -234,7 +285,31 @@ where
     F: FnMut(T),
 {
     sysobs::obs_span!("net.batch");
-    let stats = process_batch_tracked_uninstrumented(frames, table, cache, ct, now_ns, forward);
+    let stats = if trace_first_frame(frames) {
+        let mut stats = BatchStats::default();
+        tally(
+            &mut stats,
+            route_frame_traced(
+                frames[0].as_ref(),
+                table,
+                cache.as_deref_mut(),
+                Some(&mut *ct),
+                now_ns,
+            ),
+            &mut forward,
+        );
+        stats.merge(&process_batch_tracked_uninstrumented(
+            &frames[1..],
+            table,
+            cache,
+            ct,
+            now_ns,
+            &mut forward,
+        ));
+        stats
+    } else {
+        process_batch_tracked_uninstrumented(frames, table, cache, ct, now_ns, &mut forward)
+    };
     mirror_batch_stats(&stats);
     if sysobs::metrics_on() {
         sysobs::obs_count!("net.ct.batches", 1);
@@ -287,7 +362,7 @@ where
 /// update per batch, not per frame) and opens a `net.batch` span under full
 /// tracing. For a compiled-out-baseline path with zero observability code,
 /// see [`process_batch_uninstrumented`].
-pub fn process_batch<T, R, B, F>(frames: &[B], table: &R, forward: F) -> BatchStats
+pub fn process_batch<T, R, B, F>(frames: &[B], table: &R, mut forward: F) -> BatchStats
 where
     T: Copy,
     R: Routes<T>,
@@ -295,7 +370,22 @@ where
     F: FnMut(T),
 {
     sysobs::obs_span!("net.batch");
-    let stats = process_batch_uninstrumented(frames, table, forward);
+    let stats = if trace_first_frame(frames) {
+        let mut stats = BatchStats::default();
+        tally(
+            &mut stats,
+            route_frame_traced(frames[0].as_ref(), table, None, None, 0),
+            &mut forward,
+        );
+        stats.merge(&process_batch_uninstrumented(
+            &frames[1..],
+            table,
+            &mut forward,
+        ));
+        stats
+    } else {
+        process_batch_uninstrumented(frames, table, &mut forward)
+    };
     mirror_batch_stats(&stats);
     stats
 }
@@ -308,7 +398,7 @@ pub fn process_batch_cached<T, R, B, F>(
     frames: &[B],
     table: &R,
     cache: &mut FlowCache<T>,
-    forward: F,
+    mut forward: F,
 ) -> BatchStats
 where
     T: Copy,
@@ -318,7 +408,23 @@ where
 {
     sysobs::obs_span!("net.batch");
     let (hits0, misses0) = (cache.hits(), cache.misses());
-    let stats = process_batch_cached_uninstrumented(frames, table, cache, forward);
+    let stats = if trace_first_frame(frames) {
+        let mut stats = BatchStats::default();
+        tally(
+            &mut stats,
+            route_frame_traced(frames[0].as_ref(), table, Some(&mut *cache), None, 0),
+            &mut forward,
+        );
+        stats.merge(&process_batch_cached_uninstrumented(
+            &frames[1..],
+            table,
+            cache,
+            &mut forward,
+        ));
+        stats
+    } else {
+        process_batch_cached_uninstrumented(frames, table, cache, &mut forward)
+    };
     mirror_batch_stats(&stats);
     if sysobs::metrics_on() {
         sysobs::obs_count!("net.cache.hits", cache.hits() - hits0);

@@ -154,6 +154,11 @@ const STALL_CAP_FACTOR: usize = 2;
 struct Batch {
     frames: Vec<Vec<u8>>,
     submitted: Instant,
+    /// Packed causal trace context ([`sysobs::context`] carrier form)
+    /// stamped by the dispatcher when this batch won the sampling draw;
+    /// 0 = untraced. Workers adopt it before processing, so the spans a
+    /// sampled packet opens on a worker thread join the dispatcher's trace.
+    ctx: u64,
 }
 
 /// Per-worker live counters (atomics, so [`ShardedRouter::snapshot`] can
@@ -381,6 +386,27 @@ impl NetFaultStats {
     }
 }
 
+/// Copy-on-write route-table and epoch-domain counters, captured at
+/// [`ShardedRouter::finish`] when the router ran under
+/// [`RouteMode::CowEpoch`] — the reclamation story's observability surface
+/// (how many snapshots were published, how many spine nodes came back
+/// through the pool, and whether epoch advancement ever stalled behind a
+/// pinned reader).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowEpochStats {
+    /// Route-table publications (successful inserts/removes).
+    pub publications: u64,
+    /// Retired spine nodes recycled back into the writer's node pool.
+    pub spine_recycled: u64,
+    /// Retired nodes still awaiting their grace period at shutdown.
+    pub pending_reclaim: u64,
+    /// Readers still inside a pinned critical section at shutdown (0 after
+    /// a clean worker join — nonzero means a leaked pin).
+    pub pinned_readers: u64,
+    /// Epoch-advance attempts a lagging pinned reader blocked.
+    pub advance_stalls: u64,
+}
+
 /// Final report returned by [`ShardedRouter::finish`]: the aggregate
 /// counters plus the per-packet latency distribution.
 #[derive(Debug, Clone)]
@@ -394,6 +420,9 @@ pub struct RouterReport {
     pub conntrack: Option<ConntrackStats>,
     /// Fault-injection campaign summary (all zeros when no plan was set).
     pub faults: NetFaultStats,
+    /// CoW-trie / epoch-reclamation counters (`None` under the locked
+    /// baseline, which has no epoch machinery to observe).
+    pub cow: Option<CowEpochStats>,
     /// Per-packet submit-to-batch-completion latency (queueing plus
     /// processing), log-bucketed. Replaces the old hand-rolled weighted
     /// `(ns, packets)` quantile list with the shared [`LogHistogram`].
@@ -460,6 +489,16 @@ impl RouterReport {
             snap.set_counter("net.fault.recycle_losses", self.faults.recycle_losses);
             snap.set_counter("net.fault.frames_lost", self.faults.frames_lost);
             snap.set_counter("net.fault.worker_stalls", self.faults.injected_stalls);
+        }
+        if let Some(cow) = &self.cow {
+            snap.set_counter("net.cowtrie.publications", cow.publications);
+            snap.set_counter("net.cowtrie.spine_recycled", cow.spine_recycled);
+            snap.set_counter("mem.epoch.advance_stalls", cow.advance_stalls);
+            #[allow(clippy::cast_possible_wrap)]
+            {
+                snap.set_gauge("mem.epoch.pinned_readers", cow.pinned_readers as i64);
+                snap.set_gauge("mem.epoch.pending_retire", cow.pending_reclaim as i64);
+            }
         }
         snap.set_hist("net.latency_ns", self.latencies.clone());
         snap
@@ -577,6 +616,13 @@ fn worker_loop<const OBS: bool>(
         }
         let occupancy = batch.frames.len();
         let now_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Adopt the dispatcher's causal context (no-op for untraced
+        // batches): the pipeline's staged spans record under it.
+        let _ctx = if OBS {
+            Some(sysobs::context::enter_packed(batch.ctx))
+        } else {
+            None
+        };
         let stats = match routes {
             WorkerRoutes::Cow(reader) => {
                 // Pin once per batch: two SeqCst loads, then every lookup
@@ -754,6 +800,10 @@ pub struct ShardedRouter {
     /// flows through the pool: an exhausted budget blocks the feed until a
     /// worker returns a batch, which also keeps memory flat.
     frame_budget: u64,
+    /// Mirrors [`RouterConfig::instrument`]: gates the dispatcher-side
+    /// trace-root draw so the `instrument: false` baseline stays free of
+    /// observability calls on the dispatch path too.
+    instrument: bool,
 }
 
 impl ShardedRouter {
@@ -866,6 +916,7 @@ impl ShardedRouter {
             // Enough for every queue slot, one batch in flight per worker,
             // and one being filled — beyond that, recycle, don't allocate.
             frame_budget: (config.workers * (config.queue_depth + 2) * config.batch_size) as u64,
+            instrument: config.instrument,
         }
     }
 
@@ -1040,9 +1091,20 @@ impl ShardedRouter {
         }
         let replacement = self.take_batch_buf();
         let frames = std::mem::replace(&mut self.pending[w], replacement);
+        // Root a sampled causal trace here, at the earliest point a batch
+        // exists: the 1-in-N draw happens once per batch, and a winning
+        // batch carries the packed context across the channel so the
+        // worker's parse→route→egress spans join this dispatch span.
+        let mut ctx = 0u64;
+        if self.instrument {
+            let _root = sysobs::obs_trace_root!("net.dispatch");
+            sysobs::obs_span_hot!("net.dispatch");
+            ctx = sysobs::context::current_packed();
+        }
         let batch = Batch {
             frames,
             submitted: Instant::now(),
+            ctx,
         };
         self.offer(w, batch);
         self.target = self.target_batch_size();
@@ -1061,6 +1123,7 @@ impl ShardedRouter {
                 Err(TrySendError::Full(b)) => {
                     self.stalled[w].push_back(b);
                     self.pool.stalled_requeues += 1;
+                    sysobs::obs_count!("net.dispatch.requeues", 1);
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     panic!("router worker {w} exited early");
@@ -1069,6 +1132,7 @@ impl ShardedRouter {
         } else {
             self.stalled[w].push_back(batch);
             self.pool.stalled_requeues += 1;
+            sysobs::obs_count!("net.dispatch.requeues", 1);
         }
         if self.stalled[w].len() > STALL_CAP_FACTOR * self.queue_depth {
             let b = self.stalled[w].pop_front().expect("nonempty requeue");
@@ -1150,11 +1214,22 @@ impl ShardedRouter {
             .dispatch_injector
             .as_ref()
             .map_or(0, |inj| inj.log().digest());
+        let cow = match &self.backend {
+            RouteBackend::Cow(t) => Some(CowEpochStats {
+                publications: t.publications(),
+                spine_recycled: t.spine_recycled(),
+                pending_reclaim: t.pending_reclaim() as u64,
+                pinned_readers: t.pinned_readers() as u64,
+                advance_stalls: t.advance_stalls(),
+            }),
+            RouteBackend::Locked(_) => None,
+        };
         RouterReport {
             stats,
             pool: self.pool,
             conntrack,
             faults,
+            cow,
             latencies,
         }
     }

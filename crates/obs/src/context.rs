@@ -1,0 +1,295 @@
+//! Causal trace context: the trace id + parent span carried across worker
+//! channel boundaries and kernel IPC messages, so one sampled packet
+//! reconstructs as a single parse→dispatch→route→egress trace even though
+//! its stages ran on different threads.
+//!
+//! A context is two numbers — a process-unique **trace id** (`u32`) and the
+//! **current span id** (`u16`, the parent of anything opened next) — packed
+//! into one `u64` so it can ride in a batch header field or an IPC message
+//! word without allocation:
+//!
+//! ```text
+//! carrier (batch header / Message.ctx):  trace_id << 32 | span_id << 16
+//! event payload (ring slot value):       trace_id << 32 | parent << 16 | span
+//! ```
+//!
+//! The thread-local *current* context is consulted by [`crate::recorder::SpanGuard`]:
+//! while a context is active, every span records its payload as
+//! `(trace, parent, span)` with a freshly allocated span id, and nested
+//! spans chain parents. Zero means "no context" everywhere, so untraced
+//! code records payload 0 exactly as before.
+//!
+//! Id allocation is a pair of global counters reset by [`crate::clear`] —
+//! that keeps trace shapes deterministic under replay (the E9/E16 campaigns
+//! re-run a fault plan and compare digests, which would break if ids came
+//! from a clock or RNG).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A causal trace context: which trace this thread is contributing to and
+/// which span is the current parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Process-unique trace id (never 0 for a live trace).
+    pub trace_id: u32,
+    /// The span id new child spans will claim as parent (0 = the root).
+    pub span_id: u16,
+}
+
+impl TraceCtx {
+    /// Packs into the carrier form (`trace << 32 | span << 16`).
+    #[must_use]
+    pub fn packed(self) -> u64 {
+        u64::from(self.trace_id) << 32 | u64::from(self.span_id) << 16
+    }
+
+    /// Unpacks a carrier word; `None` for 0 (no context).
+    #[must_use]
+    pub fn from_packed(p: u64) -> Option<TraceCtx> {
+        if p == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        Some(TraceCtx {
+            trace_id: (p >> 32) as u32,
+            span_id: (p >> 16) as u16,
+        })
+    }
+}
+
+/// The trace id an event payload carries, or `None` for payload 0. Only
+/// meaningful for span-kind events — instant and counter payloads are
+/// site-defined values, not contexts.
+#[must_use]
+pub fn payload_trace_id(payload: u64) -> Option<u32> {
+    if payload == 0 {
+        return None;
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    Some((payload >> 32) as u32)
+}
+
+static NEXT_TRACE: AtomicU32 = AtomicU32::new(1);
+static NEXT_SPAN: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    /// Current context in carrier form; 0 = none.
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// True when a causal context is active on this thread (one thread-local
+/// read — the span macros check it on the sampling path).
+#[inline]
+#[must_use]
+pub fn active() -> bool {
+    CURRENT.with(|c| c.get() != 0)
+}
+
+/// The current context in carrier form (0 if none) — what a dispatcher
+/// stamps into a batch header or a kernel attaches to an IPC message.
+#[inline]
+#[must_use]
+pub fn current_packed() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// The current context, if any.
+#[must_use]
+pub fn current() -> Option<TraceCtx> {
+    TraceCtx::from_packed(current_packed())
+}
+
+/// Restores the previous context when dropped.
+#[derive(Debug)]
+pub struct CtxGuard {
+    prev: u64,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Starts a fresh trace rooted on this thread and makes it current for the
+/// guard's lifetime. Callers decide *whether* to root (that's the
+/// sampler's 1-in-N draw); this only allocates the identity.
+#[must_use]
+pub fn start_trace() -> CtxGuard {
+    let trace_id = {
+        // Skip 0: it means "no trace" in every packed form.
+        let mut id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        if id == 0 {
+            id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        }
+        id
+    };
+    enter_packed(
+        TraceCtx {
+            trace_id,
+            span_id: 0,
+        }
+        .packed(),
+    )
+}
+
+/// Adopts a context received from another thread (a batch header, an IPC
+/// message) for the guard's lifetime. A packed value of 0 is a no-op guard.
+#[must_use]
+pub fn enter_packed(packed: u64) -> CtxGuard {
+    CURRENT.with(|c| {
+        let prev = c.get();
+        if packed != 0 {
+            c.set(packed);
+        }
+        CtxGuard { prev }
+    })
+}
+
+fn alloc_span_id() -> u16 {
+    // u16 ids wrap; within one short-lived trace they stay unique in
+    // practice, and collisions only blur parent edges, never trace
+    // membership (the trace id is the grouping key).
+    #[allow(clippy::cast_possible_truncation)]
+    let mut id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed) as u16;
+    if id == 0 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed) as u16;
+        }
+    }
+    id
+}
+
+/// Opens a child span under the current context: returns the event payload
+/// `(trace, parent, child)` and the previous carrier word to restore on
+/// close. With no context active, returns `(0, current)` and changes
+/// nothing.
+#[must_use]
+pub fn begin_span() -> (u64, u64) {
+    CURRENT.with(|c| {
+        let cur = c.get();
+        match TraceCtx::from_packed(cur) {
+            None => (0, cur),
+            Some(ctx) => {
+                let child = alloc_span_id();
+                let payload =
+                    u64::from(ctx.trace_id) << 32 | u64::from(ctx.span_id) << 16 | u64::from(child);
+                c.set(
+                    TraceCtx {
+                        trace_id: ctx.trace_id,
+                        span_id: child,
+                    }
+                    .packed(),
+                );
+                (payload, cur)
+            }
+        }
+    })
+}
+
+/// Closes the span opened by the matching [`begin_span`].
+pub fn end_span(prev: u64) {
+    CURRENT.with(|c| c.set(prev));
+}
+
+/// Payload for a single-event marker span ([`crate::obs_span_hot!`]) under
+/// the current context: a fresh child id that does *not* become current.
+/// 0 when no context is active.
+#[must_use]
+pub fn mark_payload() -> u64 {
+    CURRENT.with(|c| match TraceCtx::from_packed(c.get()) {
+        None => 0,
+        Some(ctx) => {
+            u64::from(ctx.trace_id) << 32
+                | u64::from(ctx.span_id) << 16
+                | u64::from(alloc_span_id())
+        }
+    })
+}
+
+/// Resets the trace/span id counters (called from [`crate::clear`]): replayed
+/// campaigns must allocate identical ids so trace shapes digest identically.
+pub(crate) fn reset_ids() {
+    NEXT_TRACE.store(1, Ordering::Relaxed);
+    NEXT_SPAN.store(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let ctx = TraceCtx {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 0x1234,
+        };
+        assert_eq!(TraceCtx::from_packed(ctx.packed()), Some(ctx));
+        assert_eq!(TraceCtx::from_packed(0), None);
+        assert_eq!(payload_trace_id(ctx.packed()), Some(0xDEAD_BEEF));
+        assert_eq!(payload_trace_id(0), None);
+    }
+
+    #[test]
+    fn start_trace_activates_and_guard_restores() {
+        assert!(!active());
+        {
+            let _g = start_trace();
+            assert!(active());
+            let ctx = current().unwrap();
+            assert_ne!(ctx.trace_id, 0);
+            assert_eq!(ctx.span_id, 0, "root parent is span 0");
+        }
+        assert!(!active(), "guard must restore the previous (empty) context");
+    }
+
+    #[test]
+    fn begin_span_chains_parents() {
+        let _g = start_trace();
+        let trace = current().unwrap().trace_id;
+        let (p1, prev1) = begin_span();
+        let outer = current().unwrap().span_id;
+        assert_eq!(payload_trace_id(p1), Some(trace));
+        assert_eq!((p1 >> 16) & 0xFFFF, 0, "outer span's parent is the root");
+        let (p2, prev2) = begin_span();
+        assert_eq!(
+            (p2 >> 16) & 0xFFFF,
+            u64::from(outer),
+            "inner span's parent is the outer span"
+        );
+        end_span(prev2);
+        assert_eq!(current().unwrap().span_id, outer);
+        end_span(prev1);
+        assert_eq!(current().unwrap().span_id, 0);
+    }
+
+    #[test]
+    fn no_context_means_zero_payloads() {
+        assert_eq!(current_packed(), 0);
+        let (p, prev) = begin_span();
+        assert_eq!(p, 0);
+        end_span(prev);
+        assert_eq!(mark_payload(), 0);
+        let g = enter_packed(0);
+        assert!(!active(), "entering packed 0 is a no-op");
+        drop(g);
+    }
+
+    #[test]
+    fn cross_thread_adoption_shares_the_trace_id() {
+        let _g = start_trace();
+        let carrier = current_packed();
+        let trace = current().unwrap().trace_id;
+        let remote = std::thread::spawn(move || {
+            let _g = enter_packed(carrier);
+            let (payload, prev) = begin_span();
+            end_span(prev);
+            payload
+        })
+        .join()
+        .unwrap();
+        assert_eq!(payload_trace_id(remote), Some(trace));
+    }
+}

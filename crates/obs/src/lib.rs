@@ -32,25 +32,41 @@
 //!
 //! [`Mode::Disabled`] — macros check one atomic and do nothing else.
 //! [`Mode::Counters`] — counters/gauges/histograms update; no ring writes.
-//! [`Mode::Tracing`] — counters *and* flight-recorder events.
+//! [`Mode::Sampled`] — counters plus 1-in-N flight-recorder events per
+//! site, with N tuned by the [`sampler`] feedback loop — the always-on
+//! production setting.
+//! [`Mode::Tracing`] — counters *and* every flight-recorder event.
+//!
+//! On top of the recorder sit the always-on pieces: [`context`] carries a
+//! trace id + parent span across threads and IPC so sampled packets
+//! reconstruct causally, [`trigger`] watches the metrics registry for
+//! anomalies, and [`postmortem`] freezes the rings and writes the
+//! black-box JSON artifact when one fires.
 
 pub mod clock;
+pub mod context;
 pub mod hist;
 pub mod metrics;
+pub mod postmortem;
 pub mod recorder;
+pub mod sampler;
+pub mod trigger;
 
 pub use clock::now_ns;
+pub use context::{CtxGuard, TraceCtx};
 pub use hist::{LogHistogram, BUCKETS};
 pub use metrics::{
     registry, AtomicHistogram, Counter, CounterCell, Gauge, HistCell, Registry, Snapshot,
 };
+pub use postmortem::{CausalTrace, Postmortem};
 pub use recorder::{
-    clear, collect_events, dump_chrome_json, dump_text, instant_dynamic, intern, shape_digest,
-    Event, EventKind, SpanGuard, RING_CAP,
+    clear, collect_events, dump_chrome_json, dump_text, freeze, instant_dynamic, intern, is_frozen,
+    shape_digest, unfreeze, Event, EventKind, SpanGuard, RING_CAP,
 };
+pub use trigger::{Condition, TriggerEngine, Watch};
 
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Once;
+use std::sync::{Mutex, Once, PoisonError};
 
 /// How much the instrumentation sites do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,8 +75,12 @@ pub enum Mode {
     Disabled = 0,
     /// Metrics (counters/gauges/histograms) update; no trace events.
     Counters = 1,
-    /// Metrics plus flight-recorder events.
-    Tracing = 2,
+    /// Metrics plus sampled flight-recorder events: each span site admits
+    /// 1-in-N recordings (see [`sampler`]), except that instants always
+    /// record and a live causal context admits everything it touches.
+    Sampled = 2,
+    /// Metrics plus every flight-recorder event.
+    Tracing = 3,
 }
 
 static MODE: AtomicU8 = AtomicU8::new(Mode::Disabled as u8);
@@ -76,23 +96,33 @@ pub fn mode() -> Mode {
     match MODE.load(Ordering::Relaxed) {
         0 => Mode::Disabled,
         1 => Mode::Counters,
+        2 => Mode::Sampled,
         _ => Mode::Tracing,
     }
 }
 
-/// True when metrics should update (Counters or Tracing). This is the single
-/// relaxed load every disabled site pays.
+/// True when metrics should update (any mode but Disabled). This is the
+/// single relaxed load every disabled site pays.
 #[inline]
 #[must_use]
 pub fn metrics_on() -> bool {
     MODE.load(Ordering::Relaxed) != Mode::Disabled as u8
 }
 
-/// True when flight-recorder events should be written.
+/// True when every flight-recorder event should be written (full tracing
+/// only — sampled sites go through [`sampler::admit`]).
 #[inline]
 #[must_use]
 pub fn tracing_on() -> bool {
     MODE.load(Ordering::Relaxed) == Mode::Tracing as u8
+}
+
+/// True when the flight-recorder path is live at all (Sampled or Tracing):
+/// the mode check span sites make before consulting the sampler.
+#[inline]
+#[must_use]
+pub fn trace_path_on() -> bool {
+    MODE.load(Ordering::Relaxed) >= Mode::Sampled as u8
 }
 
 /// FNV-1a over a byte slice — the one hash shared by `sysfault` digests,
@@ -109,27 +139,50 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Installs a panic hook that writes the flight recorder's text dump to
-/// stderr before the default hook runs, so a crashing run leaves its last
-/// [`RING_CAP`] events per thread behind. Idempotent; chains the previous
-/// hook.
+/// The text dump the last panic captured, if any (see
+/// [`install_panic_dump`]). The regression suite reads this to prove a
+/// crashing run actually leaves its flight data behind; a production
+/// harness could ship it instead of stderr.
+static LAST_PANIC_DUMP: Mutex<Option<String>> = Mutex::new(None);
+
+/// The flight-recorder dump captured by the most recent panic, if the
+/// panic hook was installed and observability was on.
+#[must_use]
+pub fn last_panic_dump() -> Option<String> {
+    LAST_PANIC_DUMP
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Installs a panic hook that captures the flight recorder's text dump
+/// (ring tail + metrics snapshot) and writes it to stderr before the
+/// default hook runs, so a crashing run leaves its last [`RING_CAP`]
+/// events per thread behind. The captured dump is also retrievable via
+/// [`last_panic_dump`]. Idempotent; chains the previous hook.
 pub fn install_panic_dump() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if tracing_on() {
+            if metrics_on() {
+                let dump = dump_text();
                 eprintln!("--- sysobs flight recorder (panic dump) ---");
-                eprint!("{}", dump_text());
+                eprint!("{dump}");
                 eprintln!("--- end flight recorder ---");
+                *LAST_PANIC_DUMP
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(dump);
             }
             prev(info);
         }));
     });
 }
 
-/// Opens a named span for the rest of the enclosing scope when tracing is
-/// on. Expands to one relaxed atomic load when disabled.
+/// Opens a named span for the rest of the enclosing scope when the trace
+/// path is live. Under [`Mode::Tracing`] every hit records; under
+/// [`Mode::Sampled`] the site's 1-in-N draw (or a live causal context)
+/// decides. Expands to one relaxed atomic load when disabled.
 ///
 /// ```
 /// # use sysobs::obs_span;
@@ -141,15 +194,52 @@ pub fn install_panic_dump() {
 #[macro_export]
 macro_rules! obs_span {
     ($name:expr) => {
-        let _obs_span_guard = if $crate::tracing_on() {
+        let _obs_span_guard = if $crate::trace_path_on() {
             static ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
-            Some($crate::SpanGuard::enter(
-                *ID.get_or_init(|| $crate::intern($name)),
-            ))
+            static SITE: $crate::sampler::SampleSite = $crate::sampler::SampleSite::new();
+            if $crate::sampler::admit(&SITE, $name) {
+                Some($crate::SpanGuard::enter(
+                    *ID.get_or_init(|| $crate::intern($name)),
+                ))
+            } else {
+                None
+            }
         } else {
             None
         };
     };
+}
+
+/// Roots a sampled causal trace at a boundary site (a dispatcher batching
+/// frames, an IPC client starting a round-trip) and evaluates to an
+/// `Option<CtxGuard>` — bind it to keep the context live for the scope.
+/// The site's 1-in-N draw decides whether this hit becomes a trace; when it
+/// does, every downstream [`obs_span!`] records under the context (head
+/// sampling: sampled traces are *complete* traces). A no-op `None` when the
+/// trace path is off or a context is already active (the packet was rooted
+/// upstream).
+///
+/// ```
+/// # use sysobs::obs_trace_root;
+/// fn dispatch_batch() {
+///     let _root = obs_trace_root!("net.dispatch");
+///     // ctx (if rooted) is live until _root drops
+/// }
+/// ```
+#[macro_export]
+macro_rules! obs_trace_root {
+    ($name:expr) => {{
+        if $crate::trace_path_on() && !$crate::context::active() {
+            static SITE: $crate::sampler::SampleSite = $crate::sampler::SampleSite::new();
+            if $crate::sampler::admit(&SITE, $name) {
+                Some($crate::context::start_trace())
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    }};
 }
 
 /// Marks a named span on a sub-microsecond path when tracing is on: one
@@ -168,13 +258,33 @@ macro_rules! obs_span {
 #[macro_export]
 macro_rules! obs_span_hot {
     ($name:expr) => {
-        if $crate::tracing_on() {
+        if $crate::trace_path_on() {
             static ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
-            $crate::recorder::record(
-                $crate::EventKind::Span,
-                *ID.get_or_init(|| $crate::intern($name)),
-                0,
-            );
+            static SITE: $crate::sampler::SampleSite = $crate::sampler::SampleSite::new();
+            if $crate::sampler::admit(&SITE, $name) {
+                $crate::recorder::record(
+                    $crate::EventKind::Span,
+                    *ID.get_or_init(|| $crate::intern($name)),
+                    $crate::context::mark_payload(),
+                );
+            }
+        }
+    };
+    // Marker carrying an explicit causal payload received from elsewhere
+    // (an IPC message's ctx word): records whenever the trace path is live
+    // and the payload names a trace — the packet already won its draw at
+    // the root, so no local sampling decision applies.
+    ($name:expr, ctx = $ctx:expr) => {
+        if $crate::trace_path_on() {
+            let ctx: u64 = $ctx;
+            if ctx != 0 {
+                static ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+                $crate::recorder::record(
+                    $crate::EventKind::Span,
+                    *ID.get_or_init(|| $crate::intern($name)),
+                    ctx,
+                );
+            }
         }
     };
 }
@@ -205,7 +315,10 @@ macro_rules! obs_count {
     };
 }
 
-/// Records an instant event with a payload value when full tracing is on.
+/// Records an instant event with a payload value when the trace path is
+/// live. Instants are *not* sampled — they mark rare anomalies (faults,
+/// reaps, sheds), which are exactly what a sampled production trace must
+/// never miss.
 ///
 /// ```
 /// # use sysobs::obs_instant;
@@ -214,7 +327,7 @@ macro_rules! obs_count {
 #[macro_export]
 macro_rules! obs_instant {
     ($name:expr, $value:expr) => {
-        if $crate::tracing_on() {
+        if $crate::trace_path_on() {
             static ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
             $crate::recorder::record(
                 $crate::EventKind::Instant,
@@ -262,11 +375,19 @@ mod tests {
         set_mode(Mode::Counters);
         assert!(metrics_on());
         assert!(!tracing_on());
+        assert!(!trace_path_on());
+        set_mode(Mode::Sampled);
+        assert_eq!(mode(), Mode::Sampled);
+        assert!(metrics_on());
+        assert!(!tracing_on(), "sampled is not full tracing");
+        assert!(trace_path_on());
         set_mode(Mode::Tracing);
         assert!(metrics_on());
         assert!(tracing_on());
+        assert!(trace_path_on());
         set_mode(Mode::Disabled);
         assert!(!metrics_on());
+        assert!(!trace_path_on());
         set_mode(prev);
     }
 

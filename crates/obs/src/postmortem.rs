@@ -1,0 +1,347 @@
+//! Black-box postmortems: the structured artifact a fired trigger leaves
+//! behind — the flight-recorder tail, the metrics snapshot, the trigger
+//! cause, and the active fault-schedule digest, serialized as one JSON
+//! document a human (or the CI smoke test) can read after the incident.
+//!
+//! The causal half: span events recorded under a [`crate::context`] carry
+//! `(trace, parent, span)` payloads, so the postmortem can group its event
+//! tail into [`CausalTrace`]s — per-trace summaries listing which threads
+//! participated and the named path the packet took. The E16 acceptance
+//! check ("every injected incident yields one postmortem containing a
+//! cross-worker causal trace") is a query over exactly this structure.
+//!
+//! JSON is hand-rolled like `BENCH_*.json` (the container has no serde);
+//! names are escaped, the schema is flat, and `to_json` output always
+//! parses with balanced brackets — there's a test for that.
+
+use crate::context::payload_trace_id;
+use crate::metrics::Snapshot;
+use crate::recorder::{collect_events, Event, EventKind};
+use std::fmt::Write as _;
+
+/// One causal trace reconstructed from the event tail: every span event
+/// sharing a trace id, summarized.
+#[derive(Debug, Clone)]
+pub struct CausalTrace {
+    /// The trace id all member events share.
+    pub trace_id: u32,
+    /// Distinct recording threads, ascending (≥ 2 = crossed a boundary).
+    pub tids: Vec<usize>,
+    /// Member event names in wall-clock order, `SpanEnd`s skipped (the
+    /// path reads `dispatch → parse → route → egress`, not doubled).
+    pub path: Vec<String>,
+}
+
+impl CausalTrace {
+    /// True when the trace spans more than one recording thread.
+    #[must_use]
+    pub fn crosses_threads(&self) -> bool {
+        self.tids.len() >= 2
+    }
+}
+
+/// Groups span-kind events by trace id, time-ordered within each trace.
+/// Instant and counter events are excluded: their payloads are site values,
+/// not contexts.
+#[must_use]
+pub fn causal_traces(events: &[Event]) -> Vec<CausalTrace> {
+    let mut spans: Vec<&Event> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::SpanBegin | EventKind::SpanEnd | EventKind::Span
+            ) && payload_trace_id(e.value).is_some()
+        })
+        .collect();
+    spans.sort_by_key(|e| (payload_trace_id(e.value), e.t_ns, e.tid, e.seq));
+    let mut out: Vec<CausalTrace> = Vec::new();
+    for e in spans {
+        let trace_id = payload_trace_id(e.value).expect("filtered to Some");
+        if out.last().map(|t| t.trace_id) != Some(trace_id) {
+            out.push(CausalTrace {
+                trace_id,
+                tids: Vec::new(),
+                path: Vec::new(),
+            });
+        }
+        let t = out.last_mut().expect("just pushed");
+        if let Err(i) = t.tids.binary_search(&e.tid) {
+            t.tids.insert(i, e.tid);
+        }
+        if e.kind != EventKind::SpanEnd {
+            t.path.push(e.name.clone());
+        }
+    }
+    out
+}
+
+/// The black-box artifact one fired trigger produces.
+#[derive(Debug, Clone)]
+pub struct Postmortem {
+    /// Name of the watch that fired.
+    pub trigger: String,
+    /// Human-readable cause (which metric moved, by how much).
+    pub cause: String,
+    /// Capture time ([`crate::now_ns`], process-relative).
+    pub t_ns: u64,
+    /// The frozen flight-recorder tail at capture.
+    pub events: Vec<Event>,
+    /// The registry snapshot the trigger evaluated.
+    pub metrics: Snapshot,
+    /// The active `sysfault` log digest, when a campaign published one —
+    /// the link that makes an incident replayable from its plan.
+    pub fault_digest: Option<u64>,
+}
+
+impl Postmortem {
+    /// Captures the current recorder tail under `trigger`/`cause`.
+    /// Callers freeze the rings first (the [`crate::trigger::TriggerEngine`]
+    /// does) so the tail is the incident's, not the capture loop's.
+    #[must_use]
+    pub fn capture(
+        trigger: &str,
+        cause: &str,
+        metrics: &Snapshot,
+        fault_digest: Option<u64>,
+    ) -> Postmortem {
+        Postmortem {
+            trigger: trigger.to_string(),
+            cause: cause.to_string(),
+            t_ns: crate::now_ns(),
+            events: collect_events(),
+            metrics: metrics.clone(),
+            fault_digest,
+        }
+    }
+
+    /// The causal traces reconstructable from this postmortem's tail.
+    #[must_use]
+    pub fn causal_traces(&self) -> Vec<CausalTrace> {
+        causal_traces(&self.events)
+    }
+
+    /// Serializes the artifact. Schema:
+    ///
+    /// ```json
+    /// { "postmortem": 1, "trigger": ..., "cause": ..., "t_ns": ...,
+    ///   "fault_digest": "0x..."|null, "event_count": N,
+    ///   "causal_traces": [{"trace_id":..,"tids":[..],"path":[..]}],
+    ///   "events": [{"tid":..,"seq":..,"t_ns":..,"kind":..,"name":..,"value":..}],
+    ///   "metrics": {"counters": {..}, "gauges": {..}, "hist_counts": {..}} }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"postmortem\": 1,");
+        let _ = writeln!(s, "  \"trigger\": \"{}\",", escape(&self.trigger));
+        let _ = writeln!(s, "  \"cause\": \"{}\",", escape(&self.cause));
+        let _ = writeln!(s, "  \"t_ns\": {},", self.t_ns);
+        match self.fault_digest {
+            Some(d) => {
+                let _ = writeln!(s, "  \"fault_digest\": \"{d:#018x}\",");
+            }
+            None => {
+                let _ = writeln!(s, "  \"fault_digest\": null,");
+            }
+        }
+        let _ = writeln!(s, "  \"event_count\": {},", self.events.len());
+
+        let traces = self.causal_traces();
+        let _ = writeln!(s, "  \"causal_traces\": [");
+        for (i, t) in traces.iter().enumerate() {
+            let comma = if i + 1 == traces.len() { "" } else { "," };
+            let tids: Vec<String> = t.tids.iter().map(ToString::to_string).collect();
+            let path: Vec<String> = t
+                .path
+                .iter()
+                .map(|n| format!("\"{}\"", escape(n)))
+                .collect();
+            let _ = writeln!(
+                s,
+                "    {{\"trace_id\": {}, \"tids\": [{}], \"path\": [{}]}}{comma}",
+                t.trace_id,
+                tids.join(", "),
+                path.join(", ")
+            );
+        }
+        let _ = writeln!(s, "  ],");
+
+        let _ = writeln!(s, "  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            let comma = if i + 1 == self.events.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"tid\": {}, \"seq\": {}, \"t_ns\": {}, \"kind\": \"{:?}\", \
+                 \"name\": \"{}\", \"value\": {}}}{comma}",
+                e.tid,
+                e.seq,
+                e.t_ns,
+                e.kind,
+                escape(&e.name),
+                e.value
+            );
+        }
+        let _ = writeln!(s, "  ],");
+
+        let _ = writeln!(s, "  \"metrics\": {{");
+        let counters: Vec<String> = self
+            .metrics
+            .counters()
+            .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+            .collect();
+        let _ = writeln!(s, "    \"counters\": {{{}}},", counters.join(", "));
+        let gauges: Vec<String> = self
+            .metrics
+            .gauges()
+            .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+            .collect();
+        let _ = writeln!(s, "    \"gauges\": {{{}}},", gauges.join(", "));
+        let hists: Vec<String> = self
+            .metrics
+            .hists()
+            .map(|(k, h)| format!("\"{}\": {}", escape(k), h.count()))
+            .collect();
+        let _ = writeln!(s, "    \"hist_counts\": {{{}}}", hists.join(", "));
+        let _ = writeln!(s, "  }}");
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn escape(raw: &str) -> String {
+    raw.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: usize, seq: u64, t_ns: u64, kind: EventKind, name: &str, value: u64) -> Event {
+        Event {
+            tid,
+            seq,
+            t_ns,
+            kind,
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    fn payload(trace: u32, parent: u16, span: u16) -> u64 {
+        u64::from(trace) << 32 | u64::from(parent) << 16 | u64::from(span)
+    }
+
+    #[test]
+    fn causal_traces_group_by_trace_and_order_by_time() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                10,
+                EventKind::SpanBegin,
+                "net.dispatch",
+                payload(7, 0, 1),
+            ),
+            ev(
+                0,
+                1,
+                15,
+                EventKind::SpanEnd,
+                "net.dispatch",
+                payload(7, 0, 1),
+            ),
+            ev(
+                2,
+                0,
+                20,
+                EventKind::SpanBegin,
+                "net.frame.parse",
+                payload(7, 1, 2),
+            ),
+            ev(
+                2,
+                1,
+                25,
+                EventKind::Span,
+                "net.frame.egress",
+                payload(7, 2, 3),
+            ),
+            // Unrelated trace on one thread.
+            ev(
+                1,
+                0,
+                5,
+                EventKind::Span,
+                "kernel.ipc.send",
+                payload(9, 0, 4),
+            ),
+            // Payload-less span and an instant: excluded from causality.
+            ev(1, 1, 6, EventKind::Span, "kernel.syscall", 0),
+            ev(
+                1,
+                2,
+                7,
+                EventKind::Instant,
+                "kernel.watchdog.reap",
+                7u64 << 32,
+            ),
+        ];
+        let traces = causal_traces(&events);
+        assert_eq!(traces.len(), 2);
+        let t7 = traces.iter().find(|t| t.trace_id == 7).unwrap();
+        assert_eq!(t7.tids, vec![0, 2]);
+        assert!(t7.crosses_threads());
+        assert_eq!(
+            t7.path,
+            vec!["net.dispatch", "net.frame.parse", "net.frame.egress"],
+            "SpanEnds skipped, time order kept"
+        );
+        let t9 = traces.iter().find(|t| t.trace_id == 9).unwrap();
+        assert!(!t9.crosses_threads());
+    }
+
+    #[test]
+    fn json_is_balanced_escaped_and_names_the_trigger() {
+        let mut snap = Snapshot::new();
+        snap.set_counter("net.drop.no-route", 42);
+        snap.set_gauge("net.ct.live", 3);
+        let mut h = crate::LogHistogram::new();
+        h.record(100);
+        snap.set_hist("lat", h);
+        let pm = Postmortem {
+            trigger: "drop-rate-spike".into(),
+            cause: "counter sum `net.drop.` jumped by 42".into(),
+            t_ns: 123,
+            events: vec![ev(
+                0,
+                0,
+                10,
+                EventKind::SpanBegin,
+                "net.\"quoted\"",
+                payload(3, 0, 1),
+            )],
+            metrics: snap,
+            fault_digest: Some(0xABCD),
+        };
+        let json = pm.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"trigger\": \"drop-rate-spike\""), "{json}");
+        assert!(json.contains("net.\\\"quoted\\\""), "escaped name: {json}");
+        assert!(json.contains("\"fault_digest\": \"0x000000000000abcd\""));
+        assert!(json.contains("\"net.drop.no-route\": 42"));
+        assert!(json.contains("\"net.ct.live\": 3"));
+        assert!(json.contains("\"lat\": 1"));
+        assert!(json.contains("\"causal_traces\""));
+    }
+
+    #[test]
+    fn capture_takes_the_live_tail() {
+        let pm = Postmortem::capture("t", "c", &Snapshot::new(), None);
+        assert_eq!(pm.trigger, "t");
+        assert!(pm.fault_digest.is_none());
+        let json = pm.to_json();
+        assert!(json.contains("\"fault_digest\": null"));
+    }
+}

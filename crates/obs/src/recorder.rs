@@ -24,7 +24,7 @@ use crate::clock::now_ns;
 use crate::fnv1a;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Events retained per thread (newest-wins wraparound).
@@ -241,40 +241,96 @@ pub fn intern(name: &str) -> u32 {
     recorder().names.intern(name)
 }
 
+/// Freeze flag: while set, every ring ignores writes, so a dumper reading
+/// an incident's tail races nothing. One relaxed load per record — paid
+/// only on the (already ring-writing) trace path.
+static FROZEN: AtomicBool = AtomicBool::new(false);
+
+/// Freezes every ring: subsequent [`record`] calls drop silently until
+/// [`unfreeze`]. The trigger engine calls this the moment a watch fires so
+/// the postmortem captures the events *leading up to* the anomaly instead
+/// of whatever churns past while the capture runs.
+pub fn freeze() {
+    FROZEN.store(true, Ordering::Release);
+}
+
+/// Resumes recording after a [`freeze`].
+pub fn unfreeze() {
+    FROZEN.store(false, Ordering::Release);
+}
+
+/// True while the rings are frozen.
+#[must_use]
+pub fn is_frozen() -> bool {
+    FROZEN.load(Ordering::Relaxed)
+}
+
 /// Records a raw event into the calling thread's ring. Callers must have
-/// checked [`crate::tracing_on`] already (the macros do).
+/// checked [`crate::tracing_on`] already (the macros do). Dropped while
+/// the rings are [frozen](freeze).
 pub fn record(kind: EventKind, name_id: u32, value: u64) {
+    if FROZEN.load(Ordering::Relaxed) {
+        return;
+    }
     RING.with(|r| r.record(kind, name_id, value));
 }
 
 /// Records an instant event under a runtime-built name (fault sites are
-/// runtime strings). No-op unless full tracing is on; interning cost is paid
-/// per call, which is fine for rare events like fault firings.
+/// runtime strings). No-op unless the trace path is live (instants are not
+/// sampled — fault firings are precisely what a sampled trace must keep);
+/// interning cost is paid per call, which is fine for rare events.
 pub fn instant_dynamic(name: &str, value: u64) {
-    if crate::tracing_on() {
+    if crate::trace_path_on() {
         record(EventKind::Instant, intern(name), value);
     }
 }
 
 /// An RAII span: records `SpanBegin` on construction and `SpanEnd` on drop.
+/// While a causal [`crate::context`] is active on the thread, both events
+/// carry the packed `(trace, parent, span)` payload and nested spans chain
+/// parents; otherwise the payload is 0, as before.
 #[derive(Debug)]
 pub struct SpanGuard {
     name_id: u32,
+    payload: u64,
+    ctx_prev: u64,
 }
 
 impl SpanGuard {
     /// Opens a span (callers must have checked [`crate::tracing_on`]).
     #[must_use]
     pub fn enter(name_id: u32) -> SpanGuard {
-        record(EventKind::SpanBegin, name_id, 0);
-        SpanGuard { name_id }
+        let (payload, ctx_prev) = crate::context::begin_span();
+        record(EventKind::SpanBegin, name_id, payload);
+        SpanGuard {
+            name_id,
+            payload,
+            ctx_prev,
+        }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        record(EventKind::SpanEnd, self.name_id, 0);
+        record(EventKind::SpanEnd, self.name_id, self.payload);
+        crate::context::end_span(self.ctx_prev);
     }
+}
+
+/// Total events ever written across every thread's ring (the sum of ring
+/// heads — monotonic, surviving [`clear`]). The sampler's feedback loop
+/// reads this each window to price recorded events rather than admitted
+/// draws: with head sampling, one admitted draw fans out into a whole
+/// trace of ring writes.
+#[must_use]
+pub fn events_written() -> u64 {
+    recorder()
+        .rings
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|r| r.head.load(Ordering::Relaxed))
+        .sum()
 }
 
 /// Decodes every valid event from every thread's ring, ordered by
@@ -296,7 +352,9 @@ pub fn collect_events() -> Vec<Event> {
 }
 
 /// Empties every ring (events only; interned names and sequence counters
-/// survive, so shape digests stay comparable across clears).
+/// survive, so shape digests stay comparable across clears). Also resets
+/// the trace/span id allocators so a replayed campaign assigns identical
+/// causal ids, and lifts any leftover freeze.
 pub fn clear() {
     let rec = recorder();
     for ring in rec
@@ -307,6 +365,8 @@ pub fn clear() {
     {
         ring.clear();
     }
+    crate::context::reset_ids();
+    unfreeze();
 }
 
 /// Order-sensitive digest of the trace *shape*: per-thread sequences of
@@ -510,6 +570,56 @@ mod tests {
             let text = dump_text();
             assert!(text.contains("flight recorder"), "{text}");
             assert!(text.contains("test.rec.dump.mark"), "{text}");
+        });
+    }
+
+    #[test]
+    fn freeze_drops_writes_until_unfrozen() {
+        with_tracing(|| {
+            let id = intern("test.rec.freeze");
+            record(EventKind::Instant, id, 1);
+            freeze();
+            assert!(is_frozen());
+            record(EventKind::Instant, id, 2);
+            let during: Vec<Event> = collect_events()
+                .into_iter()
+                .filter(|e| e.name == "test.rec.freeze")
+                .collect();
+            assert_eq!(during.len(), 1, "frozen ring must ignore writes");
+            assert_eq!(during[0].value, 1);
+            unfreeze();
+            record(EventKind::Instant, id, 3);
+            let after: Vec<Event> = collect_events()
+                .into_iter()
+                .filter(|e| e.name == "test.rec.freeze")
+                .collect();
+            assert_eq!(after.len(), 2);
+            assert_eq!(after[1].value, 3);
+        });
+    }
+
+    #[test]
+    fn spans_carry_the_active_context_payload() {
+        with_tracing(|| {
+            let ctx = crate::context::start_trace();
+            let trace = crate::context::current().unwrap().trace_id;
+            {
+                let _g = SpanGuard::enter(intern("test.rec.ctxspan"));
+            }
+            drop(ctx);
+            let mine: Vec<Event> = collect_events()
+                .into_iter()
+                .filter(|e| e.name == "test.rec.ctxspan")
+                .collect();
+            assert_eq!(mine.len(), 2);
+            for e in &mine {
+                assert_eq!(
+                    crate::context::payload_trace_id(e.value),
+                    Some(trace),
+                    "span events must carry the trace id"
+                );
+            }
+            assert_eq!(mine[0].value, mine[1].value, "begin/end payloads match");
         });
     }
 

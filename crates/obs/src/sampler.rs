@@ -1,0 +1,488 @@
+//! Adaptive per-site trace sampling: the piece that lets the flight
+//! recorder stay on in production.
+//!
+//! Full tracing ([`crate::Mode::Tracing`]) records every span and costs what
+//! E11 measures (+60% on an IPC round trip). [`crate::Mode::Sampled`] keeps
+//! the same instrumentation sites live but admits only 1-in-N span
+//! recordings per site, with N a power of two so admission is one
+//! `fetch_add` plus a mask test. N is not static: a feedback loop retunes
+//! each site's shift against a configurable overhead budget, so hot sites
+//! (the IPC syscall path, the router batch loop) sample sparsely while cold
+//! sites (watchdog reaps, fault firings) record every occurrence.
+//!
+//! Mechanics:
+//!
+//! * every span macro expansion owns a `static` [`SampleSite`] — a call
+//!   counter, an admitted counter, and the current shift (`N = 1 << shift`);
+//! * admission is deterministic — call numbers `0, N, 2N, ...` are admitted
+//!   — so the observed rate is exactly `ceil(calls / N)` per site, which is
+//!   what the convergence property test pins;
+//! * sites self-register with the global [`Sampler`] on first use; the
+//!   controller walks them at most once per [`TICK_NS`] (amortized onto an
+//!   already-admitted, already-ring-writing call, never the fast path);
+//! * the controller divides the overhead budget (a percentage of one core,
+//!   at an estimated ring-write cost per event) evenly across the sites
+//!   active in the last window and sets each site's shift to the smallest
+//!   power of two that brings its admitted rate under its share;
+//! * the budget prices **recorded events**, not admitted draws: with head
+//!   sampling one admitted root records its whole downstream trace, so the
+//!   controller measures the window's fan-out (ring events written per
+//!   admitted call, from the recorder's heads) and scales each site's
+//!   effective rate by it before choosing the shift. Without this the loop
+//!   under-counts its own spend by the average trace size.
+//!
+//! Two escape hatches keep traces useful: full tracing bypasses sampling
+//! entirely, and a site is always admitted while a causal trace context
+//! ([`crate::context`]) is active on the thread — once a packet wins the
+//! 1-in-N draw at the trace root, every downstream span it touches records,
+//! so sampled traces are complete traces (head sampling).
+
+use std::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Controller window: retune at most once per this many nanoseconds.
+pub const TICK_NS: u64 = 10_000_000; // 10 ms
+
+/// Largest supported shift (1-in-65536).
+pub const MAX_SHIFT: u32 = 16;
+
+/// Shift a fresh site starts at before the controller has seen it
+/// (1-in-64: sparse enough that an unexpectedly hot new site cannot blow
+/// the budget in its first window).
+pub const DEFAULT_SHIFT: u32 = 6;
+
+/// Default overhead budget: sampled tracing may spend this percentage of
+/// one core on ring writes.
+pub const DEFAULT_BUDGET_PCT: f64 = 1.0;
+
+/// Default estimated cost of one flight-recorder event (clock read + four
+/// slot stores), used to convert the budget into an events/sec target.
+pub const DEFAULT_EVENT_COST_NS: u64 = 80;
+
+/// Per-callsite sampling state. Lives in a `static` inside each span macro
+/// expansion; all fields are monotonic counters or the current shift.
+#[derive(Debug)]
+pub struct SampleSite {
+    calls: AtomicU64,
+    admitted: AtomicU64,
+    /// Call count at the start of the controller's current window.
+    window_calls: AtomicU64,
+    shift: AtomicU32,
+}
+
+impl SampleSite {
+    /// An unregistered site at [`DEFAULT_SHIFT`] (used in `static`
+    /// position by the span macros).
+    #[must_use]
+    pub const fn new() -> SampleSite {
+        SampleSite {
+            calls: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            window_calls: AtomicU64::new(0),
+            shift: AtomicU32::new(DEFAULT_SHIFT),
+        }
+    }
+
+    /// Total calls observed.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Calls admitted for recording.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Current shift (`N = 1 << shift`).
+    #[must_use]
+    pub fn shift(&self) -> u32 {
+        self.shift.load(Ordering::Relaxed)
+    }
+
+    /// The deterministic 1-in-N draw: call numbers `0, N, 2N, ...` win.
+    #[inline]
+    fn draw(&'static self, name: &'static str) -> bool {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        if n == 0 {
+            sampler().register(name, self);
+        }
+        let mask = (1u64 << self.shift.load(Ordering::Relaxed).min(MAX_SHIFT)) - 1;
+        let hit = n & mask == 0;
+        if hit {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            sampler().maybe_retune();
+        }
+        hit
+    }
+}
+
+impl Default for SampleSite {
+    fn default() -> Self {
+        SampleSite::new()
+    }
+}
+
+/// Should this site record right now? The single entry point the span
+/// macros call once the mode check says the trace path is live.
+///
+/// Admission order: full tracing records everything; a live causal context
+/// means the trace already won its draw at the root, so every span it
+/// touches records; otherwise the site runs its own 1-in-N draw.
+#[inline]
+#[must_use]
+pub fn admit(site: &'static SampleSite, name: &'static str) -> bool {
+    if crate::tracing_on() || crate::context::active() {
+        return true;
+    }
+    site.draw(name)
+}
+
+/// One site's row in a [`Sampler::stats`] report.
+#[derive(Debug, Clone)]
+pub struct SiteStats {
+    /// The site's span name.
+    pub name: &'static str,
+    /// Total calls observed.
+    pub calls: u64,
+    /// Calls admitted for recording.
+    pub admitted: u64,
+    /// Current shift (`N = 1 << shift`).
+    pub shift: u32,
+}
+
+/// The global controller: the registered-site list and the feedback loop.
+pub struct Sampler {
+    sites: Mutex<Vec<(&'static str, &'static SampleSite)>>,
+    /// Budget in hundredths of a percent (so 1.00% stores as 100).
+    budget_centi_pct: AtomicU32,
+    event_cost_ns: AtomicU64,
+    last_tick_ns: AtomicU64,
+    /// Recorder event total at the start of the current window (for the
+    /// fan-out measurement).
+    window_events: AtomicU64,
+    /// Total admitted draws at the start of the current window.
+    window_admitted: AtomicU64,
+    /// `-1` = adaptive; `>= 0` = every site pinned to this shift.
+    fixed_shift: AtomicI32,
+    /// Wall-clock ticking enabled (tests driving synthetic windows turn
+    /// it off so a slow host can't split their windows mid-drive).
+    auto_tick: std::sync::atomic::AtomicBool,
+    retunes: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The process-wide sampler.
+#[must_use]
+pub fn sampler() -> &'static Sampler {
+    static SAMPLER: OnceLock<Sampler> = OnceLock::new();
+    SAMPLER.get_or_init(|| Sampler {
+        sites: Mutex::new(Vec::new()),
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        budget_centi_pct: AtomicU32::new((DEFAULT_BUDGET_PCT * 100.0) as u32),
+        event_cost_ns: AtomicU64::new(DEFAULT_EVENT_COST_NS),
+        last_tick_ns: AtomicU64::new(0),
+        window_events: AtomicU64::new(0),
+        window_admitted: AtomicU64::new(0),
+        fixed_shift: AtomicI32::new(-1),
+        auto_tick: std::sync::atomic::AtomicBool::new(true),
+        retunes: AtomicU64::new(0),
+    })
+}
+
+impl Sampler {
+    fn register(&self, name: &'static str, site: &'static SampleSite) {
+        let mut sites = lock(&self.sites);
+        if sites.iter().any(|(_, s)| std::ptr::eq(*s, site)) {
+            return;
+        }
+        let fixed = self.fixed_shift.load(Ordering::Relaxed);
+        if fixed >= 0 {
+            #[allow(clippy::cast_sign_loss)]
+            site.shift
+                .store((fixed as u32).min(MAX_SHIFT), Ordering::Relaxed);
+        }
+        sites.push((name, site));
+    }
+
+    /// Sets the overhead budget (percent of one core sampled tracing may
+    /// spend on ring writes). Takes effect at the next retune.
+    pub fn set_budget_pct(&self, pct: f64) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        self.budget_centi_pct
+            .store((pct.clamp(0.01, 100.0) * 100.0) as u32, Ordering::Relaxed);
+    }
+
+    /// Current overhead budget in percent.
+    #[must_use]
+    pub fn budget_pct(&self) -> f64 {
+        f64::from(self.budget_centi_pct.load(Ordering::Relaxed)) / 100.0
+    }
+
+    /// Overrides the estimated per-event recording cost the budget is
+    /// converted with.
+    pub fn set_event_cost_ns(&self, ns: u64) {
+        self.event_cost_ns.store(ns.max(1), Ordering::Relaxed);
+    }
+
+    /// Pins every site (current and future) to `shift`, or returns to
+    /// adaptive control with `None`. Benches use this to measure fixed
+    /// points on the overhead curve; tests use it for determinism.
+    pub fn set_fixed_shift(&self, shift: Option<u32>) {
+        match shift {
+            Some(s) => {
+                let s = s.min(MAX_SHIFT);
+                #[allow(clippy::cast_possible_wrap)]
+                self.fixed_shift.store(s as i32, Ordering::Relaxed);
+                for (_, site) in lock(&self.sites).iter() {
+                    site.shift.store(s, Ordering::Relaxed);
+                }
+            }
+            None => self.fixed_shift.store(-1, Ordering::Relaxed),
+        }
+    }
+
+    /// Enables or disables the wall-clock tick. Tests that drive the
+    /// controller with synthetic [`Sampler::retune`] windows disable it so
+    /// a slow host can't fire a real-clock retune mid-window and consume
+    /// the call deltas the synthetic window is about to measure.
+    #[doc(hidden)]
+    pub fn set_auto_tick(&self, on: bool) {
+        self.auto_tick.store(on, Ordering::Relaxed);
+    }
+
+    /// Times the feedback loop: retunes at most once per [`TICK_NS`],
+    /// amortized onto admitted (already expensive) calls.
+    fn maybe_retune(&self) {
+        if !self.auto_tick.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = crate::now_ns();
+        let last = self.last_tick_ns.load(Ordering::Relaxed);
+        if last == 0 {
+            // First admitted event starts the window; nothing to measure yet.
+            let _ = self.last_tick_ns.compare_exchange(
+                0,
+                now.max(1),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            return;
+        }
+        let elapsed = now.saturating_sub(last);
+        if elapsed < TICK_NS {
+            return;
+        }
+        if self
+            .last_tick_ns
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.retune(elapsed);
+        }
+    }
+
+    /// One controller step over a window of `elapsed_ns`: split the budget
+    /// evenly across active sites and set each shift to the smallest power
+    /// of two that brings the site's *recorded-event* rate under its share
+    /// — a site admitted at 1-in-N records `fanout` events per admitted
+    /// call (the head-sampled trace it roots), and the fan-out is measured
+    /// from the window just ended. Public (doc-hidden) so tests can drive
+    /// the loop with a synthetic window instead of waiting out real ticks.
+    #[doc(hidden)]
+    pub fn retune(&self, elapsed_ns: u64) {
+        if self.fixed_shift.load(Ordering::Relaxed) >= 0 {
+            return;
+        }
+        let budget_frac = f64::from(self.budget_centi_pct.load(Ordering::Relaxed)) / 10_000.0;
+        #[allow(clippy::cast_precision_loss)]
+        let cost_ns = self.event_cost_ns.load(Ordering::Relaxed) as f64;
+        let target_events_per_sec = budget_frac * 1e9 / cost_ns;
+
+        let sites = lock(&self.sites);
+        let mut deltas = Vec::with_capacity(sites.len());
+        let mut admitted_delta = 0u64;
+        for (_, site) in sites.iter() {
+            let calls = site.calls.load(Ordering::Relaxed);
+            let prev = site.window_calls.swap(calls, Ordering::Relaxed);
+            deltas.push(calls.saturating_sub(prev));
+            admitted_delta += site.admitted.load(Ordering::Relaxed);
+        }
+        let admitted_prev = self.window_admitted.swap(admitted_delta, Ordering::Relaxed);
+        let admitted_delta = admitted_delta.saturating_sub(admitted_prev);
+        // The window's head-sampling fan-out: ring events written per
+        // admitted draw. Full-tracing windows never reach here (no draws),
+        // and windows with draws but no recording (mode flips, synthetic
+        // drivers) measure 1.
+        let events = crate::recorder::events_written();
+        let events_delta =
+            events.saturating_sub(self.window_events.swap(events, Ordering::Relaxed));
+        #[allow(clippy::cast_precision_loss)]
+        let fanout = if admitted_delta == 0 {
+            1.0
+        } else {
+            (events_delta as f64 / admitted_delta as f64).max(1.0)
+        };
+
+        let active = deltas.iter().filter(|&&d| d > 0).count().max(1);
+        #[allow(clippy::cast_precision_loss)]
+        let share = (target_events_per_sec / active as f64).max(1e-9);
+
+        for ((_, site), delta) in sites.iter().zip(deltas) {
+            if delta == 0 {
+                continue; // idle site: keep its shift, no evidence to move it
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let rate = delta as f64 * 1e9 / elapsed_ns.max(1) as f64 * fanout;
+            let shift = if rate <= share {
+                0
+            } else {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let s = (rate / share).log2().ceil() as u32;
+                s.min(MAX_SHIFT)
+            };
+            site.shift.store(shift, Ordering::Relaxed);
+        }
+        drop(sites);
+        self.retunes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of controller steps taken.
+    #[must_use]
+    pub fn retunes(&self) -> u64 {
+        self.retunes.load(Ordering::Relaxed)
+    }
+
+    /// Per-site counters, in registration order.
+    #[must_use]
+    pub fn stats(&self) -> Vec<SiteStats> {
+        lock(&self.sites)
+            .iter()
+            .map(|(name, s)| SiteStats {
+                name,
+                calls: s.calls(),
+                admitted: s.admitted(),
+                shift: s.shift(),
+            })
+            .collect()
+    }
+
+    /// Zeroes every site's counters and restores the default (or fixed)
+    /// shift — benches call this between arms so each measurement starts
+    /// from the same sampling state.
+    pub fn reset_sites(&self) {
+        let fixed = self.fixed_shift.load(Ordering::Relaxed);
+        #[allow(clippy::cast_sign_loss)]
+        let shift = if fixed >= 0 {
+            (fixed as u32).min(MAX_SHIFT)
+        } else {
+            DEFAULT_SHIFT
+        };
+        for (_, site) in lock(&self.sites).iter() {
+            site.calls.store(0, Ordering::Relaxed);
+            site.admitted.store(0, Ordering::Relaxed);
+            site.window_calls.store(0, Ordering::Relaxed);
+            site.shift.store(shift, Ordering::Relaxed);
+        }
+        self.last_tick_ns.store(0, Ordering::Relaxed);
+        self.window_admitted.store(0, Ordering::Relaxed);
+        self.window_events
+            .store(crate::recorder::events_written(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sampler (site list, fixed shift) is process-global; tests that
+    // touch it serialize here so parallel test threads don't repin shifts
+    // under each other.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn leaked_site() -> &'static SampleSite {
+        Box::leak(Box::new(SampleSite::new()))
+    }
+
+    #[test]
+    fn draw_is_exactly_one_in_n() {
+        let _guard = lock(&TEST_LOCK);
+        let site = leaked_site();
+        site.shift.store(3, Ordering::Relaxed); // N = 8
+        let mut admitted = 0u64;
+        for _ in 0..100 {
+            // Mask the shift back every call: registration may apply a
+            // leftover fixed shift and a background retune may move it.
+            site.shift.store(3, Ordering::Relaxed);
+            if site.draw("test.sampler.one_in_n") {
+                admitted += 1;
+            }
+        }
+        // ceil(100 / 8) = 13: calls 0, 8, 16, ..., 96.
+        assert_eq!(admitted, 13);
+        assert_eq!(site.admitted(), 13);
+        assert_eq!(site.calls(), 100);
+    }
+
+    #[test]
+    fn shift_zero_admits_everything() {
+        let _guard = lock(&TEST_LOCK);
+        let site = leaked_site();
+        let all = (0..50)
+            .filter(|_| {
+                site.shift.store(0, Ordering::Relaxed);
+                site.draw("test.sampler.all")
+            })
+            .count();
+        assert_eq!(all, 50);
+    }
+
+    #[test]
+    fn retune_splits_budget_and_shifts_hot_sites_up() {
+        let _guard = lock(&TEST_LOCK);
+        sampler().set_fixed_shift(None);
+        let hot = leaked_site();
+        let cold = leaked_site();
+        // Register, then install one synthetic window of traffic directly
+        // in the counters (driving draw() a million times would tangle
+        // with the real-clock tick path).
+        let _ = hot.draw("test.sampler.hot");
+        let _ = cold.draw("test.sampler.cold");
+        hot.calls.store(1_000_000, Ordering::Relaxed);
+        hot.window_calls.store(0, Ordering::Relaxed);
+        // A synthetic admitted count that dwarfs whatever ring events
+        // parallel tests write this window, so the measured fan-out stays
+        // ≈1 and the expected shifts are the fanout-free fixed points.
+        hot.admitted.store(1_000_000, Ordering::Relaxed);
+        cold.calls.store(10, Ordering::Relaxed);
+        cold.window_calls.store(0, Ordering::Relaxed);
+        // Window = 0.1 s → hot ≈ 10M calls/s, cold ≈ 100/s. Budget 1% at
+        // 80 ns/event → 125k events/s total; with the registered sites
+        // sharing, the hot site must shift well up and the cold site to 0.
+        sampler().set_budget_pct(DEFAULT_BUDGET_PCT);
+        sampler().set_event_cost_ns(DEFAULT_EVENT_COST_NS);
+        sampler().retune(100_000_000);
+        assert!(
+            hot.shift() >= 5,
+            "hot site must be sampled sparsely, got shift {}",
+            hot.shift()
+        );
+        assert_eq!(cold.shift(), 0, "cold site records every occurrence");
+    }
+
+    #[test]
+    fn fixed_shift_pins_and_releases() {
+        let _guard = lock(&TEST_LOCK);
+        let site = leaked_site();
+        let _ = site.draw("test.sampler.fixed"); // register
+        sampler().set_fixed_shift(Some(2));
+        assert_eq!(site.shift(), 2);
+        sampler().retune(1_000_000_000);
+        assert_eq!(site.shift(), 2, "retune must not move a pinned site");
+        sampler().set_fixed_shift(None);
+    }
+}

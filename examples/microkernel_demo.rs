@@ -95,6 +95,7 @@ fn main() {
                 msg: Message {
                     payload: vec![1],
                     cap: Some(ro_capability),
+                    ctx: 0,
                 },
             },
         )

@@ -6,21 +6,38 @@
 //! cargo run --release --example obs_bench -- --quick # CI-sized, prints only
 //! ```
 //!
-//! The full run measures the E10 router stream under four observability
+//! The full run measures the E10 router stream under five observability
 //! configurations (instrumentation compiled out / compiled in but disabled /
-//! counters only / full flight-recorder tracing) and the E6 IPC ping-pong
-//! under the three runtime modes, then **enforces the overhead budget**:
-//! with instrumentation compiled in but disabled the router must stay within
-//! 5% of the compiled-out baseline, counters-only within 15%, and full
-//! tracing within 90% on the IPC round trip (hot spans are single-marker
-//! events, so the begin/end pair's second clock read is gone). `--quick`
-//! runs small sizes and skips both the file write and the budget assertions
-//! (a CI box under load can't referee a 5% throughput claim).
+//! counters only / adaptive sampled tracing / full flight-recorder tracing)
+//! and the E6 IPC ping-pong under the four runtime modes, then **enforces
+//! the overhead budget**: with instrumentation compiled in but disabled the
+//! router must stay within 5% of the compiled-out baseline, counters-only
+//! within 15%, adaptive sampling within 5% (that is the always-on claim:
+//! sampled causal tracing rides inside the disabled-mode budget), and on
+//! the IPC round trip sampling within 15% and full tracing within 120% of
+//! disabled (tracing pays a linked span pair plus causal-context
+//! propagation on every message — the debug mode, not the always-on
+//! default). `--quick` runs small sizes and skips both
+//! the file write and the budget assertions (a CI box under load can't
+//! referee a 5% throughput claim).
+//!
+//! `--postmortem-smoke` instead runs the E16 drop-spike incident end to
+//! end — live counters, the standard watch set, a frozen flight-recorder
+//! capture — and writes the emitted postmortem to `POSTMORTEM_smoke.json`
+//! for CI to parse and validate.
 
-use plos06::experiments::e11_obs;
 use plos06::experiments::Scale;
+use plos06::experiments::{e11_obs, e16_postmortem};
 
 fn main() {
+    if std::env::args().any(|a| a == "--postmortem-smoke") {
+        eprintln!("obs bench: seeding a drop-rate spike for the postmortem smoke...");
+        let json = e16_postmortem::smoke_postmortem()
+            .expect("the seeded drop spike must fire the drop-rate-spike watch");
+        std::fs::write("POSTMORTEM_smoke.json", &json).expect("write POSTMORTEM_smoke.json");
+        eprintln!("wrote POSTMORTEM_smoke.json ({} bytes)", json.len());
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
     eprintln!("obs bench: measuring observability overhead at {scale:?} scale...");
@@ -33,6 +50,8 @@ fn main() {
     }
     let disabled = report.router_point("disabled").expect("disabled point");
     let counters = report.router_point("counters").expect("counters point");
+    let sampled = report.router_point("sampled").expect("sampled point");
+    let ipc_sampled = report.ipc_point("sampled").expect("ipc sampled point");
     let ipc_tracing = report.ipc_point("tracing").expect("ipc tracing point");
     assert!(
         disabled.overhead_pct <= 5.0,
@@ -44,19 +63,38 @@ fn main() {
         "budget: counters-only costs {:.1}% > 15% router throughput",
         counters.overhead_pct
     );
-    // Full tracing on the sub-µs IPC path: hot spans collapse to one ring
-    // write + one clock read each, which must keep the round trip under
-    // 1.9x the disabled mode (it measured 2.1x before the hot-span form;
-    // ~1.75x after).
+    // The tentpole claim: adaptive sampled tracing is cheap enough to
+    // leave on in production — within the same 5% envelope the disabled
+    // mode gets on the router, and 15% on the sub-µs IPC path where each
+    // round trip pays the per-site draw several times.
     assert!(
-        ipc_tracing.overhead_pct <= 90.0,
-        "budget: tracing costs {:.1}% > 90% on the IPC round trip",
+        sampled.overhead_pct <= 5.0,
+        "budget: adaptive sampling costs {:.1}% > 5% router throughput",
+        sampled.overhead_pct
+    );
+    assert!(
+        ipc_sampled.overhead_pct <= 15.0,
+        "budget: adaptive sampling costs {:.1}% > 15% on the IPC round trip",
+        ipc_sampled.overhead_pct
+    );
+    // Full tracing on the sub-µs IPC path is the *debug* mode, not the
+    // always-on mode: each round trip now records linked send/recv spans
+    // and propagates the causal trace context on the message itself, which
+    // measures ≈2x the disabled round trip. The budget caps it at 2.2x so
+    // a regression past the context-propagation cost still fails the run.
+    assert!(
+        ipc_tracing.overhead_pct <= 120.0,
+        "budget: tracing costs {:.1}% > 120% on the IPC round trip",
         ipc_tracing.overhead_pct
     );
     eprintln!(
         "budget held: disabled {:+.1}% (≤5%), counters {:+.1}% (≤15%), \
-         ipc tracing {:+.1}% (≤90%)",
-        disabled.overhead_pct, counters.overhead_pct, ipc_tracing.overhead_pct
+         sampled {:+.1}% (≤5%), ipc sampled {:+.1}% (≤15%), ipc tracing {:+.1}% (≤120%)",
+        disabled.overhead_pct,
+        counters.overhead_pct,
+        sampled.overhead_pct,
+        ipc_sampled.overhead_pct,
+        ipc_tracing.overhead_pct
     );
     std::fs::write("BENCH_obs.json", json).expect("write BENCH_obs.json");
     eprintln!("wrote BENCH_obs.json");

@@ -51,6 +51,9 @@ fn alloc_count() -> u64 {
 }
 
 fn main() {
+    // A panicking bench run leaves its flight-recorder tail and metrics
+    // snapshot on stderr instead of a bare backtrace.
+    sysobs::install_panic_dump();
     let quick = std::env::args().any(|a| a == "--quick");
     let mut cfg = if quick {
         SweepConfig::quick()

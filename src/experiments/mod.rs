@@ -12,6 +12,7 @@ pub mod e12_cache;
 pub mod e13_check;
 pub mod e14_conntrack;
 pub mod e15_churn;
+pub mod e16_postmortem;
 pub mod e1_alloc;
 pub mod e2_boxing;
 pub mod e3_optimizer;

@@ -1,0 +1,105 @@
+//! Integration tests for the anomaly-to-postmortem path: the E16 campaign's
+//! exactly-one property, the postmortem JSON artifact, and the panic-dump
+//! black box.
+//!
+//! These run in their own process (observability mode, the sampler, and
+//! the recorder rings are process-global), serialized on one lock so the
+//! campaign's registry deltas and the panic test's mode flips don't
+//! interleave.
+
+use plos06::experiments::{e16_postmortem, Scale};
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn campaign_yields_exactly_one_postmortem_per_incident() {
+    let _guard = OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let outcomes = e16_postmortem::campaign(Scale::Quick);
+    assert_eq!(outcomes.len(), 5, "one incident per standard watch");
+    for o in &outcomes {
+        assert_eq!(
+            o.expected_fired, 1,
+            "incident `{}` must produce exactly one postmortem naming its trigger \
+             (got {}, {} total fired)",
+            o.trigger, o.expected_fired, o.total_fired
+        );
+    }
+    let spike = outcomes
+        .iter()
+        .find(|o| o.trigger == "drop-rate-spike")
+        .expect("campaign injects a drop spike");
+    assert!(
+        spike.cross_worker_trace,
+        "the drop-spike postmortem must reconstruct a dispatcher→worker causal trace \
+         ({} events, {} traces captured)",
+        spike.events, spike.traces
+    );
+    let stall = outcomes
+        .iter()
+        .find(|o| o.trigger == "backpressure-stall")
+        .expect("campaign injects a stall burst");
+    assert!(
+        stall.fault_digest.is_some(),
+        "the stall ran under a fault plan: its postmortem must carry the plan's log digest"
+    );
+}
+
+#[test]
+fn fired_trigger_emits_parseable_postmortem_json() {
+    let _guard = OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let c = sysobs::registry().counter("test.pm.spike");
+    let mut eng = sysobs::TriggerEngine::new().with(sysobs::Watch::counter_delta(
+        "test-pm-spike",
+        "test.pm.spike",
+        8,
+    ));
+    assert!(eng.poll(None).is_empty(), "baseline poll arms the watch");
+    c.add(64);
+    let pms = eng.poll(Some(0xD16E57));
+    assert_eq!(pms.len(), 1);
+    let json = pms[0].to_json();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(json.contains("\"postmortem\": 1"), "{json}");
+    assert!(json.contains("\"trigger\": \"test-pm-spike\""), "{json}");
+    assert!(
+        json.contains("\"test.pm.spike\": "),
+        "metrics snapshot embedded: {json}"
+    );
+}
+
+#[test]
+fn panic_dump_captures_recorder_tail_and_metrics() {
+    let _guard = OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    sysobs::install_panic_dump();
+    let prev = sysobs::mode();
+    sysobs::set_mode(sysobs::Mode::Tracing);
+    sysobs::clear();
+    sysobs::obs_span_hot!("test.panic.span");
+    sysobs::obs_count!("test.panic.counter", 7);
+
+    let result = std::panic::catch_unwind(|| panic!("seeded bench crash"));
+    assert!(result.is_err());
+    sysobs::set_mode(prev);
+
+    let dump = sysobs::last_panic_dump().expect("panic hook captured a dump");
+    assert!(
+        dump.contains("flight recorder"),
+        "dump must carry the recorder header: {dump}"
+    );
+    assert!(
+        dump.contains("test.panic.span"),
+        "dump must contain the recorder tail (the span recorded before the crash)"
+    );
+    assert!(
+        dump.contains("test.panic.counter"),
+        "dump must contain the metrics snapshot"
+    );
+}
