@@ -83,3 +83,26 @@ cargo test -q -p sysmem --test epoch_model
 cargo test -q -p sysmem --lib epoch
 cargo test -q -p sysnet --test cowtrie_model
 cargo run --release --example experiments -- e15
+
+# Load-balancer smoke: the hairpin/NAT-twin property suite (rides in
+# conntrack_properties above), the gauge-conservation syscheck model under
+# concurrent twin-insert + ejection, E17 at quick scale, and the bench
+# smoke — failover recovery and allocs are asserted at every scale, but
+# the ≥90% rewrite-ratio floor only on full runs (tiny CI streams are too
+# noisy to referee it) and lb_bench --quick never rewrites the recorded
+# BENCH_lb.json. The recorded artifact must keep its schema-1 shape with
+# all four scenarios and a recovery within one probe interval.
+cargo test -q -p sysnet --test lb_model
+cargo run --release --example experiments -- e17
+cargo run --release --example lb_bench -- --quick
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_lb.json"))
+assert bench["schema"] == 1, bench["schema"]
+names = {s["name"] for s in bench["scenarios"]}
+assert names >= {"baseline_no_lb", "steady", "portscan_storm", "slowloris"}, names
+assert bench["headline"]["rewrite_pps_ratio"] >= 0.90, bench["headline"]
+f = bench["failover"]
+assert f["recovery_ns"] <= f["probe_interval_ns"], f
+assert all(s["steady_allocs_per_packet"] < 0.05 for s in bench["scenarios"]), bench["scenarios"]
+EOF

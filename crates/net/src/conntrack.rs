@@ -170,10 +170,13 @@ pub enum EvictCause {
     Rst = 4,
     /// Torn down after injected state desync drained it.
     Desync = 5,
+    /// NAT'd flow ejected because its assigned backend died
+    /// ([`Conntrack::eject_backend`]).
+    BackendDead = 6,
 }
 
 /// Number of [`EvictCause`] variants.
-pub const EVICT_CAUSES: usize = 6;
+pub const EVICT_CAUSES: usize = 7;
 
 /// Display labels, indexed by `EvictCause as usize`.
 pub const EVICT_LABELS: [&str; EVICT_CAUSES] = [
@@ -183,6 +186,7 @@ pub const EVICT_LABELS: [&str; EVICT_CAUSES] = [
     "fin",
     "rst",
     "desync",
+    "backend-dead",
 ];
 
 /// Sizing and policy knobs for one [`Conntrack`] shard.
@@ -397,9 +401,37 @@ impl ConntrackShared {
     }
 }
 
+/// The NAT rewrite tuple a load-balanced flow carries: the client's
+/// endpoint, the virtual (VIP) endpoint it dialed, and the backend endpoint
+/// the balancer assigned. Stored in the conntrack entry so the forward path
+/// can rewrite either direction from one lookup — and so the *direction* of
+/// a packet is decided by comparing its endpoints against these, never by
+/// the canonical key (which a hairpinned reply can collide with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatRewrite {
+    /// Client address.
+    pub client_ip: u32,
+    /// Client port.
+    pub client_port: u16,
+    /// Virtual (advertised) address the client dialed.
+    pub vip: u32,
+    /// Virtual port.
+    pub vport: u16,
+    /// Assigned backend address.
+    pub backend_ip: u32,
+    /// Assigned backend port.
+    pub backend_port: u16,
+    /// Index of the backend in its [`crate::lb::BackendPool`] — drain and
+    /// ejection bookkeeping.
+    pub backend: u16,
+}
+
 /// One slab slot. Live slots are linked into their state's recency list
 /// (`prev`/`next`, most-recent at head) and their hash bucket's chain
-/// (`hash_next`); free slots reuse `next` as the free-list link.
+/// (`hash_next`); free slots reuse `next` as the free-list link. A NAT'd
+/// flow occupies *two* twin-linked slots — one keyed by the client↔VIP
+/// tuple, one by the client↔backend tuple — kept in state lockstep and
+/// removed as a pair.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     key: FlowKey,
@@ -408,6 +440,8 @@ struct Slot {
     prev: u32,
     next: u32,
     hash_next: u32,
+    twin: u32,
+    nat: Option<NatRewrite>,
 }
 
 const EMPTY_KEY: FlowKey = FlowKey {
@@ -470,6 +504,8 @@ impl Conntrack {
                 prev: NIL,
                 next,
                 hash_next: NIL,
+                twin: NIL,
+                nat: None,
             });
         }
         Conntrack {
@@ -652,7 +688,20 @@ impl Conntrack {
         unreachable!("slot {idx} missing from its bucket chain");
     }
 
+    /// Removes an entry *and its NAT twin* (a half-flow without its mate is
+    /// a rewrite that only works in one direction — never leave one behind).
     fn remove(&mut self, idx: u32, cause: EvictCause) {
+        let twin = self.slots[idx as usize].twin;
+        if twin != NIL {
+            // Break the link both ways first so neither removal recurses.
+            self.slots[twin as usize].twin = NIL;
+            self.slots[idx as usize].twin = NIL;
+            self.remove_one(twin, cause);
+        }
+        self.remove_one(idx, cause);
+    }
+
+    fn remove_one(&mut self, idx: u32, cause: EvictCause) {
         if self.slots[idx as usize].state == FlowState::SynSeen {
             self.half_open -= 1;
         }
@@ -662,6 +711,8 @@ impl Conntrack {
         slot.key = EMPTY_KEY;
         slot.prev = NIL;
         slot.hash_next = NIL;
+        slot.twin = NIL;
+        slot.nat = None;
         slot.next = self.free_head;
         self.free_head = idx;
         self.len -= 1;
@@ -770,6 +821,8 @@ impl Conntrack {
             slot.key = key;
             slot.last_seen_ns = now_ns;
             slot.hash_next = self.buckets[b];
+            slot.twin = NIL;
+            slot.nat = None;
         }
         self.buckets[b] = idx;
         self.list_push_head(state, idx);
@@ -798,6 +851,27 @@ impl Conntrack {
         seg: TcpSummary,
         now_ns: u64,
     ) -> Result<(), DropReason> {
+        self.admit_tcp_nat(key, seg, now_ns, true).map(|_| ())
+    }
+
+    /// [`Self::admit_tcp`] fused with the NAT lookup the balanced path
+    /// needs: the same hash walk that decides admission also returns the
+    /// flow's stored rewrite tuple (`None` when the flow carries no NAT
+    /// state, or was admitted statelessly in cookie mode). With `create`
+    /// false an untracked flow is shed as [`DropReason::NoFlow`] instead of
+    /// creating an entry — the VIP guard, where assignment (not plain
+    /// admission) is the only legal creator.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`DropReason`] for any packet the tracker sheds.
+    pub fn admit_tcp_nat(
+        &mut self,
+        key: &FlowKey,
+        seg: TcpSummary,
+        now_ns: u64,
+        create: bool,
+    ) -> Result<Option<NatRewrite>, DropReason> {
         let hash = key.hash();
         let found = self.lookup_slot(key, hash);
         if let Some(idx) = found {
@@ -815,7 +889,27 @@ impl Conntrack {
                     self.stats.desyncs_injected += 1;
                 }
             }
-            return self.admit_existing(idx, seg, now_ns);
+            // Captured pre-admission: a teardown segment (RST, final ACK)
+            // removes the entry but is itself forwarded, and still needs
+            // its rewrite on the way out.
+            let nat = self.slots[idx as usize].nat;
+            let twin = self.slots[idx as usize].twin;
+            let res = self.admit_existing(idx, seg, now_ns);
+            // NAT twin lockstep: if the pair survived the segment (teardown
+            // removes both inside `remove`), mirror the primary's state onto
+            // the twin so sweeps and drains see one flow, not two.
+            if res.is_ok() && twin != NIL && self.slots[idx as usize].key == *key {
+                let state = self.slots[idx as usize].state;
+                if self.slots[twin as usize].state == state {
+                    self.touch(twin, now_ns);
+                } else {
+                    self.transition(twin, state, now_ns);
+                }
+            }
+            return res.map(|()| nat);
+        }
+        if !create {
+            return Err(DropReason::NoFlow);
         }
         // No entry: only a SYN (or, in fallback mode, a cookie-bearing
         // ACK) may create one. Everything else is shed — the strict
@@ -823,7 +917,7 @@ impl Conntrack {
         if seg.syn && !seg.ack {
             if self.cookie_mode {
                 self.stats.stateless_syns += 1;
-                return Ok(());
+                return Ok(None);
             }
             if self.cfg.overload_defense && self.half_open >= self.cfg.syn_backlog {
                 let tail = self.lists[FlowState::SynSeen as usize][1];
@@ -833,19 +927,19 @@ impl Conntrack {
                 if self.cookie_mode {
                     // The triggering SYN is the first stateless one.
                     self.stats.stateless_syns += 1;
-                    return Ok(());
+                    return Ok(None);
                 }
             }
             self.insert(*key, FlowState::SynSeen, now_ns)?;
             self.stats.pkts[FlowState::SynSeen as usize] += 1;
-            return Ok(());
+            return Ok(None);
         }
         if seg.ack && !seg.syn && self.cookie_mode {
             if seg.ack_no == self.cookie(key).wrapping_add(1) {
                 self.insert(*key, FlowState::Established, now_ns)?;
                 self.stats.cookie_established += 1;
                 self.stats.pkts[FlowState::Established as usize] += 1;
-                return Ok(());
+                return Ok(None);
             }
             return Err(DropReason::BadCookie);
         }
@@ -906,6 +1000,153 @@ impl Conntrack {
         }
     }
 
+    // ---- NAT entries (load-balancer rewrite state) ----------------------
+
+    /// The rewrite tuple stored for `key`, if any.
+    #[must_use]
+    pub fn nat_of(&self, key: &FlowKey) -> Option<NatRewrite> {
+        self.lookup_slot(key, key.hash())
+            .and_then(|i| self.slots[i as usize].nat)
+    }
+
+    /// True if `key` is tracked at all (NAT'd or not).
+    #[must_use]
+    pub fn contains(&self, key: &FlowKey) -> bool {
+        self.lookup_slot(key, key.hash()).is_some()
+    }
+
+    /// Inserts a NAT'd flow: twin entries under the pre-rewrite key
+    /// (`orig`, client↔VIP) and the post-rewrite key (`reply`,
+    /// client↔backend), both carrying `nat` and linked so they live and die
+    /// together. When rewrite and canonicalization collapse both tuples to
+    /// one key (a degenerate hairpin), a single un-twinned entry is stored.
+    ///
+    /// # Errors
+    ///
+    /// [`DropReason::StateViolation`] if either key is already tracked;
+    /// [`DropReason::FlowTableFull`] if the table cannot make room for both
+    /// entries (a partial pair is rolled back — a one-directional rewrite
+    /// is never left behind).
+    pub fn insert_nat(
+        &mut self,
+        orig: &FlowKey,
+        reply: &FlowKey,
+        nat: NatRewrite,
+        state: FlowState,
+        now_ns: u64,
+    ) -> Result<(), DropReason> {
+        if self.lookup_slot(orig, orig.hash()).is_some() {
+            return Err(DropReason::StateViolation);
+        }
+        if orig == reply {
+            let a = self.insert(*orig, state, now_ns)?;
+            self.slots[a as usize].nat = Some(nat);
+            self.stats.pkts[state as usize] += 1;
+            return Ok(());
+        }
+        if self.lookup_slot(reply, reply.hash()).is_some() {
+            return Err(DropReason::StateViolation);
+        }
+        let a = self.insert(*orig, state, now_ns)?;
+        let b = match self.insert(*reply, state, now_ns) {
+            Ok(b) => b,
+            Err(e) => {
+                // Roll back the first half — unless the second insert's own
+                // eviction already took it (possible when the first entry
+                // was the oldest half-open).
+                if self.slots[a as usize].key == *orig {
+                    self.remove_one(a, Self::rollback_cause(state));
+                }
+                return Err(e);
+            }
+        };
+        if self.slots[a as usize].key != *orig {
+            // The second insert evicted the first to make room: the pair
+            // cannot exist, so drop the orphan half too.
+            self.remove_one(b, Self::rollback_cause(state));
+            return Err(DropReason::FlowTableFull);
+        }
+        self.slots[a as usize].nat = Some(nat);
+        self.slots[b as usize].nat = Some(nat);
+        self.slots[a as usize].twin = b;
+        self.slots[b as usize].twin = a;
+        self.stats.pkts[state as usize] += 1;
+        Ok(())
+    }
+
+    /// The eviction cause a rolled-back half-pair is accounted under: the
+    /// same cause capacity pressure would have used.
+    fn rollback_cause(state: FlowState) -> EvictCause {
+        if state == FlowState::SynSeen {
+            EvictCause::HalfOpenPressure
+        } else {
+            EvictCause::Lru
+        }
+    }
+
+    /// Refreshes a tracked flow's recency (both twins) without driving the
+    /// TCP machine — the UDP path's per-packet touch. Returns `false` if
+    /// the key is not tracked.
+    pub fn refresh(&mut self, key: &FlowKey, now_ns: u64) -> bool {
+        let Some(idx) = self.lookup_slot(key, key.hash()) else {
+            return false;
+        };
+        self.touch(idx, now_ns);
+        let twin = self.slots[idx as usize].twin;
+        if twin != NIL {
+            self.touch(twin, now_ns);
+        }
+        self.stats.pkts[self.slots[idx as usize].state as usize] += 1;
+        true
+    }
+
+    /// [`Self::refresh`] fused with the NAT lookup: if `key` is tracked
+    /// *and* carries a rewrite, refresh both twins' recency and return the
+    /// tuple — one hash walk for the whole balanced datagram path. Flows
+    /// without NAT state are left untouched (the caller treats them as
+    /// untracked, exactly as the split `nat_of` + `refresh` pair did).
+    pub fn refresh_nat(&mut self, key: &FlowKey, now_ns: u64) -> Option<NatRewrite> {
+        let idx = self.lookup_slot(key, key.hash())?;
+        let nat = self.slots[idx as usize].nat?;
+        self.touch(idx, now_ns);
+        let twin = self.slots[idx as usize].twin;
+        if twin != NIL {
+            self.touch(twin, now_ns);
+        }
+        self.stats.pkts[self.slots[idx as usize].state as usize] += 1;
+        Some(nat)
+    }
+
+    /// Removes a tracked flow (and its twin) under [`EvictCause::Rst`]-style
+    /// explicit teardown — the balancer's eject path for flows whose
+    /// backend died. Returns `false` if the key is not tracked.
+    pub fn remove_flow(&mut self, key: &FlowKey, cause: EvictCause) -> bool {
+        let Some(idx) = self.lookup_slot(key, key.hash()) else {
+            return false;
+        };
+        self.remove(idx, cause);
+        true
+    }
+
+    /// Removes every NAT'd flow assigned to `backend` (both twins each),
+    /// returning entries freed. A full-slab walk — the balancer calls this
+    /// only on a health-probe death verdict, never per packet. Without it a
+    /// client's SYN retransmit keeps matching the stale rewrite and chases
+    /// the dead backend until the idle timeout; ejecting lets the retry
+    /// select a healthy one immediately.
+    pub fn eject_backend(&mut self, backend: u16, cause: EvictCause) -> usize {
+        let before = self.len;
+        for i in 0..self.slots.len() {
+            let Some(nat) = self.slots[i].nat else {
+                continue;
+            };
+            if nat.backend == backend {
+                self.remove(u32::try_from(i).expect("slab fits u32"), cause);
+            }
+        }
+        before - self.len
+    }
+
     // ---- the watchdog sweep ---------------------------------------------
 
     /// True when [`Conntrack::sweep`] is due.
@@ -947,9 +1188,13 @@ impl Conntrack {
                 if idle < timeout {
                     break;
                 }
+                // A NAT pair reaps as two entries in one removal; count (and
+                // budget) the real work.
+                let before = self.len;
                 self.remove(tail, EvictCause::Timeout);
-                budget -= 1;
-                reaped += 1;
+                let freed = before - self.len;
+                budget = budget.saturating_sub(freed);
+                reaped += freed;
             }
         }
         if self.cookie_mode && self.half_open * 2 <= self.cfg.syn_backlog {
@@ -1075,6 +1320,27 @@ impl Conntrack {
                 "free {free} + live {} != max_flows {}",
                 self.len, self.cfg.max_flows
             ));
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !on_list[i] || slot.twin == NIL {
+                continue;
+            }
+            let t = slot.twin as usize;
+            if t >= self.slots.len() || !on_list[t] {
+                return Err(format!("slot {i} twin {t} is not live"));
+            }
+            if self.slots[t].twin != u32::try_from(i).expect("slab fits u32") {
+                return Err(format!("slot {i} twin link not symmetric"));
+            }
+            if self.slots[t].state != slot.state {
+                return Err(format!(
+                    "twin pair ({i},{t}) state split: {:?} vs {:?}",
+                    slot.state, self.slots[t].state
+                ));
+            }
+            if slot.nat.is_none() || self.slots[t].nat.is_none() {
+                return Err(format!("twin pair ({i},{t}) missing its rewrite tuple"));
+            }
         }
         Ok(())
     }
@@ -1498,6 +1764,121 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.flows_created, 12);
         assert_eq!(a.peak_flows, 10);
+    }
+
+    fn nat(n: u32) -> NatRewrite {
+        NatRewrite {
+            client_ip: 0x0A00_0000 | n,
+            client_port: 40_000,
+            vip: 0xC0A8_0001,
+            vport: 443,
+            backend_ip: 0xAC10_0001,
+            backend_port: 8_443,
+            backend: 0,
+        }
+    }
+
+    fn nat_keys(n: u32) -> (FlowKey, FlowKey) {
+        let r = nat(n);
+        (
+            FlowKey::canonical(r.client_ip, r.vip, r.client_port, r.vport, 6),
+            FlowKey::canonical(r.client_ip, r.backend_ip, r.client_port, r.backend_port, 6),
+        )
+    }
+
+    #[test]
+    fn nat_twins_live_and_die_together() {
+        let mut ct = Conntrack::new(cfg(64, 16));
+        let (orig, reply) = nat_keys(1);
+        ct.insert_nat(&orig, &reply, nat(1), FlowState::SynSeen, 0)
+            .expect("pair inserted");
+        assert_eq!(ct.len(), 2, "a NAT flow holds two slots");
+        assert_eq!(ct.half_open_len(), 2);
+        assert_eq!(ct.nat_of(&orig), Some(nat(1)));
+        assert_eq!(ct.nat_of(&reply), Some(nat(1)));
+        ct.check_invariants().expect("twin symmetry");
+        // The handshake ACK on the orig key promotes BOTH twins.
+        ct.admit_tcp(&orig, ACK, MS).expect("promoted");
+        assert_eq!(ct.half_open_len(), 0, "twin promoted in lockstep");
+        // Packets on the reply key drive the same flow.
+        ct.admit_tcp(&reply, ACK, 2 * MS).expect("reply direction");
+        // RST on either key removes the pair.
+        ct.admit_tcp(&reply, RST, 3 * MS).expect("rst forwarded");
+        assert_eq!(ct.len(), 0, "both twins removed");
+        assert!(ct.nat_of(&orig).is_none());
+        ct.check_invariants().expect("clean after pair teardown");
+    }
+
+    #[test]
+    fn nat_insert_rejects_collisions_and_rolls_back_partials() {
+        let mut ct = Conntrack::new(cfg(64, 16));
+        let (orig, reply) = nat_keys(1);
+        ct.admit_tcp(&orig, SYN, 0).unwrap();
+        assert_eq!(
+            ct.insert_nat(&orig, &reply, nat(1), FlowState::SynSeen, MS),
+            Err(DropReason::StateViolation),
+            "orig key already tracked"
+        );
+        // A 2-slot table with both slots established: no room for a pair,
+        // and no partial pair may survive the failure.
+        let mut tiny = Conntrack::new(cfg(2, 2));
+        establish(&mut tiny, &key(50), 0);
+        establish(&mut tiny, &key(51), 0);
+        let (o2, r2) = nat_keys(2);
+        assert_eq!(
+            tiny.insert_nat(&o2, &r2, nat(2), FlowState::Established, MS),
+            Err(DropReason::FlowTableFull)
+        );
+        assert_eq!(tiny.len(), 2, "no partial pair left behind");
+        assert!(!tiny.contains(&o2) && !tiny.contains(&r2));
+        tiny.check_invariants().expect("clean after rollback");
+    }
+
+    #[test]
+    fn nat_refresh_touches_both_twins() {
+        let c = ConntrackConfig {
+            established_timeout_ns: 10 * S,
+            ..cfg(64, 16)
+        };
+        let mut ct = Conntrack::new(c);
+        let (orig, reply) = nat_keys(1);
+        ct.insert_nat(&orig, &reply, nat(1), FlowState::Established, 0)
+            .unwrap();
+        assert!(ct.refresh(&reply, 9 * S), "tracked flow refreshes");
+        assert!(!ct.refresh(&key(99), 9 * S), "unknown key does not");
+        // Sweep at 15 s: both twins were touched at 9 s, so neither is
+        // idle past the 10 s timeout. A half-refreshed pair would lose one
+        // direction here.
+        assert_eq!(ct.sweep(15 * S), 0);
+        assert_eq!(ct.len(), 2);
+        // At 25 s both expire together.
+        assert_eq!(ct.sweep(25 * S), 2);
+        assert!(ct.is_empty());
+    }
+
+    #[test]
+    fn degenerate_hairpin_key_stores_one_entry() {
+        // Rewrite collapses orig and reply to the same canonical key.
+        let mut ct = Conntrack::new(cfg(64, 16));
+        let (orig, _) = nat_keys(1);
+        ct.insert_nat(&orig, &orig, nat(1), FlowState::Established, 0)
+            .unwrap();
+        assert_eq!(ct.len(), 1);
+        assert_eq!(ct.nat_of(&orig), Some(nat(1)));
+        ct.admit_tcp(&orig, RST, MS).unwrap();
+        assert!(ct.is_empty());
+        ct.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_flow_ejects_the_pair() {
+        let mut ct = Conntrack::new(cfg(64, 16));
+        let (orig, reply) = nat_keys(1);
+        ct.insert_nat(&orig, &reply, nat(1), FlowState::Established, 0)
+            .unwrap();
+        assert!(ct.remove_flow(&orig, EvictCause::Rst));
+        assert_eq!(ct.len(), 0);
+        assert!(!ct.remove_flow(&orig, EvictCause::Rst), "already gone");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! zero-copy [`sysrepr::packet`] views and the [`sysconc::channel`] bounded
 //! channels, with no code the substrate rule forbids.
 //!
-//! Six layers:
+//! Seven layers:
 //!
 //! * [`lpm`] — longest-prefix-match routing tables: a binary [`lpm::TrieTable`]
 //!   (the data plane's lookup structure) and the [`lpm::LinearTable`]
@@ -27,7 +27,13 @@
 //!   distinguishable from capacity pressure.
 //! * [`pipeline`] — the batched parse → validate → route fast path: total
 //!   parsing (LangSec style — reject before acting), per-reason drop
-//!   counters, zero allocation per packet.
+//!   counters, zero allocation per packet, TTL decremented in place with
+//!   RFC 1624 incremental checksum fixup.
+//! * [`lb`] — L4 load balancing over conntrack: weighted rendezvous backend
+//!   selection keyed by the canonical flow hash, NAT rewrite tuples stored
+//!   in the flow entry (twin slots, both directions from one lookup),
+//!   in-place header rewriting through the mutable [`sysrepr::packet`]
+//!   views, and seeded health probes with drain/eject semantics.
 //! * [`router`] — the sharded multi-worker router: flows hash-partition
 //!   across `std::thread` workers fed through bounded channels
 //!   (backpressure, not unbounded queues), per-worker counters aggregated
@@ -56,13 +62,18 @@ pub mod cache;
 pub mod conntrack;
 pub mod cowtrie;
 pub mod ctbench;
+pub mod lb;
+pub mod lbbench;
 pub mod lpm;
 pub mod pipeline;
 pub mod router;
 
 pub use cache::FlowCache;
-pub use conntrack::{Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats, FlowKey};
+pub use conntrack::{
+    Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats, FlowKey, NatRewrite,
+};
 pub use cowtrie::{CowRouteTable, RouteReader, RouteView};
+pub use lb::{BackendConfig, BackendPool, BackendState, LbConfig, LbStats};
 pub use lpm::{LinearTable, RouteError, Routes, TrieTable};
 pub use pipeline::{process_batch, BatchStats, DropReason};
 pub use router::{

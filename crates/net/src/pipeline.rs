@@ -11,7 +11,7 @@
 use crate::cache::FlowCache;
 use crate::conntrack::{Conntrack, FlowKey, TcpSummary};
 use crate::lpm::Routes;
-use sysrepr::packet::{EthernetView, Ipv4View, IPPROTO_TCP};
+use sysrepr::packet::{EthernetView, EthernetViewMut, Ipv4View, IPPROTO_TCP};
 use sysrepr::ReprError;
 
 /// Why a packet was dropped instead of forwarded. The variants double as
@@ -40,10 +40,13 @@ pub enum DropReason {
     FlowTableFull = 7,
     /// Segment illegal for the flow's current TCP state.
     StateViolation = 8,
+    /// A load-balanced virtual IP had no healthy backend to assign
+    /// ([`crate::lb`]).
+    NoBackend = 9,
 }
 
 /// Number of [`DropReason`] variants.
-pub const DROP_REASONS: usize = 9;
+pub const DROP_REASONS: usize = 10;
 
 /// Display labels, indexed by `DropReason as usize`.
 pub const DROP_LABELS: [&str; DROP_REASONS] = [
@@ -56,6 +59,7 @@ pub const DROP_LABELS: [&str; DROP_REASONS] = [
     "bad-cookie",
     "flow-table-full",
     "state-violation",
+    "no-backend",
 ];
 
 /// Metric names for the per-reason drop counters, indexed like
@@ -70,6 +74,7 @@ pub const DROP_METRICS: [&str; DROP_REASONS] = [
     "net.drop.bad-cookie",
     "net.drop.flow-table-full",
     "net.drop.state-violation",
+    "net.drop.no-backend",
 ];
 
 /// Per-batch (or per-worker, accumulated) counters.
@@ -132,7 +137,7 @@ fn validate_frame(frame: &[u8]) -> Result<(u32, u32), DropReason> {
 /// The validation front half, keeping the IPv4 view alive so the tracked
 /// path can reach into the transport header.
 #[inline]
-fn validate_ipv4(frame: &[u8]) -> Result<Ipv4View<'_>, DropReason> {
+pub(crate) fn validate_ipv4(frame: &[u8]) -> Result<Ipv4View<'_>, DropReason> {
     let eth = EthernetView::parse(frame).map_err(|_| DropReason::Malformed)?;
     let ipv4 = eth.ipv4().map_err(|e| match e {
         ReprError::InvalidField {
@@ -149,15 +154,36 @@ fn validate_ipv4(frame: &[u8]) -> Result<Ipv4View<'_>, DropReason> {
     Ok(ipv4)
 }
 
-/// Parses, validates, and routes a single frame. Returns the next hop, or
-/// the reason the frame must be dropped.
+/// Decrements the TTL of an already-validated frame in place, patching the
+/// IPv4 header checksum incrementally (RFC 1624). A frame whose decrement
+/// would reach zero is dropped as [`DropReason::TtlExpired`] — the seed
+/// forwarded `ttl == 1` packets unchanged, so a routing loop never expired
+/// them. Runs only on frames that won a route: drops leave the buffer
+/// untouched.
+#[inline]
+pub(crate) fn decrement_ttl(frame: &mut [u8]) -> Result<(), DropReason> {
+    let mut ipv4 = EthernetViewMut::parse(frame)
+        .and_then(EthernetViewMut::ipv4_mut)
+        .map_err(|_| DropReason::Malformed)?;
+    if ipv4.ttl() <= 1 {
+        return Err(DropReason::TtlExpired);
+    }
+    ipv4.decrement_ttl().map_err(|_| DropReason::Malformed)?;
+    Ok(())
+}
+
+/// Parses, validates, and routes a single frame, decrementing its TTL in
+/// place on forward. Returns the next hop, or the reason the frame must be
+/// dropped.
 ///
 /// # Errors
 ///
 /// The [`DropReason`] for any frame that fails validation or routing.
-pub fn route_frame<T: Copy, R: Routes<T>>(frame: &[u8], table: &R) -> Result<T, DropReason> {
+pub fn route_frame<T: Copy, R: Routes<T>>(frame: &mut [u8], table: &R) -> Result<T, DropReason> {
     let (_, dst) = validate_frame(frame)?;
-    table.lookup(dst).ok_or(DropReason::NoRoute)
+    let hop = table.lookup(dst).ok_or(DropReason::NoRoute)?;
+    decrement_ttl(frame)?;
+    Ok(hop)
 }
 
 /// [`route_frame`] with the trie walk fronted by a per-worker
@@ -169,14 +195,16 @@ pub fn route_frame<T: Copy, R: Routes<T>>(frame: &[u8], table: &R) -> Result<T, 
 ///
 /// The [`DropReason`] for any frame that fails validation or routing.
 pub fn route_frame_cached<T: Copy, R: Routes<T>>(
-    frame: &[u8],
+    frame: &mut [u8],
     table: &R,
     cache: &mut FlowCache<T>,
 ) -> Result<T, DropReason> {
     let (src, dst) = validate_frame(frame)?;
-    cache
+    let hop = cache
         .lookup_or_route(table, src, dst)
-        .ok_or(DropReason::NoRoute)
+        .ok_or(DropReason::NoRoute)?;
+    decrement_ttl(frame)?;
+    Ok(hop)
 }
 
 /// The production tracked path: validate, consult the connection tracker
@@ -193,26 +221,31 @@ pub fn route_frame_cached<T: Copy, R: Routes<T>>(
 /// The [`DropReason`] for any frame that fails validation, tracking
 /// admission, or routing.
 pub fn route_frame_tracked<T: Copy, R: Routes<T>>(
-    frame: &[u8],
+    frame: &mut [u8],
     table: &R,
     cache: Option<&mut FlowCache<T>>,
     ct: &mut Conntrack,
     now_ns: u64,
 ) -> Result<T, DropReason> {
-    let ipv4 = validate_ipv4(frame)?;
-    let src = u32::from_be_bytes(ipv4.src());
-    let dst = ipv4.dst_u32();
-    if ipv4.protocol() == IPPROTO_TCP {
-        let tcp = ipv4.tcp().map_err(|_| DropReason::Malformed)?;
-        let key = FlowKey::canonical(src, dst, tcp.src_port(), tcp.dst_port(), IPPROTO_TCP);
-        ct.admit_tcp(&key, TcpSummary::from_view(&tcp), now_ns)?;
-    }
-    match cache {
+    let (src, dst) = {
+        let ipv4 = validate_ipv4(frame)?;
+        let src = u32::from_be_bytes(ipv4.src());
+        let dst = ipv4.dst_u32();
+        if ipv4.protocol() == IPPROTO_TCP {
+            let tcp = ipv4.tcp().map_err(|_| DropReason::Malformed)?;
+            let key = FlowKey::canonical(src, dst, tcp.src_port(), tcp.dst_port(), IPPROTO_TCP);
+            ct.admit_tcp(&key, TcpSummary::from_view(&tcp), now_ns)?;
+        }
+        (src, dst)
+    };
+    let hop = match cache {
         Some(c) => c
             .lookup_or_route(table, src, dst)
             .ok_or(DropReason::NoRoute),
         None => table.lookup(dst).ok_or(DropReason::NoRoute),
-    }
+    }?;
+    decrement_ttl(frame)?;
+    Ok(hop)
 }
 
 /// The causally traced twin of the single-frame paths: identical routing
@@ -224,7 +257,7 @@ pub fn route_frame_tracked<T: Copy, R: Routes<T>>(
 /// the dispatcher and worker threads, while untraced batches never reach
 /// this function at all.
 fn route_frame_traced<T: Copy, R: Routes<T>>(
-    frame: &[u8],
+    frame: &mut [u8],
     table: &R,
     cache: Option<&mut FlowCache<T>>,
     ct: Option<&mut Conntrack>,
@@ -254,6 +287,7 @@ fn route_frame_traced<T: Copy, R: Routes<T>>(
         }
     }
     .ok_or(DropReason::NoRoute)?;
+    decrement_ttl(frame)?;
     sysobs::obs_span_hot!("net.frame.egress");
     Ok(hop)
 }
@@ -262,7 +296,7 @@ fn route_frame_traced<T: Copy, R: Routes<T>>(
 /// a causal context is active (the dispatch draw was won upstream) and
 /// there is a frame to trace.
 #[inline]
-fn trace_first_frame<B>(frames: &[B]) -> bool {
+pub(crate) fn trace_first_frame<B>(frames: &[B]) -> bool {
     !frames.is_empty() && sysobs::context::active()
 }
 
@@ -271,7 +305,7 @@ fn trace_first_frame<B>(frames: &[B]) -> bool {
 /// counters plus the tracker's live/half-open gauges into the `sysobs`
 /// registry, one update per batch.
 pub fn process_batch_tracked<T, R, B, F>(
-    frames: &[B],
+    frames: &mut [B],
     table: &R,
     mut cache: Option<&mut FlowCache<T>>,
     ct: &mut Conntrack,
@@ -281,7 +315,7 @@ pub fn process_batch_tracked<T, R, B, F>(
 where
     T: Copy,
     R: Routes<T>,
-    B: AsRef<[u8]>,
+    B: AsRef<[u8]> + AsMut<[u8]>,
     F: FnMut(T),
 {
     sysobs::obs_span!("net.batch");
@@ -290,7 +324,7 @@ where
         tally(
             &mut stats,
             route_frame_traced(
-                frames[0].as_ref(),
+                frames[0].as_mut(),
                 table,
                 cache.as_deref_mut(),
                 Some(&mut *ct),
@@ -299,7 +333,7 @@ where
             &mut forward,
         );
         stats.merge(&process_batch_tracked_uninstrumented(
-            &frames[1..],
+            &mut frames[1..],
             table,
             cache,
             ct,
@@ -328,7 +362,7 @@ where
 /// compiled-baseline tracked path (`instrument: false` workers, and the
 /// E14 bench's measured configuration).
 pub fn process_batch_tracked_uninstrumented<T, R, B, F>(
-    frames: &[B],
+    frames: &mut [B],
     table: &R,
     mut cache: Option<&mut FlowCache<T>>,
     ct: &mut Conntrack,
@@ -338,14 +372,14 @@ pub fn process_batch_tracked_uninstrumented<T, R, B, F>(
 where
     T: Copy,
     R: Routes<T>,
-    B: AsRef<[u8]>,
+    B: AsRef<[u8]> + AsMut<[u8]>,
     F: FnMut(T),
 {
     let mut stats = BatchStats::default();
-    for frame in frames {
+    for frame in frames.iter_mut() {
         tally(
             &mut stats,
-            route_frame_tracked(frame.as_ref(), table, cache.as_deref_mut(), ct, now_ns),
+            route_frame_tracked(frame.as_mut(), table, cache.as_deref_mut(), ct, now_ns),
             &mut forward,
         );
     }
@@ -362,11 +396,11 @@ where
 /// update per batch, not per frame) and opens a `net.batch` span under full
 /// tracing. For a compiled-out-baseline path with zero observability code,
 /// see [`process_batch_uninstrumented`].
-pub fn process_batch<T, R, B, F>(frames: &[B], table: &R, mut forward: F) -> BatchStats
+pub fn process_batch<T, R, B, F>(frames: &mut [B], table: &R, mut forward: F) -> BatchStats
 where
     T: Copy,
     R: Routes<T>,
-    B: AsRef<[u8]>,
+    B: AsRef<[u8]> + AsMut<[u8]>,
     F: FnMut(T),
 {
     sysobs::obs_span!("net.batch");
@@ -374,11 +408,11 @@ where
         let mut stats = BatchStats::default();
         tally(
             &mut stats,
-            route_frame_traced(frames[0].as_ref(), table, None, None, 0),
+            route_frame_traced(frames[0].as_mut(), table, None, None, 0),
             &mut forward,
         );
         stats.merge(&process_batch_uninstrumented(
-            &frames[1..],
+            &mut frames[1..],
             table,
             &mut forward,
         ));
@@ -395,7 +429,7 @@ where
 /// *and* the cache's hit/miss deltas into the `sysobs` registry, one update
 /// per batch.
 pub fn process_batch_cached<T, R, B, F>(
-    frames: &[B],
+    frames: &mut [B],
     table: &R,
     cache: &mut FlowCache<T>,
     mut forward: F,
@@ -403,7 +437,7 @@ pub fn process_batch_cached<T, R, B, F>(
 where
     T: Copy,
     R: Routes<T>,
-    B: AsRef<[u8]>,
+    B: AsRef<[u8]> + AsMut<[u8]>,
     F: FnMut(T),
 {
     sysobs::obs_span!("net.batch");
@@ -412,11 +446,11 @@ where
         let mut stats = BatchStats::default();
         tally(
             &mut stats,
-            route_frame_traced(frames[0].as_ref(), table, Some(&mut *cache), None, 0),
+            route_frame_traced(frames[0].as_mut(), table, Some(&mut *cache), None, 0),
             &mut forward,
         );
         stats.merge(&process_batch_cached_uninstrumented(
-            &frames[1..],
+            &mut frames[1..],
             table,
             cache,
             &mut forward,
@@ -435,7 +469,7 @@ where
 
 /// Mirrors one batch's counters into the `sysobs` registry (amortized: one
 /// update per batch, not per frame).
-fn mirror_batch_stats(stats: &BatchStats) {
+pub(crate) fn mirror_batch_stats(stats: &BatchStats) {
     if sysobs::metrics_on() {
         sysobs::obs_count!("net.parsed", stats.parsed);
         sysobs::obs_count!("net.forwarded", stats.forwarded);
@@ -452,19 +486,19 @@ fn mirror_batch_stats(stats: &BatchStats) {
 /// disabled-mode atomic load. This is the compiled baseline experiment E11
 /// measures instrumentation overhead against.
 pub fn process_batch_uninstrumented<T, R, B, F>(
-    frames: &[B],
+    frames: &mut [B],
     table: &R,
     mut forward: F,
 ) -> BatchStats
 where
     T: Copy,
     R: Routes<T>,
-    B: AsRef<[u8]>,
+    B: AsRef<[u8]> + AsMut<[u8]>,
     F: FnMut(T),
 {
     let mut stats = BatchStats::default();
-    for frame in frames {
-        tally(&mut stats, route_frame(frame.as_ref(), table), &mut forward);
+    for frame in frames.iter_mut() {
+        tally(&mut stats, route_frame(frame.as_mut(), table), &mut forward);
     }
     stats
 }
@@ -473,7 +507,7 @@ where
 /// compiled-out-baseline path with the flow cache, used by the
 /// `instrument: false` router workers.
 pub fn process_batch_cached_uninstrumented<T, R, B, F>(
-    frames: &[B],
+    frames: &mut [B],
     table: &R,
     cache: &mut FlowCache<T>,
     mut forward: F,
@@ -481,14 +515,14 @@ pub fn process_batch_cached_uninstrumented<T, R, B, F>(
 where
     T: Copy,
     R: Routes<T>,
-    B: AsRef<[u8]>,
+    B: AsRef<[u8]> + AsMut<[u8]>,
     F: FnMut(T),
 {
     let mut stats = BatchStats::default();
-    for frame in frames {
+    for frame in frames.iter_mut() {
         tally(
             &mut stats,
-            route_frame_cached(frame.as_ref(), table, cache),
+            route_frame_cached(frame.as_mut(), table, cache),
             &mut forward,
         );
     }
@@ -497,7 +531,7 @@ where
 
 /// Folds one frame's routing outcome into the batch counters.
 #[inline]
-fn tally<T: Copy, F: FnMut(T)>(
+pub(crate) fn tally<T: Copy, F: FnMut(T)>(
     stats: &mut BatchStats,
     outcome: Result<T, DropReason>,
     forward: &mut F,
@@ -540,27 +574,27 @@ mod tests {
     #[test]
     fn clean_frames_forward_to_longest_match() {
         let t = table();
-        assert_eq!(route_frame(&udp_to([10, 1, 2, 3]), &t), Ok("edge"));
-        assert_eq!(route_frame(&udp_to([10, 8, 0, 1]), &t), Ok("core"));
+        assert_eq!(route_frame(&mut udp_to([10, 1, 2, 3]), &t), Ok("edge"));
+        assert_eq!(route_frame(&mut udp_to([10, 8, 0, 1]), &t), Ok("core"));
     }
 
     #[test]
     fn every_drop_reason_is_reachable() {
         let t = table();
-        assert_eq!(route_frame(&[0u8; 6], &t), Err(DropReason::Malformed));
+        assert_eq!(route_frame(&mut [0u8; 6], &t), Err(DropReason::Malformed));
         let mut non_ip = udp_to([10, 0, 0, 1]);
         non_ip[12] = 0x86; // EtherType -> not IPv4
         non_ip[13] = 0xDD;
-        assert_eq!(route_frame(&non_ip, &t), Err(DropReason::NotIpv4));
-        let corrupt = PacketBuilder::udp()
+        assert_eq!(route_frame(&mut non_ip, &t), Err(DropReason::NotIpv4));
+        let mut corrupt = PacketBuilder::udp()
             .dst_ip([10, 0, 0, 1])
             .corrupt_checksum()
             .build();
-        assert_eq!(route_frame(&corrupt, &t), Err(DropReason::BadChecksum));
-        let stale = PacketBuilder::udp().dst_ip([10, 0, 0, 1]).ttl(0).build();
-        assert_eq!(route_frame(&stale, &t), Err(DropReason::TtlExpired));
+        assert_eq!(route_frame(&mut corrupt, &t), Err(DropReason::BadChecksum));
+        let mut stale = PacketBuilder::udp().dst_ip([10, 0, 0, 1]).ttl(0).build();
+        assert_eq!(route_frame(&mut stale, &t), Err(DropReason::TtlExpired));
         assert_eq!(
-            route_frame(&udp_to([192, 168, 0, 1]), &t),
+            route_frame(&mut udp_to([192, 168, 0, 1]), &t),
             Err(DropReason::NoRoute)
         );
     }
@@ -568,7 +602,7 @@ mod tests {
     #[test]
     fn batch_counters_conserve_frames() {
         let t = table();
-        let frames = vec![
+        let mut frames = vec![
             udp_to([10, 1, 1, 1]),
             udp_to([10, 2, 2, 2]),
             udp_to([172, 16, 0, 1]),
@@ -579,7 +613,7 @@ mod tests {
             vec![0u8; 3],
         ];
         let mut hops = Vec::new();
-        let stats = process_batch(&frames, &t, |h| hops.push(h));
+        let stats = process_batch(&mut frames, &t, |h| hops.push(h));
         assert_eq!(stats.total(), frames.len() as u64);
         assert_eq!(stats.forwarded, 2);
         assert_eq!(hops, vec!["edge", "core"]);
@@ -596,14 +630,14 @@ mod tests {
     #[test]
     fn snapshot_conserves_forwarded_plus_dropped() {
         let t = table();
-        let frames = vec![
+        let mut frames = vec![
             udp_to([10, 1, 1, 1]),
             udp_to([10, 2, 2, 2]),
             udp_to([172, 16, 0, 1]),
             PacketBuilder::udp().dst_ip([10, 0, 0, 1]).ttl(0).build(),
             vec![0u8; 3],
         ];
-        let stats = process_batch(&frames, &t, |_| {});
+        let stats = process_batch(&mut frames, &t, |_| {});
         let snap = stats.to_snapshot();
         // Conservation: every submitted frame is either forwarded or
         // attributed to exactly one drop-reason counter.
@@ -615,9 +649,69 @@ mod tests {
         assert_eq!(snap.counter("net.drop.ttl-expired"), 1);
         assert_eq!(snap.counter("net.drop.no-route"), 1);
         assert_eq!(snap.counter("net.drop.malformed"), 1);
-        // Both batch paths agree frame for frame.
-        let bare = process_batch_uninstrumented(&frames, &t, |_| {});
+        // Both batch paths agree frame for frame (fresh frames: the first
+        // run decremented TTLs in place).
+        let mut frames2 = vec![
+            udp_to([10, 1, 1, 1]),
+            udp_to([10, 2, 2, 2]),
+            udp_to([172, 16, 0, 1]),
+            PacketBuilder::udp().dst_ip([10, 0, 0, 1]).ttl(0).build(),
+            vec![0u8; 3],
+        ];
+        let bare = process_batch_uninstrumented(&mut frames2, &t, |_| {});
         assert_eq!(bare, stats);
+    }
+
+    #[test]
+    fn forwarded_frames_decrement_ttl_with_valid_checksum() {
+        // Regression for the seed bug: `route_frame` forwarded packets with
+        // their TTL untouched, so a routing loop never expired them.
+        let t = table();
+        let mut frame = PacketBuilder::udp().dst_ip([10, 1, 2, 3]).ttl(64).build();
+        assert_eq!(route_frame(&mut frame, &t), Ok("edge"));
+        let ip = sysrepr::packet::EthernetView::parse(&frame)
+            .unwrap()
+            .ipv4()
+            .unwrap();
+        assert_eq!(ip.ttl(), 63, "forwarding must decrement TTL");
+        ip.verify_checksum()
+            .expect("incremental fixup keeps the header checksum valid");
+        // The decremented frame re-validates: it can be forwarded again.
+        assert_eq!(route_frame(&mut frame, &t), Ok("edge"));
+        assert_eq!(
+            sysrepr::packet::EthernetView::parse(&frame)
+                .unwrap()
+                .ipv4()
+                .unwrap()
+                .ttl(),
+            62
+        );
+    }
+
+    #[test]
+    fn ttl_one_frames_are_dropped_not_forwarded() {
+        // The other half of the regression: a ttl == 1 frame must expire at
+        // this hop (decrement would reach zero), under the same counter as
+        // arrival-expired frames — and its buffer must be left untouched.
+        let t = table();
+        let mut frame = PacketBuilder::udp().dst_ip([10, 1, 2, 3]).ttl(1).build();
+        let before = frame.clone();
+        assert_eq!(route_frame(&mut frame, &t), Err(DropReason::TtlExpired));
+        assert_eq!(frame, before, "dropped frames are not mutated");
+        let mut cache = FlowCache::new(16);
+        assert_eq!(
+            route_frame_cached(&mut frame.clone(), &t, &mut cache),
+            Err(DropReason::TtlExpired)
+        );
+        let mut ct = Conntrack::new(ConntrackConfig::default());
+        assert_eq!(
+            route_frame_tracked(&mut frame.clone(), &t, None, &mut ct, 0),
+            Err(DropReason::TtlExpired)
+        );
+        // Batch accounting attributes the drop to net.drop.ttl-expired.
+        let stats = process_batch(&mut [frame], &t, |_| {});
+        assert_eq!(stats.forwarded, 0);
+        assert_eq!(stats.dropped[DropReason::TtlExpired as usize], 1);
     }
 
     fn tcp_to(dst: [u8; 4], sport: u16, flags: u8) -> Vec<u8> {
@@ -636,21 +730,39 @@ mod tests {
         let mut ct = Conntrack::new(ConntrackConfig::default());
         // A bare ACK with no flow is shed; a SYN opens one; then data flows.
         assert_eq!(
-            route_frame_tracked(&tcp_to([10, 1, 0, 1], 5000, TCP_ACK), &t, None, &mut ct, 0),
+            route_frame_tracked(
+                &mut tcp_to([10, 1, 0, 1], 5000, TCP_ACK),
+                &t,
+                None,
+                &mut ct,
+                0
+            ),
             Err(DropReason::NoFlow)
         );
         assert_eq!(
-            route_frame_tracked(&tcp_to([10, 1, 0, 1], 5000, TCP_SYN), &t, None, &mut ct, 1),
+            route_frame_tracked(
+                &mut tcp_to([10, 1, 0, 1], 5000, TCP_SYN),
+                &t,
+                None,
+                &mut ct,
+                1
+            ),
             Ok("edge")
         );
         assert_eq!(
-            route_frame_tracked(&tcp_to([10, 1, 0, 1], 5000, TCP_ACK), &t, None, &mut ct, 2),
+            route_frame_tracked(
+                &mut tcp_to([10, 1, 0, 1], 5000, TCP_ACK),
+                &t,
+                None,
+                &mut ct,
+                2
+            ),
             Ok("edge")
         );
         assert_eq!(ct.len(), 1);
         // UDP bypasses tracking entirely.
         assert_eq!(
-            route_frame_tracked(&udp_to([10, 1, 0, 2]), &t, None, &mut ct, 3),
+            route_frame_tracked(&mut udp_to([10, 1, 0, 2]), &t, None, &mut ct, 3),
             Ok("edge")
         );
         assert_eq!(ct.len(), 1, "udp creates no flow state");
@@ -661,16 +773,20 @@ mod tests {
         let t = table();
         let mut ct = Conntrack::new(ConntrackConfig::default());
         let mut cache = FlowCache::new(64);
-        let frames = vec![
-            tcp_to([10, 1, 0, 1], 5000, TCP_SYN),
-            tcp_to([10, 1, 0, 1], 5000, TCP_ACK),
-            tcp_to([10, 1, 0, 1], 6000, TCP_ACK), // no flow -> shed
-            udp_to([10, 2, 0, 1]),
-            vec![0u8; 4], // malformed
-        ];
+        let frames_fresh = || {
+            vec![
+                tcp_to([10, 1, 0, 1], 5000, TCP_SYN),
+                tcp_to([10, 1, 0, 1], 5000, TCP_ACK),
+                tcp_to([10, 1, 0, 1], 6000, TCP_ACK), // no flow -> shed
+                udp_to([10, 2, 0, 1]),
+                vec![0u8; 4], // malformed
+            ]
+        };
+        let mut frames = frames_fresh();
         let mut hops = Vec::new();
-        let stats =
-            process_batch_tracked(&frames, &t, Some(&mut cache), &mut ct, 0, |h| hops.push(h));
+        let stats = process_batch_tracked(&mut frames, &t, Some(&mut cache), &mut ct, 0, |h| {
+            hops.push(h)
+        });
         assert_eq!(stats.total(), frames.len() as u64);
         assert_eq!(stats.forwarded, 3);
         assert_eq!(stats.dropped[DropReason::NoFlow as usize], 1);
@@ -679,7 +795,14 @@ mod tests {
         // Cached and uncached tracked paths agree (fresh tracker per run:
         // admission is stateful).
         let mut ct2 = Conntrack::new(ConntrackConfig::default());
-        let bare = process_batch_tracked_uninstrumented(&frames, &t, None, &mut ct2, 0, |_| {});
+        let bare = process_batch_tracked_uninstrumented(
+            &mut frames_fresh(),
+            &t,
+            None,
+            &mut ct2,
+            0,
+            |_| {},
+        );
         assert_eq!(bare, stats);
         ct.check_invariants().unwrap();
     }
@@ -687,26 +810,29 @@ mod tests {
     #[test]
     fn cached_batch_paths_agree_with_uncached() {
         let t = table();
-        let frames = vec![
-            udp_to([10, 1, 1, 1]),
-            udp_to([10, 1, 1, 1]), // repeat: must hit the cache
-            udp_to([10, 2, 2, 2]),
-            udp_to([172, 16, 0, 1]),
-            PacketBuilder::udp()
-                .dst_ip([10, 0, 0, 1])
-                .corrupt_checksum()
-                .build(),
-            vec![0u8; 3],
-        ];
-        let plain = process_batch_uninstrumented(&frames, &t, |_| {});
+        let frames_fresh = || {
+            vec![
+                udp_to([10, 1, 1, 1]),
+                udp_to([10, 1, 1, 1]), // repeat: must hit the cache
+                udp_to([10, 2, 2, 2]),
+                udp_to([172, 16, 0, 1]),
+                PacketBuilder::udp()
+                    .dst_ip([10, 0, 0, 1])
+                    .corrupt_checksum()
+                    .build(),
+                vec![0u8; 3],
+            ]
+        };
+        let plain = process_batch_uninstrumented(&mut frames_fresh(), &t, |_| {});
         let mut cache = FlowCache::new(256);
         let mut hops = Vec::new();
-        let cached = process_batch_cached(&frames, &t, &mut cache, |h| hops.push(h));
+        let cached = process_batch_cached(&mut frames_fresh(), &t, &mut cache, |h| hops.push(h));
         assert_eq!(plain, cached);
         assert_eq!(hops, vec!["edge", "edge", "core"]);
         assert!(cache.hits() >= 1, "the repeated flow must hit");
         let mut cache2 = FlowCache::new(256);
-        let bare = process_batch_cached_uninstrumented(&frames, &t, &mut cache2, |_| {});
+        let bare =
+            process_batch_cached_uninstrumented(&mut frames_fresh(), &t, &mut cache2, |_| {});
         assert_eq!(bare, plain);
     }
 }

@@ -49,8 +49,9 @@
 //! interleavings (the same split `sysconc::stm` makes for its stats).
 
 use crate::cache::FlowCache;
-use crate::conntrack::{Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats};
+use crate::conntrack::{Conntrack, ConntrackConfig, ConntrackShared, ConntrackStats, EvictCause};
 use crate::cowtrie::{CowRouteTable, RouteReader};
+use crate::lb::{BackendPool, LbConfig, LbStats};
 use crate::lpm::{RouteError, Routes, TrieTable};
 use crate::pipeline::{self, BatchStats, DROP_METRICS, DROP_REASONS};
 use std::collections::VecDeque;
@@ -117,6 +118,10 @@ pub struct RouterConfig {
     /// capacity: every shard charges the same [`ConntrackShared`] gauge,
     /// so the live-entry total never exceeds it no matter how flows shard.
     pub conntrack: Option<ConntrackConfig>,
+    /// L4 load-balancer config. Requires `conntrack` (rewrite state lives
+    /// in the flow entries); each worker gets its own [`BackendPool`] with
+    /// an injector derived like the conntrack one, probing between batches.
+    pub lb: Option<LbConfig>,
     /// Seeded fault plan for the `net.*` injection sites. The dispatcher
     /// keeps an injector for [`SITE_NET_FRAME_DROP`] and
     /// [`SITE_NET_RECYCLE_LOSS`]; each worker derives its own (seed XORed
@@ -136,6 +141,7 @@ impl Default for RouterConfig {
             cache_slots: 4096,
             instrument: true,
             conntrack: None,
+            lb: None,
             fault_plan: None,
             route_mode: RouteMode::default(),
         }
@@ -418,6 +424,9 @@ pub struct RouterReport {
     /// Merged connection-tracking counters across workers (`None` when
     /// tracking was disabled).
     pub conntrack: Option<ConntrackStats>,
+    /// Merged load-balancer counters across workers (`None` when balancing
+    /// was disabled).
+    pub lb: Option<LbStats>,
     /// Fault-injection campaign summary (all zeros when no plan was set).
     pub faults: NetFaultStats,
     /// CoW-trie / epoch-reclamation counters (`None` under the locked
@@ -484,6 +493,12 @@ impl RouterReport {
                 snap.set_counter(name.to_owned(), v);
             }
         }
+        if let Some(lb) = &self.lb {
+            let lb_snap = lb.to_snapshot();
+            for (name, v) in lb_snap.counters() {
+                snap.set_counter(name.to_owned(), v);
+            }
+        }
         if self.faults != NetFaultStats::default() {
             snap.set_counter("net.fault.frame_drops", self.faults.injected_frame_drops);
             snap.set_counter("net.fault.recycle_losses", self.faults.recycle_losses);
@@ -524,11 +539,29 @@ fn flow_hash(frame: &[u8]) -> u64 {
     sysobs::fnv1a(frame.get(26..34).unwrap_or(frame))
 }
 
+/// Sizes one worker's conntrack slab from the router-wide config: flows
+/// hash-partition roughly evenly, so each shard needs about
+/// `max_flows / workers` slots plus 25% headroom for partition skew and a
+/// full SYN backlog — not the whole router-wide slab each. The shared
+/// gauge still enforces the router-wide cap exactly; this only bounds
+/// per-shard memory, which is what lets the E14 scale sweep push toward
+/// millions of flows without allocating `workers × max_flows` slots.
+fn shard_conntrack_config(mut cfg: ConntrackConfig, workers: usize) -> ConntrackConfig {
+    if workers > 1 {
+        let per = cfg.max_flows / workers;
+        cfg.max_flows = (per + per / 4 + cfg.syn_backlog).clamp(1, cfg.max_flows);
+        cfg.syn_backlog = cfg.syn_backlog.min(cfg.max_flows);
+    }
+    cfg
+}
+
 /// What one worker thread hands back at shutdown.
 struct WorkerExit {
     latencies: LogHistogram,
     /// Final conntrack counters (post-audit), when tracking ran.
     ct_stats: Option<ConntrackStats>,
+    /// Final load-balancer counters, when balancing ran.
+    lb_stats: Option<LbStats>,
     /// Combined fault-log digest: the worker's stall injector folded with
     /// its conntrack shard's injector.
     fault_digest: u64,
@@ -549,10 +582,11 @@ enum WorkerRoutes {
 /// pipeline, and the shard's watchdog sweep runs after the batch, never
 /// inside it (bounded extra work per batch, zero fast-path contention).
 fn run_batch<const OBS: bool, R: Routes<PortId>>(
-    frames: &[Vec<u8>],
+    frames: &mut [Vec<u8>],
     table: &R,
     cache: Option<&mut FlowCache<PortId>>,
     ct: Option<&mut Conntrack>,
+    lb: Option<&mut BackendPool>,
     now_ns: u64,
     shared: &Counters,
 ) -> BatchStats {
@@ -562,7 +596,15 @@ fn run_batch<const OBS: bool, R: Routes<PortId>>(
         }
     };
     if let Some(ct) = ct {
-        let s = if OBS {
+        let s = if let Some(pool) = lb {
+            if OBS {
+                crate::lb::process_batch_lb(frames, table, cache, ct, pool, now_ns, forward)
+            } else {
+                crate::lb::process_batch_lb_uninstrumented(
+                    frames, table, cache, ct, pool, now_ns, forward,
+                )
+            }
+        } else if OBS {
             pipeline::process_batch_tracked(frames, table, cache, ct, now_ns, forward)
         } else {
             pipeline::process_batch_tracked_uninstrumented(
@@ -595,6 +637,7 @@ fn run_batch<const OBS: bool, R: Routes<PortId>>(
 /// shared pipeline dispatch. Drained batches go back to the dispatcher
 /// through `recycle`; the send is best-effort because at shutdown the
 /// dispatcher drops its receiver first.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<const OBS: bool>(
     rx: &Receiver<Batch>,
     recycle: &Sender<Batch>,
@@ -602,12 +645,13 @@ fn worker_loop<const OBS: bool>(
     shared: &Counters,
     cache_slots: usize,
     mut ct: Option<Conntrack>,
+    mut lb: Option<BackendPool>,
     mut injector: Option<FaultInjector>,
 ) -> WorkerExit {
     let mut cache = (cache_slots > 0).then(|| FlowCache::new(cache_slots));
     let mut latencies = LogHistogram::new();
     let t0 = Instant::now();
-    while let Ok(batch) = rx.recv() {
+    while let Ok(mut batch) = rx.recv() {
         if let Some(inj) = &mut injector {
             if inj.should_fail(SITE_NET_WORKER_STALL) {
                 shared.injected_stalls.fetch_add(1, Ordering::Relaxed);
@@ -629,10 +673,11 @@ fn worker_loop<const OBS: bool>(
                 // in the batch walks the frozen snapshot lock-free.
                 let view = reader.pin();
                 run_batch::<OBS, _>(
-                    &batch.frames,
+                    &mut batch.frames,
                     &view,
                     cache.as_mut(),
                     ct.as_mut(),
+                    lb.as_mut(),
                     now_ns,
                     shared,
                 )
@@ -640,15 +685,28 @@ fn worker_loop<const OBS: bool>(
             WorkerRoutes::Locked(table) => {
                 let guard = table.lock().expect("route table poisoned");
                 run_batch::<OBS, _>(
-                    &batch.frames,
+                    &mut batch.frames,
                     &*guard,
                     cache.as_mut(),
                     ct.as_mut(),
+                    lb.as_mut(),
                     now_ns,
                     shared,
                 )
             }
         };
+        // Health probes ride between batches, like the conntrack sweep:
+        // bounded control-plane work, never inside the per-packet loop. A
+        // death verdict ejects the backend's flows so retries re-select.
+        if let (Some(pool), Some(ct)) = (lb.as_mut(), ct.as_mut()) {
+            let mut freed = 0usize;
+            for &b in pool.maybe_probe(now_ns) {
+                freed += ct.eject_backend(b, EvictCause::BackendDead);
+            }
+            if freed > 0 {
+                pool.note_flows_ejected(freed);
+            }
+        }
         shared.apply(&stats, occupancy);
         if let Some(c) = &cache {
             shared.store_cache(c);
@@ -669,9 +727,11 @@ fn worker_loop<const OBS: bool>(
         fault_digest = fault_digest.rotate_left(1) ^ ct.fault_digest();
         *ct.stats()
     });
+    let lb_stats = lb.map(|pool| *pool.stats());
     WorkerExit {
         latencies,
         ct_stats,
+        lb_stats,
         fault_digest,
     }
 }
@@ -819,6 +879,10 @@ impl ShardedRouter {
         assert!(config.workers >= 1, "router needs at least one worker");
         assert!(config.batch_size >= 1, "batch size must be nonzero");
         assert!(config.queue_depth >= 1, "queue depth must be nonzero");
+        assert!(
+            config.lb.is_none() || config.conntrack.is_some(),
+            "lb requires conntrack: rewrite state lives in the flow entries"
+        );
         let backend = match config.route_mode {
             RouteMode::CowEpoch => RouteBackend::Cow(Arc::new(CowRouteTable::from_trie(&table))),
             RouteMode::LockedGenerationClear => {
@@ -856,13 +920,20 @@ impl ShardedRouter {
                 plan
             });
             let worker_ct = config.conntrack.map(|c| {
-                let mut ct = Conntrack::new(c);
+                let mut ct = Conntrack::new(shard_conntrack_config(c, config.workers));
                 if let Some(shared) = &ct_shared {
                     ct = ct.with_shared(Arc::clone(shared));
                 }
                 match &derived_plan {
                     Some(plan) => ct.with_injector(FaultInjector::new(plan.clone())),
                     None => ct,
+                }
+            });
+            let worker_lb = config.lb.clone().map(|c| {
+                let pool = BackendPool::new(c);
+                match &derived_plan {
+                    Some(plan) => pool.with_injector(FaultInjector::new(plan.clone())),
+                    None => pool,
                 }
             });
             let worker_injector = derived_plan.map(FaultInjector::new);
@@ -875,6 +946,7 @@ impl ShardedRouter {
                         &shared,
                         slots,
                         worker_ct,
+                        worker_lb,
                         worker_injector,
                     )
                 })
@@ -887,6 +959,7 @@ impl ShardedRouter {
                         &shared,
                         slots,
                         worker_ct,
+                        worker_lb,
                         worker_injector,
                     )
                 })
@@ -1190,6 +1263,7 @@ impl ShardedRouter {
         drop(std::mem::take(&mut self.senders)); // workers exit on disconnect
         let mut latencies = LogHistogram::new();
         let mut conntrack: Option<ConntrackStats> = None;
+        let mut lb: Option<LbStats> = None;
         let mut faults = self.fault;
         for handle in std::mem::take(&mut self.handles) {
             let exit = handle.join().expect("router worker panicked");
@@ -1198,6 +1272,9 @@ impl ShardedRouter {
                 conntrack
                     .get_or_insert_with(ConntrackStats::default)
                     .merge(ct);
+            }
+            if let Some(l) = &exit.lb_stats {
+                lb.get_or_insert_with(LbStats::default).merge(l);
             }
             faults.worker_digest = faults.worker_digest.rotate_left(1) ^ exit.fault_digest;
         }
@@ -1228,6 +1305,7 @@ impl ShardedRouter {
             stats,
             pool: self.pool,
             conntrack,
+            lb,
             faults,
             cow,
             latencies,

@@ -11,7 +11,7 @@
 //! final table.
 
 use proptest::prelude::*;
-use sysnet::conntrack::{EvictCause, TcpSummary};
+use sysnet::conntrack::{EvictCause, FlowState, NatRewrite, TcpSummary};
 use sysnet::lpm::TrieTable;
 use sysnet::pipeline::route_frame_tracked;
 use sysnet::{Conntrack, ConntrackConfig, FlowKey};
@@ -193,7 +193,7 @@ proptest! {
                     }
                     let key = FlowKey::canonical(src, dst, sport, dport, IPPROTO_TCP);
                     let ack = ack_no.unwrap_or_else(|| by_frame.cookie(&key).wrapping_add(1));
-                    let frame = PacketBuilder::tcp()
+                    let mut frame = PacketBuilder::tcp()
                         .src_ip(src.to_be_bytes())
                         .dst_ip(dst.to_be_bytes())
                         .src_port(sport)
@@ -202,7 +202,8 @@ proptest! {
                         .ack_no(ack)
                         .build();
                     let via_frame =
-                        route_frame_tracked(&frame, &table, None, &mut by_frame, now).map(|_| ());
+                        route_frame_tracked(&mut frame, &table, None, &mut by_frame, now)
+                            .map(|_| ());
                     let via_summary = by_summary.admit_tcp(&key, summary_of(flags, ack), now);
                     prop_assert_eq!(via_frame, via_summary, "paths disagree on a packet");
                 }
@@ -219,5 +220,105 @@ proptest! {
         prop_assert_eq!(by_frame.stats(), by_summary.stats());
         by_frame.check_invariants().expect("frame-path audit");
         by_summary.check_invariants().expect("summary-path audit");
+    }
+}
+
+/// One adversarial step against a hairpinned NAT pair.
+#[derive(Debug, Clone, Copy)]
+enum HairpinOp {
+    /// A segment arriving under the client↔VIP key (`false`) or the
+    /// self-loop client↔backend key (`true`).
+    Segment {
+        by_reply: bool,
+        flags: u8,
+        ack_no: u32,
+    },
+    /// Advance virtual time.
+    Tick { ns: u64 },
+    /// Run the watchdog sweep now.
+    Sweep,
+    /// Re-install the pair if a teardown removed it (the balancer would on
+    /// the client's next VIP SYN).
+    Reinsert,
+    /// The balancer's eject path for the assigned backend.
+    Eject,
+}
+
+fn arb_hairpin_op() -> impl Strategy<Value = HairpinOp> {
+    prop_oneof![
+        6 => (any::<bool>(), arb_flags(), any::<u32>()).prop_map(|(by_reply, flags, ack_no)| {
+            HairpinOp::Segment { by_reply, flags, ack_no }
+        }),
+        2 => (1u64..30_000_000_000).prop_map(|ns| HairpinOp::Tick { ns }),
+        1 => Just(HairpinOp::Sweep),
+        1 => Just(HairpinOp::Reinsert),
+        1 => Just(HairpinOp::Eject),
+    ]
+}
+
+proptest! {
+    /// Hairpin: the backend host dials its own VIP, so the post-rewrite
+    /// (reply) tuple is a self-loop on one host and shares its endpoints
+    /// with the pre-rewrite key's client half. Under arbitrary segments by
+    /// either key, time jumps, sweeps, teardowns, and backend ejections,
+    /// the twins live and die strictly together — never a half-pair — and
+    /// the rewrite tuple reads identically through both keys.
+    #[test]
+    fn hairpin_twins_stay_in_lockstep(
+        ops in proptest::collection::vec(arb_hairpin_op(), 1..120),
+        defense in any::<bool>(),
+    ) {
+        let backend_host = u32::from_be_bytes([10, 50, 0, 2]);
+        let vip = u32::from_be_bytes([10, 200, 0, 1]);
+        let orig = FlowKey::canonical(backend_host, vip, 7_777, 80, IPPROTO_TCP);
+        let reply =
+            FlowKey::canonical(backend_host, backend_host, 7_777, 8_080, IPPROTO_TCP);
+        let nat = NatRewrite {
+            client_ip: backend_host,
+            client_port: 7_777,
+            vip,
+            vport: 80,
+            backend_ip: backend_host,
+            backend_port: 8_080,
+            backend: 7,
+        };
+        let mut ct = Conntrack::new(tiny_config(defense));
+        ct.insert_nat(&orig, &reply, nat, FlowState::Established, 0)
+            .expect("pair fits an empty table");
+        let mut now = 0u64;
+        for op in &ops {
+            match *op {
+                HairpinOp::Segment { by_reply, flags, ack_no } => {
+                    let key = if by_reply { reply } else { orig };
+                    // create=false is the balancer's shed semantics: only a
+                    // VIP assignment may create flows on this path.
+                    if let Ok(got) = ct.admit_tcp_nat(&key, summary_of(flags, ack_no), now, false) {
+                        prop_assert_eq!(got, Some(nat), "rewrite tuple drifted");
+                    }
+                }
+                HairpinOp::Tick { ns } => now += ns,
+                HairpinOp::Sweep => {
+                    ct.sweep(now);
+                    ct.check_invariants().expect("audit after sweep");
+                }
+                HairpinOp::Reinsert => {
+                    if !ct.contains(&orig) {
+                        ct.insert_nat(&orig, &reply, nat, FlowState::Established, now)
+                            .expect("both keys are free after a paired removal");
+                    }
+                }
+                HairpinOp::Eject => {
+                    let present = ct.contains(&orig);
+                    let freed = ct.eject_backend(nat.backend, EvictCause::BackendDead);
+                    prop_assert_eq!(freed, if present { 2 } else { 0 });
+                }
+            }
+            prop_assert_eq!(ct.contains(&orig), ct.contains(&reply), "twin lockstep broken");
+            if ct.contains(&orig) {
+                prop_assert_eq!(ct.nat_of(&orig), Some(nat));
+                prop_assert_eq!(ct.nat_of(&reply), Some(nat));
+            }
+        }
+        ct.check_invariants().expect("final audit");
     }
 }

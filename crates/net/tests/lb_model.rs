@@ -1,0 +1,130 @@
+//! syscheck models of the balancer's ejection path against the cross-shard
+//! conntrack gauge.
+//!
+//! A backend death verdict makes a shard walk its slab and remove every
+//! flow assigned to the dead backend — each removal `uncharge`s the shared
+//! [`ConntrackShared`] gauge while sibling shards are still `try_charge`ing
+//! new assignments into the freed headroom. NAT pairs make the boundary
+//! sharper than plain flows: one assignment charges *two* slots (flow +
+//! twin) with a rollback path when only one fits. The obligations: the
+//! gauge never overshoots its cap or underflows on any interleaving, a
+//! failed pair insert never leaks a half-charge, and a full teardown
+//! zeroes the gauge exactly.
+
+use std::sync::Arc;
+use syscheck::shim::spawn_named;
+use syscheck::Config;
+use sysnet::conntrack::{ConntrackConfig, EvictCause, FlowState, NatRewrite};
+use sysnet::{Conntrack, ConntrackShared, FlowKey};
+
+const VIP: u32 = 0x0AC8_0001; // 10.200.0.1
+
+fn backend_ip(b: u16) -> u32 {
+    0x0A32_000A + u32::from(b) // 10.50.0.10 + b
+}
+
+/// The twin keys and rewrite tuple of one balanced flow, distinct per
+/// (shard, flow) so the two workers never collide on a canonical key.
+fn assignment(shard: u32, flow: u32, b: u16) -> (FlowKey, FlowKey, NatRewrite) {
+    let client = 0x0A09_0000 | shard << 8 | flow;
+    let cport = 40_000 + flow as u16;
+    let orig = FlowKey::canonical(client, VIP, cport, 80, 6);
+    let reply = FlowKey::canonical(client, backend_ip(b), cport, 8_080, 6);
+    let nat = NatRewrite {
+        client_ip: client,
+        client_port: cport,
+        vip: VIP,
+        vport: 80,
+        backend_ip: backend_ip(b),
+        backend_port: 8_080,
+        backend: b,
+    };
+    (orig, reply, nat)
+}
+
+/// Two shards assign NAT pairs into a cap-4 gauge (demand exceeds supply,
+/// so pair-insert rollbacks race sibling charges at the boundary), then
+/// each takes a backend-1 death verdict and reassigns into the freed
+/// headroom, then tears everything down by sweep. Every schedule must keep
+/// the gauge capped, whole-pair, and zero-sum.
+fn eject_model() -> u64 {
+    let shared = Arc::new(ConntrackShared::new(4));
+    let cfg = ConntrackConfig {
+        max_flows: 8,
+        syn_backlog: 4,
+        sweep_batch: 16,
+        ..ConntrackConfig::default()
+    };
+    let handles: Vec<_> = (0..2u32)
+        .map(|t| {
+            let s = Arc::clone(&shared);
+            spawn_named(&format!("worker-{t}"), move || {
+                let mut ct = Conntrack::new(cfg).with_shared(Arc::clone(&s));
+                // Three assignments alternating backends 0, 1, 0: six slots
+                // wanted against a cap of four. Shed (FlowTableFull) is a
+                // legal answer; a leaked half-charge is not.
+                for f in 0..3u32 {
+                    let (orig, reply, nat) = assignment(t, f, (f % 2) as u16);
+                    let _ = ct.insert_nat(&orig, &reply, nat, FlowState::Established, 1_000);
+                    assert!(s.live() <= s.limit(), "gauge overshot its cap");
+                    ct.check_invariants().expect("audit after assign");
+                }
+                // The health prober's death verdict on backend 1: eject
+                // every flow assigned to it, twins included, releasing
+                // headroom sibling shards may claim mid-walk.
+                let freed = ct.eject_backend(1, EvictCause::BackendDead);
+                assert_eq!(freed % 2, 0, "ejection removes whole pairs");
+                ct.check_invariants().expect("audit after ejection");
+                // A retrying client reassigns onto the surviving backend.
+                let (orig, reply, nat) = assignment(t, 7, 0);
+                let _ = ct.insert_nat(&orig, &reply, nat, FlowState::Established, 2_000);
+                assert!(s.live() <= s.limit(), "gauge overshot after ejection");
+                // Teardown: reap everything by timeout.
+                ct.sweep(u64::MAX / 2);
+                assert_eq!(ct.len(), 0, "sweep must reap every entry");
+                ct.check_invariants().expect("audit after sweep");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    assert_eq!(
+        shared.live(),
+        0,
+        "ejected and swept shards must zero the gauge"
+    );
+    shared.live() * 10 + shared.limit()
+}
+
+#[test]
+fn checker_ejection_conserves_the_gauge_under_random_schedules() {
+    let cfg = Config {
+        max_schedules: 300,
+        ..Config::default()
+    };
+    let ex = syscheck::explore_random(&cfg, 0x1B_E7EC7, eject_model);
+    assert!(
+        ex.failure.is_none(),
+        "a schedule broke the ejection/charge protocol: {:?}",
+        ex.failure
+    );
+    assert_eq!(ex.schedules, 300);
+    assert_eq!(ex.distinct_states, 1, "terminal digest must not vary");
+}
+
+#[test]
+fn checker_ejection_dfs_prefix_finds_no_failure() {
+    let cfg = Config {
+        preemption_bound: 2,
+        max_schedules: 200,
+        ..Config::default()
+    };
+    let ex = syscheck::explore(&cfg, eject_model);
+    assert!(
+        ex.failure.is_none(),
+        "DFS prefix broke the ejection path: {:?}",
+        ex.failure
+    );
+    assert!(ex.schedules > 0);
+}

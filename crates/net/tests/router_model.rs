@@ -47,6 +47,7 @@ fn route_model() -> u64 {
         cache_slots: 0,
         instrument: false,
         conntrack: None,
+        lb: None,
         fault_plan: None,
         // The default mode on purpose: the model then also exercises the
         // per-batch epoch pin against the copy-on-write root.

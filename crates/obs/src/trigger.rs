@@ -170,8 +170,9 @@ impl TriggerEngine {
 
     /// The standard production watch set over this repo's stack: drop-rate
     /// spike, SYN-cookie engagement, backpressure stall, watchdog firing,
-    /// and epoch-advancement lag. Thresholds are per poll interval;
-    /// callers with faster/slower poll cadences build their own.
+    /// epoch-advancement lag, and balancer backend death. Thresholds are
+    /// per poll interval; callers with faster/slower poll cadences build
+    /// their own.
     #[must_use]
     pub fn standard() -> TriggerEngine {
         TriggerEngine::new()
@@ -196,6 +197,7 @@ impl TriggerEngine {
                 "mem.epoch.advance_stalls",
                 16,
             ))
+            .with(Watch::counter_delta("backend-death", "net.lb.ejections", 1))
     }
 
     /// Total postmortems emitted over the engine's lifetime.
@@ -303,7 +305,7 @@ mod tests {
     }
 
     #[test]
-    fn standard_set_names_the_five_anomalies() {
+    fn standard_set_names_the_six_anomalies() {
         let eng = TriggerEngine::standard();
         let names: Vec<&str> = eng.watches.iter().map(|w| w.name).collect();
         for expect in [
@@ -312,6 +314,7 @@ mod tests {
             "backpressure-stall",
             "watchdog-fired",
             "epoch-advance-lag",
+            "backend-death",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }

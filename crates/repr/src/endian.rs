@@ -113,6 +113,51 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     !u16::try_from(sum).expect("folded to 16 bits")
 }
 
+/// Incrementally updates an Internet checksum after one 16-bit word of the
+/// covered data changed from `old` to `new` (RFC 1624, eqn. 3):
+/// `HC' = ~(~HC + ~m + m')`.
+///
+/// `check` is the checksum as stored in the header (already complemented).
+/// The returned value is likewise ready to store. Folding is done in a
+/// `u32` accumulator so a chain of fixups never loses carries.
+#[must_use]
+pub fn checksum_fixup16(check: u16, old: u16, new: u16) -> u16 {
+    let mut sum = u32::from(!check) + u32::from(!old) + u32::from(new);
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !u16::try_from(sum).expect("folded to 16 bits")
+}
+
+/// Incrementally updates an Internet checksum after a 32-bit field (e.g. an
+/// IPv4 address) changed from `old` to `new`, by applying
+/// [`checksum_fixup16`] to each 16-bit half.
+#[must_use]
+pub fn checksum_fixup32(check: u16, old: u32, new: u32) -> u16 {
+    let check = checksum_fixup16(check, (old >> 16) as u16, (new >> 16) as u16);
+    checksum_fixup16(check, old as u16, new as u16)
+}
+
+/// Computes a full IPv4 transport checksum (RFC 768 / RFC 793): the
+/// pseudo-header of `src`/`dst`/`proto`/segment-length, followed by the
+/// transport `segment` itself (header + payload, checksum field zeroed by
+/// the caller).
+///
+/// Used by tests and builders as the from-scratch reference the incremental
+/// fixups are checked against.
+#[must_use]
+pub fn transport_checksum_v4(src: u32, dst: u32, proto: u8, segment: &[u8]) -> u16 {
+    let mut pseudo = Vec::with_capacity(12 + segment.len());
+    pseudo.extend_from_slice(&src.to_be_bytes());
+    pseudo.extend_from_slice(&dst.to_be_bytes());
+    pseudo.push(0);
+    pseudo.push(proto);
+    let len = u16::try_from(segment.len()).expect("segment fits u16");
+    pseudo.extend_from_slice(&len.to_be_bytes());
+    pseudo.extend_from_slice(segment);
+    internet_checksum(&pseudo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,7 +222,48 @@ mod tests {
         assert_eq!(internet_checksum(&h), 0);
     }
 
+    #[test]
+    fn fixup16_matches_recompute() {
+        // Recompute-from-scratch vs incremental fixup on a header edit.
+        let mut h = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00, 10, 0, 0, 1,
+            10, 0, 0, 2,
+        ];
+        let ck = internet_checksum(&h);
+        h[10] = (ck >> 8) as u8;
+        h[11] = (ck & 0xff) as u8;
+        // Change TTL/proto word 0x4011 -> 0x3f11.
+        let fixed = checksum_fixup16(ck, 0x4011, 0x3f11);
+        h[8] = 0x3f;
+        h[10] = 0;
+        h[11] = 0;
+        assert_eq!(fixed, internet_checksum(&h));
+    }
+
     proptest! {
+        #[test]
+        fn fixup16_agrees_with_full_recompute(words in proptest::collection::vec(any::<u16>(), 2..16), idx in 0usize..16, new: u16) {
+            let idx = idx % words.len();
+            let flat = |ws: &[u16]| ws.iter().flat_map(|w| w.to_be_bytes()).collect::<Vec<u8>>();
+            let ck = internet_checksum(&flat(&words));
+            let mut edited = words.clone();
+            edited[idx] = new;
+            let fixed = checksum_fixup16(ck, words[idx], new);
+            prop_assert_eq!(fixed, internet_checksum(&flat(&edited)));
+        }
+
+        #[test]
+        fn fixup32_agrees_with_full_recompute(a: u32, b: u32, new: u32) {
+            let flat = |x: u32, y: u32| {
+                let mut v = x.to_be_bytes().to_vec();
+                v.extend_from_slice(&y.to_be_bytes());
+                v
+            };
+            let ck = internet_checksum(&flat(a, b));
+            let fixed = checksum_fixup32(ck, b, new);
+            prop_assert_eq!(fixed, internet_checksum(&flat(a, new)));
+        }
+
         #[test]
         fn u32_roundtrip_be(v: u32, off in 0usize..8) {
             let mut buf = [0u8; 12];

@@ -6,7 +6,10 @@
 //! up (Challenge 3); [`crate::boxed`] implements the same protocols in the
 //! allocating "managed" style for experiment E8's comparison.
 
-use crate::endian::{internet_checksum, read_u16_be, read_u32_be, write_u16_be, write_u32_be};
+use crate::endian::{
+    checksum_fixup16, checksum_fixup32, internet_checksum, read_u16_be, read_u32_be,
+    transport_checksum_v4, write_u16_be, write_u32_be,
+};
 use crate::ReprError;
 
 /// EtherType for IPv4.
@@ -461,6 +464,405 @@ impl<'a> TcpView<'a> {
     }
 }
 
+/// Mutable view of an Ethernet II frame — entry point for in-place rewrite.
+///
+/// Validation mirrors [`EthernetView`]; the mutable views exist so NAT and
+/// TTL handling can edit headers in the original buffer with incremental
+/// (RFC 1624) checksum fixup — zero-copy on the write path too.
+#[derive(Debug)]
+pub struct EthernetViewMut<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> EthernetViewMut<'a> {
+    /// Validates the fixed header and wraps the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] for frames under 14 bytes.
+    pub fn parse(buf: &'a mut [u8]) -> Result<Self, ReprError> {
+        EthernetView::parse(&*buf)?;
+        Ok(EthernetViewMut { buf })
+    }
+
+    /// Interprets the payload as IPv4, consuming the frame view so the
+    /// inner view owns the borrow for its full lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] if the EtherType is not IPv4, or
+    /// any IPv4 validation error.
+    pub fn ipv4_mut(self) -> Result<Ipv4ViewMut<'a>, ReprError> {
+        let ethertype = read_u16_be(self.buf, 12).expect("validated length");
+        if ethertype != ETHERTYPE_IPV4 {
+            return Err(ReprError::InvalidField {
+                field: "ethertype",
+                value: u64::from(ethertype),
+            });
+        }
+        Ipv4ViewMut::parse(&mut self.buf[ETH_HEADER..])
+    }
+}
+
+/// Mutable view of an IPv4 packet.
+///
+/// Every mutator keeps the header checksum — and, for address rewrites, the
+/// transport pseudo-header checksum — consistent via RFC 1624 incremental
+/// fixup, so `verify_checksum` holds after any sequence of edits.
+#[derive(Debug)]
+pub struct Ipv4ViewMut<'a> {
+    buf: &'a mut [u8],
+    header_len: usize,
+    total_len: usize,
+}
+
+impl<'a> Ipv4ViewMut<'a> {
+    /// Validates exactly like [`Ipv4View::parse`], then wraps mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] or [`ReprError::InvalidField`] on
+    /// malformed headers.
+    pub fn parse(buf: &'a mut [u8]) -> Result<Self, ReprError> {
+        let (header_len, total_len) = {
+            let v = Ipv4View::parse(&*buf)?;
+            (v.header_len(), v.total_len())
+        };
+        Ok(Ipv4ViewMut {
+            buf,
+            header_len,
+            total_len,
+        })
+    }
+
+    /// Read-only view over the same bytes (for field access mid-edit).
+    #[must_use]
+    pub fn as_view(&self) -> Ipv4View<'_> {
+        Ipv4View {
+            buf: &*self.buf,
+            header_len: self.header_len,
+            total_len: self.total_len,
+        }
+    }
+
+    /// Time to live.
+    #[must_use]
+    pub fn ttl(&self) -> u8 {
+        self.buf[8]
+    }
+
+    /// Protocol number of the payload.
+    #[must_use]
+    pub fn protocol(&self) -> u8 {
+        self.buf[9]
+    }
+
+    /// Decrements TTL in place, patching the header checksum incrementally.
+    ///
+    /// Returns the new TTL. The TTL and protocol bytes share a 16-bit
+    /// checksum word, so the fixup covers `(ttl << 8) | proto`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] if the TTL is already 0 — the
+    /// packet should have been dropped, never decremented past expiry.
+    pub fn decrement_ttl(&mut self) -> Result<u8, ReprError> {
+        let ttl = self.buf[8];
+        if ttl == 0 {
+            return Err(ReprError::InvalidField {
+                field: "ttl",
+                value: 0,
+            });
+        }
+        let old_word = read_u16_be(self.buf, 8).expect("validated length");
+        self.buf[8] = ttl - 1;
+        let new_word = read_u16_be(self.buf, 8).expect("validated length");
+        let ck = read_u16_be(self.buf, 10).expect("validated length");
+        write_u16_be(self.buf, 10, checksum_fixup16(ck, old_word, new_word))
+            .expect("validated length");
+        Ok(ttl - 1)
+    }
+
+    /// Rewrites the source address, fixing both the IPv4 header checksum and
+    /// the transport pseudo-header checksum (TCP always; UDP unless its
+    /// checksum is 0, i.e. "not computed").
+    pub fn set_src(&mut self, ip: [u8; 4]) {
+        self.set_addr(12, ip);
+    }
+
+    /// Rewrites the destination address; checksum handling as [`Self::set_src`].
+    pub fn set_dst(&mut self, ip: [u8; 4]) {
+        self.set_addr(16, ip);
+    }
+
+    fn set_addr(&mut self, offset: usize, ip: [u8; 4]) {
+        let old = read_u32_be(self.buf, offset).expect("validated length");
+        let new = u32::from_be_bytes(ip);
+        if old == new {
+            return;
+        }
+        self.buf[offset..offset + 4].copy_from_slice(&ip);
+        let ck = read_u16_be(self.buf, 10).expect("validated length");
+        write_u16_be(self.buf, 10, checksum_fixup32(ck, old, new)).expect("validated length");
+        self.fixup_transport_for_addr(old, new);
+    }
+
+    /// Applies the pseudo-header delta of an address rewrite to the
+    /// transport checksum. UDP zero-checksum datagrams are skipped, and a
+    /// computed UDP checksum that folds to zero is stored as `0xFFFF` —
+    /// `0x0000` on the wire would claim "no checksum".
+    fn fixup_transport_for_addr(&mut self, old: u32, new: u32) {
+        let (offset, is_udp) = match self.buf[9] {
+            IPPROTO_TCP => (self.header_len + 16, false),
+            IPPROTO_UDP => (self.header_len + 6, true),
+            _ => return,
+        };
+        if offset + 2 > self.total_len {
+            return;
+        }
+        let ck = read_u16_be(self.buf, offset).expect("bounds checked");
+        if is_udp && ck == 0 {
+            return;
+        }
+        let mut fixed = checksum_fixup32(ck, old, new);
+        if is_udp && fixed == 0 {
+            fixed = 0xFFFF;
+        }
+        write_u16_be(self.buf, offset, fixed).expect("bounds checked");
+    }
+
+    /// Destination NAT in one pass: rewrites the destination address and the
+    /// transport destination port together. Semantically equivalent to
+    /// [`Self::set_dst`] followed by `set_dst_port` on the transport view,
+    /// but the transport header is located once and each checksum (IPv4
+    /// header, transport pseudo-header) absorbs the combined address+port
+    /// delta in a single read-modify-write — the form a NAT fast path wants,
+    /// with no per-packet transport re-validation. The UDP zero-checksum
+    /// convention is honored exactly as in the two-step form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] if the protocol is neither TCP
+    /// nor UDP, or [`ReprError::Truncated`] if the port and checksum words
+    /// fall outside `total_len`.
+    pub fn dnat(&mut self, ip: [u8; 4], port: u16) -> Result<(), ReprError> {
+        self.nat_rewrite(16, 2, ip, port)
+    }
+
+    /// Source NAT in one pass: rewrites the source address and the transport
+    /// source port; checksum handling as [`Self::dnat`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::dnat`].
+    pub fn snat(&mut self, ip: [u8; 4], port: u16) -> Result<(), ReprError> {
+        self.nat_rewrite(12, 0, ip, port)
+    }
+
+    fn nat_rewrite(
+        &mut self,
+        addr_off: usize,
+        port_off: usize,
+        ip: [u8; 4],
+        port: u16,
+    ) -> Result<(), ReprError> {
+        let (ck_off, is_udp, need) = match self.buf[9] {
+            IPPROTO_TCP => (16, false, 18),
+            IPPROTO_UDP => (6, true, 8),
+            other => {
+                return Err(ReprError::InvalidField {
+                    field: "protocol",
+                    value: u64::from(other),
+                })
+            }
+        };
+        let tp = self.header_len;
+        if tp + need > self.total_len {
+            return Err(ReprError::Truncated {
+                needed: tp + need,
+                got: self.total_len,
+            });
+        }
+        let old_addr = read_u32_be(self.buf, addr_off).expect("validated length");
+        let new_addr = u32::from_be_bytes(ip);
+        let old_port = read_u16_be(self.buf, tp + port_off).expect("bounds checked");
+        self.buf[addr_off..addr_off + 4].copy_from_slice(&ip);
+        write_u16_be(self.buf, tp + port_off, port).expect("bounds checked");
+        if old_addr != new_addr {
+            let ck = read_u16_be(self.buf, 10).expect("validated length");
+            write_u16_be(self.buf, 10, checksum_fixup32(ck, old_addr, new_addr))
+                .expect("validated length");
+        }
+        let ck = read_u16_be(self.buf, tp + ck_off).expect("bounds checked");
+        if is_udp && ck == 0 {
+            return Ok(());
+        }
+        let mut fixed = checksum_fixup16(checksum_fixup32(ck, old_addr, new_addr), old_port, port);
+        if is_udp && fixed == 0 {
+            fixed = 0xFFFF;
+        }
+        write_u16_be(self.buf, tp + ck_off, fixed).expect("bounds checked");
+        Ok(())
+    }
+
+    /// Mutable view of the payload as UDP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] if the protocol is not UDP, or a
+    /// UDP validation error.
+    pub fn udp_mut(&mut self) -> Result<UdpViewMut<'_>, ReprError> {
+        if self.buf[9] != IPPROTO_UDP {
+            return Err(ReprError::InvalidField {
+                field: "protocol",
+                value: u64::from(self.buf[9]),
+            });
+        }
+        UdpViewMut::parse(&mut self.buf[self.header_len..self.total_len])
+    }
+
+    /// Mutable view of the payload as TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidField`] if the protocol is not TCP, or a
+    /// TCP validation error.
+    pub fn tcp_mut(&mut self) -> Result<TcpViewMut<'_>, ReprError> {
+        if self.buf[9] != IPPROTO_TCP {
+            return Err(ReprError::InvalidField {
+                field: "protocol",
+                value: u64::from(self.buf[9]),
+            });
+        }
+        TcpViewMut::parse(&mut self.buf[self.header_len..self.total_len])
+    }
+}
+
+/// Mutable view of a UDP datagram.
+///
+/// Port rewrites honor the UDP zero-checksum convention: a stored checksum
+/// of 0 means "not computed" and is left untouched; a fixup that lands on 0
+/// is emitted as `0xFFFF` (equal in one's-complement arithmetic, but not a
+/// "no checksum" claim).
+#[derive(Debug)]
+pub struct UdpViewMut<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> UdpViewMut<'a> {
+    /// Validates exactly like [`UdpView::parse`], then wraps mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] or [`ReprError::InvalidField`].
+    pub fn parse(buf: &'a mut [u8]) -> Result<Self, ReprError> {
+        UdpView::parse(&*buf)?;
+        Ok(UdpViewMut { buf })
+    }
+
+    /// Source port.
+    #[must_use]
+    pub fn src_port(&self) -> u16 {
+        read_u16_be(self.buf, 0).expect("validated length")
+    }
+
+    /// Destination port.
+    #[must_use]
+    pub fn dst_port(&self) -> u16 {
+        read_u16_be(self.buf, 2).expect("validated length")
+    }
+
+    /// UDP checksum field (0 means "not computed").
+    #[must_use]
+    pub fn checksum(&self) -> u16 {
+        read_u16_be(self.buf, 6).expect("validated length")
+    }
+
+    /// Rewrites the source port with incremental checksum fixup.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.set_port(0, port);
+    }
+
+    /// Rewrites the destination port with incremental checksum fixup.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.set_port(2, port);
+    }
+
+    fn set_port(&mut self, offset: usize, port: u16) {
+        let old = read_u16_be(self.buf, offset).expect("validated length");
+        if old == port {
+            return;
+        }
+        write_u16_be(self.buf, offset, port).expect("validated length");
+        let ck = read_u16_be(self.buf, 6).expect("validated length");
+        if ck == 0 {
+            return;
+        }
+        let mut fixed = checksum_fixup16(ck, old, port);
+        if fixed == 0 {
+            fixed = 0xFFFF;
+        }
+        write_u16_be(self.buf, 6, fixed).expect("validated length");
+    }
+}
+
+/// Mutable view of a TCP segment. Port rewrites keep the checksum (offset
+/// 16) consistent via incremental fixup; TCP has no zero-checksum escape.
+#[derive(Debug)]
+pub struct TcpViewMut<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> TcpViewMut<'a> {
+    /// Validates exactly like [`TcpView::parse`], then wraps mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] or [`ReprError::InvalidField`].
+    pub fn parse(buf: &'a mut [u8]) -> Result<Self, ReprError> {
+        TcpView::parse(&*buf)?;
+        Ok(TcpViewMut { buf })
+    }
+
+    /// Source port.
+    #[must_use]
+    pub fn src_port(&self) -> u16 {
+        read_u16_be(self.buf, 0).expect("validated length")
+    }
+
+    /// Destination port.
+    #[must_use]
+    pub fn dst_port(&self) -> u16 {
+        read_u16_be(self.buf, 2).expect("validated length")
+    }
+
+    /// TCP checksum field.
+    #[must_use]
+    pub fn checksum(&self) -> u16 {
+        read_u16_be(self.buf, 16).expect("validated length")
+    }
+
+    /// Rewrites the source port with incremental checksum fixup.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.set_port(0, port);
+    }
+
+    /// Rewrites the destination port with incremental checksum fixup.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.set_port(2, port);
+    }
+
+    fn set_port(&mut self, offset: usize, port: u16) {
+        let old = read_u16_be(self.buf, offset).expect("validated length");
+        if old == port {
+            return;
+        }
+        write_u16_be(self.buf, offset, port).expect("validated length");
+        let ck = read_u16_be(self.buf, 16).expect("validated length");
+        write_u16_be(self.buf, 16, checksum_fixup16(ck, old, port)).expect("validated length");
+    }
+}
+
 /// Builds well-formed Ethernet/IPv4/{UDP,TCP} packets for tests, examples,
 /// and workload generators; lengths and the IPv4 checksum are computed.
 #[derive(Debug, Clone)]
@@ -478,6 +880,7 @@ pub struct PacketBuilder {
     ack_no: u32,
     payload: Vec<u8>,
     corrupt_checksum: bool,
+    transport_checksum: bool,
 }
 
 impl PacketBuilder {
@@ -508,6 +911,7 @@ impl PacketBuilder {
             ack_no: 0,
             payload: Vec::new(),
             corrupt_checksum: false,
+            transport_checksum: false,
         }
     }
 
@@ -582,6 +986,16 @@ impl PacketBuilder {
         self
     }
 
+    /// Also computes the UDP/TCP transport checksum (off by default so
+    /// existing byte streams are unchanged; UDP's "not computed" zero is the
+    /// default wire form). A computed UDP checksum of 0 is emitted as
+    /// `0xFFFF` per RFC 768.
+    #[must_use]
+    pub fn compute_transport_checksum(mut self) -> Self {
+        self.transport_checksum = true;
+        self
+    }
+
     /// Produces the raw frame bytes.
     ///
     /// # Panics
@@ -639,6 +1053,16 @@ impl PacketBuilder {
             write_u16_be(&mut frame, tp + 14, 0xFFFF).expect("in bounds");
         }
         frame[tp + transport_header..].copy_from_slice(&self.payload);
+        if self.transport_checksum {
+            let src = u32::from_be_bytes(self.src_ip);
+            let dst = u32::from_be_bytes(self.dst_ip);
+            let mut tck = transport_checksum_v4(src, dst, self.protocol, &frame[tp..]);
+            if self.protocol == IPPROTO_UDP && tck == 0 {
+                tck = 0xFFFF;
+            }
+            let off = tp + if self.protocol == IPPROTO_UDP { 6 } else { 16 };
+            write_u16_be(&mut frame, off, tck).expect("in bounds");
+        }
         frame
     }
 }
@@ -783,6 +1207,222 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    fn transport_checksum_ok(bytes: &[u8]) -> bool {
+        // Recompute the transport checksum from scratch; a stored checksum
+        // verifies iff the pseudo-header sum over the unmodified segment
+        // (checksum field included) folds to zero — same trick as IPv4.
+        let ip = EthernetView::parse(bytes).unwrap().ipv4().unwrap();
+        let src = u32::from_be_bytes(ip.src());
+        let dst = u32::from_be_bytes(ip.dst());
+        transport_checksum_v4(src, dst, ip.protocol(), ip.payload()) == 0
+    }
+
+    #[test]
+    fn dnat_matches_the_two_step_rewrite() {
+        // The fused fast path must be byte-identical to set_dst + set_dst_port.
+        let build = || {
+            PacketBuilder::tcp()
+                .src_ip([10, 9, 1, 2])
+                .dst_ip([10, 200, 0, 1])
+                .src_port(40_000)
+                .dst_port(80)
+                .payload(b"GET /")
+                .compute_transport_checksum()
+                .build()
+        };
+        let mut fused = build();
+        let mut stepped = build();
+        let mut ip = EthernetViewMut::parse(&mut fused)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.dnat([10, 50, 0, 12], 8080).unwrap();
+        let mut ip = EthernetViewMut::parse(&mut stepped)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.set_dst([10, 50, 0, 12]);
+        ip.tcp_mut().unwrap().set_dst_port(8080);
+        assert_eq!(fused, stepped);
+        let ip = EthernetView::parse(&fused).unwrap().ipv4().unwrap();
+        ip.verify_checksum().unwrap();
+        assert!(transport_checksum_ok(&fused));
+    }
+
+    #[test]
+    fn snat_matches_the_two_step_rewrite_over_udp() {
+        let build = || {
+            PacketBuilder::udp()
+                .src_ip([10, 50, 0, 11])
+                .dst_ip([10, 9, 3, 4])
+                .src_port(8080)
+                .dst_port(51_000)
+                .payload(b"reply")
+                .compute_transport_checksum()
+                .build()
+        };
+        let mut fused = build();
+        let mut stepped = build();
+        let mut ip = EthernetViewMut::parse(&mut fused)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.snat([10, 200, 0, 1], 80).unwrap();
+        let mut ip = EthernetViewMut::parse(&mut stepped)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.set_src([10, 200, 0, 1]);
+        ip.udp_mut().unwrap().set_src_port(80);
+        assert_eq!(fused, stepped);
+        assert!(transport_checksum_ok(&fused));
+    }
+
+    #[test]
+    fn dnat_leaves_udp_zero_checksum_alone() {
+        let mut bytes = PacketBuilder::udp()
+            .src_ip([10, 9, 1, 2])
+            .dst_ip([10, 200, 0, 1])
+            .build(); // builder default: UDP checksum not computed (0)
+        let mut ip = EthernetViewMut::parse(&mut bytes)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.dnat([10, 50, 0, 10], 8080).unwrap();
+        let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+        ip.verify_checksum().unwrap();
+        let udp = ip.udp().unwrap();
+        assert_eq!(udp.dst_port(), 8080);
+        assert_eq!(udp.checksum(), 0, "zero stays \"not computed\"");
+    }
+
+    #[test]
+    fn dnat_refuses_non_transport_protocols() {
+        let mut bytes = PacketBuilder::with_protocol(1).build(); // ICMP
+        let mut ip = EthernetViewMut::parse(&mut bytes)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        assert!(matches!(
+            ip.dnat([10, 50, 0, 10], 8080),
+            Err(ReprError::InvalidField {
+                field: "protocol",
+                ..
+            })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn nat_rewrites_keep_both_checksums_verifiable(
+            src in any::<u32>(),
+            dst in any::<u32>(),
+            sport: u16,
+            dport: u16,
+            new_addr in any::<u32>(),
+            new_port: u16,
+            to_backend: bool,
+            tcp: bool,
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut bytes = if tcp { PacketBuilder::tcp() } else { PacketBuilder::udp() }
+                .src_ip(src.to_be_bytes())
+                .dst_ip(dst.to_be_bytes())
+                .src_port(sport)
+                .dst_port(dport)
+                .payload(&payload)
+                .compute_transport_checksum()
+                .build();
+            let mut ip = EthernetViewMut::parse(&mut bytes).unwrap().ipv4_mut().unwrap();
+            if to_backend {
+                ip.dnat(new_addr.to_be_bytes(), new_port).unwrap();
+            } else {
+                ip.snat(new_addr.to_be_bytes(), new_port).unwrap();
+            }
+            // Differential check: the rewritten frame re-parses, carries the
+            // new endpoint, and both checksums verify from scratch.
+            let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+            ip.verify_checksum().unwrap();
+            let (addr, port) = if to_backend {
+                let p = if tcp { ip.tcp().unwrap().dst_port() } else { ip.udp().unwrap().dst_port() };
+                (ip.dst(), p)
+            } else {
+                let p = if tcp { ip.tcp().unwrap().src_port() } else { ip.udp().unwrap().src_port() };
+                (ip.src(), p)
+            };
+            prop_assert_eq!(addr, new_addr.to_be_bytes());
+            prop_assert_eq!(port, new_port);
+            prop_assert!(transport_checksum_ok(&bytes));
+        }
+    }
+
+    #[test]
+    fn decrement_ttl_preserves_checksum() {
+        let mut bytes = sample_udp();
+        let mut ip = EthernetViewMut::parse(&mut bytes)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        assert_eq!(ip.decrement_ttl().unwrap(), 63);
+        let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+        assert_eq!(ip.ttl(), 63);
+        ip.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn decrement_ttl_refuses_expired() {
+        let mut bytes = PacketBuilder::udp().ttl(0).build();
+        let mut ip = EthernetViewMut::parse(&mut bytes)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        assert!(matches!(
+            ip.decrement_ttl(),
+            Err(ReprError::InvalidField { field: "ttl", .. })
+        ));
+    }
+
+    #[test]
+    fn address_rewrite_fixes_both_checksums() {
+        let mut bytes = PacketBuilder::tcp()
+            .src_ip([10, 0, 0, 1])
+            .dst_ip([192, 0, 2, 80])
+            .compute_transport_checksum()
+            .build();
+        assert!(transport_checksum_ok(&bytes));
+        let mut ip = EthernetViewMut::parse(&mut bytes)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.set_dst([203, 0, 113, 7]);
+        ip.tcp_mut().unwrap().set_dst_port(8080);
+        let ip = EthernetView::parse(&bytes).unwrap().ipv4().unwrap();
+        assert_eq!(ip.dst(), [203, 0, 113, 7]);
+        assert_eq!(ip.tcp().unwrap().dst_port(), 8080);
+        ip.verify_checksum().unwrap();
+        assert!(transport_checksum_ok(&bytes));
+    }
+
+    #[test]
+    fn udp_zero_checksum_is_left_alone_by_rewrite() {
+        // Builder default leaves the UDP checksum at 0 ("not computed").
+        let mut bytes = sample_udp();
+        let mut ip = EthernetViewMut::parse(&mut bytes)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.set_dst([203, 0, 113, 7]);
+        ip.udp_mut().unwrap().set_dst_port(4242);
+        let udp = EthernetView::parse(&bytes)
+            .unwrap()
+            .ipv4()
+            .unwrap()
+            .udp()
+            .unwrap();
+        assert_eq!(udp.checksum(), 0, "zero checksum must survive rewrite");
+        assert_eq!(udp.dst_port(), 4242);
     }
 
     proptest! {

@@ -1,0 +1,187 @@
+//! Adversarial tests for NAT rewrite checksum handling — the UDP
+//! zero-checksum corner in particular.
+//!
+//! RFC 768 gives UDP a two-faced checksum field: a transmitted 0 means "no
+//! checksum was computed", and a *computed* checksum that folds to zero must
+//! be sent as `0xFFFF` (the other one's-complement representation of zero).
+//! A NAT that forgets either rule silently converts "valid checksum" into
+//! "no checksum" — or corrupts datagrams that legitimately opted out. These
+//! tests drive the mutable views through both traps.
+
+use sysrepr::endian::{checksum_fixup16, checksum_fixup32, transport_checksum_v4};
+use sysrepr::packet::{EthernetView, EthernetViewMut, PacketBuilder, IPPROTO_UDP};
+
+/// Recomputes the transport checksum from scratch over the rewritten bytes;
+/// a stored checksum is valid iff the pseudo-header sum (checksum field
+/// included) folds to zero.
+fn udp_checksum_verifies(bytes: &[u8]) -> bool {
+    let ip = EthernetView::parse(bytes).unwrap().ipv4().unwrap();
+    let src = u32::from_be_bytes(ip.src());
+    let dst = u32::from_be_bytes(ip.dst());
+    transport_checksum_v4(src, dst, IPPROTO_UDP, ip.payload()) == 0
+}
+
+fn stored_udp_checksum(bytes: &[u8]) -> u16 {
+    EthernetView::parse(bytes)
+        .unwrap()
+        .ipv4()
+        .unwrap()
+        .udp()
+        .unwrap()
+        .checksum()
+}
+
+#[test]
+fn zero_checksum_datagram_is_never_fixed_up() {
+    // Builder default: UDP checksum left at 0 ("not computed").
+    let mut bytes = PacketBuilder::udp()
+        .src_ip([10, 0, 0, 9])
+        .dst_ip([192, 0, 2, 80])
+        .src_port(40_000)
+        .dst_port(53)
+        .payload(b"query")
+        .build();
+    let mut ip = EthernetViewMut::parse(&mut bytes)
+        .unwrap()
+        .ipv4_mut()
+        .unwrap();
+    ip.set_src([198, 51, 100, 1]);
+    ip.set_dst([203, 0, 113, 7]);
+    ip.udp_mut().unwrap().set_src_port(1);
+    ip.udp_mut().unwrap().set_dst_port(65_535);
+    assert_eq!(
+        stored_udp_checksum(&bytes),
+        0,
+        "a 'not computed' checksum must stay 0 — any fixup fabricates a \
+         checksum the sender never offered"
+    );
+    // The IPv4 header checksum, by contrast, must track every rewrite.
+    EthernetView::parse(&bytes)
+        .unwrap()
+        .ipv4()
+        .unwrap()
+        .verify_checksum()
+        .unwrap();
+}
+
+#[test]
+fn port_fixup_landing_on_zero_emits_ffff() {
+    let mut bytes = PacketBuilder::udp()
+        .src_ip([10, 0, 0, 9])
+        .dst_ip([192, 0, 2, 80])
+        .dst_port(53)
+        .payload(b"x")
+        .compute_transport_checksum()
+        .build();
+    let old_ck = stored_udp_checksum(&bytes);
+    assert_ne!(old_ck, 0);
+    // Hunt for a destination port whose incremental fixup folds to exactly
+    // zero — the case the wire format forbids transmitting as 0x0000.
+    let trap = (0u16..=u16::MAX)
+        .find(|&p| p != 53 && checksum_fixup16(old_ck, 53, p) == 0)
+        .expect("some port folds the checksum to zero");
+    let mut ip = EthernetViewMut::parse(&mut bytes)
+        .unwrap()
+        .ipv4_mut()
+        .unwrap();
+    ip.udp_mut().unwrap().set_dst_port(trap);
+    assert_eq!(
+        stored_udp_checksum(&bytes),
+        0xFFFF,
+        "computed-zero must be transmitted as 0xFFFF, never 0x0000"
+    );
+    // 0xFFFF is zero in one's-complement arithmetic: verification still holds.
+    assert!(udp_checksum_verifies(&bytes));
+}
+
+#[test]
+fn address_fixup_landing_on_zero_emits_ffff() {
+    let mut bytes = PacketBuilder::udp()
+        .src_ip([10, 0, 0, 9])
+        .dst_ip([192, 0, 2, 80])
+        .payload(b"yo")
+        .compute_transport_checksum()
+        .build();
+    let old_ck = stored_udp_checksum(&bytes);
+    let old_dst = u32::from_be_bytes([192, 0, 2, 80]);
+    // Same trap via a 32-bit address rewrite: search the low half-word.
+    let trap = (0u32..=0xFFFF)
+        .map(|lo| (old_dst & 0xFFFF_0000) | lo)
+        .find(|&ip| ip != old_dst && checksum_fixup32(old_ck, old_dst, ip) == 0)
+        .expect("some address folds the checksum to zero");
+    let mut ip = EthernetViewMut::parse(&mut bytes)
+        .unwrap()
+        .ipv4_mut()
+        .unwrap();
+    ip.set_dst(trap.to_be_bytes());
+    assert_eq!(stored_udp_checksum(&bytes), 0xFFFF);
+    assert!(udp_checksum_verifies(&bytes));
+    EthernetView::parse(&bytes)
+        .unwrap()
+        .ipv4()
+        .unwrap()
+        .verify_checksum()
+        .unwrap();
+}
+
+#[test]
+fn ffff_checksum_survives_identity_and_real_rewrites() {
+    // 0xFFFF (computed zero) is a legitimate stored value; rewrites must
+    // keep treating it as a real checksum, not as "absent".
+    let mut bytes = PacketBuilder::udp()
+        .src_ip([10, 0, 0, 9])
+        .dst_ip([192, 0, 2, 80])
+        .dst_port(53)
+        .payload(b"x")
+        .compute_transport_checksum()
+        .build();
+    let old_ck = stored_udp_checksum(&bytes);
+    let trap = (0u16..=u16::MAX)
+        .find(|&p| p != 53 && checksum_fixup16(old_ck, 53, p) == 0)
+        .expect("some port folds the checksum to zero");
+    {
+        let mut ip = EthernetViewMut::parse(&mut bytes)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.udp_mut().unwrap().set_dst_port(trap);
+    }
+    assert_eq!(stored_udp_checksum(&bytes), 0xFFFF);
+    // Now rewrite again: the 0xFFFF must be fixed up, not skipped.
+    let mut ip = EthernetViewMut::parse(&mut bytes)
+        .unwrap()
+        .ipv4_mut()
+        .unwrap();
+    ip.udp_mut().unwrap().set_dst_port(4242);
+    assert_ne!(stored_udp_checksum(&bytes), 0, "never downgraded to absent");
+    assert!(udp_checksum_verifies(&bytes));
+}
+
+#[test]
+fn rewrites_on_computed_checksums_always_verify_and_never_emit_zero() {
+    // Exhaustive-ish sweep: many (src, dst, ports) rewrites over datagrams
+    // with computed checksums; the invariant is global, not anecdotal.
+    let mut failures = 0u32;
+    for seed in 0u32..200 {
+        let mut bytes = PacketBuilder::udp()
+            .src_ip((0x0A00_0000u32 | seed).to_be_bytes())
+            .dst_ip([192, 0, 2, (seed % 251) as u8])
+            .src_port(1024 + (seed * 7 % 60_000) as u16)
+            .dst_port(53)
+            .payload(&seed.to_be_bytes())
+            .compute_transport_checksum()
+            .build();
+        let mut ip = EthernetViewMut::parse(&mut bytes)
+            .unwrap()
+            .ipv4_mut()
+            .unwrap();
+        ip.set_dst([203, 0, 113, (seed % 97) as u8 + 1]);
+        ip.udp_mut()
+            .unwrap()
+            .set_dst_port(8000 + (seed * 31 % 5_000) as u16);
+        if stored_udp_checksum(&bytes) == 0 || !udp_checksum_verifies(&bytes) {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 0);
+}
