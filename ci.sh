@@ -106,3 +106,38 @@ f = bench["failover"]
 assert f["recovery_ns"] <= f["probe_interval_ns"], f
 assert all(s["steady_allocs_per_packet"] < 0.05 for s in bench["scenarios"]), bench["scenarios"]
 EOF
+
+# Scenario-campaign smoke: the sysscenario suite (engine + fuzzer units,
+# the adversarial dnat/snat suite, the replay-determinism properties),
+# E18 at quick scale, and the campaign bench in quick mode — which
+# asserts the triple-run replay check, every scenario/regression oracle,
+# and that the packet fuzzer rediscovers the seeded trusting-parser bug
+# and shrinks it, but never rewrites the recorded BENCH_scenario.json.
+# Every crash artifact the quick run wrote must reproduce through its
+# embedded --repro path; artifacts are scratch, so they are cleaned up.
+cargo test -q -p sysscenario
+cargo run --release --example experiments -- e18
+cargo run --release --example scenario_bench -- --quick
+for f in CRASH_*.json; do
+    [ -e "$f" ] || continue
+    cargo run --release --example scenario_bench -- --repro "$f"
+done
+rm -f CRASH_*.json
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_scenario.json"))
+assert bench["bench"] == "scenario" and bench["schema"] == 1, bench
+names = {s["name"] for s in bench["scenarios"]}
+assert names >= {"flash-crowd", "route-flap-storm", "cascading-backend-death",
+                 "slowloris-trickle", "mixed-attack-benign"}, names
+pins = {s["name"] for s in bench["regressions"]}
+assert pins >= {"regress-ttl-loop", "regress-noop-insert-cache-nuke",
+                "regress-premature-epoch-free", "regress-half-pair-nat",
+                "regress-parser-overread"}, pins
+rows = bench["scenarios"] + bench["regressions"]
+assert all(r["replay_verified"] for r in rows), "a scenario did not replay"
+assert all(r["expectations_ok"] for r in rows), "a pinned oracle failed"
+assert {f["target"] for f in bench["fuzz"]} == {"packet", "dns", "bitc"}
+h = bench["headline"]
+assert h["all_expectations_pass"] and h["all_replays_verified"] and h["seeded_bug_found"], h
+EOF

@@ -249,6 +249,8 @@ pub struct Vm<'a, R: Rep> {
     globals: Vec<R::Value>,
     closures: Vec<ClosureRt<R>>,
     vectors: Vec<Vec<R::Value>>,
+    /// Instruction budget: `Some(n)` traps after `n` executed instructions.
+    fuel: Option<u64>,
     /// Execution counters.
     pub stats: VmStats,
 }
@@ -282,8 +284,19 @@ impl<'a, R: Rep> Vm<'a, R> {
             globals: (0..max_global).map(|_| R::unit()).collect(),
             closures: Vec::new(),
             vectors: Vec::new(),
+            fuel: None,
             stats: VmStats::default(),
         })
+    }
+
+    /// Caps execution at `fuel` instructions: the run traps with a runtime
+    /// error instead of looping forever. Untrusted programs — fuzzer
+    /// populations, scenario-injected filters — must always run fueled;
+    /// `None` (the default) leaves execution unbounded.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
     }
 
     fn produce(&mut self, v: R::Value) -> R::Value {
@@ -348,6 +361,9 @@ impl<'a, R: Rep> Vm<'a, R> {
             };
             frame.ip += 1;
             self.stats.instructions += 1;
+            if self.fuel.is_some_and(|f| self.stats.instructions > f) {
+                return Err(BitcError::runtime("fuel exhausted"));
+            }
             let (func_idx, base) = (frame.func, frame.base);
             let _ = func_idx;
             match instr.clone() {
@@ -643,6 +659,20 @@ pub fn run_unboxed(src: &str) -> Result<i64> {
     Vm::<Unboxed>::new(&bc, &NativeRegistry::new())?.run_int()
 }
 
+/// Compiles and runs `src` under the unboxed representation with an
+/// instruction budget — the entry point for untrusted (fuzzed) programs,
+/// which may loop forever without one.
+///
+/// # Errors
+///
+/// Any pipeline error, including a runtime trap when the budget runs out.
+pub fn run_fueled(src: &str, fuel: u64) -> Result<i64> {
+    let bc = crate::compile::compile_source(src)?;
+    Vm::<Unboxed>::new(&bc, &NativeRegistry::new())?
+        .with_fuel(fuel)
+        .run_int()
+}
+
 /// Compiles and runs `src` under the boxed representation.
 ///
 /// # Errors
@@ -751,6 +781,18 @@ mod tests {
                     (spin 2000000)";
         assert_eq!(run_unboxed(src).unwrap(), 42);
         assert_eq!(run_boxed(src).unwrap(), 42);
+    }
+
+    #[test]
+    fn fuel_traps_runaway_loops_but_spares_terminating_runs() {
+        // An infinite tail loop never returns; fuel turns it into a trap.
+        let spin = "(define spin (lambda (n) (spin (+ n 1)))) (spin 0)";
+        let err = run_fueled(spin, 10_000).unwrap_err();
+        assert!(err.to_string().contains("fuel exhausted"), "{err}");
+        // A terminating program under a generous budget is untouched.
+        assert_eq!(run_fueled("(+ 1 (* 2 3))", 10_000).unwrap(), 7);
+        // And the unfueled entry points keep their unbounded behavior.
+        assert_eq!(run_unboxed("(+ 1 2)").unwrap(), 3);
     }
 
     #[test]

@@ -64,6 +64,71 @@ pub fn minimize(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> 
     best
 }
 
+/// Shrinks a failing byte-string input while `fails` keeps returning
+/// `true` — the fuzzer-facing analogue of [`minimize`], for campaigns
+/// whose failing reproduction is an *input* rather than a plan.
+///
+/// The predicate must be deterministic in the bytes (true for the total
+/// parsers and the VM under a fixed fuel budget). Strategy, in order:
+///
+/// 1. **Delta-debug chunks.** Remove contiguous chunks at halving
+///    granularity (ddmin style) down to single bytes, keeping every
+///    removal that preserves the failure, repeated to a fixed point.
+/// 2. **Normalize bytes.** Try replacing each surviving byte with `0`
+///    (then `0xFF`), keeping substitutions that preserve the failure, so
+///    the reproduction reads as "these are the bytes that matter".
+///
+/// Returns the smallest input found; at worst, the original.
+#[must_use]
+pub fn minimize_bytes(input: &[u8], mut fails: impl FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut best = input.to_vec();
+    if !fails(&best) {
+        return best;
+    }
+
+    // Phase 1: ddmin-style chunk removal to a fixed point.
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut changed = false;
+        let mut start = 0;
+        while start < best.len() {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                best = candidate;
+                changed = true;
+                // Retry the same offset: the next chunk slid into place.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 && !changed {
+            break;
+        }
+        if !changed {
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: normalize surviving bytes — 0 first, 0xFF only for bytes
+    // that refused 0 (so zeroed don't-cares stay zeroed).
+    for probe in [0u8, 0xFF] {
+        for i in 0..best.len() {
+            if best[i] == probe || (probe == 0xFF && best[i] == 0) {
+                continue;
+            }
+            let saved = best[i];
+            best[i] = probe;
+            if !fails(&best) {
+                best[i] = saved;
+            }
+        }
+    }
+    best
+}
+
 /// Replays `plan` against a worst-case consultation pattern to collect the
 /// per-site call numbers at which `site` fires within the first
 /// `PROBE_CALLS` consultations.
@@ -115,6 +180,33 @@ mod tests {
         let plan = FaultPlan::new(1).with_site("x", Schedule::EveryNth(2));
         let min = minimize(&plan, |_| false);
         assert_eq!(min, plan);
+    }
+
+    #[test]
+    fn minimize_bytes_strips_irrelevant_bytes() {
+        // Fails iff the input contains the two-byte marker 0xDE 0xAD.
+        let fails = |b: &[u8]| b.windows(2).any(|w| w == [0xDE, 0xAD]);
+        let mut input = vec![7u8; 64];
+        input[40] = 0xDE;
+        input[41] = 0xAD;
+        let min = minimize_bytes(&input, fails);
+        assert!(fails(&min), "shrinking must preserve the failure");
+        assert_eq!(min, vec![0xDE, 0xAD], "only the marker survives");
+    }
+
+    #[test]
+    fn minimize_bytes_normalizes_dont_care_bytes() {
+        // Fails iff the input is exactly 4 bytes with byte 0 == 0x7F: the
+        // other three bytes are load-bearing only in count, not value.
+        let fails = |b: &[u8]| b.len() == 4 && b[0] == 0x7F;
+        let min = minimize_bytes(&[0x7F, 9, 9, 9], fails);
+        assert_eq!(min, vec![0x7F, 0, 0, 0]);
+    }
+
+    #[test]
+    fn minimize_bytes_returns_passing_inputs_unchanged() {
+        let input = vec![1, 2, 3];
+        assert_eq!(minimize_bytes(&input, |_| false), input);
     }
 
     #[test]

@@ -282,6 +282,50 @@ impl BackendPool {
         }
     }
 
+    /// Administratively forces a backend [`BackendState::Down`] — the
+    /// scenario engine's scripted kill, bypassing probe hysteresis. As
+    /// with a probe-driven death, ejecting the backend's flows
+    /// ([`Conntrack::eject_backend`]) is the caller's job. Returns `true`
+    /// if the backend transitioned (it was not already down). Note that
+    /// passing probes will still resurrect it after `rise` successes;
+    /// scenarios that need a permanent death set `rise` to `u32::MAX`.
+    pub fn force_down(&mut self, idx: u16) -> bool {
+        let b = &mut self.backends[usize::from(idx)];
+        if b.state == BackendState::Down {
+            return false;
+        }
+        b.state = BackendState::Down;
+        b.fails = 0;
+        b.oks = 0;
+        self.stats.ejections += 1;
+        sysobs::obs_count!("net.lb.ejections", 1);
+        true
+    }
+
+    /// Administratively returns a down or draining backend to
+    /// [`BackendState::Up`] with cleared hysteresis counters. Returns
+    /// `true` if the backend transitioned.
+    pub fn revive(&mut self, idx: u16) -> bool {
+        let b = &mut self.backends[usize::from(idx)];
+        if b.state == BackendState::Up {
+            return false;
+        }
+        if b.state == BackendState::Down {
+            self.stats.recoveries += 1;
+        }
+        b.state = BackendState::Up;
+        b.fails = 0;
+        b.oks = 0;
+        true
+    }
+
+    /// Digest of the probe-site fault log so far (0 with no injector
+    /// attached): the pool's contribution to a scenario's replay digest.
+    #[must_use]
+    pub fn fault_digest(&self) -> u64 {
+        self.injector.as_ref().map_or(0, |inj| inj.log().digest())
+    }
+
     /// Weighted rendezvous selection for a flow: each up backend scores
     /// `weight / -ln(u)` with `u` drawn from FNV-1a over `(flow_hash,
     /// backend identity)`, highest score wins. The standard weighted-HRW
@@ -1034,6 +1078,37 @@ mod tests {
             "retry re-selects a live backend"
         );
         assert!(pool.stats().flows_ejected >= 2);
+    }
+
+    #[test]
+    fn force_down_and_revive_script_backend_lifecycles() {
+        let t = table();
+        let mut ct = Conntrack::new(ConntrackConfig::default());
+        let mut pool = BackendPool::new(pool_config());
+        assert!(pool.force_down(2), "first kill transitions");
+        assert!(!pool.force_down(2), "second kill is a no-op");
+        assert_eq!(pool.state(2), BackendState::Down);
+        assert_eq!(pool.healthy(), 2);
+        // New flows avoid the killed backend entirely.
+        for s in 0..100u16 {
+            let mut f = syn([10, 9, 2, 1], 42_000 + s);
+            route_frame_lb(&mut f, &t, None, &mut ct, &mut pool, 0).unwrap();
+            let k = FlowKey::canonical(
+                u32::from_be_bytes([10, 9, 2, 1]),
+                pool.cfg.vip,
+                42_000 + s,
+                80,
+                IPPROTO_TCP,
+            );
+            assert_ne!(ct.nat_of(&k).unwrap().backend, 2);
+        }
+        assert!(pool.revive(2));
+        assert!(!pool.revive(2), "revive of an up backend is a no-op");
+        assert_eq!(pool.healthy(), 3);
+        assert_eq!(pool.stats().ejections, 1);
+        assert_eq!(pool.stats().recoveries, 1);
+        assert_eq!(pool.fault_digest(), 0, "no injector, empty fault log");
+        ct.check_invariants().unwrap();
     }
 
     #[test]

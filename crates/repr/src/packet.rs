@@ -160,6 +160,56 @@ impl<'a> Ipv4View<'a> {
         })
     }
 
+    /// The C-style parse this crate exists to replace, kept as a **seeded
+    /// bug** for the fuzzing harness (the representation analogue of
+    /// `sysmem::epoch`'s `new_with_premature_reclaim_bug`): it checks the
+    /// version and the 20-byte minimum but then *trusts* the IHL and
+    /// total-length fields without bounding them against the buffer —
+    /// exactly the shortcut a hand-rolled header cast makes. Accessors on
+    /// the returned view ([`Self::options`], [`Self::payload`],
+    /// [`Self::verify_checksum`]) overread or panic when a truncated
+    /// packet claims options or payload it does not carry.
+    ///
+    /// **Never call this on a production path.** It exists so the
+    /// population fuzzer can demonstrate rediscovery of a known parser
+    /// flaw within a bounded budget; [`Self::parse`] is the total parser
+    /// every data-plane path uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::Truncated`] only for buffers under 20 bytes and
+    /// [`ReprError::InvalidField`] for a bad version or IHL < 5 — the
+    /// length-vs-buffer checks [`Self::parse`] performs are deliberately
+    /// missing.
+    pub fn parse_trusting_lengths(buf: &'a [u8]) -> Result<Self, ReprError> {
+        if buf.len() < IPV4_MIN_HEADER {
+            return Err(ReprError::Truncated {
+                needed: IPV4_MIN_HEADER,
+                got: buf.len(),
+            });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(ReprError::InvalidField {
+                field: "version",
+                value: u64::from(version),
+            });
+        }
+        let ihl = usize::from(buf[0] & 0x0F);
+        if ihl < 5 {
+            return Err(ReprError::InvalidField {
+                field: "ihl",
+                value: ihl as u64,
+            });
+        }
+        let total_len = usize::from(read_u16_be(buf, 2).expect("min header checked"));
+        Ok(Ipv4View {
+            buf,
+            header_len: ihl * 4,
+            total_len: total_len.max(ihl * 4),
+        })
+    }
+
     /// Header length in bytes.
     #[must_use]
     pub fn header_len(&self) -> usize {

@@ -1,0 +1,197 @@
+//! Rendering the campaign + fuzz record as `BENCH_scenario.json`
+//! (experiment E18's artifact; schema checked by `ci.sh`).
+
+use crate::engine::CampaignEntry;
+use crate::fuzz::FuzzReport;
+use std::fmt::Write as _;
+
+/// Everything experiment E18 measured.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The standard campaign rows.
+    pub scenarios: Vec<CampaignEntry>,
+    /// The pinned-regression rows.
+    pub regressions: Vec<CampaignEntry>,
+    /// One population-fuzzing run per target.
+    pub fuzz: Vec<FuzzReport>,
+}
+
+impl CampaignReport {
+    /// Did every scenario and regression meet its expectations?
+    #[must_use]
+    pub fn all_expectations_pass(&self) -> bool {
+        self.scenarios
+            .iter()
+            .chain(&self.regressions)
+            .all(|e| e.outcome.expectations_ok())
+    }
+
+    /// Did every run replay to an identical digest (plain, replay, and
+    /// traced)?
+    #[must_use]
+    pub fn all_replays_verified(&self) -> bool {
+        self.scenarios
+            .iter()
+            .chain(&self.regressions)
+            .all(|e| e.replay_verified)
+    }
+
+    /// Did the packet fuzzer rediscover the seeded trusting-parser bug?
+    #[must_use]
+    pub fn seeded_bug_found(&self) -> bool {
+        self.fuzz.iter().any(|f| f.seeded_bug_found)
+    }
+
+    /// Renders `BENCH_scenario.json` (hand-rolled: no serde in the
+    /// container, and the schema is flat).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"scenario\",");
+        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"scenarios\": [");
+        render_entries(&mut s, &self.scenarios);
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"regressions\": [");
+        render_entries(&mut s, &self.regressions);
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"fuzz\": [");
+        for (i, f) in self.fuzz.iter().enumerate() {
+            let comma = if i + 1 == self.fuzz.len() { "" } else { "," };
+            let minimized_len = f
+                .crashes
+                .first()
+                .map_or_else(|| "null".to_owned(), |c| c.minimized.len().to_string());
+            let _ = writeln!(
+                s,
+                "    {{\"target\": \"{}\", \"iterations\": {}, \
+                 \"executions\": {}, \"population\": {}, \
+                 \"distinct_features\": {}, \"crashes\": {}, \
+                 \"seeded_bug_found\": {}, \"minimized_len\": {minimized_len}}}{comma}",
+                f.target.name(),
+                f.iterations,
+                f.executions,
+                f.population,
+                f.distinct_features,
+                f.crashes.len(),
+                f.seeded_bug_found,
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"headline\": {{");
+        let _ = writeln!(
+            s,
+            "    \"scenarios\": {},",
+            self.scenarios.len() + self.regressions.len()
+        );
+        let _ = writeln!(
+            s,
+            "    \"all_expectations_pass\": {},",
+            self.all_expectations_pass()
+        );
+        let _ = writeln!(
+            s,
+            "    \"all_replays_verified\": {},",
+            self.all_replays_verified()
+        );
+        let _ = writeln!(s, "    \"seeded_bug_found\": {}", self.seeded_bug_found());
+        let _ = writeln!(s, "  }}");
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn render_entries(s: &mut String, entries: &[CampaignEntry]) {
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let o = &e.outcome;
+        let failures = o
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", f.escape_default()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"seed\": {}, \"ticks\": {}, \
+             \"flows\": {}, \"availability\": {:.4}, \
+             \"worst_tick_goodput\": {:.4}, \"final_tick_goodput\": {:.4}, \
+             \"outage_ticks\": {}, \"offered\": {}, \"delivered\": {}, \
+             \"attack_sent\": {}, \"attack_forwarded\": {}, \
+             \"wire_lost\": {}, \"flows_ejected\": {}, \"no_backend\": {}, \
+             \"peak_flows\": {}, \"generation_delta\": {}, \
+             \"invalidation_misses\": {}, \"ttl_violations\": {}, \
+             \"stale_view_mismatches\": {}, \"audit_ok\": {}, \
+             \"route_ns_per_packet\": {:.1}, \"digest\": \"{:#018x}\", \
+             \"fault_digest\": \"{:#018x}\", \"shape_digest\": \"{:#018x}\", \
+             \"replay_verified\": {}, \"postmortems\": {}, \
+             \"expectations_ok\": {}, \"failures\": [{failures}]}}{comma}",
+            o.name,
+            o.seed,
+            o.ticks,
+            o.flows,
+            o.availability(),
+            o.worst_tick_goodput,
+            o.final_tick_goodput,
+            o.outage_ticks,
+            o.offered,
+            o.delivered,
+            o.attack_sent,
+            o.attack_forwarded,
+            o.wire_lost,
+            o.flows_ejected,
+            o.no_backend,
+            o.peak_flows,
+            o.generation_delta,
+            o.invalidation_misses,
+            o.ttl_violations,
+            o.stale_view_mismatches,
+            o.audit_ok,
+            o.route_ns_per_packet,
+            o.digest,
+            o.fault_digest,
+            e.shape_digest,
+            e.replay_verified,
+            e.postmortems,
+            o.expectations_ok(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_campaign;
+    use crate::fuzz::{run_fuzz, FuzzConfig, FuzzTarget};
+    use crate::library;
+    use crate::spec::Scenario;
+
+    #[test]
+    fn report_json_is_balanced_and_carries_the_headline() {
+        let mut s = Scenario::named("json-smoke", 1);
+        s.ticks = 10;
+        s.traffic.flows = 8;
+        let report = CampaignReport {
+            scenarios: run_campaign(&[s]),
+            regressions: run_campaign(&[library::pin_crash(
+                "pin-smoke",
+                &library::parser_overread_fixture(),
+            )]),
+            fuzz: vec![run_fuzz(&FuzzConfig {
+                iterations: 200,
+                ..FuzzConfig::quick(FuzzTarget::Dns)
+            })],
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"scenario\""));
+        assert!(json.contains("\"schema\": 1,"));
+        assert!(json.contains("\"regressions\": ["));
+        assert!(json.contains("\"seeded_bug_found\""));
+        assert!(json.contains("\"replay_verified\": true"));
+        assert!(report.all_replays_verified());
+        assert!(report.all_expectations_pass());
+    }
+}

@@ -1,0 +1,232 @@
+//! Adversarial coverage for `Ipv4ViewMut::{dnat, snat}` (ISSUE satellite).
+//!
+//! The NAT fast path rewrites address+port+checksums in one pass with no
+//! per-packet transport re-validation, so *it* must be the layer that
+//! refuses truncated, odd-length, and non-transport packets. These tests
+//! drive the mutators with exactly those shapes and assert typed errors —
+//! never panics, never silent corruption. The fuzzer's packet seed corpus
+//! doubles as the well-formed fixture set.
+
+use sysrepr::packet::{
+    EthernetView, EthernetViewMut, Ipv4View, PacketBuilder, IPPROTO_TCP, IPPROTO_UDP,
+};
+use sysrepr::ReprError;
+use sysscenario::fuzz;
+use sysscenario::library;
+
+const ETH: usize = 14;
+
+/// Parses the frame mutably and applies `dnat` then `snat`.
+fn nat_both(frame: &mut [u8]) -> Result<(), ReprError> {
+    let mut ip = EthernetViewMut::parse(frame)?.ipv4_mut()?;
+    ip.dnat([192, 0, 2, 9], 4242)?;
+    ip.snat([198, 51, 100, 7], 2424)?;
+    Ok(())
+}
+
+/// Oracle: a NAT rewrite of a fully-checksummed frame must be
+/// byte-identical to building the post-NAT frame from scratch — header
+/// checksum, transport checksum, payload, everything.
+#[test]
+fn tcp_rewrite_equals_rebuilt_frame() {
+    let mut frame = PacketBuilder::tcp()
+        .src_ip([10, 0, 0, 1])
+        .dst_ip([10, 200, 0, 1])
+        .src_port(3_301)
+        .dst_port(80)
+        .payload(b"GET / HTTP/1.1")
+        .compute_transport_checksum()
+        .build();
+    nat_both(&mut frame).expect("valid frame rewrites cleanly");
+    let reference = PacketBuilder::tcp()
+        .src_ip([198, 51, 100, 7])
+        .dst_ip([192, 0, 2, 9])
+        .src_port(2_424)
+        .dst_port(4_242)
+        .payload(b"GET / HTTP/1.1")
+        .compute_transport_checksum()
+        .build();
+    assert_eq!(frame, reference, "incremental fixup diverged from rebuild");
+    let ip = EthernetView::parse(&frame).unwrap().ipv4().unwrap();
+    ip.verify_checksum()
+        .expect("header checksum still verifies");
+}
+
+#[test]
+fn udp_rewrite_equals_rebuilt_frame() {
+    let mut frame = PacketBuilder::udp()
+        .src_ip([10, 9, 1, 2])
+        .dst_ip([10, 200, 0, 1])
+        .src_port(5_353)
+        .dst_port(53)
+        .payload(b"aaaa")
+        .compute_transport_checksum()
+        .build();
+    nat_both(&mut frame).expect("valid frame rewrites cleanly");
+    let reference = PacketBuilder::udp()
+        .src_ip([198, 51, 100, 7])
+        .dst_ip([192, 0, 2, 9])
+        .src_port(2_424)
+        .dst_port(4_242)
+        .payload(b"aaaa")
+        .compute_transport_checksum()
+        .build();
+    assert_eq!(frame, reference, "incremental fixup diverged from rebuild");
+}
+
+/// A UDP datagram with checksum 0 means "not computed"; NAT must leave it
+/// 0, not fix it up into a bogus nonzero value.
+#[test]
+fn udp_zero_checksum_stays_zero() {
+    let mut frame = PacketBuilder::udp()
+        .src_ip([10, 9, 1, 2])
+        .dst_ip([10, 200, 0, 1])
+        .payload(b"zz")
+        .build();
+    {
+        let view = EthernetView::parse(&frame).unwrap().ipv4().unwrap();
+        assert_eq!(view.udp().unwrap().checksum(), 0, "fixture premise");
+    }
+    nat_both(&mut frame).expect("zero-checksum UDP rewrites cleanly");
+    let view = EthernetView::parse(&frame).unwrap().ipv4().unwrap();
+    assert_eq!(view.udp().unwrap().checksum(), 0);
+    assert_eq!(view.dst(), [192, 0, 2, 9]);
+    assert_eq!(view.udp().unwrap().dst_port(), 4_242);
+}
+
+/// Shrinks `total_len` so the claimed datagram ends mid-TCP-header. The
+/// IPv4 header itself still parses; the NAT mutators must refuse with a
+/// precise `Truncated` instead of patching a checksum word that lies
+/// beyond the datagram.
+#[test]
+fn tcp_truncated_transport_is_refused_with_exact_lengths() {
+    let mut frame = PacketBuilder::tcp().compute_transport_checksum().build();
+    // total_len := 30 — the 20-byte header plus 10 transport bytes, which
+    // is short of the 18 needed to reach past the TCP checksum word.
+    frame[ETH + 2] = 0;
+    frame[ETH + 3] = 30;
+    let mut ip = EthernetViewMut::parse(&mut frame)
+        .unwrap()
+        .ipv4_mut()
+        .expect("header itself is intact");
+    assert_eq!(
+        ip.dnat([192, 0, 2, 9], 4242),
+        Err(ReprError::Truncated {
+            needed: 38,
+            got: 30
+        })
+    );
+    assert_eq!(
+        ip.snat([198, 51, 100, 7], 2424),
+        Err(ReprError::Truncated {
+            needed: 38,
+            got: 30
+        })
+    );
+}
+
+/// Odd-length truncation: one byte short of the last word the rewrite
+/// must touch. A sloppy `offset + 2 <= len` check done in u8 units is
+/// exactly where off-by-ones live.
+#[test]
+fn odd_length_one_byte_short_is_refused() {
+    // TCP: 37 = header(20) + 17, one byte short of the checksum word end.
+    let mut tcp = PacketBuilder::tcp().build();
+    tcp[ETH + 2] = 0;
+    tcp[ETH + 3] = 37;
+    let mut ip = EthernetViewMut::parse(&mut tcp)
+        .unwrap()
+        .ipv4_mut()
+        .unwrap();
+    assert_eq!(
+        ip.dnat([192, 0, 2, 9], 4242),
+        Err(ReprError::Truncated {
+            needed: 38,
+            got: 37
+        })
+    );
+    // UDP: 27 = header(20) + 7, one byte short of the full 8-byte header.
+    let mut udp = PacketBuilder::udp().payload(b"xy").build();
+    udp[ETH + 2] = 0;
+    udp[ETH + 3] = 27;
+    let mut ip = EthernetViewMut::parse(&mut udp)
+        .unwrap()
+        .ipv4_mut()
+        .unwrap();
+    assert_eq!(
+        ip.snat([198, 51, 100, 7], 2424),
+        Err(ReprError::Truncated {
+            needed: 28,
+            got: 27
+        })
+    );
+}
+
+/// Port rewrites only mean something for TCP/UDP; anything else (here
+/// GRE, protocol 47) is a typed refusal, not a blind byte-patch at a
+/// TCP-shaped offset.
+#[test]
+fn non_transport_protocol_is_refused() {
+    let mut frame = PacketBuilder::tcp().build();
+    frame[ETH + 9] = 47;
+    let mut ip = EthernetViewMut::parse(&mut frame)
+        .unwrap()
+        .ipv4_mut()
+        .unwrap();
+    assert_eq!(
+        ip.dnat([192, 0, 2, 9], 4242),
+        Err(ReprError::InvalidField {
+            field: "protocol",
+            value: 47,
+        })
+    );
+}
+
+/// The graduated fuzzer crasher (IHL overclaims past `total_len`): the
+/// total mutable parse path must reject it before any NAT code runs.
+#[test]
+fn parser_overread_fixture_never_reaches_nat() {
+    let mut fixture = library::parser_overread_fixture();
+    let err = EthernetViewMut::parse(&mut fixture)
+        .unwrap()
+        .ipv4_mut()
+        .expect_err("IHL past total_len must not produce a mutable view");
+    assert!(
+        matches!(
+            err,
+            ReprError::Truncated { .. } | ReprError::InvalidField { .. }
+        ),
+        "unexpected error class: {err:?}"
+    );
+}
+
+/// Every fuzzer seed fixture, truncated at every possible length, fed
+/// through parse→dnat→snat: the path must stay total (typed errors only;
+/// a panic fails the test harness itself) and any frame that still
+/// verified its header checksum after NAT must keep verifying.
+#[test]
+fn seed_corpus_truncations_stay_total_and_checksum_clean() {
+    for seed in fuzz::seed_corpus(fuzz::FuzzTarget::Packet) {
+        for len in 0..=seed.len() {
+            let mut frame = seed[..len].to_vec();
+            let Ok(eth) = EthernetViewMut::parse(&mut frame) else {
+                continue;
+            };
+            let Ok(mut ip) = eth.ipv4_mut() else {
+                continue;
+            };
+            let dnat_ok = ip.dnat([192, 0, 2, 9], 4242).is_ok();
+            let snat_ok = ip.snat([198, 51, 100, 7], 2424).is_ok();
+            if dnat_ok && snat_ok && len == seed.len() {
+                let view = Ipv4View::parse(&frame[ETH..]).unwrap();
+                view.verify_checksum()
+                    .expect("NAT broke the header checksum of a pristine fixture");
+                match view.protocol() {
+                    IPPROTO_TCP => assert_eq!(view.tcp().unwrap().dst_port(), 4_242),
+                    IPPROTO_UDP => assert_eq!(view.udp().unwrap().dst_port(), 4_242),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

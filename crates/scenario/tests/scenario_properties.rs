@@ -1,0 +1,81 @@
+//! Replay-determinism properties (ISSUE satellite).
+//!
+//! The whole point of a scenario being *a value* is that "the incident"
+//! and "the replay of the incident" are the same artifact. These
+//! properties pin that across the entire shipped library under arbitrary
+//! seeds: same scenario + same seed ⇒ identical fault-log digest,
+//! identical outcome digest, identical trace-shape digest, and identical
+//! campaign-table rows — run to run, traced or not.
+
+use proptest::prelude::*;
+use sysscenario::engine::{run_campaign, run_scenario, run_scenario_traced};
+use sysscenario::library;
+use sysscenario::spec::Scenario;
+
+/// The full shipped library (standard + regressions), scaled down to CI
+/// size. Seeds get overridden per case, so this is a pool of *shapes*.
+fn pool() -> Vec<Scenario> {
+    let mut v = library::quick_scale(library::standard());
+    v.extend(library::quick_scale(library::regressions()));
+    for s in &mut v {
+        s.ticks = s.ticks.min(40);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Two plain runs of any library shape under any seed agree on every
+    /// deterministic observable — the outcome digest folds all counters,
+    /// the fault digest folds all three injector logs.
+    #[test]
+    fn replay_is_bit_identical(idx in 0usize..10, seed in any::<u64>()) {
+        let mut s = pool().swap_remove(idx % pool().len());
+        s.seed = seed;
+        let a = run_scenario(&s);
+        let b = run_scenario(&s);
+        prop_assert_eq!(a.digest, b.digest);
+        prop_assert_eq!(a.fault_digest, b.fault_digest);
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.drops, b.drops);
+        prop_assert_eq!(a.failures, b.failures);
+    }
+
+    /// Turning the observability plane on must not change what the system
+    /// *does*: a traced run reproduces the untraced digests exactly, and
+    /// two traced runs agree on the trace-shape digest as well.
+    #[test]
+    fn tracing_changes_nothing_and_shapes_replay(idx in 0usize..10, seed in any::<u64>()) {
+        let mut s = pool().swap_remove(idx % pool().len());
+        s.seed = seed;
+        let plain = run_scenario(&s);
+        let (traced_a, shape_a, _) = run_scenario_traced(&s);
+        let (traced_b, shape_b, _) = run_scenario_traced(&s);
+        prop_assert_eq!(plain.digest, traced_a.digest);
+        prop_assert_eq!(plain.fault_digest, traced_a.fault_digest);
+        prop_assert_eq!(traced_a.digest, traced_b.digest);
+        prop_assert_eq!(shape_a, shape_b);
+    }
+
+    /// The campaign table row — the thing `BENCH_scenario.json` prints —
+    /// is reproducible: two independent campaign runs of the same
+    /// scenario produce identical digests, shapes, and verdicts, and each
+    /// row's internal triple-run check holds.
+    #[test]
+    fn campaign_rows_replay(idx in 0usize..10, seed in any::<u64>()) {
+        let mut s = pool().swap_remove(idx % pool().len());
+        s.seed = seed;
+        s.ticks = s.ticks.min(25);
+        let rows_a = run_campaign(std::slice::from_ref(&s));
+        let rows_b = run_campaign(std::slice::from_ref(&s));
+        let (a, b) = (&rows_a[0], &rows_b[0]);
+        prop_assert!(a.replay_verified, "triple-run digest check failed");
+        prop_assert!(b.replay_verified);
+        prop_assert_eq!(a.outcome.digest, b.outcome.digest);
+        prop_assert_eq!(a.outcome.fault_digest, b.outcome.fault_digest);
+        prop_assert_eq!(a.shape_digest, b.shape_digest);
+        prop_assert_eq!(a.postmortems, b.postmortems);
+        prop_assert_eq!(a.outcome.expectations_ok(), b.outcome.expectations_ok());
+    }
+}

@@ -23,7 +23,7 @@ fn main() {
     let wanted = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e9net", "e10", "e11", "e12",
-            "e13", "e14", "e15", "e16", "e17", "f1",
+            "e13", "e14", "e15", "e16", "e17", "e18", "f1",
         ]
     } else {
         wanted
@@ -49,9 +49,10 @@ fn main() {
             "e15" => experiments::e15_churn::run(scale),
             "e16" => experiments::e16_postmortem::run(scale),
             "e17" => experiments::e17_lb::run(scale),
+            "e18" => experiments::e18_scenario::run(scale),
             "f1" => experiments::e2_boxing::run_figure(scale),
             other => {
-                eprintln!("unknown experiment {other} (use e1..e17, e9net, or all)");
+                eprintln!("unknown experiment {other} (use e1..e18, e9net, or all)");
                 std::process::exit(2);
             }
         };

@@ -1,0 +1,171 @@
+//! The scenario-campaign harness: writes `BENCH_scenario.json` at the
+//! repo root (experiment E18's recorded form) and `CRASH_*.json` for
+//! every deduplicated, shrunk fuzzer crash.
+//!
+//! ```sh
+//! cargo run --release --example scenario_bench             # full run, writes BENCH_scenario.json
+//! cargo run --release --example scenario_bench -- --quick  # CI-sized, prints only
+//! cargo run --release --example scenario_bench -- --repro CRASH_packet_xxxxxxxx.json
+//! ```
+//!
+//! The campaign runs the standard library (flash crowd, route-flap storm,
+//! cascading backend death, slowloris trickle, mixed attack/benign) and
+//! the pinned regressions (TTL loop, no-op-insert cache nuke, premature
+//! epoch free, half-pair NAT, parser overread), each three times — plain,
+//! replay, traced — from its single u64 seed. Then one population-fuzzing
+//! run per target (packet, dns, bitc).
+//!
+//! Acceptance floors asserted here (every mode):
+//!
+//! * every row replays to an identical digest across all three runs;
+//! * every declared oracle holds — a failing pinned regression means a
+//!   fixed headline bug resurfaced;
+//! * the packet fuzzer rediscovers the seeded trusting-parser bug within
+//!   its budget, and the shrunk artifact still reproduces.
+
+use std::process::ExitCode;
+use sysscenario::fuzz::{self, CrashArtifact, FuzzConfig, FuzzTarget};
+use sysscenario::library;
+use sysscenario::report::CampaignReport;
+use sysscenario::run_campaign;
+
+fn repro(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("repro: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(artifact) = CrashArtifact::from_json(&json) else {
+        eprintln!("repro: {path} is not a crash artifact");
+        return ExitCode::from(2);
+    };
+    let input = if artifact.minimized.is_empty() {
+        &artifact.input
+    } else {
+        &artifact.minimized
+    };
+    eprintln!(
+        "repro: target {}, {} bytes (shrunk from {}), expecting: {}",
+        artifact.target.name(),
+        input.len(),
+        artifact.input.len(),
+        artifact.message
+    );
+    match fuzz::replay(artifact.target, input) {
+        Some(message) => {
+            println!("crash reproduced: {message}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("crash did NOT reproduce (fixed? stale artifact?)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    sysobs::install_panic_dump();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--repro") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: scenario_bench --repro <CRASH_*.json>");
+            return ExitCode::from(2);
+        };
+        return repro(path);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let (standard, regressions) = if quick {
+        (
+            library::quick_scale(library::standard()),
+            library::quick_scale(library::regressions()),
+        )
+    } else {
+        (library::standard(), library::regressions())
+    };
+    eprintln!(
+        "scenario bench: {} standard + {} regression scenarios, triple-run replay check...",
+        standard.len(),
+        regressions.len()
+    );
+    let report = CampaignReport {
+        scenarios: run_campaign(&standard),
+        regressions: run_campaign(&regressions),
+        fuzz: [FuzzTarget::Packet, FuzzTarget::Dns, FuzzTarget::Bitc]
+            .into_iter()
+            .map(|target| {
+                fuzz::run_fuzz(&FuzzConfig {
+                    iterations: if quick { 3_000 } else { 30_000 },
+                    ..FuzzConfig::quick(target)
+                })
+            })
+            .collect(),
+    };
+    let json = report.to_json();
+    print!("{json}");
+
+    // Crash artifacts land at their stable content-addressed paths with
+    // the repro command embedded; `--repro` closes the loop.
+    for f in &report.fuzz {
+        for crash in &f.crashes {
+            let name = crash.file_name();
+            std::fs::write(&name, crash.to_json()).expect("write crash artifact");
+            eprintln!(
+                "wrote {name} ({} bytes shrunk to {}): {}",
+                crash.input.len(),
+                crash.minimized.len(),
+                crash.message
+            );
+        }
+    }
+
+    for e in report.scenarios.iter().chain(&report.regressions) {
+        assert!(
+            e.replay_verified,
+            "replay diverged in {}: the scenario is not a pure function of its seed",
+            e.outcome.name
+        );
+        assert!(
+            e.outcome.expectations_ok(),
+            "oracles failed in {}: {:?}",
+            e.outcome.name,
+            e.outcome.failures
+        );
+    }
+    let packet = report
+        .fuzz
+        .iter()
+        .find(|f| matches!(f.target, FuzzTarget::Packet))
+        .expect("packet target ran");
+    assert!(
+        packet.seeded_bug_found,
+        "the packet fuzzer must rediscover the seeded trusting-parser bug \
+         within its budget ({} iterations)",
+        packet.iterations
+    );
+    for crash in &packet.crashes {
+        assert!(
+            fuzz::replay(FuzzTarget::Packet, &crash.minimized).is_some(),
+            "shrunk artifact no longer reproduces: {}",
+            crash.message
+        );
+    }
+    eprintln!(
+        "headline: {} rows, all replays verified, all oracles hold, seeded bug {}",
+        report.scenarios.len() + report.regressions.len(),
+        if report.seeded_bug_found() {
+            "rediscovered"
+        } else {
+            "MISSED"
+        }
+    );
+    if quick {
+        eprintln!("(--quick: not writing BENCH_scenario.json)");
+    } else {
+        std::fs::write("BENCH_scenario.json", json).expect("write BENCH_scenario.json");
+        eprintln!("wrote BENCH_scenario.json");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,157 @@
+//! E18 — scenario campaigns: availability, recovery, and replay under
+//! composed fault + traffic + control-plane schedules.
+//!
+//! `sysscenario` composes the repo's three seeded mechanisms — `sysfault`
+//! schedules, `FrameForge` traffic, and scripted route/backend churn — on
+//! one virtual clock, and this experiment runs the shipped campaign:
+//!
+//! * **standard scenarios** — flash crowd, route-flap storm, cascading
+//!   backend death with drain coordination, slowloris trickle, mixed
+//!   attack/benign. Each row reports availability (delivered/offered over
+//!   benign traffic), the worst and final tick goodput (recovery), outage
+//!   ticks, and the campaign's triple-run replay verdict (plain run,
+//!   replay, and traced run must agree on every digest);
+//! * **pinned regressions** — one scenario per previously-fixed headline
+//!   bug (TTL forwarding loop, no-op-insert cache nuke, premature epoch
+//!   free, half-pair NAT insert, parser overread). A resurfaced bug fails
+//!   its row's expectations and the campaign;
+//! * **population fuzzing** — persistent byte-string populations mutated
+//!   and selected for outcome-class novelty against the `sysrepr` total
+//!   parsers and the BitC VM. The packet run must rediscover the seeded
+//!   trusting-parser bug and shrink it; the note reports the budget it
+//!   took.
+//!
+//! `examples/scenario_bench.rs` runs the same campaign and records
+//! `BENCH_scenario.json`; this table is the EXPERIMENTS.md rendering.
+
+use super::{Scale, Table};
+use sysscenario::engine::CampaignEntry;
+use sysscenario::fuzz::{run_fuzz, FuzzConfig, FuzzTarget};
+use sysscenario::library;
+
+fn row_of(t: &mut Table, kind: &str, e: &CampaignEntry) {
+    let o = &e.outcome;
+    t.row(vec![
+        o.name.clone(),
+        kind.to_string(),
+        format!("{}", o.ticks),
+        format!("{}", o.flows),
+        format!("{:.1}%", 100.0 * o.availability()),
+        format!("{:.2}", o.worst_tick_goodput),
+        format!("{:.2}", o.final_tick_goodput),
+        format!("{}", o.outage_ticks),
+        format!("{}/{}", o.delivered, o.offered),
+        format!("{}", o.peak_flows),
+        format!("{}", e.postmortems),
+        if e.replay_verified { "✓" } else { "✗" }.to_string(),
+        if o.expectations_ok() { "✓" } else { "✗" }.to_string(),
+    ]);
+}
+
+/// Runs E18 and renders the table.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let (standard, regressions) = match scale {
+        Scale::Quick => (
+            library::quick_scale(library::standard()),
+            library::quick_scale(library::regressions()),
+        ),
+        Scale::Full => (library::standard(), library::regressions()),
+    };
+    let scenarios = sysscenario::run_campaign(&standard);
+    let pinned = sysscenario::run_campaign(&regressions);
+    let fuzz_iters = match scale {
+        Scale::Quick => 3_000,
+        Scale::Full => 30_000,
+    };
+    let fuzz: Vec<_> = [FuzzTarget::Packet, FuzzTarget::Dns, FuzzTarget::Bitc]
+        .into_iter()
+        .map(|target| {
+            run_fuzz(&FuzzConfig {
+                iterations: fuzz_iters,
+                ..FuzzConfig::quick(target)
+            })
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "E18 — scenario campaigns: availability, recovery, replay",
+        &[
+            "scenario",
+            "kind",
+            "ticks",
+            "flows",
+            "avail",
+            "worst tick",
+            "final tick",
+            "outage",
+            "delivered",
+            "peak flows",
+            "pm",
+            "replay",
+            "expect",
+        ],
+    );
+    for e in &scenarios {
+        row_of(&mut t, "standard", e);
+    }
+    for e in &pinned {
+        row_of(&mut t, "regression", e);
+    }
+
+    let all = || scenarios.iter().chain(&pinned);
+    t.note(format!(
+        "replay: every row ran three times (plain, replay, traced) from its single u64 seed; \
+         'replay ✓' means all three agreed on the outcome digest — {} of {} rows verified, and \
+         traced runs also matched on the trace-shape digest.",
+        all().filter(|e| e.replay_verified).count(),
+        all().count(),
+    ));
+    t.note(format!(
+        "expectations: {} of {} rows met their declared oracles (availability floors, drop-class \
+         counts, audit cleanliness); a pinned regression that fails here means a fixed headline \
+         bug resurfaced.",
+        all().filter(|e| e.outcome.expectations_ok()).count(),
+        all().count(),
+    ));
+    for f in &fuzz {
+        let shrunk = f.crashes.first().map_or_else(String::new, |c| {
+            format!(", shrunk to {} bytes", c.minimized.len())
+        });
+        t.note(format!(
+            "fuzz[{}]: {} iterations / {} executions, population {}, {} distinct outcome \
+             classes, {} crash class(es){}{}.",
+            f.target.name(),
+            f.iterations,
+            f.executions,
+            f.population,
+            f.distinct_features,
+            f.crashes.len(),
+            shrunk,
+            if f.seeded_bug_found {
+                "; rediscovered the seeded trusting-parser overread"
+            } else {
+                ""
+            },
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e18_renders_the_campaign_and_finds_the_seeded_bug() {
+        let t = run(Scale::Quick);
+        // Five standard scenarios plus five pinned regressions.
+        assert_eq!(t.rows.len(), 10);
+        assert!(t.rows.iter().all(|r| r[11] == "✓"), "a replay failed");
+        assert!(t.rows.iter().all(|r| r[12] == "✓"), "an oracle failed");
+        assert!(t
+            .notes
+            .iter()
+            .any(|n| n.contains("rediscovered the seeded trusting-parser overread")));
+    }
+}

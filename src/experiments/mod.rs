@@ -14,6 +14,7 @@ pub mod e14_conntrack;
 pub mod e15_churn;
 pub mod e16_postmortem;
 pub mod e17_lb;
+pub mod e18_scenario;
 pub mod e1_alloc;
 pub mod e2_boxing;
 pub mod e3_optimizer;
